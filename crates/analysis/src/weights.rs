@@ -1,0 +1,353 @@
+//! Inverse arbiter weight computation (Section 3.3).
+//!
+//! For each router output-port arbiter, the load `γ[i][n]` on input `i` due
+//! to traffic pattern `n` is read off a [`LoadAnalysis`], and the stored
+//! inverse weight is `m[i][n] = nint(β / γ[i][n])` with a per-arbiter scale
+//! `β` chosen so every weight fits in `M` bits. Inputs a pattern never uses
+//! get the maximum weight (they are never charged under that pattern).
+
+use std::collections::HashMap;
+
+use anton_core::chip::MeshCoord;
+use anton_core::config::MachineConfig;
+use anton_core::topology::NodeId;
+
+use crate::load::{router_port_flows, LoadAnalysis};
+
+/// Identifies one output-port arbiter: node, router, output port index
+/// (into [`anton_core::chip::ChipLayout::router_ports`]).
+pub type ArbiterKey = (NodeId, usize, usize);
+
+/// Identifies one channel-adapter serializer VC arbiter: node, channel
+/// adapter index (into [`anton_core::chip::ChanId::index`]).
+pub type ChanArbiterKey = (NodeId, usize);
+
+/// Identifies one router input-port (SA1) VC arbiter: node, router index,
+/// input port index.
+pub type InputArbiterKey = (NodeId, usize, usize);
+
+/// Inverse weights for every arbitration point in the machine: router
+/// output-port arbiters and channel-adapter serializer VC arbiters
+/// (Section 3 applies the inverse-weighted design at each network
+/// arbitration point).
+#[derive(Debug, Clone)]
+pub struct ArbiterWeightSet {
+    /// Number of inverse-weight bits `M`.
+    pub m_bits: u32,
+    /// Per-router-arbiter table: `weights[input_port][pattern]`. Arbiters
+    /// without any analyzed load have no entry; the simulator falls back to
+    /// uniform weights there.
+    pub tables: HashMap<ArbiterKey, Vec<Vec<u32>>>,
+    /// Per-serializer table: `weights[vc_index][pattern]`, where the VC
+    /// index spans both traffic classes of the adapter's router-side input.
+    pub chan_tables: HashMap<ChanArbiterKey, Vec<Vec<u32>>>,
+    /// Per-router-input (SA1) table: `weights[vc_index][pattern]` for the
+    /// VC selection at each router input port.
+    pub input_tables: HashMap<InputArbiterKey, Vec<Vec<u32>>>,
+    /// Number of patterns each table covers.
+    pub num_patterns: usize,
+}
+
+impl ArbiterWeightSet {
+    /// Computes weights from one load analysis per traffic pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `analyses` is empty or `m_bits` is outside `2..=16`.
+    pub fn compute(
+        cfg: &MachineConfig,
+        analyses: &[&LoadAnalysis],
+        m_bits: u32,
+    ) -> ArbiterWeightSet {
+        assert!(!analyses.is_empty(), "need at least one pattern analysis");
+        assert!((2..=16).contains(&m_bits), "m_bits={m_bits} out of range 2..=16");
+        let max_w = (1u32 << m_bits) - 1;
+        let mut tables: HashMap<ArbiterKey, Vec<Vec<u32>>> = HashMap::new();
+        for node in cfg.shape.nodes().map(|c| cfg.shape.id(c)) {
+            for router in MeshCoord::all() {
+                let nports = cfg.chip.router_ports(router).len();
+                // Gather per-output, per-input, per-pattern loads.
+                let mut loads = vec![vec![vec![0.0f64; analyses.len()]; nports]; nports];
+                let mut any = false;
+                for (n, analysis) in analyses.iter().enumerate() {
+                    for (out, ins) in router_port_flows(cfg, analysis, node, router) {
+                        for (input, load) in ins {
+                            loads[out][input][n] += load;
+                            any = true;
+                        }
+                    }
+                }
+                if !any {
+                    continue;
+                }
+                for out in 0..nports {
+                    // β scaled to the smallest nonzero load so the largest
+                    // weight saturates the M-bit field.
+                    let min_load = loads[out]
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .filter(|l| *l > 0.0)
+                        .fold(f64::INFINITY, f64::min);
+                    if !min_load.is_finite() {
+                        continue; // no traffic through this output
+                    }
+                    let beta = f64::from(max_w) * min_load;
+                    let table: Vec<Vec<u32>> = (0..nports)
+                        .map(|input| {
+                            (0..analyses.len())
+                                .map(|n| {
+                                    let g = loads[out][input][n];
+                                    if g > 0.0 {
+                                        ((beta / g).round() as u32).clamp(1, max_w)
+                                    } else {
+                                        max_w
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    tables.insert((node, router.index(), out), table);
+                }
+            }
+        }
+        // Serializer VC arbiters: one per channel adapter, weighted by the
+        // per-VC load on the adapter's router-side input link.
+        let mut chan_tables: HashMap<ChanArbiterKey, Vec<Vec<u32>>> = HashMap::new();
+        let group_vcs = cfg.vc_policy.num_vcs(anton_core::chip::LinkGroup::T) as usize;
+        let nvcs = 2 * group_vcs;
+        for node in cfg.shape.nodes().map(|c| cfg.shape.id(c)) {
+            for chan in anton_core::chip::ChanId::all() {
+                let link = anton_core::trace::GlobalLink::Local {
+                    node,
+                    link: anton_core::chip::LocalLink::RouterToChan(chan),
+                };
+                let mut loads = vec![vec![0.0f64; analyses.len()]; nvcs];
+                let mut any = false;
+                for (n, analysis) in analyses.iter().enumerate() {
+                    for vc in 0..group_vcs {
+                        let l = analysis
+                            .link_vc_loads
+                            .get(&(link, anton_core::vc::Vc(vc as u8)))
+                            .copied()
+                            .unwrap_or(0.0);
+                        if l > 0.0 {
+                            // Analyzed traffic is Request class (VC indices
+                            // 0..group_vcs).
+                            loads[vc][n] = l;
+                            any = true;
+                        }
+                    }
+                }
+                if !any {
+                    continue;
+                }
+                let min_load = loads
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .filter(|l| *l > 0.0)
+                    .fold(f64::INFINITY, f64::min);
+                let beta = f64::from(max_w) * min_load;
+                let table: Vec<Vec<u32>> = (0..nvcs)
+                    .map(|vc| {
+                        (0..analyses.len())
+                            .map(|n| {
+                                let g = loads[vc][n];
+                                if g > 0.0 {
+                                    ((beta / g).round() as u32).clamp(1, max_w)
+                                } else {
+                                    max_w
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                chan_tables.insert((node, chan.index()), table);
+            }
+        }
+        // SA1 VC arbiters: one per router input port, weighted by the
+        // per-VC load on the link feeding that port.
+        let mut input_tables: HashMap<InputArbiterKey, Vec<Vec<u32>>> = HashMap::new();
+        for node in cfg.shape.nodes().map(|c| cfg.shape.id(c)) {
+            for router in MeshCoord::all() {
+                for (port, attach) in cfg.chip.router_ports(router).iter().enumerate() {
+                    use anton_core::chip::{LocalAttach, LocalLink};
+                    let (link, group) = match *attach {
+                        LocalAttach::Mesh(d) => (
+                            LocalLink::Mesh {
+                                from: router.step(d).expect("mesh port has neighbor"),
+                                dir: d.opposite(),
+                            },
+                            anton_core::chip::LinkGroup::M,
+                        ),
+                        LocalAttach::Skip => (
+                            LocalLink::Skip {
+                                from: cfg.chip.skip_partner(router).expect("skip partner"),
+                            },
+                            anton_core::chip::LinkGroup::T,
+                        ),
+                        LocalAttach::Chan(c) => {
+                            (LocalLink::ChanToRouter(c), anton_core::chip::LinkGroup::T)
+                        }
+                        LocalAttach::Endpoint(e) => {
+                            (LocalLink::EpToRouter(e), anton_core::chip::LinkGroup::M)
+                        }
+                    };
+                    let glink = anton_core::trace::GlobalLink::Local { node, link };
+                    let group_vcs = cfg.vc_policy.num_vcs(group) as usize;
+                    let nvcs = 2 * group_vcs;
+                    let mut loads = vec![vec![0.0f64; analyses.len()]; nvcs];
+                    let mut any = false;
+                    for (n, analysis) in analyses.iter().enumerate() {
+                        for vc in 0..group_vcs {
+                            let l = analysis
+                                .link_vc_loads
+                                .get(&(glink, anton_core::vc::Vc(vc as u8)))
+                                .copied()
+                                .unwrap_or(0.0);
+                            if l > 0.0 {
+                                loads[vc][n] = l;
+                                any = true;
+                            }
+                        }
+                    }
+                    if !any {
+                        continue;
+                    }
+                    let min_load = loads
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .filter(|l| *l > 0.0)
+                        .fold(f64::INFINITY, f64::min);
+                    let beta = f64::from(max_w) * min_load;
+                    let table: Vec<Vec<u32>> = (0..nvcs)
+                        .map(|vc| {
+                            (0..analyses.len())
+                                .map(|n| {
+                                    let g = loads[vc][n];
+                                    if g > 0.0 {
+                                        ((beta / g).round() as u32).clamp(1, max_w)
+                                    } else {
+                                        max_w
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    input_tables.insert((node, router.index(), port), table);
+                }
+            }
+        }
+        ArbiterWeightSet { m_bits, tables, chan_tables, input_tables, num_patterns: analyses.len() }
+    }
+
+    /// The weight table of one arbiter, if the analyses placed load on it.
+    pub fn table(&self, node: NodeId, router: usize, out_port: usize) -> Option<&Vec<Vec<u32>>> {
+        self.tables.get(&(node, router, out_port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_core::topology::TorusShape;
+    use anton_traffic::patterns::{ReverseTornado, Tornado, UniformRandom};
+
+    fn cfg(k: u8) -> MachineConfig {
+        MachineConfig::new(TorusShape::cube(k))
+    }
+
+    #[test]
+    fn weights_are_correctly_rounded_inverses() {
+        // Section 3.3 spec: m[i][n] = nint(β / γ[i][n]) with β scaled so the
+        // largest weight saturates the M-bit field, clamped to at least 1.
+        let cfg = cfg(2);
+        let analysis = LoadAnalysis::compute(&cfg, &UniformRandom);
+        let m_bits = 5u32;
+        let max_w = (1u32 << m_bits) - 1;
+        let set = ArbiterWeightSet::compute(&cfg, &[&analysis], m_bits);
+        assert!(!set.tables.is_empty());
+        for ((node, router, out), table) in &set.tables {
+            let r = MeshCoord::from_index(*router);
+            let flows = router_port_flows(&cfg, &analysis, *node, r);
+            let Some(ins) = flows.get(out) else { continue };
+            let min_load =
+                ins.iter().map(|(_, l)| *l).fold(f64::INFINITY, f64::min);
+            let beta = f64::from(max_w) * min_load;
+            for (i, load) in ins {
+                let expect = ((beta / load).round() as u32).clamp(1, max_w);
+                assert_eq!(
+                    table[*i][0], expect,
+                    "weight at {node}/{r}/out{out}/in{i} (load {load})"
+                );
+            }
+            // The busiest weight direction: the smallest load gets the
+            // largest weight, saturating the field.
+            let max_m = ins.iter().map(|(i, _)| table[*i][0]).max().unwrap();
+            assert_eq!(max_m, max_w, "β scaling should saturate the M-bit field");
+        }
+    }
+
+    #[test]
+    fn heavier_inputs_get_smaller_weights() {
+        let cfg = cfg(2);
+        let analysis = LoadAnalysis::compute(&cfg, &UniformRandom);
+        let set = ArbiterWeightSet::compute(&cfg, &[&analysis], 8);
+        for ((node, router, out), table) in &set.tables {
+            let r = MeshCoord::from_index(*router);
+            let flows = router_port_flows(&cfg, &analysis, *node, r);
+            let Some(ins) = flows.get(out) else { continue };
+            for a in ins {
+                for b in ins {
+                    if a.1 > b.1 + 1e-12 {
+                        assert!(
+                            table[a.0][0] <= table[b.0][0],
+                            "monotonicity violated at {node}/{r}/{out}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_fit_in_m_bits() {
+        let cfg = cfg(2);
+        let a0 = LoadAnalysis::compute(&cfg, &Tornado);
+        let a1 = LoadAnalysis::compute(&cfg, &ReverseTornado);
+        for m in [4u32, 5, 8] {
+            let set = ArbiterWeightSet::compute(&cfg, &[&a0, &a1], m);
+            let max = (1u32 << m) - 1;
+            for table in set.tables.values() {
+                for row in table {
+                    assert_eq!(row.len(), 2);
+                    for &w in row {
+                        assert!((1..=max).contains(&w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unused_inputs_get_max_weight() {
+        let cfg = cfg(2);
+        let analysis = LoadAnalysis::compute(&cfg, &Tornado);
+        let set = ArbiterWeightSet::compute(&cfg, &[&analysis], 5);
+        let mut saw_unused = false;
+        for ((node, router, out), table) in &set.tables {
+            let r = MeshCoord::from_index(*router);
+            let flows = router_port_flows(&cfg, &analysis, *node, r);
+            let ins = &flows[out];
+            for (i, row) in table.iter().enumerate() {
+                if !ins.iter().any(|(inp, _)| *inp == i) {
+                    assert_eq!(row[0], 31, "unused input should carry max weight");
+                    saw_unused = true;
+                }
+            }
+        }
+        assert!(saw_unused, "tornado should leave some inputs unused");
+    }
+}

@@ -1,0 +1,220 @@
+//! The accumulator-update logic of Figure 6.
+//!
+//! Each arbiter input has an `(M+1)`-bit accumulator tracking its service
+//! history scaled by the inverse of its expected load (Section 3.3).
+//! Accumulator values are kept relative to a sliding window of `2^(M+1)`
+//! values: inputs whose accumulator sits in the lower half of the window
+//! (MSB clear) are high priority. When a low-priority input is granted —
+//! which implies no high-priority input was requesting — the window shifts
+//! by subtracting `2^M` from every accumulator, clamping underflows to zero.
+
+/// A bank of `(M+1)`-bit accumulators, one per arbiter input — the
+/// `accumulator_update` module of Figure 6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccumulatorBank {
+    accum: Vec<u32>,
+    m_bits: u32,
+}
+
+impl AccumulatorBank {
+    /// Creates a bank of `k` accumulators with `M = m_bits` inverse-weight
+    /// bits (the paper's RTL defaults to `M = 5`). All accumulators start at
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `m_bits` is 0 or exceeds 16.
+    pub fn new(k: usize, m_bits: u32) -> AccumulatorBank {
+        assert!(k > 0, "bank needs at least one input");
+        assert!((1..=16).contains(&m_bits), "m_bits={m_bits} out of range 1..=16");
+        AccumulatorBank { accum: vec![0; k], m_bits }
+    }
+
+    /// Number of inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.accum.len()
+    }
+
+    /// Number of inverse-weight bits `M`.
+    #[inline]
+    pub fn m_bits(&self) -> u32 {
+        self.m_bits
+    }
+
+    /// Maximum representable inverse weight, `2^M − 1`.
+    #[inline]
+    pub fn max_weight(&self) -> u32 {
+        (1 << self.m_bits) - 1
+    }
+
+    /// The priority vector: bit `i` set when input `i` is high priority
+    /// (accumulator MSB clear — lower half of the sliding window).
+    pub fn priorities(&self) -> u32 {
+        let msb = 1u32 << self.m_bits;
+        let mut out = 0;
+        for (i, &a) in self.accum.iter().enumerate() {
+            if a & msb == 0 {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// Priority (0 or 1) of one input.
+    #[inline]
+    pub fn priority(&self, input: usize) -> u8 {
+        (self.priorities() >> input & 1) as u8
+    }
+
+    /// Current accumulator value of an input (relative to the window).
+    #[inline]
+    pub fn value(&self, input: usize) -> u32 {
+        self.accum[input]
+    }
+
+    /// Applies one grant, mirroring Figure 6's `accum_nxt` equation:
+    ///
+    /// * the granted input's accumulator has its MSB cleared and the packet's
+    ///   inverse weight added;
+    /// * if the grant went to a low-priority input, the window shifts:
+    ///   every other input's MSB is cleared, clamping high-priority inputs
+    ///   (whose value would underflow) to zero;
+    /// * otherwise other inputs are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granted` is out of range or `inv_weight` exceeds `2^M − 1`.
+    pub fn grant(&mut self, granted: usize, inv_weight: u32) {
+        assert!(granted < self.accum.len(), "granted input out of range");
+        assert!(inv_weight <= self.max_weight(), "inverse weight exceeds 2^M - 1");
+        let msb = 1u32 << self.m_bits;
+        let low_grant = self.accum[granted] & msb != 0;
+        for i in 0..self.accum.len() {
+            let a = self.accum[i];
+            let a_msb0 = a & (msb - 1);
+            self.accum[i] = if i == granted {
+                a_msb0 + inv_weight
+            } else if low_grant {
+                if a & msb == 0 {
+                    // Underflow: high-priority non-granted input clamps to 0.
+                    0
+                } else {
+                    a_msb0
+                }
+            } else {
+                a
+            };
+            debug_assert!(self.accum[i] < 2 * msb, "accumulator overflow");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_bank_all_high_priority() {
+        let bank = AccumulatorBank::new(6, 5);
+        assert_eq!(bank.priorities(), 0b111111);
+    }
+
+    #[test]
+    fn grant_accumulates_weight() {
+        let mut bank = AccumulatorBank::new(2, 5);
+        bank.grant(0, 10);
+        assert_eq!(bank.value(0), 10);
+        assert_eq!(bank.value(1), 0);
+        bank.grant(0, 10);
+        assert_eq!(bank.value(0), 20);
+    }
+
+    #[test]
+    fn msb_drops_priority() {
+        let mut bank = AccumulatorBank::new(2, 5);
+        // Four grants of weight 10 push input 0 past 2^5 = 32.
+        for _ in 0..4 {
+            bank.grant(0, 10);
+        }
+        assert_eq!(bank.value(0), 40);
+        assert_eq!(bank.priority(0), 0);
+        assert_eq!(bank.priority(1), 1);
+    }
+
+    #[test]
+    fn low_grant_shifts_window() {
+        let mut bank = AccumulatorBank::new(2, 5);
+        for _ in 0..4 {
+            bank.grant(0, 10);
+        }
+        // Input 0 is low priority (value 40). Granting it again implies
+        // input 1 was not requesting; the window shifts by 32.
+        bank.grant(0, 10);
+        // Granted input: MSB cleared (40 - 32 = 8) then + 10 = 18.
+        assert_eq!(bank.value(0), 18);
+        // Input 1 was high priority at 0: clamps to 0 (underflow case).
+        assert_eq!(bank.value(1), 0);
+    }
+
+    #[test]
+    fn window_shift_preserves_low_priority_values() {
+        let mut bank = AccumulatorBank::new(3, 5);
+        for _ in 0..4 {
+            bank.grant(0, 10); // 40: low priority
+        }
+        for _ in 0..4 {
+            bank.grant(1, 9); // 36: low priority
+        }
+        // All requesting inputs low priority; grant 0 shifts window.
+        bank.grant(0, 10);
+        assert_eq!(bank.value(0), 40 - 32 + 10);
+        assert_eq!(bank.value(1), 36 - 32);
+        assert_eq!(bank.value(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2^M - 1")]
+    fn oversized_weight_rejected() {
+        let mut bank = AccumulatorBank::new(2, 5);
+        bank.grant(0, 32);
+    }
+
+    proptest! {
+        #[test]
+        fn accumulators_stay_bounded(
+            grants in proptest::collection::vec((0usize..4, 0u32..32), 0..200)
+        ) {
+            let mut bank = AccumulatorBank::new(4, 5);
+            for (g, w) in grants {
+                bank.grant(g, w);
+                for i in 0..4 {
+                    prop_assert!(bank.value(i) < 64, "accumulator {i} = {}", bank.value(i));
+                }
+            }
+        }
+
+        #[test]
+        fn service_ratio_tracks_inverse_weights(w0 in 1u32..32, w1 in 1u32..32) {
+            // Always-requesting inputs served by lowest-accumulator-first
+            // (the ideal policy the hardware approximates) receive service
+            // inversely proportional to their weights.
+            let mut bank = AccumulatorBank::new(2, 5);
+            let mut served = [0u64; 2];
+            for _ in 0..10_000 {
+                let pick = if bank.value(0) <= bank.value(1) { 0 } else { 1 };
+                // Ideal policy compares raw values; emulate the window by
+                // granting through the bank.
+                bank.grant(pick, if pick == 0 { w0 } else { w1 });
+                served[pick] += 1;
+            }
+            let expected = f64::from(w1) / f64::from(w0);
+            let actual = served[0] as f64 / served[1] as f64;
+            prop_assert!(
+                (actual / expected - 1.0).abs() < 0.05,
+                "service ratio {actual} vs expected {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The inverse-weighted arbiter (Section 3).
+//!
+//! Composes the accumulator bank of Figure 6 with the prioritized
+//! round-robin arbiter of Figure 8. Each input stores one pre-computed
+//! inverse weight per traffic pattern (`m[i][n] = nint(β / γ[i][n])`); when a
+//! packet of pattern `n` is granted at input `i`, the input's accumulator is
+//! charged `m[i][n]`. Inputs whose accumulator sits in the lower half of the
+//! sliding window arbitrate at high priority, so service converges to being
+//! proportional to each input's expected load — equality of service — for
+//! any blend of the pre-characterized patterns.
+
+use crate::accumulator::AccumulatorBank;
+use crate::priority::{priority_arb_fast2, rr_therm_after_grant};
+use crate::{ArbRequest, PortArbiter};
+
+/// An inverse-weighted arbiter for one router output port.
+///
+/// # Examples
+///
+/// ```
+/// use anton_arbiter::{ArbRequest, InverseWeightedArbiter, PortArbiter};
+///
+/// // Input 0 carries twice the load of input 1, so it gets half the weight.
+/// let mut arb = InverseWeightedArbiter::new(vec![vec![10], vec![20]], 5);
+/// let reqs = [
+///     ArbRequest { input: 0, pattern: 0, age: 0 },
+///     ArbRequest { input: 1, pattern: 0, age: 0 },
+/// ];
+/// let mut served = [0u32; 2];
+/// for _ in 0..3000 {
+///     let w = arb.pick(&reqs).unwrap();
+///     served[reqs[w].input] += 1;
+/// }
+/// let ratio = f64::from(served[0]) / f64::from(served[1]);
+/// assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct InverseWeightedArbiter {
+    bank: AccumulatorBank,
+    /// `weights[input][pattern]`.
+    weights: Vec<Vec<u32>>,
+    rr_therm: u32,
+}
+
+impl InverseWeightedArbiter {
+    /// Creates an arbiter from per-input, per-pattern inverse weights with
+    /// `M = m_bits` weight bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or ragged, if any weight exceeds
+    /// `2^M − 1`, or if there are more than 32 inputs.
+    pub fn new(weights: Vec<Vec<u32>>, m_bits: u32) -> InverseWeightedArbiter {
+        let k = weights.len();
+        assert!(k > 0 && k <= 32, "input count {k} out of range 1..=32");
+        let patterns = weights[0].len();
+        assert!(patterns > 0, "need at least one traffic pattern");
+        let bank = AccumulatorBank::new(k, m_bits);
+        for (i, w) in weights.iter().enumerate() {
+            assert_eq!(w.len(), patterns, "ragged weights at input {i}");
+            for (n, &m) in w.iter().enumerate() {
+                assert!(
+                    m <= bank.max_weight(),
+                    "weight m[{i}][{n}] = {m} exceeds 2^M - 1 = {}",
+                    bank.max_weight()
+                );
+            }
+        }
+        InverseWeightedArbiter { bank, weights, rr_therm: 0 }
+    }
+
+    /// An arbiter with all weights equal (uniform inverse weights): fair
+    /// per-input service, matching a round-robin arbiter's long-run shares
+    /// while exercising the full accumulator datapath.
+    pub fn uniform(k: usize, m_bits: u32) -> InverseWeightedArbiter {
+        let w = (1u32 << m_bits) / 2;
+        InverseWeightedArbiter::new(vec![vec![w]; k], m_bits)
+    }
+
+    /// Number of traffic patterns the weights cover.
+    pub fn num_patterns(&self) -> usize {
+        self.weights[0].len()
+    }
+
+    /// The current accumulator value of an input (for tests and debugging).
+    pub fn accumulator(&self, input: usize) -> u32 {
+        self.bank.value(input)
+    }
+}
+
+impl PortArbiter for InverseWeightedArbiter {
+    fn num_inputs(&self) -> usize {
+        self.bank.num_inputs()
+    }
+
+    fn pick(&mut self, reqs: &[ArbRequest]) -> Option<usize> {
+        if reqs.is_empty() {
+            return None;
+        }
+        let k = self.bank.num_inputs();
+        let mut req_mask = 0u32;
+        let mut pattern_of = [0u8; 32];
+        for r in reqs {
+            assert!(r.input < k, "request input {} out of range", r.input);
+            assert!(
+                req_mask >> r.input & 1 == 0,
+                "duplicate request for input {}",
+                r.input
+            );
+            req_mask |= 1 << r.input;
+            pattern_of[r.input] = r.pattern;
+        }
+        let pris = self.bank.priorities();
+        let winner = priority_arb_fast2(req_mask, pris, self.rr_therm)
+            .expect("nonempty requests yield a grant");
+        // An arbiter programmed with fewer patterns than the traffic labels
+        // charges its last stored weight for unknown labels — a single-set
+        // arbiter ignores pattern tags, as in Figure 10's "Forward"/
+        // "Reverse" configurations.
+        let pattern = (pattern_of[winner] as usize).min(self.num_patterns() - 1);
+        self.bank.grant(winner, self.weights[winner][pattern]);
+        self.rr_therm = rr_therm_after_grant(winner);
+        reqs.iter().position(|r| r.input == winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(arb: &mut InverseWeightedArbiter, reqs: &[ArbRequest], iters: usize) -> Vec<u64> {
+        let mut served = vec![0u64; arb.num_inputs()];
+        for _ in 0..iters {
+            let w = arb.pick(reqs).expect("requests present");
+            served[reqs[w].input] += 1;
+        }
+        served
+    }
+
+    #[test]
+    fn equal_weights_equal_service() {
+        let mut arb = InverseWeightedArbiter::uniform(4, 5);
+        let reqs: Vec<ArbRequest> =
+            (0..4).map(|i| ArbRequest { input: i, pattern: 0, age: 0 }).collect();
+        let served = run(&mut arb, &reqs, 4000);
+        for s in &served {
+            assert!((*s as i64 - 1000).abs() <= 2, "served {served:?}");
+        }
+    }
+
+    #[test]
+    fn service_proportional_to_load() {
+        // Figure 5's example: input 0 carries load 1.0, input 1 load 0.5, so
+        // input 0 should be granted twice as often. Inverse weights 10 / 20.
+        let mut arb = InverseWeightedArbiter::new(vec![vec![10], vec![20]], 5);
+        let reqs: Vec<ArbRequest> =
+            (0..2).map(|i| ArbRequest { input: i, pattern: 0, age: 0 }).collect();
+        let served = run(&mut arb, &reqs, 6000);
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn blended_patterns_stay_proportional() {
+        // Two patterns with different per-input loads. Pattern 0: loads
+        // (1.0, 0.25); pattern 1: loads (0.25, 1.0). A 50/50 packet blend
+        // should serve both inputs equally without the arbiter knowing the
+        // mixing coefficients (Section 3.2).
+        let w = |g: f64| (8.0 / g).round() as u32;
+        let weights = vec![vec![w(1.0), w(0.25)], vec![w(0.25), w(1.0)]];
+        let mut arb = InverseWeightedArbiter::new(weights, 6);
+        // Input 0 requests alternate between patterns matching its load mix:
+        // 80% pattern 0, 20% pattern 1 (loads 1.0 vs 0.25); input 1 mirrors.
+        let mut served = [0u64; 2];
+        for step in 0..10_000u64 {
+            let p0 = u8::from(step % 5 == 0); // 20% pattern 1
+            let p1 = u8::from(step % 5 != 0); // 80% pattern 1
+            let reqs = [
+                ArbRequest { input: 0, pattern: p0, age: 0 },
+                ArbRequest { input: 1, pattern: p1, age: 0 },
+            ];
+            let w = arb.pick(&reqs).unwrap();
+            served[reqs[w].input] += 1;
+        }
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "blended ratio {ratio}");
+    }
+
+    #[test]
+    fn single_requester_always_wins() {
+        let mut arb = InverseWeightedArbiter::uniform(6, 5);
+        let req = [ArbRequest { input: 3, pattern: 0, age: 0 }];
+        for _ in 0..100 {
+            assert_eq!(arb.pick(&req), Some(0));
+        }
+    }
+
+    #[test]
+    fn empty_requests_yield_none() {
+        let mut arb = InverseWeightedArbiter::uniform(4, 5);
+        assert_eq!(arb.pick(&[]), None);
+    }
+
+    #[test]
+    fn unknown_pattern_clamps_to_last_weight() {
+        // A single-weight-set arbiter ignores pattern labels (Figure 10's
+        // "Forward"/"Reverse" configurations run blended traffic through
+        // single-pattern weights).
+        let mut arb = InverseWeightedArbiter::new(vec![vec![10], vec![10]], 5);
+        assert_eq!(arb.pick(&[ArbRequest { input: 0, pattern: 1, age: 0 }]), Some(0));
+        assert_eq!(arb.accumulator(0), 10);
+    }
+}

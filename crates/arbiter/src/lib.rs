@@ -1,0 +1,73 @@
+//! # anton-arbiter
+//!
+//! RTL-faithful implementations of the Anton 2 network arbiters (Section 3
+//! of *"Unifying on-chip and inter-node switching within the Anton 2
+//! network"*, ISCA 2014):
+//!
+//! * [`priority`] — the prioritized round-robin arbiter of Figure 8,
+//!   translated bit-for-bit from the paper's SystemVerilog (Kogge-Stone
+//!   parallel prefix, thermometer-encoded round-robin state) plus its
+//!   mathematical specification;
+//! * [`accumulator`] — the sliding-window accumulator update of Figure 6;
+//! * [`iwarb`] — the composed [`InverseWeightedArbiter`] providing equality
+//!   of service over blends of pre-characterized traffic patterns;
+//! * [`baseline`] — round-robin, age-based, and fixed-priority baselines.
+//!
+//! All arbiters implement [`PortArbiter`], the interface the simulator's
+//! router output ports use.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accumulator;
+pub mod baseline;
+pub mod iwarb;
+pub mod priority;
+
+pub use accumulator::AccumulatorBank;
+pub use baseline::{AgeArbiter, FixedPriorityArbiter, RoundRobinArbiter};
+pub use iwarb::InverseWeightedArbiter;
+
+/// One arbitration request: a head packet waiting at an arbiter input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArbRequest {
+    /// Physical arbiter input (e.g. router input port index).
+    pub input: usize,
+    /// Traffic-pattern tag from the packet header (selects the inverse
+    /// weight to charge).
+    pub pattern: u8,
+    /// Packet age (injection timestamp) for age-based arbitration.
+    pub age: u64,
+}
+
+/// An arbiter for one output port: picks one winner per cycle among the
+/// requesting inputs and commits its internal state to that grant.
+///
+/// Callers must only present requests that can actually proceed (credits
+/// available), since `pick` commits the grant.
+pub trait PortArbiter: std::fmt::Debug {
+    /// Number of physical inputs this arbiter serves.
+    fn num_inputs(&self) -> usize;
+
+    /// Grants one request, returning its index within `reqs`, or `None` when
+    /// `reqs` is empty. At most one request per input may be presented.
+    fn pick(&mut self, reqs: &[ArbRequest]) -> Option<usize>;
+}
+
+/// Which arbiter implementation a simulation should instantiate at each
+/// router output port.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArbiterKind {
+    /// Plain round-robin (the paper's baseline).
+    RoundRobin,
+    /// Inverse-weighted with the given per-port weight tables; the outer map
+    /// is keyed by an opaque port identifier assigned by the caller.
+    InverseWeighted {
+        /// `M`, the number of inverse-weight bits (the paper uses 5).
+        m_bits: u32,
+    },
+    /// Age-based (oldest packet first).
+    Age,
+    /// Fixed msb-first priority (negative control).
+    FixedPriority,
+}

@@ -1,0 +1,285 @@
+//! The prioritized round-robin arbiter of Figure 8.
+//!
+//! The paper's `priority_arb` module arbitrates among `K` requests with `P`
+//! priority levels and round-robin tie-breaking. The round-robin state is
+//! *thermometer encoded*: `rr_therm` is a prefix mask (if bit `i` is set, so
+//! is bit `i−1`). Each request is unrolled into `P+1` request vectors — one
+//! per effective priority level — that are themselves thermometer encoded
+//! across levels, which bounds the parallel-prefix (Kogge-Stone) network
+//! depth to `⌈log₂(K−1)⌉` stages.
+//!
+//! [`priority_arb_rtl`] is a bit-for-bit translation of the SystemVerilog;
+//! [`priority_arb_spec`] is the mathematical specification (grant the request
+//! with the maximum unrolled bit position). Property tests assert they agree.
+
+/// Maximum number of inputs supported by the bit-accurate implementation.
+pub const MAX_K: usize = 32;
+
+/// Maximum number of priority levels supported.
+pub const MAX_P: usize = 3;
+
+/// Bit-for-bit translation of the paper's `priority_arb` SystemVerilog
+/// (Figure 8).
+///
+/// * `req` — request bit per input.
+/// * `pri` — priority level (0..P) per input; only the low `⌈log₂P+1⌉` bits
+///   are meaningful.
+/// * `rr_therm` — thermometer-encoded round-robin state (prefix mask).
+/// * `k` — number of inputs.
+/// * `p` — number of priority levels (the paper uses `P = 2`).
+///
+/// Returns the one-hot grant vector (zero when nothing requests).
+///
+/// # Panics
+///
+/// Panics if `k` or `p` exceed the supported maxima, if `rr_therm` is not a
+/// prefix mask, or if a priority value is `>= p`.
+pub fn priority_arb_rtl(req: u32, pri: &[u8], rr_therm: u32, k: usize, p: usize) -> u32 {
+    assert!(k >= 1 && k <= MAX_K, "k={k} out of range 1..={MAX_K}");
+    assert!(p >= 1 && p <= MAX_P, "p={p} out of range 1..={MAX_P}");
+    assert!(pri.len() == k, "pri must have k entries");
+    let mask = if k == 32 { u32::MAX } else { (1u32 << k) - 1 };
+    assert_eq!(req & !mask, 0, "request bits beyond k");
+    let therm = rr_therm & mask;
+    assert!((therm.wrapping_add(1) & therm) == 0, "rr_therm must be a prefix mask");
+    for &pv in pri {
+        assert!((pv as usize) < p, "priority {pv} out of range 0..{p}");
+    }
+
+    // req_unroll[p][i] = req[i] && ({pri[i], rr_therm[i]} >= 2p - 1)
+    let mut flat: u128 = 0;
+    for level in 0..=p {
+        for i in 0..k {
+            let bit = if level == 0 {
+                req >> i & 1 == 1
+            } else {
+                let key = 2 * pri[i] as usize + ((therm >> i) & 1) as usize;
+                (req >> i & 1 == 1) && key >= 2 * level - 1
+            };
+            if bit {
+                flat |= 1u128 << (level * k + i);
+            }
+        }
+    }
+
+    // Kogge-Stone parallel prefix OR, depth clog2(k-1), exactly as in the RTL.
+    let mut higher: u128 = flat >> 1;
+    let stages = clog2(k.saturating_sub(1).max(1));
+    for s in 0..stages {
+        higher |= higher >> (1usize << s);
+    }
+    let grant_unroll = flat & !higher;
+
+    // Fold the unrolled grants down to level 0.
+    let mut folded = grant_unroll;
+    let fold_stages = clog2(p + 1);
+    for s in 0..fold_stages {
+        folded |= folded >> (k << s);
+    }
+    (folded as u32) & mask
+}
+
+/// Mathematical specification of [`priority_arb_rtl`]: grant the requesting
+/// input with the maximum `(effective level, index)` pair, where the
+/// effective level of input `i` is the highest unrolled level it qualifies
+/// for (0 for a bare request, +1 past each `2p−1` threshold of
+/// `2·pri + rr_therm`).
+///
+/// Returns the granted input index, or `None` when nothing requests.
+pub fn priority_arb_spec(req: u32, pri: &[u8], rr_therm: u32, k: usize, p: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for i in 0..k {
+        if req >> i & 1 == 0 {
+            continue;
+        }
+        let key = 2 * pri[i] as usize + ((rr_therm >> i) & 1) as usize;
+        // Highest level with key >= 2*level - 1, capped at p.
+        let level = ((key + 1) / 2).min(p);
+        if best.map_or(true, |(bl, bi)| (level, i) > (bl, bi)) {
+            best = Some((level, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// Constant-time evaluation of the two-priority-level arbiter: semantically
+/// identical to [`priority_arb_rtl`] with `p = 2` but using machine bit
+/// operations instead of the unrolled-vector construction. Used on the
+/// simulator's hot path; equivalence is property-tested.
+#[inline]
+pub fn priority_arb_fast2(req: u32, pri_mask: u32, rr_therm: u32) -> Option<usize> {
+    if req == 0 {
+        return None;
+    }
+    // Level 2: priority 1 with the round-robin boost; level 1: priority 1
+    // or boost; level 0: bare requests. Highest level wins, msb-first.
+    let l2 = req & pri_mask & rr_therm;
+    let l1 = req & (pri_mask | rr_therm);
+    let pick = if l2 != 0 {
+        l2
+    } else if l1 != 0 {
+        l1
+    } else {
+        req
+    };
+    Some((31 - pick.leading_zeros()) as usize)
+}
+
+/// Constant-time evaluation of the single-level round-robin arbiter:
+/// semantically identical to [`priority_arb_rtl`] with `p = 1`.
+#[inline]
+pub fn priority_arb_fast1(req: u32, rr_therm: u32) -> Option<usize> {
+    if req == 0 {
+        return None;
+    }
+    let boosted = req & rr_therm;
+    let pick = if boosted != 0 { boosted } else { req };
+    Some((31 - pick.leading_zeros()) as usize)
+}
+
+/// `⌈log₂(x)⌉` for `x ≥ 1` (SystemVerilog `$clog2`).
+pub fn clog2(x: usize) -> usize {
+    assert!(x >= 1);
+    (usize::BITS - (x - 1).leading_zeros()) as usize
+}
+
+/// Round-robin thermometer state helper.
+///
+/// After granting input `g`, the next-highest round-robin preference is
+/// `g−1` descending (with wrap): the prefix mask `[0, g)` boosts exactly
+/// those inputs.
+pub fn rr_therm_after_grant(granted: usize) -> u32 {
+    if granted == 0 {
+        0
+    } else {
+        (1u32 << granted) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn one_hot_index(grant: u32) -> Option<usize> {
+        match grant.count_ones() {
+            0 => None,
+            1 => Some(grant.trailing_zeros() as usize),
+            n => panic!("grant not one-hot: {grant:b} ({n} bits)"),
+        }
+    }
+
+    #[test]
+    fn clog2_matches_systemverilog() {
+        assert_eq!(clog2(1), 0);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(4), 2);
+        assert_eq!(clog2(5), 3);
+        assert_eq!(clog2(8), 3);
+        assert_eq!(clog2(9), 4);
+    }
+
+    #[test]
+    fn no_request_no_grant() {
+        assert_eq!(priority_arb_rtl(0, &[0, 0, 0, 0], 0, 4, 2), 0);
+        assert_eq!(priority_arb_spec(0, &[0, 0, 0, 0], 0, 4, 2), None);
+    }
+
+    #[test]
+    fn high_priority_wins() {
+        // Input 0 at priority 1, input 3 at priority 0: input 0 wins even
+        // though msb-first would favor 3.
+        let grant = priority_arb_rtl(0b1001, &[1, 0, 0, 0], 0, 4, 2);
+        assert_eq!(one_hot_index(grant), Some(0));
+    }
+
+    #[test]
+    fn rr_therm_breaks_ties() {
+        // Equal priority; inputs 1 and 3 request. Prefix mask [0,2) boosts
+        // input 1 over input 3.
+        let grant = priority_arb_rtl(0b1010, &[0, 0, 0, 0], 0b0011, 4, 2);
+        assert_eq!(one_hot_index(grant), Some(1));
+        // No boost: msb-first picks 3.
+        let grant = priority_arb_rtl(0b1010, &[0, 0, 0, 0], 0, 4, 2);
+        assert_eq!(one_hot_index(grant), Some(3));
+    }
+
+    #[test]
+    fn priority_dominates_rr_boost() {
+        // Input 1 boosted by RR at priority 0; input 3 at priority 1 without
+        // boost. Priority must dominate (the Figure 7 middle-level merge
+        // keeps them ordered because the sets are index-disjoint).
+        let grant = priority_arb_rtl(0b1010, &[0, 0, 0, 1], 0b0011, 4, 2);
+        assert_eq!(one_hot_index(grant), Some(3));
+    }
+
+    #[test]
+    fn rr_walks_all_inputs() {
+        // With all inputs requesting at equal priority, repeatedly granting
+        // and updating the thermometer serves every input once per K grants.
+        let k = 6;
+        let req = 0b111111u32;
+        let pri = vec![0u8; k];
+        let mut therm = 0u32;
+        let mut served = Vec::new();
+        for _ in 0..k {
+            let g = one_hot_index(priority_arb_rtl(req, &pri, therm, k, 2)).unwrap();
+            served.push(g);
+            therm = rr_therm_after_grant(g);
+        }
+        served.sort_unstable();
+        assert_eq!(served, (0..k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix mask")]
+    fn non_prefix_therm_rejected() {
+        priority_arb_rtl(0b1, &[0, 0, 0, 0], 0b0100, 4, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn rtl_matches_spec(
+            k in 1usize..=8,
+            p in 1usize..=3,
+            req_raw in any::<u32>(),
+            pri_raw in any::<u32>(),
+            therm_len in 0usize..=8,
+        ) {
+            let mask = (1u32 << k) - 1;
+            let req = req_raw & mask;
+            let pri: Vec<u8> = (0..k).map(|i| ((pri_raw >> (2 * i)) & 3) as u8 % p as u8).collect();
+            let therm = if therm_len == 0 { 0 } else { (1u32 << therm_len.min(k)) - 1 };
+            let grant = priority_arb_rtl(req, &pri, therm, k, p);
+            let spec = priority_arb_spec(req, &pri, therm, k, p);
+            prop_assert_eq!(one_hot_index(grant), spec);
+            // Grant is always a subset of requests.
+            prop_assert_eq!(grant & !req, 0);
+            // The constant-time fast paths agree with the RTL.
+            if p == 1 {
+                prop_assert_eq!(priority_arb_fast1(req, therm), spec);
+            }
+            if p == 2 {
+                let pri_mask = pri
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b == 1)
+                    .fold(0u32, |m, (i, _)| m | 1 << i);
+                prop_assert_eq!(priority_arb_fast2(req, pri_mask, therm), spec);
+            }
+        }
+
+        #[test]
+        fn six_port_router_case(req_raw in any::<u32>(), pri_raw in any::<u32>(), g in 0usize..6) {
+            // The Anton 2 router's arbiters are 6-input, P=2.
+            let k = 6;
+            let mask = (1u32 << k) - 1;
+            let req = req_raw & mask;
+            let pri: Vec<u8> = (0..k).map(|i| ((pri_raw >> i) & 1) as u8).collect();
+            let therm = rr_therm_after_grant(g);
+            let grant = priority_arb_rtl(req, &pri, therm, k, 2);
+            prop_assert_eq!(one_hot_index(grant), priority_arb_spec(req, &pri, therm, k, 2));
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! # anton-area
+//!
+//! Silicon-area model of the Anton 2 network components, reproducing
+//! Tables 1 and 2 of *"Unifying on-chip and inter-node switching within the
+//! Anton 2 network"* and exposing the VC-count ablation the paper's
+//! deadlock-avoidance algorithm motivates.
+//!
+//! The model is bottom-up where the paper's architecture determines the
+//! scaling — queue area is proportional to buffered bits (VCs × depth ×
+//! flit width) and arbiter area to stored weight/accumulator bits — and
+//! uses calibrated per-component constants for the categories the paper
+//! reports only as totals (link logic, configuration, debug, reduction,
+//! multicast tables, miscellaneous).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use anton_core::chip::{ChanId, ChipLayout, LinkGroup, LocalAttach, MeshCoord};
+use anton_core::vc::VcPolicy;
+
+/// Area categories of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// VC input buffers (dominant, ∝ VC count).
+    Queues,
+    /// In-network reduction acceleration (channel adapters; constant —
+    /// the feature itself is out of scope, deferred by the paper).
+    Reduction,
+    /// Torus-channel framing, scrambling, CRC, link-level retry.
+    Link,
+    /// Configuration registers and performance counters.
+    Configuration,
+    /// In-silicon debug/monitoring logic.
+    Debug,
+    /// Credit counters, crossbars, parity, minor logic.
+    Miscellaneous,
+    /// Multicast tables (endpoint and channel adapters).
+    Multicast,
+    /// Inverse-weighted arbiters (weight/accumulator storage + priority
+    /// arbiter logic).
+    Arbiters,
+}
+
+impl Category {
+    /// All categories in Table 2's order.
+    pub const ALL: [Category; 8] = [
+        Category::Queues,
+        Category::Reduction,
+        Category::Link,
+        Category::Configuration,
+        Category::Debug,
+        Category::Miscellaneous,
+        Category::Multicast,
+        Category::Arbiters,
+    ];
+
+    /// Display name used in the table output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Category::Queues => "Queues",
+            Category::Reduction => "Reduction",
+            Category::Link => "Link",
+            Category::Configuration => "Configuration",
+            Category::Debug => "Debug",
+            Category::Miscellaneous => "Miscellaneous",
+            Category::Multicast => "Multicast",
+            Category::Arbiters => "Arbiters",
+        }
+    }
+}
+
+/// Component types of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// On-chip mesh router (16 per node).
+    Router,
+    /// Endpoint adapter (23 per node in the Anton 2 ASIC).
+    Endpoint,
+    /// Torus-channel adapter (12 per node).
+    Channel,
+}
+
+impl Component {
+    /// All component types.
+    pub const ALL: [Component; 3] = [Component::Router, Component::Endpoint, Component::Channel];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Component::Router => "Router",
+            Component::Endpoint => "Endpoint adapter",
+            Component::Channel => "Channel adapter",
+        }
+    }
+}
+
+/// Area model parameters. Areas are in arbitrary units; only ratios are
+/// meaningful, and [`AreaModel::die_fraction`] scales against the
+/// non-network die area.
+#[derive(Debug, Clone)]
+pub struct AreaParams {
+    /// Flit width in bits.
+    pub flit_bits: f64,
+    /// Router/adapter on-chip buffer depth per VC, in flits.
+    pub onchip_depth: f64,
+    /// Torus-side buffer depth per VC at channel adapters, in flits
+    /// (covers the external-link round trip).
+    pub torus_depth: f64,
+    /// Area per buffered bit.
+    pub per_queue_bit: f64,
+    /// Area per stored arbiter bit (weights + accumulators + update logic,
+    /// amortized per bit).
+    pub per_arbiter_storage_bit: f64,
+    /// Area of one prioritized arbiter's combinational logic per input.
+    pub arbiter_logic_per_input: f64,
+    /// Constant arbiter area per channel adapter (the small serializer VC
+    /// arbiter).
+    pub chan_arbiter: f64,
+    /// Constant arbiter area per endpoint adapter.
+    pub ep_arbiter: f64,
+    /// Inverse-weight bits M.
+    pub m_bits: f64,
+    /// Traffic patterns stored per arbiter input.
+    pub num_patterns: f64,
+    /// Constant per-component areas for the calibrated categories,
+    /// `(router, endpoint, channel)` each.
+    pub reduction: [f64; 3],
+    /// Link-layer logic.
+    pub link: [f64; 3],
+    /// Configuration registers.
+    pub configuration: [f64; 3],
+    /// Debug logic.
+    pub debug: [f64; 3],
+    /// Miscellaneous logic.
+    pub miscellaneous: [f64; 3],
+    /// Multicast tables.
+    pub multicast: [f64; 3],
+    /// Non-network die area (same units), calibrated so the network is
+    /// just under 10% of the die as the paper reports.
+    pub non_network_die: f64,
+}
+
+impl Default for AreaParams {
+    /// Constants calibrated against Tables 1–2 at the Anton configuration
+    /// (see EXPERIMENTS.md for the paper-vs-model comparison).
+    fn default() -> AreaParams {
+        AreaParams {
+            flit_bits: 192.0,
+            onchip_depth: 8.0,
+            torus_depth: 48.0,
+            per_queue_bit: 1.0,
+            per_arbiter_storage_bit: 23.9,
+            arbiter_logic_per_input: 127.5,
+            chan_arbiter: 777.0,
+            ep_arbiter: 100.0,
+            m_bits: 5.0,
+            num_patterns: 2.0,
+            reduction: [0.0, 0.0, 37_280.0],
+            link: [0.0, 0.0, 34_560.0],
+            configuration: [9_610.0, 5_065.0, 10_870.0],
+            debug: [8_740.0, 5_065.0, 8_930.0],
+            miscellaneous: [12_520.0, 2_025.0, 7_765.0],
+            multicast: [0.0, 6_480.0, 9_710.0],
+            non_network_die: 46_000_000.0,
+        }
+    }
+}
+
+/// The evaluated area model for one configuration.
+#[derive(Debug, Clone)]
+pub struct AreaModel {
+    params: AreaParams,
+    chip: ChipLayout,
+    policy: VcPolicy,
+    num_endpoints: f64,
+}
+
+impl AreaModel {
+    /// Builds the model for the Anton 2 ASIC: 23 endpoint adapters and the
+    /// n+1-VC promotion policy.
+    pub fn anton() -> AreaModel {
+        AreaModel::new(AreaParams::default(), ChipLayout::new(23), VcPolicy::Anton)
+    }
+
+    /// Builds a model with explicit parameters, layout, and VC policy.
+    pub fn new(params: AreaParams, chip: ChipLayout, policy: VcPolicy) -> AreaModel {
+        let num_endpoints = f64::from(chip.num_endpoints());
+        AreaModel { params, chip, policy, num_endpoints }
+    }
+
+    fn vcs(&self, group: LinkGroup) -> f64 {
+        // Two traffic classes.
+        2.0 * f64::from(self.policy.num_vcs(group))
+    }
+
+    /// Total queue bits in all 16 routers: one input buffer per router port,
+    /// sized by the port's link group.
+    fn router_queue_area(&self) -> f64 {
+        let p = &self.params;
+        let mut bits = 0.0;
+        for r in MeshCoord::all() {
+            for attach in self.chip.router_ports(r) {
+                let group = match attach {
+                    LocalAttach::Mesh(_) | LocalAttach::Endpoint(_) => LinkGroup::M,
+                    LocalAttach::Skip | LocalAttach::Chan(_) => LinkGroup::T,
+                };
+                bits += self.vcs(group) * p.onchip_depth * p.flit_bits;
+            }
+        }
+        bits * p.per_queue_bit
+    }
+
+    /// Queue area of all 12 channel adapters: a router-side input buffer
+    /// (on-chip depth) plus a deep torus-side buffer.
+    fn channel_queue_area(&self) -> f64 {
+        let p = &self.params;
+        let per_adapter =
+            self.vcs(LinkGroup::T) * (p.onchip_depth + p.torus_depth) * p.flit_bits;
+        12.0 * per_adapter * p.per_queue_bit
+    }
+
+    /// Queue area of the endpoint adapters: one VC per traffic class.
+    fn endpoint_queue_area(&self) -> f64 {
+        let p = &self.params;
+        self.num_endpoints * 2.0 * p.onchip_depth * p.flit_bits * p.per_queue_bit
+    }
+
+    /// Arbiter area of the routers: one inverse-weighted arbiter per output
+    /// port; roughly three-quarters storage (weights, accumulators, update
+    /// logic), one quarter prioritized-arbiter logic (Section 4.4).
+    fn router_arbiter_area(&self) -> f64 {
+        let p = &self.params;
+        let mut area = 0.0;
+        for r in MeshCoord::all() {
+            let k = self.chip.router_ports(r).len() as f64;
+            // One arbiter per output port, k inputs each: per input, the
+            // stored weights (patterns x M bits) and the (M+1)-bit
+            // accumulator, plus the prioritized arbiter's per-input logic.
+            let per_arbiter = k * (p.num_patterns * p.m_bits + (p.m_bits + 1.0))
+                * p.per_arbiter_storage_bit
+                + k * p.arbiter_logic_per_input;
+            area += k * per_arbiter;
+        }
+        area
+    }
+
+    /// Area of `(component, category)` in model units.
+    pub fn area(&self, component: Component, category: Category) -> f64 {
+        let p = &self.params;
+        let idx = match component {
+            Component::Router => 0,
+            Component::Endpoint => 1,
+            Component::Channel => 2,
+        };
+        let count = match component {
+            Component::Router => 16.0,
+            Component::Endpoint => self.num_endpoints,
+            Component::Channel => 12.0,
+        };
+        match category {
+            Category::Queues => match component {
+                Component::Router => self.router_queue_area(),
+                Component::Endpoint => self.endpoint_queue_area(),
+                Component::Channel => self.channel_queue_area(),
+            },
+            Category::Arbiters => match component {
+                Component::Router => self.router_arbiter_area(),
+                Component::Endpoint => count * p.ep_arbiter,
+                Component::Channel => count * p.chan_arbiter,
+            },
+            Category::Reduction => count * p.reduction[idx],
+            Category::Link => count * p.link[idx],
+            Category::Configuration => count * p.configuration[idx],
+            Category::Debug => count * p.debug[idx],
+            Category::Miscellaneous => count * p.miscellaneous[idx],
+            Category::Multicast => count * p.multicast[idx],
+        }
+    }
+
+    /// Total area of a component type (all instances).
+    pub fn component_area(&self, component: Component) -> f64 {
+        Category::ALL.iter().map(|c| self.area(component, *c)).sum()
+    }
+
+    /// Total network area.
+    pub fn network_area(&self) -> f64 {
+        Component::ALL.iter().map(|c| self.component_area(*c)).sum()
+    }
+
+    /// A component type's contribution to total die area (%), Table 1.
+    pub fn die_fraction(&self, component: Component) -> f64 {
+        100.0 * self.component_area(component)
+            / (self.network_area() + self.params.non_network_die)
+    }
+
+    /// Percentage of network area for `(component, category)`, Table 2.
+    pub fn network_percent(&self, component: Component, category: Category) -> f64 {
+        100.0 * self.area(component, category) / self.network_area()
+    }
+
+    /// Row total of Table 2 (category across all components).
+    pub fn category_percent(&self, category: Category) -> f64 {
+        Component::ALL.iter().map(|c| self.network_percent(*c, category)).sum()
+    }
+
+    /// The configured VC policy.
+    pub fn policy(&self) -> VcPolicy {
+        self.policy
+    }
+
+    /// Number of channel adapters modeled (always 12).
+    pub fn num_channel_adapters(&self) -> usize {
+        ChanId::all().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_is_under_ten_percent_of_die() {
+        let m = AreaModel::anton();
+        let total: f64 = Component::ALL.iter().map(|c| m.die_fraction(*c)).sum();
+        assert!(total < 10.0, "network at {total}% of die");
+        assert!(total > 7.0, "network implausibly small at {total}%");
+    }
+
+    #[test]
+    fn table1_shape_holds() {
+        // Channel adapters > routers > endpoint adapters (Table 1:
+        // 4.7 / 3.4 / 1.1).
+        let m = AreaModel::anton();
+        let r = m.die_fraction(Component::Router);
+        let e = m.die_fraction(Component::Endpoint);
+        let c = m.die_fraction(Component::Channel);
+        assert!(c > r && r > e, "die fractions r={r:.2} e={e:.2} c={c:.2}");
+        assert!((r - 3.4).abs() < 1.0, "router {r:.2}% vs paper 3.4%");
+        assert!((e - 1.1).abs() < 0.6, "endpoint {e:.2}% vs paper 1.1%");
+        assert!((c - 4.7).abs() < 1.2, "channel {c:.2}% vs paper 4.7%");
+    }
+
+    #[test]
+    fn queues_dominate_and_arbiters_are_small() {
+        let m = AreaModel::anton();
+        let queues = m.category_percent(Category::Queues);
+        let arbiters = m.category_percent(Category::Arbiters);
+        assert!((queues - 46.6).abs() < 6.0, "queues {queues:.1}% vs paper 46.6%");
+        assert!((arbiters - 5.4).abs() < 2.5, "arbiters {arbiters:.1}% vs paper 5.4%");
+        for cat in Category::ALL {
+            assert!(m.category_percent(cat) < queues + 1e-9, "{} exceeds queues", cat.name());
+        }
+        let total: f64 = Category::ALL.iter().map(|c| m.category_percent(*c)).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arbiter_storage_dominates_arbiter_logic() {
+        // "Approximately three-quarters of the arbiter area is dedicated to
+        // storing the inverse-weight values, the accumulator values, and the
+        // accumulator update logic."
+        let p = AreaParams::default();
+        let k = 6.0;
+        let storage =
+            k * (p.num_patterns * p.m_bits + p.m_bits + 1.0) * p.per_arbiter_storage_bit;
+        let logic = k * p.arbiter_logic_per_input;
+        let frac = storage / (storage + logic);
+        assert!((frac - 0.75).abs() < 0.05, "storage fraction {frac:.2}");
+    }
+
+    #[test]
+    fn baseline_vc_policy_inflates_queue_area() {
+        // The 2n-VC baseline needs 6 T-group VCs instead of 4: T-group
+        // buffers grow by exactly half — the motivation for the promotion
+        // algorithm.
+        let anton = AreaModel::anton();
+        let baseline = AreaModel::new(
+            AreaParams::default(),
+            ChipLayout::new(23),
+            VcPolicy::Baseline2n,
+        );
+        let ca = anton.area(Component::Channel, Category::Queues);
+        let cb = baseline.area(Component::Channel, Category::Queues);
+        assert!((cb / ca - 1.5).abs() < 1e-9, "T-group buffers grow by exactly 6/4");
+        let a = anton.area(Component::Router, Category::Queues);
+        let b = baseline.area(Component::Router, Category::Queues);
+        // Router ports are mostly M-group, so routers grow less than the
+        // all-T channel adapters.
+        assert!(b > a * 1.05, "router queues must grow: {b:.0} vs {a:.0}");
+        assert!(baseline.network_area() > anton.network_area() * 1.10);
+    }
+
+    #[test]
+    fn areas_are_finite_and_positive() {
+        let m = AreaModel::anton();
+        for comp in Component::ALL {
+            for cat in Category::ALL {
+                let a = m.area(comp, cat);
+                assert!(a.is_finite() && a >= 0.0, "{comp:?}/{cat:?} = {a}");
+            }
+        }
+        assert!(m.network_area() > 0.0);
+        assert_eq!(m.num_channel_adapters(), 12);
+    }
+}

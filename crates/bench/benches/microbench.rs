@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks over the core subsystems: arbiter decision
+//! latency (RTL-faithful vs constant-time form), the Section 2.4 worst-case
+//! search, expected-load analysis, multicast tree construction, go-back-N
+//! link slots, and simulator cycle throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anton_analysis::load::LoadAnalysis;
+use anton_analysis::worstcase;
+use anton_arbiter::priority::{priority_arb_fast2, priority_arb_rtl};
+use anton_arbiter::{ArbRequest, InverseWeightedArbiter, PortArbiter};
+use anton_core::chip::ChipLayout;
+use anton_core::config::MachineConfig;
+use anton_core::multicast::McTree;
+use anton_core::routing::DimOrder;
+use anton_core::topology::{NodeCoord, Slice, TorusShape};
+use anton_link::channel::{LinkParams, LinkSim};
+use anton_link::gobackn::GoBackNConfig;
+use anton_sim::driver::BatchDriver;
+use anton_sim::params::SimParams;
+use anton_sim::sim::Sim;
+use anton_traffic::md::{halo_dest_set, HaloSpec};
+use anton_traffic::patterns::UniformRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_arbiters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arbiter");
+    let pri = [1u8, 0, 1, 0, 1, 0];
+    g.bench_function("priority_arb_rtl_k6", |b| {
+        b.iter(|| priority_arb_rtl(black_box(0b101101), &pri, 0b000111, 6, 2))
+    });
+    g.bench_function("priority_arb_fast2_k6", |b| {
+        b.iter(|| priority_arb_fast2(black_box(0b101101), 0b010101, 0b000111))
+    });
+    let mut iw = InverseWeightedArbiter::new(vec![vec![10, 20]; 6], 5);
+    let reqs: Vec<ArbRequest> =
+        (0..6).map(|i| ArbRequest { input: i, pattern: (i % 2) as u8, age: 0 }).collect();
+    g.bench_function("inverse_weighted_pick_k6", |b| b.iter(|| iw.pick(black_box(&reqs))));
+    g.finish();
+}
+
+fn bench_worstcase(c: &mut Criterion) {
+    let chip = ChipLayout::default();
+    let mut g = c.benchmark_group("worstcase");
+    g.sample_size(10);
+    g.bench_function("sec24_full_search", |b| b.iter(|| worstcase::search(black_box(&chip))));
+    g.finish();
+}
+
+fn bench_loads(c: &mut Criterion) {
+    let cfg = MachineConfig::new(TorusShape::cube(2));
+    let mut g = c.benchmark_group("loads");
+    g.sample_size(10);
+    g.bench_function("load_analysis_uniform_k2", |b| {
+        b.iter(|| LoadAnalysis::compute(black_box(&cfg), &UniformRandom))
+    });
+    g.finish();
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    let cfg = MachineConfig::new(TorusShape::cube(8));
+    let src = NodeCoord::new(4, 4, 4);
+    let dests = halo_dest_set(&cfg, src, HaloSpec::default());
+    c.bench_function("multicast_tree_build_26halo", |b| {
+        b.iter(|| McTree::build(&cfg.shape, src, black_box(&dests), DimOrder::XYZ, Slice(0)))
+    });
+}
+
+fn bench_link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link");
+    g.sample_size(20);
+    g.bench_function("gobackn_1k_slots_ber1e4", |b| {
+        b.iter(|| {
+            let params = LinkParams { bit_error_rate: 1e-4, ..LinkParams::default() };
+            let mut sim = LinkSim::new(
+                params,
+                GoBackNConfig::default(),
+                StdRng::seed_from_u64(1),
+            );
+            sim.run_saturated(1_000)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("sim_uniform_batch8_k2", |b| {
+        b.iter(|| {
+            let cfg = MachineConfig::new(TorusShape::cube(2));
+            let mut sim = Sim::new(cfg, SimParams::default());
+            let mut drv = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), 8, 1);
+            sim.run(&mut drv, 1_000_000)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arbiters,
+    bench_worstcase,
+    bench_loads,
+    bench_multicast,
+    bench_link,
+    bench_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Figure 9: throughput of 2-hop neighbor and uniform random traffic versus
+//! batch size, with round-robin versus inverse-weighted arbitration.
+//!
+//! As in the paper, a single set of arbiter weights — derived from the
+//! channel loads of the *uniform* pattern — is used for all traffic
+//! patterns. Throughput is the batch size over the time to receive the last
+//! packet, normalized so 1.0 means full utilization of the torus channels.
+//!
+//! Defaults reproduce the paper's 8×8×8 machine; pass `--k 4` and smaller
+//! `--batches` for a quick run.
+
+use anton_analysis::load::LoadAnalysis;
+use anton_analysis::weights::ArbiterWeightSet;
+use anton_bench::{run_batch, saturation_rate, ArbiterSetup, Args};
+use anton_core::config::MachineConfig;
+use anton_core::pattern::TrafficPattern;
+use anton_core::topology::TorusShape;
+use anton_traffic::patterns::{NHopNeighbor, UniformRandom};
+
+fn main() {
+    let args = Args::capture();
+    let k: u8 = args.get("k", 8);
+    let batches = args.list("batches", &[64, 256, 1024]);
+    let seed: u64 = args.get("seed", 42);
+    let cfg = MachineConfig::new(TorusShape::cube(k));
+
+    println!("## Figure 9 — throughput beyond saturation ({k}x{k}x{k} torus, 16 cores/node)");
+    println!();
+    eprintln!("[fig9] computing uniform loads and arbiter weights...");
+    let uniform_analysis = LoadAnalysis::compute(&cfg, &UniformRandom);
+    let weights = ArbiterWeightSet::compute(&cfg, &[&uniform_analysis], 5);
+    let setups =
+        [ArbiterSetup::RoundRobin, ArbiterSetup::InverseWeighted(weights)];
+
+    let patterns: [(&str, Box<dyn Fn() -> Box<dyn TrafficPattern>>); 2] = [
+        ("uniform", Box::new(|| Box::new(UniformRandom))),
+        ("2-hop-neighbor", Box::new(|| Box::new(NHopNeighbor::new(2)))),
+    ];
+
+    println!(
+        "{:<16} {:<18} {:>8} {:>12} {:>10} {:>10}",
+        "pattern", "arbiter", "batch", "normalized", "cycles", "peak-util"
+    );
+    for (name, make) in &patterns {
+        let sat = saturation_rate(&cfg, make().as_ref());
+        eprintln!("[fig9] {name}: saturation rate {sat:.5} pkts/cycle/core");
+        for setup in &setups {
+            for &batch in &batches {
+                let point = run_batch(
+                    &cfg,
+                    vec![(make(), 1.0)],
+                    batch,
+                    setup,
+                    sat,
+                    seed ^ batch,
+                );
+                println!(
+                    "{:<16} {:<18} {:>8} {:>12.3} {:>10} {:>10.3}",
+                    name,
+                    setup.label(),
+                    point.batch,
+                    point.normalized,
+                    point.cycles,
+                    point.peak_utilization
+                );
+            }
+        }
+    }
+    println!();
+    println!("Paper shape: round-robin falls well below the inverse-weighted curves as");
+    println!("batch size grows (uniform below 0.6 at 8x8x8); inverse-weighted saturates");
+    println!("near 0.9 and holds it.");
+}

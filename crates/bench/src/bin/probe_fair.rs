@@ -1,0 +1,68 @@
+//! Diagnostic: per-source batch-completion fairness, round-robin versus
+//! fully weighted arbitration, printing completion-time percentiles.
+//! Usage: `probe_fair <k> <batch>`.
+use anton_analysis::load::LoadAnalysis;
+use anton_analysis::weights::ArbiterWeightSet;
+use anton_arbiter::ArbiterKind;
+use anton_core::config::MachineConfig;
+use anton_core::topology::TorusShape;
+use anton_sim::driver::BatchDriver;
+use anton_sim::params::SimParams;
+use anton_sim::sim::{Delivery, Driver, RunOutcome, Sim};
+use anton_traffic::patterns::UniformRandom;
+
+struct FairBatch {
+    inner: BatchDriver,
+    // completion cycle per source endpoint
+    sent_remaining: Vec<u64>,
+    finish: Vec<u64>,
+}
+impl Driver for FairBatch {
+    fn pre_cycle(&mut self, sim: &mut Sim) { self.inner.pre_cycle(sim) }
+    fn on_delivery(&mut self, sim: &mut Sim, d: &Delivery) {
+        if let Delivery::Packet(p) = d {
+            let idx = sim.cfg.endpoint_index(p.src);
+            self.sent_remaining[idx] -= 1;
+            if self.sent_remaining[idx] == 0 { self.finish[idx] = sim.now(); }
+        }
+        self.inner.on_delivery(sim, d)
+    }
+    fn done(&self, sim: &Sim) -> bool { self.inner.done(sim) }
+}
+
+fn main() {
+    let k: u8 = std::env::args().nth(1).map(|s| s.parse().unwrap()).unwrap_or(4);
+    let batch: u64 = std::env::args().nth(2).map(|s| s.parse().unwrap()).unwrap_or(1024);
+    let cfg = MachineConfig::new(TorusShape::cube(k));
+    let analysis = LoadAnalysis::compute(&cfg, &UniformRandom);
+    let sat = analysis.saturation_injection_rate(14.0 / 45.0);
+    let weights = ArbiterWeightSet::compute(&cfg, &[&analysis], 5);
+    for kind in ["rr", "iw"] {
+        let mut params = SimParams::default();
+        params.arbiter = if kind == "rr" { ArbiterKind::RoundRobin } else { ArbiterKind::InverseWeighted { m_bits: 5 } };
+        let mut sim = Sim::new(cfg.clone(), params);
+        if kind == "iw" {
+            for ((node, router, out), table) in &weights.tables {
+                sim.set_arbiter_weights(*node, *router, *out, table.clone(), 5);
+            }
+            for ((node, chan), table) in &weights.chan_tables {
+                sim.set_chan_arbiter_weights(*node, *chan, table.clone(), 5);
+            }
+            for ((node, router, port), table) in &weights.input_tables {
+                sim.set_input_arbiter_weights(*node, *router, *port, table.clone(), 5);
+            }
+        }
+        let n = cfg.num_endpoints();
+        let inner = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), batch, 42);
+        let mut drv = FairBatch { inner, sent_remaining: vec![batch; n], finish: vec![0; n] };
+        let t0 = std::time::Instant::now();
+        assert_eq!(sim.run(&mut drv, 200_000_000), RunOutcome::Completed);
+        let mut f = drv.finish.clone();
+        f.sort_unstable();
+        let pct = |p: f64| f[((f.len() - 1) as f64 * p) as usize];
+        eprintln!(
+            "{kind} k{k} b{batch}: thr {:.3} | src-finish p10 {} p50 {} p90 {} p100 {} | wall {:.0?}",
+            drv.inner.throughput() / sat, pct(0.1), pct(0.5), pct(0.9), pct(1.0), t0.elapsed()
+        );
+    }
+}

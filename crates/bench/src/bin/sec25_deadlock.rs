@@ -1,0 +1,77 @@
+//! Section 2.5: deadlock avoidance.
+//!
+//! Builds the full unicast VC dependency graph for the Anton n+1-VC
+//! promotion algorithm, the prior 2n-VC scheme, and the single-VC negative
+//! control, reporting acyclicity and VC budgets — then demonstrates the
+//! negative control actually deadlocking (and Anton draining) in live
+//! simulation.
+
+use anton_analysis::deadlock::{build_unicast_dep_graph, RouteEnumeration};
+use anton_bench::Args;
+use anton_core::chip::LinkGroup;
+use anton_core::config::MachineConfig;
+use anton_core::topology::TorusShape;
+use anton_core::vc::VcPolicy;
+use anton_sim::driver::BatchDriver;
+use anton_sim::params::SimParams;
+use anton_sim::sim::Sim;
+use anton_traffic::patterns::NodePermutation;
+
+fn main() {
+    let args = Args::capture();
+    let k: u8 = args.get("k", 4);
+    println!("## Section 2.5 — VC promotion and deadlock freedom ({k}x{k}x{k})");
+    println!();
+    println!(
+        "{:<16} {:>6} {:>6} {:>10} {:>10} {:>9}",
+        "policy", "M-VCs", "T-VCs", "nodes", "edges", "acyclic"
+    );
+    for policy in [VcPolicy::Anton, VcPolicy::Baseline2n, VcPolicy::NaiveSingle] {
+        let mut cfg = MachineConfig::new(TorusShape::cube(k));
+        cfg.vc_policy = policy;
+        let graph = build_unicast_dep_graph(&cfg, &RouteEnumeration::default());
+        let cycle = graph.find_cycle();
+        println!(
+            "{:<16} {:>6} {:>6} {:>10} {:>10} {:>9}",
+            policy.to_string(),
+            policy.num_vcs(LinkGroup::M),
+            policy.num_vcs(LinkGroup::T),
+            graph.num_nodes(),
+            graph.num_edges(),
+            if cycle.is_none() { "yes" } else { "NO" }
+        );
+        if let Some(c) = cycle {
+            println!("    cycle of length {} through {} ...", c.len(), c[0].0);
+        }
+    }
+    println!();
+    println!("The Anton policy needs n+1 = 4 VCs per class for both groups; the prior");
+    println!("approach needs 2n = 6 T-group VCs — one-third more (Section 2.5).");
+
+    // Live demonstration: ring-wrap traffic.
+    println!();
+    println!("Live check — all nodes send k/2 hops around the X ring:");
+    let perm: Vec<u32> = (0..u32::from(k)).map(|x| (x + u32::from(k) / 2) % u32::from(k)).collect();
+    for policy in [VcPolicy::NaiveSingle, VcPolicy::Anton] {
+        let mut cfg = MachineConfig::new(TorusShape::new(k, 1, 1));
+        cfg.vc_policy = policy;
+        let mut params = SimParams::default();
+        params.buffer_depth = 2;
+        params.watchdog_cycles = 5_000;
+        let mut sim = Sim::new(cfg, params);
+        let mut drv = BatchDriver::uniform_pattern(
+            &sim,
+            Box::new(NodePermutation::new(perm.clone())),
+            400,
+            7,
+        );
+        let outcome = sim.run(&mut drv, 10_000_000);
+        println!(
+            "  {:<16} -> {:?} after {} cycles ({} packets stuck)",
+            policy.to_string(),
+            outcome,
+            sim.now(),
+            sim.live_packets()
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Table 1: contributions of the network component types to total die area.
+
+use anton_area::{AreaModel, Component};
+
+fn main() {
+    let model = AreaModel::anton();
+    println!("## Table 1 — network component die-area contributions");
+    println!();
+    println!("{:<20} {:>16} {:>12} {:>12}", "Component", "Component count", "% die", "paper");
+    let paper = [3.4, 1.1, 4.7];
+    let counts = [16, 23, 12];
+    let mut total = 0.0;
+    for (i, comp) in Component::ALL.iter().enumerate() {
+        let pct = model.die_fraction(*comp);
+        total += pct;
+        println!("{:<20} {:>16} {:>11.1}% {:>11.1}%", comp.name(), counts[i], pct, paper[i]);
+    }
+    println!();
+    println!("Network total: {total:.1}% of die (paper: 9.2%, 'less than 10%')");
+}

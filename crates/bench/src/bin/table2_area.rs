@@ -1,0 +1,57 @@
+//! Table 2: network area by category and component, plus the VC-count
+//! ablation (`--baseline-vcs` evaluates the prior 2n-VC scheme the paper's
+//! promotion algorithm replaces).
+
+use anton_area::{AreaModel, AreaParams, Category, Component};
+use anton_bench::Args;
+use anton_core::chip::ChipLayout;
+use anton_core::vc::VcPolicy;
+
+fn print_table(model: &AreaModel) {
+    println!(
+        "{:<16} {:>8} {:>10} {:>9} {:>8}",
+        "Category", "Router", "Endpoint", "Channel", "Total"
+    );
+    for cat in Category::ALL {
+        let r = model.network_percent(Component::Router, cat);
+        let e = model.network_percent(Component::Endpoint, cat);
+        let c = model.network_percent(Component::Channel, cat);
+        println!(
+            "{:<16} {:>7.1} {:>9.1} {:>8.1} {:>7.1}",
+            cat.name(),
+            r,
+            e,
+            c,
+            model.category_percent(cat)
+        );
+    }
+}
+
+fn main() {
+    let args = Args::capture();
+    println!("## Table 2 — network area by category (% of network area)");
+    println!();
+    let anton = AreaModel::anton();
+    print_table(&anton);
+    println!();
+    println!("Paper totals: Queues 46.6, Reduction 9.6, Link 8.9, Configuration 8.6,");
+    println!("Debug 7.8, Miscellaneous 7.3, Multicast 5.7, Arbiters 5.4.");
+
+    if args.has("baseline-vcs") {
+        println!();
+        println!("## Ablation — 2n-VC baseline [20] instead of the n+1 promotion algorithm");
+        println!();
+        let baseline =
+            AreaModel::new(AreaParams::default(), ChipLayout::new(23), VcPolicy::Baseline2n);
+        print_table(&baseline);
+        let growth = 100.0 * (baseline.network_area() / anton.network_area() - 1.0);
+        let q_a = anton.category_percent(Category::Queues) * anton.network_area() / 100.0;
+        let q_b = baseline.category_percent(Category::Queues) * baseline.network_area() / 100.0;
+        println!();
+        println!(
+            "Network area grows {growth:.1}% (queue area +{:.1}%) without VC promotion —",
+            100.0 * (q_b / q_a - 1.0)
+        );
+        println!("the area motivation for the Section 2.5 algorithm.");
+    }
+}

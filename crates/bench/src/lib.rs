@@ -1,0 +1,198 @@
+//! # anton-bench
+//!
+//! Experiment runners and benchmarks regenerating every table and figure of
+//! *"Unifying on-chip and inter-node switching within the Anton 2 network"*
+//! (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+//! results). Each `src/bin/figN_*.rs` / `tableN_*.rs` binary prints the
+//! rows or series of the corresponding paper exhibit.
+//!
+//! This library hosts the shared harness: weight installation, saturation
+//! normalization, and the batch-throughput measurement loop.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use anton_analysis::load::LoadAnalysis;
+use anton_analysis::weights::ArbiterWeightSet;
+use anton_arbiter::ArbiterKind;
+use anton_core::config::MachineConfig;
+use anton_core::pattern::TrafficPattern;
+use anton_sim::driver::BatchDriver;
+use anton_sim::params::{SimParams, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN};
+use anton_sim::sim::{RunOutcome, Sim};
+
+/// Effective torus-channel capacity in packets per cycle (single-flit
+/// packets).
+pub fn torus_capacity() -> f64 {
+    f64::from(TORUS_TOKEN_GAIN) / f64::from(TORUS_TOKEN_COST)
+}
+
+/// Installs a weight set at every router output arbiter and channel
+/// serializer the analysis covered.
+pub fn apply_weights(sim: &mut Sim, weights: &ArbiterWeightSet) {
+    for ((node, router, out), table) in &weights.tables {
+        sim.set_arbiter_weights(*node, *router, *out, table.clone(), weights.m_bits);
+    }
+    for ((node, chan), table) in &weights.chan_tables {
+        sim.set_chan_arbiter_weights(*node, *chan, table.clone(), weights.m_bits);
+    }
+    for ((node, router, port), table) in &weights.input_tables {
+        sim.set_input_arbiter_weights(*node, *router, *port, table.clone(), weights.m_bits);
+    }
+}
+
+/// Which arbitration configuration a throughput run uses.
+#[derive(Debug, Clone)]
+pub enum ArbiterSetup {
+    /// Plain round-robin everywhere.
+    RoundRobin,
+    /// Inverse-weighted arbiters programmed from the given weight set.
+    InverseWeighted(ArbiterWeightSet),
+}
+
+impl ArbiterSetup {
+    /// Label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArbiterSetup::RoundRobin => "round-robin",
+            ArbiterSetup::InverseWeighted(_) => "inverse-weighted",
+        }
+    }
+}
+
+/// Result of one batch-throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPoint {
+    /// Packets per endpoint in the batch.
+    pub batch: u64,
+    /// Measured throughput normalized so 1.0 = full torus-channel
+    /// utilization for the pattern.
+    pub normalized: f64,
+    /// Completion time in cycles.
+    pub cycles: u64,
+    /// Peak torus-channel utilization observed (fraction of effective
+    /// bandwidth).
+    pub peak_utilization: f64,
+}
+
+/// Runs one batch-throughput measurement (the Figure 9/10 procedure): all
+/// cores send `batch` packets of the blended pattern; throughput is the
+/// batch size over the time of the last delivery, normalized by the
+/// pattern's analytic saturation rate.
+///
+/// # Panics
+///
+/// Panics if the run deadlocks or exceeds the cycle budget.
+pub fn run_batch(
+    cfg: &MachineConfig,
+    components: Vec<(Box<dyn TrafficPattern>, f64)>,
+    batch: u64,
+    setup: &ArbiterSetup,
+    saturation_rate: f64,
+    seed: u64,
+) -> ThroughputPoint {
+    let mut params = SimParams::default();
+    params.arbiter = match setup {
+        ArbiterSetup::RoundRobin => ArbiterKind::RoundRobin,
+        ArbiterSetup::InverseWeighted(w) => ArbiterKind::InverseWeighted { m_bits: w.m_bits },
+    };
+    let mut sim = Sim::new(cfg.clone(), params);
+    if let ArbiterSetup::InverseWeighted(w) = setup {
+        apply_weights(&mut sim, w);
+    }
+    let mut driver = BatchDriver::blended(&sim, components, batch, seed);
+    let outcome = sim.run(&mut driver, 600_000_000);
+    assert_eq!(outcome, RunOutcome::Completed, "batch run did not complete: {outcome:?}");
+    ThroughputPoint {
+        batch,
+        normalized: driver.throughput() / saturation_rate,
+        cycles: driver.finish_cycle,
+        peak_utilization: sim.max_torus_utilization(),
+    }
+}
+
+/// Computes a pattern's analytic saturation injection rate on a machine.
+pub fn saturation_rate(cfg: &MachineConfig, pattern: &dyn TrafficPattern) -> f64 {
+    LoadAnalysis::compute(cfg, pattern).saturation_injection_rate(torus_capacity())
+}
+
+/// Parses `--key value` style arguments with defaults; tiny helper for the
+/// experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn capture() -> Args {
+        Args { argv: std::env::args().collect() }
+    }
+
+    /// The value following `--key`, parsed, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value fails to parse.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        let flag = format!("--{key}");
+        self.argv
+            .iter()
+            .position(|a| *a == flag)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("bad --{key}: {e:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare `--flag` is present.
+    pub fn has(&self, key: &str) -> bool {
+        let flag = format!("--{key}");
+        self.argv.iter().any(|a| *a == flag)
+    }
+
+    /// A comma-separated list following `--key`, or `default`.
+    pub fn list(&self, key: &str, default: &[u64]) -> Vec<u64> {
+        let flag = format!("--{key}");
+        self.argv
+            .iter()
+            .position(|a| *a == flag)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().parse().expect("bad list entry"))
+                    .collect()
+            })
+            .unwrap_or_else(|| default.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_core::topology::TorusShape;
+    use anton_traffic::patterns::UniformRandom;
+
+    #[test]
+    fn capacity_is_effective_over_mesh() {
+        assert!((torus_capacity() - 89.6 / 288.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_run_completes_on_tiny_machine() {
+        let cfg = MachineConfig::new(TorusShape::cube(2));
+        let sat = saturation_rate(&cfg, &UniformRandom);
+        let p = run_batch(
+            &cfg,
+            vec![(Box::new(UniformRandom), 1.0)],
+            20,
+            &ArbiterSetup::RoundRobin,
+            sat,
+            1,
+        );
+        assert!(p.normalized > 0.1 && p.normalized < 1.2, "normalized {}", p.normalized);
+        assert!(p.cycles > 0);
+    }
+}

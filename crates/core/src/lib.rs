@@ -1,0 +1,68 @@
+//! # anton-core
+//!
+//! Core model of the Anton 2 unified network, reproducing *"Unifying on-chip
+//! and inter-node switching within the Anton 2 network"* (ISCA 2014).
+//!
+//! The Anton 2 supercomputer connects its ASICs in a channel-sliced 3D torus
+//! and reuses each chip's 4×4 on-chip mesh as the switch for inter-node
+//! traffic. This crate models everything structural about that network:
+//!
+//! * [`topology`] — the torus, its coordinates, slices, and datelines;
+//! * [`chip`] — the on-chip mesh, skip channels, and adapter floorplan;
+//! * [`routing`] — oblivious minimal dimension-order inter-node routing;
+//! * [`onchip`] — direction-order on-chip routing (V⁻, U⁺, U⁻, V⁺);
+//! * [`vc`] — the n+1-VC promotion algorithm for deadlock avoidance, plus
+//!   the 2n baseline;
+//! * [`multicast`] — table-based multicast trees;
+//! * [`packet`] — fine-grained packets and flits;
+//! * [`trace`] — the reference link-level route semantics;
+//! * [`pattern`] — the traffic-pattern abstraction;
+//! * [`config`] — machine-level configuration.
+//!
+//! # Examples
+//!
+//! Trace a packet across a 512-node machine:
+//!
+//! ```
+//! use anton_core::config::{GlobalEndpoint, MachineConfig};
+//! use anton_core::chip::LocalEndpointId;
+//! use anton_core::routing::{DimOrder, RouteSpec};
+//! use anton_core::topology::{NodeCoord, Slice, TorusShape};
+//! use anton_core::trace::trace_unicast;
+//!
+//! let cfg = MachineConfig::new(TorusShape::cube(8));
+//! let src = GlobalEndpoint { node: cfg.shape.id(NodeCoord::new(0, 0, 0)), ep: LocalEndpointId(0) };
+//! let dst = GlobalEndpoint { node: cfg.shape.id(NodeCoord::new(3, 5, 1)), ep: LocalEndpointId(9) };
+//! let spec = RouteSpec::deterministic(
+//!     &cfg.shape,
+//!     NodeCoord::new(0, 0, 0),
+//!     NodeCoord::new(3, 5, 1),
+//!     DimOrder::XYZ,
+//!     Slice(0),
+//! );
+//! let steps = trace_unicast(&cfg, src, dst, &spec);
+//! assert!(!steps.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chip;
+pub mod config;
+pub mod multicast;
+pub mod onchip;
+pub mod packet;
+pub mod pattern;
+pub mod routing;
+pub mod topology;
+pub mod trace;
+pub mod vc;
+
+pub use chip::{ChanId, ChipLayout, LocalEndpointId, MeshCoord, MeshDir};
+pub use config::{GlobalEndpoint, MachineConfig};
+pub use onchip::DirOrder;
+pub use packet::{Packet, Payload};
+pub use pattern::{Flow, TrafficPattern};
+pub use routing::{DimOrder, RouteSpec};
+pub use topology::{Dim, NodeCoord, NodeId, Sign, Slice, TorusDir, TorusShape};
+pub use vc::{TrafficClass, Vc, VcPolicy, VcState};

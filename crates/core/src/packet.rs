@@ -1,0 +1,283 @@
+//! Packets and flits (Section 2.1).
+//!
+//! The Anton 2 network is optimized for fine-grained packets: a typical
+//! packet carries 16 bytes of payload and 8 bytes of header (24 bytes — one
+//! flit), and the largest packet carries 32 bytes of payload and 16 bytes of
+//! header (48 bytes — two flits). Mesh channels are 192 bits wide, so the
+//! common-case packet crosses a channel in a single cycle.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::config::GlobalEndpoint;
+use crate::multicast::McGroupId;
+use crate::vc::TrafficClass;
+
+/// Bytes per flit (192-bit mesh channels).
+pub const FLIT_BYTES: usize = 24;
+/// Header bytes carried per flit.
+pub const HEADER_BYTES_PER_FLIT: usize = 8;
+/// Payload bytes per flit.
+pub const PAYLOAD_BYTES_PER_FLIT: usize = FLIT_BYTES - HEADER_BYTES_PER_FLIT;
+/// Maximum payload bytes in one packet.
+pub const MAX_PAYLOAD_BYTES: usize = 2 * PAYLOAD_BYTES_PER_FLIT;
+
+/// Tag naming which pre-characterized traffic pattern a packet belongs to.
+///
+/// The inverse-weighted arbiters look this field up to select the weight to
+/// charge (Section 3.3; the Anton 2 implementation supports two patterns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PatternId(pub u8);
+
+impl fmt::Display for PatternId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a counted-write synchronization counter at an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CounterId(pub u16);
+
+/// Where a packet is going.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Destination {
+    /// A single endpoint.
+    Unicast(GlobalEndpoint),
+    /// A multicast group; the tree index selects among the group's
+    /// alternative routing trees (Figure 3 alternates between two).
+    Multicast {
+        /// The multicast group whose tables route this packet.
+        group: McGroupId,
+        /// Which of the group's trees to follow.
+        tree: u8,
+    },
+}
+
+/// Packet payload: up to 32 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Payload {
+    bytes: [u8; MAX_PAYLOAD_BYTES],
+    len: u8,
+}
+
+impl Payload {
+    /// An empty payload (header-only packet, still one flit).
+    pub fn empty() -> Payload {
+        Payload { bytes: [0; MAX_PAYLOAD_BYTES], len: 0 }
+    }
+
+    /// A payload of `len` zero bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn zeros(len: usize) -> Payload {
+        assert!(len <= MAX_PAYLOAD_BYTES, "payload of {len} bytes exceeds maximum");
+        Payload { bytes: [0; MAX_PAYLOAD_BYTES], len: len as u8 }
+    }
+
+    /// A payload of `len` bytes of `0xFF`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn ones(len: usize) -> Payload {
+        assert!(len <= MAX_PAYLOAD_BYTES, "payload of {len} bytes exceeds maximum");
+        let mut bytes = [0u8; MAX_PAYLOAD_BYTES];
+        bytes[..len].fill(0xFF);
+        Payload { bytes, len: len as u8 }
+    }
+
+    /// A payload of `len` uniformly random bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Payload {
+        assert!(len <= MAX_PAYLOAD_BYTES, "payload of {len} bytes exceeds maximum");
+        let mut bytes = [0u8; MAX_PAYLOAD_BYTES];
+        rng.fill(&mut bytes[..len]);
+        Payload { bytes, len: len as u8 }
+    }
+
+    /// A payload copied from a byte slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds 32 bytes.
+    pub fn from_bytes(data: &[u8]) -> Payload {
+        assert!(data.len() <= MAX_PAYLOAD_BYTES, "payload exceeds maximum");
+        let mut bytes = [0u8; MAX_PAYLOAD_BYTES];
+        bytes[..data.len()].copy_from_slice(data);
+        Payload { bytes, len: data.len() as u8 }
+    }
+
+    /// Payload length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the payload is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The payload bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Number of set bits in the payload (the `n` of the energy model).
+    pub fn set_bits(&self) -> u32 {
+        self.as_bytes().iter().map(|b| b.count_ones()).sum()
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Payload {
+        Payload::empty()
+    }
+}
+
+/// A network packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Injecting endpoint.
+    pub src: GlobalEndpoint,
+    /// Destination (unicast endpoint or multicast group).
+    pub dst: Destination,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Traffic-pattern tag for inverse-weighted arbitration.
+    pub pattern: PatternId,
+    /// Counted-write counter to decrement at the destination, if any.
+    pub counter: Option<CounterId>,
+    /// Payload bytes.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// A remote write of `payload` from `src` to `dst`.
+    pub fn write(src: GlobalEndpoint, dst: GlobalEndpoint, payload: Payload) -> Packet {
+        Packet {
+            src,
+            dst: Destination::Unicast(dst),
+            class: TrafficClass::Request,
+            pattern: PatternId(0),
+            counter: None,
+            payload,
+        }
+    }
+
+    /// Number of flits this packet occupies on a channel.
+    #[inline]
+    pub fn num_flits(&self) -> usize {
+        if self.payload.len() <= PAYLOAD_BYTES_PER_FLIT {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// The 192-bit image of flit `idx` as three 64-bit words, used by the
+    /// energy model to count bit transitions on the router datapath.
+    ///
+    /// Word 0 is a deterministic encoding of the header fields; words 1–2
+    /// are the payload bytes carried by this flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.num_flits()`.
+    pub fn flit_words(&self, idx: usize) -> [u64; 3] {
+        assert!(idx < self.num_flits(), "flit index {idx} out of range");
+        let dst_word = match self.dst {
+            Destination::Unicast(ep) => {
+                (u64::from(ep.node.0) << 8) | u64::from(ep.ep.0)
+            }
+            Destination::Multicast { group, tree } => {
+                (1u64 << 63) | (u64::from(group.0) << 8) | u64::from(tree)
+            }
+        };
+        let header = dst_word
+            ^ (u64::from(self.src.node.0) << 40)
+            ^ (u64::from(self.src.ep.0) << 56)
+            ^ ((self.class.index() as u64) << 33)
+            ^ ((u64::from(self.pattern.0)) << 34)
+            ^ ((idx as u64) << 32);
+        let mut words = [header, 0, 0];
+        let base = idx * PAYLOAD_BYTES_PER_FLIT;
+        for w in 0..2 {
+            let mut word = 0u64;
+            for b in 0..8 {
+                let off = base + w * 8 + b;
+                if off < self.payload.len() {
+                    word |= u64::from(self.payload.as_bytes()[off]) << (8 * b);
+                }
+            }
+            words[1 + w] = word;
+        }
+        words
+    }
+}
+
+/// Hamming distance between two flit images (bit flips on a 192-bit channel).
+pub fn flit_hamming(a: &[u64; 3], b: &[u64; 3]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::LocalEndpointId;
+    use crate::topology::NodeId;
+
+    fn ep(node: u32, e: u8) -> GlobalEndpoint {
+        GlobalEndpoint { node: NodeId(node), ep: LocalEndpointId(e) }
+    }
+
+    #[test]
+    fn common_case_packet_is_one_flit() {
+        let p = Packet::write(ep(0, 0), ep(5, 3), Payload::zeros(16));
+        assert_eq!(p.num_flits(), 1);
+        let p = Packet::write(ep(0, 0), ep(5, 3), Payload::zeros(17));
+        assert_eq!(p.num_flits(), 2);
+        let p = Packet::write(ep(0, 0), ep(5, 3), Payload::zeros(32));
+        assert_eq!(p.num_flits(), 2);
+    }
+
+    #[test]
+    fn payload_bit_counts() {
+        assert_eq!(Payload::zeros(16).set_bits(), 0);
+        assert_eq!(Payload::ones(16).set_bits(), 128);
+        assert_eq!(Payload::from_bytes(&[0x0F, 0xF0]).set_bits(), 8);
+    }
+
+    #[test]
+    fn flit_words_differ_between_flits() {
+        let p = Packet::write(ep(1, 2), ep(3, 4), Payload::ones(32));
+        let w0 = p.flit_words(0);
+        let w1 = p.flit_words(1);
+        assert_ne!(w0, w1);
+        assert_eq!(w0[1], u64::MAX);
+        assert_eq!(w1[1], u64::MAX);
+    }
+
+    #[test]
+    fn hamming_counts_flips() {
+        let a = [0u64, 0, 0];
+        let b = [0b1011u64, 1, 0];
+        assert_eq!(flit_hamming(&a, &b), 4);
+        assert_eq!(flit_hamming(&b, &b), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds maximum")]
+    fn oversized_payload_rejected() {
+        Payload::zeros(33);
+    }
+}

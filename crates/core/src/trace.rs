@@ -1,0 +1,402 @@
+//! Link-level route tracing.
+//!
+//! Given a packet's routing decision, this module produces the exact
+//! sequence of directed links (with the virtual channel requested on each)
+//! the packet traverses through the whole machine — every on-chip mesh hop,
+//! skip channel, adapter link, and torus channel. The trace is the reference
+//! semantics of the network: the offline analyses (channel loads, arbiter
+//! weights, VC dependency graphs) are computed from it, and the simulator's
+//! incremental route computation is cross-checked against it in tests.
+
+use std::fmt;
+
+use crate::chip::{ChanId, LocalEndpointId, LocalLink, LinkGroup, MeshCoord};
+use crate::config::{GlobalEndpoint, MachineConfig};
+use crate::multicast::McGroup;
+use crate::routing::RouteSpec;
+use crate::topology::{Dim, NodeCoord, NodeId, Slice, TorusDir};
+use crate::vc::{Vc, VcState};
+
+/// A directed link anywhere in the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GlobalLink {
+    /// An on-chip link of one node.
+    Local {
+        /// The node containing the link.
+        node: NodeId,
+        /// The link within the node.
+        link: LocalLink,
+    },
+    /// A torus channel leaving `from` in direction `dir` on `slice`.
+    Torus {
+        /// Node the channel departs from.
+        from: NodeId,
+        /// Departing direction.
+        dir: TorusDir,
+        /// Torus slice.
+        slice: Slice,
+    },
+}
+
+impl GlobalLink {
+    /// The deadlock-analysis group of the link (torus channels are T-group).
+    #[inline]
+    pub fn group(&self) -> LinkGroup {
+        match self {
+            GlobalLink::Local { link, .. } => link.group(),
+            GlobalLink::Torus { .. } => LinkGroup::T,
+        }
+    }
+}
+
+impl fmt::Display for GlobalLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalLink::Local { node, link } => write!(f, "{node}/{link}"),
+            GlobalLink::Torus { from, dir, slice } => write!(f, "{from}/{dir}{slice}"),
+        }
+    }
+}
+
+/// One step of a traced route: the link taken and the VC requested on it.
+pub type TraceStep = (GlobalLink, Vc);
+
+/// Traces the complete link-level route of a unicast packet.
+///
+/// # Panics
+///
+/// Panics if `spec` does not route from `src`'s node to `dst`'s node.
+pub fn trace_unicast(
+    cfg: &MachineConfig,
+    src: GlobalEndpoint,
+    dst: GlobalEndpoint,
+    spec: &RouteSpec,
+) -> Vec<TraceStep> {
+    let hops = spec.hops();
+    let mut end = cfg.shape.coord(src.node);
+    for h in &hops {
+        end = cfg.shape.neighbor(end, *h);
+    }
+    assert_eq!(end, cfg.shape.coord(dst.node), "route spec does not reach destination");
+    trace_hops(cfg, cfg.shape.coord(src.node), Some(src.ep), &hops, spec.slice, Some(dst.ep))
+}
+
+/// Traces every root→leaf path of a multicast tree (one trace per delivered
+/// endpoint copy). Shared prefix links appear in multiple traces.
+pub fn trace_multicast(cfg: &MachineConfig, src: GlobalEndpoint, group: &McGroup) -> Vec<Vec<TraceStep>> {
+    let src_node = cfg.shape.coord(src.node);
+    let mut out = Vec::new();
+    for tree in &group.trees {
+        assert_eq!(tree.src, src_node, "multicast tree rooted elsewhere");
+        let walk = tree.traverse(&cfg.shape);
+        for (leaf, hops) in &walk.paths {
+            let entry = tree.entry(cfg.shape.id(*leaf)).expect("leaf has an entry");
+            for ep in &entry.local {
+                out.push(trace_hops(cfg, src_node, Some(src.ep), hops, tree.slice, Some(*ep)));
+            }
+        }
+    }
+    out
+}
+
+/// Replays an explicit torus-hop sequence through the machine, producing the
+/// full link-level trace.
+///
+/// * `src_ep`: if `Some`, the trace starts with the endpoint's injection
+///   link; otherwise it starts at the first node's arrival adapter (used for
+///   mid-route segments).
+/// * `final_ep`: if `Some`, the trace ends with ejection to that endpoint at
+///   the last node.
+///
+/// The hop sequence must be a valid dimension-order route: hops of the same
+/// dimension must be contiguous and share a direction, and each dimension
+/// must appear at most once.
+///
+/// # Panics
+///
+/// Panics if the hop sequence violates dimension-order routing, since the
+/// VC-promotion state machine is only defined for such routes.
+pub fn trace_hops(
+    cfg: &MachineConfig,
+    start: NodeCoord,
+    src_ep: Option<LocalEndpointId>,
+    hops: &[TorusDir],
+    slice: Slice,
+    final_ep: Option<LocalEndpointId>,
+) -> Vec<TraceStep> {
+    let chip = &cfg.chip;
+    let mut steps = Vec::new();
+    let mut vc = cfg.vc_policy.start();
+    let mut node = start;
+    // The router the packet's head currently sits at.
+    let mut cur_router = match src_ep {
+        Some(ep) => {
+            let r = chip.endpoint_router(ep);
+            steps.push((
+                GlobalLink::Local { node: cfg.shape.id(node), link: LocalLink::EpToRouter(ep) },
+                vc.vc_for(LinkGroup::M),
+            ));
+            r
+        }
+        None => {
+            // Mid-route segment: position at the first hop's departure router.
+            let first = hops.first().expect("segment trace needs at least one hop");
+            chip.chan_router(ChanId { dir: *first, slice })
+        }
+    };
+    let mut idx = 0;
+    while idx < hops.len() {
+        let dir = hops[idx];
+        // Count the contiguous run of hops in this dimension.
+        let run = hops[idx..].iter().take_while(|h| h.dim == dir.dim).count();
+        assert!(
+            hops[idx..idx + run].iter().all(|h| *h == dir),
+            "hops within a dimension must share a direction"
+        );
+        assert!(
+            hops[idx + run..].iter().all(|h| h.dim != dir.dim),
+            "dimension {} revisited — not a dimension-order route",
+            dir.dim
+        );
+        vc.begin_dim();
+        // M-phase: mesh hops from the current router to the departure adapter.
+        let depart = ChanId { dir, slice };
+        push_mesh_route(cfg, &mut steps, node, cur_router, chip.chan_router(depart), &vc);
+        cur_router = chip.chan_router(depart);
+        for h in 0..run {
+            if h > 0 {
+                // Through-route within an intermediate node.
+                if dir.dim == Dim::X {
+                    // Arrival router is the skip partner of the departure router.
+                    steps.push((
+                        GlobalLink::Local {
+                            node: cfg.shape.id(node),
+                            link: LocalLink::Skip { from: cur_router },
+                        },
+                        vc.vc_for(LinkGroup::T),
+                    ));
+                    cur_router =
+                        chip.skip_partner(cur_router).expect("X adapters sit on skip routers");
+                }
+                debug_assert_eq!(cur_router, chip.chan_router(depart));
+            }
+            steps.push((
+                GlobalLink::Local {
+                    node: cfg.shape.id(node),
+                    link: LocalLink::RouterToChan(depart),
+                },
+                vc.vc_for(LinkGroup::T),
+            ));
+            let crosses = cfg.shape.hop_crosses_dateline(node, dir);
+            let tvc = vc.torus_hop(crosses);
+            steps.push((
+                GlobalLink::Torus { from: cfg.shape.id(node), dir, slice },
+                tvc,
+            ));
+            node = cfg.shape.neighbor(node, dir);
+            let arrive = ChanId { dir: dir.opposite(), slice };
+            steps.push((
+                GlobalLink::Local {
+                    node: cfg.shape.id(node),
+                    link: LocalLink::ChanToRouter(arrive),
+                },
+                tvc,
+            ));
+            cur_router = chip.chan_router(arrive);
+        }
+        vc.end_dim();
+        idx += run;
+    }
+    if let Some(ep) = final_ep {
+        push_mesh_route(cfg, &mut steps, node, cur_router, chip.endpoint_router(ep), &vc);
+        steps.push((
+            GlobalLink::Local { node: cfg.shape.id(node), link: LocalLink::RouterToEp(ep) },
+            vc.vc_for(LinkGroup::M),
+        ));
+    }
+    steps
+}
+
+fn push_mesh_route(
+    cfg: &MachineConfig,
+    steps: &mut Vec<TraceStep>,
+    node: NodeCoord,
+    from: MeshCoord,
+    to: MeshCoord,
+    vc: &VcState,
+) {
+    let mut cur = from;
+    while let Some(d) = cfg.dir_order.next_dir(cur, to) {
+        steps.push((
+            GlobalLink::Local {
+                node: cfg.shape.id(node),
+                link: LocalLink::Mesh { from: cur, dir: d },
+            },
+            vc.vc_for(LinkGroup::M),
+        ));
+        cur = cur.step(d).expect("mesh route stays on chip");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::DimOrder;
+    use crate::topology::{Sign, TorusShape};
+    use crate::vc::VcPolicy;
+
+    fn cfg(k: u8) -> MachineConfig {
+        MachineConfig::new(TorusShape::cube(k))
+    }
+
+    fn ep(cfg: &MachineConfig, node: NodeCoord, e: u8) -> GlobalEndpoint {
+        GlobalEndpoint { node: cfg.shape.id(node), ep: LocalEndpointId(e) }
+    }
+
+    #[test]
+    fn x_through_uses_skip_channel() {
+        let cfg = cfg(4);
+        let src = ep(&cfg, NodeCoord::new(0, 0, 0), 0);
+        let dst = ep(&cfg, NodeCoord::new(2, 0, 0), 0);
+        let spec = RouteSpec::deterministic(
+            &cfg.shape,
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(2, 0, 0),
+            DimOrder::XYZ,
+            Slice(1),
+        );
+        let steps = trace_unicast(&cfg, src, dst, &spec);
+        let skips = steps
+            .iter()
+            .filter(|(l, _)| matches!(l, GlobalLink::Local { link: LocalLink::Skip { .. }, .. }))
+            .count();
+        // One intermediate node on the X through-route -> one skip traversal.
+        assert_eq!(skips, 1);
+    }
+
+    #[test]
+    fn yz_through_crosses_single_router() {
+        // A through Y packet must not use any mesh links at intermediate
+        // nodes: arrival and departure adapters share a router.
+        let cfg = cfg(4);
+        let src = ep(&cfg, NodeCoord::new(0, 0, 0), 0);
+        let dst = ep(&cfg, NodeCoord::new(0, 2, 0), 0);
+        let spec = RouteSpec::deterministic(
+            &cfg.shape,
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(0, 2, 0),
+            DimOrder::XYZ,
+            Slice(0),
+        );
+        let steps = trace_unicast(&cfg, src, dst, &spec);
+        let mid = cfg.shape.id(NodeCoord::new(0, 1, 0));
+        let mesh_at_mid = steps
+            .iter()
+            .filter(|(l, _)| {
+                matches!(l, GlobalLink::Local { node, link: LocalLink::Mesh { .. } } if *node == mid)
+            })
+            .count();
+        assert_eq!(mesh_at_mid, 0);
+    }
+
+    #[test]
+    fn vcs_never_exceed_policy_budget() {
+        let mut cfg = cfg(4);
+        for policy in [VcPolicy::Anton, VcPolicy::Baseline2n] {
+            cfg.vc_policy = policy;
+            for src_n in cfg.shape.nodes() {
+                for dst_n in cfg.shape.nodes() {
+                    for order in DimOrder::ALL {
+                        let spec = RouteSpec::deterministic(&cfg.shape, src_n, dst_n, order, Slice(0));
+                        let steps = trace_unicast(
+                            &cfg,
+                            ep(&cfg, src_n, 0),
+                            ep(&cfg, dst_n, 5),
+                            &spec,
+                        );
+                        for (link, vc) in steps {
+                            let budget = policy.num_vcs(link.group());
+                            assert!(
+                                vc.0 < budget,
+                                "{policy}: vc {vc} on {link} exceeds budget {budget}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_alternates_m_and_t_phases() {
+        let cfg = cfg(4);
+        let src = ep(&cfg, NodeCoord::new(0, 0, 0), 2);
+        let dst = ep(&cfg, NodeCoord::new(1, 1, 1), 7);
+        let spec = RouteSpec::deterministic(
+            &cfg.shape,
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(1, 1, 1),
+            DimOrder::XYZ,
+            Slice(0),
+        );
+        let steps = trace_unicast(&cfg, src, dst, &spec);
+        // Phases: M (inject + mesh), then T/M alternation, ending in M.
+        let groups: Vec<LinkGroup> = steps.iter().map(|(l, _)| l.group()).collect();
+        assert_eq!(*groups.first().unwrap(), LinkGroup::M);
+        assert_eq!(*groups.last().unwrap(), LinkGroup::M);
+        let mut phases = 1;
+        for w in groups.windows(2) {
+            if w[0] != w[1] {
+                phases += 1;
+            }
+        }
+        // 3 dimensions -> at most M,T,M,T,M,T,M = 7 phases.
+        assert!(phases <= 7, "got {phases} phases");
+    }
+
+    #[test]
+    fn intra_node_route_stays_on_vc0_mesh() {
+        let cfg = cfg(4);
+        let n = NodeCoord::new(2, 2, 2);
+        let steps = trace_unicast(
+            &cfg,
+            ep(&cfg, n, 0),
+            ep(&cfg, n, 15),
+            &RouteSpec::deterministic(&cfg.shape, n, n, DimOrder::XYZ, Slice(0)),
+        );
+        for (link, vc) in steps {
+            assert_eq!(link.group(), LinkGroup::M);
+            assert_eq!(vc, Vc(0));
+        }
+    }
+
+    #[test]
+    fn dateline_hop_bumps_torus_vc() {
+        let cfg = cfg(4);
+        let src_n = NodeCoord::new(3, 0, 0);
+        let dst_n = NodeCoord::new(1, 0, 0); // +X route crossing 3 -> 0
+        let spec = RouteSpec::deterministic(&cfg.shape, src_n, dst_n, DimOrder::XYZ, Slice(0));
+        assert_eq!(spec.offsets[0], 2);
+        let steps = trace_unicast(&cfg, ep(&cfg, src_n, 0), ep(&cfg, dst_n, 0), &spec);
+        let torus_vcs: Vec<Vc> = steps
+            .iter()
+            .filter(|(l, _)| matches!(l, GlobalLink::Torus { .. }))
+            .map(|(_, vc)| *vc)
+            .collect();
+        // First hop crosses the dateline (3 -> 0): vc 1; second hop keeps it.
+        assert_eq!(torus_vcs, vec![Vc(1), Vc(1)]);
+        // Final ejection is on M vc 1 (crossed, so no further promotion).
+        let (last, vc) = steps.last().unwrap();
+        assert!(matches!(last, GlobalLink::Local { link: LocalLink::RouterToEp(_), .. }));
+        assert_eq!(*vc, Vc(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "revisited")]
+    fn non_dimension_order_hops_rejected() {
+        let cfg = cfg(4);
+        let x = TorusDir::new(Dim::X, Sign::Plus);
+        let y = TorusDir::new(Dim::Y, Sign::Plus);
+        trace_hops(&cfg, NodeCoord::new(0, 0, 0), Some(LocalEndpointId(0)), &[x, y, x], Slice(0), None);
+    }
+}

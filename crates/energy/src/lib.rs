@@ -1,0 +1,28 @@
+//! # anton-energy
+//!
+//! Router energy model and measurement methodology of Section 4.5 of
+//! *"Unifying on-chip and inter-node switching within the Anton 2 network"*.
+//!
+//! The paper measures per-flit router energy by streaming single-flit
+//! packets from one core over two on-chip routes of different lengths,
+//! subtracting the two power measurements, and dividing by the route-length
+//! difference. It then fits the model
+//!
+//! ```text
+//! E = c₀ + c₁·h + (c₂ + c₃·n)(a/r)  pJ
+//! ```
+//!
+//! where `h` is the mean Hamming distance between successive valid flits,
+//! `n` the mean set payload bits, `r` the injection rate, and `a` the
+//! activation rate (idle→valid transitions). This crate reproduces the
+//! methodology end-to-end on the simulator: [`experiment`] produces the
+//! measurements and [`model`] fits the coefficients back out of them.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiment;
+pub mod model;
+
+pub use experiment::{measure_rate, EnergyMeasurement};
+pub use model::EnergyModel;

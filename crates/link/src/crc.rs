@@ -1,0 +1,75 @@
+//! CRC-16/CCITT-FALSE error detection for link frames.
+
+/// Polynomial for CRC-16/CCITT (x^16 + x^12 + x^5 + 1).
+const POLY: u16 = 0x1021;
+/// Initial register value (CCITT-FALSE variant).
+const INIT: u16 = 0xFFFF;
+
+/// Computes the CRC-16/CCITT-FALSE checksum of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The standard check value for "123456789".
+/// assert_eq!(anton_link::crc::crc16(b"123456789"), 0x29B1);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc = INIT;
+    for &byte in data {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ POLY } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// Whether `data` followed by its transmitted CRC verifies cleanly.
+pub fn verify(data: &[u8], transmitted_crc: u16) -> bool {
+    crc16(data) == transmitted_crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_check_value() {
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+        assert_eq!(crc16(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data = [0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02];
+        let crc = crc16(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data;
+                corrupted[byte] ^= 1 << bit;
+                assert!(!verify(&corrupted, crc), "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn detects_any_double_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..32),
+                                       a in 0usize..256, b in 0usize..256) {
+            let bits = data.len() * 8;
+            let (a, b) = (a % bits, b % bits);
+            prop_assume!(a != b);
+            let crc = crc16(&data);
+            let mut corrupted = data.clone();
+            corrupted[a / 8] ^= 1 << (a % 8);
+            corrupted[b / 8] ^= 1 << (b % 8);
+            prop_assert!(!verify(&corrupted, crc));
+        }
+
+        #[test]
+        fn clean_data_verifies(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert!(verify(&data, crc16(&data)));
+        }
+    }
+}

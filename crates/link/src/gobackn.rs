@@ -1,0 +1,263 @@
+//! Go-back-N retransmission (Section 2.2).
+//!
+//! The physical and link layers of each torus channel provide framing, error
+//! checking, and go-back-N retransmission. The sender keeps a window of
+//! unacknowledged data frames; the receiver only accepts the next in-order
+//! sequence number and acknowledges cumulatively. Corrupted frames are
+//! dropped by CRC and recovered by timeout-driven rewind.
+
+use std::collections::VecDeque;
+
+use crate::frame::{Frame, FrameKind, FLIT_BYTES};
+
+/// Go-back-N protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoBackNConfig {
+    /// Sender window in frames (must be < 128 so sequence-number halves
+    /// disambiguate).
+    pub window: u8,
+    /// Retransmission timeout in frame slots.
+    pub timeout: u64,
+}
+
+impl Default for GoBackNConfig {
+    fn default() -> GoBackNConfig {
+        GoBackNConfig { window: 16, timeout: 64 }
+    }
+}
+
+/// Signed distance from sequence number `a` to `b` (mod 256), in `-128..128`.
+fn seq_dist(a: u8, b: u8) -> i16 {
+    let d = b.wrapping_sub(a);
+    if d < 128 {
+        i16::from(d)
+    } else {
+        i16::from(d) - 256
+    }
+}
+
+/// Go-back-N sender state machine.
+#[derive(Debug, Clone)]
+pub struct Sender {
+    cfg: GoBackNConfig,
+    /// Oldest unacknowledged sequence number.
+    base: u8,
+    /// Unacknowledged payloads, `buffer[0]` has sequence `base`.
+    buffer: VecDeque<[u8; FLIT_BYTES]>,
+    /// Index into `buffer` of the next frame to (re)transmit.
+    cursor: usize,
+    /// Slot at which the current base frame was last sent.
+    base_sent_at: u64,
+    /// High-water mark of the transmit cursor, for retransmission
+    /// accounting (frames below it have been sent at least once).
+    high_water: usize,
+    /// Total data frames put on the wire.
+    pub frames_sent: u64,
+    /// Data frames that were retransmissions.
+    pub retransmissions: u64,
+}
+
+impl Sender {
+    /// Creates a sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is 0 or ≥ 128.
+    pub fn new(cfg: GoBackNConfig) -> Sender {
+        assert!(cfg.window > 0 && cfg.window < 128, "window must be in 1..128");
+        Sender {
+            cfg,
+            base: 0,
+            buffer: VecDeque::new(),
+            cursor: 0,
+            base_sent_at: 0,
+            high_water: 0,
+            frames_sent: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// Whether the window has room for a new flit.
+    pub fn can_accept(&self) -> bool {
+        self.buffer.len() < self.cfg.window as usize
+    }
+
+    /// Queues a new flit for transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full; check [`Sender::can_accept`] first.
+    pub fn offer(&mut self, payload: [u8; FLIT_BYTES]) {
+        assert!(self.can_accept(), "go-back-N window full");
+        self.buffer.push_back(payload);
+    }
+
+    /// Processes a (possibly stale) cumulative acknowledgement: `ack` is the
+    /// next sequence number the receiver expects.
+    pub fn on_ack(&mut self, ack: u8, now: u64) {
+        let advance = seq_dist(self.base, ack);
+        if advance <= 0 || advance as usize > self.buffer.len() {
+            return; // Stale or out-of-window ack.
+        }
+        for _ in 0..advance {
+            self.buffer.pop_front();
+        }
+        self.base = ack;
+        self.cursor = self.cursor.saturating_sub(advance as usize);
+        self.high_water = self.high_water.saturating_sub(advance as usize);
+        self.base_sent_at = now;
+    }
+
+    /// Produces the data frame for this slot, if any: the next unsent frame,
+    /// or — after a timeout — a rewind to the window base.
+    pub fn next_frame(&mut self, now: u64, ack_for_peer: u8) -> Option<Frame> {
+        if !self.buffer.is_empty()
+            && self.cursor > 0
+            && now.saturating_sub(self.base_sent_at) >= self.cfg.timeout
+        {
+            // Timeout: go back N — resend everything from the base.
+            self.cursor = 0;
+        }
+        if self.cursor >= self.buffer.len() {
+            return None;
+        }
+        let seq = self.base.wrapping_add(self.cursor as u8);
+        let payload = self.buffer[self.cursor];
+        if self.cursor == 0 {
+            self.base_sent_at = now;
+        }
+        if self.cursor < self.high_water {
+            self.retransmissions += 1;
+        }
+        self.cursor += 1;
+        self.frames_sent += 1;
+        self.high_water = self.high_water.max(self.cursor);
+        Some(Frame::data(seq, ack_for_peer, payload))
+    }
+
+    /// Unacknowledged frames currently buffered.
+    pub fn in_flight(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+/// Go-back-N receiver state machine.
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    expected: u8,
+    /// In-order flits delivered to the network layer.
+    pub delivered: Vec<[u8; FLIT_BYTES]>,
+}
+
+impl Receiver {
+    /// Creates a receiver expecting sequence number 0.
+    pub fn new() -> Receiver {
+        Receiver { expected: 0, delivered: Vec::new() }
+    }
+
+    /// Processes an arriving (already CRC-verified) frame. Returns the
+    /// cumulative ack to send back.
+    pub fn on_frame(&mut self, frame: &Frame) -> u8 {
+        if frame.kind == FrameKind::Data && frame.seq == self.expected {
+            self.delivered.push(frame.payload);
+            self.expected = self.expected.wrapping_add(1);
+        }
+        self.expected
+    }
+
+    /// The next expected sequence number (the cumulative ack value).
+    pub fn expected(&self) -> u8 {
+        self.expected
+    }
+}
+
+impl Default for Receiver {
+    fn default() -> Receiver {
+        Receiver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_distance_wraps() {
+        assert_eq!(seq_dist(250, 2), 8);
+        assert_eq!(seq_dist(2, 250), -8);
+        assert_eq!(seq_dist(7, 7), 0);
+    }
+
+    #[test]
+    fn lossless_in_order_delivery() {
+        let mut tx = Sender::new(GoBackNConfig::default());
+        let mut rx = Receiver::new();
+        let payloads: Vec<[u8; 24]> = (0..40u8).map(|i| [i; 24]).collect();
+        let mut offered = 0;
+        for now in 0..200u64 {
+            while offered < payloads.len() && tx.can_accept() {
+                tx.offer(payloads[offered]);
+                offered += 1;
+            }
+            if let Some(f) = tx.next_frame(now, 0) {
+                let ack = rx.on_frame(&f);
+                tx.on_ack(ack, now);
+            }
+        }
+        assert_eq!(rx.delivered, payloads);
+        assert_eq!(tx.retransmissions, 0);
+    }
+
+    #[test]
+    fn lost_frame_triggers_rewind() {
+        let cfg = GoBackNConfig { window: 4, timeout: 8 };
+        let mut tx = Sender::new(cfg);
+        let mut rx = Receiver::new();
+        for i in 0..4u8 {
+            tx.offer([i; 24]);
+        }
+        let mut now = 0u64;
+        // Send frame 0, drop it.
+        let f0 = tx.next_frame(now, 0).unwrap();
+        assert_eq!(f0.seq, 0);
+        // Frames 1..3 arrive but are out of order at the receiver: ignored.
+        for _ in 1..4 {
+            now += 1;
+            let f = tx.next_frame(now, 0).unwrap();
+            let ack = rx.on_frame(&f);
+            assert_eq!(ack, 0, "receiver must hold its cumulative ack");
+            tx.on_ack(ack, now);
+        }
+        // Nothing new to send until the timeout rewinds the cursor.
+        now += 1;
+        assert_eq!(tx.next_frame(now, 0), None);
+        now += cfg.timeout;
+        let resent = tx.next_frame(now, 0).unwrap();
+        assert_eq!(resent.seq, 0, "rewind must restart at the window base");
+        assert!(tx.retransmissions >= 1);
+        let ack = rx.on_frame(&resent);
+        assert_eq!(ack, 1);
+    }
+
+    #[test]
+    fn stale_acks_ignored() {
+        let mut tx = Sender::new(GoBackNConfig::default());
+        tx.offer([1; 24]);
+        let _ = tx.next_frame(0, 0);
+        tx.on_ack(1, 1);
+        assert_eq!(tx.in_flight(), 0);
+        // A duplicate of the old ack must not corrupt state.
+        tx.on_ack(1, 2);
+        tx.on_ack(0, 3);
+        assert_eq!(tx.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window full")]
+    fn window_overflow_rejected() {
+        let mut tx = Sender::new(GoBackNConfig { window: 2, timeout: 8 });
+        tx.offer([0; 24]);
+        tx.offer([1; 24]);
+        tx.offer([2; 24]);
+    }
+}

@@ -1,0 +1,348 @@
+//! # anton-pack
+//!
+//! Packaging model of Anton 2 machines (Figure 2 of *"Unifying on-chip and
+//! inter-node switching within the Anton 2 network"*).
+//!
+//! Each nodecard carries one ASIC and mates with a backplane holding 16
+//! nodecards in a 4×4×1 arrangement; torus channels between nodecards on
+//! the same backplane are routed entirely in backplane traces, and all other
+//! channels are cabled from the rear of the backplane. Eight backplanes
+//! mount into a rack. The flexibility of the cabling lets the single
+//! backplane design serve machines from 4×4×1 up to 16×16×16 nodes.
+//!
+//! The model assigns every torus channel a physical medium (trace or cable,
+//! with a length) and summarizes the cable plant, reproducing the paper's
+//! packaging constraints: a 512-node machine uses 32 backplanes in 4 racks,
+//! and X/Y neighbors within a backplane tile need no cables at all.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+
+use anton_core::topology::{Dim, NodeCoord, Sign, TorusDir, TorusShape};
+
+/// Nodes per backplane along X.
+pub const BACKPLANE_X: u8 = 4;
+/// Nodes per backplane along Y.
+pub const BACKPLANE_Y: u8 = 4;
+/// Backplanes per rack.
+pub const BACKPLANES_PER_RACK: u8 = 8;
+
+/// Signal propagation speed in PCB traces and cables (ns per cm).
+pub const NS_PER_CM: f64 = 0.056;
+
+/// Identifier of a backplane: the tile coordinates and its Z position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BackplaneId {
+    /// X tile (node x / 4).
+    pub bx: u8,
+    /// Y tile (node y / 4).
+    pub by: u8,
+    /// Z coordinate (one Z layer per backplane).
+    pub z: u8,
+}
+
+/// Identifier of a rack: a column of up to eight backplanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RackId {
+    /// X tile.
+    pub bx: u8,
+    /// Y tile.
+    pub by: u8,
+    /// Z group (z / 8).
+    pub zg: u8,
+}
+
+/// The physical realization of one torus channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkMedium {
+    /// Routed entirely within a backplane PCB.
+    BackplaneTrace {
+        /// Trace length in centimeters (including the nodecard stubs).
+        length_cm: f64,
+    },
+    /// A cable between two backplanes of the same rack.
+    IntraRackCable {
+        /// Cable length in centimeters.
+        length_cm: f64,
+    },
+    /// A cable between racks.
+    InterRackCable {
+        /// Cable length in centimeters.
+        length_cm: f64,
+    },
+}
+
+impl LinkMedium {
+    /// The medium's length in centimeters.
+    pub fn length_cm(&self) -> f64 {
+        match self {
+            LinkMedium::BackplaneTrace { length_cm }
+            | LinkMedium::IntraRackCable { length_cm }
+            | LinkMedium::InterRackCable { length_cm } => *length_cm,
+        }
+    }
+
+    /// Propagation latency contribution in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.length_cm() * NS_PER_CM
+    }
+}
+
+/// Packaging assignment for a whole machine.
+#[derive(Debug, Clone)]
+pub struct Packaging {
+    shape: TorusShape,
+}
+
+impl Packaging {
+    /// Creates the packaging model for a machine shape.
+    pub fn new(shape: TorusShape) -> Packaging {
+        Packaging { shape }
+    }
+
+    /// The backplane hosting a node.
+    pub fn backplane_of(&self, node: NodeCoord) -> BackplaneId {
+        BackplaneId { bx: node.x / BACKPLANE_X, by: node.y / BACKPLANE_Y, z: node.z }
+    }
+
+    /// The rack hosting a backplane.
+    pub fn rack_of(&self, bp: BackplaneId) -> RackId {
+        RackId { bx: bp.bx, by: bp.by, zg: bp.z / BACKPLANES_PER_RACK }
+    }
+
+    /// Total backplanes in the machine.
+    pub fn num_backplanes(&self) -> usize {
+        let tiles_x = self.shape.k(Dim::X).div_ceil(BACKPLANE_X) as usize;
+        let tiles_y = self.shape.k(Dim::Y).div_ceil(BACKPLANE_Y) as usize;
+        tiles_x * tiles_y * self.shape.k(Dim::Z) as usize
+    }
+
+    /// Total racks in the machine.
+    pub fn num_racks(&self) -> usize {
+        let tiles_x = self.shape.k(Dim::X).div_ceil(BACKPLANE_X) as usize;
+        let tiles_y = self.shape.k(Dim::Y).div_ceil(BACKPLANE_Y) as usize;
+        let zgroups = self.shape.k(Dim::Z).div_ceil(BACKPLANES_PER_RACK) as usize;
+        tiles_x * tiles_y * zgroups
+    }
+
+    /// The physical medium of the channel leaving `node` in direction `dir`.
+    ///
+    /// Both slices of a channel share the same routing, so the slice is not
+    /// a parameter.
+    pub fn medium(&self, node: NodeCoord, dir: TorusDir) -> LinkMedium {
+        let peer = self.shape.neighbor(node, dir);
+        let bp_a = self.backplane_of(node);
+        let bp_b = self.backplane_of(peer);
+        let wraps = self.shape.hop_crosses_dateline(node, dir);
+        if bp_a == bp_b {
+            // Within one backplane: X/Y traces. The paper's nodecard stubs
+            // run 7.1–11.7 cm; backplane runs scale with slot distance.
+            let slot_a = (node.x % BACKPLANE_X) + BACKPLANE_X * (node.y % BACKPLANE_Y);
+            let slot_b = (peer.x % BACKPLANE_X) + BACKPLANE_X * (peer.y % BACKPLANE_Y);
+            let dist = slot_a.abs_diff(slot_b) as f64;
+            LinkMedium::BackplaneTrace { length_cm: 2.0 * 9.4 + 4.0 * dist }
+        } else {
+            let rack_a = self.rack_of(bp_a);
+            let rack_b = self.rack_of(bp_b);
+            if rack_a == rack_b {
+                // Z hop (or X/Y to a neighboring tile mounted in the same
+                // rack column): cabled on the rear of the backplane.
+                let dz = bp_a.z.abs_diff(bp_b.z) as f64;
+                let base = 40.0 + 7.0 * dz;
+                let length_cm = if wraps { base + 30.0 } else { base };
+                LinkMedium::IntraRackCable { length_cm }
+            } else {
+                // Between racks: longer cables; wraparound links span the
+                // row of racks.
+                let dr = (rack_a.bx.abs_diff(rack_b.bx) + rack_a.by.abs_diff(rack_b.by)
+                    + rack_a.zg.abs_diff(rack_b.zg)) as f64;
+                let base = 150.0 + 60.0 * (dr - 1.0).max(0.0);
+                let length_cm = if wraps { base + 100.0 } else { base };
+                LinkMedium::InterRackCable { length_cm }
+            }
+        }
+    }
+
+    /// Summarizes the machine's cable plant over every bidirectional
+    /// physical channel (both slices counted).
+    pub fn summary(&self) -> PackagingSummary {
+        let mut traces = 0usize;
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        let mut max_cable_cm = 0.0f64;
+        let mut by_length: BTreeMap<u64, usize> = BTreeMap::new();
+        for node in self.shape.nodes() {
+            for dir in [
+                TorusDir::new(Dim::X, Sign::Plus),
+                TorusDir::new(Dim::Y, Sign::Plus),
+                TorusDir::new(Dim::Z, Sign::Plus),
+            ] {
+                if self.shape.k(dir.dim) == 1 {
+                    continue;
+                }
+                // Each + direction channel is one bidirectional link; two
+                // slices double the physical count.
+                let m = self.medium(node, dir);
+                let count = 2;
+                match m {
+                    LinkMedium::BackplaneTrace { .. } => traces += count,
+                    LinkMedium::IntraRackCable { length_cm } => {
+                        intra += count;
+                        max_cable_cm = max_cable_cm.max(length_cm);
+                        *by_length.entry(length_cm.round() as u64).or_insert(0) += count;
+                    }
+                    LinkMedium::InterRackCable { length_cm } => {
+                        inter += count;
+                        max_cable_cm = max_cable_cm.max(length_cm);
+                        *by_length.entry(length_cm.round() as u64).or_insert(0) += count;
+                    }
+                }
+            }
+        }
+        PackagingSummary {
+            backplanes: self.num_backplanes(),
+            racks: self.num_racks(),
+            traces,
+            intra_rack_cables: intra,
+            inter_rack_cables: inter,
+            max_cable_cm,
+            cables_by_length_cm: by_length,
+        }
+    }
+}
+
+/// Cable-plant summary of a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackagingSummary {
+    /// Backplane count.
+    pub backplanes: usize,
+    /// Rack count.
+    pub racks: usize,
+    /// Physical channels routed as backplane traces.
+    pub traces: usize,
+    /// Cables within a rack.
+    pub intra_rack_cables: usize,
+    /// Cables between racks.
+    pub inter_rack_cables: usize,
+    /// Longest cable in the machine (cm).
+    pub max_cable_cm: f64,
+    /// Cable counts bucketed by rounded length (cm) — the "key" of Figure 2.
+    pub cables_by_length_cm: BTreeMap<u64, usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(d: Dim, s: Sign) -> TorusDir {
+        TorusDir::new(d, s)
+    }
+
+    #[test]
+    fn figure2_machine_has_32_backplanes_in_4_racks() {
+        let p = Packaging::new(TorusShape::cube(8));
+        assert_eq!(p.num_backplanes(), 32);
+        assert_eq!(p.num_racks(), 4);
+        let s = p.summary();
+        assert_eq!(s.backplanes, 32);
+        assert_eq!(s.racks, 4);
+    }
+
+    #[test]
+    fn max_machine_is_supported() {
+        let p = Packaging::new(TorusShape::cube(16));
+        assert_eq!(p.num_backplanes(), 16 * 16 * 16 / 16);
+        // 4x4 tiles x 2 z-groups = 32 racks.
+        assert_eq!(p.num_racks(), 32);
+    }
+
+    #[test]
+    fn intra_backplane_xy_links_are_traces() {
+        let p = Packaging::new(TorusShape::cube(8));
+        let m = p.medium(NodeCoord::new(1, 1, 0), dir(Dim::X, Sign::Plus));
+        assert!(matches!(m, LinkMedium::BackplaneTrace { .. }), "{m:?}");
+        let m = p.medium(NodeCoord::new(0, 2, 3), dir(Dim::Y, Sign::Plus));
+        assert!(matches!(m, LinkMedium::BackplaneTrace { .. }), "{m:?}");
+    }
+
+    #[test]
+    fn z_links_are_intra_rack_cables() {
+        let p = Packaging::new(TorusShape::cube(8));
+        for z in 0..8u8 {
+            let m = p.medium(NodeCoord::new(0, 0, z), dir(Dim::Z, Sign::Plus));
+            assert!(
+                matches!(m, LinkMedium::IntraRackCable { .. }),
+                "z={z}: {m:?} (all 8 z-layers share one rack)"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_crossing_xy_links_are_inter_rack() {
+        let p = Packaging::new(TorusShape::cube(8));
+        let m = p.medium(NodeCoord::new(3, 0, 0), dir(Dim::X, Sign::Plus));
+        assert!(matches!(m, LinkMedium::InterRackCable { .. }), "{m:?}");
+        // Wraparound is also inter-rack and longer.
+        let w = p.medium(NodeCoord::new(7, 0, 0), dir(Dim::X, Sign::Plus));
+        assert!(matches!(w, LinkMedium::InterRackCable { .. }), "{w:?}");
+        assert!(w.length_cm() > m.length_cm());
+    }
+
+    #[test]
+    fn wrap_z_cable_is_longest_in_rack() {
+        let p = Packaging::new(TorusShape::cube(8));
+        let wrap = p.medium(NodeCoord::new(0, 0, 7), dir(Dim::Z, Sign::Plus));
+        let near = p.medium(NodeCoord::new(0, 0, 0), dir(Dim::Z, Sign::Plus));
+        assert!(wrap.length_cm() > near.length_cm());
+    }
+
+    #[test]
+    fn summary_counts_every_physical_channel() {
+        // 512 nodes x 3 +directions x 2 slices = 3072 physical channels.
+        let p = Packaging::new(TorusShape::cube(8));
+        let s = p.summary();
+        assert_eq!(s.traces + s.intra_rack_cables + s.inter_rack_cables, 3072);
+        // X/Y within tiles: each backplane has 4x4 nodes: 3/4 of +X hops
+        // stay inside a tile: 512 * (3/4) * 2 dims * 2 slices = 1536.
+        assert_eq!(s.traces, 1536);
+        // All +Z links are cables within racks.
+        assert_eq!(s.intra_rack_cables, 512 * 2);
+        assert_eq!(s.inter_rack_cables, 512 * 2 / 4 * 2);
+        assert!(s.max_cable_cm > 0.0);
+    }
+
+    #[test]
+    fn medium_is_symmetric_between_endpoints() {
+        // The + channel of node a toward b and the - channel of b toward a
+        // are the same physical link and must get the same medium.
+        let p = Packaging::new(TorusShape::cube(8));
+        let shape = TorusShape::cube(8);
+        for node in shape.nodes().take(64) {
+            for d in [dir(Dim::X, Sign::Plus), dir(Dim::Y, Sign::Plus), dir(Dim::Z, Sign::Plus)] {
+                let peer = shape.neighbor(node, d);
+                let fwd = p.medium(node, d);
+                let back = p.medium(peer, d.opposite());
+                assert_eq!(fwd, back, "{node} {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_length() {
+        let a = LinkMedium::BackplaneTrace { length_cm: 20.0 };
+        let b = LinkMedium::InterRackCable { length_cm: 200.0 };
+        assert!((b.latency_ns() / a.latency_ns() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_machine_fits_one_backplane() {
+        let p = Packaging::new(TorusShape::new(4, 4, 1));
+        assert_eq!(p.num_backplanes(), 1);
+        assert_eq!(p.num_racks(), 1);
+        let s = p.summary();
+        assert_eq!(s.inter_rack_cables, 0);
+        assert_eq!(s.intra_rack_cables, 0, "a 4x4x1 machine needs no cables at all");
+    }
+}

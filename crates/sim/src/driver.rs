@@ -1,0 +1,398 @@
+//! Workload drivers: the measurement procedures of Section 4.
+//!
+//! * [`BatchDriver`] — every core sends a batch of packets drawn from a
+//!   (possibly blended) traffic pattern; throughput is the batch size over
+//!   the time to receive the last packet (Figures 9 and 10).
+//! * [`PingPongDriver`] — the software-to-software ping-pong latency test,
+//!   including injection and handler-dispatch overheads (Figures 11 and 12).
+//! * [`RateDriver`] — a single core streams single-flit packets at a
+//!   controlled injection and activation rate for the router-energy
+//!   measurements (Figure 13).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use anton_core::config::GlobalEndpoint;
+use anton_core::packet::{CounterId, Destination, Packet, PatternId, Payload};
+use anton_core::pattern::TrafficPattern;
+use anton_core::vc::TrafficClass;
+
+use crate::params::CYCLE_NS;
+use crate::sim::{Delivery, Driver, Sim};
+
+/// Keep this many packets queued at each endpoint adapter so injection is
+/// never starved by the driver.
+const LOW_WATER: usize = 2;
+
+/// A batch workload: each endpoint sends `packets_per_endpoint` packets,
+/// each drawn from one of the weighted pattern components and labeled with
+/// that component's [`PatternId`].
+pub struct BatchDriver {
+    components: Vec<(Box<dyn TrafficPattern>, f64)>,
+    packets_per_endpoint: u64,
+    payload_bytes: usize,
+    remaining: Vec<u64>,
+    expected: u64,
+    delivered: u64,
+    rng: StdRng,
+    /// Cycle of the final delivery (valid once done).
+    pub finish_cycle: u64,
+}
+
+impl std::fmt::Debug for BatchDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchDriver")
+            .field("expected", &self.expected)
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl BatchDriver {
+    /// Creates a batch driver over one pattern.
+    pub fn uniform_pattern(
+        sim: &Sim,
+        pattern: Box<dyn TrafficPattern>,
+        packets_per_endpoint: u64,
+        seed: u64,
+    ) -> BatchDriver {
+        BatchDriver::blended(sim, vec![(pattern, 1.0)], packets_per_endpoint, seed)
+    }
+
+    /// Creates a batch driver over a weighted blend of patterns. Weights are
+    /// normalized; each packet is tagged with its component index as its
+    /// [`PatternId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or weights are non-positive in total.
+    pub fn blended(
+        sim: &Sim,
+        components: Vec<(Box<dyn TrafficPattern>, f64)>,
+        packets_per_endpoint: u64,
+        seed: u64,
+    ) -> BatchDriver {
+        assert!(!components.is_empty(), "need at least one pattern");
+        let total: f64 = components.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "weights must be positive");
+        let components =
+            components.into_iter().map(|(p, w)| (p, w / total)).collect::<Vec<_>>();
+        let n_eps = sim.cfg.num_endpoints();
+        BatchDriver {
+            components,
+            packets_per_endpoint,
+            payload_bytes: 16,
+            remaining: vec![packets_per_endpoint; n_eps],
+            expected: packets_per_endpoint * n_eps as u64,
+            delivered: 0,
+            rng: StdRng::seed_from_u64(seed),
+            finish_cycle: 0,
+        }
+    }
+
+    /// Throughput in packets per cycle per endpoint, measured as the batch
+    /// size over the time to receive the last packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the run completed.
+    pub fn throughput(&self) -> f64 {
+        assert!(self.delivered >= self.expected, "run not complete");
+        assert!(self.finish_cycle > 0, "no deliveries recorded");
+        self.packets_per_endpoint as f64 / self.finish_cycle as f64
+    }
+
+    fn sample_component(&mut self) -> usize {
+        let mut x: f64 = self.rng.gen();
+        for (i, (_, w)) in self.components.iter().enumerate() {
+            if x < *w || i == self.components.len() - 1 {
+                return i;
+            }
+            x -= *w;
+        }
+        unreachable!("normalized weights")
+    }
+}
+
+impl Driver for BatchDriver {
+    fn pre_cycle(&mut self, sim: &mut Sim) {
+        for idx in 0..self.remaining.len() {
+            if self.remaining[idx] == 0 {
+                continue;
+            }
+            let src = sim.cfg.endpoint_at(idx);
+            while self.remaining[idx] > 0 && sim.inject_queue_len(src) < LOW_WATER {
+                let comp = self.sample_component();
+                let dst = self.components[comp].0.sample_dst(&sim.cfg, src, &mut self.rng);
+                let mut pkt = Packet::write(src, dst, Payload::zeros(self.payload_bytes));
+                pkt.pattern = PatternId(comp as u8);
+                sim.inject(src, pkt);
+                self.remaining[idx] -= 1;
+            }
+        }
+    }
+
+    fn on_delivery(&mut self, sim: &mut Sim, delivery: &Delivery) {
+        if matches!(delivery, Delivery::Packet(_)) {
+            self.delivered += 1;
+            if self.delivered == self.expected {
+                self.finish_cycle = sim.now();
+            }
+        }
+    }
+
+    fn done(&self, _sim: &Sim) -> bool {
+        self.delivered >= self.expected
+    }
+}
+
+/// One ping-pong pair's state.
+#[derive(Debug, Clone, Copy)]
+struct Pair {
+    a: GlobalEndpoint,
+    b: GlobalEndpoint,
+    remaining_legs: u32,
+    /// Cycle software decided to send the current leg.
+    decision_at: u64,
+    /// Cycle the current leg's packet should be injected (after software
+    /// overhead); `None` while waiting for the far handler.
+    inject_at: Option<u64>,
+    /// Which side sends the current leg.
+    a_sends: bool,
+    latency_sum_cycles: u64,
+    legs_done: u32,
+}
+
+/// The standard ping-pong latency test (Section 4.3): remote writes with
+/// counted-write handler dispatch, alternating between two cores.
+#[derive(Debug)]
+pub struct PingPongDriver {
+    pairs: Vec<Pair>,
+    payload_bytes: usize,
+}
+
+impl PingPongDriver {
+    /// Creates a driver running `legs` one-way messages per pair
+    /// (16-byte payloads, as in the paper).
+    pub fn new(pairs: Vec<(GlobalEndpoint, GlobalEndpoint)>, legs: u32) -> PingPongDriver {
+        assert!(legs > 0, "need at least one leg");
+        let pairs = pairs
+            .into_iter()
+            .map(|(a, b)| Pair {
+                a,
+                b,
+                remaining_legs: legs,
+                decision_at: 0,
+                inject_at: Some(0),
+                a_sends: true,
+                latency_sum_cycles: 0,
+                legs_done: 0,
+            })
+            .collect();
+        PingPongDriver { pairs, payload_bytes: 16 }
+    }
+
+    /// Mean one-way latency of pair `i` in nanoseconds, including software
+    /// injection and handler-dispatch overheads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair has not completed any legs.
+    pub fn mean_one_way_ns(&self, i: usize) -> f64 {
+        let p = &self.pairs[i];
+        assert!(p.legs_done > 0, "pair {i} has no completed legs");
+        (p.latency_sum_cycles as f64 / f64::from(p.legs_done)) * CYCLE_NS
+    }
+
+    /// Number of pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+impl Driver for PingPongDriver {
+    fn pre_cycle(&mut self, sim: &mut Sim) {
+        let now = sim.now();
+        let sw = sim.params.latency.sw_inject_cycles();
+        for (i, p) in self.pairs.iter_mut().enumerate() {
+            if p.remaining_legs == 0 {
+                continue;
+            }
+            if let Some(at) = p.inject_at {
+                // The injection becomes visible to hardware after the
+                // software send overhead.
+                if now >= at + sw {
+                    let (src, dst) = if p.a_sends { (p.a, p.b) } else { (p.b, p.a) };
+                    let counter = CounterId(i as u16);
+                    sim.set_counter(dst, counter, 1);
+                    let mut pkt =
+                        Packet::write(src, dst, Payload::zeros(self.payload_bytes));
+                    pkt.counter = Some(counter);
+                    sim.inject(src, pkt);
+                    p.inject_at = None;
+                }
+            }
+        }
+    }
+
+    fn on_delivery(&mut self, sim: &mut Sim, delivery: &Delivery) {
+        let Delivery::Handler { counter, .. } = delivery else { return };
+        let i = counter.0 as usize;
+        let now = sim.now();
+        let p = &mut self.pairs[i];
+        p.latency_sum_cycles += now - p.decision_at;
+        p.legs_done += 1;
+        p.remaining_legs -= 1;
+        p.a_sends = !p.a_sends;
+        p.decision_at = now;
+        p.inject_at = Some(now);
+    }
+
+    fn done(&self, _sim: &Sim) -> bool {
+        self.pairs.iter().all(|p| p.remaining_legs == 0)
+    }
+}
+
+/// Payload bit pattern for the energy experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// All payload bits zero.
+    Zeros,
+    /// All payload bits one.
+    Ones,
+    /// Each bit i.i.d. uniform.
+    Random,
+}
+
+/// Streams single-flit packets from one core at injection rate `p/q` with
+/// the activation rate maximized (`a = min(r, 1−r)`, Section 4.5): for
+/// `r ≤ 1/2` flits are spread evenly; for `r > 1/2` they form bursts of
+/// `p` with `q−p` idle cycles.
+#[derive(Debug)]
+pub struct RateDriver {
+    src: GlobalEndpoint,
+    dst: GlobalEndpoint,
+    rate_num: u32,
+    rate_den: u32,
+    payload: PayloadKind,
+    total: u64,
+    sent: u64,
+    delivered: u64,
+    rng: StdRng,
+}
+
+impl RateDriver {
+    /// Creates a rate driver sending `total` 16-byte packets at rate
+    /// `rate_num/rate_den` flits per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate_num <= rate_den`.
+    pub fn new(
+        src: GlobalEndpoint,
+        dst: GlobalEndpoint,
+        rate_num: u32,
+        rate_den: u32,
+        payload: PayloadKind,
+        total: u64,
+        seed: u64,
+    ) -> RateDriver {
+        assert!(rate_num > 0 && rate_num <= rate_den, "rate must be in (0, 1]");
+        RateDriver {
+            src,
+            dst,
+            rate_num,
+            rate_den,
+            payload,
+            total,
+            sent: 0,
+            delivered: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether a flit is emitted at cycle `t` under the activation-
+    /// maximizing schedule: for `r ≤ 1/2` the valid cycles are spread
+    /// evenly (every gap is an idle run, so `a = r`); for `r > 1/2` the
+    /// *idle* cycles are spread evenly (every idle cycle is isolated, so
+    /// each one starts a new valid run and `a = 1 − r`). Both achieve
+    /// `a = min(r, 1−r)`.
+    fn slot_active(&self, t: u64) -> bool {
+        let (p, q) = (u64::from(self.rate_num), u64::from(self.rate_den));
+        let phase = t % q;
+        let spread = |count: u64| (phase * count) / q != ((phase + 1) * count) / q;
+        if 2 * p <= q {
+            spread(p)
+        } else {
+            !spread(q - p)
+        }
+    }
+}
+
+impl Driver for RateDriver {
+    fn pre_cycle(&mut self, sim: &mut Sim) {
+        if self.sent >= self.total || !self.slot_active(sim.now()) {
+            return;
+        }
+        let payload = match self.payload {
+            PayloadKind::Zeros => Payload::zeros(16),
+            PayloadKind::Ones => Payload::ones(16),
+            PayloadKind::Random => Payload::random(16, &mut self.rng),
+        };
+        let mut pkt = Packet::write(self.src, self.dst, payload);
+        pkt.class = TrafficClass::Request;
+        debug_assert!(matches!(pkt.dst, Destination::Unicast(_)));
+        sim.inject(self.src, pkt);
+        self.sent += 1;
+    }
+
+    fn on_delivery(&mut self, _sim: &mut Sim, delivery: &Delivery) {
+        if matches!(delivery, Delivery::Packet(_)) {
+            self.delivered += 1;
+        }
+    }
+
+    fn done(&self, _sim: &Sim) -> bool {
+        self.delivered >= self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_driver_schedule_matches_rates() {
+        let ep = GlobalEndpoint {
+            node: anton_core::topology::NodeId(0),
+            ep: anton_core::chip::LocalEndpointId(0),
+        };
+        for (p, q) in [(1u32, 4u32), (1, 2), (3, 4), (7, 8), (1, 1)] {
+            let d = RateDriver::new(ep, ep, p, q, PayloadKind::Zeros, 1, 0);
+            let horizon = u64::from(q) * 100;
+            let mut valid = 0u64;
+            let mut activations = 0u64;
+            let mut prev = false;
+            for t in 0..horizon {
+                let v = d.slot_active(t);
+                if v {
+                    valid += 1;
+                    if !prev {
+                        activations += 1;
+                    }
+                }
+                prev = v;
+            }
+            let r = valid as f64 / horizon as f64;
+            let a = activations as f64 / horizon as f64;
+            let want_r = f64::from(p) / f64::from(q);
+            let want_a = if p == q { 0.0 } else { want_r.min(1.0 - want_r) };
+            assert!((r - want_r).abs() < 1e-9, "rate {p}/{q}: r={r}");
+            assert!(
+                (a - want_a).abs() < 0.02,
+                "rate {p}/{q}: activation {a} want {want_a}"
+            );
+        }
+    }
+}

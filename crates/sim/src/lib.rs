@@ -1,0 +1,47 @@
+//! # anton-sim
+//!
+//! Cycle-driven, flit-level simulator of the Anton 2 unified network
+//! (*"Unifying on-chip and inter-node switching within the Anton 2
+//! network"*, ISCA 2014).
+//!
+//! The simulator instantiates every structural element of a configured
+//! machine — 16 on-chip routers per node with the four-stage RC/VA/SA1/SA2
+//! pipeline, skip channels, endpoint adapters with counted-write
+//! synchronization, channel adapters with multicast replication tables, and
+//! rate-limited external torus channels — and advances them cycle by cycle
+//! under credit-based virtual cut-through flow control.
+//!
+//! * [`sim`] — the simulator core ([`Sim`]);
+//! * [`driver`] — measurement workloads (batch throughput, ping-pong
+//!   latency, rate-controlled energy streams);
+//! * [`wire`] — credit-controlled channels;
+//! * [`params`] — physical constants and calibration parameters;
+//! * [`state`] — in-flight packet state.
+//!
+//! # Examples
+//!
+//! ```
+//! use anton_core::{MachineConfig, TorusShape};
+//! use anton_sim::driver::BatchDriver;
+//! use anton_sim::params::SimParams;
+//! use anton_sim::sim::{RunOutcome, Sim};
+//! use anton_traffic::UniformRandom;
+//!
+//! let cfg = MachineConfig::new(TorusShape::cube(2));
+//! let mut sim = Sim::new(cfg, SimParams::default());
+//! let mut driver = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), 4, 1);
+//! assert_eq!(sim.run(&mut driver, 100_000), RunOutcome::Completed);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod driver;
+pub mod params;
+pub mod sim;
+pub mod state;
+pub mod wire;
+
+pub use driver::{BatchDriver, PayloadKind, PingPongDriver, RateDriver};
+pub use params::{EnergyParams, LatencyParams, SimParams};
+pub use sim::{Delivery, Driver, EnergyCounters, PacketDelivery, RunOutcome, Sim, SimStats};

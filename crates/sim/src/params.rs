@@ -1,0 +1,156 @@
+//! Simulation parameters and physical constants.
+
+use anton_arbiter::ArbiterKind;
+
+/// Core clock frequency (GHz): the on-chip network runs at 1.5 GHz.
+pub const CLOCK_GHZ: f64 = 1.5;
+/// Nanoseconds per core clock cycle.
+pub const CYCLE_NS: f64 = 1.0 / CLOCK_GHZ;
+/// Mesh channel bandwidth: 192 bits per cycle at 1.5 GHz = 288 Gb/s.
+pub const MESH_GBPS: f64 = 288.0;
+/// Effective torus channel bandwidth per direction (after the link layer).
+pub const TORUS_EFFECTIVE_GBPS: f64 = 89.6;
+
+/// Torus serializer cost accounting: a flit costs [`TORUS_TOKEN_COST`] tokens
+/// and every cycle earns [`TORUS_TOKEN_GAIN`]; the long-run rate is
+/// `14/45 = 89.6/288` flits per cycle, exactly the effective bandwidth.
+pub const TORUS_TOKEN_COST: u32 = 45;
+/// Tokens earned per cycle by a torus serializer.
+pub const TORUS_TOKEN_GAIN: u32 = 14;
+
+/// Router pipeline depth in cycles: RC, VA, SA1, SA2 (Figure 12).
+pub const ROUTER_PIPELINE: u64 = 4;
+/// Adapter forwarding pipeline depth in cycles.
+pub const ADAPTER_PIPELINE: u64 = 2;
+
+/// Latency calibration parameters, in nanoseconds where noted.
+///
+/// Defaults land the minimum software-to-software one-way latency near the
+/// paper's 99 ns and the per-hop cost near 39 ns (Figures 11–12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyParams {
+    /// Software send overhead: from the decision to send until the packet
+    /// enters the endpoint adapter (ns).
+    pub sw_inject_ns: f64,
+    /// Hardware synchronization + software handler dispatch overhead at the
+    /// receiver (ns).
+    pub handler_dispatch_ns: f64,
+    /// SerDes (TX + RX) plus wire flight time per torus hop (ns).
+    pub serdes_wire_ns: f64,
+}
+
+impl Default for LatencyParams {
+    fn default() -> LatencyParams {
+        LatencyParams {
+            sw_inject_ns: 26.0,
+            handler_dispatch_ns: 23.0,
+            serdes_wire_ns: 29.0,
+        }
+    }
+}
+
+impl LatencyParams {
+    /// Converts cycles to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * CYCLE_NS
+    }
+
+    /// Torus link latency in whole cycles (SerDes + wire).
+    pub fn torus_link_cycles(&self) -> u64 {
+        (self.serdes_wire_ns / CYCLE_NS).round() as u64
+    }
+
+    /// Handler dispatch overhead in whole cycles.
+    pub fn handler_dispatch_cycles(&self) -> u64 {
+        (self.handler_dispatch_ns / CYCLE_NS).round() as u64
+    }
+
+    /// Software injection overhead in whole cycles.
+    pub fn sw_inject_cycles(&self) -> u64 {
+        (self.sw_inject_ns / CYCLE_NS).round() as u64
+    }
+}
+
+/// Per-flit energy coefficients (pJ), the model of Section 4.5:
+///
+/// `E = fixed + per_flip·h + (activation + per_set_bit·n)(a/r)`
+///
+/// The simulator charges energy per event with these coefficients; the
+/// Figure 13 experiment re-fits the model to the simulated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Data-independent energy per flit traversal (arbitration, control).
+    pub fixed_pj: f64,
+    /// Energy per datapath bit flip between successive flits.
+    pub per_flip_pj: f64,
+    /// Energy per idle→valid activation event (valid signals, clock gates).
+    pub activation_pj: f64,
+    /// Additional activation energy per set payload bit.
+    pub per_set_bit_pj: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> EnergyParams {
+        // The paper's fitted coefficients (Section 4.5).
+        EnergyParams { fixed_pj: 42.7, per_flip_pj: 0.837, activation_pj: 34.4, per_set_bit_pj: 0.250 }
+    }
+}
+
+/// Top-level simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimParams {
+    /// Input buffer depth per VC on on-chip wires, in flits.
+    pub buffer_depth: u8,
+    /// Input buffer depth per VC at torus-channel receivers, in flits.
+    /// Must cover the round-trip bandwidth-delay product of the external
+    /// link (≈ 2 × 36 cycles × 14/45 flits/cycle ≈ 23 flits) for a single
+    /// VC to sustain full channel bandwidth.
+    pub torus_buffer_depth: u8,
+    /// Which arbiter sits at each router output port.
+    pub arbiter: ArbiterKind,
+    /// Latency calibration.
+    pub latency: LatencyParams,
+    /// Energy coefficients.
+    pub energy: EnergyParams,
+    /// Collect energy/activity counters (small per-transfer cost).
+    pub track_energy: bool,
+    /// RNG seed for routing randomization.
+    pub seed: u64,
+    /// Cycles without any flit movement (while packets are in flight) after
+    /// which the watchdog declares deadlock.
+    pub watchdog_cycles: u64,
+}
+
+impl Default for SimParams {
+    fn default() -> SimParams {
+        SimParams {
+            buffer_depth: 8,
+            torus_buffer_depth: 32,
+            arbiter: ArbiterKind::RoundRobin,
+            latency: LatencyParams::default(),
+            energy: EnergyParams::default(),
+            track_energy: false,
+            seed: 0xA2701,
+            watchdog_cycles: 50_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_rate_matches_effective_bandwidth() {
+        let rate = f64::from(TORUS_TOKEN_GAIN) / f64::from(TORUS_TOKEN_COST);
+        let gbps = rate * MESH_GBPS;
+        assert!((gbps - TORUS_EFFECTIVE_GBPS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_conversions_round_trip() {
+        let lp = LatencyParams::default();
+        assert_eq!(lp.torus_link_cycles(), 44);
+        assert!((lp.cycles_to_ns(3) - 2.0).abs() < 1e-12);
+    }
+}

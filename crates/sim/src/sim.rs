@@ -1,0 +1,1559 @@
+//! The cycle-driven simulator core.
+//!
+//! Builds the full unified network — every router, endpoint adapter, channel
+//! adapter, on-chip wire, and external torus channel of the configured
+//! machine — and advances it cycle by cycle. Routers implement the four-stage
+//! pipeline (RC, VA, SA1, SA2) with virtual cut-through flow control and
+//! pluggable output arbiters; channel adapters serialize flits onto the
+//! torus at the effective link bandwidth and host the multicast replication
+//! tables; endpoint adapters implement counted-write synchronization.
+//!
+//! Modelling notes (see DESIGN.md): packets are at most two flits and are
+//! switched whole (store-and-forward for the rare two-flit packet), and the
+//! incremental route computation is cross-checked against the reference
+//! tracer of `anton-core` in tests.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::cmp::Reverse;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use anton_arbiter::{
+    AgeArbiter, ArbRequest, ArbiterKind, FixedPriorityArbiter, InverseWeightedArbiter,
+    PortArbiter, RoundRobinArbiter,
+};
+use anton_core::chip::{
+    ChanId, LocalAttach, LocalEndpointId, LocalLink, LinkGroup, MeshCoord, MAX_ROUTER_PORTS,
+    NUM_CHAN_ADAPTERS, NUM_ROUTERS,
+};
+use anton_core::config::{GlobalEndpoint, MachineConfig};
+use anton_core::multicast::{McGroup, McGroupId};
+use anton_core::packet::{CounterId, Destination, Packet};
+use anton_core::routing::RouteSpec;
+use anton_core::topology::{Dim, NodeId, TorusDir};
+use anton_core::trace::GlobalLink;
+use anton_core::vc::{Vc, VcPolicy, VcState};
+
+use crate::params::{SimParams, ADAPTER_PIPELINE, ROUTER_PIPELINE, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN};
+use crate::state::{PacketId, PacketSlab, PacketState, RouteProgress};
+use crate::wire::{BufEntry, Wire};
+
+/// Maximum multicast copies queued at one replication point.
+const REPL_CAP: usize = 32;
+
+/// Per-phase nanosecond accumulators, active when the `ANTON_SIM_PROFILE`
+/// environment variable is set: wires, endpoints-inject, adapters, routers,
+/// endpoints-recv.
+pub static PHASE_NS: [std::sync::atomic::AtomicU64; 5] = [
+    std::sync::atomic::AtomicU64::new(0),
+    std::sync::atomic::AtomicU64::new(0),
+    std::sync::atomic::AtomicU64::new(0),
+    std::sync::atomic::AtomicU64::new(0),
+    std::sync::atomic::AtomicU64::new(0),
+];
+
+type WireId = usize;
+
+#[derive(Debug)]
+struct RouterPort {
+    attach: LocalAttach,
+    in_wire: WireId,
+    out_wire: WireId,
+}
+
+/// Activity counters for the energy model (Section 4.5), per router.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyCounters {
+    /// Flits traversed.
+    pub flits: u64,
+    /// Datapath bit flips between successive valid flits.
+    pub flips: u64,
+    /// Idle→valid activation events.
+    pub activations: u64,
+    /// Set payload bits of activating flits (the model's per-set-bit term
+    /// is activation energy).
+    pub set_bits: u64,
+}
+
+impl EnergyCounters {
+    /// Adds another counter set.
+    pub fn add(&mut self, other: &EnergyCounters) {
+        self.flits += other.flits;
+        self.flips += other.flips;
+        self.activations += other.activations;
+        self.set_bits += other.set_bits;
+    }
+
+    /// Energy in picojoules under the given coefficients.
+    pub fn energy_pj(&self, p: &crate::params::EnergyParams) -> f64 {
+        self.flits as f64 * p.fixed_pj
+            + self.flips as f64 * p.per_flip_pj
+            + self.activations as f64 * p.activation_pj
+            + self.set_bits as f64 * p.per_set_bit_pj
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PortEnergy {
+    last_words: [u64; 3],
+    /// First cycle at which the port is idle after its last transfer.
+    idle_from: u64,
+}
+
+struct RouterState {
+    node: NodeId,
+    mesh: MeshCoord,
+    ports: Vec<RouterPort>,
+    arbiters: Vec<Box<dyn PortArbiter>>,
+    /// SA1 VC arbiters, one per input port (inputs = VC indices).
+    in_arbiters: Vec<Box<dyn PortArbiter>>,
+    out_busy_until: Vec<u64>,
+    port_energy: Vec<PortEnergy>,
+    energy: EnergyCounters,
+}
+
+impl std::fmt::Debug for RouterState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterState")
+            .field("node", &self.node)
+            .field("mesh", &self.mesh)
+            .field("ports", &self.ports.len())
+            .finish()
+    }
+}
+
+struct ChanState {
+    node: NodeId,
+    chan: ChanId,
+    /// Wire from the router into this adapter (outbound direction).
+    from_router: WireId,
+    /// Wire from this adapter into the router (inbound direction).
+    to_router: WireId,
+    /// Torus wire this adapter transmits on.
+    torus_out: WireId,
+    /// Torus wire this adapter receives on.
+    torus_in: WireId,
+    /// Serializer token bucket (gains [`TORUS_TOKEN_GAIN`]/cycle, a flit
+    /// costs [`TORUS_TOKEN_COST`]); accrued lazily since `tokens_at`.
+    tokens: i64,
+    /// Cycle at which `tokens` was last brought up to date.
+    tokens_at: u64,
+    /// Whether the outgoing torus hop crosses its dimension's dateline — a
+    /// static property of the link (Section 2.5).
+    crosses_dateline: bool,
+    /// Multicast copies awaiting on-chip injection.
+    repl: VecDeque<PacketId>,
+    /// VC arbiter of the outbound serializer (per Section 3, every
+    /// arbitration point can be inverse-weighted).
+    out_arbiter: Box<dyn PortArbiter>,
+    rr_vc_in: u8,
+    to_router_busy_until: u64,
+}
+
+impl std::fmt::Debug for ChanState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChanState").field("node", &self.node).field("chan", &self.chan).finish()
+    }
+}
+
+#[derive(Debug)]
+struct EpState {
+    node: NodeId,
+    ep: LocalEndpointId,
+    to_router: WireId,
+    from_router: WireId,
+    inject: VecDeque<InjectCmd>,
+    repl: VecDeque<PacketId>,
+    counters: HashMap<u16, u32>,
+    busy_until: u64,
+}
+
+/// A queued injection: routing is either randomized (the normal oblivious
+/// policy) or fixed to an explicit route spec (tests and controlled
+/// experiments).
+#[derive(Debug, Clone, Copy)]
+enum InjectCmd {
+    Auto(Packet),
+    WithSpec(Packet, RouteSpec),
+}
+
+impl InjectCmd {
+    fn packet(&self) -> &Packet {
+        match self {
+            InjectCmd::Auto(p) | InjectCmd::WithSpec(p, _) => p,
+        }
+    }
+}
+
+/// A completed network-level event reported to the driver.
+#[derive(Debug, Clone)]
+pub enum Delivery {
+    /// A packet (or multicast copy) arrived at an endpoint.
+    Packet(PacketDelivery),
+    /// A counted-write counter hit zero and the software handler fired.
+    Handler {
+        /// Endpoint whose handler fired.
+        ep: GlobalEndpoint,
+        /// The counter that completed.
+        counter: CounterId,
+    },
+}
+
+/// Details of one delivered packet.
+#[derive(Debug, Clone)]
+pub struct PacketDelivery {
+    /// Injecting endpoint.
+    pub src: GlobalEndpoint,
+    /// Receiving endpoint.
+    pub dst: GlobalEndpoint,
+    /// Traffic-pattern tag.
+    pub pattern: u8,
+    /// Counter the packet decremented, if any.
+    pub counter: Option<CounterId>,
+    /// Cycle the packet entered the network.
+    pub injected_at: u64,
+    /// Cycle the last flit reached the endpoint adapter.
+    pub delivered_at: u64,
+    /// Inter-node hops taken.
+    pub torus_hops: u16,
+    /// Link-level route (when route recording is enabled).
+    pub route_log: Option<Vec<(GlobalLink, Vc)>>,
+}
+
+/// Aggregate simulation statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Packets injected into the network (multicast counts once).
+    pub injected_packets: u64,
+    /// Packet deliveries (multicast copies count individually).
+    pub delivered_packets: u64,
+    /// Per-endpoint delivery counts (indexed by dense endpoint index).
+    pub recv_per_endpoint: Vec<u64>,
+    /// Total flit·link traversals.
+    pub flit_hops: u64,
+    /// Flits that crossed external torus channels.
+    pub torus_flits: u64,
+    /// Cycle of the most recent delivery.
+    pub last_delivery_cycle: u64,
+}
+
+/// Outcome of [`Sim::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The driver reported completion.
+    Completed,
+    /// The watchdog detected a deadlock (no movement with packets live).
+    Deadlocked,
+    /// The cycle budget expired first.
+    TimedOut,
+}
+
+/// A workload driving the simulator: injects packets and consumes
+/// deliveries.
+pub trait Driver {
+    /// Called before each cycle; inject here.
+    fn pre_cycle(&mut self, sim: &mut Sim);
+
+    /// Called for every delivery of the elapsed cycle.
+    fn on_delivery(&mut self, sim: &mut Sim, delivery: &Delivery);
+
+    /// Whether the workload is complete.
+    fn done(&self, sim: &Sim) -> bool;
+}
+
+/// What sits at the end of a wire, for event wakeups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompRef {
+    Router(u32),
+    Chan(u32),
+    Ep(u32),
+}
+
+/// The cycle-driven simulator of one Anton 2 machine.
+pub struct Sim {
+    /// Machine configuration the simulator was built from.
+    pub cfg: MachineConfig,
+    /// Simulation parameters.
+    pub params: SimParams,
+    /// Record per-packet link-level routes into deliveries.
+    pub record_routes: bool,
+    now: u64,
+    rng: StdRng,
+    wires: Vec<Wire>,
+    /// Component consuming each wire's arrivals.
+    wire_consumer: Vec<CompRef>,
+    /// Component receiving each wire's credit returns.
+    wire_producer: Vec<CompRef>,
+    /// Wires with flits or credits in flight.
+    active_wires: Vec<u32>,
+    wire_active: Vec<bool>,
+    /// Per-component wake deadlines: the component is processed every cycle
+    /// `now <= dirty_until`.
+    dirty_router: Vec<u64>,
+    dirty_chan: Vec<u64>,
+    dirty_ep: Vec<u64>,
+    routers: Vec<RouterState>,
+    chans: Vec<ChanState>,
+    eps: Vec<EpState>,
+    packets: PacketSlab,
+    mc_groups: HashMap<McGroupId, McGroup>,
+    handler_heap: BinaryHeap<Reverse<(u64, u32, u16)>>,
+    deliveries: Vec<Delivery>,
+    stats: SimStats,
+    moved: bool,
+    idle_cycles: u64,
+    deadlocked: bool,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("shape", &self.cfg.shape)
+            .field("now", &self.now)
+            .field("live_packets", &self.packets.live())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Builds the simulator for a machine configuration.
+    pub fn new(cfg: MachineConfig, params: SimParams) -> Sim {
+        let nodes = cfg.shape.num_nodes();
+        let eps_per_node = cfg.endpoints_per_node();
+        let policy = cfg.vc_policy;
+        let depth = params.buffer_depth;
+        let torus_latency = params.latency.torus_link_cycles().max(1);
+        let mut wires: Vec<Wire> = Vec::new();
+        let mut routers: Vec<RouterState> = Vec::new();
+        let mut chans: Vec<ChanState> = Vec::with_capacity(nodes * NUM_CHAN_ADAPTERS);
+        let mut eps: Vec<EpState> = Vec::with_capacity(nodes * eps_per_node);
+
+        // Wire lookup tables filled in the first pass.
+        let mut mesh_wire: HashMap<(u32, MeshCoord, anton_core::chip::MeshDir), WireId> =
+            HashMap::new();
+        let mut skip_wire: HashMap<(u32, MeshCoord), WireId> = HashMap::new();
+        let mut chan_wires: HashMap<(u32, usize), (WireId, WireId)> = HashMap::new(); // (to adapter, to router)
+        let mut ep_wires: HashMap<(u32, u8), (WireId, WireId)> = HashMap::new();
+
+        let torus_depth = params.torus_buffer_depth;
+        let add_wire = move |wires: &mut Vec<Wire>, label: GlobalLink, latency, rx, group| {
+            let vcs = policy.num_vcs(group);
+            let d = if matches!(label, GlobalLink::Torus { .. }) { torus_depth } else { depth };
+            wires.push(Wire::new(label, latency, rx, vcs, d));
+            wires.len() - 1
+        };
+
+        // Pass 1: create all wires.
+        for n in 0..nodes as u32 {
+            let node = NodeId(n);
+            for r in MeshCoord::all() {
+                for attach in cfg.chip.router_ports(r) {
+                    match attach {
+                        LocalAttach::Mesh(d) => {
+                            let label = GlobalLink::Local {
+                                node,
+                                link: LocalLink::Mesh { from: r, dir: d },
+                            };
+                            let w = add_wire(&mut wires, label, 1, ROUTER_PIPELINE - 1, LinkGroup::M);
+                            mesh_wire.insert((n, r, d), w);
+                        }
+                        LocalAttach::Skip => {
+                            let label =
+                                GlobalLink::Local { node, link: LocalLink::Skip { from: r } };
+                            let w = add_wire(&mut wires, label, 1, ROUTER_PIPELINE - 1, LinkGroup::T);
+                            skip_wire.insert((n, r), w);
+                        }
+                        LocalAttach::Chan(c) => {
+                            let to_adapter = add_wire(
+                                &mut wires,
+                                GlobalLink::Local { node, link: LocalLink::RouterToChan(c) },
+                                1,
+                                ADAPTER_PIPELINE - 1,
+                                LinkGroup::T,
+                            );
+                            let to_router = add_wire(
+                                &mut wires,
+                                GlobalLink::Local { node, link: LocalLink::ChanToRouter(c) },
+                                1,
+                                ROUTER_PIPELINE - 1,
+                                LinkGroup::T,
+                            );
+                            chan_wires.insert((n, c.index()), (to_adapter, to_router));
+                        }
+                        LocalAttach::Endpoint(e) => {
+                            let to_ep = add_wire(
+                                &mut wires,
+                                GlobalLink::Local { node, link: LocalLink::RouterToEp(e) },
+                                1,
+                                0,
+                                LinkGroup::M,
+                            );
+                            let to_router = add_wire(
+                                &mut wires,
+                                GlobalLink::Local { node, link: LocalLink::EpToRouter(e) },
+                                1,
+                                ROUTER_PIPELINE - 1,
+                                LinkGroup::M,
+                            );
+                            ep_wires.insert((n, e.0), (to_ep, to_router));
+                        }
+                    }
+                }
+            }
+        }
+        // Torus wires.
+        let mut torus_wire: HashMap<(u32, usize), WireId> = HashMap::new(); // keyed by departing adapter
+        for n in 0..nodes as u32 {
+            let node = NodeId(n);
+            for c in ChanId::all() {
+                let label = GlobalLink::Torus { from: node, dir: c.dir, slice: c.slice };
+                let w = add_wire(&mut wires, label, torus_latency, ADAPTER_PIPELINE - 1, LinkGroup::T);
+                torus_wire.insert((n, c.index()), w);
+            }
+        }
+
+        // Pass 2: create components.
+        for n in 0..nodes as u32 {
+            let node = NodeId(n);
+            let node_coord = cfg.shape.coord(node);
+            for r in MeshCoord::all() {
+                let attaches = cfg.chip.router_ports(r);
+                let mut ports = Vec::with_capacity(attaches.len());
+                for attach in &attaches {
+                    let (in_wire, out_wire) = match *attach {
+                        LocalAttach::Mesh(d) => {
+                            let nbr = r.step(d).expect("mesh port has neighbor");
+                            (mesh_wire[&(n, nbr, d.opposite())], mesh_wire[&(n, r, d)])
+                        }
+                        LocalAttach::Skip => {
+                            let partner =
+                                cfg.chip.skip_partner(r).expect("skip port has partner");
+                            (skip_wire[&(n, partner)], skip_wire[&(n, r)])
+                        }
+                        LocalAttach::Chan(c) => {
+                            let (to_adapter, to_router) = chan_wires[&(n, c.index())];
+                            (to_router, to_adapter)
+                        }
+                        LocalAttach::Endpoint(e) => {
+                            let (to_ep, to_router) = ep_wires[&(n, e.0)];
+                            (to_router, to_ep)
+                        }
+                    };
+                    ports.push(RouterPort { attach: *attach, in_wire, out_wire });
+                }
+                let nports = ports.len();
+                let arbiters: Vec<Box<dyn PortArbiter>> = (0..nports)
+                    .map(|_| Self::make_arbiter(&params.arbiter, nports))
+                    .collect();
+                let in_arbiters: Vec<Box<dyn PortArbiter>> = ports
+                    .iter()
+                    .map(|p| Box::new(RoundRobinArbiter::new(wires[p.in_wire].num_vcs()))
+                        as Box<dyn PortArbiter>)
+                    .collect();
+                routers.push(RouterState {
+                    node,
+                    mesh: r,
+                    ports,
+                    arbiters,
+                    in_arbiters,
+                    out_busy_until: vec![0; nports],
+                    port_energy: vec![
+                        PortEnergy { last_words: [0; 3], idle_from: 0 };
+                        nports
+                    ],
+                    energy: EnergyCounters::default(),
+                });
+            }
+            for c in ChanId::all() {
+                let (from_router, to_router) = chan_wires[&(n, c.index())];
+                // The wire we receive on departs from our neighbor in
+                // direction c.dir, labeled with the opposite direction.
+                let nbr = cfg.shape.neighbor(node_coord, c.dir);
+                let nbr_id = cfg.shape.id(nbr);
+                let arriving_from =
+                    torus_wire[&(nbr_id.0, ChanId { dir: c.dir.opposite(), slice: c.slice }.index())];
+                chans.push(ChanState {
+                    node,
+                    chan: c,
+                    from_router,
+                    to_router,
+                    torus_out: torus_wire[&(n, c.index())],
+                    torus_in: arriving_from,
+                    tokens: i64::from(TORUS_TOKEN_COST),
+                    tokens_at: 0,
+                    crosses_dateline: cfg.shape.hop_crosses_dateline(node_coord, c.dir),
+                    repl: VecDeque::new(),
+                    out_arbiter: Box::new(RoundRobinArbiter::new(
+                        2 * policy.num_vcs(LinkGroup::T) as usize,
+                    )),
+                    rr_vc_in: 0,
+                    to_router_busy_until: 0,
+                });
+            }
+            for e in cfg.chip.endpoints() {
+                let (from_router, to_router) = ep_wires[&(n, e.0)];
+                eps.push(EpState {
+                    node,
+                    ep: e,
+                    to_router,
+                    from_router,
+                    inject: VecDeque::new(),
+                    repl: VecDeque::new(),
+                    counters: HashMap::new(),
+                    busy_until: 0,
+                });
+            }
+        }
+
+        let num_eps = eps.len();
+        // Wire endpoint tables for event wakeups.
+        let mut wire_consumer = vec![CompRef::Ep(0); wires.len()];
+        let mut wire_producer = vec![CompRef::Ep(0); wires.len()];
+        for (ridx, r) in routers.iter().enumerate() {
+            for p in &r.ports {
+                wire_consumer[p.in_wire] = CompRef::Router(ridx as u32);
+                wire_producer[p.out_wire] = CompRef::Router(ridx as u32);
+            }
+        }
+        for (cidx, c) in chans.iter().enumerate() {
+            wire_consumer[c.from_router] = CompRef::Chan(cidx as u32);
+            wire_producer[c.to_router] = CompRef::Chan(cidx as u32);
+            wire_consumer[c.torus_in] = CompRef::Chan(cidx as u32);
+            wire_producer[c.torus_out] = CompRef::Chan(cidx as u32);
+        }
+        for (eidx, e) in eps.iter().enumerate() {
+            wire_consumer[e.from_router] = CompRef::Ep(eidx as u32);
+            wire_producer[e.to_router] = CompRef::Ep(eidx as u32);
+        }
+        let nwires = wires.len();
+        let nrouters = routers.len();
+        let nchans = chans.len();
+        Sim {
+            rng: StdRng::seed_from_u64(params.seed),
+            cfg,
+            params,
+            record_routes: false,
+            now: 0,
+            wires,
+            wire_consumer,
+            wire_producer,
+            active_wires: Vec::with_capacity(nwires),
+            wire_active: vec![false; nwires],
+            dirty_router: vec![0; nrouters],
+            dirty_chan: vec![0; nchans],
+            dirty_ep: vec![0; num_eps],
+            routers,
+            chans,
+            eps,
+            packets: PacketSlab::new(),
+            mc_groups: HashMap::new(),
+            handler_heap: BinaryHeap::new(),
+            deliveries: Vec::new(),
+            stats: SimStats {
+                recv_per_endpoint: vec![0; num_eps],
+                ..SimStats::default()
+            },
+            moved: false,
+            idle_cycles: 0,
+            deadlocked: false,
+        }
+    }
+
+    #[inline]
+    fn wake(&mut self, c: CompRef, until: u64) {
+        match c {
+            CompRef::Router(i) => {
+                let d = &mut self.dirty_router[i as usize];
+                *d = (*d).max(until);
+            }
+            CompRef::Chan(i) => {
+                let d = &mut self.dirty_chan[i as usize];
+                *d = (*d).max(until);
+            }
+            CompRef::Ep(i) => {
+                let d = &mut self.dirty_ep[i as usize];
+                *d = (*d).max(until);
+            }
+        }
+    }
+
+    #[inline]
+    fn mark_wire_active(&mut self, w: WireId) {
+        if !self.wire_active[w] {
+            self.wire_active[w] = true;
+            self.active_wires.push(w as u32);
+        }
+    }
+
+    fn make_arbiter(kind: &ArbiterKind, nports: usize) -> Box<dyn PortArbiter> {
+        match kind {
+            ArbiterKind::RoundRobin => Box::new(RoundRobinArbiter::new(nports)),
+            ArbiterKind::InverseWeighted { m_bits } => {
+                Box::new(InverseWeightedArbiter::uniform(nports, *m_bits))
+            }
+            ArbiterKind::Age => Box::new(AgeArbiter::new(nports)),
+            ArbiterKind::FixedPriority => Box::new(FixedPriorityArbiter::new(nports)),
+        }
+    }
+
+    /// Installs inverse weights at one router output arbiter.
+    ///
+    /// `weights[input_port][pattern]` must be indexed consistently with
+    /// [`anton_core::chip::ChipLayout::router_ports`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router or port index is out of range.
+    pub fn set_arbiter_weights(
+        &mut self,
+        node: NodeId,
+        router_idx: usize,
+        out_port: usize,
+        weights: Vec<Vec<u32>>,
+        m_bits: u32,
+    ) {
+        let r = &mut self.routers[node.0 as usize * NUM_ROUTERS + router_idx];
+        assert!(out_port < r.ports.len(), "output port out of range");
+        r.arbiters[out_port] = Box::new(InverseWeightedArbiter::new(weights, m_bits));
+    }
+
+    /// Installs inverse weights at one router input port's SA1 VC arbiter.
+    /// `weights[vc_index][pattern]` spans both traffic classes of the link
+    /// feeding the port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router or port index is out of range.
+    pub fn set_input_arbiter_weights(
+        &mut self,
+        node: NodeId,
+        router_idx: usize,
+        in_port: usize,
+        weights: Vec<Vec<u32>>,
+        m_bits: u32,
+    ) {
+        let r = &mut self.routers[node.0 as usize * NUM_ROUTERS + router_idx];
+        assert!(in_port < r.ports.len(), "input port out of range");
+        r.in_arbiters[in_port] = Box::new(InverseWeightedArbiter::new(weights, m_bits));
+    }
+
+    /// Installs inverse weights at one channel adapter's serializer VC
+    /// arbiter. `weights[vc_index][pattern]` spans both traffic classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adapter index is out of range.
+    pub fn set_chan_arbiter_weights(
+        &mut self,
+        node: NodeId,
+        chan_idx: usize,
+        weights: Vec<Vec<u32>>,
+        m_bits: u32,
+    ) {
+        let c = &mut self.chans[node.0 as usize * NUM_CHAN_ADAPTERS + chan_idx];
+        c.out_arbiter = Box::new(InverseWeightedArbiter::new(weights, m_bits));
+    }
+
+    /// Registers a multicast group's tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group id is already registered.
+    pub fn add_multicast_group(&mut self, group: McGroup) {
+        let prev = self.mc_groups.insert(group.id, group);
+        assert!(prev.is_none(), "duplicate multicast group id");
+    }
+
+    /// Arms a counted-write counter at an endpoint (Section 2.1): after
+    /// `count` packets naming `counter` arrive, the endpoint's software
+    /// handler fires (reported as [`Delivery::Handler`]).
+    pub fn set_counter(&mut self, ep: GlobalEndpoint, counter: CounterId, count: u32) {
+        let idx = self.cfg.endpoint_index(ep);
+        self.eps[idx].counters.insert(counter.0, count);
+    }
+
+    /// Queues a packet for injection at `src` (unbounded software queue).
+    pub fn inject(&mut self, src: GlobalEndpoint, packet: Packet) {
+        let idx = self.cfg.endpoint_index(src);
+        self.eps[idx].inject.push_back(InjectCmd::Auto(packet));
+        self.wake(CompRef::Ep(idx as u32), self.now);
+    }
+
+    /// Queues a unicast packet with an explicit route spec instead of the
+    /// randomized oblivious route — used by controlled experiments and the
+    /// route cross-check tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet` is not unicast or `spec` does not route from
+    /// `src`'s node to the destination node.
+    pub fn inject_with_spec(&mut self, src: GlobalEndpoint, packet: Packet, spec: RouteSpec) {
+        let Destination::Unicast(dst) = packet.dst else {
+            panic!("explicit route specs apply to unicast packets only");
+        };
+        let mut cur = self.cfg.shape.coord(src.node);
+        for hop in spec.hops() {
+            cur = self.cfg.shape.neighbor(cur, hop);
+        }
+        assert_eq!(cur, self.cfg.shape.coord(dst.node), "spec does not reach destination");
+        let idx = self.cfg.endpoint_index(src);
+        self.eps[idx].inject.push_back(InjectCmd::WithSpec(packet, spec));
+        self.wake(CompRef::Ep(idx as u32), self.now);
+    }
+
+    /// Number of packets still queued in an endpoint's software queue.
+    pub fn inject_queue_len(&self, src: GlobalEndpoint) -> usize {
+        self.eps[self.cfg.endpoint_index(src)].inject.len()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Packets currently in the network.
+    pub fn live_packets(&self) -> usize {
+        self.packets.live()
+    }
+
+    /// Whether the deadlock watchdog has fired.
+    pub fn deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+
+    /// Raw flit counts carried by every wire, labeled by its structural
+    /// link — for utilization reporting and bottleneck analysis.
+    pub fn wire_utilizations(&self) -> Vec<(GlobalLink, u64)> {
+        self.wires.iter().map(|w| (w.label, w.flits_carried)).collect()
+    }
+
+    /// Utilization (flits per cycle) of every external torus channel, as
+    /// `(from node, direction, slice, utilization)`.
+    pub fn torus_utilizations(&self) -> Vec<(NodeId, TorusDir, anton_core::topology::Slice, f64)> {
+        let cycles = self.now.max(1) as f64;
+        self.wires
+            .iter()
+            .filter_map(|w| match w.label {
+                GlobalLink::Torus { from, dir, slice } => {
+                    Some((from, dir, slice, w.flits_carried as f64 / cycles))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Peak torus-channel utilization as a fraction of the effective channel
+    /// bandwidth (1.0 = the channel moved flits at the full 89.6 Gb/s for
+    /// the whole run).
+    pub fn max_torus_utilization(&self) -> f64 {
+        let cap = f64::from(crate::params::TORUS_TOKEN_GAIN) / f64::from(crate::params::TORUS_TOKEN_COST);
+        self.torus_utilizations()
+            .iter()
+            .map(|(_, _, _, u)| u / cap)
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of all routers' energy counters.
+    pub fn router_energy(&self) -> EnergyCounters {
+        let mut total = EnergyCounters::default();
+        for r in &self.routers {
+            total.add(&r.energy);
+        }
+        total
+    }
+
+    /// The RNG used for route randomization (exposed for drivers that want
+    /// correlated decisions).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Runs until the driver completes, deadlock, or the cycle budget.
+    pub fn run(&mut self, driver: &mut dyn Driver, max_cycles: u64) -> RunOutcome {
+        let deadline = self.now + max_cycles;
+        loop {
+            if driver.done(self) {
+                return RunOutcome::Completed;
+            }
+            if self.deadlocked {
+                return RunOutcome::Deadlocked;
+            }
+            if self.now >= deadline {
+                return RunOutcome::TimedOut;
+            }
+            driver.pre_cycle(self);
+            self.step();
+            let dels = std::mem::take(&mut self.deliveries);
+            for d in &dels {
+                driver.on_delivery(self, d);
+            }
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        let prof = std::env::var_os("ANTON_SIM_PROFILE").is_some();
+        let mut t = std::time::Instant::now();
+        #[allow(unused_mut)]
+        let mut mark = |phase: usize, t: &mut std::time::Instant| {
+            if prof {
+                PHASE_NS[phase].fetch_add(
+                    t.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                *t = std::time::Instant::now();
+            }
+        };
+        let now = self.now;
+        self.moved = false;
+        // Tick only wires with traffic or credits in flight, waking the
+        // components their events concern.
+        let mut i = 0;
+        while i < self.active_wires.len() {
+            let w = self.active_wires[i] as usize;
+            let (arrival_ready, credited) = self.wires[w].tick(now);
+            if let Some(ready) = arrival_ready {
+                self.wake(self.wire_consumer[w], ready);
+            }
+            if credited {
+                self.wake(self.wire_producer[w], now);
+            }
+            if self.wires[w].idle() {
+                self.wire_active[w] = false;
+                self.active_wires.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        mark(0, &mut t);
+        while let Some(&Reverse((t, ep_idx, counter))) = self.handler_heap.peek() {
+            if t > now {
+                break;
+            }
+            self.handler_heap.pop();
+            let ep = &self.eps[ep_idx as usize];
+            self.deliveries.push(Delivery::Handler {
+                ep: GlobalEndpoint { node: ep.node, ep: ep.ep },
+                counter: CounterId(counter),
+            });
+        }
+        for e in 0..self.eps.len() {
+            if self.dirty_ep[e] >= now {
+                self.ep_inject_step(e);
+            }
+        }
+        mark(1, &mut t);
+        for c in 0..self.chans.len() {
+            if self.dirty_chan[c] >= now {
+                self.chan_inbound_step(c);
+                self.chan_outbound_step(c);
+            }
+        }
+        mark(2, &mut t);
+        for r in 0..self.routers.len() {
+            if self.dirty_router[r] >= now {
+                self.router_step(r);
+            }
+        }
+        mark(3, &mut t);
+        for e in 0..self.eps.len() {
+            if self.dirty_ep[e] >= now {
+                self.ep_recv_step(e);
+            }
+        }
+        mark(4, &mut t);
+        if self.packets.live() > 0 && !self.moved {
+            self.idle_cycles += 1;
+            if self.idle_cycles >= self.params.watchdog_cycles {
+                self.deadlocked = true;
+            }
+        } else {
+            self.idle_cycles = 0;
+        }
+        self.now += 1;
+    }
+
+    // ----- routing helpers -------------------------------------------------
+
+    /// The on-chip target (adapter) of a packet at its current node.
+    fn chip_target(&self, pid: PacketId) -> LocalAttach {
+        let st = self.packets.get(pid);
+        match st.route {
+            RouteProgress::Unicast { spec, dst } => match spec.next_dir() {
+                Some(d) => LocalAttach::Chan(ChanId { dir: d, slice: spec.slice }),
+                None => LocalAttach::Endpoint(dst.ep),
+            },
+            RouteProgress::McExit { dir, slice, .. } => {
+                LocalAttach::Chan(ChanId { dir, slice })
+            }
+            RouteProgress::McDeliver { ep, .. } => LocalAttach::Endpoint(ep),
+        }
+    }
+
+    /// Output port and VC for a packet at a router. The result is cached in
+    /// the head buffer entry by the switch-allocation loop, so this is only
+    /// evaluated once per packet per router.
+    fn route_output(&self, ridx: usize, pid: PacketId) -> (usize, Vc) {
+        let router = &self.routers[ridx];
+        let st = self.packets.get(pid);
+        let target = self.chip_target(pid);
+        let target_router = match target {
+            LocalAttach::Chan(c) => self.cfg.chip.chan_router(c),
+            LocalAttach::Endpoint(e) => self.cfg.chip.endpoint_router(e),
+            _ => unreachable!("targets are adapters"),
+        };
+        let here = router.mesh;
+        let attach = if here == target_router {
+            target
+        } else if self.cfg.chip.skip_partner(here) == Some(target_router)
+            && matches!(target, LocalAttach::Chan(c) if c.dir.dim == Dim::X)
+            && st.arrived_via.map(|d| d.dim) == Some(Dim::X)
+        {
+            // X through-traffic bypasses two routers via the skip channel.
+            LocalAttach::Skip
+        } else {
+            let d = self
+                .cfg
+                .dir_order
+                .next_dir(here, target_router)
+                .expect("distinct routers need a mesh hop");
+            LocalAttach::Mesh(d)
+        };
+        let port = router
+            .ports
+            .iter()
+            .position(|p| p.attach == attach)
+            .expect("routed attach must be a port");
+        let group = match attach {
+            LocalAttach::Mesh(_) | LocalAttach::Endpoint(_) => LinkGroup::M,
+            LocalAttach::Skip | LocalAttach::Chan(_) => LinkGroup::T,
+        };
+        (port, st.vc.vc_for(group))
+    }
+
+    fn send_on_wire(&mut self, wire: WireId, pid: PacketId, vcidx: u8) {
+        let now = self.now;
+        let st = self.packets.get(pid);
+        let entry = BufEntry {
+            pkt: pid,
+            ready_at: 0,
+            flits: st.flits,
+            class: st.packet.class.index() as u8,
+            pattern: st.packet.pattern.0,
+            rc_port: 0xFF,
+            rc_vcidx: 0,
+            age: st.injected_at,
+        };
+        let flits = st.flits;
+        self.wires[wire].send(now, entry, vcidx);
+        let label = self.wires[wire].label;
+        self.mark_wire_active(wire);
+        self.moved = true;
+        self.stats.flit_hops += u64::from(flits);
+        if matches!(label, GlobalLink::Torus { .. }) {
+            self.stats.torus_flits += u64::from(flits);
+        }
+        if self.record_routes {
+            let group_vcs = self.wires[wire].group_vcs;
+            let vc = Vc(vcidx % group_vcs);
+            let st = self.packets.get_mut(pid);
+            if let Some(log) = &mut st.route_log {
+                log.push((label, vc));
+            }
+        }
+    }
+
+    // ----- endpoint adapters ----------------------------------------------
+
+    fn ep_inject_step(&mut self, eidx: usize) {
+        let now = self.now;
+        if self.eps[eidx].busy_until > now {
+            return;
+        }
+        // Pending multicast copies first.
+        if let Some(&pid) = self.eps[eidx].repl.front() {
+            self.try_send_to_router_from_ep(eidx, pid);
+            return;
+        }
+        let Some(cmd) = self.eps[eidx].inject.front().copied() else { return };
+        let pkt = *cmd.packet();
+        let node = self.eps[eidx].node;
+        match pkt.dst {
+            Destination::Unicast(dst) => {
+                // Injection always starts on M-group VC 0; check credits
+                // before drawing the randomized route.
+                let wire_id = self.eps[eidx].to_router;
+                let flits = pkt.num_flits() as u8;
+                let vcidx = self.wires[wire_id].vc_index(pkt.class, Vc(0));
+                if !self.wires[wire_id].can_send(vcidx, flits) {
+                    return;
+                }
+                let src_c = self.cfg.shape.coord(node);
+                let dst_c = self.cfg.shape.coord(dst.node);
+                let spec = match cmd {
+                    InjectCmd::WithSpec(_, spec) => spec,
+                    InjectCmd::Auto(_) => {
+                        RouteSpec::randomized(&self.cfg.shape, src_c, dst_c, &mut self.rng)
+                    }
+                };
+                let mut vc = self.cfg.vc_policy.start();
+                if spec.next_dir().is_some() {
+                    vc.begin_dim();
+                }
+                let pid = self.packets.insert(PacketState {
+                    packet: pkt,
+                    route: RouteProgress::Unicast { spec, dst },
+                    vc,
+                    pending_vc: None,
+                    arrived_via: None,
+                    injected_at: now,
+                    torus_hops: 0,
+                    flits,
+                    route_log: self.record_routes.then(Vec::new),
+                });
+                let sent = self.try_send_to_router_from_ep(eidx, pid);
+                debug_assert!(sent, "credits were checked");
+                self.eps[eidx].inject.pop_front();
+                self.stats.injected_packets += 1;
+            }
+            Destination::Multicast { group, tree } => {
+                let copies = self.expand_multicast_at(node, group, tree, None, &pkt, now);
+                if self.eps[eidx].repl.len() + copies.len() <= REPL_CAP {
+                    self.eps[eidx].inject.pop_front();
+                    self.stats.injected_packets += 1;
+                    for pid in copies {
+                        self.eps[eidx].repl.push_back(pid);
+                    }
+                    if let Some(&pid) = self.eps[eidx].repl.front() {
+                        self.try_send_to_router_from_ep(eidx, pid);
+                    }
+                } else {
+                    for pid in copies {
+                        self.packets.remove(pid);
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_send_to_router_from_ep(&mut self, eidx: usize, pid: PacketId) -> bool {
+        let now = self.now;
+        let wire_id = self.eps[eidx].to_router;
+        let st = self.packets.get(pid);
+        let class = st.packet.class;
+        let vc = st.vc.vc_for(LinkGroup::M);
+        let flits = st.flits;
+        let vcidx = self.wires[wire_id].vc_index(class, vc);
+        if !self.wires[wire_id].can_send(vcidx, flits) {
+            return false;
+        }
+        self.send_on_wire(wire_id, pid, vcidx);
+        self.eps[eidx].busy_until = now + u64::from(flits);
+        if self.eps[eidx].repl.front() == Some(&pid) {
+            self.eps[eidx].repl.pop_front();
+        }
+        // Re-examine the queues once the adapter frees up.
+        self.wake(CompRef::Ep(eidx as u32), now + u64::from(flits));
+        true
+    }
+
+    fn ep_recv_step(&mut self, eidx: usize) {
+        let now = self.now;
+        let wire_id = self.eps[eidx].from_router;
+        let mut mask = self.wires[wire_id].occupied_mask();
+        while mask != 0 {
+            let v = mask.trailing_zeros() as u8;
+            mask &= mask - 1;
+            let Some(entry) = self.wires[wire_id].head(now, v) else { continue };
+            let pid = entry.pkt;
+            self.wires[wire_id].pop(now, v);
+            self.mark_wire_active(wire_id);
+            self.moved = true;
+            self.deliver(eidx, pid);
+        }
+    }
+
+    fn deliver(&mut self, eidx: usize, pid: PacketId) {
+        let now = self.now;
+        let st = self.packets.remove(pid);
+        let ep = GlobalEndpoint { node: self.eps[eidx].node, ep: self.eps[eidx].ep };
+        self.stats.delivered_packets += 1;
+        self.stats.last_delivery_cycle = now;
+        self.stats.recv_per_endpoint[eidx] += 1;
+        if let Some(cid) = st.packet.counter {
+            if let Some(rem) = self.eps[eidx].counters.get_mut(&cid.0) {
+                *rem = rem.saturating_sub(1);
+                if *rem == 0 {
+                    self.eps[eidx].counters.remove(&cid.0);
+                    let fire = now + self.params.latency.handler_dispatch_cycles();
+                    self.handler_heap.push(Reverse((fire, eidx as u32, cid.0)));
+                }
+            }
+        }
+        self.deliveries.push(Delivery::Packet(PacketDelivery {
+            src: st.packet.src,
+            dst: ep,
+            pattern: st.packet.pattern.0,
+            counter: st.packet.counter,
+            injected_at: st.injected_at,
+            delivered_at: now,
+            torus_hops: st.torus_hops,
+            route_log: st.route_log,
+        }));
+    }
+
+    // ----- channel adapters -------------------------------------------------
+
+    fn chan_inbound_step(&mut self, cidx: usize) {
+        let now = self.now;
+        if self.chans[cidx].to_router_busy_until > now {
+            return;
+        }
+        // Drain pending multicast copies first.
+        if let Some(&pid) = self.chans[cidx].repl.front() {
+            if self.try_send_chan_to_router(cidx, pid) {
+                self.chans[cidx].repl.pop_front();
+            }
+            return;
+        }
+        let wire_id = self.chans[cidx].torus_in;
+        if self.wires[wire_id].occupied_mask() == 0 {
+            return;
+        }
+        let nvcs = self.wires[wire_id].num_vcs() as u8;
+        let start = self.chans[cidx].rr_vc_in;
+        for k in 0..nvcs {
+            let v = (start + k) % nvcs;
+            if self.wires[wire_id].occupied_mask() >> v & 1 == 0 {
+                continue;
+            }
+            let Some(entry) = self.wires[wire_id].head(now, v) else { continue };
+            let pid = entry.pkt;
+            let st = self.packets.get(pid);
+            match st.route {
+                RouteProgress::Unicast { .. } => {
+                    if !self.can_send_chan_to_router(cidx, pid) {
+                        continue;
+                    }
+                    self.wires[wire_id].pop(now, v);
+                    self.mark_wire_active(wire_id);
+                    self.moved = true;
+                    // Entry link uses the arriving T-phase VC; promotion
+                    // (if the dimension finished) applies past it.
+                    self.stage_unicast_arrival(pid);
+                    let sent = self.try_send_chan_to_router(cidx, pid);
+                    debug_assert!(sent, "send checked above");
+                    self.chans[cidx].rr_vc_in = (v + 1) % nvcs;
+                    return;
+                }
+                RouteProgress::McExit { group, tree, .. } => {
+                    let node = self.chans[cidx].node;
+                    let arrived = st.arrived_via.expect("multicast copy arrived via torus");
+                    let pkt = st.packet;
+                    // Peek at the fanout size before committing.
+                    let fanout = self.mc_fanout(node, group, tree);
+                    if self.chans[cidx].repl.len() + fanout > REPL_CAP {
+                        continue;
+                    }
+                    self.wires[wire_id].pop(now, v);
+                    self.mark_wire_active(wire_id);
+                    self.moved = true;
+                    let parent = self.packets.remove(pid);
+                    let copies = self.expand_multicast_at(
+                        node,
+                        group,
+                        tree,
+                        Some((arrived, parent.vc, parent.torus_hops)),
+                        &pkt,
+                        parent.injected_at,
+                    );
+                    for c in copies {
+                        self.chans[cidx].repl.push_back(c);
+                    }
+                    if let Some(&head) = self.chans[cidx].repl.front() {
+                        if self.try_send_chan_to_router(cidx, head) {
+                            self.chans[cidx].repl.pop_front();
+                        }
+                    }
+                    self.wake(CompRef::Chan(cidx as u32), now + 1);
+                    self.chans[cidx].rr_vc_in = (v + 1) % nvcs;
+                    return;
+                }
+                RouteProgress::McDeliver { .. } => {
+                    unreachable!("deliver copies never cross torus links")
+                }
+            }
+        }
+    }
+
+    fn can_send_chan_to_router(&self, cidx: usize, pid: PacketId) -> bool {
+        let st = self.packets.get(pid);
+        let wire_id = self.chans[cidx].to_router;
+        let vc = st.vc.vc_for(LinkGroup::T);
+        let vcidx = self.wires[wire_id].vc_index(st.packet.class, vc);
+        self.wires[wire_id].can_send(vcidx, st.flits)
+    }
+
+    fn try_send_chan_to_router(&mut self, cidx: usize, pid: PacketId) -> bool {
+        let now = self.now;
+        let st = self.packets.get(pid);
+        let wire_id = self.chans[cidx].to_router;
+        let vc = st.vc.vc_for(LinkGroup::T);
+        let vcidx = self.wires[wire_id].vc_index(st.packet.class, vc);
+        let flits = st.flits;
+        if !self.wires[wire_id].can_send(vcidx, flits) {
+            return false;
+        }
+        self.send_on_wire(wire_id, pid, vcidx);
+        self.chans[cidx].to_router_busy_until = now + u64::from(flits);
+        self.wake(CompRef::Chan(cidx as u32), now + u64::from(flits));
+        let st = self.packets.get_mut(pid);
+        if let Some(promoted) = st.pending_vc.take() {
+            st.vc = promoted;
+        }
+        true
+    }
+
+    /// Stages the node-entry VC transitions of an arriving unicast packet:
+    /// if its dimension finished, the promoted state (out of the T phase,
+    /// and into the next dimension if one remains) applies after the entry
+    /// link.
+    fn stage_unicast_arrival(&mut self, pid: PacketId) {
+        let st = self.packets.get_mut(pid);
+        let RouteProgress::Unicast { spec, .. } = &st.route else { return };
+        let arrived = st.arrived_via.expect("arrival transition outside torus arrival");
+        if spec.offsets[arrived.dim.index()] == 0 {
+            let mut promoted = st.vc;
+            promoted.end_dim();
+            if spec.next_dir().is_some() {
+                promoted.begin_dim();
+            }
+            st.pending_vc = Some(promoted);
+        }
+    }
+
+    fn chan_outbound_step(&mut self, cidx: usize) {
+        let now = self.now;
+        let gain = i64::from(TORUS_TOKEN_GAIN);
+        let cost = i64::from(TORUS_TOKEN_COST);
+        // Accumulate bandwidth tokens (lazily, since the adapter sleeps when
+        // idle), keeping the fractional remainder so the long-run rate is
+        // exactly 14/45 flits per cycle; the cap only bounds idle
+        // accumulation (at most one extra closely-spaced flit after idle).
+        {
+            let c = &mut self.chans[cidx];
+            let elapsed = (now - c.tokens_at) as i64;
+            c.tokens = (c.tokens + gain * elapsed).min(cost + gain - 1);
+            c.tokens_at = now;
+        }
+        let in_wire = self.chans[cidx].from_router;
+        let out_wire = self.chans[cidx].torus_out;
+        let crosses = self.chans[cidx].crosses_dateline;
+        if self.wires[in_wire].occupied_mask() == 0 {
+            return;
+        }
+        if self.chans[cidx].tokens < cost {
+            // Sleep until the bucket refills.
+            let deficit = cost - self.chans[cidx].tokens;
+            let refill = (deficit + gain - 1) / gain;
+            self.wake(CompRef::Chan(cidx as u32), now + refill as u64);
+            return;
+        }
+        // Gather every VC whose head is ready and whose post-dateline torus
+        // VC has credits, then let the serializer's VC arbiter pick — with
+        // inverse weights installed, this is an EoS arbitration point.
+        let nvcs = self.wires[in_wire].num_vcs() as u8;
+        let mut reqs = [ArbRequest { input: 0, pattern: 0, age: 0 }; 16];
+        let mut targets = [(PacketId(0), 0u8, VcPolicy::Anton.start()); 16];
+        let mut nreqs = 0;
+        for v in 0..nvcs {
+            if self.wires[in_wire].occupied_mask() >> v & 1 == 0 {
+                continue;
+            }
+            let Some(entry) = self.wires[in_wire].head(now, v) else { continue };
+            let pid = entry.pkt;
+            let flits = entry.flits;
+            let pattern = entry.pattern;
+            let age = entry.age;
+            let st = self.packets.get(pid);
+            // VC on the torus link after a possible dateline promotion.
+            let mut vc_after = st.vc;
+            let tvc = vc_after.torus_hop(crosses);
+            let vcidx = self.wires[out_wire].vc_index(st.packet.class, tvc);
+            if !self.wires[out_wire].can_send(vcidx, flits) {
+                continue;
+            }
+            reqs[nreqs] = ArbRequest { input: v as usize, pattern, age };
+            targets[nreqs] = (pid, vcidx, vc_after);
+            nreqs += 1;
+        }
+        if nreqs == 0 {
+            return;
+        }
+        let widx = self.chans[cidx]
+            .out_arbiter
+            .pick(&reqs[..nreqs])
+            .expect("nonempty requests yield a grant");
+        let v = reqs[widx].input as u8;
+        let (pid, vcidx, vc_after) = targets[widx];
+        let flits = self.packets.get(pid).flits;
+        self.wires[in_wire].pop(now, v);
+        self.mark_wire_active(in_wire);
+        {
+            let dir = self.chans[cidx].chan.dir;
+            let st = self.packets.get_mut(pid);
+            st.vc = vc_after;
+            st.torus_hops += 1;
+            st.arrived_via = Some(dir);
+            if let RouteProgress::Unicast { spec, .. } = &mut st.route {
+                spec.take_hop(dir);
+            }
+        }
+        self.send_on_wire(out_wire, pid, vcidx);
+        self.chans[cidx].tokens -= cost * i64::from(flits);
+        // More traffic may be waiting: wake at the next refill.
+        let deficit = (cost - self.chans[cidx].tokens).max(gain);
+        let refill = (deficit + gain - 1) / gain;
+        self.wake(CompRef::Chan(cidx as u32), now + refill as u64);
+    }
+
+    // ----- multicast ---------------------------------------------------------
+
+    fn mc_entry(&self, node: NodeId, group: McGroupId, tree: u8) -> &anton_core::multicast::McEntry {
+        self.mc_groups
+            .get(&group)
+            .unwrap_or_else(|| panic!("unknown multicast group {group}"))
+            .trees
+            .get(tree as usize)
+            .unwrap_or_else(|| panic!("multicast group {group} has no tree {tree}"))
+            .entry(node)
+            .unwrap_or_else(|| panic!("multicast {group} tree {tree} has no entry at {node}"))
+    }
+
+    fn mc_fanout(&self, node: NodeId, group: McGroupId, tree: u8) -> usize {
+        let e = self.mc_entry(node, group, tree);
+        e.forward.len() + e.local.len()
+    }
+
+    /// Creates the multicast copies for `group`/`tree` at `node`.
+    ///
+    /// `arrival` is `None` at the source endpoint, or the arriving direction
+    /// plus inherited state for copies spawned mid-tree. Mid-tree copies
+    /// keep the arriving T-phase VC for the entry link; turns and local
+    /// deliveries stage their promoted state via `pending_vc`.
+    fn expand_multicast_at(
+        &mut self,
+        node: NodeId,
+        group: McGroupId,
+        tree: u8,
+        arrival: Option<(TorusDir, VcState, u16)>,
+        pkt: &Packet,
+        injected_at: u64,
+    ) -> Vec<PacketId> {
+        let entry = self.mc_entry(node, group, tree).clone();
+        let slice = self.mc_groups[&group].trees[tree as usize].slice;
+        let mut out = Vec::with_capacity(entry.forward.len() + entry.local.len());
+        let (arrived_via, base_vc, torus_hops) = match arrival {
+            Some((dir, vc, hops)) => (Some(dir), vc, hops),
+            None => (None, self.cfg.vc_policy.start(), 0),
+        };
+        for dir in &entry.forward {
+            let (vc, pending_vc) = match arrived_via {
+                Some(a) if a.dim == dir.dim => {
+                    debug_assert_eq!(a, *dir, "tree chains never reverse direction");
+                    (base_vc, None)
+                }
+                Some(_) => {
+                    let mut promoted = base_vc;
+                    promoted.end_dim();
+                    promoted.begin_dim();
+                    (base_vc, Some(promoted))
+                }
+                None => {
+                    // Source fanout: begin the dimension immediately (the
+                    // injection link's M VC is unaffected).
+                    let mut vc = base_vc;
+                    vc.begin_dim();
+                    (vc, None)
+                }
+            };
+            out.push(self.packets.insert(PacketState {
+                packet: *pkt,
+                route: RouteProgress::McExit { group, tree, dir: *dir, slice },
+                vc,
+                pending_vc,
+                arrived_via,
+                injected_at,
+                torus_hops,
+                flits: pkt.num_flits() as u8,
+                route_log: self.record_routes.then(Vec::new),
+            }));
+        }
+        for ep in &entry.local {
+            let (vc, pending_vc) = if arrived_via.is_some() {
+                let mut promoted = base_vc;
+                promoted.end_dim();
+                (base_vc, Some(promoted))
+            } else {
+                (base_vc, None)
+            };
+            out.push(self.packets.insert(PacketState {
+                packet: *pkt,
+                route: RouteProgress::McDeliver { group, ep: *ep },
+                vc,
+                pending_vc,
+                arrived_via,
+                injected_at,
+                torus_hops,
+                flits: pkt.num_flits() as u8,
+                route_log: self.record_routes.then(Vec::new),
+            }));
+        }
+        out
+    }
+
+    // ----- routers -----------------------------------------------------------
+
+    fn router_step(&mut self, ridx: usize) {
+        let now = self.now;
+        let nports = self.routers[ridx].ports.len();
+        #[derive(Clone, Copy)]
+        struct Cand {
+            vcidx: u8,
+            pid: PacketId,
+            out_port: usize,
+            out_vcidx: u8,
+            flits: u8,
+            pattern: u8,
+            age: u64,
+        }
+        let mut cands: [Option<Cand>; MAX_ROUTER_PORTS] = [None; MAX_ROUTER_PORTS];
+        for inp in 0..nports {
+            let in_wire = self.routers[ridx].ports[inp].in_wire;
+            let occupied = self.wires[in_wire].occupied_mask();
+            if occupied == 0 {
+                continue;
+            }
+            // SA1: gather every VC whose head can proceed, then let the
+            // input port's VC arbiter choose (inverse-weighted when
+            // programmed).
+            let nvcs = self.wires[in_wire].num_vcs() as u8;
+            let mut vc_cands: [Option<Cand>; 16] = [None; 16];
+            let mut vc_reqs = [ArbRequest { input: 0, pattern: 0, age: 0 }; 16];
+            let mut n_vc = 0usize;
+            for v in 0..nvcs {
+                if occupied >> v & 1 == 0 {
+                    continue;
+                }
+                let Some(entry) = self.wires[in_wire].head(now, v) else { continue };
+                let mut e = *entry;
+                if e.rc_port == 0xFF {
+                    // Route computation: once per packet per router, cached
+                    // in the buffer entry.
+                    let (out_port, out_vc) = self.route_output(ridx, e.pkt);
+                    let out_wire = self.routers[ridx].ports[out_port].out_wire;
+                    let class = if e.class == 0 {
+                        anton_core::vc::TrafficClass::Request
+                    } else {
+                        anton_core::vc::TrafficClass::Reply
+                    };
+                    e.rc_port = out_port as u8;
+                    e.rc_vcidx = self.wires[out_wire].vc_index(class, out_vc);
+                    let head = self.wires[in_wire].head_mut(v);
+                    head.rc_port = e.rc_port;
+                    head.rc_vcidx = e.rc_vcidx;
+                }
+                let out_port = e.rc_port as usize;
+                if self.routers[ridx].out_busy_until[out_port] > now {
+                    continue;
+                }
+                let out_wire = self.routers[ridx].ports[out_port].out_wire;
+                if !self.wires[out_wire].can_send(e.rc_vcidx, e.flits) {
+                    continue;
+                }
+                vc_cands[n_vc] = Some(Cand {
+                    vcidx: v,
+                    pid: e.pkt,
+                    out_port,
+                    out_vcidx: e.rc_vcidx,
+                    flits: e.flits,
+                    pattern: e.pattern,
+                    age: e.age,
+                });
+                vc_reqs[n_vc] = ArbRequest { input: v as usize, pattern: e.pattern, age: e.age };
+                n_vc += 1;
+            }
+            cands[inp] = match n_vc {
+                0 => None,
+                1 => vc_cands[0],
+                _ => {
+                    let w = self.routers[ridx].in_arbiters[inp]
+                        .pick(&vc_reqs[..n_vc])
+                        .expect("nonempty requests yield a grant");
+                    vc_cands[w]
+                }
+            };
+        }
+        let mut reqs_buf = [ArbRequest { input: 0, pattern: 0, age: 0 }; MAX_ROUTER_PORTS];
+        for out in 0..nports {
+            let mut nreqs = 0;
+            for inp in 0..nports {
+                if let Some(c) = cands[inp].filter(|c| c.out_port == out) {
+                    reqs_buf[nreqs] =
+                        ArbRequest { input: inp, pattern: c.pattern, age: c.age };
+                    nreqs += 1;
+                }
+            }
+            let reqs = &reqs_buf[..nreqs];
+            if reqs.is_empty() {
+                continue;
+            }
+            let widx = self.routers[ridx].arbiters[out]
+                .pick(reqs)
+                .expect("nonempty requests yield a grant");
+            let inp = reqs[widx].input;
+            let cand = cands[inp].expect("winner came from candidates");
+            let in_wire = self.routers[ridx].ports[inp].in_wire;
+            let out_wire = self.routers[ridx].ports[out].out_wire;
+            self.wires[in_wire].pop(now, cand.vcidx);
+            self.mark_wire_active(in_wire);
+            self.send_on_wire(out_wire, cand.pid, cand.out_vcidx);
+            self.routers[ridx].out_busy_until[out] = now + u64::from(cand.flits);
+            self.wake(CompRef::Router(ridx as u32), now + 2);
+            if self.params.track_energy {
+                self.record_energy(ridx, out, cand.pid, cand.flits);
+            }
+        }
+    }
+
+    fn record_energy(&mut self, ridx: usize, out: usize, pid: PacketId, flits: u8) {
+        let now = self.now;
+        let st = self.packets.get(pid);
+        let mut words = Vec::with_capacity(flits as usize);
+        for j in 0..flits as usize {
+            words.push(st.packet.flit_words(j));
+        }
+        let r = &mut self.routers[ridx];
+        let pe = &mut r.port_energy[out];
+        // A transfer starting exactly when the previous one ended is
+        // back-to-back (no idle cycle): not an activation. The per-set-bit
+        // energy of the Section 4.5 model is an *activation* energy, so the
+        // activating flit's payload bits are recorded with the activation.
+        if now > pe.idle_from {
+            r.energy.activations += 1;
+            r.energy.set_bits += u64::from(words[0][1].count_ones() + words[0][2].count_ones());
+        }
+        for w in &words {
+            r.energy.flits += 1;
+            r.energy.flips += u64::from(anton_core::packet::flit_hamming(&pe.last_words, w));
+            pe.last_words = *w;
+        }
+        pe.idle_from = now + u64::from(flits);
+    }
+}

@@ -1,0 +1,367 @@
+//! Credit-flow-controlled channels.
+//!
+//! Every directed channel of the machine — mesh links, skip channels,
+//! adapter links, and external torus channels — is a [`Wire`]: a fixed-
+//! latency pipe whose receiving end holds per-VC input buffers, with
+//! credit-based virtual cut-through flow control. The sender may only push a
+//! packet when it holds enough credits for all of its flits; credits return
+//! to the sender one link latency after the receiver drains the packet.
+//!
+//! Buffer entries carry a copy of the scheduling-relevant packet metadata
+//! (flit count, class, pattern, age) and a per-hop route-computation cache,
+//! so the simulator's switch-allocation loops never touch the packet slab
+//! for blocked heads.
+
+use std::collections::VecDeque;
+
+use anton_core::trace::GlobalLink;
+use anton_core::vc::{TrafficClass, Vc};
+
+use crate::state::PacketId;
+
+/// Scheduling metadata carried alongside a buffered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufEntry {
+    /// The buffered packet.
+    pub pkt: PacketId,
+    /// Cycle at which the packet clears the receiver pipeline.
+    pub ready_at: u64,
+    /// Flits the packet occupies.
+    pub flits: u8,
+    /// Traffic class index.
+    pub class: u8,
+    /// Traffic-pattern tag.
+    pub pattern: u8,
+    /// Route-computation cache: output port at the receiving router
+    /// (`0xFF` = not yet computed).
+    pub rc_port: u8,
+    /// Route-computation cache: VC index on the output wire.
+    pub rc_vcidx: u8,
+    /// Injection timestamp (age-based arbitration).
+    pub age: u64,
+}
+
+/// One directed, credit-controlled channel.
+#[derive(Debug)]
+pub struct Wire {
+    /// The structural link this wire realizes.
+    pub label: GlobalLink,
+    /// Flight latency in cycles (tail flit timing).
+    pub latency: u64,
+    /// Receiver pipeline delay added before a buffered packet becomes
+    /// eligible for forwarding (router RC/VA/SA stages).
+    pub rx_pipeline: u64,
+    /// VCs per traffic class on this wire.
+    pub group_vcs: u8,
+    /// Buffer depth per VC in flits.
+    depth: u8,
+    /// Sender-side credits per VC index.
+    credits: Vec<u8>,
+    /// Packets in flight: `(tail_arrival_cycle, entry, vc_index)`, FIFO.
+    in_flight: VecDeque<(u64, BufEntry, u8)>,
+    /// Credits returning to the sender: `(arrival_cycle, vc_index, flits)`.
+    credit_returns: VecDeque<(u64, u8, u8)>,
+    /// Receiver-side buffers per VC index.
+    bufs: Vec<VecDeque<BufEntry>>,
+    /// Total flits ever sent on this wire (for utilization reporting).
+    pub flits_carried: u64,
+    /// Bit per VC index: set while the VC's receive buffer is nonempty.
+    occupied: u16,
+}
+
+impl Wire {
+    /// Creates a wire with `group_vcs` VCs per class (two classes) and the
+    /// given buffer depth per VC.
+    pub fn new(
+        label: GlobalLink,
+        latency: u64,
+        rx_pipeline: u64,
+        group_vcs: u8,
+        depth: u8,
+    ) -> Wire {
+        assert!(latency >= 1, "wires need at least one cycle of latency");
+        assert!(group_vcs >= 1 && depth >= 2, "need VCs and room for a max-size packet");
+        let nvcs = 2 * group_vcs as usize;
+        Wire {
+            label,
+            latency,
+            rx_pipeline,
+            group_vcs,
+            depth,
+            credits: vec![depth; nvcs],
+            in_flight: VecDeque::new(),
+            credit_returns: VecDeque::new(),
+            bufs: vec![VecDeque::new(); nvcs],
+            flits_carried: 0,
+            occupied: 0,
+        }
+    }
+
+    /// Total VC count (both classes).
+    pub fn num_vcs(&self) -> usize {
+        self.credits.len()
+    }
+
+    /// Flattened VC index of `(class, vc)` on this wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` exceeds the wire's per-class VC count.
+    pub fn vc_index(&self, class: TrafficClass, vc: Vc) -> u8 {
+        assert!(
+            vc.0 < self.group_vcs,
+            "vc {vc} out of range for wire {} with {} VCs/class",
+            self.label,
+            self.group_vcs
+        );
+        class.index() as u8 * self.group_vcs + vc.0
+    }
+
+    /// Whether the sender holds enough credits for a `flits`-flit packet.
+    #[inline]
+    pub fn can_send(&self, vcidx: u8, flits: u8) -> bool {
+        self.credits[vcidx as usize] >= flits
+    }
+
+    /// Pushes a packet onto the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics without sufficient credits; check [`Wire::can_send`] first.
+    pub fn send(&mut self, now: u64, mut entry: BufEntry, vcidx: u8) {
+        let flits = entry.flits;
+        assert!(self.can_send(vcidx, flits), "send without credits on {}", self.label);
+        self.credits[vcidx as usize] -= flits;
+        self.flits_carried += u64::from(flits);
+        let tail_arrival = now + self.latency + u64::from(flits) - 1;
+        entry.ready_at = tail_arrival + self.rx_pipeline;
+        entry.rc_port = 0xFF;
+        self.in_flight.push_back((tail_arrival, entry, vcidx));
+    }
+
+    /// Advances wire state to `now`: matured credits return to the sender
+    /// and arrived packets enter the receive buffers.
+    ///
+    /// Returns `(arrival_ready, credited)`: the latest receiver-pipeline
+    /// ready time among arrivals this cycle (to wake the consumer), and
+    /// whether any credits returned (to wake the producer).
+    pub fn tick(&mut self, now: u64) -> (Option<u64>, bool) {
+        let mut credited = false;
+        while let Some(&(t, _, _)) = self.credit_returns.front() {
+            if t > now {
+                break;
+            }
+            let (_, vcidx, flits) = self.credit_returns.pop_front().expect("peeked");
+            self.credits[vcidx as usize] += flits;
+            credited = true;
+            debug_assert!(self.credits[vcidx as usize] <= self.depth, "credit overflow");
+        }
+        let mut arrival_ready = None;
+        while let Some(&(t, entry, vcidx)) = self.in_flight.front() {
+            if t > now {
+                break;
+            }
+            self.in_flight.pop_front();
+            arrival_ready = Some(arrival_ready.map_or(entry.ready_at, |r: u64| r.max(entry.ready_at)));
+            self.bufs[vcidx as usize].push_back(entry);
+            self.occupied |= 1 << vcidx;
+        }
+        (arrival_ready, credited)
+    }
+
+    /// Whether the wire has no flits or credits in flight (nothing left to
+    /// tick).
+    #[inline]
+    pub fn idle(&self) -> bool {
+        self.in_flight.is_empty() && self.credit_returns.is_empty()
+    }
+
+    /// Bitmask of VC indices with nonempty receive buffers (heads may still
+    /// be mid-pipeline; check [`Wire::head`]).
+    #[inline]
+    pub fn occupied_mask(&self) -> u16 {
+        self.occupied
+    }
+
+    /// The head entry of a VC buffer, if it is ready at `now`.
+    #[inline]
+    pub fn head(&self, now: u64, vcidx: u8) -> Option<&BufEntry> {
+        match self.bufs[vcidx as usize].front() {
+            Some(e) if e.ready_at <= now => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the head entry (for the route-computation cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    #[inline]
+    pub fn head_mut(&mut self, vcidx: u8) -> &mut BufEntry {
+        self.bufs[vcidx as usize].front_mut().expect("head of empty VC buffer")
+    }
+
+    /// Pops the head packet of a VC buffer, scheduling the credit return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn pop(&mut self, now: u64, vcidx: u8) -> BufEntry {
+        let entry = self.bufs[vcidx as usize].pop_front().expect("pop from empty VC buffer");
+        if self.bufs[vcidx as usize].is_empty() {
+            self.occupied &= !(1 << vcidx);
+        }
+        self.credit_returns.push_back((now + self.latency, vcidx, entry.flits));
+        entry
+    }
+
+    /// Whether any packet sits in flight or buffered.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight.is_empty() && self.occupied == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_core::chip::LocalEndpointId;
+    use anton_core::chip::LocalLink;
+    use anton_core::topology::NodeId;
+
+    fn wire(latency: u64, depth: u8) -> Wire {
+        Wire::new(
+            GlobalLink::Local {
+                node: NodeId(0),
+                link: LocalLink::EpToRouter(LocalEndpointId(0)),
+            },
+            latency,
+            0,
+            4,
+            depth,
+        )
+    }
+
+    fn entry(pkt: u32, flits: u8) -> BufEntry {
+        BufEntry {
+            pkt: PacketId(pkt),
+            ready_at: 0,
+            flits,
+            class: 0,
+            pattern: 0,
+            rc_port: 0xFF,
+            rc_vcidx: 0,
+            age: 0,
+        }
+    }
+
+    #[test]
+    fn packet_arrives_after_latency() {
+        let mut w = wire(3, 4);
+        w.send(10, entry(7, 1), 0);
+        for t in 10..13 {
+            w.tick(t);
+            assert!(w.head(t, 0).is_none(), "arrived early at {t}");
+        }
+        w.tick(13);
+        assert_eq!(w.head(13, 0).unwrap().pkt, PacketId(7));
+    }
+
+    #[test]
+    fn two_flit_packet_arrives_one_cycle_later() {
+        let mut w = wire(3, 4);
+        w.send(0, entry(1, 2), 0);
+        w.tick(3);
+        assert!(w.head(3, 0).is_none());
+        w.tick(4);
+        assert_eq!(w.head(4, 0).unwrap().pkt, PacketId(1));
+    }
+
+    #[test]
+    fn credits_block_and_return() {
+        let mut w = wire(2, 3);
+        assert!(w.can_send(0, 2));
+        w.send(0, entry(1, 2), 0);
+        assert!(!w.can_send(0, 2), "only 1 credit left");
+        assert!(w.can_send(0, 1));
+        w.send(0, entry(2, 1), 0);
+        assert!(!w.can_send(0, 1));
+        // Drain at the receiver; credits return after the wire latency.
+        w.tick(3);
+        assert_eq!(w.pop(3, 0).pkt, PacketId(1));
+        w.tick(4);
+        assert!(!w.can_send(0, 2), "credits in flight");
+        w.tick(5);
+        assert!(w.can_send(0, 2), "credits should have returned");
+    }
+
+    #[test]
+    fn vcs_are_independent() {
+        let mut w = wire(1, 2);
+        w.send(0, entry(1, 2), 0);
+        assert!(!w.can_send(0, 1));
+        assert!(w.can_send(3, 2), "other VC unaffected");
+        w.send(0, entry(2, 1), 3);
+        w.tick(2);
+        assert_eq!(w.head(2, 3).unwrap().pkt, PacketId(2));
+        assert_eq!(w.occupied_mask(), 0b1001);
+    }
+
+    #[test]
+    fn rx_pipeline_delays_readiness() {
+        let mut w = Wire::new(
+            GlobalLink::Local {
+                node: NodeId(0),
+                link: LocalLink::EpToRouter(LocalEndpointId(0)),
+            },
+            1,
+            3,
+            4,
+            4,
+        );
+        w.send(0, entry(9, 1), 1);
+        w.tick(1);
+        assert!(w.head(1, 1).is_none(), "pipeline stages not yet elapsed");
+        w.tick(4);
+        assert_eq!(w.head(4, 1).unwrap().pkt, PacketId(9));
+    }
+
+    #[test]
+    fn occupied_mask_tracks_buffers() {
+        let mut w = wire(1, 4);
+        assert_eq!(w.occupied_mask(), 0);
+        w.send(0, entry(1, 1), 2);
+        w.tick(1);
+        assert_eq!(w.occupied_mask(), 0b100);
+        w.pop(1, 2);
+        assert_eq!(w.occupied_mask(), 0);
+        assert!(w.is_quiescent() || !w.is_quiescent());
+    }
+
+    #[test]
+    fn rc_cache_cleared_on_send() {
+        let mut w = wire(1, 4);
+        let mut e = entry(1, 1);
+        e.rc_port = 3;
+        w.send(0, e, 0);
+        w.tick(1);
+        assert_eq!(w.head(1, 0).unwrap().rc_port, 0xFF, "stale RC must not travel");
+    }
+
+    #[test]
+    fn vc_index_layout() {
+        let w = wire(1, 4);
+        assert_eq!(w.vc_index(TrafficClass::Request, Vc(0)), 0);
+        assert_eq!(w.vc_index(TrafficClass::Request, Vc(3)), 3);
+        assert_eq!(w.vc_index(TrafficClass::Reply, Vc(0)), 4);
+        assert_eq!(w.vc_index(TrafficClass::Reply, Vc(3)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "without credits")]
+    fn overcommit_rejected() {
+        let mut w = wire(1, 2);
+        w.send(0, entry(1, 2), 0);
+        w.send(0, entry(2, 1), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Designing the on-chip routing algorithm (Section 2.4).
+//!
+//! Shows the optimization workflow the Anton 2 designers used: treat the
+//! ASIC as a switch between its twelve external channels, enumerate the
+//! worst-case switching demands (permutations — the extreme points of the
+//! load-maximization LP), and pick the direction-order routing algorithm
+//! minimizing the worst-case mesh-channel load.
+//!
+//! ```sh
+//! cargo run --release --example onchip_switch_design
+//! ```
+
+use anton2::anton_analysis::worstcase::{eq1_permutation, format_perm, max_mesh_load, search};
+use anton2::anton_core::chip::ChipLayout;
+use anton2::anton_core::onchip::DirOrder;
+use anton2::anton_sim::params::{MESH_GBPS, TORUS_EFFECTIVE_GBPS};
+
+fn main() {
+    let chip = ChipLayout::default();
+    let results = search(&chip);
+
+    println!("direction-order algorithms ranked by worst-case mesh load:");
+    for (i, r) in results.iter().enumerate().take(4) {
+        println!("  {}. {}  -> {:.1} torus channels", i + 1, r.order, r.worst_load);
+    }
+    let best = &results[0];
+    println!("  ... ({} orders total; worst performers reach {:.1})",
+        results.len(),
+        results.last().unwrap().worst_load
+    );
+
+    // The paper's equation (1) is one of the worst-case demands.
+    let eq1 = eq1_permutation();
+    println!();
+    println!("eq. (1): {}", format_perm(&eq1));
+    println!(
+        "load under the selected order: {:.1} (its worst case: {:.1})",
+        max_mesh_load(&chip, DirOrder::ANTON, &eq1),
+        best.worst_load
+    );
+
+    // Bandwidth check: a mesh channel can carry the worst case with room
+    // for endpoint traffic (Section 2.4's closing argument).
+    let needed = best.worst_load * TORUS_EFFECTIVE_GBPS;
+    println!();
+    println!(
+        "mesh channel: {MESH_GBPS:.0} Gb/s vs worst-case through-demand {needed:.1} Gb/s \
+         -> {:.0} Gb/s headroom for endpoint traffic",
+        MESH_GBPS - needed
+    );
+    assert!(MESH_GBPS > needed, "the mesh must never bottleneck the torus channels");
+}

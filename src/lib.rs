@@ -1,0 +1,34 @@
+//! # anton2 — facade crate
+//!
+//! Re-exports every crate of the Anton 2 unified-network reproduction
+//! (*"Unifying on-chip and inter-node switching within the Anton 2
+//! network"*, ISCA 2014) under one roof, for examples and downstream users
+//! who want a single dependency:
+//!
+//! * [`anton_core`] — topology, routing, VC promotion, multicast, packets;
+//! * [`anton_arbiter`] — the inverse-weighted arbiter and baselines;
+//! * [`anton_link`] — the SerDes link layer (framing, CRC, go-back-N);
+//! * [`anton_traffic`] — evaluation traffic patterns and MD workloads;
+//! * [`anton_analysis`] — channel loads, worst-case search, weights,
+//!   deadlock graphs;
+//! * [`anton_sim`] — the cycle-driven flit-level simulator;
+//! * [`anton_energy`] — the router energy model and measurement;
+//! * [`anton_area`] — the silicon area model;
+//! * [`anton_pack`] — machine packaging (backplanes, racks, cables);
+//! * [`anton_bench`] — the experiment harness regenerating the paper's
+//!   tables and figures.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
+
+pub use anton_analysis;
+pub use anton_arbiter;
+pub use anton_area;
+pub use anton_bench;
+pub use anton_core;
+pub use anton_energy;
+pub use anton_link;
+pub use anton_pack;
+pub use anton_sim;
+pub use anton_traffic;
