@@ -10,8 +10,8 @@
 
 use std::collections::HashMap;
 
-use anton_core::config::{GlobalEndpoint, MachineConfig};
 use anton_core::chip::LocalEndpointId;
+use anton_core::config::{GlobalEndpoint, MachineConfig};
 use anton_core::routing::{DimOrder, RouteSpec};
 use anton_core::topology::{Dim, Slice};
 use anton_core::trace::{trace_unicast, GlobalLink};
@@ -137,7 +137,10 @@ pub struct RouteEnumeration {
 impl Default for RouteEnumeration {
     fn default() -> RouteEnumeration {
         // Corner and interior routers cover every mesh-segment shape.
-        RouteEnumeration { src_endpoints: vec![0, 5, 15], dst_endpoints: vec![0, 10, 15] }
+        RouteEnumeration {
+            src_endpoints: vec![0, 5, 15],
+            dst_endpoints: vec![0, 10, 15],
+        }
     }
 }
 
@@ -164,7 +167,11 @@ pub fn build_unicast_dep_graph(cfg: &MachineConfig, en: &RouteEnumeration) -> De
                             offsets[d] = ch[idx % ch.len()];
                             idx /= ch.len();
                         }
-                        let spec = RouteSpec { order, slice, offsets };
+                        let spec = RouteSpec {
+                            order,
+                            slice,
+                            offsets,
+                        };
                         for &se in &en.src_endpoints {
                             for &de in &en.dst_endpoints {
                                 let src = GlobalEndpoint {
@@ -194,7 +201,10 @@ mod tests {
     use anton_core::vc::VcPolicy;
 
     fn quick_enum() -> RouteEnumeration {
-        RouteEnumeration { src_endpoints: vec![0], dst_endpoints: vec![15] }
+        RouteEnumeration {
+            src_endpoints: vec![0],
+            dst_endpoints: vec![15],
+        }
     }
 
     fn graph_for(k: u8, policy: VcPolicy) -> DepGraph {
@@ -218,7 +228,10 @@ mod tests {
     #[test]
     fn baseline_policy_acyclic() {
         let g = graph_for(4, VcPolicy::Baseline2n);
-        assert!(g.find_cycle().is_none(), "2n-VC baseline must be deadlock-free");
+        assert!(
+            g.find_cycle().is_none(),
+            "2n-VC baseline must be deadlock-free"
+        );
     }
 
     #[test]
@@ -271,7 +284,10 @@ mod tests {
             (
                 GlobalLink::Local {
                     node: NodeId(u32::from(i)),
-                    link: LocalLink::Mesh { from: MeshCoord::new(0, 0), dir: MeshDir::UPlus },
+                    link: LocalLink::Mesh {
+                        from: MeshCoord::new(0, 0),
+                        dir: MeshDir::UPlus,
+                    },
                 },
                 Vc(0),
             )

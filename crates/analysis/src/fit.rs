@@ -32,15 +32,25 @@ pub fn least_squares(xs: &[Vec<f64>], ys: &[f64]) -> Vec<f64> {
     // Gaussian elimination with partial pivoting.
     for col in 0..p {
         let pivot = (col..p)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("nonempty");
         a.swap(col, pivot);
-        assert!(a[col][col].abs() > 1e-12, "singular normal matrix (collinear regressors)");
+        assert!(
+            a[col][col].abs() > 1e-12,
+            "singular normal matrix (collinear regressors)"
+        );
         for row in 0..p {
             if row == col {
                 continue;
             }
             let f = a[row][col] / a[col][col];
+            // `j` indexes two rows of `a` at once; an iterator can't.
+            #[allow(clippy::needless_range_loop)]
             for j in col..=p {
                 a[row][j] -= f * a[col][j];
             }

@@ -32,7 +32,9 @@ pub fn link_into_router(
             LocalLink::Skip { from } => {
                 Some((*node, cfg.chip.skip_partner(from)?, LocalAttach::Skip))
             }
-            LocalLink::ChanToRouter(c) => Some((*node, cfg.chip.chan_router(c), LocalAttach::Chan(c))),
+            LocalLink::ChanToRouter(c) => {
+                Some((*node, cfg.chip.chan_router(c), LocalAttach::Chan(c)))
+            }
             LocalLink::EpToRouter(e) => {
                 Some((*node, cfg.chip.endpoint_router(e), LocalAttach::Endpoint(e)))
             }
@@ -99,11 +101,7 @@ impl LoadAnalysis {
                     .as_slice(),
             );
             for node in cfg.shape.nodes() {
-                let delta = [
-                    i32::from(node.x),
-                    i32::from(node.y),
-                    i32::from(node.z),
-                ];
+                let delta = [i32::from(node.x), i32::from(node.y), i32::from(node.z)];
                 for (link, load) in &base.link_loads {
                     *analysis
                         .link_loads
@@ -155,8 +153,10 @@ impl LoadAnalysis {
         let src_c = cfg.shape.coord(src.node);
         let dst_c = cfg.shape.coord(dst.node);
         // Enumerate tie choices per dimension.
-        let choices: Vec<Vec<i32>> =
-            Dim::ALL.iter().map(|d| cfg.shape.minimal_offset_choices(*d, src_c, dst_c)).collect();
+        let choices: Vec<Vec<i32>> = Dim::ALL
+            .iter()
+            .map(|d| cfg.shape.minimal_offset_choices(*d, src_c, dst_c))
+            .collect();
         let num_combos: usize = choices.iter().map(|c| c.len()).product();
         let w = rate / (12.0 * num_combos as f64);
         for order in DimOrder::ALL {
@@ -168,7 +168,11 @@ impl LoadAnalysis {
                         offsets[d] = ch[idx % ch.len()];
                         idx /= ch.len();
                     }
-                    let spec = RouteSpec { order, slice, offsets };
+                    let spec = RouteSpec {
+                        order,
+                        slice,
+                        offsets,
+                    };
                     let steps = trace_unicast(cfg, src, dst, &spec);
                     for (link, vc) in &steps {
                         *self.link_loads.entry(*link).or_insert(0.0) += w;
@@ -179,7 +183,11 @@ impl LoadAnalysis {
                         if let (Some((n1, r1, pin)), Some((n2, r2, pout))) =
                             (link_into_router(cfg, l1), link_out_of_router(cfg, l2))
                         {
-                            debug_assert_eq!((n1, r1), (n2, r2), "consecutive links must share a router");
+                            debug_assert_eq!(
+                                (n1, r1),
+                                (n2, r2),
+                                "consecutive links must share a router"
+                            );
                             *self.router_flows.entry((n1, r1, pin, pout)).or_insert(0.0) += w;
                         }
                     }
@@ -207,7 +215,13 @@ impl LoadAnalysis {
         self.link_loads
             .iter()
             .filter(|(l, _)| {
-                matches!(l, GlobalLink::Local { link: LocalLink::Mesh { .. }, .. })
+                matches!(
+                    l,
+                    GlobalLink::Local {
+                        link: LocalLink::Mesh { .. },
+                        ..
+                    }
+                )
             })
             .map(|(_, v)| *v)
             .fold(0.0, f64::max)
@@ -237,9 +251,10 @@ fn translate_node(cfg: &MachineConfig, node: NodeId, delta: [i32; 3]) -> NodeId 
 
 fn translate_link(cfg: &MachineConfig, link: &GlobalLink, delta: [i32; 3]) -> GlobalLink {
     match link {
-        GlobalLink::Local { node, link } => {
-            GlobalLink::Local { node: translate_node(cfg, *node, delta), link: *link }
-        }
+        GlobalLink::Local { node, link } => GlobalLink::Local {
+            node: translate_node(cfg, *node, delta),
+            link: *link,
+        },
         GlobalLink::Torus { from, dir, slice } => GlobalLink::Torus {
             from: translate_node(cfg, *from, delta),
             dir: *dir,
@@ -250,9 +265,7 @@ fn translate_link(cfg: &MachineConfig, link: &GlobalLink, delta: [i32; 3]) -> Gl
 
 /// Convenience: the load every torus channel carries under a pattern, as a
 /// map from `(from node, direction, slice)`.
-pub fn torus_channel_loads(
-    analysis: &LoadAnalysis,
-) -> HashMap<(NodeId, TorusDir, Slice), f64> {
+pub fn torus_channel_loads(analysis: &LoadAnalysis) -> HashMap<(NodeId, TorusDir, Slice), f64> {
     analysis
         .link_loads
         .iter()
@@ -281,7 +294,9 @@ pub fn router_port_flows(
     let mut out: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
     for ((n, r, pin, pout), load) in &analysis.router_flows {
         if *n == node && *r == router && *load > 0.0 {
-            out.entry(port_idx(pout)).or_default().push((port_idx(pin), *load));
+            out.entry(port_idx(pout))
+                .or_default()
+                .push((port_idx(pin), *load));
         }
     }
     for flows in out.values_mut() {
@@ -292,7 +307,10 @@ pub fn router_port_flows(
 
 /// Is this channel id usable as an arrival adapter? Helper for tests.
 pub fn arrival_chan(dir_of_travel: TorusDir, slice: Slice) -> ChanId {
-    ChanId { dir: dir_of_travel.opposite(), slice }
+    ChanId {
+        dir: dir_of_travel.opposite(),
+        slice,
+    }
 }
 
 #[cfg(test)]
@@ -330,7 +348,10 @@ mod tests {
         assert_eq!(loads.len(), 64 * 12);
         let first = loads.values().next().copied().unwrap();
         for ((n, d, s), v) in &loads {
-            assert!((v - first).abs() < 1e-9, "channel {n}/{d}{s} load {v} != {first}");
+            assert!(
+                (v - first).abs() < 1e-9,
+                "channel {n}/{d}{s} load {v} != {first}"
+            );
         }
     }
 
@@ -358,7 +379,10 @@ mod tests {
         // balance, and the tie at 2 splits evenly, so each of the 4 X
         // channels carries an equal quarter.
         let expected = eps * per_packet_x_hops / 4.0;
-        assert!((load - expected).abs() < 1e-9, "load {load} vs expected {expected}");
+        assert!(
+            (load - expected).abs() < 1e-9,
+            "load {load} vs expected {expected}"
+        );
     }
 
     #[test]

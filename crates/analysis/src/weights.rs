@@ -60,7 +60,10 @@ impl ArbiterWeightSet {
         m_bits: u32,
     ) -> ArbiterWeightSet {
         assert!(!analyses.is_empty(), "need at least one pattern analysis");
-        assert!((2..=16).contains(&m_bits), "m_bits={m_bits} out of range 2..=16");
+        assert!(
+            (2..=16).contains(&m_bits),
+            "m_bits={m_bits} out of range 2..=16"
+        );
         let max_w = (1u32 << m_bits) - 1;
         let mut tables: HashMap<ArbiterKey, Vec<Vec<u32>>> = HashMap::new();
         for node in cfg.shape.nodes().map(|c| cfg.shape.id(c)) {
@@ -80,10 +83,10 @@ impl ArbiterWeightSet {
                 if !any {
                     continue;
                 }
-                for out in 0..nports {
+                for (out, out_loads) in loads.iter().enumerate() {
                     // β scaled to the smallest nonzero load so the largest
                     // weight saturates the M-bit field.
-                    let min_load = loads[out]
+                    let min_load = out_loads
                         .iter()
                         .flatten()
                         .copied()
@@ -97,7 +100,7 @@ impl ArbiterWeightSet {
                         .map(|input| {
                             (0..analyses.len())
                                 .map(|n| {
-                                    let g = loads[out][input][n];
+                                    let g = out_loads[input][n];
                                     if g > 0.0 {
                                         ((beta / g).round() as u32).clamp(1, max_w)
                                     } else {
@@ -125,7 +128,7 @@ impl ArbiterWeightSet {
                 let mut loads = vec![vec![0.0f64; analyses.len()]; nvcs];
                 let mut any = false;
                 for (n, analysis) in analyses.iter().enumerate() {
-                    for vc in 0..group_vcs {
+                    for (vc, slot) in loads.iter_mut().enumerate().take(group_vcs) {
                         let l = analysis
                             .link_vc_loads
                             .get(&(link, anton_core::vc::Vc(vc as u8)))
@@ -134,7 +137,7 @@ impl ArbiterWeightSet {
                         if l > 0.0 {
                             // Analyzed traffic is Request class (VC indices
                             // 0..group_vcs).
-                            loads[vc][n] = l;
+                            slot[n] = l;
                             any = true;
                         }
                     }
@@ -200,14 +203,14 @@ impl ArbiterWeightSet {
                     let mut loads = vec![vec![0.0f64; analyses.len()]; nvcs];
                     let mut any = false;
                     for (n, analysis) in analyses.iter().enumerate() {
-                        for vc in 0..group_vcs {
+                        for (vc, slot) in loads.iter_mut().enumerate().take(group_vcs) {
                             let l = analysis
                                 .link_vc_loads
                                 .get(&(glink, anton_core::vc::Vc(vc as u8)))
                                 .copied()
                                 .unwrap_or(0.0);
                             if l > 0.0 {
-                                loads[vc][n] = l;
+                                slot[n] = l;
                                 any = true;
                             }
                         }
@@ -240,7 +243,13 @@ impl ArbiterWeightSet {
                 }
             }
         }
-        ArbiterWeightSet { m_bits, tables, chan_tables, input_tables, num_patterns: analyses.len() }
+        ArbiterWeightSet {
+            m_bits,
+            tables,
+            chan_tables,
+            input_tables,
+            num_patterns: analyses.len(),
+        }
     }
 
     /// The weight table of one arbiter, if the analyses placed load on it.
@@ -273,8 +282,7 @@ mod tests {
             let r = MeshCoord::from_index(*router);
             let flows = router_port_flows(&cfg, &analysis, *node, r);
             let Some(ins) = flows.get(out) else { continue };
-            let min_load =
-                ins.iter().map(|(_, l)| *l).fold(f64::INFINITY, f64::min);
+            let min_load = ins.iter().map(|(_, l)| *l).fold(f64::INFINITY, f64::min);
             let beta = f64::from(max_w) * min_load;
             for (i, load) in ins {
                 let expect = ((beta / load).round() as u32).clamp(1, max_w);

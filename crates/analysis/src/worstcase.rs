@@ -93,11 +93,19 @@ pub fn mesh_link_loads(
             continue;
         }
         for slice in Slice::ALL {
-            let from = chip.chan_router(ChanId { dir: src_dir, slice });
-            let to = chip.chan_router(ChanId { dir: dst_dir, slice });
+            let from = chip.chan_router(ChanId {
+                dir: src_dir,
+                slice,
+            });
+            let to = chip.chan_router(ChanId {
+                dir: dst_dir,
+                slice,
+            });
             let mut cur = from;
             while let Some(d) = order.next_dir(cur, to) {
-                *loads.entry(LocalLink::Mesh { from: cur, dir: d }).or_insert(0.0) += 1.0;
+                *loads
+                    .entry(LocalLink::Mesh { from: cur, dir: d })
+                    .or_insert(0.0) += 1.0;
                 cur = cur.step(d).expect("mesh route stays on chip");
             }
         }
@@ -107,7 +115,10 @@ pub fn mesh_link_loads(
 
 /// Maximum mesh-channel load of one `(order, permutation)` pair.
 pub fn max_mesh_load(chip: &ChipLayout, order: DirOrder, perm: &SwitchPerm) -> f64 {
-    mesh_link_loads(chip, order, perm).values().copied().fold(0.0, f64::max)
+    mesh_link_loads(chip, order, perm)
+        .values()
+        .copied()
+        .fold(0.0, f64::max)
 }
 
 /// Result of evaluating one direction order over all switching demands.
@@ -139,17 +150,30 @@ pub fn search(chip: &ChipLayout) -> Vec<OrderEvaluation> {
                     worst_perms.push(*perm);
                 }
             }
-            OrderEvaluation { order, worst_load, worst_perms }
+            OrderEvaluation {
+                order,
+                worst_load,
+                worst_perms,
+            }
         })
         .collect();
-    results.sort_by(|a, b| a.worst_load.partial_cmp(&b.worst_load).expect("loads are finite"));
+    results.sort_by(|a, b| {
+        a.worst_load
+            .partial_cmp(&b.worst_load)
+            .expect("loads are finite")
+    });
     results
 }
 
 /// Pretty-prints a switching permutation in the paper's matrix style.
 pub fn format_perm(perm: &SwitchPerm) -> String {
-    let top: Vec<String> = (0..6).map(|i| TorusDir::from_index(i).to_string()).collect();
-    let bot: Vec<String> = perm.iter().map(|&d| TorusDir::from_index(d).to_string()).collect();
+    let top: Vec<String> = (0..6)
+        .map(|i| TorusDir::from_index(i).to_string())
+        .collect();
+    let bot: Vec<String> = perm
+        .iter()
+        .map(|&d| TorusDir::from_index(d).to_string())
+        .collect();
     format!("({}) -> ({})", top.join(" "), bot.join(" "))
 }
 
@@ -251,8 +275,8 @@ mod tests {
         let chip = ChipLayout::default();
         // All-through permutation: every direction departs on its opposite.
         let mut perm = [0usize; 6];
-        for i in 0..6 {
-            perm[i] = TorusDir::from_index(i).opposite().index();
+        for (i, slot) in perm.iter_mut().enumerate() {
+            *slot = TorusDir::from_index(i).opposite().index();
         }
         let loads = mesh_link_loads(&chip, DirOrder::ANTON, &perm);
         assert!(loads.is_empty(), "through traffic must bypass the mesh");

@@ -26,8 +26,14 @@ impl AccumulatorBank {
     /// Panics if `k == 0` or `m_bits` is 0 or exceeds 16.
     pub fn new(k: usize, m_bits: u32) -> AccumulatorBank {
         assert!(k > 0, "bank needs at least one input");
-        assert!((1..=16).contains(&m_bits), "m_bits={m_bits} out of range 1..=16");
-        AccumulatorBank { accum: vec![0; k], m_bits }
+        assert!(
+            (1..=16).contains(&m_bits),
+            "m_bits={m_bits} out of range 1..=16"
+        );
+        AccumulatorBank {
+            accum: vec![0; k],
+            m_bits,
+        }
     }
 
     /// Number of inputs.
@@ -87,7 +93,10 @@ impl AccumulatorBank {
     /// Panics if `granted` is out of range or `inv_weight` exceeds `2^M − 1`.
     pub fn grant(&mut self, granted: usize, inv_weight: u32) {
         assert!(granted < self.accum.len(), "granted input out of range");
-        assert!(inv_weight <= self.max_weight(), "inverse weight exceeds 2^M - 1");
+        assert!(
+            inv_weight <= self.max_weight(),
+            "inverse weight exceeds 2^M - 1"
+        );
         let msb = 1u32 << self.m_bits;
         let low_grant = self.accum[granted] & msb != 0;
         for i in 0..self.accum.len() {

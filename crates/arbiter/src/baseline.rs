@@ -44,8 +44,8 @@ impl PortArbiter for RoundRobinArbiter {
             assert!(r.input < self.k, "request input {} out of range", r.input);
             req_mask |= 1 << r.input;
         }
-        let winner = priority_arb_fast1(req_mask, self.rr_therm)
-            .expect("nonempty requests yield a grant");
+        let winner =
+            priority_arb_fast1(req_mask, self.rr_therm).expect("nonempty requests yield a grant");
         self.rr_therm = rr_therm_after_grant(winner);
         reqs.iter().position(|r| r.input == winner)
     }
@@ -119,7 +119,14 @@ mod tests {
     use super::*;
 
     fn reqs(inputs: &[usize]) -> Vec<ArbRequest> {
-        inputs.iter().map(|&i| ArbRequest { input: i, pattern: 0, age: i as u64 }).collect()
+        inputs
+            .iter()
+            .map(|&i| ArbRequest {
+                input: i,
+                pattern: 0,
+                age: i as u64,
+            })
+            .collect()
     }
 
     #[test]
@@ -150,9 +157,21 @@ mod tests {
     fn age_prefers_oldest() {
         let mut arb = AgeArbiter::new(4);
         let rs = vec![
-            ArbRequest { input: 0, pattern: 0, age: 90 },
-            ArbRequest { input: 2, pattern: 0, age: 10 },
-            ArbRequest { input: 3, pattern: 0, age: 50 },
+            ArbRequest {
+                input: 0,
+                pattern: 0,
+                age: 90,
+            },
+            ArbRequest {
+                input: 2,
+                pattern: 0,
+                age: 10,
+            },
+            ArbRequest {
+                input: 3,
+                pattern: 0,
+                age: 50,
+            },
         ];
         assert_eq!(arb.pick(&rs), Some(1));
     }

@@ -66,7 +66,11 @@ impl InverseWeightedArbiter {
                 );
             }
         }
-        InverseWeightedArbiter { bank, weights, rr_therm: 0 }
+        InverseWeightedArbiter {
+            bank,
+            weights,
+            rr_therm: 0,
+        }
     }
 
     /// An arbiter with all weights equal (uniform inverse weights): fair
@@ -140,8 +144,13 @@ mod tests {
     #[test]
     fn equal_weights_equal_service() {
         let mut arb = InverseWeightedArbiter::uniform(4, 5);
-        let reqs: Vec<ArbRequest> =
-            (0..4).map(|i| ArbRequest { input: i, pattern: 0, age: 0 }).collect();
+        let reqs: Vec<ArbRequest> = (0..4)
+            .map(|i| ArbRequest {
+                input: i,
+                pattern: 0,
+                age: 0,
+            })
+            .collect();
         let served = run(&mut arb, &reqs, 4000);
         for s in &served {
             assert!((*s as i64 - 1000).abs() <= 2, "served {served:?}");
@@ -153,8 +162,13 @@ mod tests {
         // Figure 5's example: input 0 carries load 1.0, input 1 load 0.5, so
         // input 0 should be granted twice as often. Inverse weights 10 / 20.
         let mut arb = InverseWeightedArbiter::new(vec![vec![10], vec![20]], 5);
-        let reqs: Vec<ArbRequest> =
-            (0..2).map(|i| ArbRequest { input: i, pattern: 0, age: 0 }).collect();
+        let reqs: Vec<ArbRequest> = (0..2)
+            .map(|i| ArbRequest {
+                input: i,
+                pattern: 0,
+                age: 0,
+            })
+            .collect();
         let served = run(&mut arb, &reqs, 6000);
         let ratio = served[0] as f64 / served[1] as f64;
         assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
@@ -176,8 +190,16 @@ mod tests {
             let p0 = u8::from(step % 5 == 0); // 20% pattern 1
             let p1 = u8::from(step % 5 != 0); // 80% pattern 1
             let reqs = [
-                ArbRequest { input: 0, pattern: p0, age: 0 },
-                ArbRequest { input: 1, pattern: p1, age: 0 },
+                ArbRequest {
+                    input: 0,
+                    pattern: p0,
+                    age: 0,
+                },
+                ArbRequest {
+                    input: 1,
+                    pattern: p1,
+                    age: 0,
+                },
             ];
             let w = arb.pick(&reqs).unwrap();
             served[reqs[w].input] += 1;
@@ -189,7 +211,11 @@ mod tests {
     #[test]
     fn single_requester_always_wins() {
         let mut arb = InverseWeightedArbiter::uniform(6, 5);
-        let req = [ArbRequest { input: 3, pattern: 0, age: 0 }];
+        let req = [ArbRequest {
+            input: 3,
+            pattern: 0,
+            age: 0,
+        }];
         for _ in 0..100 {
             assert_eq!(arb.pick(&req), Some(0));
         }
@@ -207,7 +233,14 @@ mod tests {
         // "Forward"/"Reverse" configurations run blended traffic through
         // single-pattern weights).
         let mut arb = InverseWeightedArbiter::new(vec![vec![10], vec![10]], 5);
-        assert_eq!(arb.pick(&[ArbRequest { input: 0, pattern: 1, age: 0 }]), Some(0));
+        assert_eq!(
+            arb.pick(&[ArbRequest {
+                input: 0,
+                pattern: 1,
+                age: 0
+            }]),
+            Some(0)
+        );
         assert_eq!(arb.accumulator(0), 10);
     }
 }

@@ -35,13 +35,16 @@ pub const MAX_P: usize = 3;
 /// Panics if `k` or `p` exceed the supported maxima, if `rr_therm` is not a
 /// prefix mask, or if a priority value is `>= p`.
 pub fn priority_arb_rtl(req: u32, pri: &[u8], rr_therm: u32, k: usize, p: usize) -> u32 {
-    assert!(k >= 1 && k <= MAX_K, "k={k} out of range 1..={MAX_K}");
-    assert!(p >= 1 && p <= MAX_P, "p={p} out of range 1..={MAX_P}");
+    assert!((1..=MAX_K).contains(&k), "k={k} out of range 1..={MAX_K}");
+    assert!((1..=MAX_P).contains(&p), "p={p} out of range 1..={MAX_P}");
     assert!(pri.len() == k, "pri must have k entries");
     let mask = if k == 32 { u32::MAX } else { (1u32 << k) - 1 };
     assert_eq!(req & !mask, 0, "request bits beyond k");
     let therm = rr_therm & mask;
-    assert!((therm.wrapping_add(1) & therm) == 0, "rr_therm must be a prefix mask");
+    assert!(
+        (therm.wrapping_add(1) & therm) == 0,
+        "rr_therm must be a prefix mask"
+    );
     for &pv in pri {
         assert!((pv as usize) < p, "priority {pv} out of range 0..{p}");
     }
@@ -49,11 +52,11 @@ pub fn priority_arb_rtl(req: u32, pri: &[u8], rr_therm: u32, k: usize, p: usize)
     // req_unroll[p][i] = req[i] && ({pri[i], rr_therm[i]} >= 2p - 1)
     let mut flat: u128 = 0;
     for level in 0..=p {
-        for i in 0..k {
+        for (i, &pv) in pri.iter().enumerate().take(k) {
             let bit = if level == 0 {
                 req >> i & 1 == 1
             } else {
-                let key = 2 * pri[i] as usize + ((therm >> i) & 1) as usize;
+                let key = 2 * pv as usize + ((therm >> i) & 1) as usize;
                 (req >> i & 1 == 1) && key >= 2 * level - 1
             };
             if bit {
@@ -88,14 +91,14 @@ pub fn priority_arb_rtl(req: u32, pri: &[u8], rr_therm: u32, k: usize, p: usize)
 /// Returns the granted input index, or `None` when nothing requests.
 pub fn priority_arb_spec(req: u32, pri: &[u8], rr_therm: u32, k: usize, p: usize) -> Option<usize> {
     let mut best: Option<(usize, usize)> = None;
-    for i in 0..k {
+    for (i, &pv) in pri.iter().enumerate().take(k) {
         if req >> i & 1 == 0 {
             continue;
         }
-        let key = 2 * pri[i] as usize + ((rr_therm >> i) & 1) as usize;
+        let key = 2 * pv as usize + ((rr_therm >> i) & 1) as usize;
         // Highest level with key >= 2*level - 1, capped at p.
-        let level = ((key + 1) / 2).min(p);
-        if best.map_or(true, |(bl, bi)| (level, i) > (bl, bi)) {
+        let level = key.div_ceil(2).min(p);
+        if best.is_none_or(|(bl, bi)| (level, i) > (bl, bi)) {
             best = Some((level, i));
         }
     }

@@ -185,7 +185,12 @@ impl AreaModel {
     /// Builds a model with explicit parameters, layout, and VC policy.
     pub fn new(params: AreaParams, chip: ChipLayout, policy: VcPolicy) -> AreaModel {
         let num_endpoints = f64::from(chip.num_endpoints());
-        AreaModel { params, chip, policy, num_endpoints }
+        AreaModel {
+            params,
+            chip,
+            policy,
+            num_endpoints,
+        }
     }
 
     fn vcs(&self, group: LinkGroup) -> f64 {
@@ -214,8 +219,7 @@ impl AreaModel {
     /// (on-chip depth) plus a deep torus-side buffer.
     fn channel_queue_area(&self) -> f64 {
         let p = &self.params;
-        let per_adapter =
-            self.vcs(LinkGroup::T) * (p.onchip_depth + p.torus_depth) * p.flit_bits;
+        let per_adapter = self.vcs(LinkGroup::T) * (p.onchip_depth + p.torus_depth) * p.flit_bits;
         12.0 * per_adapter * p.per_queue_bit
     }
 
@@ -236,9 +240,9 @@ impl AreaModel {
             // One arbiter per output port, k inputs each: per input, the
             // stored weights (patterns x M bits) and the (M+1)-bit
             // accumulator, plus the prioritized arbiter's per-input logic.
-            let per_arbiter = k * (p.num_patterns * p.m_bits + (p.m_bits + 1.0))
-                * p.per_arbiter_storage_bit
-                + k * p.arbiter_logic_per_input;
+            let per_arbiter =
+                k * (p.num_patterns * p.m_bits + (p.m_bits + 1.0)) * p.per_arbiter_storage_bit
+                    + k * p.arbiter_logic_per_input;
             area += k * per_arbiter;
         }
         area
@@ -289,8 +293,7 @@ impl AreaModel {
 
     /// A component type's contribution to total die area (%), Table 1.
     pub fn die_fraction(&self, component: Component) -> f64 {
-        100.0 * self.component_area(component)
-            / (self.network_area() + self.params.non_network_die)
+        100.0 * self.component_area(component) / (self.network_area() + self.params.non_network_die)
     }
 
     /// Percentage of network area for `(component, category)`, Table 2.
@@ -300,7 +303,10 @@ impl AreaModel {
 
     /// Row total of Table 2 (category across all components).
     pub fn category_percent(&self, category: Category) -> f64 {
-        Component::ALL.iter().map(|c| self.network_percent(*c, category)).sum()
+        Component::ALL
+            .iter()
+            .map(|c| self.network_percent(*c, category))
+            .sum()
     }
 
     /// The configured VC policy.
@@ -345,10 +351,20 @@ mod tests {
         let m = AreaModel::anton();
         let queues = m.category_percent(Category::Queues);
         let arbiters = m.category_percent(Category::Arbiters);
-        assert!((queues - 46.6).abs() < 6.0, "queues {queues:.1}% vs paper 46.6%");
-        assert!((arbiters - 5.4).abs() < 2.5, "arbiters {arbiters:.1}% vs paper 5.4%");
+        assert!(
+            (queues - 46.6).abs() < 6.0,
+            "queues {queues:.1}% vs paper 46.6%"
+        );
+        assert!(
+            (arbiters - 5.4).abs() < 2.5,
+            "arbiters {arbiters:.1}% vs paper 5.4%"
+        );
         for cat in Category::ALL {
-            assert!(m.category_percent(cat) < queues + 1e-9, "{} exceeds queues", cat.name());
+            assert!(
+                m.category_percent(cat) < queues + 1e-9,
+                "{} exceeds queues",
+                cat.name()
+            );
         }
         let total: f64 = Category::ALL.iter().map(|c| m.category_percent(*c)).sum();
         assert!((total - 100.0).abs() < 1e-9);
@@ -361,8 +377,7 @@ mod tests {
         // accumulator update logic."
         let p = AreaParams::default();
         let k = 6.0;
-        let storage =
-            k * (p.num_patterns * p.m_bits + p.m_bits + 1.0) * p.per_arbiter_storage_bit;
+        let storage = k * (p.num_patterns * p.m_bits + p.m_bits + 1.0) * p.per_arbiter_storage_bit;
         let logic = k * p.arbiter_logic_per_input;
         let frac = storage / (storage + logic);
         assert!((frac - 0.75).abs() < 0.05, "storage fraction {frac:.2}");
@@ -381,7 +396,10 @@ mod tests {
         );
         let ca = anton.area(Component::Channel, Category::Queues);
         let cb = baseline.area(Component::Channel, Category::Queues);
-        assert!((cb / ca - 1.5).abs() < 1e-9, "T-group buffers grow by exactly 6/4");
+        assert!(
+            (cb / ca - 1.5).abs() < 1e-9,
+            "T-group buffers grow by exactly 6/4"
+        );
         let a = anton.area(Component::Router, Category::Queues);
         let b = baseline.area(Component::Router, Category::Queues);
         // Router ports are mostly M-group, so routers grow less than the

@@ -35,9 +35,16 @@ fn bench_arbiters(c: &mut Criterion) {
         b.iter(|| priority_arb_fast2(black_box(0b101101), 0b010101, 0b000111))
     });
     let mut iw = InverseWeightedArbiter::new(vec![vec![10, 20]; 6], 5);
-    let reqs: Vec<ArbRequest> =
-        (0..6).map(|i| ArbRequest { input: i, pattern: (i % 2) as u8, age: 0 }).collect();
-    g.bench_function("inverse_weighted_pick_k6", |b| b.iter(|| iw.pick(black_box(&reqs))));
+    let reqs: Vec<ArbRequest> = (0..6)
+        .map(|i| ArbRequest {
+            input: i,
+            pattern: (i % 2) as u8,
+            age: 0,
+        })
+        .collect();
+    g.bench_function("inverse_weighted_pick_k6", |b| {
+        b.iter(|| iw.pick(black_box(&reqs)))
+    });
     g.finish();
 }
 
@@ -45,7 +52,9 @@ fn bench_worstcase(c: &mut Criterion) {
     let chip = ChipLayout::default();
     let mut g = c.benchmark_group("worstcase");
     g.sample_size(10);
-    g.bench_function("sec24_full_search", |b| b.iter(|| worstcase::search(black_box(&chip))));
+    g.bench_function("sec24_full_search", |b| {
+        b.iter(|| worstcase::search(black_box(&chip)))
+    });
     g.finish();
 }
 
@@ -73,12 +82,11 @@ fn bench_link(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("gobackn_1k_slots_ber1e4", |b| {
         b.iter(|| {
-            let params = LinkParams { bit_error_rate: 1e-4, ..LinkParams::default() };
-            let mut sim = LinkSim::new(
-                params,
-                GoBackNConfig::default(),
-                StdRng::seed_from_u64(1),
-            );
+            let params = LinkParams {
+                bit_error_rate: 1e-4,
+                ..LinkParams::default()
+            };
+            let mut sim = LinkSim::new(params, GoBackNConfig::default(), StdRng::seed_from_u64(1));
             sim.run_saturated(1_000)
         })
     });
@@ -92,7 +100,11 @@ fn bench_sim(c: &mut Criterion) {
         b.iter(|| {
             let cfg = MachineConfig::new(TorusShape::cube(2));
             let mut sim = Sim::new(cfg, SimParams::default());
-            let mut drv = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), 8, 1);
+            let mut drv = BatchDriver::builder(&sim)
+                .pattern(Box::new(UniformRandom))
+                .packets_per_endpoint(8)
+                .seed(1)
+                .build();
             sim.run(&mut drv, 1_000_000)
         })
     });

@@ -8,21 +8,45 @@
 //! analytic saturation rate. Defaults use a 6×6×6 torus (the tornado offset
 //! is then ±2 per dimension) for runtime; pass `--k 8` for the paper's
 //! machine size.
+//!
+//! Runs on the experiment harness: `--threads` workers, structured results
+//! in `results/fig10_blend.json`.
 
 use anton_analysis::load::LoadAnalysis;
 use anton_analysis::weights::ArbiterWeightSet;
-use anton_bench::{run_batch, torus_capacity, ArbiterSetup, Args};
+use anton_bench::harness::{ExperimentSpec, SweepPoint};
+use anton_bench::{run_batch_detailed, torus_capacity, values, ArbiterSetup, FlagSet};
 use anton_core::config::MachineConfig;
 use anton_core::pattern::TrafficPattern;
 use anton_core::topology::TorusShape;
 use anton_traffic::patterns::{ReverseTornado, Tornado};
 
 fn main() {
-    let args = Args::capture();
-    let k: u8 = args.get("k", 6);
-    let batch: u64 = args.get("batch", 256);
-    let seed: u64 = args.get("seed", 42);
-    let steps = args.list("fractions-pct", &[0, 25, 50, 75, 100]);
+    let args = FlagSet::new(
+        "fig10_blend",
+        "Figure 10: blended tornado / reverse tornado",
+    )
+    .flag("k", 6u8, "torus dimension per side")
+    .flag("batch", 256u64, "packets per core")
+    .flag("seed", 42u64, "base seed; per-point seeds derive from it")
+    .list(
+        "fractions-pct",
+        &[0, 25, 50, 75, 100],
+        "forward-traffic percentages",
+    )
+    .flag("threads", 1usize, "worker threads for the sweep")
+    .parse();
+    let k: u8 = args.get("k");
+    let batch: u64 = args.get("batch");
+    let seed: u64 = args.get("seed");
+    let steps = args.list("fractions-pct");
+    let threads: usize = args.get("threads");
+    if k < 4 {
+        eprintln!(
+            "fig10_blend: --k must be at least 4 (the tornado offset k/2-1 vanishes below that)"
+        );
+        std::process::exit(2);
+    }
     let cfg = MachineConfig::new(TorusShape::cube(k));
 
     println!("## Figure 10 — blended tornado / reverse tornado ({k}x{k}x{k}, {batch} pkts/core)");
@@ -34,43 +58,78 @@ fn main() {
     let w_rev = ArbiterWeightSet::compute(&cfg, &[&rev], 5);
     let w_both = ArbiterWeightSet::compute(&cfg, &[&fwd, &rev], 5);
 
-    let configs: [(&str, ArbiterSetup); 4] = [
-        ("none", ArbiterSetup::RoundRobin),
-        ("forward", ArbiterSetup::InverseWeighted(w_fwd)),
-        ("reverse", ArbiterSetup::InverseWeighted(w_rev)),
-        ("both", ArbiterSetup::InverseWeighted(w_both)),
-    ];
+    // Saturation rate of each blend: the blended load is linear in the
+    // mixing coefficients (Section 3.2), so analyze the mixture.
+    let blend_saturation = |f: f64| {
+        let mut combined = LoadAnalysis::default();
+        for (link, load) in &fwd.link_loads {
+            *combined.link_loads.entry(*link).or_insert(0.0) += f * load;
+        }
+        for (link, load) in &rev.link_loads {
+            *combined.link_loads.entry(*link).or_insert(0.0) += (1.0 - f) * load;
+        }
+        combined.saturation_injection_rate(torus_capacity())
+    };
+    let sats: Vec<(u64, f64)> = steps
+        .iter()
+        .map(|&pct| (pct, blend_saturation(pct as f64 / 100.0)))
+        .collect();
+
+    let mut spec = ExperimentSpec::new("fig10_blend", seed);
+    for &pct in &steps {
+        for name in ["none", "forward", "reverse", "both"] {
+            spec.push_point(values!["weights" => name, "fwd_pct" => pct]);
+        }
+    }
+
+    let n_points = spec.points().len();
+    let measurements = spec.run(threads, |point: &SweepPoint| {
+        let pct = point.int("fwd_pct") as u64;
+        let f = pct as f64 / 100.0;
+        let setup = match point.str("weights") {
+            "none" => ArbiterSetup::RoundRobin,
+            "forward" => ArbiterSetup::InverseWeighted(w_fwd.clone()),
+            "reverse" => ArbiterSetup::InverseWeighted(w_rev.clone()),
+            _ => ArbiterSetup::InverseWeighted(w_both.clone()),
+        };
+        let sat = sats.iter().find(|(p, _)| *p == pct).expect("precomputed").1;
+        let components: Vec<(Box<dyn TrafficPattern>, f64)> =
+            vec![(Box::new(Tornado), f), (Box::new(ReverseTornado), 1.0 - f)];
+        let (p, m) = run_batch_detailed(&cfg, components, batch, &setup, sat, point.seed);
+        eprintln!(
+            "[fig10] {}/{n_points} {} at {pct}% done",
+            point.index + 1,
+            point.str("weights")
+        );
+        values![
+            "normalized" => p.normalized,
+            "cycles" => p.cycles,
+            "peak_utilization" => p.peak_utilization,
+            "saturation_rate" => sat,
+            "sa1_grants" => m.grants.sa1,
+            "output_grants" => m.grants.output,
+            "serializer_grants" => m.grants.serializer,
+        ]
+    });
 
     println!(
         "{:<10} {:>12} {:>12} {:>10} {:>10}",
         "weights", "fwd-frac", "normalized", "cycles", "peak-util"
     );
-    for &pct in &steps {
-        let f = pct as f64 / 100.0;
-        // Saturation rate of the blend: the blended load is linear in the
-        // mixing coefficients (Section 3.2), so analyze the mixture.
-        let blend_analysis = {
-            let mut combined = LoadAnalysis::default();
-            for (link, load) in &fwd.link_loads {
-                *combined.link_loads.entry(*link).or_insert(0.0) += f * load;
-            }
-            for (link, load) in &rev.link_loads {
-                *combined.link_loads.entry(*link).or_insert(0.0) += (1.0 - f) * load;
-            }
-            combined
-        };
-        let sat = blend_analysis.saturation_injection_rate(torus_capacity());
-        for (name, setup) in &configs {
-            let components: Vec<(Box<dyn TrafficPattern>, f64)> = vec![
-                (Box::new(Tornado), f),
-                (Box::new(ReverseTornado), 1.0 - f),
-            ];
-            let point = run_batch(&cfg, components, batch, setup, sat, seed ^ pct);
-            println!(
-                "{:<10} {:>11}% {:>12.3} {:>10} {:>10.3}",
-                name, pct, point.normalized, point.cycles, point.peak_utilization
-            );
-        }
+    for m in &measurements {
+        let p = &spec.points()[m.index];
+        println!(
+            "{:<10} {:>11}% {:>12.3} {:>10} {:>10.3}",
+            p.str("weights"),
+            p.int("fwd_pct"),
+            m.metric_f64("normalized"),
+            m.metric_f64("cycles") as u64,
+            m.metric_f64("peak_utilization"),
+        );
+    }
+    match spec.write_results(&measurements) {
+        Ok(path) => eprintln!("[fig10] wrote {}", path.display()),
+        Err(e) => eprintln!("[fig10] could not write results JSON: {e}"),
     }
     println!();
     println!("Paper shape: 'both' holds ~0.85 across all blends; 'forward'/'reverse'");

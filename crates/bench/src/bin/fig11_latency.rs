@@ -4,7 +4,7 @@
 //! reports (80.7 ns fixed + 39.1 ns/hop).
 
 use anton_analysis::fit::linear_fit;
-use anton_bench::Args;
+use anton_bench::FlagSet;
 use anton_core::chip::LocalEndpointId;
 use anton_core::config::{GlobalEndpoint, MachineConfig};
 use anton_core::topology::{NodeCoord, TorusShape};
@@ -13,9 +13,15 @@ use anton_sim::params::SimParams;
 use anton_sim::sim::{RunOutcome, Sim};
 
 fn main() {
-    let args = Args::capture();
-    let k: u8 = args.get("k", 8);
-    let legs: u32 = args.get("legs", 40);
+    let args = FlagSet::new(
+        "fig11_latency",
+        "Figure 11: one-way latency vs inter-node hops",
+    )
+    .flag("k", 8u8, "torus dimension per side")
+    .flag("legs", 40u32, "ping-pong legs averaged per pair")
+    .parse();
+    let k: u8 = args.get("k");
+    let legs: u32 = args.get("legs");
     let cfg = MachineConfig::new(TorusShape::cube(k));
 
     println!("## Figure 11 — one-way message latency vs inter-node hops ({k}x{k}x{k})");
@@ -30,16 +36,25 @@ fn main() {
     for hops in 0..=max_hops {
         let mut samples = Vec::new();
         for variant in 0..3u8 {
-            let Some(dst) = offset_for(hops, variant, k) else { continue };
+            let Some(dst) = offset_for(hops, variant, k) else {
+                continue;
+            };
             let a = GlobalEndpoint {
                 node: cfg.shape.id(NodeCoord::new(0, 0, 0)),
                 ep: LocalEndpointId(variant % 16),
             };
-            let b = GlobalEndpoint { node: cfg.shape.id(dst), ep: LocalEndpointId(5) };
+            let b = GlobalEndpoint {
+                node: cfg.shape.id(dst),
+                ep: LocalEndpointId(5),
+            };
             let mut sim = Sim::new(cfg.clone(), SimParams::default());
             let mut drv = PingPongDriver::new(vec![(a, b)], legs);
             let outcome = sim.run(&mut drv, 60_000_000);
-            assert_eq!(outcome, RunOutcome::Completed, "ping-pong stalled at {hops} hops");
+            assert_eq!(
+                outcome,
+                RunOutcome::Completed,
+                "ping-pong stalled at {hops} hops"
+            );
             samples.push(drv.mean_one_way_ns(0));
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
@@ -50,11 +65,7 @@ fn main() {
     let (fixed, per_hop) = linear_fit(&xs, &ys);
     println!();
     println!("Linear fit: {fixed:.1} ns fixed + {per_hop:.1} ns/hop (paper: 80.7 + 39.1)");
-    let min = ys
-        .iter()
-        .skip(1)
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let min = ys.iter().skip(1).cloned().fold(f64::INFINITY, f64::min);
     println!("Minimum inter-node latency: {min:.1} ns (paper: ~99 ns)");
 }
 
@@ -65,7 +76,7 @@ fn offset_for(hops: u8, variant: u8, k: u8) -> Option<NodeCoord> {
     let mut rem = hops;
     let mut d = [0u8; 3];
     for i in 0..3 {
-        let idx = ((i + variant as usize) % 3) as usize;
+        let idx = (i + variant as usize) % 3;
         let take = rem.min(max_per_dim);
         d[idx] = take;
         rem -= take;

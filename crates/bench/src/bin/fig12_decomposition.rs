@@ -15,13 +15,24 @@ use anton_sim::params::{SimParams, CYCLE_NS, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN}
 use anton_sim::sim::{RunOutcome, Sim};
 
 fn main() {
+    anton_bench::FlagSet::new(
+        "fig12_decomposition",
+        "Figure 12: minimum-latency decomposition",
+    )
+    .parse();
     let cfg = MachineConfig::new(TorusShape::cube(4));
     let params = SimParams::default();
 
     // Nearest-neighbor in Y: source endpoint on the Y-adapter router so the
     // minimum-latency path is exercised, as in the paper's 99 ns case.
-    let a = GlobalEndpoint { node: cfg.shape.id(NodeCoord::new(0, 0, 0)), ep: LocalEndpointId(8) };
-    let b = GlobalEndpoint { node: cfg.shape.id(NodeCoord::new(0, 1, 0)), ep: LocalEndpointId(8) };
+    let a = GlobalEndpoint {
+        node: cfg.shape.id(NodeCoord::new(0, 0, 0)),
+        ep: LocalEndpointId(8),
+    };
+    let b = GlobalEndpoint {
+        node: cfg.shape.id(NodeCoord::new(0, 1, 0)),
+        ep: LocalEndpointId(8),
+    };
     let mut sim = Sim::new(cfg.clone(), params.clone());
     let mut drv = PingPongDriver::new(vec![(a, b)], 60);
     let outcome = sim.run(&mut drv, 10_000_000);
@@ -49,8 +60,7 @@ fn main() {
     let mesh = cyc(0.0);
     // Channel adapter out: wire 1 + pipeline 2 + serialization of one flit
     // at the effective rate (45/14 cycles).
-    let chan_out =
-        cyc(1.0 + 2.0 + f64::from(TORUS_TOKEN_COST) / f64::from(TORUS_TOKEN_GAIN));
+    let chan_out = cyc(1.0 + 2.0 + f64::from(TORUS_TOKEN_COST) / f64::from(TORUS_TOKEN_GAIN));
     // SerDes + wire flight.
     let serdes_wire = lat.serdes_wire_ns;
     // Channel adapter in: pipeline 2 + forward wire 1.

@@ -7,7 +7,7 @@
 //! channels. Finishes with a live simulation of a full machine-wide halo
 //! exchange through the multicast tables.
 
-use anton_bench::Args;
+use anton_bench::FlagSet;
 use anton_core::chip::LocalEndpointId;
 use anton_core::config::{GlobalEndpoint, MachineConfig};
 use anton_core::multicast::{McGroup, McGroupId};
@@ -35,40 +35,72 @@ impl Driver for Collect {
 }
 
 fn main() {
-    let args = Args::capture();
-    let k: u8 = args.get("k", 8);
+    let args = FlagSet::new(
+        "fig3_multicast",
+        "Figure 3 / Section 2.3: table-based multicast",
+    )
+    .flag("k", 8u8, "torus dimension for the analytic halo study")
+    .flag(
+        "sim-k",
+        4u8,
+        "torus dimension for the live halo-exchange simulation",
+    )
+    .parse();
+    let k: u8 = args.get("k");
     let cfg = MachineConfig::new(TorusShape::cube(k));
     let src = NodeCoord::new(k / 2, k / 2, k / 2);
 
     println!("## Figure 3 / Section 2.3 — table-based multicast ({k}x{k}x{k})");
     println!();
     for (label, spec) in [
-        ("plane halo (Figure 3's 2D example)", HaloSpec {
-            radius: 1,
-            plane_normal: Some(Dim::Z),
-            endpoints_per_node: 1,
-        }),
+        (
+            "plane halo (Figure 3's 2D example)",
+            HaloSpec {
+                radius: 1,
+                plane_normal: Some(Dim::Z),
+                endpoints_per_node: 1,
+            },
+        ),
         ("full 3D halo (26 neighbors)", HaloSpec::default()),
-        ("full 3D halo, 4 endpoint copies/node", HaloSpec {
-            radius: 1,
-            plane_normal: None,
-            endpoints_per_node: 4,
-        }),
+        (
+            "full 3D halo, 4 endpoint copies/node",
+            HaloSpec {
+                radius: 1,
+                plane_normal: None,
+                endpoints_per_node: 4,
+            },
+        ),
     ] {
         let dests = halo_dest_set(&cfg, src, spec);
-        let group =
-            McGroup::build(&cfg.shape, McGroupId(0), src, dests.clone(), &alternating_variants());
+        let group = McGroup::build(
+            &cfg.shape,
+            McGroupId(0),
+            src,
+            dests.clone(),
+            &alternating_variants(),
+        );
         let unicast = dests.unicast_torus_hops(&cfg.shape, src);
         let tree = group.trees[0].torus_hops();
         println!("{label}:");
-        println!("  destinations: {} nodes, {} endpoint copies", dests.num_nodes(), dests.num_endpoints());
-        println!("  unicast torus hops: {unicast}; multicast tree hops: {tree}; saved: {}", unicast - tree);
+        println!(
+            "  destinations: {} nodes, {} endpoint copies",
+            dests.num_nodes(),
+            dests.num_endpoints()
+        );
+        println!(
+            "  unicast torus hops: {unicast}; multicast tree hops: {tree}; saved: {}",
+            unicast - tree
+        );
         let single_max = group.trees[0]
             .link_loads()
             .values()
             .cloned()
             .fold(0.0, f64::max);
-        let alt_max = group.blended_link_loads().values().cloned().fold(0.0, f64::max);
+        let alt_max = group
+            .blended_link_loads()
+            .values()
+            .cloned()
+            .fold(0.0, f64::max);
         println!(
             "  peak channel load per packet: single route {single_max:.2}, alternating {alt_max:.2}"
         );
@@ -76,7 +108,7 @@ fn main() {
     }
 
     // Live halo exchange through the simulator's multicast tables.
-    let sim_k = args.get("sim-k", 4u8);
+    let sim_k: u8 = args.get("sim-k");
     let sim_cfg = MachineConfig::new(TorusShape::cube(sim_k));
     println!("Machine-wide halo exchange on {sim_k}x{sim_k}x{sim_k} (one broadcast per node):");
     let groups = build_halo_groups(&sim_cfg, HaloSpec::default(), &alternating_variants());
@@ -90,7 +122,10 @@ fn main() {
         sim.add_multicast_group(g);
     }
     for node in sim_cfg.shape.nodes() {
-        let src_ep = GlobalEndpoint { node: sim_cfg.shape.id(node), ep: LocalEndpointId(0) };
+        let src_ep = GlobalEndpoint {
+            node: sim_cfg.shape.id(node),
+            ep: LocalEndpointId(0),
+        };
         for tree in [0u8, 1] {
             let mut pkt = Packet::write(src_ep, src_ep, Payload::zeros(16));
             pkt.dst = Destination::Multicast {

@@ -13,6 +13,7 @@ use anton_core::chip::ChipLayout;
 use anton_core::onchip::DirOrder;
 
 fn main() {
+    anton_bench::FlagSet::new("fig4_worstcase", "Figure 4: direction-order routing search").parse();
     let chip = ChipLayout::default();
     println!("## Section 2.4 / Figure 4 — direction-order routing search");
     println!();
@@ -22,11 +23,23 @@ fn main() {
     let results = search(&chip);
     println!("{:<22} {:>18}", "direction order", "worst-case load");
     for r in &results {
-        let marker = if r.order == DirOrder::ANTON { "  <= selected (Anton 2)" } else { "" };
-        println!("{:<22} {:>14.2}{}", r.order.to_string(), r.worst_load, marker);
+        let marker = if r.order == DirOrder::ANTON {
+            "  <= selected (Anton 2)"
+        } else {
+            ""
+        };
+        println!(
+            "{:<22} {:>14.2}{}",
+            r.order.to_string(),
+            r.worst_load,
+            marker
+        );
     }
     let best = &results[0];
-    let anton = results.iter().find(|r| r.order == DirOrder::ANTON).expect("present");
+    let anton = results
+        .iter()
+        .find(|r| r.order == DirOrder::ANTON)
+        .expect("present");
     println!();
     println!(
         "Best worst-case load: {:.2} torus channels; Anton order achieves {:.2} (paper: 2.0).",
@@ -43,7 +56,9 @@ fn main() {
     );
     println!();
     println!("Superposed mesh-channel loads under eq. (1), Anton order (Figure 4):");
-    let mut loads: Vec<_> = mesh_link_loads(&chip, DirOrder::ANTON, &eq1).into_iter().collect();
+    let mut loads: Vec<_> = mesh_link_loads(&chip, DirOrder::ANTON, &eq1)
+        .into_iter()
+        .collect();
     loads.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
     for (link, load) in loads {
         println!("  {link}: {load:.1}");

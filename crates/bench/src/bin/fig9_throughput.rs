@@ -6,22 +6,48 @@
 //! patterns. Throughput is the batch size over the time to receive the last
 //! packet, normalized so 1.0 means full utilization of the torus channels.
 //!
+//! Runs on the experiment harness: sweep points execute across `--threads`
+//! workers (identical results for any thread count) and the measurements
+//! land in `results/fig9_throughput.json` alongside the text table.
+//!
 //! Defaults reproduce the paper's 8×8×8 machine; pass `--k 4` and smaller
 //! `--batches` for a quick run.
 
 use anton_analysis::load::LoadAnalysis;
 use anton_analysis::weights::ArbiterWeightSet;
-use anton_bench::{run_batch, saturation_rate, ArbiterSetup, Args};
+use anton_bench::harness::{ExperimentSpec, SweepPoint};
+use anton_bench::{run_batch_detailed, saturation_rate, values, ArbiterSetup, FlagSet};
 use anton_core::config::MachineConfig;
 use anton_core::pattern::TrafficPattern;
 use anton_core::topology::TorusShape;
 use anton_traffic::patterns::{NHopNeighbor, UniformRandom};
 
+fn make_pattern(name: &str) -> Box<dyn TrafficPattern> {
+    match name {
+        "uniform" => Box::new(UniformRandom),
+        "2-hop-neighbor" => Box::new(NHopNeighbor::new(2)),
+        other => panic!("unknown pattern {other}"),
+    }
+}
+
 fn main() {
-    let args = Args::capture();
-    let k: u8 = args.get("k", 8);
-    let batches = args.list("batches", &[64, 256, 1024]);
-    let seed: u64 = args.get("seed", 42);
+    let args = FlagSet::new(
+        "fig9_throughput",
+        "Figure 9: batch throughput vs arbitration",
+    )
+    .flag("k", 8u8, "torus dimension per side")
+    .list(
+        "batches",
+        &[64, 256, 1024],
+        "batch sizes (packets per core)",
+    )
+    .flag("seed", 42u64, "base seed; per-point seeds derive from it")
+    .flag("threads", 1usize, "worker threads for the sweep")
+    .parse();
+    let k: u8 = args.get("k");
+    let batches = args.list("batches");
+    let seed: u64 = args.get("seed");
+    let threads: usize = args.get("threads");
     let cfg = MachineConfig::new(TorusShape::cube(k));
 
     println!("## Figure 9 — throughput beyond saturation ({k}x{k}x{k} torus, 16 cores/node)");
@@ -29,42 +55,80 @@ fn main() {
     eprintln!("[fig9] computing uniform loads and arbiter weights...");
     let uniform_analysis = LoadAnalysis::compute(&cfg, &UniformRandom);
     let weights = ArbiterWeightSet::compute(&cfg, &[&uniform_analysis], 5);
-    let setups =
-        [ArbiterSetup::RoundRobin, ArbiterSetup::InverseWeighted(weights)];
 
-    let patterns: [(&str, Box<dyn Fn() -> Box<dyn TrafficPattern>>); 2] = [
-        ("uniform", Box::new(|| Box::new(UniformRandom))),
-        ("2-hop-neighbor", Box::new(|| Box::new(NHopNeighbor::new(2)))),
-    ];
+    let sat_uniform = saturation_rate(&cfg, &UniformRandom);
+    let sat_2hop = saturation_rate(&cfg, &NHopNeighbor::new(2));
+    eprintln!("[fig9] uniform saturation {sat_uniform:.5}, 2-hop {sat_2hop:.5} pkts/cycle/core");
+
+    let mut spec = ExperimentSpec::new("fig9_throughput", seed);
+    for pattern in ["uniform", "2-hop-neighbor"] {
+        for arbiter in ["round-robin", "inverse-weighted"] {
+            for &batch in &batches {
+                spec.push_point(values![
+                    "pattern" => pattern,
+                    "arbiter" => arbiter,
+                    "batch" => batch,
+                ]);
+            }
+        }
+    }
+
+    let n_points = spec.points().len();
+    let measurements = spec.run(threads, |point: &SweepPoint| {
+        let pattern = point.str("pattern");
+        let setup = match point.str("arbiter") {
+            "round-robin" => ArbiterSetup::RoundRobin,
+            _ => ArbiterSetup::InverseWeighted(weights.clone()),
+        };
+        let sat = if pattern == "uniform" {
+            sat_uniform
+        } else {
+            sat_2hop
+        };
+        let batch = point.int("batch") as u64;
+        let (p, m) = run_batch_detailed(
+            &cfg,
+            vec![(make_pattern(pattern), 1.0)],
+            batch,
+            &setup,
+            sat,
+            point.seed,
+        );
+        eprintln!(
+            "[fig9] {}/{n_points} {pattern} {} batch {batch} done",
+            point.index + 1,
+            setup.label()
+        );
+        values![
+            "normalized" => p.normalized,
+            "cycles" => p.cycles,
+            "peak_utilization" => p.peak_utilization,
+            "torus_mean_util" => m.link_class(anton_sim::metrics::LinkClass::Torus).mean_util,
+            "sa1_grants" => m.grants.sa1,
+            "output_grants" => m.grants.output,
+            "serializer_grants" => m.grants.serializer,
+        ]
+    });
 
     println!(
         "{:<16} {:<18} {:>8} {:>12} {:>10} {:>10}",
         "pattern", "arbiter", "batch", "normalized", "cycles", "peak-util"
     );
-    for (name, make) in &patterns {
-        let sat = saturation_rate(&cfg, make().as_ref());
-        eprintln!("[fig9] {name}: saturation rate {sat:.5} pkts/cycle/core");
-        for setup in &setups {
-            for &batch in &batches {
-                let point = run_batch(
-                    &cfg,
-                    vec![(make(), 1.0)],
-                    batch,
-                    setup,
-                    sat,
-                    seed ^ batch,
-                );
-                println!(
-                    "{:<16} {:<18} {:>8} {:>12.3} {:>10} {:>10.3}",
-                    name,
-                    setup.label(),
-                    point.batch,
-                    point.normalized,
-                    point.cycles,
-                    point.peak_utilization
-                );
-            }
-        }
+    for m in &measurements {
+        let p = &spec.points()[m.index];
+        println!(
+            "{:<16} {:<18} {:>8} {:>12.3} {:>10} {:>10.3}",
+            p.str("pattern"),
+            p.str("arbiter"),
+            p.int("batch"),
+            m.metric_f64("normalized"),
+            m.metric_f64("cycles") as u64,
+            m.metric_f64("peak_utilization"),
+        );
+    }
+    match spec.write_results(&measurements) {
+        Ok(path) => eprintln!("[fig9] wrote {}", path.display()),
+        Err(e) => eprintln!("[fig9] could not write results JSON: {e}"),
     }
     println!();
     println!("Paper shape: round-robin falls well below the inverse-weighted curves as");

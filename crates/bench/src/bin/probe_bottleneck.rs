@@ -1,7 +1,7 @@
 //! Diagnostic: peak and mean utilization by link class (mesh, skip,
 //! adapters, torus) at saturation, for locating the binding resource.
 //! Usage: `probe_bottleneck --k K --batch B`.
-use anton_bench::Args;
+use anton_bench::FlagSet;
 use anton_core::chip::LocalLink;
 use anton_core::config::MachineConfig;
 use anton_core::topology::TorusShape;
@@ -12,12 +12,19 @@ use anton_sim::sim::{RunOutcome, Sim};
 use anton_traffic::patterns::UniformRandom;
 
 fn main() {
-    let args = Args::capture();
-    let k: u8 = args.get("k", 8);
-    let batch: u64 = args.get("batch", 192);
+    let args = FlagSet::new("probe_bottleneck", "Diagnostic: utilization by link class")
+        .flag("k", 8u8, "torus dimension per side")
+        .flag("batch", 192u64, "packets per core")
+        .parse();
+    let k: u8 = args.get("k");
+    let batch: u64 = args.get("batch");
     let cfg = MachineConfig::new(TorusShape::cube(k));
     let mut sim = Sim::new(cfg.clone(), SimParams::default());
-    let mut drv = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), batch, 42);
+    let mut drv = BatchDriver::builder(&sim)
+        .pattern(Box::new(UniformRandom))
+        .packets_per_endpoint(batch)
+        .seed(42)
+        .build();
     let outcome = sim.run(&mut drv, 100_000_000);
     assert_eq!(outcome, RunOutcome::Completed);
     let cycles = sim.now() as f64;
@@ -25,7 +32,7 @@ fn main() {
     let mut best: std::collections::BTreeMap<&str, (f64, f64, usize)> = Default::default(); // kind -> (max, sum, count)
     for (label, flits) in sim.wire_utilizations() {
         let (kind, cap) = match label {
-            GlobalLink::Torus { .. } => ("torus", 14.0/45.0),
+            GlobalLink::Torus { .. } => ("torus", 14.0 / 45.0),
             GlobalLink::Local { link, .. } => match link {
                 LocalLink::Mesh { .. } => ("mesh", 1.0),
                 LocalLink::Skip { .. } => ("skip", 1.0),
@@ -41,8 +48,15 @@ fn main() {
         e.1 += u;
         e.2 += 1;
     }
-    println!("completion {} cycles, thr-normalized util by link kind:", sim.now());
+    println!(
+        "completion {} cycles, thr-normalized util by link kind:",
+        sim.now()
+    );
     for (kind, (mx, sum, n)) in best {
-        println!("  {kind:<14} max {:.3} mean {:.3} (n={n})", mx, sum / n as f64);
+        println!(
+            "  {kind:<14} max {:.3} mean {:.3} (n={n})",
+            mx,
+            sum / n as f64
+        );
     }
 }

@@ -1,9 +1,10 @@
 //! Diagnostic: per-source batch-completion fairness, round-robin versus
 //! fully weighted arbitration, printing completion-time percentiles.
-//! Usage: `probe_fair <k> <batch>`.
+//! Usage: `probe_fair --k K --batch B`.
 use anton_analysis::load::LoadAnalysis;
 use anton_analysis::weights::ArbiterWeightSet;
 use anton_arbiter::ArbiterKind;
+use anton_bench::FlagSet;
 use anton_core::config::MachineConfig;
 use anton_core::topology::TorusShape;
 use anton_sim::driver::BatchDriver;
@@ -18,28 +19,44 @@ struct FairBatch {
     finish: Vec<u64>,
 }
 impl Driver for FairBatch {
-    fn pre_cycle(&mut self, sim: &mut Sim) { self.inner.pre_cycle(sim) }
+    fn pre_cycle(&mut self, sim: &mut Sim) {
+        self.inner.pre_cycle(sim)
+    }
     fn on_delivery(&mut self, sim: &mut Sim, d: &Delivery) {
         if let Delivery::Packet(p) = d {
             let idx = sim.cfg.endpoint_index(p.src);
             self.sent_remaining[idx] -= 1;
-            if self.sent_remaining[idx] == 0 { self.finish[idx] = sim.now(); }
+            if self.sent_remaining[idx] == 0 {
+                self.finish[idx] = sim.now();
+            }
         }
         self.inner.on_delivery(sim, d)
     }
-    fn done(&self, sim: &Sim) -> bool { self.inner.done(sim) }
+    fn done(&self, sim: &Sim) -> bool {
+        self.inner.done(sim)
+    }
 }
 
 fn main() {
-    let k: u8 = std::env::args().nth(1).map(|s| s.parse().unwrap()).unwrap_or(4);
-    let batch: u64 = std::env::args().nth(2).map(|s| s.parse().unwrap()).unwrap_or(1024);
+    let args = FlagSet::new("probe_fair", "Diagnostic: per-source completion fairness")
+        .flag("k", 4u8, "torus dimension per side")
+        .flag("batch", 1024u64, "packets per core")
+        .parse();
+    let k: u8 = args.get("k");
+    let batch: u64 = args.get("batch");
     let cfg = MachineConfig::new(TorusShape::cube(k));
     let analysis = LoadAnalysis::compute(&cfg, &UniformRandom);
     let sat = analysis.saturation_injection_rate(14.0 / 45.0);
     let weights = ArbiterWeightSet::compute(&cfg, &[&analysis], 5);
     for kind in ["rr", "iw"] {
-        let mut params = SimParams::default();
-        params.arbiter = if kind == "rr" { ArbiterKind::RoundRobin } else { ArbiterKind::InverseWeighted { m_bits: 5 } };
+        let params = SimParams {
+            arbiter: if kind == "rr" {
+                ArbiterKind::RoundRobin
+            } else {
+                ArbiterKind::InverseWeighted { m_bits: 5 }
+            },
+            ..SimParams::default()
+        };
         let mut sim = Sim::new(cfg.clone(), params);
         if kind == "iw" {
             for ((node, router, out), table) in &weights.tables {
@@ -53,8 +70,16 @@ fn main() {
             }
         }
         let n = cfg.num_endpoints();
-        let inner = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), batch, 42);
-        let mut drv = FairBatch { inner, sent_remaining: vec![batch; n], finish: vec![0; n] };
+        let inner = BatchDriver::builder(&sim)
+            .pattern(Box::new(UniformRandom))
+            .packets_per_endpoint(batch)
+            .seed(42)
+            .build();
+        let mut drv = FairBatch {
+            inner,
+            sent_remaining: vec![batch; n],
+            finish: vec![0; n],
+        };
         let t0 = std::time::Instant::now();
         assert_eq!(sim.run(&mut drv, 200_000_000), RunOutcome::Completed);
         let mut f = drv.finish.clone();

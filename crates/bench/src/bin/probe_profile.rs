@@ -1,7 +1,7 @@
 //! Diagnostic: delivery-rate profile over time for a batch run, separating
 //! steady-state throughput from the ramp and straggler tail.
 //! Usage: `probe_profile --k K --batch B --bucket CYCLES`.
-use anton_bench::Args;
+use anton_bench::FlagSet;
 use anton_core::config::MachineConfig;
 use anton_core::topology::TorusShape;
 use anton_sim::driver::BatchDriver;
@@ -15,31 +15,55 @@ struct Profile {
     bucket: u64,
 }
 impl Driver for Profile {
-    fn pre_cycle(&mut self, sim: &mut Sim) { self.inner.pre_cycle(sim) }
+    fn pre_cycle(&mut self, sim: &mut Sim) {
+        self.inner.pre_cycle(sim)
+    }
     fn on_delivery(&mut self, sim: &mut Sim, d: &Delivery) {
         if matches!(d, Delivery::Packet(_)) {
             let b = (sim.now() / self.bucket) as usize;
-            if self.buckets.len() <= b { self.buckets.resize(b + 1, 0); }
+            if self.buckets.len() <= b {
+                self.buckets.resize(b + 1, 0);
+            }
             self.buckets[b] += 1;
         }
         self.inner.on_delivery(sim, d)
     }
-    fn done(&self, sim: &Sim) -> bool { self.inner.done(sim) }
+    fn done(&self, sim: &Sim) -> bool {
+        self.inner.done(sim)
+    }
 }
 
 fn main() {
-    let args = Args::capture();
-    let k: u8 = args.get("k", 8);
-    let batch: u64 = args.get("batch", 256);
-    let bucket: u64 = args.get("bucket", 500);
+    let args = FlagSet::new(
+        "probe_profile",
+        "Diagnostic: delivery-rate profile over time",
+    )
+    .flag("k", 8u8, "torus dimension per side")
+    .flag("batch", 256u64, "packets per core")
+    .flag("bucket", 500u64, "histogram bucket width in cycles")
+    .parse();
+    let k: u8 = args.get("k");
+    let batch: u64 = args.get("batch");
+    let bucket: u64 = args.get("bucket");
     let cfg = MachineConfig::new(TorusShape::cube(k));
     let n_eps = cfg.num_endpoints() as f64;
     let mut sim = Sim::new(cfg.clone(), SimParams::default());
-    let inner = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), batch, 42);
-    let mut drv = Profile { inner, buckets: vec![], bucket };
+    let inner = BatchDriver::builder(&sim)
+        .pattern(Box::new(UniformRandom))
+        .packets_per_endpoint(batch)
+        .seed(42)
+        .build();
+    let mut drv = Profile {
+        inner,
+        buckets: vec![],
+        bucket,
+    };
     assert_eq!(sim.run(&mut drv, 100_000_000), RunOutcome::Completed);
     // uniform sat rate at this k, computed analytically elsewhere; just show pkts/cycle/ep
-    println!("completion {}; per-bucket injection-normalized rate (pkts/cycle/ep):", sim.now());
+    println!(
+        "completion {}; per-bucket injection-normalized rate (pkts/cycle/ep):",
+        sim.now()
+    );
     for (i, b) in drv.buckets.iter().enumerate() {
         let rate = *b as f64 / bucket as f64 / n_eps;
         println!("  [{:>6}] {:.5}", i as u64 * bucket, rate);

@@ -3,30 +3,44 @@
 //! Demonstrates the 112 → 89.6 Gb/s effective-bandwidth derate from framing,
 //! and go-back-N behaviour under injected bit errors.
 
-use anton_bench::Args;
+use anton_bench::FlagSet;
 use anton_link::channel::{LinkParams, LinkSim};
 use anton_link::gobackn::GoBackNConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let args = Args::capture();
-    let slots: u64 = args.get("slots", 40_000);
+    let args = FlagSet::new("sec22_link", "Section 2.2: torus-channel link layer")
+        .flag("slots", 40_000u64, "frame slots simulated per BER point")
+        .parse();
+    let slots: u64 = args.get("slots");
     println!("## Section 2.2 — torus channel link layer (8 x 14 Gb/s SerDes)");
     println!();
     let base = LinkParams::default();
-    println!("Raw bandwidth/direction:       {:>7.1} Gb/s", base.raw_gbps());
-    println!("Effective after framing (24/30): {:>5.1} Gb/s (paper: 89.6)", base.effective_gbps());
+    println!(
+        "Raw bandwidth/direction:       {:>7.1} Gb/s",
+        base.raw_gbps()
+    );
+    println!(
+        "Effective after framing (24/30): {:>5.1} Gb/s (paper: 89.6)",
+        base.effective_gbps()
+    );
     println!();
     println!(
         "{:>10} {:>12} {:>14} {:>12} {:>10}",
         "BER", "goodput", "Gb/s", "retransmits", "corrupted"
     );
     for ber in [0.0, 1e-6, 1e-5, 1e-4, 1e-3, 5e-3] {
-        let params = LinkParams { bit_error_rate: ber, ..LinkParams::default() };
+        let params = LinkParams {
+            bit_error_rate: ber,
+            ..LinkParams::default()
+        };
         let mut sim = LinkSim::new(
             params,
-            GoBackNConfig { window: 32, timeout: 64 },
+            GoBackNConfig {
+                window: 32,
+                timeout: 64,
+            },
             StdRng::seed_from_u64(7),
         );
         let stats = sim.run_saturated(slots);

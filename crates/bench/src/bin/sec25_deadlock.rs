@@ -7,7 +7,7 @@
 //! simulation.
 
 use anton_analysis::deadlock::{build_unicast_dep_graph, RouteEnumeration};
-use anton_bench::Args;
+use anton_bench::FlagSet;
 use anton_core::chip::LinkGroup;
 use anton_core::config::MachineConfig;
 use anton_core::topology::TorusShape;
@@ -18,8 +18,13 @@ use anton_sim::sim::Sim;
 use anton_traffic::patterns::NodePermutation;
 
 fn main() {
-    let args = Args::capture();
-    let k: u8 = args.get("k", 4);
+    let args = FlagSet::new(
+        "sec25_deadlock",
+        "Section 2.5: VC promotion and deadlock freedom",
+    )
+    .flag("k", 4u8, "torus dimension per side")
+    .parse();
+    let k: u8 = args.get("k");
     println!("## Section 2.5 — VC promotion and deadlock freedom ({k}x{k}x{k})");
     println!();
     println!(
@@ -51,20 +56,23 @@ fn main() {
     // Live demonstration: ring-wrap traffic.
     println!();
     println!("Live check — all nodes send k/2 hops around the X ring:");
-    let perm: Vec<u32> = (0..u32::from(k)).map(|x| (x + u32::from(k) / 2) % u32::from(k)).collect();
+    let perm: Vec<u32> = (0..u32::from(k))
+        .map(|x| (x + u32::from(k) / 2) % u32::from(k))
+        .collect();
     for policy in [VcPolicy::NaiveSingle, VcPolicy::Anton] {
         let mut cfg = MachineConfig::new(TorusShape::new(k, 1, 1));
         cfg.vc_policy = policy;
-        let mut params = SimParams::default();
-        params.buffer_depth = 2;
-        params.watchdog_cycles = 5_000;
+        let params = SimParams {
+            buffer_depth: 2,
+            watchdog_cycles: 5_000,
+            ..SimParams::default()
+        };
         let mut sim = Sim::new(cfg, params);
-        let mut drv = BatchDriver::uniform_pattern(
-            &sim,
-            Box::new(NodePermutation::new(perm.clone())),
-            400,
-            7,
-        );
+        let mut drv = BatchDriver::builder(&sim)
+            .pattern(Box::new(NodePermutation::new(perm.clone())))
+            .packets_per_endpoint(400)
+            .seed(7)
+            .build();
         let outcome = sim.run(&mut drv, 10_000_000);
         println!(
             "  {:<16} -> {:?} after {} cycles ({} packets stuck)",

@@ -3,17 +3,27 @@
 use anton_area::{AreaModel, Component};
 
 fn main() {
+    anton_bench::FlagSet::new("table1_area", "Table 1: network die-area contributions").parse();
     let model = AreaModel::anton();
     println!("## Table 1 — network component die-area contributions");
     println!();
-    println!("{:<20} {:>16} {:>12} {:>12}", "Component", "Component count", "% die", "paper");
+    println!(
+        "{:<20} {:>16} {:>12} {:>12}",
+        "Component", "Component count", "% die", "paper"
+    );
     let paper = [3.4, 1.1, 4.7];
     let counts = [16, 23, 12];
     let mut total = 0.0;
     for (i, comp) in Component::ALL.iter().enumerate() {
         let pct = model.die_fraction(*comp);
         total += pct;
-        println!("{:<20} {:>16} {:>11.1}% {:>11.1}%", comp.name(), counts[i], pct, paper[i]);
+        println!(
+            "{:<20} {:>16} {:>11.1}% {:>11.1}%",
+            comp.name(),
+            counts[i],
+            pct,
+            paper[i]
+        );
     }
     println!();
     println!("Network total: {total:.1}% of die (paper: 9.2%, 'less than 10%')");

@@ -3,7 +3,7 @@
 //! promotion algorithm replaces).
 
 use anton_area::{AreaModel, AreaParams, Category, Component};
-use anton_bench::Args;
+use anton_bench::FlagSet;
 use anton_core::chip::ChipLayout;
 use anton_core::vc::VcPolicy;
 
@@ -28,7 +28,9 @@ fn print_table(model: &AreaModel) {
 }
 
 fn main() {
-    let args = Args::capture();
+    let args = FlagSet::new("table2_area", "Table 2: network area by category")
+        .switch("baseline-vcs", "also evaluate the prior 2n-VC scheme")
+        .parse();
     println!("## Table 2 — network area by category (% of network area)");
     println!();
     let anton = AreaModel::anton();
@@ -37,12 +39,15 @@ fn main() {
     println!("Paper totals: Queues 46.6, Reduction 9.6, Link 8.9, Configuration 8.6,");
     println!("Debug 7.8, Miscellaneous 7.3, Multicast 5.7, Arbiters 5.4.");
 
-    if args.has("baseline-vcs") {
+    if args.on("baseline-vcs") {
         println!();
         println!("## Ablation — 2n-VC baseline [20] instead of the n+1 promotion algorithm");
         println!();
-        let baseline =
-            AreaModel::new(AreaParams::default(), ChipLayout::new(23), VcPolicy::Baseline2n);
+        let baseline = AreaModel::new(
+            AreaParams::default(),
+            ChipLayout::new(23),
+            VcPolicy::Baseline2n,
+        );
         print_table(&baseline);
         let growth = 100.0 * (baseline.network_area() / anton.network_area() - 1.0);
         let q_a = anton.category_percent(Category::Queues) * anton.network_area() / 100.0;

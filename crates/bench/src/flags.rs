@@ -1,0 +1,419 @@
+//! Declarative, typed command-line flags for the experiment binaries.
+//!
+//! Each binary declares its flags once — name, typed default, help text —
+//! and gets parsing, `--help` generation, unknown-flag rejection, and typed
+//! access in return:
+//!
+//! ```
+//! use anton_bench::flags::FlagSet;
+//!
+//! let args = FlagSet::new("fig9_throughput", "Figure 9 batch-throughput sweep")
+//!     .flag("k", 8u8, "torus dimension per side")
+//!     .list("batches", &[64, 256, 1024], "batch sizes to sweep")
+//!     .switch("verbose", "print per-point progress")
+//!     .try_parse(&["--k".into(), "4".into()])
+//!     .unwrap();
+//! assert_eq!(args.get::<u8>("k"), 4);
+//! assert_eq!(args.list("batches"), vec![64, 256, 1024]);
+//! assert!(!args.on("verbose"));
+//! ```
+//!
+//! Binaries call [`FlagSet::parse`], which prints help on `--help` (exit 0)
+//! and a diagnostic plus usage on any malformed, unknown, or positional
+//! argument (exit 2).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+type ParseFn = Box<dyn Fn(&str) -> Result<Box<dyn Any>, String>>;
+type DefaultFn = Box<dyn Fn() -> Box<dyn Any>>;
+
+enum FlagKind {
+    /// `--name <value>`: typed, with a default.
+    Value {
+        default_repr: String,
+        make_default: DefaultFn,
+        parse: ParseFn,
+    },
+    /// `--name`: boolean, default off.
+    Switch,
+}
+
+struct FlagDecl {
+    name: String,
+    help: String,
+    kind: FlagKind,
+}
+
+/// A set of declared flags for one binary; build with the chained
+/// constructors, then [`parse`](FlagSet::parse).
+pub struct FlagSet {
+    program: String,
+    about: String,
+    flags: Vec<FlagDecl>,
+}
+
+impl fmt::Debug for FlagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlagSet")
+            .field("program", &self.program)
+            .field(
+                "flags",
+                &self.flags.iter().map(|d| &d.name).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl FlagSet {
+    /// Starts a flag set for `program`, described by `about` in `--help`.
+    pub fn new(program: impl Into<String>, about: impl Into<String>) -> FlagSet {
+        FlagSet {
+            program: program.into(),
+            about: about.into(),
+            flags: Vec::new(),
+        }
+    }
+
+    fn declare(mut self, decl: FlagDecl) -> FlagSet {
+        assert!(
+            self.flags.iter().all(|d| d.name != decl.name),
+            "flag --{} declared twice",
+            decl.name
+        );
+        assert!(decl.name != "help", "--help is reserved");
+        self.flags.push(decl);
+        self
+    }
+
+    /// Declares a typed value flag `--name <value>` with a default.
+    pub fn flag<T>(self, name: &str, default: T, help: &str) -> FlagSet
+    where
+        T: std::str::FromStr + fmt::Display + Clone + 'static,
+        T::Err: fmt::Display,
+    {
+        let default_repr = default.to_string();
+        self.declare(FlagDecl {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: FlagKind::Value {
+                default_repr,
+                make_default: Box::new(move || Box::new(default.clone())),
+                parse: Box::new(|s| {
+                    s.parse::<T>()
+                        .map(|v| Box::new(v) as Box<dyn Any>)
+                        .map_err(|e| e.to_string())
+                }),
+            },
+        })
+    }
+
+    /// Declares a comma-separated `u64` list flag (e.g. `--batches 64,256`).
+    pub fn list(self, name: &str, default: &[u64], help: &str) -> FlagSet {
+        let default: Vec<u64> = default.to_vec();
+        let default_repr = default
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        self.declare(FlagDecl {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: FlagKind::Value {
+                default_repr,
+                make_default: Box::new(move || Box::new(default.clone())),
+                parse: Box::new(|s| {
+                    s.split(',')
+                        .map(|part| {
+                            part.trim()
+                                .parse::<u64>()
+                                .map_err(|e| format!("entry `{}`: {e}", part.trim()))
+                        })
+                        .collect::<Result<Vec<u64>, String>>()
+                        .map(|v| Box::new(v) as Box<dyn Any>)
+                }),
+            },
+        })
+    }
+
+    /// Declares a boolean switch `--name` (default off).
+    pub fn switch(self, name: &str, help: &str) -> FlagSet {
+        self.declare(FlagDecl {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: FlagKind::Switch,
+        })
+    }
+
+    /// Renders the generated `--help` text.
+    pub fn help_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.program, self.about);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "USAGE: {} [FLAGS]", self.program);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "FLAGS:");
+        let left_col: Vec<String> = self
+            .flags
+            .iter()
+            .map(|d| match &d.kind {
+                FlagKind::Value { .. } => format!("--{} <value>", d.name),
+                FlagKind::Switch => format!("--{}", d.name),
+            })
+            .chain(["--help".to_string()])
+            .collect();
+        let width = left_col.iter().map(String::len).max().unwrap_or(0);
+        for (d, left) in self.flags.iter().zip(&left_col) {
+            let default = match &d.kind {
+                FlagKind::Value { default_repr, .. } => format!(" [default: {default_repr}]"),
+                FlagKind::Switch => String::new(),
+            };
+            let _ = writeln!(out, "  {left:width$}  {}{default}", d.help);
+        }
+        let _ = writeln!(out, "  {:width$}  print this help", "--help");
+        out
+    }
+
+    /// Parses `argv` (excluding the program name). Every token must be a
+    /// declared `--flag` (with its value, for value flags); unknown flags,
+    /// positional arguments, and malformed values are errors.
+    pub fn try_parse(&self, argv: &[String]) -> Result<ParsedFlags, FlagError> {
+        let mut values: HashMap<String, Box<dyn Any>> = HashMap::new();
+        let mut switches: HashMap<String, bool> = HashMap::new();
+        for d in &self.flags {
+            match &d.kind {
+                FlagKind::Value { make_default, .. } => {
+                    values.insert(d.name.clone(), make_default());
+                }
+                FlagKind::Switch => {
+                    switches.insert(d.name.clone(), false);
+                }
+            }
+        }
+
+        let mut it = argv.iter();
+        while let Some(token) = it.next() {
+            if token == "--help" || token == "-h" {
+                return Err(FlagError::HelpRequested);
+            }
+            let Some(body) = token.strip_prefix("--") else {
+                return Err(FlagError::Invalid(format!(
+                    "unexpected positional argument `{token}` (all arguments are --flags)"
+                )));
+            };
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (body, None),
+            };
+            let Some(decl) = self.flags.iter().find(|d| d.name == name) else {
+                return Err(FlagError::Invalid(format!("unknown flag `--{name}`")));
+            };
+            match &decl.kind {
+                FlagKind::Switch => {
+                    if inline.is_some() {
+                        return Err(FlagError::Invalid(format!(
+                            "switch `--{name}` takes no value"
+                        )));
+                    }
+                    switches.insert(name.to_string(), true);
+                }
+                FlagKind::Value { parse, .. } => {
+                    let raw = match inline {
+                        Some(v) => v,
+                        None => it.next().cloned().ok_or_else(|| {
+                            FlagError::Invalid(format!("flag `--{name}` expects a value"))
+                        })?,
+                    };
+                    let parsed = parse(&raw).map_err(|e| {
+                        FlagError::Invalid(format!("invalid value `{raw}` for `--{name}`: {e}"))
+                    })?;
+                    values.insert(name.to_string(), parsed);
+                }
+            }
+        }
+        Ok(ParsedFlags { values, switches })
+    }
+
+    /// Parses the process arguments. Prints help and exits 0 on `--help`;
+    /// prints the diagnostic plus usage and exits 2 on any parse error.
+    pub fn parse(&self) -> ParsedFlags {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match self.try_parse(&argv) {
+            Ok(parsed) => parsed,
+            Err(FlagError::HelpRequested) => {
+                print!("{}", self.help_text());
+                std::process::exit(0);
+            }
+            Err(FlagError::Invalid(msg)) => {
+                eprintln!("{}: {msg}", self.program);
+                eprintln!();
+                eprint!("{}", self.help_text());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Why parsing stopped without producing flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlagError {
+    /// `--help`/`-h` was passed; the caller should print help and exit 0.
+    HelpRequested,
+    /// A malformed, unknown, or positional argument, with a diagnostic.
+    Invalid(String),
+}
+
+/// Typed flag values after parsing.
+pub struct ParsedFlags {
+    values: HashMap<String, Box<dyn Any>>,
+    switches: HashMap<String, bool>,
+}
+
+impl fmt::Debug for ParsedFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParsedFlags")
+            .field("values", &self.values.keys().collect::<Vec<_>>())
+            .field("switches", &self.switches)
+            .finish()
+    }
+}
+
+impl ParsedFlags {
+    /// The value of a declared flag, at its declared type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag was never declared or `T` differs from the
+    /// declaration — both are bugs in the binary, not user errors.
+    pub fn get<T: Clone + 'static>(&self, name: &str) -> T {
+        self.values
+            .get(name)
+            .unwrap_or_else(|| panic!("flag --{name} was not declared as a value flag"))
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("flag --{name} was declared at a different type"))
+            .clone()
+    }
+
+    /// The value of a declared list flag.
+    pub fn list(&self, name: &str) -> Vec<u64> {
+        self.get::<Vec<u64>>(name)
+    }
+
+    /// Whether a declared switch was passed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was not declared with [`FlagSet::switch`].
+    pub fn on(&self, name: &str) -> bool {
+        *self
+            .switches
+            .get(name)
+            .unwrap_or_else(|| panic!("flag --{name} was not declared as a switch"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn demo() -> FlagSet {
+        FlagSet::new("demo", "test binary")
+            .flag("k", 8u8, "torus dimension")
+            .flag("seed", 42u64, "base seed")
+            .flag("mode", "rr".to_string(), "arbiter mode")
+            .list("batches", &[64, 256], "batch sizes")
+            .switch("baseline-vcs", "use baseline VC count")
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_absent() {
+        let p = demo().try_parse(&[]).unwrap();
+        assert_eq!(p.get::<u8>("k"), 8);
+        assert_eq!(p.get::<u64>("seed"), 42);
+        assert_eq!(p.get::<String>("mode"), "rr");
+        assert_eq!(p.list("batches"), vec![64, 256]);
+        assert!(!p.on("baseline-vcs"));
+    }
+
+    #[test]
+    fn typed_parses_and_lists_and_switches() {
+        let p = demo()
+            .try_parse(&argv(&[
+                "--k",
+                "4",
+                "--batches",
+                "8, 16,32",
+                "--baseline-vcs",
+                "--mode=wf",
+            ]))
+            .unwrap();
+        assert_eq!(p.get::<u8>("k"), 4);
+        assert_eq!(p.list("batches"), vec![8, 16, 32]);
+        assert!(p.on("baseline-vcs"));
+        assert_eq!(p.get::<String>("mode"), "wf");
+    }
+
+    #[test]
+    fn unknown_flags_and_positionals_are_rejected() {
+        assert!(matches!(
+            demo().try_parse(&argv(&["--nope", "1"])),
+            Err(FlagError::Invalid(msg)) if msg.contains("unknown flag `--nope`")
+        ));
+        assert!(matches!(
+            demo().try_parse(&argv(&["4"])),
+            Err(FlagError::Invalid(msg)) if msg.contains("positional")
+        ));
+    }
+
+    #[test]
+    fn malformed_values_are_diagnosed() {
+        assert!(matches!(
+            demo().try_parse(&argv(&["--k", "banana"])),
+            Err(FlagError::Invalid(msg)) if msg.contains("--k")
+        ));
+        assert!(matches!(
+            demo().try_parse(&argv(&["--k"])),
+            Err(FlagError::Invalid(msg)) if msg.contains("expects a value")
+        ));
+        assert!(matches!(
+            demo().try_parse(&argv(&["--baseline-vcs=yes"])),
+            Err(FlagError::Invalid(msg)) if msg.contains("takes no value")
+        ));
+        // u8 range errors surface too.
+        assert!(demo().try_parse(&argv(&["--k", "300"])).is_err());
+    }
+
+    #[test]
+    fn help_is_generated_and_requested() {
+        assert!(matches!(
+            demo().try_parse(&argv(&["--help"])),
+            Err(FlagError::HelpRequested)
+        ));
+        assert!(matches!(
+            demo().try_parse(&argv(&["-h"])),
+            Err(FlagError::HelpRequested)
+        ));
+        let help = demo().help_text();
+        assert!(help.contains("demo — test binary"));
+        assert!(help.contains("--k <value>"));
+        assert!(help.contains("[default: 8]"));
+        assert!(help.contains("--batches <value>"));
+        assert!(help.contains("[default: 64,256]"));
+        assert!(help.contains("--baseline-vcs"));
+        assert!(help.contains("--help"));
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_declarations_panic() {
+        let _ = FlagSet::new("d", "d")
+            .flag("k", 1u8, "a")
+            .flag("k", 2u8, "b");
+    }
+}

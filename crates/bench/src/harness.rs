@@ -1,0 +1,487 @@
+//! Parallel experiment harness: typed sweep specifications executed across a
+//! scoped worker pool, with structured results export.
+//!
+//! An experiment is described once as an [`ExperimentSpec`] — a named list of
+//! [`SweepPoint`]s, each carrying typed parameters and a deterministic
+//! per-point seed derived from the spec's base seed and the point index.
+//! [`ExperimentSpec::run`] executes the points across `--threads` workers
+//! (each point builds its own independent `Sim`) and returns
+//! [`Measurement`] records in enumeration order, so parallel execution is
+//! bit-identical to serial: seeds depend only on `(base_seed, index)`, points
+//! never share state, and results land in index-addressed slots.
+//!
+//! ```
+//! use anton_bench::harness::{ExperimentSpec, Value};
+//! use anton_bench::values;
+//!
+//! let mut spec = ExperimentSpec::new("doc_example", 42);
+//! for k in [2u64, 4] {
+//!     spec.push_point(values!["k" => k]);
+//! }
+//! let out = spec.run(2, |point| {
+//!     let k = point.int("k");
+//!     values!["k_squared" => k * k]
+//! });
+//! assert_eq!(out[1].metric("k_squared"), Some(&Value::Int(16)));
+//! ```
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// A typed parameter or metric value.
+///
+/// One enum serves both sides of a [`Measurement`]: sweep parameters (what
+/// was configured) and metrics (what was observed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An integer parameter or counter.
+    Int(i64),
+    /// A real-valued measurement.
+    Float(f64),
+    /// A label (pattern name, arbiter setup, payload kind…).
+    Str(String),
+    /// A boolean switch.
+    Bool(bool),
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Int(v as i64)
+            }
+        }
+    )*};
+}
+value_from_int!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float(f64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<&Value> for Json {
+    fn from(v: &Value) -> Json {
+        match v {
+            Value::Int(i) => Json::Int(*i),
+            Value::Float(x) => Json::Float(*x),
+            Value::Str(s) => Json::Str(s.clone()),
+            Value::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Builds a `Vec<(String, Value)>` — the parameter/metric list shape used
+/// throughout the harness — from `key => value` pairs of mixed types.
+///
+/// ```
+/// use anton_bench::values;
+/// let params = values!["pattern" => "uniform", "batch" => 64u64, "rate" => 0.5];
+/// assert_eq!(params.len(), 3);
+/// ```
+#[macro_export]
+macro_rules! values {
+    ($($k:expr => $v:expr),* $(,)?) => {
+        vec![$(($k.to_string(), $crate::harness::Value::from($v))),*]
+    };
+}
+
+/// One configuration in a sweep: typed parameters plus the deterministic
+/// seed assigned from `(base_seed, index)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Position in the spec's enumeration order.
+    pub index: usize,
+    /// Per-point RNG seed; a function of the spec's base seed and `index`
+    /// only, never of thread scheduling.
+    pub seed: u64,
+    /// Typed sweep parameters, in declaration order.
+    pub params: Vec<(String, Value)>,
+}
+
+impl SweepPoint {
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Value> {
+        self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Integer parameter accessor; panics with the point context if the
+    /// parameter is missing or not an integer.
+    pub fn int(&self, name: &str) -> i64 {
+        match self.param(name) {
+            Some(Value::Int(i)) => *i,
+            other => panic!(
+                "point {}: expected int param `{name}`, got {other:?}",
+                self.index
+            ),
+        }
+    }
+
+    /// Float parameter accessor; integer parameters promote to float.
+    pub fn float(&self, name: &str) -> f64 {
+        match self.param(name) {
+            Some(Value::Float(x)) => *x,
+            Some(Value::Int(i)) => *i as f64,
+            other => panic!(
+                "point {}: expected float param `{name}`, got {other:?}",
+                self.index
+            ),
+        }
+    }
+
+    /// String parameter accessor.
+    pub fn str(&self, name: &str) -> &str {
+        match self.param(name) {
+            Some(Value::Str(s)) => s,
+            other => panic!(
+                "point {}: expected string param `{name}`, got {other:?}",
+                self.index
+            ),
+        }
+    }
+}
+
+/// The outcome of executing one [`SweepPoint`]: the point's identity plus
+/// the metrics the experiment body reported for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Enumeration index of the point this measurement came from.
+    pub index: usize,
+    /// The seed the point ran with.
+    pub seed: u64,
+    /// The point's parameters (copied so a measurement is self-describing).
+    pub params: Vec<(String, Value)>,
+    /// Observed metrics, in the order the experiment body reported them.
+    pub metrics: Vec<(String, Value)>,
+}
+
+impl Measurement {
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<&Value> {
+        self.metrics.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Float metric accessor; integer metrics promote to float. Panics if
+    /// the metric is missing or non-numeric.
+    pub fn metric_f64(&self, name: &str) -> f64 {
+        match self.metric(name) {
+            Some(Value::Float(x)) => *x,
+            Some(Value::Int(i)) => *i as f64,
+            other => panic!(
+                "measurement {}: expected numeric metric `{name}`, got {other:?}",
+                self.index
+            ),
+        }
+    }
+}
+
+/// Schema version stamped into every results file; bump when the JSON shape
+/// changes incompatibly.
+pub const RESULTS_SCHEMA_VERSION: u64 = 1;
+
+/// A named sweep: the typed front door of the experiment harness.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    name: String,
+    base_seed: u64,
+    points: Vec<SweepPoint>,
+}
+
+impl ExperimentSpec {
+    /// Creates an empty spec. `base_seed` is the only entropy source: every
+    /// point's seed is derived from it and the point index.
+    pub fn new(name: impl Into<String>, base_seed: u64) -> ExperimentSpec {
+        ExperimentSpec {
+            name: name.into(),
+            base_seed,
+            points: Vec::new(),
+        }
+    }
+
+    /// The experiment name (also the stem of the results file).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The base seed the point seeds are derived from.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Appends a sweep point, assigning its index and derived seed.
+    pub fn push_point(&mut self, params: Vec<(String, Value)>) -> &mut Self {
+        let index = self.points.len();
+        let seed = derive_seed(self.base_seed, index as u64);
+        self.points.push(SweepPoint {
+            index,
+            seed,
+            params,
+        });
+        self
+    }
+
+    /// The enumerated points, in declaration order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Executes every point and collects measurements in enumeration order.
+    ///
+    /// `threads` workers (clamped to `1..=points`) pull point indices from a
+    /// shared atomic counter; each invocation of `body` receives one point
+    /// and returns that point's metrics. Results are written to
+    /// index-addressed slots, so the returned vector is identical for any
+    /// thread count — parallelism changes wall-clock time, never output.
+    ///
+    /// A panic in `body` propagates to the caller once the scope unwinds.
+    pub fn run<F>(&self, threads: usize, body: F) -> Vec<Measurement>
+    where
+        F: Fn(&SweepPoint) -> Vec<(String, Value)> + Sync,
+    {
+        let n = self.points.len();
+        let workers = threads.clamp(1, n.max(1));
+        let next = AtomicUsize::new(0);
+        type ResultSlot = Mutex<Option<Vec<(String, Value)>>>;
+        let slots: Vec<ResultSlot> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let metrics = body(&self.points[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(metrics);
+                });
+            }
+        });
+
+        self.points
+            .iter()
+            .zip(slots)
+            .map(|(p, slot)| Measurement {
+                index: p.index,
+                seed: p.seed,
+                params: p.params.clone(),
+                metrics: slot
+                    .into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker pool finished every point"),
+            })
+            .collect()
+    }
+
+    /// Renders measurements as the structured results document.
+    ///
+    /// Schema: `{ experiment, schema_version, base_seed, points: [ { index,
+    /// seed, params: {..}, metrics: {..} } ] }`. Thread count is deliberately
+    /// absent — it must not influence results.
+    pub fn results_json(&self, measurements: &[Measurement]) -> Json {
+        let points = measurements
+            .iter()
+            .map(|m| {
+                Json::obj([
+                    ("index", Json::from(m.index)),
+                    ("seed", Json::from(m.seed)),
+                    (
+                        "params",
+                        Json::Obj(
+                            m.params
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::from(v)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "metrics",
+                        Json::Obj(
+                            m.metrics
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::from(v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("experiment", Json::from(self.name.as_str())),
+            ("schema_version", Json::from(RESULTS_SCHEMA_VERSION)),
+            ("base_seed", Json::from(self.base_seed)),
+            ("points", Json::Arr(points)),
+        ])
+    }
+
+    /// Writes `results/<name>.json` under `dir` (creating `results/` if
+    /// needed) and returns the path written.
+    pub fn write_results_under(
+        &self,
+        dir: &Path,
+        measurements: &[Measurement],
+    ) -> io::Result<PathBuf> {
+        let results_dir = dir.join("results");
+        std::fs::create_dir_all(&results_dir)?;
+        let path = results_dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.results_json(measurements).to_pretty_string())?;
+        Ok(path)
+    }
+
+    /// Writes `results/<name>.json` relative to the current directory.
+    pub fn write_results(&self, measurements: &[Measurement]) -> io::Result<PathBuf> {
+        self.write_results_under(Path::new("."), measurements)
+    }
+}
+
+/// Derives the RNG seed for sweep-point `index` of a spec seeded with
+/// `base`. Pure function of its arguments (splitmix64 finalization over a
+/// golden-ratio stride), so any execution schedule assigns identical seeds.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new("demo", 7);
+        for batch in [8u64, 16, 32] {
+            for pattern in ["uniform", "tornado"] {
+                spec.push_point(values!["batch" => batch, "pattern" => pattern]);
+            }
+        }
+        spec
+    }
+
+    #[test]
+    fn seeds_depend_only_on_base_and_index() {
+        let a = demo_spec();
+        let b = demo_spec();
+        for (pa, pb) in a.points().iter().zip(b.points()) {
+            assert_eq!(pa.seed, pb.seed);
+            assert_eq!(pa.seed, derive_seed(7, pa.index as u64));
+        }
+        // Distinct indices and distinct bases give distinct seeds.
+        let seeds: std::collections::HashSet<u64> = a.points().iter().map(|p| p.seed).collect();
+        assert_eq!(seeds.len(), a.points().len());
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_exactly() {
+        let spec = demo_spec();
+        let body = |p: &SweepPoint| {
+            values![
+                "echo_batch" => p.int("batch"),
+                "seeded" => p.seed % 97,
+                "label" => format!("{}-{}", p.str("pattern"), p.index),
+            ]
+        };
+        let serial = spec.run(1, body);
+        let parallel = spec.run(4, body);
+        let oversubscribed = spec.run(64, body);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, oversubscribed);
+        assert_eq!(serial.len(), 6);
+        for (i, m) in serial.iter().enumerate() {
+            assert_eq!(m.index, i);
+        }
+        // Identical JSON bytes, the strongest form of the guarantee.
+        assert_eq!(
+            spec.results_json(&serial).to_pretty_string(),
+            spec.results_json(&parallel).to_pretty_string()
+        );
+    }
+
+    #[test]
+    fn typed_accessors_promote_and_panic() {
+        let mut spec = ExperimentSpec::new("acc", 0);
+        spec.push_point(values!["n" => 3u64, "f" => 0.25, "tag" => "x"]);
+        let p = &spec.points()[0];
+        assert_eq!(p.int("n"), 3);
+        assert_eq!(p.float("n"), 3.0);
+        assert_eq!(p.float("f"), 0.25);
+        assert_eq!(p.str("tag"), "x");
+        assert!(std::panic::catch_unwind(|| p.int("missing")).is_err());
+        assert!(std::panic::catch_unwind(|| p.str("n")).is_err());
+    }
+
+    #[test]
+    fn results_json_has_declared_schema() {
+        let mut spec = ExperimentSpec::new("schema_check", 5);
+        spec.push_point(values!["k" => 4u64]);
+        let out = spec.run(1, |_| values!["metric" => 1.5]);
+        let doc = spec.results_json(&out).to_pretty_string();
+        assert!(doc.contains("\"experiment\": \"schema_check\""));
+        assert!(doc.contains("\"schema_version\": 1"));
+        assert!(doc.contains("\"base_seed\": 5"));
+        assert!(doc.contains("\"metric\": 1.5"));
+        assert!(
+            !doc.contains("threads"),
+            "thread count must not leak into results"
+        );
+    }
+
+    #[test]
+    fn write_results_creates_the_results_directory() {
+        let mut spec = ExperimentSpec::new("write_check", 1);
+        spec.push_point(values!["k" => 2u64]);
+        let out = spec.run(1, |_| values!["ok" => true]);
+        let dir = std::env::temp_dir().join(format!("anton_harness_test_{}", std::process::id()));
+        let path = spec.write_results_under(&dir, &out).expect("write results");
+        assert_eq!(path, dir.join("results").join("write_check.json"));
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, spec.results_json(&out).to_pretty_string());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

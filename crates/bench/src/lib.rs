@@ -6,11 +6,22 @@
 //! results). Each `src/bin/figN_*.rs` / `tableN_*.rs` binary prints the
 //! rows or series of the corresponding paper exhibit.
 //!
-//! This library hosts the shared harness: weight installation, saturation
-//! normalization, and the batch-throughput measurement loop.
+//! This library hosts the shared experiment infrastructure:
+//!
+//! * [`harness`] — typed [`ExperimentSpec`](harness::ExperimentSpec) sweeps
+//!   executed across a scoped worker pool, collecting
+//!   [`Measurement`](harness::Measurement) records;
+//! * [`json`] — dependency-free serialization of `results/<name>.json`;
+//! * [`flags`] — declarative typed command-line flags for the binaries;
+//! * plus the shared measurement loop: weight installation, saturation
+//!   normalization, and batch-throughput runs.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod flags;
+pub mod harness;
+pub mod json;
 
 use anton_analysis::load::LoadAnalysis;
 use anton_analysis::weights::ArbiterWeightSet;
@@ -18,8 +29,13 @@ use anton_arbiter::ArbiterKind;
 use anton_core::config::MachineConfig;
 use anton_core::pattern::TrafficPattern;
 use anton_sim::driver::BatchDriver;
+use anton_sim::metrics::Metrics;
 use anton_sim::params::{SimParams, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN};
 use anton_sim::sim::{RunOutcome, Sim};
+
+pub use flags::{FlagSet, ParsedFlags};
+pub use harness::{ExperimentSpec, Measurement, SweepPoint, Value};
+pub use json::Json;
 
 /// Effective torus-channel capacity in packets per cycle (single-flit
 /// packets).
@@ -91,82 +107,59 @@ pub fn run_batch(
     saturation_rate: f64,
     seed: u64,
 ) -> ThroughputPoint {
-    let mut params = SimParams::default();
-    params.arbiter = match setup {
-        ArbiterSetup::RoundRobin => ArbiterKind::RoundRobin,
-        ArbiterSetup::InverseWeighted(w) => ArbiterKind::InverseWeighted { m_bits: w.m_bits },
+    run_batch_detailed(cfg, components, batch, setup, saturation_rate, seed).0
+}
+
+/// Like [`run_batch`], but also returns the full typed [`Metrics`] record
+/// (link-class utilization, arbiter grant counts) collected from the run,
+/// for structured results export.
+///
+/// # Panics
+///
+/// Panics if the run deadlocks or exceeds the cycle budget.
+pub fn run_batch_detailed(
+    cfg: &MachineConfig,
+    components: Vec<(Box<dyn TrafficPattern>, f64)>,
+    batch: u64,
+    setup: &ArbiterSetup,
+    saturation_rate: f64,
+    seed: u64,
+) -> (ThroughputPoint, Metrics) {
+    let params = SimParams {
+        arbiter: match setup {
+            ArbiterSetup::RoundRobin => ArbiterKind::RoundRobin,
+            ArbiterSetup::InverseWeighted(w) => ArbiterKind::InverseWeighted { m_bits: w.m_bits },
+        },
+        ..SimParams::default()
     };
     let mut sim = Sim::new(cfg.clone(), params);
     if let ArbiterSetup::InverseWeighted(w) = setup {
         apply_weights(&mut sim, w);
     }
-    let mut driver = BatchDriver::blended(&sim, components, batch, seed);
+    let mut driver = BatchDriver::builder(&sim)
+        .components(components)
+        .packets_per_endpoint(batch)
+        .seed(seed)
+        .build();
     let outcome = sim.run(&mut driver, 600_000_000);
-    assert_eq!(outcome, RunOutcome::Completed, "batch run did not complete: {outcome:?}");
-    ThroughputPoint {
+    assert_eq!(
+        outcome,
+        RunOutcome::Completed,
+        "batch run did not complete: {outcome:?}"
+    );
+    let point = ThroughputPoint {
         batch,
         normalized: driver.throughput() / saturation_rate,
         cycles: driver.finish_cycle,
         peak_utilization: sim.max_torus_utilization(),
-    }
+    };
+    let metrics = sim.metrics();
+    (point, metrics)
 }
 
 /// Computes a pattern's analytic saturation injection rate on a machine.
 pub fn saturation_rate(cfg: &MachineConfig, pattern: &dyn TrafficPattern) -> f64 {
     LoadAnalysis::compute(cfg, pattern).saturation_injection_rate(torus_capacity())
-}
-
-/// Parses `--key value` style arguments with defaults; tiny helper for the
-/// experiment binaries.
-#[derive(Debug, Clone)]
-pub struct Args {
-    argv: Vec<String>,
-}
-
-impl Args {
-    /// Captures the process arguments.
-    pub fn capture() -> Args {
-        Args { argv: std::env::args().collect() }
-    }
-
-    /// The value following `--key`, parsed, or `default`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the value fails to parse.
-    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
-    where
-        T::Err: std::fmt::Debug,
-    {
-        let flag = format!("--{key}");
-        self.argv
-            .iter()
-            .position(|a| *a == flag)
-            .and_then(|i| self.argv.get(i + 1))
-            .map(|v| v.parse().unwrap_or_else(|e| panic!("bad --{key}: {e:?}")))
-            .unwrap_or(default)
-    }
-
-    /// Whether a bare `--flag` is present.
-    pub fn has(&self, key: &str) -> bool {
-        let flag = format!("--{key}");
-        self.argv.iter().any(|a| *a == flag)
-    }
-
-    /// A comma-separated list following `--key`, or `default`.
-    pub fn list(&self, key: &str, default: &[u64]) -> Vec<u64> {
-        let flag = format!("--{key}");
-        self.argv
-            .iter()
-            .position(|a| *a == flag)
-            .and_then(|i| self.argv.get(i + 1))
-            .map(|v| {
-                v.split(',')
-                    .map(|s| s.trim().parse().expect("bad list entry"))
-                    .collect()
-            })
-            .unwrap_or_else(|| default.to_vec())
-    }
 }
 
 #[cfg(test)]
@@ -192,7 +185,11 @@ mod tests {
             sat,
             1,
         );
-        assert!(p.normalized > 0.1 && p.normalized < 1.2, "normalized {}", p.normalized);
+        assert!(
+            p.normalized > 0.1 && p.normalized < 1.2,
+            "normalized {}",
+            p.normalized
+        );
         assert!(p.cycles > 0);
     }
 }

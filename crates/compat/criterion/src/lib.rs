@@ -1,0 +1,212 @@
+//! Offline drop-in subset of the [`criterion`](https://crates.io/crates/criterion)
+//! crate API, implementing exactly the surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal reimplementation: [`Criterion`], benchmark groups
+//! with `sample_size` / `bench_function` / `finish`, [`Bencher::iter`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing is plain wall-clock sampling (warmup, then `sample_size`
+//! samples, reporting min / mean / max per-iteration time) with no
+//! statistical analysis, plots, or baselines. Like the real crate, when
+//! the binary is invoked without `--bench` (as `cargo test` does for
+//! `harness = false` bench targets) every benchmark body runs exactly
+//! once as a smoke test instead of being timed.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.bench_mode, id, 100, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion.bench_mode, &full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no summary is built).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the body
+/// to measure.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Per-iteration durations recorded by [`Bencher::iter`].
+    samples: Vec<Duration>,
+}
+
+enum BenchMode {
+    /// Run the body once, untimed (`cargo test`).
+    Smoke,
+    /// Time `sample_size` samples (`cargo bench`).
+    Timed { sample_size: usize },
+}
+
+impl Bencher {
+    /// Measures `body`, consuming its output through
+    /// [`std::hint::black_box`] so the work is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        match self.mode {
+            BenchMode::Smoke => {
+                black_box(body());
+            }
+            BenchMode::Timed { sample_size } => {
+                // Warm up and calibrate how many iterations fill one
+                // sample window.
+                let start = Instant::now();
+                black_box(body());
+                let first = start.elapsed().max(Duration::from_nanos(1));
+                let iters = (SAMPLE_TARGET.as_nanos() / first.as_nanos()).clamp(1, 1_000_000);
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(body());
+                    }
+                    self.samples.push(start.elapsed() / iters as u32);
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(bench_mode: bool, id: &str, sample_size: usize, mut f: F) {
+    if !bench_mode {
+        let mut b = Bencher {
+            mode: BenchMode::Smoke,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        println!("test {id} ... ok (smoke)");
+        return;
+    }
+    let mut b = Bencher {
+        mode: BenchMode::Timed { sample_size },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{id:<40} time: [{min:>12?} {mean:>12?} {max:>12?}]  ({n} samples)",
+        n = b.samples.len()
+    );
+}
+
+/// Binds benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut calls = 0;
+        let mut b = Bencher {
+            mode: BenchMode::Smoke,
+            samples: Vec::new(),
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut b = Bencher {
+            mode: BenchMode::Timed { sample_size: 3 },
+            samples: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(2u64 + 2));
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion { bench_mode: false };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_function("noop", |b| b.iter(|| 1u32));
+        g.finish();
+        c.bench_function("ungrouped", |b| b.iter(|| 1u32));
+    }
+}

@@ -1,0 +1,433 @@
+//! Offline drop-in subset of the [`proptest`](https://crates.io/crates/proptest)
+//! crate API, implementing exactly the surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal reimplementation: a random-sampling test runner
+//! (no shrinking), the [`strategy::Strategy`] trait with range / tuple /
+//! `prop_map` / collection combinators, [`any`](strategy::any) over the
+//! primitive types the tests draw, and the `proptest!` / `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Each test runs [`test_runner::ProptestConfig::cases`] random cases from
+//! a seed derived deterministically from the test's name, so failures are
+//! reproducible run-to-run. On failure the runner panics with the case
+//! number and assertion message (there is no shrinking phase).
+
+#![warn(missing_docs)]
+
+/// Strategies: composable descriptions of how to draw random values.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of type [`Strategy::Value`].
+    ///
+    /// Unlike the real proptest (which builds shrinkable value trees),
+    /// this shim's strategies sample a plain value directly.
+    pub trait Strategy {
+        /// The type of value this strategy draws.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps drawn values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+    /// Types with a canonical "draw anything" strategy, used by [`any`].
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_prim {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut StdRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            rng.fill(&mut out[..]);
+            out
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Draws an arbitrary value of type `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Draws a `Vec` whose length is uniform in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// The test runner: configuration, case errors, and the driving loop.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration, set via
+    /// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful random cases each test must pass.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered this input out; the case is retried
+        /// with a fresh draw and does not count toward the case budget.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant (used by the `prop_assert*` macros).
+        pub fn fail(message: String) -> Self {
+            TestCaseError::Fail(message)
+        }
+
+        /// Builds the rejection variant (used by `prop_assume!`).
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Maximum rejected draws tolerated across a whole test before the
+    /// runner gives up (mirrors proptest's global rejection cap).
+    const MAX_GLOBAL_REJECTS: u32 = 65_536;
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `body` against `config.cases` random inputs drawn from a
+    /// generator seeded deterministically from `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails or when too many cases are rejected.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut body: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let seed = 0xA270_1EE7_0000_0000u64 ^ fnv1a(name);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        while passed < config.cases {
+            match body(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects < MAX_GLOBAL_REJECTS,
+                        "proptest {name}: too many rejected cases \
+                         ({rejects} rejects, {passed} passed; seed {seed:#x})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {name}: case {case} failed (seed {seed:#x}):\n{msg}",
+                        case = passed + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests.
+///
+/// Supports an optional `#![proptest_config(expr)]` header followed by one
+/// or more `fn name(pat in strategy, ...) { body }` items; each expands to
+/// a `#[test]` running the body against random draws.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(stringify!($name), &__config, |__rng| {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), __rng);
+                )+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case (retried with a fresh draw) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..6, y in 1u8..=6) {
+            prop_assert!(x < 6);
+            prop_assert!((1..=6).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (0usize..4, 0u32..32).prop_map(|(a, b)| a as u32 + b),
+        ) {
+            prop_assert!(pair < 36);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            v in collection::vec(any::<u32>(), 1..12),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 12);
+            prop_assert_eq!(v.len(), v.iter().count());
+        }
+
+        #[test]
+        fn assume_filters_draws(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0, "x was {}", x);
+        }
+    }
+
+    #[test]
+    fn default_config_is_256_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "case ")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x is only {}", x);
+            }
+        }
+        always_fails();
+    }
+}

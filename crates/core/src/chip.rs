@@ -60,7 +60,10 @@ impl MeshCoord {
     /// Panics if the coordinate is outside the 4×4 mesh.
     #[inline]
     pub fn new(u: u8, v: u8) -> MeshCoord {
-        assert!(u < MESH_U && v < MESH_V, "mesh coordinate ({u},{v}) out of range");
+        assert!(
+            u < MESH_U && v < MESH_V,
+            "mesh coordinate ({u},{v}) out of range"
+        );
         MeshCoord { u, v }
     }
 
@@ -78,7 +81,10 @@ impl MeshCoord {
     #[inline]
     pub fn from_index(idx: usize) -> MeshCoord {
         assert!(idx < NUM_ROUTERS, "router index {idx} out of range");
-        MeshCoord { u: (idx % MESH_U as usize) as u8, v: (idx / MESH_U as usize) as u8 }
+        MeshCoord {
+            u: (idx % MESH_U as usize) as u8,
+            v: (idx / MESH_U as usize) as u8,
+        }
     }
 
     /// All router coordinates in index order.
@@ -93,7 +99,10 @@ impl MeshCoord {
         let u = self.u as i8 + du;
         let v = self.v as i8 + dv;
         if (0..MESH_U as i8).contains(&u) && (0..MESH_V as i8).contains(&v) {
-            Some(MeshCoord { u: u as u8, v: v as u8 })
+            Some(MeshCoord {
+                u: u as u8,
+                v: v as u8,
+            })
         } else {
             None
         }
@@ -121,7 +130,12 @@ pub enum MeshDir {
 
 impl MeshDir {
     /// All four mesh directions.
-    pub const ALL: [MeshDir; 4] = [MeshDir::UPlus, MeshDir::UMinus, MeshDir::VPlus, MeshDir::VMinus];
+    pub const ALL: [MeshDir; 4] = [
+        MeshDir::UPlus,
+        MeshDir::UMinus,
+        MeshDir::VPlus,
+        MeshDir::VMinus,
+    ];
 
     /// Coordinate delta `(du, dv)` of one hop in this direction.
     #[inline]
@@ -183,8 +197,14 @@ impl ChanId {
     /// Panics if `idx >= 12`.
     #[inline]
     pub fn from_index(idx: usize) -> ChanId {
-        assert!(idx < NUM_CHAN_ADAPTERS, "channel adapter index {idx} out of range");
-        ChanId { dir: TorusDir::from_index(idx / 2), slice: Slice((idx % 2) as u8) }
+        assert!(
+            idx < NUM_CHAN_ADAPTERS,
+            "channel adapter index {idx} out of range"
+        );
+        ChanId {
+            dir: TorusDir::from_index(idx / 2),
+            slice: Slice((idx % 2) as u8),
+        }
     }
 
     /// All twelve channel adapters in index order.
@@ -327,11 +347,16 @@ impl ChipLayout {
         assert!(num_endpoints > 0, "a node needs at least one endpoint");
         let mut used_ports = [0usize; NUM_ROUTERS];
         for r in MeshCoord::all() {
-            let mut n = MeshDir::ALL.iter().filter(|d| r.step(**d).is_some()).count();
+            let mut n = MeshDir::ALL
+                .iter()
+                .filter(|d| r.step(**d).is_some())
+                .count();
             if Self::skip_partner_static(r).is_some() {
                 n += 1;
             }
-            n += ChanId::all().filter(|c| Self::chan_router_static(*c) == r).count();
+            n += ChanId::all()
+                .filter(|c| Self::chan_router_static(*c) == r)
+                .count();
             used_ports[r.index()] = n;
         }
         let mut endpoint_router = Vec::with_capacity(num_endpoints as usize);
@@ -352,7 +377,10 @@ impl ChipLayout {
             "port budget exceeded: only {} endpoint ports available, {num_endpoints} requested",
             endpoint_router.len()
         );
-        ChipLayout { num_endpoints, endpoint_router }
+        ChipLayout {
+            num_endpoints,
+            endpoint_router,
+        }
     }
 
     /// Number of endpoint adapters on this node.
@@ -487,9 +515,10 @@ impl ChipLayout {
             LocalLink::Mesh { from, dir } => {
                 (from, from.step(dir).expect("mesh link must stay in mesh"))
             }
-            LocalLink::Skip { from } => {
-                (from, self.skip_partner(from).expect("skip link requires partner"))
-            }
+            LocalLink::Skip { from } => (
+                from,
+                self.skip_partner(from).expect("skip link requires partner"),
+            ),
             LocalLink::ChanToRouter(c) => (self.chan_router(c), self.chan_router(c)),
             LocalLink::RouterToChan(c) => (self.chan_router(c), self.chan_router(c)),
             LocalLink::EpToRouter(e) => (self.endpoint_router(e), self.endpoint_router(e)),
@@ -536,11 +565,20 @@ mod tests {
         // Section 2.4: a packet traveling +X on slice 1 follows
         // X1- -> R(3,0) -> skip -> R(0,0) -> X1+.
         let chip = ChipLayout::default();
-        let arrive = ChanId { dir: TorusDir::new(Dim::X, Sign::Minus), slice: Slice(1) };
-        let depart = ChanId { dir: TorusDir::new(Dim::X, Sign::Plus), slice: Slice(1) };
+        let arrive = ChanId {
+            dir: TorusDir::new(Dim::X, Sign::Minus),
+            slice: Slice(1),
+        };
+        let depart = ChanId {
+            dir: TorusDir::new(Dim::X, Sign::Plus),
+            slice: Slice(1),
+        };
         assert_eq!(chip.chan_router(arrive), MeshCoord::new(3, 0));
         assert_eq!(chip.chan_router(depart), MeshCoord::new(0, 0));
-        assert_eq!(chip.skip_partner(chip.chan_router(arrive)), Some(chip.chan_router(depart)));
+        assert_eq!(
+            chip.skip_partner(chip.chan_router(arrive)),
+            Some(chip.chan_router(depart))
+        );
     }
 
     #[test]
@@ -548,8 +586,14 @@ mod tests {
         // Section 2.4: a packet traveling -Y on slice 0 follows
         // Y0+ -> R(0,2) -> Y0-.
         let chip = ChipLayout::default();
-        let arrive = ChanId { dir: TorusDir::new(Dim::Y, Sign::Plus), slice: Slice(0) };
-        let depart = ChanId { dir: TorusDir::new(Dim::Y, Sign::Minus), slice: Slice(0) };
+        let arrive = ChanId {
+            dir: TorusDir::new(Dim::Y, Sign::Plus),
+            slice: Slice(0),
+        };
+        let depart = ChanId {
+            dir: TorusDir::new(Dim::Y, Sign::Minus),
+            slice: Slice(0),
+        };
         assert_eq!(chip.chan_router(arrive), MeshCoord::new(0, 2));
         assert_eq!(chip.chan_router(depart), MeshCoord::new(0, 2));
     }
@@ -559,11 +603,17 @@ mod tests {
         let chip = ChipLayout::default();
         for slice in Slice::ALL {
             let edge = chip
-                .chan_router(ChanId { dir: TorusDir::new(Dim::Y, Sign::Plus), slice })
+                .chan_router(ChanId {
+                    dir: TorusDir::new(Dim::Y, Sign::Plus),
+                    slice,
+                })
                 .u;
             for dim in [Dim::Y, Dim::Z] {
                 for sign in [Sign::Plus, Sign::Minus] {
-                    let r = chip.chan_router(ChanId { dir: TorusDir::new(dim, sign), slice });
+                    let r = chip.chan_router(ChanId {
+                        dir: TorusDir::new(dim, sign),
+                        slice,
+                    });
                     assert_eq!(r.u, edge, "{dim}{sign} {slice} not on edge U={edge}");
                 }
             }
@@ -617,6 +667,9 @@ mod tests {
     fn mesh_step_edges() {
         assert_eq!(MeshCoord::new(0, 0).step(MeshDir::UMinus), None);
         assert_eq!(MeshCoord::new(3, 3).step(MeshDir::VPlus), None);
-        assert_eq!(MeshCoord::new(1, 2).step(MeshDir::UPlus), Some(MeshCoord::new(2, 2)));
+        assert_eq!(
+            MeshCoord::new(1, 2).step(MeshDir::UPlus),
+            Some(MeshCoord::new(2, 2))
+        );
     }
 }

@@ -83,7 +83,10 @@ impl MachineConfig {
     /// Panics if the index is out of range.
     #[inline]
     pub fn endpoint_at(&self, idx: usize) -> GlobalEndpoint {
-        assert!(idx < self.num_endpoints(), "endpoint index {idx} out of range");
+        assert!(
+            idx < self.num_endpoints(),
+            "endpoint index {idx} out of range"
+        );
         let per = self.endpoints_per_node();
         GlobalEndpoint {
             node: NodeId((idx / per) as u32),

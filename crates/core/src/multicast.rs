@@ -125,11 +125,20 @@ impl McTree {
         order: DimOrder,
         slice: Slice,
     ) -> McTree {
-        assert!(!dests.is_empty(), "multicast tree needs at least one destination");
-        let mut tree =
-            McTree { src, order, slice, entries: BTreeMap::new() };
-        let all: Vec<(NodeCoord, Vec<LocalEndpointId>)> =
-            dests.iter().map(|(n, e)| (n, e.iter().copied().collect())).collect();
+        assert!(
+            !dests.is_empty(),
+            "multicast tree needs at least one destination"
+        );
+        let mut tree = McTree {
+            src,
+            order,
+            slice,
+            entries: BTreeMap::new(),
+        };
+        let all: Vec<(NodeCoord, Vec<LocalEndpointId>)> = dests
+            .iter()
+            .map(|(n, e)| (n, e.iter().copied().collect()))
+            .collect();
         tree.place(shape, src, &order.dims(), &all);
         tree
     }
@@ -163,12 +172,17 @@ impl McTree {
             match off.signum() {
                 0 => stay.push((*d, eps.clone())),
                 1 => plus.entry(off as u32).or_default().push((*d, eps.clone())),
-                _ => minus.entry((-off) as u32).or_default().push((*d, eps.clone())),
+                _ => minus
+                    .entry((-off) as u32)
+                    .or_default()
+                    .push((*d, eps.clone())),
             }
         }
         self.place(shape, node, rest, &stay);
         for (sign, chain) in [(Sign::Plus, plus), (Sign::Minus, minus)] {
-            let Some((&max_hops, _)) = chain.iter().next_back() else { continue };
+            let Some((&max_hops, _)) = chain.iter().next_back() else {
+                continue;
+            };
             let dir = TorusDir::new(dim, sign);
             let mut cur = node;
             for step in 1..=max_hops {
@@ -272,19 +286,31 @@ impl McGroup {
         dests: DestSet,
         variants: &[(DimOrder, Slice)],
     ) -> McGroup {
-        assert!(!variants.is_empty(), "multicast group needs at least one tree");
+        assert!(
+            !variants.is_empty(),
+            "multicast group needs at least one tree"
+        );
         let trees = variants
             .iter()
             .map(|(order, slice)| McTree::build(shape, src, &dests, *order, *slice))
             .collect();
-        McGroup { id, src, dests, trees }
+        McGroup {
+            id,
+            src,
+            dests,
+            trees,
+        }
     }
 
     /// Torus hops saved per packet versus unicasting to every destination
     /// node (averaged over the group's trees).
     pub fn hops_saved(&self, shape: &TorusShape) -> f64 {
         let unicast = self.dests.unicast_torus_hops(shape, self.src) as f64;
-        let tree_avg = self.trees.iter().map(|t| t.torus_hops() as f64).sum::<f64>()
+        let tree_avg = self
+            .trees
+            .iter()
+            .map(|t| t.torus_hops() as f64)
+            .sum::<f64>()
             / self.trees.len() as f64;
         unicast - tree_avg
     }
@@ -357,7 +383,11 @@ mod tests {
         for order in DimOrder::ALL {
             let tree = McTree::build(&shape, src, &dests, order, Slice(1));
             for (leaf, path) in tree.traverse(&shape).paths {
-                assert_eq!(path.len() as u32, shape.min_hops(src, leaf), "minimal to {leaf}");
+                assert_eq!(
+                    path.len() as u32,
+                    shape.min_hops(src, leaf),
+                    "minimal to {leaf}"
+                );
                 // Dimensions appear in tree order, contiguously.
                 let mut rank = 0;
                 let mut last: Option<Dim> = None;
@@ -408,10 +438,16 @@ mod tests {
                 (DimOrder::new([Dim::Y, Dim::X, Dim::Z]), Slice(1)),
             ],
         );
-        let max_single =
-            single.blended_link_loads().values().cloned().fold(0.0, f64::max);
-        let max_alt =
-            alternating.blended_link_loads().values().cloned().fold(0.0, f64::max);
+        let max_single = single
+            .blended_link_loads()
+            .values()
+            .cloned()
+            .fold(0.0, f64::max);
+        let max_alt = alternating
+            .blended_link_loads()
+            .values()
+            .cloned()
+            .fold(0.0, f64::max);
         assert!(
             max_alt < max_single,
             "alternating trees should lower the peak channel load ({max_alt} vs {max_single})"
@@ -423,7 +459,9 @@ mod tests {
         let shape = TorusShape::cube(4);
         let src = NodeCoord::new(0, 0, 0);
         let mut dests = DestSet::new();
-        dests.add(src, LocalEndpointId(3)).add(NodeCoord::new(1, 0, 0), LocalEndpointId(0));
+        dests
+            .add(src, LocalEndpointId(3))
+            .add(NodeCoord::new(1, 0, 0), LocalEndpointId(0));
         let tree = McTree::build(&shape, src, &dests, DimOrder::XYZ, Slice(0));
         let entry = tree.entry(shape.id(src)).unwrap();
         assert_eq!(entry.local, vec![LocalEndpointId(3)]);

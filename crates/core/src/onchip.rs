@@ -33,12 +33,20 @@ pub struct DirOrder([MeshDir; 4]);
 
 impl DirOrder {
     /// The order selected by the Anton 2 design: V⁻, U⁺, U⁻, V⁺.
-    pub const ANTON: DirOrder =
-        DirOrder([MeshDir::VMinus, MeshDir::UPlus, MeshDir::UMinus, MeshDir::VPlus]);
+    pub const ANTON: DirOrder = DirOrder([
+        MeshDir::VMinus,
+        MeshDir::UPlus,
+        MeshDir::UMinus,
+        MeshDir::VPlus,
+    ]);
 
     /// Dimension-order (U then V) routing, a special case of direction order.
-    pub const UV: DirOrder =
-        DirOrder([MeshDir::UPlus, MeshDir::UMinus, MeshDir::VPlus, MeshDir::VMinus]);
+    pub const UV: DirOrder = DirOrder([
+        MeshDir::UPlus,
+        MeshDir::UMinus,
+        MeshDir::VPlus,
+        MeshDir::VMinus,
+    ]);
 
     /// Creates a direction order from a permutation of the four directions.
     ///
@@ -131,7 +139,11 @@ impl DirOrder {
 
 impl fmt::Display for DirOrder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {}, {}, {})", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "({}, {}, {}, {})",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -181,7 +193,12 @@ mod tests {
     fn anton_order_is_v_minus_first() {
         assert_eq!(
             DirOrder::ANTON.dirs(),
-            [MeshDir::VMinus, MeshDir::UPlus, MeshDir::UMinus, MeshDir::VPlus]
+            [
+                MeshDir::VMinus,
+                MeshDir::UPlus,
+                MeshDir::UMinus,
+                MeshDir::VPlus
+            ]
         );
         // A route needing V- and U+ takes V- first under the Anton order.
         let route = DirOrder::ANTON.route(MeshCoord::new(0, 2), MeshCoord::new(2, 0));
@@ -201,6 +218,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "missing")]
     fn new_rejects_non_permutation() {
-        DirOrder::new([MeshDir::UPlus, MeshDir::UPlus, MeshDir::VPlus, MeshDir::VMinus]);
+        DirOrder::new([
+            MeshDir::UPlus,
+            MeshDir::UPlus,
+            MeshDir::VPlus,
+            MeshDir::VMinus,
+        ]);
     }
 }

@@ -65,7 +65,10 @@ pub struct Payload {
 impl Payload {
     /// An empty payload (header-only packet, still one flit).
     pub fn empty() -> Payload {
-        Payload { bytes: [0; MAX_PAYLOAD_BYTES], len: 0 }
+        Payload {
+            bytes: [0; MAX_PAYLOAD_BYTES],
+            len: 0,
+        }
     }
 
     /// A payload of `len` zero bytes.
@@ -74,8 +77,14 @@ impl Payload {
     ///
     /// Panics if `len > 32`.
     pub fn zeros(len: usize) -> Payload {
-        assert!(len <= MAX_PAYLOAD_BYTES, "payload of {len} bytes exceeds maximum");
-        Payload { bytes: [0; MAX_PAYLOAD_BYTES], len: len as u8 }
+        assert!(
+            len <= MAX_PAYLOAD_BYTES,
+            "payload of {len} bytes exceeds maximum"
+        );
+        Payload {
+            bytes: [0; MAX_PAYLOAD_BYTES],
+            len: len as u8,
+        }
     }
 
     /// A payload of `len` bytes of `0xFF`.
@@ -84,10 +93,16 @@ impl Payload {
     ///
     /// Panics if `len > 32`.
     pub fn ones(len: usize) -> Payload {
-        assert!(len <= MAX_PAYLOAD_BYTES, "payload of {len} bytes exceeds maximum");
+        assert!(
+            len <= MAX_PAYLOAD_BYTES,
+            "payload of {len} bytes exceeds maximum"
+        );
         let mut bytes = [0u8; MAX_PAYLOAD_BYTES];
         bytes[..len].fill(0xFF);
-        Payload { bytes, len: len as u8 }
+        Payload {
+            bytes,
+            len: len as u8,
+        }
     }
 
     /// A payload of `len` uniformly random bytes.
@@ -96,10 +111,16 @@ impl Payload {
     ///
     /// Panics if `len > 32`.
     pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Payload {
-        assert!(len <= MAX_PAYLOAD_BYTES, "payload of {len} bytes exceeds maximum");
+        assert!(
+            len <= MAX_PAYLOAD_BYTES,
+            "payload of {len} bytes exceeds maximum"
+        );
         let mut bytes = [0u8; MAX_PAYLOAD_BYTES];
         rng.fill(&mut bytes[..len]);
-        Payload { bytes, len: len as u8 }
+        Payload {
+            bytes,
+            len: len as u8,
+        }
     }
 
     /// A payload copied from a byte slice.
@@ -111,7 +132,10 @@ impl Payload {
         assert!(data.len() <= MAX_PAYLOAD_BYTES, "payload exceeds maximum");
         let mut bytes = [0u8; MAX_PAYLOAD_BYTES];
         bytes[..data.len()].copy_from_slice(data);
-        Payload { bytes, len: data.len() as u8 }
+        Payload {
+            bytes,
+            len: data.len() as u8,
+        }
     }
 
     /// Payload length in bytes.
@@ -196,9 +220,7 @@ impl Packet {
     pub fn flit_words(&self, idx: usize) -> [u64; 3] {
         assert!(idx < self.num_flits(), "flit index {idx} out of range");
         let dst_word = match self.dst {
-            Destination::Unicast(ep) => {
-                (u64::from(ep.node.0) << 8) | u64::from(ep.ep.0)
-            }
+            Destination::Unicast(ep) => (u64::from(ep.node.0) << 8) | u64::from(ep.ep.0),
             Destination::Multicast { group, tree } => {
                 (1u64 << 63) | (u64::from(group.0) << 8) | u64::from(tree)
             }
@@ -237,7 +259,10 @@ mod tests {
     use crate::topology::NodeId;
 
     fn ep(node: u32, e: u8) -> GlobalEndpoint {
-        GlobalEndpoint { node: NodeId(node), ep: LocalEndpointId(e) }
+        GlobalEndpoint {
+            node: NodeId(node),
+            ep: LocalEndpointId(e),
+        }
     }
 
     #[test]

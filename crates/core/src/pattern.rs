@@ -74,7 +74,10 @@ mod tests {
         }
 
         fn flows_from(&self, cfg: &MachineConfig, _src: GlobalEndpoint) -> Vec<Flow> {
-            vec![Flow { dst: cfg.endpoint_at(0), rate: 1.0 }]
+            vec![Flow {
+                dst: cfg.endpoint_at(0),
+                rate: 1.0,
+            }]
         }
 
         fn sample_dst(

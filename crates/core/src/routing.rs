@@ -51,7 +51,10 @@ impl DimOrder {
     /// Position (0..3) at which `dim` is routed.
     #[inline]
     pub fn position(&self, dim: Dim) -> usize {
-        self.0.iter().position(|&d| d == dim).expect("order contains all dims")
+        self.0
+            .iter()
+            .position(|&d| d == dim)
+            .expect("order contains all dims")
     }
 
     /// A uniformly random dimension order.
@@ -93,7 +96,11 @@ impl RouteSpec {
         order: DimOrder,
         slice: Slice,
     ) -> RouteSpec {
-        RouteSpec { order, slice, offsets: shape.minimal_offsets(src, dst) }
+        RouteSpec {
+            order,
+            slice,
+            offsets: shape.minimal_offsets(src, dst),
+        }
     }
 
     /// Builds a fully randomized route spec: random dimension order, random
@@ -123,10 +130,18 @@ impl RouteSpec {
         let mut offsets = [0i32; 3];
         for dim in Dim::ALL {
             let choices = shape.minimal_offset_choices(dim, src, dst);
-            let pick = if choices.len() == 1 { choices[0] } else { choices[rng.gen_range(0..2)] };
+            let pick = if choices.len() == 1 {
+                choices[0]
+            } else {
+                choices[rng.gen_range(0..2)]
+            };
             offsets[dim.index()] = pick;
         }
-        RouteSpec { order, slice, offsets }
+        RouteSpec {
+            order,
+            slice,
+            offsets,
+        }
     }
 
     /// The next torus direction the packet must travel, or `None` if all

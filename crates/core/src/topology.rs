@@ -110,12 +110,30 @@ impl TorusDir {
     /// All six directed torus directions in canonical order
     /// (X+, X−, Y+, Y−, Z+, Z−).
     pub const ALL: [TorusDir; 6] = [
-        TorusDir { dim: Dim::X, sign: Sign::Plus },
-        TorusDir { dim: Dim::X, sign: Sign::Minus },
-        TorusDir { dim: Dim::Y, sign: Sign::Plus },
-        TorusDir { dim: Dim::Y, sign: Sign::Minus },
-        TorusDir { dim: Dim::Z, sign: Sign::Plus },
-        TorusDir { dim: Dim::Z, sign: Sign::Minus },
+        TorusDir {
+            dim: Dim::X,
+            sign: Sign::Plus,
+        },
+        TorusDir {
+            dim: Dim::X,
+            sign: Sign::Minus,
+        },
+        TorusDir {
+            dim: Dim::Y,
+            sign: Sign::Plus,
+        },
+        TorusDir {
+            dim: Dim::Y,
+            sign: Sign::Minus,
+        },
+        TorusDir {
+            dim: Dim::Z,
+            sign: Sign::Plus,
+        },
+        TorusDir {
+            dim: Dim::Z,
+            sign: Sign::Minus,
+        },
     ];
 
     /// Creates a directed torus direction.
@@ -143,7 +161,10 @@ impl TorusDir {
     /// The direction with the same dimension and opposite sign.
     #[inline]
     pub fn opposite(self) -> TorusDir {
-        TorusDir { dim: self.dim, sign: self.sign.flip() }
+        TorusDir {
+            dim: self.dim,
+            sign: self.sign.flip(),
+        }
     }
 }
 
@@ -247,12 +268,19 @@ impl TorusShape {
     /// Panics if the id is out of range.
     #[inline]
     pub fn coord(&self, id: NodeId) -> NodeCoord {
-        assert!((id.0 as usize) < self.num_nodes(), "node id {id:?} out of range");
+        assert!(
+            (id.0 as usize) < self.num_nodes(),
+            "node id {id:?} out of range"
+        );
         let [kx, ky, _] = self.k;
         let x = id.0 % kx as u32;
         let y = (id.0 / kx as u32) % ky as u32;
         let z = id.0 / (kx as u32 * ky as u32);
-        NodeCoord { x: x as u8, y: y as u8, z: z as u8 }
+        NodeCoord {
+            x: x as u8,
+            y: y as u8,
+            z: z as u8,
+        }
     }
 
     /// Whether the coordinate lies inside the shape.
@@ -327,7 +355,10 @@ impl TorusShape {
 
     /// Minimal inter-node hop count between two nodes (sum over dimensions).
     pub fn min_hops(&self, src: NodeCoord, dst: NodeCoord) -> u32 {
-        self.minimal_offsets(src, dst).iter().map(|d| d.unsigned_abs()).sum()
+        self.minimal_offsets(src, dst)
+            .iter()
+            .map(|d| d.unsigned_abs())
+            .sum()
     }
 }
 
@@ -426,22 +457,17 @@ mod tests {
     fn dateline_placement() {
         let shape = TorusShape::cube(4);
         // Dateline between nodes k-1 and 0.
-        assert!(shape.hop_crosses_dateline(
-            NodeCoord::new(3, 0, 0),
-            TorusDir::new(Dim::X, Sign::Plus)
-        ));
-        assert!(shape.hop_crosses_dateline(
-            NodeCoord::new(0, 0, 0),
-            TorusDir::new(Dim::X, Sign::Minus)
-        ));
-        assert!(!shape.hop_crosses_dateline(
-            NodeCoord::new(2, 0, 0),
-            TorusDir::new(Dim::X, Sign::Plus)
-        ));
-        assert!(!shape.hop_crosses_dateline(
-            NodeCoord::new(3, 0, 0),
-            TorusDir::new(Dim::X, Sign::Minus)
-        ));
+        assert!(
+            shape.hop_crosses_dateline(NodeCoord::new(3, 0, 0), TorusDir::new(Dim::X, Sign::Plus))
+        );
+        assert!(
+            shape.hop_crosses_dateline(NodeCoord::new(0, 0, 0), TorusDir::new(Dim::X, Sign::Minus))
+        );
+        assert!(
+            !shape.hop_crosses_dateline(NodeCoord::new(2, 0, 0), TorusDir::new(Dim::X, Sign::Plus))
+        );
+        assert!(!shape
+            .hop_crosses_dateline(NodeCoord::new(3, 0, 0), TorusDir::new(Dim::X, Sign::Minus)));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use crate::chip::{ChanId, LocalEndpointId, LocalLink, LinkGroup, MeshCoord};
+use crate::chip::{ChanId, LinkGroup, LocalEndpointId, LocalLink, MeshCoord};
 use crate::config::{GlobalEndpoint, MachineConfig};
 use crate::multicast::McGroup;
 use crate::routing::RouteSpec;
@@ -77,13 +77,28 @@ pub fn trace_unicast(
     for h in &hops {
         end = cfg.shape.neighbor(end, *h);
     }
-    assert_eq!(end, cfg.shape.coord(dst.node), "route spec does not reach destination");
-    trace_hops(cfg, cfg.shape.coord(src.node), Some(src.ep), &hops, spec.slice, Some(dst.ep))
+    assert_eq!(
+        end,
+        cfg.shape.coord(dst.node),
+        "route spec does not reach destination"
+    );
+    trace_hops(
+        cfg,
+        cfg.shape.coord(src.node),
+        Some(src.ep),
+        &hops,
+        spec.slice,
+        Some(dst.ep),
+    )
 }
 
 /// Traces every root→leaf path of a multicast tree (one trace per delivered
 /// endpoint copy). Shared prefix links appear in multiple traces.
-pub fn trace_multicast(cfg: &MachineConfig, src: GlobalEndpoint, group: &McGroup) -> Vec<Vec<TraceStep>> {
+pub fn trace_multicast(
+    cfg: &MachineConfig,
+    src: GlobalEndpoint,
+    group: &McGroup,
+) -> Vec<Vec<TraceStep>> {
     let src_node = cfg.shape.coord(src.node);
     let mut out = Vec::new();
     for tree in &group.trees {
@@ -92,7 +107,14 @@ pub fn trace_multicast(cfg: &MachineConfig, src: GlobalEndpoint, group: &McGroup
         for (leaf, hops) in &walk.paths {
             let entry = tree.entry(cfg.shape.id(*leaf)).expect("leaf has an entry");
             for ep in &entry.local {
-                out.push(trace_hops(cfg, src_node, Some(src.ep), hops, tree.slice, Some(*ep)));
+                out.push(trace_hops(
+                    cfg,
+                    src_node,
+                    Some(src.ep),
+                    hops,
+                    tree.slice,
+                    Some(*ep),
+                ));
             }
         }
     }
@@ -133,7 +155,10 @@ pub fn trace_hops(
         Some(ep) => {
             let r = chip.endpoint_router(ep);
             steps.push((
-                GlobalLink::Local { node: cfg.shape.id(node), link: LocalLink::EpToRouter(ep) },
+                GlobalLink::Local {
+                    node: cfg.shape.id(node),
+                    link: LocalLink::EpToRouter(ep),
+                },
                 vc.vc_for(LinkGroup::M),
             ));
             r
@@ -161,7 +186,14 @@ pub fn trace_hops(
         vc.begin_dim();
         // M-phase: mesh hops from the current router to the departure adapter.
         let depart = ChanId { dir, slice };
-        push_mesh_route(cfg, &mut steps, node, cur_router, chip.chan_router(depart), &vc);
+        push_mesh_route(
+            cfg,
+            &mut steps,
+            node,
+            cur_router,
+            chip.chan_router(depart),
+            &vc,
+        );
         cur_router = chip.chan_router(depart);
         for h in 0..run {
             if h > 0 {
@@ -175,8 +207,9 @@ pub fn trace_hops(
                         },
                         vc.vc_for(LinkGroup::T),
                     ));
-                    cur_router =
-                        chip.skip_partner(cur_router).expect("X adapters sit on skip routers");
+                    cur_router = chip
+                        .skip_partner(cur_router)
+                        .expect("X adapters sit on skip routers");
                 }
                 debug_assert_eq!(cur_router, chip.chan_router(depart));
             }
@@ -190,11 +223,18 @@ pub fn trace_hops(
             let crosses = cfg.shape.hop_crosses_dateline(node, dir);
             let tvc = vc.torus_hop(crosses);
             steps.push((
-                GlobalLink::Torus { from: cfg.shape.id(node), dir, slice },
+                GlobalLink::Torus {
+                    from: cfg.shape.id(node),
+                    dir,
+                    slice,
+                },
                 tvc,
             ));
             node = cfg.shape.neighbor(node, dir);
-            let arrive = ChanId { dir: dir.opposite(), slice };
+            let arrive = ChanId {
+                dir: dir.opposite(),
+                slice,
+            };
             steps.push((
                 GlobalLink::Local {
                     node: cfg.shape.id(node),
@@ -208,9 +248,19 @@ pub fn trace_hops(
         idx += run;
     }
     if let Some(ep) = final_ep {
-        push_mesh_route(cfg, &mut steps, node, cur_router, chip.endpoint_router(ep), &vc);
+        push_mesh_route(
+            cfg,
+            &mut steps,
+            node,
+            cur_router,
+            chip.endpoint_router(ep),
+            &vc,
+        );
         steps.push((
-            GlobalLink::Local { node: cfg.shape.id(node), link: LocalLink::RouterToEp(ep) },
+            GlobalLink::Local {
+                node: cfg.shape.id(node),
+                link: LocalLink::RouterToEp(ep),
+            },
             vc.vc_for(LinkGroup::M),
         ));
     }
@@ -250,7 +300,10 @@ mod tests {
     }
 
     fn ep(cfg: &MachineConfig, node: NodeCoord, e: u8) -> GlobalEndpoint {
-        GlobalEndpoint { node: cfg.shape.id(node), ep: LocalEndpointId(e) }
+        GlobalEndpoint {
+            node: cfg.shape.id(node),
+            ep: LocalEndpointId(e),
+        }
     }
 
     #[test]
@@ -268,7 +321,15 @@ mod tests {
         let steps = trace_unicast(&cfg, src, dst, &spec);
         let skips = steps
             .iter()
-            .filter(|(l, _)| matches!(l, GlobalLink::Local { link: LocalLink::Skip { .. }, .. }))
+            .filter(|(l, _)| {
+                matches!(
+                    l,
+                    GlobalLink::Local {
+                        link: LocalLink::Skip { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         // One intermediate node on the X through-route -> one skip traversal.
         assert_eq!(skips, 1);
@@ -307,13 +368,10 @@ mod tests {
             for src_n in cfg.shape.nodes() {
                 for dst_n in cfg.shape.nodes() {
                     for order in DimOrder::ALL {
-                        let spec = RouteSpec::deterministic(&cfg.shape, src_n, dst_n, order, Slice(0));
-                        let steps = trace_unicast(
-                            &cfg,
-                            ep(&cfg, src_n, 0),
-                            ep(&cfg, dst_n, 5),
-                            &spec,
-                        );
+                        let spec =
+                            RouteSpec::deterministic(&cfg.shape, src_n, dst_n, order, Slice(0));
+                        let steps =
+                            trace_unicast(&cfg, ep(&cfg, src_n, 0), ep(&cfg, dst_n, 5), &spec);
                         for (link, vc) in steps {
                             let budget = policy.num_vcs(link.group());
                             assert!(
@@ -387,7 +445,13 @@ mod tests {
         assert_eq!(torus_vcs, vec![Vc(1), Vc(1)]);
         // Final ejection is on M vc 1 (crossed, so no further promotion).
         let (last, vc) = steps.last().unwrap();
-        assert!(matches!(last, GlobalLink::Local { link: LocalLink::RouterToEp(_), .. }));
+        assert!(matches!(
+            last,
+            GlobalLink::Local {
+                link: LocalLink::RouterToEp(_),
+                ..
+            }
+        ));
         assert_eq!(*vc, Vc(1));
     }
 
@@ -397,6 +461,13 @@ mod tests {
         let cfg = cfg(4);
         let x = TorusDir::new(Dim::X, Sign::Plus);
         let y = TorusDir::new(Dim::Y, Sign::Plus);
-        trace_hops(&cfg, NodeCoord::new(0, 0, 0), Some(LocalEndpointId(0)), &[x, y, x], Slice(0), None);
+        trace_hops(
+            &cfg,
+            NodeCoord::new(0, 0, 0),
+            Some(LocalEndpointId(0)),
+            &[x, y, x],
+            Slice(0),
+            None,
+        );
     }
 }

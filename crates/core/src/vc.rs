@@ -93,7 +93,14 @@ impl VcPolicy {
 
     /// Initial VC tracking state for a freshly injected packet.
     pub fn start(self) -> VcState {
-        VcState { policy: self, m_vc: 0, t_vc: 0, crossed: false, dims_done: 0, in_dim: false }
+        VcState {
+            policy: self,
+            m_vc: 0,
+            t_vc: 0,
+            crossed: false,
+            dims_done: 0,
+            in_dim: false,
+        }
     }
 }
 
@@ -145,7 +152,10 @@ impl VcState {
     /// than three dimensions are routed.
     pub fn begin_dim(&mut self) {
         assert!(!self.in_dim, "begin_dim called twice without end_dim");
-        assert!(self.dims_done < 3, "a minimal 3D route visits at most 3 dimensions");
+        assert!(
+            self.dims_done < 3,
+            "a minimal 3D route visits at most 3 dimensions"
+        );
         self.in_dim = true;
         self.crossed = false;
         match self.policy {
@@ -166,7 +176,10 @@ impl VcState {
     pub fn torus_hop(&mut self, crosses_dateline: bool) -> Vc {
         assert!(self.in_dim, "torus_hop outside begin_dim/end_dim");
         if crosses_dateline {
-            assert!(!self.crossed, "minimal route crossed a dateline twice in one dimension");
+            assert!(
+                !self.crossed,
+                "minimal route crossed a dateline twice in one dimension"
+            );
             self.crossed = true;
             match self.policy {
                 VcPolicy::Anton | VcPolicy::Baseline2n => self.t_vc += 1,
@@ -192,7 +205,11 @@ impl VcState {
         self.dims_done += 1;
         match self.policy {
             VcPolicy::Anton => {
-                self.m_vc = if self.crossed { self.t_vc } else { self.t_vc + 1 };
+                self.m_vc = if self.crossed {
+                    self.t_vc
+                } else {
+                    self.t_vc + 1
+                };
             }
             VcPolicy::Baseline2n => self.m_vc = self.dims_done,
             VcPolicy::NaiveSingle => {}
@@ -249,10 +266,24 @@ mod tests {
     fn anton_max_vc_is_three() {
         // Worst case: 3 dimensions, any crossing combination -> final VC 3.
         for crossings in 0u8..8 {
-            let dims: Vec<(u32, Option<u32>)> =
-                (0..3).map(|i| (2, if crossings & (1 << i) != 0 { Some(0) } else { None })).collect();
+            let dims: Vec<(u32, Option<u32>)> = (0..3)
+                .map(|i| {
+                    (
+                        2,
+                        if crossings & (1 << i) != 0 {
+                            Some(0)
+                        } else {
+                            None
+                        },
+                    )
+                })
+                .collect();
             let st = drive(VcPolicy::Anton, &dims);
-            assert_eq!(st.vc_for(LinkGroup::M), Vc(3), "crossings mask {crossings:03b}");
+            assert_eq!(
+                st.vc_for(LinkGroup::M),
+                Vc(3),
+                "crossings mask {crossings:03b}"
+            );
         }
         assert_eq!(VcPolicy::Anton.num_vcs(LinkGroup::T), 4);
         assert_eq!(VcPolicy::Anton.num_vcs(LinkGroup::M), 4);
@@ -289,7 +320,10 @@ mod tests {
 
     #[test]
     fn naive_never_increments() {
-        let st = drive(VcPolicy::NaiveSingle, &[(4, Some(1)), (4, Some(0)), (4, None)]);
+        let st = drive(
+            VcPolicy::NaiveSingle,
+            &[(4, Some(1)), (4, Some(0)), (4, None)],
+        );
         assert_eq!(st.vc_for(LinkGroup::M), Vc(0));
         assert_eq!(st.vc_for(LinkGroup::T), Vc(0));
     }
@@ -306,6 +340,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most 3 dimensions")]
     fn four_dims_rejected() {
-        drive(VcPolicy::Anton, &[(1, None), (1, None), (1, None), (1, None)]);
+        drive(
+            VcPolicy::Anton,
+            &[(1, None), (1, None), (1, None), (1, None)],
+        );
     }
 }

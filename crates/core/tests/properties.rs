@@ -176,8 +176,14 @@ fn route_diversity_matches_order_slice_product() {
     let cfg = MachineConfig::new(TorusShape::cube(4));
     let src_n = NodeCoord::new(0, 0, 0);
     let dst_n = NodeCoord::new(1, 1, 1);
-    let src = GlobalEndpoint { node: cfg.shape.id(src_n), ep: LocalEndpointId(0) };
-    let dst = GlobalEndpoint { node: cfg.shape.id(dst_n), ep: LocalEndpointId(0) };
+    let src = GlobalEndpoint {
+        node: cfg.shape.id(src_n),
+        ep: LocalEndpointId(0),
+    };
+    let dst = GlobalEndpoint {
+        node: cfg.shape.id(dst_n),
+        ep: LocalEndpointId(0),
+    };
     let mut routes = std::collections::HashSet::new();
     for order in DimOrder::ALL {
         for slice in Slice::ALL {
@@ -185,5 +191,9 @@ fn route_diversity_matches_order_slice_product() {
             routes.insert(trace_unicast(&cfg, src, dst, &spec));
         }
     }
-    assert_eq!(routes.len(), 12, "oblivious routing should spread over 12 distinct routes");
+    assert_eq!(
+        routes.len(),
+        12,
+        "oblivious routing should spread over 12 distinct routes"
+    );
 }

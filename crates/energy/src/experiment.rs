@@ -43,14 +43,26 @@ fn run_route(
 ) -> (anton_sim::sim::EnergyCounters, u64, usize) {
     // A single-node machine: all routes stay on the mesh.
     let cfg = MachineConfig::new(TorusShape::new(1, 1, 1));
-    let mut params = SimParams::default();
-    params.track_energy = true;
+    let params = SimParams {
+        track_energy: true,
+        ..SimParams::default()
+    };
     let mut sim = Sim::new(cfg.clone(), params);
-    let src = GlobalEndpoint { node: NodeId(0), ep: LocalEndpointId(0) };
-    let dst_ep = GlobalEndpoint { node: NodeId(0), ep: LocalEndpointId(dst) };
+    let src = GlobalEndpoint {
+        node: NodeId(0),
+        ep: LocalEndpointId(0),
+    };
+    let dst_ep = GlobalEndpoint {
+        node: NodeId(0),
+        ep: LocalEndpointId(dst),
+    };
     let mut driver = RateDriver::new(src, dst_ep, rate.0, rate.1, payload, packets, seed);
     let outcome = sim.run(&mut driver, packets * 64 + 100_000);
-    assert_eq!(outcome, RunOutcome::Completed, "energy stream did not drain");
+    assert_eq!(
+        outcome,
+        RunOutcome::Completed,
+        "energy stream did not drain"
+    );
     let src_r = cfg.chip.endpoint_router(LocalEndpointId(0));
     let dst_r = cfg.chip.endpoint_router(LocalEndpointId(dst));
     let routers = cfg.dir_order.router_path(src_r, dst_r).len();

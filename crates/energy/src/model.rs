@@ -21,7 +21,12 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// The paper's fitted coefficients: `E = 42.7 + 0.837h + (34.4 + 0.250n)(a/r)`.
     pub fn paper() -> EnergyModel {
-        EnergyModel { fixed_pj: 42.7, per_flip_pj: 0.837, activation_pj: 34.4, per_set_bit_pj: 0.250 }
+        EnergyModel {
+            fixed_pj: 42.7,
+            per_flip_pj: 0.837,
+            activation_pj: 34.4,
+            per_set_bit_pj: 0.250,
+        }
     }
 
     /// Predicted per-flit energy (pJ) for mean flip count `h`, mean set
@@ -41,7 +46,10 @@ impl EnergyModel {
     /// provided (the paper varies payload pattern and injection rate to
     /// span the space).
     pub fn fit(measurements: &[EnergyMeasurement]) -> EnergyModel {
-        assert!(measurements.len() >= 4, "need at least four measurements to fit");
+        assert!(
+            measurements.len() >= 4,
+            "need at least four measurements to fit"
+        );
         let xs: Vec<Vec<f64>> = measurements
             .iter()
             .map(|m| vec![1.0, m.h_mean, m.a_over_r, m.n_mean * m.a_over_r])

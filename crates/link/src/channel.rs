@@ -24,7 +24,12 @@ pub struct LinkParams {
 
 impl Default for LinkParams {
     fn default() -> LinkParams {
-        LinkParams { lanes: 8, lane_gbps: 14.0, prop_delay: 4, bit_error_rate: 0.0 }
+        LinkParams {
+            lanes: 8,
+            lane_gbps: 14.0,
+            prop_delay: 4,
+            bit_error_rate: 0.0,
+        }
     }
 }
 
@@ -166,7 +171,8 @@ impl<R: Rng> LinkSim<R> {
                 let ack = self.receiver.on_frame(&f);
                 let mut ack_wire = Frame::ack(ack).encode();
                 self.corrupt(&mut ack_wire);
-                self.reverse.push_back((self.now + self.params.prop_delay, ack_wire));
+                self.reverse
+                    .push_back((self.now + self.params.prop_delay, ack_wire));
             } else {
                 self.stats.corrupted += 1;
             }
@@ -175,7 +181,8 @@ impl<R: Rng> LinkSim<R> {
         if let Some(f) = self.sender.next_frame(self.now, self.receiver.expected()) {
             let mut wire = f.encode();
             self.corrupt(&mut wire);
-            self.forward.push_back((self.now + self.params.prop_delay, wire));
+            self.forward
+                .push_back((self.now + self.params.prop_delay, wire));
         }
         self.now += 1;
     }
@@ -203,7 +210,10 @@ mod tests {
     fn error_free_link_reaches_full_framing_efficiency() {
         let mut sim = LinkSim::new(
             LinkParams::default(),
-            GoBackNConfig { window: 32, timeout: 64 },
+            GoBackNConfig {
+                window: 32,
+                timeout: 64,
+            },
             StdRng::seed_from_u64(1),
         );
         let stats = sim.run_saturated(10_000);
@@ -220,31 +230,54 @@ mod tests {
     fn window_smaller_than_rtt_throttles() {
         // Window 2 with prop delay 8 (RTT 16 slots): bandwidth-delay product
         // unmet, so goodput falls well below the framing efficiency.
-        let params = LinkParams { prop_delay: 8, ..LinkParams::default() };
+        let params = LinkParams {
+            prop_delay: 8,
+            ..LinkParams::default()
+        };
         let mut sim = LinkSim::new(
             params,
-            GoBackNConfig { window: 2, timeout: 64 },
+            GoBackNConfig {
+                window: 2,
+                timeout: 64,
+            },
             StdRng::seed_from_u64(1),
         );
         let stats = sim.run_saturated(10_000);
-        assert!(stats.goodput_fraction() < 0.2, "goodput {}", stats.goodput_fraction());
+        assert!(
+            stats.goodput_fraction() < 0.2,
+            "goodput {}",
+            stats.goodput_fraction()
+        );
     }
 
     #[test]
     fn delivery_is_in_order_exactly_once_under_errors() {
-        let params = LinkParams { bit_error_rate: 1e-3, ..LinkParams::default() };
+        let params = LinkParams {
+            bit_error_rate: 1e-3,
+            ..LinkParams::default()
+        };
         let mut sim = LinkSim::new(
             params,
-            GoBackNConfig { window: 16, timeout: 48 },
+            GoBackNConfig {
+                window: 16,
+                timeout: 48,
+            },
             StdRng::seed_from_u64(42),
         );
         let stats = sim.run_saturated(20_000);
-        assert!(stats.retransmissions > 0, "errors must force retransmission");
+        assert!(
+            stats.retransmissions > 0,
+            "errors must force retransmission"
+        );
         assert!(stats.delivered > 0);
         for (i, flit) in sim.delivered().iter().enumerate() {
             let mut id = [0u8; 8];
             id.copy_from_slice(&flit[..8]);
-            assert_eq!(u64::from_le_bytes(id), i as u64, "delivery out of order at {i}");
+            assert_eq!(
+                u64::from_le_bytes(id),
+                i as u64,
+                "delivery out of order at {i}"
+            );
         }
     }
 
@@ -252,15 +285,24 @@ mod tests {
     fn goodput_degrades_with_error_rate() {
         let mut last = f64::MAX;
         for ber in [0.0, 5e-4, 5e-3] {
-            let params = LinkParams { bit_error_rate: ber, ..LinkParams::default() };
+            let params = LinkParams {
+                bit_error_rate: ber,
+                ..LinkParams::default()
+            };
             let mut sim = LinkSim::new(
                 params,
-                GoBackNConfig { window: 16, timeout: 48 },
+                GoBackNConfig {
+                    window: 16,
+                    timeout: 48,
+                },
                 StdRng::seed_from_u64(7),
             );
             let stats = sim.run_saturated(20_000);
             let g = stats.goodput_fraction();
-            assert!(g < last + 1e-9, "goodput should fall with BER ({g} after {last})");
+            assert!(
+                g < last + 1e-9,
+                "goodput should fall with BER ({g} after {last})"
+            );
             last = g;
         }
         assert!(last < 0.5, "heavy BER should crush goodput, got {last}");

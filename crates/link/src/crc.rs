@@ -18,7 +18,11 @@ pub fn crc16(data: &[u8]) -> u16 {
     for &byte in data {
         crc ^= u16::from(byte) << 8;
         for _ in 0..8 {
-            crc = if crc & 0x8000 != 0 { (crc << 1) ^ POLY } else { crc << 1 };
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
         }
     }
     crc

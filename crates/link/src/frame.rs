@@ -61,12 +61,22 @@ pub struct Frame {
 impl Frame {
     /// Builds a data frame.
     pub fn data(seq: u8, ack: u8, payload: [u8; FLIT_BYTES]) -> Frame {
-        Frame { kind: FrameKind::Data, seq, ack, payload }
+        Frame {
+            kind: FrameKind::Data,
+            seq,
+            ack,
+            payload,
+        }
     }
 
     /// Builds a pure acknowledgement frame.
     pub fn ack(ack: u8) -> Frame {
-        Frame { kind: FrameKind::Ack, seq: 0, ack, payload: [0; FLIT_BYTES] }
+        Frame {
+            kind: FrameKind::Ack,
+            seq: 0,
+            ack,
+            payload: [0; FLIT_BYTES],
+        }
     }
 
     /// Encodes the frame to its 30-byte wire image.
@@ -93,7 +103,12 @@ impl Frame {
         let kind = FrameKind::from_byte(wire[1])?;
         let mut payload = [0u8; FLIT_BYTES];
         payload.copy_from_slice(&wire[4..4 + FLIT_BYTES]);
-        Some(Frame { kind, seq: wire[2], ack: wire[3], payload })
+        Some(Frame {
+            kind,
+            seq: wire[2],
+            ack: wire[3],
+            payload,
+        })
     }
 }
 

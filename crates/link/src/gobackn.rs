@@ -22,7 +22,10 @@ pub struct GoBackNConfig {
 
 impl Default for GoBackNConfig {
     fn default() -> GoBackNConfig {
-        GoBackNConfig { window: 16, timeout: 64 }
+        GoBackNConfig {
+            window: 16,
+            timeout: 64,
+        }
     }
 }
 
@@ -64,7 +67,10 @@ impl Sender {
     ///
     /// Panics if the window is 0 or ≥ 128.
     pub fn new(cfg: GoBackNConfig) -> Sender {
-        assert!(cfg.window > 0 && cfg.window < 128, "window must be in 1..128");
+        assert!(
+            cfg.window > 0 && cfg.window < 128,
+            "window must be in 1..128"
+        );
         Sender {
             cfg,
             base: 0,
@@ -152,7 +158,10 @@ pub struct Receiver {
 impl Receiver {
     /// Creates a receiver expecting sequence number 0.
     pub fn new() -> Receiver {
-        Receiver { expected: 0, delivered: Vec::new() }
+        Receiver {
+            expected: 0,
+            delivered: Vec::new(),
+        }
     }
 
     /// Processes an arriving (already CRC-verified) frame. Returns the
@@ -210,7 +219,10 @@ mod tests {
 
     #[test]
     fn lost_frame_triggers_rewind() {
-        let cfg = GoBackNConfig { window: 4, timeout: 8 };
+        let cfg = GoBackNConfig {
+            window: 4,
+            timeout: 8,
+        };
         let mut tx = Sender::new(cfg);
         let mut rx = Receiver::new();
         for i in 0..4u8 {
@@ -255,7 +267,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "window full")]
     fn window_overflow_rejected() {
-        let mut tx = Sender::new(GoBackNConfig { window: 2, timeout: 8 });
+        let mut tx = Sender::new(GoBackNConfig {
+            window: 2,
+            timeout: 8,
+        });
         tx.offer([0; 24]);
         tx.offer([1; 24]);
         tx.offer([2; 24]);

@@ -104,12 +104,20 @@ impl Packaging {
 
     /// The backplane hosting a node.
     pub fn backplane_of(&self, node: NodeCoord) -> BackplaneId {
-        BackplaneId { bx: node.x / BACKPLANE_X, by: node.y / BACKPLANE_Y, z: node.z }
+        BackplaneId {
+            bx: node.x / BACKPLANE_X,
+            by: node.y / BACKPLANE_Y,
+            z: node.z,
+        }
     }
 
     /// The rack hosting a backplane.
     pub fn rack_of(&self, bp: BackplaneId) -> RackId {
-        RackId { bx: bp.bx, by: bp.by, zg: bp.z / BACKPLANES_PER_RACK }
+        RackId {
+            bx: bp.bx,
+            by: bp.by,
+            zg: bp.z / BACKPLANES_PER_RACK,
+        }
     }
 
     /// Total backplanes in the machine.
@@ -142,7 +150,9 @@ impl Packaging {
             let slot_a = (node.x % BACKPLANE_X) + BACKPLANE_X * (node.y % BACKPLANE_Y);
             let slot_b = (peer.x % BACKPLANE_X) + BACKPLANE_X * (peer.y % BACKPLANE_Y);
             let dist = slot_a.abs_diff(slot_b) as f64;
-            LinkMedium::BackplaneTrace { length_cm: 2.0 * 9.4 + 4.0 * dist }
+            LinkMedium::BackplaneTrace {
+                length_cm: 2.0 * 9.4 + 4.0 * dist,
+            }
         } else {
             let rack_a = self.rack_of(bp_a);
             let rack_b = self.rack_of(bp_b);
@@ -156,7 +166,8 @@ impl Packaging {
             } else {
                 // Between racks: longer cables; wraparound links span the
                 // row of racks.
-                let dr = (rack_a.bx.abs_diff(rack_b.bx) + rack_a.by.abs_diff(rack_b.by)
+                let dr = (rack_a.bx.abs_diff(rack_b.bx)
+                    + rack_a.by.abs_diff(rack_b.by)
                     + rack_a.zg.abs_diff(rack_b.zg)) as f64;
                 let base = 150.0 + 60.0 * (dr - 1.0).max(0.0);
                 let length_cm = if wraps { base + 100.0 } else { base };
@@ -320,7 +331,11 @@ mod tests {
         let p = Packaging::new(TorusShape::cube(8));
         let shape = TorusShape::cube(8);
         for node in shape.nodes().take(64) {
-            for d in [dir(Dim::X, Sign::Plus), dir(Dim::Y, Sign::Plus), dir(Dim::Z, Sign::Plus)] {
+            for d in [
+                dir(Dim::X, Sign::Plus),
+                dir(Dim::Y, Sign::Plus),
+                dir(Dim::Z, Sign::Plus),
+            ] {
                 let peer = shape.neighbor(node, d);
                 let fwd = p.medium(node, d);
                 let back = p.medium(peer, d.opposite());
@@ -343,6 +358,9 @@ mod tests {
         assert_eq!(p.num_racks(), 1);
         let s = p.summary();
         assert_eq!(s.inter_rack_cables, 0);
-        assert_eq!(s.intra_rack_cables, 0, "a 4x4x1 machine needs no cables at all");
+        assert_eq!(
+            s.intra_rack_cables, 0,
+            "a 4x4x1 machine needs no cables at all"
+        );
     }
 }

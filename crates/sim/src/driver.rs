@@ -50,45 +50,71 @@ impl std::fmt::Debug for BatchDriver {
 }
 
 impl BatchDriver {
+    /// Starts configuring a batch driver. This is the front door; terminal
+    /// call is [`BatchDriverBuilder::build`].
+    ///
+    /// ```
+    /// use anton_core::{MachineConfig, TorusShape};
+    /// use anton_sim::driver::BatchDriver;
+    /// use anton_sim::params::SimParams;
+    /// use anton_sim::sim::Sim;
+    /// use anton_traffic::UniformRandom;
+    ///
+    /// let sim = Sim::new(MachineConfig::new(TorusShape::cube(2)), SimParams::default());
+    /// let driver = BatchDriver::builder(&sim)
+    ///     .pattern(Box::new(UniformRandom))
+    ///     .packets_per_endpoint(4)
+    ///     .seed(1)
+    ///     .build();
+    /// ```
+    pub fn builder(sim: &Sim) -> BatchDriverBuilder<'_> {
+        BatchDriverBuilder {
+            sim,
+            components: Vec::new(),
+            packets_per_endpoint: 1,
+            payload_bytes: 16,
+            seed: 0,
+        }
+    }
+
     /// Creates a batch driver over one pattern.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BatchDriver::builder(sim).pattern(..)` instead"
+    )]
     pub fn uniform_pattern(
         sim: &Sim,
         pattern: Box<dyn TrafficPattern>,
         packets_per_endpoint: u64,
         seed: u64,
     ) -> BatchDriver {
-        BatchDriver::blended(sim, vec![(pattern, 1.0)], packets_per_endpoint, seed)
+        BatchDriver::builder(sim)
+            .pattern(pattern)
+            .packets_per_endpoint(packets_per_endpoint)
+            .seed(seed)
+            .build()
     }
 
-    /// Creates a batch driver over a weighted blend of patterns. Weights are
-    /// normalized; each packet is tagged with its component index as its
-    /// [`PatternId`].
+    /// Creates a batch driver over a weighted blend of patterns.
     ///
     /// # Panics
     ///
     /// Panics if `components` is empty or weights are non-positive in total.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BatchDriver::builder(sim).components(..)` instead"
+    )]
     pub fn blended(
         sim: &Sim,
         components: Vec<(Box<dyn TrafficPattern>, f64)>,
         packets_per_endpoint: u64,
         seed: u64,
     ) -> BatchDriver {
-        assert!(!components.is_empty(), "need at least one pattern");
-        let total: f64 = components.iter().map(|(_, w)| w).sum();
-        assert!(total > 0.0, "weights must be positive");
-        let components =
-            components.into_iter().map(|(p, w)| (p, w / total)).collect::<Vec<_>>();
-        let n_eps = sim.cfg.num_endpoints();
-        BatchDriver {
-            components,
-            packets_per_endpoint,
-            payload_bytes: 16,
-            remaining: vec![packets_per_endpoint; n_eps],
-            expected: packets_per_endpoint * n_eps as u64,
-            delivered: 0,
-            rng: StdRng::seed_from_u64(seed),
-            finish_cycle: 0,
-        }
+        BatchDriver::builder(sim)
+            .components(components)
+            .packets_per_endpoint(packets_per_endpoint)
+            .seed(seed)
+            .build()
     }
 
     /// Throughput in packets per cycle per endpoint, measured as the batch
@@ -103,6 +129,28 @@ impl BatchDriver {
         self.packets_per_endpoint as f64 / self.finish_cycle as f64
     }
 
+    fn from_builder(b: BatchDriverBuilder<'_>) -> BatchDriver {
+        assert!(!b.components.is_empty(), "need at least one pattern");
+        let total: f64 = b.components.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "weights must be positive");
+        let components = b
+            .components
+            .into_iter()
+            .map(|(p, w)| (p, w / total))
+            .collect::<Vec<_>>();
+        let n_eps = b.sim.cfg.num_endpoints();
+        BatchDriver {
+            components,
+            packets_per_endpoint: b.packets_per_endpoint,
+            payload_bytes: b.payload_bytes,
+            remaining: vec![b.packets_per_endpoint; n_eps],
+            expected: b.packets_per_endpoint * n_eps as u64,
+            delivered: 0,
+            rng: StdRng::seed_from_u64(b.seed),
+            finish_cycle: 0,
+        }
+    }
+
     fn sample_component(&mut self) -> usize {
         let mut x: f64 = self.rng.gen();
         for (i, (_, w)) in self.components.iter().enumerate() {
@@ -115,6 +163,85 @@ impl BatchDriver {
     }
 }
 
+/// Configures a [`BatchDriver`]; obtained from [`BatchDriver::builder`].
+///
+/// Defaults: one packet per endpoint, 16-byte payloads, seed 0. At least
+/// one pattern component must be added before [`build`](Self::build).
+pub struct BatchDriverBuilder<'a> {
+    sim: &'a Sim,
+    components: Vec<(Box<dyn TrafficPattern>, f64)>,
+    packets_per_endpoint: u64,
+    payload_bytes: usize,
+    seed: u64,
+}
+
+impl std::fmt::Debug for BatchDriverBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchDriverBuilder")
+            .field("components", &self.components.len())
+            .field("packets_per_endpoint", &self.packets_per_endpoint)
+            .field("payload_bytes", &self.payload_bytes)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl<'a> BatchDriverBuilder<'a> {
+    /// Adds a pattern component with weight 1.
+    pub fn pattern(self, pattern: Box<dyn TrafficPattern>) -> BatchDriverBuilder<'a> {
+        self.component(pattern, 1.0)
+    }
+
+    /// Adds one weighted pattern component. Weights are normalized at
+    /// [`build`](Self::build); each packet is tagged with its component
+    /// index as its [`PatternId`].
+    pub fn component(
+        mut self,
+        pattern: Box<dyn TrafficPattern>,
+        weight: f64,
+    ) -> BatchDriverBuilder<'a> {
+        self.components.push((pattern, weight));
+        self
+    }
+
+    /// Adds several weighted pattern components at once.
+    pub fn components(
+        mut self,
+        components: Vec<(Box<dyn TrafficPattern>, f64)>,
+    ) -> BatchDriverBuilder<'a> {
+        self.components.extend(components);
+        self
+    }
+
+    /// Sets the number of packets each endpoint sends (default 1).
+    pub fn packets_per_endpoint(mut self, n: u64) -> BatchDriverBuilder<'a> {
+        self.packets_per_endpoint = n;
+        self
+    }
+
+    /// Sets the payload size in bytes (default 16, as in the paper).
+    pub fn payload_bytes(mut self, bytes: usize) -> BatchDriverBuilder<'a> {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Sets the driver RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> BatchDriverBuilder<'a> {
+        self.seed = seed;
+        self
+    }
+
+    /// Finishes configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no components were added or weights are non-positive in
+    /// total.
+    pub fn build(self) -> BatchDriver {
+        BatchDriver::from_builder(self)
+    }
+}
+
 impl Driver for BatchDriver {
     fn pre_cycle(&mut self, sim: &mut Sim) {
         for idx in 0..self.remaining.len() {
@@ -124,7 +251,9 @@ impl Driver for BatchDriver {
             let src = sim.cfg.endpoint_at(idx);
             while self.remaining[idx] > 0 && sim.inject_queue_len(src) < LOW_WATER {
                 let comp = self.sample_component();
-                let dst = self.components[comp].0.sample_dst(&sim.cfg, src, &mut self.rng);
+                let dst = self.components[comp]
+                    .0
+                    .sample_dst(&sim.cfg, src, &mut self.rng);
                 let mut pkt = Packet::write(src, dst, Payload::zeros(self.payload_bytes));
                 pkt.pattern = PatternId(comp as u8);
                 sim.inject(src, pkt);
@@ -190,7 +319,10 @@ impl PingPongDriver {
                 legs_done: 0,
             })
             .collect();
-        PingPongDriver { pairs, payload_bytes: 16 }
+        PingPongDriver {
+            pairs,
+            payload_bytes: 16,
+        }
     }
 
     /// Mean one-way latency of pair `i` in nanoseconds, including software
@@ -226,8 +358,7 @@ impl Driver for PingPongDriver {
                     let (src, dst) = if p.a_sends { (p.a, p.b) } else { (p.b, p.a) };
                     let counter = CounterId(i as u16);
                     sim.set_counter(dst, counter, 1);
-                    let mut pkt =
-                        Packet::write(src, dst, Payload::zeros(self.payload_bytes));
+                    let mut pkt = Packet::write(src, dst, Payload::zeros(self.payload_bytes));
                     pkt.counter = Some(counter);
                     sim.inject(src, pkt);
                     p.inject_at = None;
@@ -237,7 +368,9 @@ impl Driver for PingPongDriver {
     }
 
     fn on_delivery(&mut self, sim: &mut Sim, delivery: &Delivery) {
-        let Delivery::Handler { counter, .. } = delivery else { return };
+        let Delivery::Handler { counter, .. } = delivery else {
+            return;
+        };
         let i = counter.0 as usize;
         let now = sim.now();
         let p = &mut self.pairs[i];
@@ -298,7 +431,10 @@ impl RateDriver {
         total: u64,
         seed: u64,
     ) -> RateDriver {
-        assert!(rate_num > 0 && rate_num <= rate_den, "rate must be in (0, 1]");
+        assert!(
+            rate_num > 0 && rate_num <= rate_den,
+            "rate must be in (0, 1]"
+        );
         RateDriver {
             src,
             dst,
@@ -387,7 +523,11 @@ mod tests {
             let r = valid as f64 / horizon as f64;
             let a = activations as f64 / horizon as f64;
             let want_r = f64::from(p) / f64::from(q);
-            let want_a = if p == q { 0.0 } else { want_r.min(1.0 - want_r) };
+            let want_a = if p == q {
+                0.0
+            } else {
+                want_r.min(1.0 - want_r)
+            };
             assert!((r - want_r).abs() < 1e-9, "rate {p}/{q}: r={r}");
             assert!(
                 (a - want_a).abs() < 0.02,

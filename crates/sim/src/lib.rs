@@ -14,6 +14,8 @@
 //! * [`sim`] — the simulator core ([`Sim`]);
 //! * [`driver`] — measurement workloads (batch throughput, ping-pong
 //!   latency, rate-controlled energy streams);
+//! * [`metrics`] — typed metrics records: per-link-class utilization, VC
+//!   occupancy histograms, arbiter grant counts;
 //! * [`wire`] — credit-controlled channels;
 //! * [`params`] — physical constants and calibration parameters;
 //! * [`state`] — in-flight packet state.
@@ -29,7 +31,11 @@
 //!
 //! let cfg = MachineConfig::new(TorusShape::cube(2));
 //! let mut sim = Sim::new(cfg, SimParams::default());
-//! let mut driver = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), 4, 1);
+//! let mut driver = BatchDriver::builder(&sim)
+//!     .pattern(Box::new(UniformRandom))
+//!     .packets_per_endpoint(4)
+//!     .seed(1)
+//!     .build();
 //! assert_eq!(sim.run(&mut driver, 100_000), RunOutcome::Completed);
 //! ```
 
@@ -37,11 +43,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod driver;
+pub mod metrics;
 pub mod params;
 pub mod sim;
 pub mod state;
 pub mod wire;
 
-pub use driver::{BatchDriver, PayloadKind, PingPongDriver, RateDriver};
+pub use driver::{BatchDriver, BatchDriverBuilder, PayloadKind, PingPongDriver, RateDriver};
+pub use metrics::{ArbiterGrantCounts, LinkClass, LinkClassMetrics, Metrics, VcOccupancyHistogram};
 pub use params::{EnergyParams, LatencyParams, SimParams};
 pub use sim::{Delivery, Driver, EnergyCounters, PacketDelivery, RunOutcome, Sim, SimStats};

@@ -1,0 +1,288 @@
+//! Structured metrics collected from a finished (or running) simulation.
+//!
+//! [`SimStats`](crate::sim::SimStats) counts the headline events; this
+//! module aggregates the instrumentation underneath them into a typed
+//! [`Metrics`] record: per-[link-class](LinkClass) utilization, per-VC
+//! queue-occupancy histograms, and grant counts at each arbitration-site
+//! class. The experiment harness in `anton-bench` serializes these records
+//! into `results/<name>.json`.
+//!
+//! Occupancy histograms cost memory and per-event bookkeeping, so they are
+//! gated behind [`SimParams::collect_metrics`](crate::params::SimParams::collect_metrics);
+//! utilization and grant counts are derived from counters the simulator
+//! maintains anyway and are always available.
+
+use anton_core::chip::LocalLink;
+use anton_core::trace::GlobalLink;
+
+use crate::sim::{Sim, SimStats};
+use crate::wire::OCC_BUCKETS;
+
+/// Structural classes of wires, the granularity of utilization reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkClass {
+    /// On-chip mesh links between routers.
+    Mesh,
+    /// On-chip skip channels bypassing the two middle routers of a row.
+    Skip,
+    /// Router → channel-adapter links.
+    RouterToChan,
+    /// Channel-adapter → router links.
+    ChanToRouter,
+    /// Router → endpoint-adapter links.
+    RouterToEp,
+    /// Endpoint-adapter → router links.
+    EpToRouter,
+    /// External torus channels between nodes.
+    Torus,
+}
+
+impl LinkClass {
+    /// Every class, in reporting order.
+    pub const ALL: [LinkClass; 7] = [
+        LinkClass::Mesh,
+        LinkClass::Skip,
+        LinkClass::RouterToChan,
+        LinkClass::ChanToRouter,
+        LinkClass::RouterToEp,
+        LinkClass::EpToRouter,
+        LinkClass::Torus,
+    ];
+
+    /// The class of a structural link.
+    pub fn of(link: &GlobalLink) -> LinkClass {
+        match link {
+            GlobalLink::Torus { .. } => LinkClass::Torus,
+            GlobalLink::Local { link, .. } => match link {
+                LocalLink::Mesh { .. } => LinkClass::Mesh,
+                LocalLink::Skip { .. } => LinkClass::Skip,
+                LocalLink::RouterToChan(_) => LinkClass::RouterToChan,
+                LocalLink::ChanToRouter(_) => LinkClass::ChanToRouter,
+                LocalLink::RouterToEp(_) => LinkClass::RouterToEp,
+                LocalLink::EpToRouter(_) => LinkClass::EpToRouter,
+            },
+        }
+    }
+
+    /// Stable lowercase identifier (JSON keys, table rows).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LinkClass::Mesh => "mesh",
+            LinkClass::Skip => "skip",
+            LinkClass::RouterToChan => "router_to_chan",
+            LinkClass::ChanToRouter => "chan_to_router",
+            LinkClass::RouterToEp => "router_to_ep",
+            LinkClass::EpToRouter => "ep_to_router",
+            LinkClass::Torus => "torus",
+        }
+    }
+}
+
+impl std::fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Aggregate utilization of every wire in one [`LinkClass`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkClassMetrics {
+    /// The class these numbers describe.
+    pub class: LinkClass,
+    /// Wires of this class in the machine.
+    pub wires: usize,
+    /// Total flits carried across all wires of the class.
+    pub flits: u64,
+    /// Mean flits per cycle per wire.
+    pub mean_util: f64,
+    /// Flits per cycle of the busiest single wire.
+    pub peak_util: f64,
+}
+
+/// Time-weighted queue-occupancy histogram of one VC index across every
+/// tracked wire of a link class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcOccupancyHistogram {
+    /// Link class the histogram aggregates over.
+    pub class: LinkClass,
+    /// Flattened VC index (class-major, see
+    /// [`Wire::vc_index`](crate::wire::Wire::vc_index)).
+    pub vc_index: u8,
+    /// `buckets[b]` = wire·cycles spent holding exactly `b` packets; the
+    /// last bucket absorbs deeper occupancies.
+    pub buckets: [u64; OCC_BUCKETS],
+}
+
+impl VcOccupancyHistogram {
+    /// Mean occupancy in packets (last bucket counted at its floor value).
+    pub fn mean(&self) -> f64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| b as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Fraction of wire·cycles with at least one packet buffered.
+    pub fn busy_fraction(&self) -> f64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        (total - self.buckets[0]) as f64 / total as f64
+    }
+}
+
+/// Grants issued at each of the simulator's arbitration-site classes
+/// (every site the paper's Section 3 makes inverse-weightable).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbiterGrantCounts {
+    /// Router SA1 grants: an input port selecting among its VCs.
+    pub sa1: u64,
+    /// Router SA2 grants: an output port selecting among input ports.
+    pub output: u64,
+    /// Channel-adapter serializer grants onto the torus link.
+    pub serializer: u64,
+}
+
+/// A complete typed metrics record for one simulation.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Cycles elapsed when the record was collected.
+    pub cycles: u64,
+    /// The headline event counters.
+    pub stats: SimStats,
+    /// Utilization per link class, in [`LinkClass::ALL`] order.
+    pub link_classes: Vec<LinkClassMetrics>,
+    /// Occupancy histograms per (link class, VC index); empty unless
+    /// [`SimParams::collect_metrics`](crate::params::SimParams::collect_metrics)
+    /// was set when the simulator was built.
+    pub vc_occupancy: Vec<VcOccupancyHistogram>,
+    /// Arbiter grant counts.
+    pub grants: ArbiterGrantCounts,
+}
+
+impl Metrics {
+    /// Collects a metrics record from a simulator.
+    pub fn collect(sim: &Sim) -> Metrics {
+        let now = sim.now();
+        let cycles = now.max(1);
+        let mut per_class: Vec<(usize, u64, u64)> = vec![(0, 0, 0); LinkClass::ALL.len()];
+        let mut occ: Vec<Vec<[u64; OCC_BUCKETS]>> = vec![Vec::new(); LinkClass::ALL.len()];
+        for wire in sim.wires() {
+            let ci = LinkClass::of(&wire.label) as usize;
+            let (wires, flits, peak) = &mut per_class[ci];
+            *wires += 1;
+            *flits += wire.flits_carried;
+            *peak = (*peak).max(wire.flits_carried);
+            if let Some(hists) = wire.occupancy_histograms(now) {
+                let agg = &mut occ[ci];
+                if agg.len() < hists.len() {
+                    agg.resize(hists.len(), [0; OCC_BUCKETS]);
+                }
+                for (vc, h) in hists.iter().enumerate() {
+                    for (b, c) in h.iter().enumerate() {
+                        agg[vc][b] += c;
+                    }
+                }
+            }
+        }
+        let link_classes = LinkClass::ALL
+            .iter()
+            .zip(&per_class)
+            .map(|(&class, &(wires, flits, peak))| LinkClassMetrics {
+                class,
+                wires,
+                flits,
+                mean_util: flits as f64 / cycles as f64 / (wires.max(1)) as f64,
+                peak_util: peak as f64 / cycles as f64,
+            })
+            .collect();
+        let vc_occupancy = LinkClass::ALL
+            .iter()
+            .zip(occ)
+            .flat_map(|(&class, agg)| {
+                agg.into_iter()
+                    .enumerate()
+                    .map(move |(vc, buckets)| VcOccupancyHistogram {
+                        class,
+                        vc_index: vc as u8,
+                        buckets,
+                    })
+            })
+            .collect();
+        Metrics {
+            cycles: now,
+            stats: sim.stats().clone(),
+            link_classes,
+            vc_occupancy,
+            grants: sim.grant_counts(),
+        }
+    }
+
+    /// The metrics of one link class.
+    pub fn link_class(&self, class: LinkClass) -> &LinkClassMetrics {
+        &self.link_classes[class as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_summaries() {
+        let mut h = VcOccupancyHistogram {
+            class: LinkClass::Mesh,
+            vc_index: 0,
+            buckets: [0; OCC_BUCKETS],
+        };
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.busy_fraction(), 0.0);
+        h.buckets[0] = 6;
+        h.buckets[2] = 2;
+        // (0·6 + 2·2) / 8 = 0.5 mean; 2/8 busy.
+        assert!((h.mean() - 0.5).abs() < 1e-12);
+        assert!((h.busy_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_of_every_link_kind() {
+        use anton_core::chip::{ChanId, LocalEndpointId, MeshCoord, MeshDir};
+        use anton_core::topology::{NodeId, Slice, TorusDir};
+        let node = NodeId(0);
+        let torus = GlobalLink::Torus {
+            from: node,
+            dir: TorusDir::from_index(0),
+            slice: Slice(0),
+        };
+        assert_eq!(LinkClass::of(&torus), LinkClass::Torus);
+        let mesh = GlobalLink::Local {
+            node,
+            link: LocalLink::Mesh {
+                from: MeshCoord::new(0, 0),
+                dir: MeshDir::UPlus,
+            },
+        };
+        assert_eq!(LinkClass::of(&mesh), LinkClass::Mesh);
+        let ep = GlobalLink::Local {
+            node,
+            link: LocalLink::EpToRouter(LocalEndpointId(3)),
+        };
+        assert_eq!(LinkClass::of(&ep), LinkClass::EpToRouter);
+        let chan = GlobalLink::Local {
+            node,
+            link: LocalLink::RouterToChan(ChanId {
+                dir: TorusDir::from_index(0),
+                slice: Slice(0),
+            }),
+        };
+        assert_eq!(LinkClass::of(&chan), LinkClass::RouterToChan);
+    }
+}

@@ -92,7 +92,12 @@ pub struct EnergyParams {
 impl Default for EnergyParams {
     fn default() -> EnergyParams {
         // The paper's fitted coefficients (Section 4.5).
-        EnergyParams { fixed_pj: 42.7, per_flip_pj: 0.837, activation_pj: 34.4, per_set_bit_pj: 0.250 }
+        EnergyParams {
+            fixed_pj: 42.7,
+            per_flip_pj: 0.837,
+            activation_pj: 34.4,
+            per_set_bit_pj: 0.250,
+        }
     }
 }
 
@@ -114,6 +119,11 @@ pub struct SimParams {
     pub energy: EnergyParams,
     /// Collect energy/activity counters (small per-transfer cost).
     pub track_energy: bool,
+    /// Collect per-VC queue-occupancy histograms for
+    /// [`Metrics`](crate::metrics::Metrics) (allocates tracker state on
+    /// every wire and adds per-push/pop bookkeeping; off by default so the
+    /// plain throughput path stays untouched).
+    pub collect_metrics: bool,
     /// RNG seed for routing randomization.
     pub seed: u64,
     /// Cycles without any flit movement (while packets are in flight) after
@@ -130,6 +140,7 @@ impl Default for SimParams {
             latency: LatencyParams::default(),
             energy: EnergyParams::default(),
             track_energy: false,
+            collect_metrics: false,
             seed: 0xA2701,
             watchdog_cycles: 50_000,
         }

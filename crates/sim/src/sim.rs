@@ -13,18 +13,18 @@
 //! incremental route computation is cross-checked against the reference
 //! tracer of `anton-core` in tests.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use anton_arbiter::{
-    AgeArbiter, ArbRequest, ArbiterKind, FixedPriorityArbiter, InverseWeightedArbiter,
-    PortArbiter, RoundRobinArbiter,
+    AgeArbiter, ArbRequest, ArbiterKind, FixedPriorityArbiter, InverseWeightedArbiter, PortArbiter,
+    RoundRobinArbiter,
 };
 use anton_core::chip::{
-    ChanId, LocalAttach, LocalEndpointId, LocalLink, LinkGroup, MeshCoord, MAX_ROUTER_PORTS,
+    ChanId, LinkGroup, LocalAttach, LocalEndpointId, LocalLink, MeshCoord, MAX_ROUTER_PORTS,
     NUM_CHAN_ADAPTERS, NUM_ROUTERS,
 };
 use anton_core::config::{GlobalEndpoint, MachineConfig};
@@ -35,7 +35,9 @@ use anton_core::topology::{Dim, NodeId, TorusDir};
 use anton_core::trace::GlobalLink;
 use anton_core::vc::{Vc, VcPolicy, VcState};
 
-use crate::params::{SimParams, ADAPTER_PIPELINE, ROUTER_PIPELINE, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN};
+use crate::params::{
+    SimParams, ADAPTER_PIPELINE, ROUTER_PIPELINE, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN,
+};
 use crate::state::{PacketId, PacketSlab, PacketState, RouteProgress};
 use crate::wire::{BufEntry, Wire};
 
@@ -153,7 +155,10 @@ struct ChanState {
 
 impl std::fmt::Debug for ChanState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ChanState").field("node", &self.node).field("chan", &self.chan).finish()
+        f.debug_struct("ChanState")
+            .field("node", &self.node)
+            .field("chan", &self.chan)
+            .finish()
     }
 }
 
@@ -301,6 +306,7 @@ pub struct Sim {
     handler_heap: BinaryHeap<Reverse<(u64, u32, u16)>>,
     deliveries: Vec<Delivery>,
     stats: SimStats,
+    grants: crate::metrics::ArbiterGrantCounts,
     moved: bool,
     idle_cycles: u64,
     deadlocked: bool,
@@ -339,7 +345,11 @@ impl Sim {
         let torus_depth = params.torus_buffer_depth;
         let add_wire = move |wires: &mut Vec<Wire>, label: GlobalLink, latency, rx, group| {
             let vcs = policy.num_vcs(group);
-            let d = if matches!(label, GlobalLink::Torus { .. }) { torus_depth } else { depth };
+            let d = if matches!(label, GlobalLink::Torus { .. }) {
+                torus_depth
+            } else {
+                depth
+            };
             wires.push(Wire::new(label, latency, rx, vcs, d));
             wires.len() - 1
         };
@@ -355,26 +365,36 @@ impl Sim {
                                 node,
                                 link: LocalLink::Mesh { from: r, dir: d },
                             };
-                            let w = add_wire(&mut wires, label, 1, ROUTER_PIPELINE - 1, LinkGroup::M);
+                            let w =
+                                add_wire(&mut wires, label, 1, ROUTER_PIPELINE - 1, LinkGroup::M);
                             mesh_wire.insert((n, r, d), w);
                         }
                         LocalAttach::Skip => {
-                            let label =
-                                GlobalLink::Local { node, link: LocalLink::Skip { from: r } };
-                            let w = add_wire(&mut wires, label, 1, ROUTER_PIPELINE - 1, LinkGroup::T);
+                            let label = GlobalLink::Local {
+                                node,
+                                link: LocalLink::Skip { from: r },
+                            };
+                            let w =
+                                add_wire(&mut wires, label, 1, ROUTER_PIPELINE - 1, LinkGroup::T);
                             skip_wire.insert((n, r), w);
                         }
                         LocalAttach::Chan(c) => {
                             let to_adapter = add_wire(
                                 &mut wires,
-                                GlobalLink::Local { node, link: LocalLink::RouterToChan(c) },
+                                GlobalLink::Local {
+                                    node,
+                                    link: LocalLink::RouterToChan(c),
+                                },
                                 1,
                                 ADAPTER_PIPELINE - 1,
                                 LinkGroup::T,
                             );
                             let to_router = add_wire(
                                 &mut wires,
-                                GlobalLink::Local { node, link: LocalLink::ChanToRouter(c) },
+                                GlobalLink::Local {
+                                    node,
+                                    link: LocalLink::ChanToRouter(c),
+                                },
                                 1,
                                 ROUTER_PIPELINE - 1,
                                 LinkGroup::T,
@@ -384,14 +404,20 @@ impl Sim {
                         LocalAttach::Endpoint(e) => {
                             let to_ep = add_wire(
                                 &mut wires,
-                                GlobalLink::Local { node, link: LocalLink::RouterToEp(e) },
+                                GlobalLink::Local {
+                                    node,
+                                    link: LocalLink::RouterToEp(e),
+                                },
                                 1,
                                 0,
                                 LinkGroup::M,
                             );
                             let to_router = add_wire(
                                 &mut wires,
-                                GlobalLink::Local { node, link: LocalLink::EpToRouter(e) },
+                                GlobalLink::Local {
+                                    node,
+                                    link: LocalLink::EpToRouter(e),
+                                },
                                 1,
                                 ROUTER_PIPELINE - 1,
                                 LinkGroup::M,
@@ -407,8 +433,18 @@ impl Sim {
         for n in 0..nodes as u32 {
             let node = NodeId(n);
             for c in ChanId::all() {
-                let label = GlobalLink::Torus { from: node, dir: c.dir, slice: c.slice };
-                let w = add_wire(&mut wires, label, torus_latency, ADAPTER_PIPELINE - 1, LinkGroup::T);
+                let label = GlobalLink::Torus {
+                    from: node,
+                    dir: c.dir,
+                    slice: c.slice,
+                };
+                let w = add_wire(
+                    &mut wires,
+                    label,
+                    torus_latency,
+                    ADAPTER_PIPELINE - 1,
+                    LinkGroup::T,
+                );
                 torus_wire.insert((n, c.index()), w);
             }
         }
@@ -427,8 +463,7 @@ impl Sim {
                             (mesh_wire[&(n, nbr, d.opposite())], mesh_wire[&(n, r, d)])
                         }
                         LocalAttach::Skip => {
-                            let partner =
-                                cfg.chip.skip_partner(r).expect("skip port has partner");
+                            let partner = cfg.chip.skip_partner(r).expect("skip port has partner");
                             (skip_wire[&(n, partner)], skip_wire[&(n, r)])
                         }
                         LocalAttach::Chan(c) => {
@@ -440,7 +475,11 @@ impl Sim {
                             (to_router, to_ep)
                         }
                     };
-                    ports.push(RouterPort { attach: *attach, in_wire, out_wire });
+                    ports.push(RouterPort {
+                        attach: *attach,
+                        in_wire,
+                        out_wire,
+                    });
                 }
                 let nports = ports.len();
                 let arbiters: Vec<Box<dyn PortArbiter>> = (0..nports)
@@ -448,8 +487,10 @@ impl Sim {
                     .collect();
                 let in_arbiters: Vec<Box<dyn PortArbiter>> = ports
                     .iter()
-                    .map(|p| Box::new(RoundRobinArbiter::new(wires[p.in_wire].num_vcs()))
-                        as Box<dyn PortArbiter>)
+                    .map(|p| {
+                        Box::new(RoundRobinArbiter::new(wires[p.in_wire].num_vcs()))
+                            as Box<dyn PortArbiter>
+                    })
                     .collect();
                 routers.push(RouterState {
                     node,
@@ -459,7 +500,10 @@ impl Sim {
                     in_arbiters,
                     out_busy_until: vec![0; nports],
                     port_energy: vec![
-                        PortEnergy { last_words: [0; 3], idle_from: 0 };
+                        PortEnergy {
+                            last_words: [0; 3],
+                            idle_from: 0
+                        };
                         nports
                     ],
                     energy: EnergyCounters::default(),
@@ -471,8 +515,14 @@ impl Sim {
                 // direction c.dir, labeled with the opposite direction.
                 let nbr = cfg.shape.neighbor(node_coord, c.dir);
                 let nbr_id = cfg.shape.id(nbr);
-                let arriving_from =
-                    torus_wire[&(nbr_id.0, ChanId { dir: c.dir.opposite(), slice: c.slice }.index())];
+                let arriving_from = torus_wire[&(
+                    nbr_id.0,
+                    ChanId {
+                        dir: c.dir.opposite(),
+                        slice: c.slice,
+                    }
+                    .index(),
+                )];
                 chans.push(ChanState {
                     node,
                     chan: c,
@@ -507,6 +557,11 @@ impl Sim {
         }
 
         let num_eps = eps.len();
+        if params.collect_metrics {
+            for w in &mut wires {
+                w.enable_occupancy_tracking();
+            }
+        }
         // Wire endpoint tables for event wakeups.
         let mut wire_consumer = vec![CompRef::Ep(0); wires.len()];
         let mut wire_producer = vec![CompRef::Ep(0); wires.len()];
@@ -554,6 +609,7 @@ impl Sim {
                 recv_per_endpoint: vec![0; num_eps],
                 ..SimStats::default()
             },
+            grants: crate::metrics::ArbiterGrantCounts::default(),
             moved: false,
             idle_cycles: 0,
             deadlocked: false,
@@ -696,9 +752,15 @@ impl Sim {
         for hop in spec.hops() {
             cur = self.cfg.shape.neighbor(cur, hop);
         }
-        assert_eq!(cur, self.cfg.shape.coord(dst.node), "spec does not reach destination");
+        assert_eq!(
+            cur,
+            self.cfg.shape.coord(dst.node),
+            "spec does not reach destination"
+        );
         let idx = self.cfg.endpoint_index(src);
-        self.eps[idx].inject.push_back(InjectCmd::WithSpec(packet, spec));
+        self.eps[idx]
+            .inject
+            .push_back(InjectCmd::WithSpec(packet, spec));
         self.wake(CompRef::Ep(idx as u32), self.now);
     }
 
@@ -717,6 +779,24 @@ impl Sim {
         &self.stats
     }
 
+    /// Grants issued so far at each arbitration-site class.
+    pub fn grant_counts(&self) -> crate::metrics::ArbiterGrantCounts {
+        self.grants
+    }
+
+    /// Every wire of the machine (read-only, for metrics aggregation).
+    pub(crate) fn wires(&self) -> &[Wire] {
+        &self.wires
+    }
+
+    /// Collects the full typed metrics record (see
+    /// [`Metrics`](crate::metrics::Metrics)); occupancy histograms are
+    /// present only when the simulator was built with
+    /// [`SimParams::collect_metrics`](crate::params::SimParams::collect_metrics).
+    pub fn metrics(&self) -> crate::metrics::Metrics {
+        crate::metrics::Metrics::collect(self)
+    }
+
     /// Packets currently in the network.
     pub fn live_packets(&self) -> usize {
         self.packets.live()
@@ -730,7 +810,10 @@ impl Sim {
     /// Raw flit counts carried by every wire, labeled by its structural
     /// link — for utilization reporting and bottleneck analysis.
     pub fn wire_utilizations(&self) -> Vec<(GlobalLink, u64)> {
-        self.wires.iter().map(|w| (w.label, w.flits_carried)).collect()
+        self.wires
+            .iter()
+            .map(|w| (w.label, w.flits_carried))
+            .collect()
     }
 
     /// Utilization (flits per cycle) of every external torus channel, as
@@ -752,7 +835,8 @@ impl Sim {
     /// bandwidth (1.0 = the channel moved flits at the full 89.6 Gb/s for
     /// the whole run).
     pub fn max_torus_utilization(&self) -> f64 {
-        let cap = f64::from(crate::params::TORUS_TOKEN_GAIN) / f64::from(crate::params::TORUS_TOKEN_COST);
+        let cap =
+            f64::from(crate::params::TORUS_TOKEN_GAIN) / f64::from(crate::params::TORUS_TOKEN_COST);
         self.torus_utilizations()
             .iter()
             .map(|(_, _, _, u)| u / cap)
@@ -839,7 +923,10 @@ impl Sim {
             self.handler_heap.pop();
             let ep = &self.eps[ep_idx as usize];
             self.deliveries.push(Delivery::Handler {
-                ep: GlobalEndpoint { node: ep.node, ep: ep.ep },
+                ep: GlobalEndpoint {
+                    node: ep.node,
+                    ep: ep.ep,
+                },
                 counter: CounterId(counter),
             });
         }
@@ -886,12 +973,13 @@ impl Sim {
         let st = self.packets.get(pid);
         match st.route {
             RouteProgress::Unicast { spec, dst } => match spec.next_dir() {
-                Some(d) => LocalAttach::Chan(ChanId { dir: d, slice: spec.slice }),
+                Some(d) => LocalAttach::Chan(ChanId {
+                    dir: d,
+                    slice: spec.slice,
+                }),
                 None => LocalAttach::Endpoint(dst.ep),
             },
-            RouteProgress::McExit { dir, slice, .. } => {
-                LocalAttach::Chan(ChanId { dir, slice })
-            }
+            RouteProgress::McExit { dir, slice, .. } => LocalAttach::Chan(ChanId { dir, slice }),
             RouteProgress::McDeliver { ep, .. } => LocalAttach::Endpoint(ep),
         }
     }
@@ -981,7 +1069,9 @@ impl Sim {
             self.try_send_to_router_from_ep(eidx, pid);
             return;
         }
-        let Some(cmd) = self.eps[eidx].inject.front().copied() else { return };
+        let Some(cmd) = self.eps[eidx].inject.front().copied() else {
+            return;
+        };
         let pkt = *cmd.packet();
         let node = self.eps[eidx].node;
         match pkt.dst {
@@ -1070,7 +1160,9 @@ impl Sim {
         while mask != 0 {
             let v = mask.trailing_zeros() as u8;
             mask &= mask - 1;
-            let Some(entry) = self.wires[wire_id].head(now, v) else { continue };
+            let Some(entry) = self.wires[wire_id].head(now, v) else {
+                continue;
+            };
             let pid = entry.pkt;
             self.wires[wire_id].pop(now, v);
             self.mark_wire_active(wire_id);
@@ -1082,7 +1174,10 @@ impl Sim {
     fn deliver(&mut self, eidx: usize, pid: PacketId) {
         let now = self.now;
         let st = self.packets.remove(pid);
-        let ep = GlobalEndpoint { node: self.eps[eidx].node, ep: self.eps[eidx].ep };
+        let ep = GlobalEndpoint {
+            node: self.eps[eidx].node,
+            ep: self.eps[eidx].ep,
+        };
         self.stats.delivered_packets += 1;
         self.stats.last_delivery_cycle = now;
         self.stats.recv_per_endpoint[eidx] += 1;
@@ -1133,7 +1228,9 @@ impl Sim {
             if self.wires[wire_id].occupied_mask() >> v & 1 == 0 {
                 continue;
             }
-            let Some(entry) = self.wires[wire_id].head(now, v) else { continue };
+            let Some(entry) = self.wires[wire_id].head(now, v) else {
+                continue;
+            };
             let pid = entry.pkt;
             let st = self.packets.get(pid);
             match st.route {
@@ -1226,8 +1323,12 @@ impl Sim {
     /// link.
     fn stage_unicast_arrival(&mut self, pid: PacketId) {
         let st = self.packets.get_mut(pid);
-        let RouteProgress::Unicast { spec, .. } = &st.route else { return };
-        let arrived = st.arrived_via.expect("arrival transition outside torus arrival");
+        let RouteProgress::Unicast { spec, .. } = &st.route else {
+            return;
+        };
+        let arrived = st
+            .arrived_via
+            .expect("arrival transition outside torus arrival");
         if spec.offsets[arrived.dim.index()] == 0 {
             let mut promoted = st.vc;
             promoted.end_dim();
@@ -1269,14 +1370,20 @@ impl Sim {
         // VC has credits, then let the serializer's VC arbiter pick — with
         // inverse weights installed, this is an EoS arbitration point.
         let nvcs = self.wires[in_wire].num_vcs() as u8;
-        let mut reqs = [ArbRequest { input: 0, pattern: 0, age: 0 }; 16];
+        let mut reqs = [ArbRequest {
+            input: 0,
+            pattern: 0,
+            age: 0,
+        }; 16];
         let mut targets = [(PacketId(0), 0u8, VcPolicy::Anton.start()); 16];
         let mut nreqs = 0;
         for v in 0..nvcs {
             if self.wires[in_wire].occupied_mask() >> v & 1 == 0 {
                 continue;
             }
-            let Some(entry) = self.wires[in_wire].head(now, v) else { continue };
+            let Some(entry) = self.wires[in_wire].head(now, v) else {
+                continue;
+            };
             let pid = entry.pkt;
             let flits = entry.flits;
             let pattern = entry.pattern;
@@ -1289,7 +1396,11 @@ impl Sim {
             if !self.wires[out_wire].can_send(vcidx, flits) {
                 continue;
             }
-            reqs[nreqs] = ArbRequest { input: v as usize, pattern, age };
+            reqs[nreqs] = ArbRequest {
+                input: v as usize,
+                pattern,
+                age,
+            };
             targets[nreqs] = (pid, vcidx, vc_after);
             nreqs += 1;
         }
@@ -1300,6 +1411,7 @@ impl Sim {
             .out_arbiter
             .pick(&reqs[..nreqs])
             .expect("nonempty requests yield a grant");
+        self.grants.serializer += 1;
         let v = reqs[widx].input as u8;
         let (pid, vcidx, vc_after) = targets[widx];
         let flits = self.packets.get(pid).flits;
@@ -1325,7 +1437,12 @@ impl Sim {
 
     // ----- multicast ---------------------------------------------------------
 
-    fn mc_entry(&self, node: NodeId, group: McGroupId, tree: u8) -> &anton_core::multicast::McEntry {
+    fn mc_entry(
+        &self,
+        node: NodeId,
+        group: McGroupId,
+        tree: u8,
+    ) -> &anton_core::multicast::McEntry {
         self.mc_groups
             .get(&group)
             .unwrap_or_else(|| panic!("unknown multicast group {group}"))
@@ -1385,7 +1502,12 @@ impl Sim {
             };
             out.push(self.packets.insert(PacketState {
                 packet: *pkt,
-                route: RouteProgress::McExit { group, tree, dir: *dir, slice },
+                route: RouteProgress::McExit {
+                    group,
+                    tree,
+                    dir: *dir,
+                    slice,
+                },
                 vc,
                 pending_vc,
                 arrived_via,
@@ -1434,7 +1556,7 @@ impl Sim {
             age: u64,
         }
         let mut cands: [Option<Cand>; MAX_ROUTER_PORTS] = [None; MAX_ROUTER_PORTS];
-        for inp in 0..nports {
+        for (inp, cand) in cands.iter_mut().enumerate().take(nports) {
             let in_wire = self.routers[ridx].ports[inp].in_wire;
             let occupied = self.wires[in_wire].occupied_mask();
             if occupied == 0 {
@@ -1445,13 +1567,19 @@ impl Sim {
             // programmed).
             let nvcs = self.wires[in_wire].num_vcs() as u8;
             let mut vc_cands: [Option<Cand>; 16] = [None; 16];
-            let mut vc_reqs = [ArbRequest { input: 0, pattern: 0, age: 0 }; 16];
+            let mut vc_reqs = [ArbRequest {
+                input: 0,
+                pattern: 0,
+                age: 0,
+            }; 16];
             let mut n_vc = 0usize;
             for v in 0..nvcs {
                 if occupied >> v & 1 == 0 {
                     continue;
                 }
-                let Some(entry) = self.wires[in_wire].head(now, v) else { continue };
+                let Some(entry) = self.wires[in_wire].head(now, v) else {
+                    continue;
+                };
                 let mut e = *entry;
                 if e.rc_port == 0xFF {
                     // Route computation: once per packet per router, cached
@@ -1486,27 +1614,42 @@ impl Sim {
                     pattern: e.pattern,
                     age: e.age,
                 });
-                vc_reqs[n_vc] = ArbRequest { input: v as usize, pattern: e.pattern, age: e.age };
+                vc_reqs[n_vc] = ArbRequest {
+                    input: v as usize,
+                    pattern: e.pattern,
+                    age: e.age,
+                };
                 n_vc += 1;
             }
-            cands[inp] = match n_vc {
+            *cand = match n_vc {
                 0 => None,
-                1 => vc_cands[0],
+                1 => {
+                    self.grants.sa1 += 1;
+                    vc_cands[0]
+                }
                 _ => {
                     let w = self.routers[ridx].in_arbiters[inp]
                         .pick(&vc_reqs[..n_vc])
                         .expect("nonempty requests yield a grant");
+                    self.grants.sa1 += 1;
                     vc_cands[w]
                 }
             };
         }
-        let mut reqs_buf = [ArbRequest { input: 0, pattern: 0, age: 0 }; MAX_ROUTER_PORTS];
+        let mut reqs_buf = [ArbRequest {
+            input: 0,
+            pattern: 0,
+            age: 0,
+        }; MAX_ROUTER_PORTS];
         for out in 0..nports {
             let mut nreqs = 0;
-            for inp in 0..nports {
-                if let Some(c) = cands[inp].filter(|c| c.out_port == out) {
-                    reqs_buf[nreqs] =
-                        ArbRequest { input: inp, pattern: c.pattern, age: c.age };
+            for (inp, cand) in cands.iter().enumerate().take(nports) {
+                if let Some(c) = cand.filter(|c| c.out_port == out) {
+                    reqs_buf[nreqs] = ArbRequest {
+                        input: inp,
+                        pattern: c.pattern,
+                        age: c.age,
+                    };
                     nreqs += 1;
                 }
             }
@@ -1517,6 +1660,7 @@ impl Sim {
             let widx = self.routers[ridx].arbiters[out]
                 .pick(reqs)
                 .expect("nonempty requests yield a grant");
+            self.grants.output += 1;
             let inp = reqs[widx].input;
             let cand = cands[inp].expect("winner came from candidates");
             let in_wire = self.routers[ridx].ports[inp].in_wire;

@@ -136,15 +136,21 @@ impl PacketSlab {
 mod tests {
     use super::*;
     use anton_core::packet::Payload;
-    use anton_core::topology::{NodeId, TorusShape};
     use anton_core::routing::DimOrder;
-    use anton_core::vc::VcPolicy;
     use anton_core::topology::NodeCoord;
+    use anton_core::topology::{NodeId, TorusShape};
+    use anton_core::vc::VcPolicy;
 
     fn dummy_state() -> PacketState {
         let shape = TorusShape::cube(4);
-        let src = GlobalEndpoint { node: NodeId(0), ep: LocalEndpointId(0) };
-        let dst = GlobalEndpoint { node: NodeId(1), ep: LocalEndpointId(0) };
+        let src = GlobalEndpoint {
+            node: NodeId(0),
+            ep: LocalEndpointId(0),
+        };
+        let dst = GlobalEndpoint {
+            node: NodeId(1),
+            ep: LocalEndpointId(0),
+        };
         let spec = RouteSpec::deterministic(
             &shape,
             NodeCoord::new(0, 0, 0),

@@ -19,6 +19,40 @@ use anton_core::vc::{TrafficClass, Vc};
 
 use crate::state::PacketId;
 
+/// Number of occupancy buckets tracked per VC: bucket `i` accumulates the
+/// cycles the buffer held exactly `i` packets, with the last bucket
+/// absorbing deeper occupancies.
+pub const OCC_BUCKETS: usize = 16;
+
+/// Time-weighted per-VC buffer-occupancy tracking, allocated only when
+/// [`crate::params::SimParams::collect_metrics`] is set.
+#[derive(Debug, Clone)]
+struct OccTracker {
+    /// Cycle each VC's occupancy last changed.
+    last_change: Vec<u64>,
+    /// Current buffered packets per VC.
+    occupancy: Vec<u16>,
+    /// Cycles spent at each occupancy level, per VC.
+    hist: Vec<[u64; OCC_BUCKETS]>,
+}
+
+impl OccTracker {
+    fn new(nvcs: usize) -> OccTracker {
+        OccTracker {
+            last_change: vec![0; nvcs],
+            occupancy: vec![0; nvcs],
+            hist: vec![[0; OCC_BUCKETS]; nvcs],
+        }
+    }
+
+    fn note(&mut self, now: u64, vcidx: usize, delta: i32) {
+        let bucket = (self.occupancy[vcidx] as usize).min(OCC_BUCKETS - 1);
+        self.hist[vcidx][bucket] += now - self.last_change[vcidx];
+        self.last_change[vcidx] = now;
+        self.occupancy[vcidx] = (i32::from(self.occupancy[vcidx]) + delta) as u16;
+    }
+}
+
 /// Scheduling metadata carried alongside a buffered packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufEntry {
@@ -67,6 +101,8 @@ pub struct Wire {
     pub flits_carried: u64,
     /// Bit per VC index: set while the VC's receive buffer is nonempty.
     occupied: u16,
+    /// Occupancy histogram state; `None` unless metrics collection is on.
+    occ: Option<Box<OccTracker>>,
 }
 
 impl Wire {
@@ -80,7 +116,10 @@ impl Wire {
         depth: u8,
     ) -> Wire {
         assert!(latency >= 1, "wires need at least one cycle of latency");
-        assert!(group_vcs >= 1 && depth >= 2, "need VCs and room for a max-size packet");
+        assert!(
+            group_vcs >= 1 && depth >= 2,
+            "need VCs and room for a max-size packet"
+        );
         let nvcs = 2 * group_vcs as usize;
         Wire {
             label,
@@ -94,7 +133,28 @@ impl Wire {
             bufs: vec![VecDeque::new(); nvcs],
             flits_carried: 0,
             occupied: 0,
+            occ: None,
         }
+    }
+
+    /// Turns on time-weighted per-VC occupancy tracking (see
+    /// [`Wire::occupancy_histograms`]). Call before any traffic flows.
+    pub fn enable_occupancy_tracking(&mut self) {
+        self.occ = Some(Box::new(OccTracker::new(self.num_vcs())));
+    }
+
+    /// Per-VC occupancy histograms up to `now`: `hist[vc][b]` is the number
+    /// of cycles the VC's receive buffer held `b` packets (the last bucket
+    /// absorbs occupancies ≥ [`OCC_BUCKETS`]` - 1`). `None` unless
+    /// [`Wire::enable_occupancy_tracking`] was called.
+    pub fn occupancy_histograms(&self, now: u64) -> Option<Vec<[u64; OCC_BUCKETS]>> {
+        let t = self.occ.as_deref()?;
+        let mut hist = t.hist.clone();
+        for (vc, h) in hist.iter_mut().enumerate() {
+            let bucket = (t.occupancy[vc] as usize).min(OCC_BUCKETS - 1);
+            h[bucket] += now.saturating_sub(t.last_change[vc]);
+        }
+        Some(hist)
     }
 
     /// Total VC count (both classes).
@@ -130,7 +190,11 @@ impl Wire {
     /// Panics without sufficient credits; check [`Wire::can_send`] first.
     pub fn send(&mut self, now: u64, mut entry: BufEntry, vcidx: u8) {
         let flits = entry.flits;
-        assert!(self.can_send(vcidx, flits), "send without credits on {}", self.label);
+        assert!(
+            self.can_send(vcidx, flits),
+            "send without credits on {}",
+            self.label
+        );
         self.credits[vcidx as usize] -= flits;
         self.flits_carried += u64::from(flits);
         let tail_arrival = now + self.latency + u64::from(flits) - 1;
@@ -154,7 +218,10 @@ impl Wire {
             let (_, vcidx, flits) = self.credit_returns.pop_front().expect("peeked");
             self.credits[vcidx as usize] += flits;
             credited = true;
-            debug_assert!(self.credits[vcidx as usize] <= self.depth, "credit overflow");
+            debug_assert!(
+                self.credits[vcidx as usize] <= self.depth,
+                "credit overflow"
+            );
         }
         let mut arrival_ready = None;
         while let Some(&(t, entry, vcidx)) = self.in_flight.front() {
@@ -162,7 +229,11 @@ impl Wire {
                 break;
             }
             self.in_flight.pop_front();
-            arrival_ready = Some(arrival_ready.map_or(entry.ready_at, |r: u64| r.max(entry.ready_at)));
+            arrival_ready =
+                Some(arrival_ready.map_or(entry.ready_at, |r: u64| r.max(entry.ready_at)));
+            if let Some(t) = &mut self.occ {
+                t.note(now, vcidx as usize, 1);
+            }
             self.bufs[vcidx as usize].push_back(entry);
             self.occupied |= 1 << vcidx;
         }
@@ -199,7 +270,9 @@ impl Wire {
     /// Panics if the buffer is empty.
     #[inline]
     pub fn head_mut(&mut self, vcidx: u8) -> &mut BufEntry {
-        self.bufs[vcidx as usize].front_mut().expect("head of empty VC buffer")
+        self.bufs[vcidx as usize]
+            .front_mut()
+            .expect("head of empty VC buffer")
     }
 
     /// Pops the head packet of a VC buffer, scheduling the credit return.
@@ -208,11 +281,17 @@ impl Wire {
     ///
     /// Panics if the buffer is empty.
     pub fn pop(&mut self, now: u64, vcidx: u8) -> BufEntry {
-        let entry = self.bufs[vcidx as usize].pop_front().expect("pop from empty VC buffer");
+        let entry = self.bufs[vcidx as usize]
+            .pop_front()
+            .expect("pop from empty VC buffer");
+        if let Some(t) = &mut self.occ {
+            t.note(now, vcidx as usize, -1);
+        }
         if self.bufs[vcidx as usize].is_empty() {
             self.occupied &= !(1 << vcidx);
         }
-        self.credit_returns.push_back((now + self.latency, vcidx, entry.flits));
+        self.credit_returns
+            .push_back((now + self.latency, vcidx, entry.flits));
         entry
     }
 
@@ -345,7 +424,11 @@ mod tests {
         e.rc_port = 3;
         w.send(0, e, 0);
         w.tick(1);
-        assert_eq!(w.head(1, 0).unwrap().rc_port, 0xFF, "stale RC must not travel");
+        assert_eq!(
+            w.head(1, 0).unwrap().rc_port,
+            0xFF,
+            "stale RC must not travel"
+        );
     }
 
     #[test]
@@ -363,5 +446,26 @@ mod tests {
         let mut w = wire(1, 2);
         w.send(0, entry(1, 2), 0);
         w.send(0, entry(2, 1), 0);
+    }
+
+    #[test]
+    fn occupancy_histogram_weights_time_at_each_level() {
+        let mut w = wire(1, 4);
+        assert!(
+            w.occupancy_histograms(10).is_none(),
+            "tracking is off by default"
+        );
+        w.enable_occupancy_tracking();
+        // Arrives at cycle 1, occupancy 0 for cycles [0, 1).
+        w.send(0, entry(1, 1), 0);
+        w.tick(1);
+        // Occupancy 1 for cycles [1, 5), then drained.
+        w.pop(5, 0);
+        let hist = w.occupancy_histograms(10).expect("tracking enabled");
+        assert_eq!(hist[0][0], 1 + 5, "empty before arrival and after drain");
+        assert_eq!(hist[0][1], 4, "held one packet for four cycles");
+        assert!(hist[0][2..].iter().all(|&c| c == 0));
+        // Untouched VCs accrue everything in the empty bucket.
+        assert_eq!(hist[3][0], 10);
     }
 }

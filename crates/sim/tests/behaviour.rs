@@ -6,7 +6,7 @@ use anton_core::config::{GlobalEndpoint, MachineConfig};
 use anton_core::multicast::McGroupId;
 use anton_core::packet::{CounterId, Destination, Packet, Payload};
 use anton_core::routing::{DimOrder, RouteSpec};
-use anton_core::topology::{NodeCoord, NodeId, Slice, TorusShape};
+use anton_core::topology::{NodeCoord, Slice, TorusShape};
 use anton_core::trace::trace_unicast;
 use anton_core::vc::VcPolicy;
 use anton_sim::driver::BatchDriver;
@@ -15,7 +15,10 @@ use anton_sim::sim::{Delivery, Driver, RunOutcome, Sim};
 use anton_traffic::patterns::{NodePermutation, UniformRandom};
 
 fn ep(cfg: &MachineConfig, node: NodeCoord, e: u8) -> GlobalEndpoint {
-    GlobalEndpoint { node: cfg.shape.id(node), ep: LocalEndpointId(e) }
+    GlobalEndpoint {
+        node: cfg.shape.id(node),
+        ep: LocalEndpointId(e),
+    }
 }
 
 /// Driver that does nothing: packets are injected manually.
@@ -27,7 +30,11 @@ struct Idle {
 
 impl Idle {
     fn new(want: u64) -> Idle {
-        Idle { want, got: 0, deliveries: Vec::new() }
+        Idle {
+            want,
+            got: 0,
+            deliveries: Vec::new(),
+        }
     }
 }
 
@@ -135,7 +142,10 @@ fn zero_load_latency_is_linear_in_hops() {
     }
     // X through-hops cross the skip channel: a through-node costs one
     // router plus the skip traversal.
-    assert!(d1 > 30.0 && d1 < 120.0, "per-hop {d1} cycles out of plausible range");
+    assert!(
+        d1 > 30.0 && d1 < 120.0,
+        "per-hop {d1} cycles out of plausible range"
+    );
 }
 
 #[test]
@@ -147,25 +157,33 @@ fn naive_single_vc_deadlocks_on_ring_wrap_traffic() {
 
     let mut cfg = MachineConfig::new(shape);
     cfg.vc_policy = VcPolicy::NaiveSingle;
-    let mut params = SimParams::default();
-    params.buffer_depth = 2;
-    params.watchdog_cycles = 5_000;
+    let params = SimParams {
+        buffer_depth: 2,
+        watchdog_cycles: 5_000,
+        ..SimParams::default()
+    };
     let mut sim = Sim::new(cfg, params.clone());
-    let mut drv = BatchDriver::uniform_pattern(
-        &sim,
-        Box::new(NodePermutation::new(perm.clone())),
-        400,
-        7,
-    );
+    let mut drv = BatchDriver::builder(&sim)
+        .pattern(Box::new(NodePermutation::new(perm.clone())))
+        .packets_per_endpoint(400)
+        .seed(7)
+        .build();
     let outcome = sim.run(&mut drv, 3_000_000);
-    assert_eq!(outcome, RunOutcome::Deadlocked, "single-VC wrap traffic must deadlock");
+    assert_eq!(
+        outcome,
+        RunOutcome::Deadlocked,
+        "single-VC wrap traffic must deadlock"
+    );
 
     // Identical workload under the Anton promotion policy completes.
     let mut cfg = MachineConfig::new(shape);
     cfg.vc_policy = VcPolicy::Anton;
     let mut sim = Sim::new(cfg, params);
-    let mut drv =
-        BatchDriver::uniform_pattern(&sim, Box::new(NodePermutation::new(perm)), 400, 7);
+    let mut drv = BatchDriver::builder(&sim)
+        .pattern(Box::new(NodePermutation::new(perm)))
+        .packets_per_endpoint(400)
+        .seed(7)
+        .build();
     assert_eq!(sim.run(&mut drv, 3_000_000), RunOutcome::Completed);
 }
 
@@ -174,7 +192,11 @@ fn uniform_batch_completes_and_is_conserved() {
     let cfg = MachineConfig::new(TorusShape::cube(2));
     let mut sim = Sim::new(cfg, SimParams::default());
     let batch = 50;
-    let mut drv = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), batch, 3);
+    let mut drv = BatchDriver::builder(&sim)
+        .pattern(Box::new(UniformRandom))
+        .packets_per_endpoint(batch)
+        .seed(3)
+        .build();
     assert_eq!(sim.run(&mut drv, 2_000_000), RunOutcome::Completed);
     let stats = sim.stats();
     let n_eps = sim.cfg.num_endpoints() as u64;
@@ -221,7 +243,11 @@ fn counted_write_handler_fires_after_count() {
             self.fired.is_some()
         }
     }
-    let mut drv = HandlerWait { fired: None, packets: 0, last_packet_at: 0 };
+    let mut drv = HandlerWait {
+        fired: None,
+        packets: 0,
+        last_packet_at: 0,
+    };
     assert_eq!(sim.run(&mut drv, 100_000), RunOutcome::Completed);
     assert_eq!(drv.packets, 3, "handler fired before all writes arrived");
     let dispatch = sim.params.latency.handler_dispatch_cycles();
@@ -251,7 +277,10 @@ fn multicast_delivers_exactly_the_destination_set() {
 
     let src = ep(&cfg, src_node, 0);
     let mut pkt = Packet::write(src, src, Payload::zeros(16));
-    pkt.dst = Destination::Multicast { group: McGroupId(0), tree: 0 };
+    pkt.dst = Destination::Multicast {
+        group: McGroupId(0),
+        tree: 0,
+    };
     sim.inject(src, pkt);
     let want = dests.num_endpoints() as u64;
     let mut drv = Idle::new(want);
@@ -264,7 +293,10 @@ fn multicast_delivers_exactly_the_destination_set() {
     assert_eq!(got.len(), want as usize, "duplicate or missing copies");
     for (node, eps) in dests.iter() {
         for e in eps {
-            assert!(got.contains(&ep(&cfg, node, e.0)), "missing copy at {node}/{e}");
+            assert!(
+                got.contains(&ep(&cfg, node, e.0)),
+                "missing copy at {node}/{e}"
+            );
         }
     }
     // Bandwidth saving: torus flits equal the tree's edge count, not the
@@ -279,11 +311,8 @@ fn multicast_alternating_trees_spread_traffic() {
     let cfg = MachineConfig::new(TorusShape::cube(4));
     let mut sim = Sim::new(cfg.clone(), SimParams::default());
     let src_node = NodeCoord::new(0, 0, 0);
-    let dests = anton_traffic::md::halo_dest_set(
-        &cfg,
-        src_node,
-        anton_traffic::md::HaloSpec::default(),
-    );
+    let dests =
+        anton_traffic::md::halo_dest_set(&cfg, src_node, anton_traffic::md::HaloSpec::default());
     let group = anton_core::multicast::McGroup::build(
         &cfg.shape,
         McGroupId(5),
@@ -295,7 +324,10 @@ fn multicast_alternating_trees_spread_traffic() {
     let src = ep(&cfg, src_node, 0);
     for tree in [0u8, 1] {
         let mut pkt = Packet::write(src, src, Payload::zeros(16));
-        pkt.dst = Destination::Multicast { group: McGroupId(5), tree };
+        pkt.dst = Destination::Multicast {
+            group: McGroupId(5),
+            tree,
+        };
         sim.inject(src, pkt);
     }
     let want = 2 * dests.num_endpoints() as u64;
@@ -313,10 +345,16 @@ fn fairness_improves_with_inverse_weighted_arbiters() {
     let shape = TorusShape::cube(2);
     let run = |kind: ArbiterKind| -> f64 {
         let cfg = MachineConfig::new(shape);
-        let mut params = SimParams::default();
-        params.arbiter = kind;
+        let params = SimParams {
+            arbiter: kind,
+            ..SimParams::default()
+        };
         let mut sim = Sim::new(cfg, params);
-        let mut drv = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), 150, 11);
+        let mut drv = BatchDriver::builder(&sim)
+            .pattern(Box::new(UniformRandom))
+            .packets_per_endpoint(150)
+            .seed(11)
+            .build();
         assert_eq!(sim.run(&mut drv, 5_000_000), RunOutcome::Completed);
         drv.finish_cycle as f64
     };

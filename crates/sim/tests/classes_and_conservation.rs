@@ -44,10 +44,18 @@ fn request_and_reply_classes_both_deliver() {
         let src = cfg.endpoint_at(rng.gen_range(0..n));
         let dst = cfg.endpoint_at(rng.gen_range(0..n));
         let mut pkt = Packet::write(src, dst, Payload::zeros(16));
-        pkt.class = if i % 2 == 0 { TrafficClass::Request } else { TrafficClass::Reply };
+        pkt.class = if i % 2 == 0 {
+            TrafficClass::Request
+        } else {
+            TrafficClass::Reply
+        };
         sim.inject(src, pkt);
     }
-    let mut drv = Collect { want: total, got: 0, deliveries: Vec::new() };
+    let mut drv = Collect {
+        want: total,
+        got: 0,
+        deliveries: Vec::new(),
+    };
     assert_eq!(sim.run(&mut drv, 10_000_000), RunOutcome::Completed);
     assert_eq!(sim.live_packets(), 0);
     assert_eq!(sim.stats().delivered_packets, total);
@@ -64,7 +72,11 @@ fn blended_adversarial_patterns_conserve_packets() {
         (Box::new(Transpose), 0.1),
     ];
     let batch = 40;
-    let mut drv = BatchDriver::blended(&sim, blend, batch, 23);
+    let mut drv = BatchDriver::builder(&sim)
+        .components(blend)
+        .packets_per_endpoint(batch)
+        .seed(23)
+        .build();
     assert_eq!(sim.run(&mut drv, 20_000_000), RunOutcome::Completed);
     let stats = sim.stats();
     let n = sim.cfg.num_endpoints() as u64;
@@ -92,7 +104,11 @@ fn two_flit_packets_conserve_under_load() {
         assert_eq!(pkt.num_flits(), 2);
         sim.inject(src, pkt);
     }
-    let mut drv = Collect { want: total, got: 0, deliveries: Vec::new() };
+    let mut drv = Collect {
+        want: total,
+        got: 0,
+        deliveries: Vec::new(),
+    };
     assert_eq!(sim.run(&mut drv, 10_000_000), RunOutcome::Completed);
     assert_eq!(drv.got, total);
     // Every flit-hop is even (2-flit packets only).
@@ -116,7 +132,11 @@ fn randomized_routes_respect_vc_budget_in_flight() {
         let dst = cfg.endpoint_at(rng.gen_range(0..n));
         sim.inject(src, Packet::write(src, dst, Payload::zeros(16)));
     }
-    let mut drv = Collect { want: total, got: 0, deliveries: Vec::new() };
+    let mut drv = Collect {
+        want: total,
+        got: 0,
+        deliveries: Vec::new(),
+    };
     assert_eq!(sim.run(&mut drv, 10_000_000), RunOutcome::Completed);
     for d in &drv.deliveries {
         let log = d.route_log.as_ref().expect("routes recorded");
@@ -125,11 +145,13 @@ fn randomized_routes_respect_vc_budget_in_flight() {
             assert!(vc.0 < budget, "{link} used vc{} (budget {budget})", vc.0);
         }
         // Hop accounting matches the recorded route.
-        let torus = log.iter().filter(|(l, _)| matches!(l, GlobalLink::Torus { .. })).count();
+        let torus = log
+            .iter()
+            .filter(|(l, _)| matches!(l, GlobalLink::Torus { .. }))
+            .count();
         assert_eq!(torus as u16, d.torus_hops);
     }
 }
-
 
 #[test]
 fn deliveries_arrive_in_order_per_source_destination_vc_pair() {
@@ -139,14 +161,24 @@ fn deliveries_arrive_in_order_per_source_destination_vc_pair() {
     // never lose packets. Verify exact multiset delivery.
     let cfg = MachineConfig::new(TorusShape::cube(2));
     let mut sim = Sim::new(cfg.clone(), SimParams::default());
-    let src = GlobalEndpoint { node: cfg.shape.id(NodeCoord::new(0, 0, 0)), ep: LocalEndpointId(0) };
-    let dst = GlobalEndpoint { node: cfg.shape.id(NodeCoord::new(1, 1, 1)), ep: LocalEndpointId(9) };
+    let src = GlobalEndpoint {
+        node: cfg.shape.id(NodeCoord::new(0, 0, 0)),
+        ep: LocalEndpointId(0),
+    };
+    let dst = GlobalEndpoint {
+        node: cfg.shape.id(NodeCoord::new(1, 1, 1)),
+        ep: LocalEndpointId(9),
+    };
     let total = 200u64;
     for i in 0..total {
-        let payload = Payload::from_bytes(&(i as u64).to_le_bytes());
+        let payload = Payload::from_bytes(&i.to_le_bytes());
         sim.inject(src, Packet::write(src, dst, payload));
     }
-    let mut drv = Collect { want: total, got: 0, deliveries: Vec::new() };
+    let mut drv = Collect {
+        want: total,
+        got: 0,
+        deliveries: Vec::new(),
+    };
     assert_eq!(sim.run(&mut drv, 10_000_000), RunOutcome::Completed);
     assert_eq!(drv.got, total);
     let idx = cfg.endpoint_index(dst);

@@ -18,4 +18,7 @@ pub mod md;
 pub mod patterns;
 
 pub use md::{build_halo_groups, halo_dest_set, HaloSpec};
-pub use patterns::{BitComplement, Blend, NHopNeighbor, NodePermutation, ReverseTornado, Tornado, Transpose, UniformRandom};
+pub use patterns::{
+    BitComplement, Blend, NHopNeighbor, NodePermutation, ReverseTornado, Tornado, Transpose,
+    UniformRandom,
+};

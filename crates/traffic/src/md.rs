@@ -28,7 +28,11 @@ pub struct HaloSpec {
 
 impl Default for HaloSpec {
     fn default() -> HaloSpec {
-        HaloSpec { radius: 1, plane_normal: None, endpoints_per_node: 1 }
+        HaloSpec {
+            radius: 1,
+            plane_normal: None,
+            endpoints_per_node: 1,
+        }
     }
 }
 
@@ -94,7 +98,13 @@ pub fn build_halo_groups(
         .nodes()
         .map(|src| {
             let dests = halo_dest_set(cfg, src, spec);
-            McGroup::build(&cfg.shape, McGroupId(cfg.shape.id(src).0), src, dests, variants)
+            McGroup::build(
+                &cfg.shape,
+                McGroupId(cfg.shape.id(src).0),
+                src,
+                dests,
+                variants,
+            )
         })
         .collect()
 }
@@ -107,7 +117,10 @@ mod tests {
     #[test]
     fn plane_halo_has_eight_nodes() {
         let cfg = MachineConfig::new(TorusShape::cube(8));
-        let spec = HaloSpec { plane_normal: Some(Dim::Z), ..HaloSpec::default() };
+        let spec = HaloSpec {
+            plane_normal: Some(Dim::Z),
+            ..HaloSpec::default()
+        };
         let set = halo_dest_set(&cfg, NodeCoord::new(4, 4, 4), spec);
         assert_eq!(set.num_nodes(), 8);
     }
@@ -151,7 +164,10 @@ mod tests {
     #[test]
     fn endpoint_copies_multiply() {
         let cfg = MachineConfig::new(TorusShape::cube(8));
-        let spec = HaloSpec { endpoints_per_node: 4, ..HaloSpec::default() };
+        let spec = HaloSpec {
+            endpoints_per_node: 4,
+            ..HaloSpec::default()
+        };
         let set = halo_dest_set(&cfg, NodeCoord::new(0, 0, 0), spec);
         assert_eq!(set.num_endpoints(), 26 * 4);
     }

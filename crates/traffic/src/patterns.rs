@@ -136,7 +136,10 @@ impl TrafficPattern for NHopNeighbor {
             .flat_map(|c| {
                 let node = cfg.shape.id(*c);
                 (0..eps).map(move |e| Flow {
-                    dst: GlobalEndpoint { node, ep: LocalEndpointId(e as u8) },
+                    dst: GlobalEndpoint {
+                        node,
+                        ep: LocalEndpointId(e as u8),
+                    },
                     rate,
                 })
             })
@@ -177,7 +180,10 @@ fn tornado_dst(cfg: &MachineConfig, src: GlobalEndpoint, sign: i32) -> GlobalEnd
         sign * (i32::from(cfg.shape.k(Dim::Y)) / 2 - 1),
         sign * (i32::from(cfg.shape.k(Dim::Z)) / 2 - 1),
     ];
-    GlobalEndpoint { node: cfg.shape.id(offset_node(cfg, c, d)), ep: src.ep }
+    GlobalEndpoint {
+        node: cfg.shape.id(offset_node(cfg, c, d)),
+        ep: src.ep,
+    }
 }
 
 impl TrafficPattern for Tornado {
@@ -186,7 +192,10 @@ impl TrafficPattern for Tornado {
     }
 
     fn flows_from(&self, cfg: &MachineConfig, src: GlobalEndpoint) -> Vec<Flow> {
-        vec![Flow { dst: tornado_dst(cfg, src, 1), rate: 1.0 }]
+        vec![Flow {
+            dst: tornado_dst(cfg, src, 1),
+            rate: 1.0,
+        }]
     }
 
     fn sample_dst(
@@ -205,7 +214,10 @@ impl TrafficPattern for ReverseTornado {
     }
 
     fn flows_from(&self, cfg: &MachineConfig, src: GlobalEndpoint) -> Vec<Flow> {
-        vec![Flow { dst: tornado_dst(cfg, src, -1), rate: 1.0 }]
+        vec![Flow {
+            dst: tornado_dst(cfg, src, -1),
+            rate: 1.0,
+        }]
     }
 
     fn sample_dst(
@@ -251,8 +263,14 @@ impl Blend {
         assert!(!components.is_empty(), "blend needs at least one component");
         let total: f64 = components.iter().map(|(_, w)| *w).sum();
         assert!(total > 0.0, "blend weights must sum to a positive value");
-        assert!(components.iter().all(|(_, w)| *w >= 0.0), "negative blend weight");
-        let components = components.into_iter().map(|(p, w)| (p, w / total)).collect();
+        assert!(
+            components.iter().all(|(_, w)| *w >= 0.0),
+            "negative blend weight"
+        );
+        let components = components
+            .into_iter()
+            .map(|(p, w)| (p, w / total))
+            .collect();
         Blend { components }
     }
 
@@ -278,8 +296,11 @@ impl Blend {
 
 impl TrafficPattern for Blend {
     fn name(&self) -> String {
-        let parts: Vec<String> =
-            self.components.iter().map(|(p, w)| format!("{:.2}*{}", w, p.name())).collect();
+        let parts: Vec<String> = self
+            .components
+            .iter()
+            .map(|(p, w)| format!("{:.2}*{}", w, p.name()))
+            .collect();
         format!("blend({})", parts.join("+"))
     }
 
@@ -289,7 +310,10 @@ impl TrafficPattern for Blend {
             for f in p.flows_from(cfg, src) {
                 match flows.iter_mut().find(|g| g.dst == f.dst) {
                     Some(g) => g.rate += f.rate * w,
-                    None => flows.push(Flow { dst: f.dst, rate: f.rate * w }),
+                    None => flows.push(Flow {
+                        dst: f.dst,
+                        rate: f.rate * w,
+                    }),
                 }
             }
         }
@@ -310,7 +334,6 @@ impl TrafficPattern for Blend {
     }
 }
 
-
 /// Bit-complement traffic: node `(x, y, z)` sends to the node at the
 /// torus-complement coordinate `(kx−1−x, ky−1−y, kz−1−z)` — a classic
 /// adversarial pattern for dimension-order routing.
@@ -324,7 +347,10 @@ fn complement_dst(cfg: &MachineConfig, src: GlobalEndpoint) -> GlobalEndpoint {
         cfg.shape.k(Dim::Y) - 1 - c.y,
         cfg.shape.k(Dim::Z) - 1 - c.z,
     );
-    GlobalEndpoint { node: cfg.shape.id(n), ep: src.ep }
+    GlobalEndpoint {
+        node: cfg.shape.id(n),
+        ep: src.ep,
+    }
 }
 
 impl TrafficPattern for BitComplement {
@@ -333,7 +359,10 @@ impl TrafficPattern for BitComplement {
     }
 
     fn flows_from(&self, cfg: &MachineConfig, src: GlobalEndpoint) -> Vec<Flow> {
-        vec![Flow { dst: complement_dst(cfg, src), rate: 1.0 }]
+        vec![Flow {
+            dst: complement_dst(cfg, src),
+            rate: 1.0,
+        }]
     }
 
     fn sample_dst(
@@ -359,7 +388,10 @@ pub struct Transpose;
 fn transpose_dst(cfg: &MachineConfig, src: GlobalEndpoint) -> GlobalEndpoint {
     let c = cfg.node_coord(src);
     let n = NodeCoord::new(c.y, c.z, c.x);
-    GlobalEndpoint { node: cfg.shape.id(n), ep: src.ep }
+    GlobalEndpoint {
+        node: cfg.shape.id(n),
+        ep: src.ep,
+    }
 }
 
 impl TrafficPattern for Transpose {
@@ -369,7 +401,10 @@ impl TrafficPattern for Transpose {
 
     fn flows_from(&self, cfg: &MachineConfig, src: GlobalEndpoint) -> Vec<Flow> {
         assert_cubic(cfg);
-        vec![Flow { dst: transpose_dst(cfg, src), rate: 1.0 }]
+        vec![Flow {
+            dst: transpose_dst(cfg, src),
+            rate: 1.0,
+        }]
     }
 
     fn sample_dst(
@@ -411,7 +446,10 @@ impl NodePermutation {
     pub fn new(perm: Vec<u32>) -> NodePermutation {
         let mut seen = vec![false; perm.len()];
         for &p in &perm {
-            assert!((p as usize) < perm.len(), "permutation entry {p} out of range");
+            assert!(
+                (p as usize) < perm.len(),
+                "permutation entry {p} out of range"
+            );
             assert!(!seen[p as usize], "duplicate permutation entry {p}");
             seen[p as usize] = true;
         }
@@ -419,7 +457,10 @@ impl NodePermutation {
     }
 
     fn dst(&self, src: GlobalEndpoint) -> GlobalEndpoint {
-        GlobalEndpoint { node: NodeId(self.perm[src.node.0 as usize]), ep: src.ep }
+        GlobalEndpoint {
+            node: NodeId(self.perm[src.node.0 as usize]),
+            ep: src.ep,
+        }
     }
 }
 
@@ -429,8 +470,15 @@ impl TrafficPattern for NodePermutation {
     }
 
     fn flows_from(&self, cfg: &MachineConfig, src: GlobalEndpoint) -> Vec<Flow> {
-        assert_eq!(self.perm.len(), cfg.shape.num_nodes(), "permutation sized for another machine");
-        vec![Flow { dst: self.dst(src), rate: 1.0 }]
+        assert_eq!(
+            self.perm.len(),
+            cfg.shape.num_nodes(),
+            "permutation sized for another machine"
+        );
+        vec![Flow {
+            dst: self.dst(src),
+            rate: 1.0,
+        }]
     }
 
     fn sample_dst(
@@ -439,7 +487,11 @@ impl TrafficPattern for NodePermutation {
         src: GlobalEndpoint,
         _rng: &mut dyn RngCore,
     ) -> GlobalEndpoint {
-        assert_eq!(self.perm.len(), cfg.shape.num_nodes(), "permutation sized for another machine");
+        assert_eq!(
+            self.perm.len(),
+            cfg.shape.num_nodes(),
+            "permutation sized for another machine"
+        );
         self.dst(src)
     }
 
@@ -464,7 +516,11 @@ mod tests {
             let src = cfg.endpoint_at(idx);
             let flows = pat.flows_from(cfg, src);
             let total: f64 = flows.iter().map(|f| f.rate).sum();
-            assert!((total - 1.0).abs() < 1e-9, "{}: rates sum to {total}", pat.name());
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{}: rates sum to {total}",
+                pat.name()
+            );
         }
     }
 
@@ -476,7 +532,10 @@ mod tests {
         flows_sum_to_one(&NHopNeighbor::new(2), &cfg);
         flows_sum_to_one(&Tornado, &cfg);
         flows_sum_to_one(&ReverseTornado, &cfg);
-        let blend = Blend::new(vec![(Box::new(Tornado), 0.3), (Box::new(ReverseTornado), 0.7)]);
+        let blend = Blend::new(vec![
+            (Box::new(Tornado), 0.3),
+            (Box::new(ReverseTornado), 0.7),
+        ]);
         flows_sum_to_one(&blend, &cfg);
     }
 
@@ -498,12 +557,19 @@ mod tests {
     fn samples_match_flow_support() {
         let cfg = cfg();
         let mut rng = StdRng::seed_from_u64(1);
-        for pat in [&NHopNeighbor::new(1) as &dyn TrafficPattern, &NHopNeighbor::new(2)] {
+        for pat in [
+            &NHopNeighbor::new(1) as &dyn TrafficPattern,
+            &NHopNeighbor::new(2),
+        ] {
             let src = cfg.endpoint_at(5);
             let flows = pat.flows_from(&cfg, src);
             for _ in 0..200 {
                 let dst = pat.sample_dst(&cfg, src, &mut rng);
-                assert!(flows.iter().any(|f| f.dst == dst), "{}: sampled {dst} off-support", pat.name());
+                assert!(
+                    flows.iter().any(|f| f.dst == dst),
+                    "{}: sampled {dst} off-support",
+                    pat.name()
+                );
             }
         }
     }
@@ -550,7 +616,10 @@ mod tests {
     fn blend_extremes_match_components() {
         let cfg = cfg();
         let mut rng = StdRng::seed_from_u64(9);
-        let blend = Blend::new(vec![(Box::new(Tornado), 1.0), (Box::new(ReverseTornado), 0.0)]);
+        let blend = Blend::new(vec![
+            (Box::new(Tornado), 1.0),
+            (Box::new(ReverseTornado), 0.0),
+        ]);
         let src = cfg.endpoint_at(7);
         for _ in 0..50 {
             assert_eq!(
@@ -564,17 +633,21 @@ mod tests {
     fn blend_components_tagged() {
         let cfg = cfg();
         let mut rng = StdRng::seed_from_u64(2);
-        let blend =
-            Blend::new(vec![(Box::new(Tornado), 0.5), (Box::new(ReverseTornado), 0.5)]);
+        let blend = Blend::new(vec![
+            (Box::new(Tornado), 0.5),
+            (Box::new(ReverseTornado), 0.5),
+        ]);
         let src = cfg.endpoint_at(3);
         let mut counts = [0u32; 2];
         for _ in 0..1000 {
             let (c, _) = blend.sample_with_component(&cfg, src, &mut rng);
             counts[c] += 1;
         }
-        assert!(counts[0] > 350 && counts[1] > 350, "blend skewed: {counts:?}");
+        assert!(
+            counts[0] > 350 && counts[1] > 350,
+            "blend skewed: {counts:?}"
+        );
     }
-
 
     #[test]
     fn bit_complement_is_an_involution() {

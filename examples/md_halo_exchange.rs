@@ -42,7 +42,11 @@ fn main() {
     // One halo destination set per node, with two alternating trees each,
     // loaded into the multicast tables at initialization — exactly how an
     // MD run programs the network.
-    let spec = HaloSpec { radius: 1, plane_normal: None, endpoints_per_node: 2 };
+    let spec = HaloSpec {
+        radius: 1,
+        plane_normal: None,
+        endpoints_per_node: 2,
+    };
     let groups = build_halo_groups(&cfg, spec, &alternating_variants());
     let copies = groups[0].dests.num_endpoints() as u64;
     let unicast_hops = groups[0].dests.unicast_torus_hops(
@@ -63,14 +67,23 @@ fn main() {
     // Each node broadcasts one particle per tree variant.
     for node in cfg.shape.nodes() {
         let id = cfg.shape.id(node);
-        let src = GlobalEndpoint { node: id, ep: LocalEndpointId(0) };
+        let src = GlobalEndpoint {
+            node: id,
+            ep: LocalEndpointId(0),
+        };
         for tree in [0u8, 1] {
             let mut pkt = Packet::write(src, src, Payload::zeros(16));
-            pkt.dst = Destination::Multicast { group: McGroupId(id.0), tree };
+            pkt.dst = Destination::Multicast {
+                group: McGroupId(id.0),
+                tree,
+            };
             sim.inject(src, pkt);
         }
     }
-    let mut driver = HaloDriver { expected: 2 * nodes * copies, received: 0 };
+    let mut driver = HaloDriver {
+        expected: 2 * nodes * copies,
+        received: 0,
+    };
     let outcome = sim.run(&mut driver, 10_000_000);
     assert_eq!(outcome, RunOutcome::Completed);
     let stats = sim.stats();

@@ -21,10 +21,16 @@ fn main() {
 
     println!("direction-order algorithms ranked by worst-case mesh load:");
     for (i, r) in results.iter().enumerate().take(4) {
-        println!("  {}. {}  -> {:.1} torus channels", i + 1, r.order, r.worst_load);
+        println!(
+            "  {}. {}  -> {:.1} torus channels",
+            i + 1,
+            r.order,
+            r.worst_load
+        );
     }
     let best = &results[0];
-    println!("  ... ({} orders total; worst performers reach {:.1})",
+    println!(
+        "  ... ({} orders total; worst performers reach {:.1})",
         results.len(),
         results.last().unwrap().worst_load
     );
@@ -48,5 +54,8 @@ fn main() {
          -> {:.0} Gb/s headroom for endpoint traffic",
         MESH_GBPS - needed
     );
-    assert!(MESH_GBPS > needed, "the mesh must never bottleneck the torus channels");
+    assert!(
+        MESH_GBPS > needed,
+        "the mesh must never bottleneck the torus channels"
+    );
 }

@@ -5,10 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use anton2::anton_bench::{run_batch, saturation_rate, ArbiterSetup};
-use anton2::anton_core::config::MachineConfig;
-use anton2::anton_core::topology::TorusShape;
-use anton2::anton_traffic::patterns::UniformRandom;
+use anton2::prelude::*;
 
 fn main() {
     // A 4x4x4 torus of Anton 2 ASICs: each node carries a 4x4 on-chip mesh,

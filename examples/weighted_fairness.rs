@@ -10,16 +10,8 @@
 //! ```
 
 use anton2::anton_analysis::fit::jain_fairness;
-use anton2::anton_analysis::load::LoadAnalysis;
-use anton2::anton_analysis::weights::ArbiterWeightSet;
 use anton2::anton_arbiter::ArbiterKind;
-use anton2::anton_bench::apply_weights;
-use anton2::anton_core::config::MachineConfig;
-use anton2::anton_core::topology::TorusShape;
-use anton2::anton_sim::driver::BatchDriver;
-use anton2::anton_sim::params::SimParams;
-use anton2::anton_sim::sim::{Delivery, Driver, RunOutcome, Sim};
-use anton2::anton_traffic::patterns::Tornado;
+use anton2::prelude::*;
 
 /// Wraps the batch driver to record when each source finishes its batch.
 struct PerSource {
@@ -48,10 +40,12 @@ impl Driver for PerSource {
 }
 
 fn run(cfg: &MachineConfig, weights: Option<&ArbiterWeightSet>, batch: u64) -> (u64, f64) {
-    let mut params = SimParams::default();
-    params.arbiter = match weights {
-        Some(w) => ArbiterKind::InverseWeighted { m_bits: w.m_bits },
-        None => ArbiterKind::RoundRobin,
+    let params = SimParams {
+        arbiter: match weights {
+            Some(w) => ArbiterKind::InverseWeighted { m_bits: w.m_bits },
+            None => ArbiterKind::RoundRobin,
+        },
+        ..SimParams::default()
     };
     let mut sim = Sim::new(cfg.clone(), params);
     if let Some(w) = weights {
@@ -59,14 +53,22 @@ fn run(cfg: &MachineConfig, weights: Option<&ArbiterWeightSet>, batch: u64) -> (
     }
     let n = cfg.num_endpoints();
     let mut driver = PerSource {
-        inner: BatchDriver::uniform_pattern(&sim, Box::new(Tornado), batch, 7),
+        inner: BatchDriver::builder(&sim)
+            .pattern(Box::new(Tornado))
+            .packets_per_endpoint(batch)
+            .seed(7)
+            .build(),
         remaining: vec![batch; n],
         finish: vec![0; n],
     };
     let outcome = sim.run(&mut driver, 100_000_000);
     assert_eq!(outcome, RunOutcome::Completed);
     // Fairness of per-source *service rates* (packets per cycle to finish).
-    let rates: Vec<f64> = driver.finish.iter().map(|&f| batch as f64 / f as f64).collect();
+    let rates: Vec<f64> = driver
+        .finish
+        .iter()
+        .map(|&f| batch as f64 / f as f64)
+        .collect();
     (driver.inner.finish_cycle, jain_fairness(&rates))
 }
 
@@ -92,7 +94,15 @@ fn main() {
     println!();
     println!(
         "equality of service: fairness {} (completion {})",
-        if iw_jain >= rr_jain { "improved or held" } else { "regressed" },
-        if iw_cycles <= rr_cycles { "no slower" } else { "slower" }
+        if iw_jain >= rr_jain {
+            "improved or held"
+        } else {
+            "regressed"
+        },
+        if iw_cycles <= rr_cycles {
+            "no slower"
+        } else {
+            "slower"
+        }
     );
 }

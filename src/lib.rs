@@ -19,8 +19,50 @@
 //!   tables and figures.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! Most programs only need the [`prelude`]:
+//!
+//! ```
+//! use anton2::prelude::*;
+//!
+//! let cfg = MachineConfig::new(TorusShape::cube(2));
+//! let mut sim = Sim::new(cfg, SimParams::default());
+//! let mut driver = BatchDriver::builder(&sim)
+//!     .pattern(Box::new(UniformRandom))
+//!     .packets_per_endpoint(4)
+//!     .seed(1)
+//!     .build();
+//! assert_eq!(sim.run(&mut driver, 100_000), RunOutcome::Completed);
+//! assert!(sim.metrics().stats.delivered_packets > 0);
+//! ```
 
 #![warn(missing_docs)]
+
+pub mod prelude {
+    //! One-stop imports for the common experiment workflow: machine
+    //! configuration, the simulator and its drivers, traffic patterns,
+    //! arbiter weights, and the experiment harness.
+
+    pub use anton_analysis::load::LoadAnalysis;
+    pub use anton_analysis::weights::ArbiterWeightSet;
+    pub use anton_bench::harness::{ExperimentSpec, Measurement, SweepPoint, Value};
+    pub use anton_bench::{
+        apply_weights, run_batch, run_batch_detailed, saturation_rate, ArbiterSetup, FlagSet,
+    };
+    pub use anton_core::config::MachineConfig;
+    pub use anton_core::pattern::TrafficPattern;
+    pub use anton_core::topology::TorusShape;
+    pub use anton_sim::driver::{
+        BatchDriver, BatchDriverBuilder, PayloadKind, PingPongDriver, RateDriver,
+    };
+    pub use anton_sim::metrics::{LinkClass, Metrics};
+    pub use anton_sim::params::{EnergyParams, LatencyParams, SimParams};
+    pub use anton_sim::sim::{Delivery, Driver, RunOutcome, Sim, SimStats};
+    pub use anton_traffic::patterns::{
+        BitComplement, Blend, NHopNeighbor, NodePermutation, ReverseTornado, Tornado, Transpose,
+        UniformRandom,
+    };
+}
 
 pub use anton_analysis;
 pub use anton_arbiter;

@@ -22,7 +22,11 @@ fn simulated_link_traffic_tracks_analytic_loads() {
 
     let mut sim = Sim::new(cfg.clone(), SimParams::default());
     let batch = 400u64;
-    let mut driver = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), batch, 5);
+    let mut driver = BatchDriver::builder(&sim)
+        .pattern(Box::new(UniformRandom))
+        .packets_per_endpoint(batch)
+        .seed(5)
+        .build();
     assert_eq!(sim.run(&mut driver, 50_000_000), RunOutcome::Completed);
 
     // Compare measured flits/packet against analytic load/packet per link.
@@ -57,12 +61,20 @@ fn default_configuration_is_deadlock_free_end_to_end() {
     let cfg = MachineConfig::new(TorusShape::cube(3));
     let graph = build_unicast_dep_graph(
         &cfg,
-        &RouteEnumeration { src_endpoints: vec![0], dst_endpoints: vec![15] },
+        &RouteEnumeration {
+            src_endpoints: vec![0],
+            dst_endpoints: vec![15],
+        },
     );
-    assert!(graph.find_cycle().is_none(), "shipped config has a VC dependency cycle");
+    assert!(
+        graph.find_cycle().is_none(),
+        "shipped config has a VC dependency cycle"
+    );
 
-    // And a saturating workload on the same shape drains completely.
+    // And a saturating workload on the same shape drains completely. The
+    // deprecated constructor must keep working for downstream callers.
     let mut sim = Sim::new(cfg, SimParams::default());
+    #[allow(deprecated)]
     let mut driver = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), 80, 9);
     assert_eq!(sim.run(&mut driver, 50_000_000), RunOutcome::Completed);
     assert_eq!(sim.live_packets(), 0);
@@ -78,11 +90,17 @@ fn weight_tables_install_at_every_arbitration_point() {
     assert!(!weights.tables.is_empty());
     assert!(!weights.chan_tables.is_empty());
     assert!(!weights.input_tables.is_empty());
-    let mut params = SimParams::default();
-    params.arbiter = anton2::anton_arbiter::ArbiterKind::InverseWeighted { m_bits: 5 };
+    let params = SimParams {
+        arbiter: anton2::anton_arbiter::ArbiterKind::InverseWeighted { m_bits: 5 },
+        ..SimParams::default()
+    };
     let mut sim = Sim::new(cfg, params);
     apply_weights(&mut sim, &weights); // panics on any index mismatch
-    let mut driver = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), 50, 3);
+    let mut driver = BatchDriver::builder(&sim)
+        .pattern(Box::new(UniformRandom))
+        .packets_per_endpoint(50)
+        .seed(3)
+        .build();
     assert_eq!(sim.run(&mut driver, 50_000_000), RunOutcome::Completed);
 }
 
@@ -131,10 +149,26 @@ fn energy_fit_recovers_charged_coefficients() {
         }
     }
     let fit = EnergyModel::fit(&ms);
-    assert!((fit.fixed_pj - p.fixed_pj).abs() < 1.5, "c0 {}", fit.fixed_pj);
-    assert!((fit.per_flip_pj - p.per_flip_pj).abs() < 0.05, "c1 {}", fit.per_flip_pj);
-    assert!((fit.activation_pj - p.activation_pj).abs() < 2.5, "c2 {}", fit.activation_pj);
-    assert!((fit.per_set_bit_pj - p.per_set_bit_pj).abs() < 0.05, "c3 {}", fit.per_set_bit_pj);
+    assert!(
+        (fit.fixed_pj - p.fixed_pj).abs() < 1.5,
+        "c0 {}",
+        fit.fixed_pj
+    );
+    assert!(
+        (fit.per_flip_pj - p.per_flip_pj).abs() < 0.05,
+        "c1 {}",
+        fit.per_flip_pj
+    );
+    assert!(
+        (fit.activation_pj - p.activation_pj).abs() < 2.5,
+        "c2 {}",
+        fit.activation_pj
+    );
+    assert!(
+        (fit.per_set_bit_pj - p.per_set_bit_pj).abs() < 0.05,
+        "c3 {}",
+        fit.per_set_bit_pj
+    );
 }
 
 /// The area model's VC sensitivity is consistent with the VC policies'
@@ -145,8 +179,11 @@ fn area_ablation_tracks_vc_policy_budgets() {
     use anton2::anton_core::chip::{ChipLayout, LinkGroup};
     use anton2::anton_core::vc::VcPolicy;
     let anton = AreaModel::anton();
-    let baseline =
-        AreaModel::new(AreaParams::default(), ChipLayout::new(23), VcPolicy::Baseline2n);
+    let baseline = AreaModel::new(
+        AreaParams::default(),
+        ChipLayout::new(23),
+        VcPolicy::Baseline2n,
+    );
     let ratio = baseline.area(Component::Channel, Category::Queues)
         / anton.area(Component::Channel, Category::Queues);
     let expected = f64::from(VcPolicy::Baseline2n.num_vcs(LinkGroup::T))
