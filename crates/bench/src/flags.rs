@@ -138,6 +138,34 @@ impl FlagSet {
         })
     }
 
+    /// Declares a comma-separated `f64` list flag (e.g. `--bers 1e-5,1e-4`).
+    pub fn flist(self, name: &str, default: &[f64], help: &str) -> FlagSet {
+        let default: Vec<f64> = default.to_vec();
+        let default_repr = default
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.declare(FlagDecl {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: FlagKind::Value {
+                default_repr,
+                make_default: Box::new(move || Box::new(default.clone())),
+                parse: Box::new(|s| {
+                    s.split(',')
+                        .map(|part| {
+                            part.trim()
+                                .parse::<f64>()
+                                .map_err(|e| format!("entry `{}`: {e}", part.trim()))
+                        })
+                        .collect::<Result<Vec<f64>, String>>()
+                        .map(|v| Box::new(v) as Box<dyn Any>)
+                }),
+            },
+        })
+    }
+
     /// Declares a boolean switch `--name` (default off).
     pub fn switch(self, name: &str, help: &str) -> FlagSet {
         self.declare(FlagDecl {
@@ -301,6 +329,11 @@ impl ParsedFlags {
         self.get::<Vec<u64>>(name)
     }
 
+    /// The value of a declared [`flist`](FlagSet::flist) flag.
+    pub fn flist(&self, name: &str) -> Vec<f64> {
+        self.get::<Vec<f64>>(name)
+    }
+
     /// Whether a declared switch was passed.
     ///
     /// # Panics
@@ -328,6 +361,7 @@ mod tests {
             .flag("seed", 42u64, "base seed")
             .flag("mode", "rr".to_string(), "arbiter mode")
             .list("batches", &[64, 256], "batch sizes")
+            .flist("bers", &[0.0, 1e-5], "bit error rates")
             .switch("baseline-vcs", "use baseline VC count")
     }
 
@@ -338,6 +372,7 @@ mod tests {
         assert_eq!(p.get::<u64>("seed"), 42);
         assert_eq!(p.get::<String>("mode"), "rr");
         assert_eq!(p.list("batches"), vec![64, 256]);
+        assert_eq!(p.flist("bers"), vec![0.0, 1e-5]);
         assert!(!p.on("baseline-vcs"));
     }
 
@@ -357,6 +392,21 @@ mod tests {
         assert_eq!(p.list("batches"), vec![8, 16, 32]);
         assert!(p.on("baseline-vcs"));
         assert_eq!(p.get::<String>("mode"), "wf");
+    }
+
+    #[test]
+    fn float_lists_parse_scientific_notation() {
+        let p = demo()
+            .try_parse(&argv(&["--bers", "1e-6, 5e-5,0.001"]))
+            .unwrap();
+        assert_eq!(p.flist("bers"), vec![1e-6, 5e-5, 1e-3]);
+        assert!(matches!(
+            demo().try_parse(&argv(&["--bers", "1e-6,oops"])),
+            Err(FlagError::Invalid(msg)) if msg.contains("oops")
+        ));
+        let help = demo().help_text();
+        assert!(help.contains("--bers <value>"));
+        assert!(help.contains("[default: 0,0.00001]"));
     }
 
     #[test]

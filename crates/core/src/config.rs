@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::chip::{ChipLayout, LocalEndpointId};
+use crate::chip::{ChanId, ChipLayout, LocalEndpointId, NUM_CHAN_ADAPTERS};
 use crate::onchip::DirOrder;
 use crate::topology::{NodeCoord, NodeId, TorusShape};
 use crate::vc::VcPolicy;
@@ -104,6 +104,43 @@ impl MachineConfig {
     pub fn node_coord(&self, ep: GlobalEndpoint) -> NodeCoord {
         self.shape.coord(ep.node)
     }
+
+    /// Number of directed external torus links: every node drives one link
+    /// per channel adapter (6 directions × 2 slices).
+    #[inline]
+    pub fn num_torus_links(&self) -> usize {
+        self.shape.num_nodes() * NUM_CHAN_ADAPTERS
+    }
+
+    /// Dense linear index of the directed torus link departing `from`
+    /// through channel adapter `chan` — the canonical link numbering used
+    /// by fault schedules.
+    #[inline]
+    pub fn torus_link_index(&self, from: NodeId, chan: ChanId) -> usize {
+        from.0 as usize * NUM_CHAN_ADAPTERS + chan.index()
+    }
+
+    /// Directed torus link with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn torus_link_at(&self, idx: usize) -> (NodeId, ChanId) {
+        assert!(
+            idx < self.num_torus_links(),
+            "torus link index {idx} out of range"
+        );
+        (
+            NodeId((idx / NUM_CHAN_ADAPTERS) as u32),
+            ChanId::from_index(idx % NUM_CHAN_ADAPTERS),
+        )
+    }
+
+    /// Iterates over every directed torus link in index order.
+    pub fn torus_links(&self) -> impl Iterator<Item = (NodeId, ChanId)> + '_ {
+        (0..self.num_torus_links()).map(move |i| self.torus_link_at(i))
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +155,16 @@ mod tests {
             assert_eq!(cfg.endpoint_at(i), ep);
         }
         assert_eq!(cfg.num_endpoints(), 16 * 16);
+    }
+
+    #[test]
+    fn torus_link_index_roundtrip() {
+        let cfg = MachineConfig::new(TorusShape::new(4, 2, 2));
+        for (i, (node, chan)) in cfg.torus_links().enumerate() {
+            assert_eq!(cfg.torus_link_index(node, chan), i);
+            assert_eq!(cfg.torus_link_at(i), (node, chan));
+        }
+        assert_eq!(cfg.num_torus_links(), 16 * 12);
     }
 
     #[test]

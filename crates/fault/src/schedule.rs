@@ -1,0 +1,172 @@
+//! Deterministic fault schedules.
+//!
+//! A [`FaultSchedule`] is a complete, self-contained description of link
+//! misbehavior for one simulation: a seed, a baseline bit-error rate applied
+//! to every external torus link, and a list of per-link exceptions
+//! (degraded BER or down windows). Serializing these few values into a
+//! results file is enough to reproduce a faulty run exactly.
+
+use anton_core::chip::ChanId;
+use anton_core::topology::NodeId;
+use anton_link::gobackn::GoBackNConfig;
+
+/// Go-back-N window used by link shims unless overridden: large enough that
+/// a fault-free torus link (round trip ≈ 2 × 44 cycles at ≈ 0.31
+/// frames/cycle ≈ 28 frames in flight) never stalls on the window.
+pub const SHIM_WINDOW: u8 = 64;
+
+/// Retransmission timeout (cycles) used by link shims unless overridden:
+/// comfortably above the torus round trip (≈ 88 cycles) plus ack service
+/// jitter, so fault-free traffic never rewinds spuriously.
+pub const SHIM_TIMEOUT: u64 = 192;
+
+/// What is wrong with one particular link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The link runs at the given bit-error rate instead of the schedule's
+    /// default (use a higher value for a permanently degraded link).
+    Degraded {
+        /// Per-bit error probability for this link.
+        ber: f64,
+    },
+    /// Every frame (data and ack) on the link is lost while
+    /// `from_cycle <= now < until_cycle`. Use `until_cycle = u64::MAX` for a
+    /// permanently dead link.
+    Down {
+        /// First cycle of the outage (inclusive).
+        from_cycle: u64,
+        /// End of the outage (exclusive).
+        until_cycle: u64,
+    },
+}
+
+/// A fault pinned to one directed external torus link, identified by its
+/// source node and departing channel adapter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Node the faulty link departs from.
+    pub from: NodeId,
+    /// Channel adapter (direction × slice) the faulty link departs through.
+    pub chan: ChanId,
+    /// What happens on that link.
+    pub kind: FaultKind,
+}
+
+/// Effective fault profile of a single link after applying the schedule's
+/// default and all matching per-link entries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkProfile {
+    /// Bit-error rate in effect on this link.
+    pub ber: f64,
+    /// Outage windows `[from, until)` during which all frames are lost.
+    pub downs: Vec<(u64, u64)>,
+}
+
+/// A deterministic, reproducible description of link faults for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Master seed; each link derives an independent RNG stream from it, so
+    /// corruption decisions do not depend on link iteration order.
+    pub seed: u64,
+    /// Bit-error rate applied to every torus link not overridden by a
+    /// [`FaultKind::Degraded`] entry.
+    pub default_ber: f64,
+    /// Go-back-N parameters for every link shim.
+    pub gbn: GoBackNConfig,
+    /// Per-link exceptions, applied in order (later entries win for BER).
+    pub faults: Vec<LinkFault>,
+}
+
+impl FaultSchedule {
+    /// A schedule applying `ber` uniformly to every torus link, with the
+    /// default shim go-back-N parameters.
+    pub fn uniform(seed: u64, ber: f64) -> FaultSchedule {
+        FaultSchedule {
+            seed,
+            default_ber: ber,
+            gbn: GoBackNConfig {
+                window: SHIM_WINDOW,
+                timeout: SHIM_TIMEOUT,
+            },
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a per-link fault, builder-style.
+    pub fn with_fault(mut self, from: NodeId, chan: ChanId, kind: FaultKind) -> FaultSchedule {
+        self.faults.push(LinkFault { from, chan, kind });
+        self
+    }
+
+    /// Resolves the effective profile of the link departing `from` through
+    /// `chan`.
+    pub fn profile(&self, from: NodeId, chan: ChanId) -> LinkProfile {
+        let mut profile = LinkProfile {
+            ber: self.default_ber,
+            downs: Vec::new(),
+        };
+        for f in &self.faults {
+            if f.from != from || f.chan != chan {
+                continue;
+            }
+            match f.kind {
+                FaultKind::Degraded { ber } => profile.ber = ber,
+                FaultKind::Down {
+                    from_cycle,
+                    until_cycle,
+                } => profile.downs.push((from_cycle, until_cycle)),
+            }
+        }
+        profile
+    }
+
+    /// Independent RNG seed for the link with the given dense index (see
+    /// `MachineConfig::torus_link_index`). Splitmix64 over `(seed, index)`
+    /// keeps streams uncorrelated and independent of install order.
+    pub fn link_seed(&self, link_index: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(link_index as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan(idx: usize) -> ChanId {
+        ChanId::from_index(idx)
+    }
+
+    #[test]
+    fn per_link_faults_override_default() {
+        let sched = FaultSchedule::uniform(1, 1e-6)
+            .with_fault(NodeId(3), chan(2), FaultKind::Degraded { ber: 1e-3 })
+            .with_fault(
+                NodeId(3),
+                chan(2),
+                FaultKind::Down {
+                    from_cycle: 10,
+                    until_cycle: 20,
+                },
+            );
+        let hit = sched.profile(NodeId(3), chan(2));
+        assert_eq!(hit.ber, 1e-3);
+        assert_eq!(hit.downs, vec![(10, 20)]);
+        let miss = sched.profile(NodeId(3), chan(3));
+        assert_eq!(miss.ber, 1e-6);
+        assert!(miss.downs.is_empty());
+    }
+
+    #[test]
+    fn link_seeds_are_distinct_and_stable() {
+        let sched = FaultSchedule::uniform(42, 0.0);
+        let a = sched.link_seed(0);
+        let b = sched.link_seed(1);
+        assert_ne!(a, b);
+        assert_eq!(a, FaultSchedule::uniform(42, 1e-3).link_seed(0));
+    }
+}

@@ -1,0 +1,405 @@
+//! Lossy-link shim: go-back-N under fire, embedded in a simulated channel.
+//!
+//! A [`LinkShim`] sits between a torus `Wire`'s send side and its receive
+//! buffers. The wire enqueues each packet's flits; the shim pushes them
+//! through the real [`anton_link`] go-back-N sender, frames them, corrupts
+//! or drops them according to the link's fault profile, runs the receiver,
+//! and reports how many *packets* finished crossing the link each cycle.
+//! The wire keeps the actual packet queue (delivery is strictly FIFO, which
+//! go-back-N guarantees), so the shim itself stays packet-agnostic.
+//!
+//! Rate model: a token bucket with the same gain/cost ratio as the
+//! serializer's (14/45 ≈ 0.311 frames per cycle — exactly the 112 Gb/s raw
+//! lane rate at 240 bits per frame and 1.5 GHz), but with a deeper bucket
+//! (two frames' worth). Because the upstream serializer already meters
+//! goodput at 14/45 flits per cycle with a shallower bucket, the shim adds
+//! *zero* delay on a fault-free link — every flit completes on the exact
+//! cycle the ideal wire would deliver it — while retransmissions correctly
+//! consume link bandwidth when frames are lost.
+
+use std::collections::VecDeque;
+
+use anton_link::frame::{Frame, FRAME_BYTES};
+use anton_link::gobackn::{GoBackNConfig, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Token gain per cycle (mirrors the serializer's `TORUS_TOKEN_GAIN`).
+const TOKEN_GAIN: u64 = 14;
+/// Tokens consumed per frame (mirrors the serializer's `TORUS_TOKEN_COST`).
+const TOKEN_COST: u64 = 45;
+/// Bucket depth: two frames, so the shim can absorb the serializer's own
+/// burstiness (its bucket holds `cost + gain - 1` tokens) without ever
+/// becoming the tighter bottleneck.
+const TOKEN_CAP: u64 = 2 * TOKEN_COST;
+/// Bits per frame on the wire, for converting bit-error rate to a per-frame
+/// corruption probability.
+const FRAME_BITS: u32 = FRAME_BYTES as u32 * 8;
+
+/// Counters accumulated by one link shim (or aggregated across shims).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShimStats {
+    /// Data frames put on the wire, including retransmissions.
+    pub frames_sent: u64,
+    /// Data frames that were retransmissions.
+    pub retransmissions: u64,
+    /// Data frames lost to corruption or outage.
+    pub data_frames_dropped: u64,
+    /// Ack frames lost to corruption or outage.
+    pub ack_frames_dropped: u64,
+    /// Flits delivered in order out of the link layer.
+    pub flits_delivered: u64,
+}
+
+impl ShimStats {
+    /// Accumulates another shim's counters into this one.
+    pub fn merge(&mut self, other: &ShimStats) {
+        self.frames_sent += other.frames_sent;
+        self.retransmissions += other.retransmissions;
+        self.data_frames_dropped += other.data_frames_dropped;
+        self.ack_frames_dropped += other.ack_frames_dropped;
+        self.flits_delivered += other.flits_delivered;
+    }
+
+    /// Fraction of data frames that were retransmissions (0 when idle).
+    pub fn retransmission_overhead(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.retransmissions as f64 / self.frames_sent as f64
+        }
+    }
+}
+
+/// One direction of one lossy external torus link.
+pub struct LinkShim {
+    /// One-way propagation delay in cycles (same as the ideal wire's).
+    latency: u64,
+    /// Per-frame corruption probability, `1 - (1 - ber)^240`.
+    frame_loss_p: f64,
+    /// Outage windows `[from, until)`.
+    downs: Vec<(u64, u64)>,
+    tx: Sender,
+    rx: Receiver,
+    /// Flits already consumed from `rx.delivered`.
+    rx_consumed: usize,
+    /// Data frames in flight toward the receiver (`None` = lost).
+    forward: VecDeque<(u64, Option<Frame>)>,
+    /// Cumulative acks in flight back toward the sender (`None` = lost).
+    reverse: VecDeque<(u64, Option<u8>)>,
+    /// Flit counts of packets queued through the shim, FIFO.
+    pending: VecDeque<u8>,
+    /// Flits of the front pending packet already delivered.
+    head_done: u8,
+    /// Serial of the next flit to enqueue (payloads carry serials so the
+    /// shim can self-check in-order exactly-once delivery).
+    next_enqueue: u64,
+    /// Serial of the next flit to offer into the go-back-N window.
+    next_offer: u64,
+    /// Serial the next delivered flit must carry.
+    next_expect: u64,
+    tokens: u64,
+    tokens_at: u64,
+    /// Cycle of the last data-frame transmission (at most one per cycle).
+    last_tx: Option<u64>,
+    rng: StdRng,
+    data_frames_dropped: u64,
+    ack_frames_dropped: u64,
+    flits_delivered: u64,
+}
+
+impl std::fmt::Debug for LinkShim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkShim")
+            .field("latency", &self.latency)
+            .field("frame_loss_p", &self.frame_loss_p)
+            .field("downs", &self.downs)
+            .field("pending", &self.pending.len())
+            .field("in_window", &self.tx.in_flight())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LinkShim {
+    /// Creates a shim for one link direction.
+    ///
+    /// `latency` is the ideal wire's propagation delay; `ber` the per-bit
+    /// error probability; `downs` outage windows; `seed` this link's
+    /// independent RNG stream (see `FaultSchedule::link_seed`).
+    pub fn new(
+        latency: u64,
+        gbn: GoBackNConfig,
+        ber: f64,
+        downs: Vec<(u64, u64)>,
+        seed: u64,
+    ) -> LinkShim {
+        assert!((0.0..1.0).contains(&ber), "bit-error rate must be in [0,1)");
+        let frame_loss_p = 1.0 - (1.0 - ber).powi(FRAME_BITS as i32);
+        LinkShim {
+            latency,
+            frame_loss_p,
+            downs,
+            tx: Sender::new(gbn),
+            rx: Receiver::new(),
+            rx_consumed: 0,
+            forward: VecDeque::new(),
+            reverse: VecDeque::new(),
+            pending: VecDeque::new(),
+            head_done: 0,
+            next_enqueue: 0,
+            next_offer: 0,
+            next_expect: 0,
+            tokens: TOKEN_CAP,
+            tokens_at: 0,
+            last_tx: None,
+            rng: StdRng::seed_from_u64(seed),
+            data_frames_dropped: 0,
+            ack_frames_dropped: 0,
+            flits_delivered: 0,
+        }
+    }
+
+    /// Queues one packet of `flits` flits into the link and immediately
+    /// tries to transmit (so a fault-free single-flit packet departs the
+    /// same cycle, matching the ideal wire's timing).
+    pub fn enqueue(&mut self, now: u64, flits: u8) {
+        assert!(flits > 0, "packets carry at least one flit");
+        self.pending.push_back(flits);
+        self.next_enqueue += u64::from(flits);
+        self.pump(now);
+    }
+
+    /// Advances the link by one cycle: lands acks and data frames whose
+    /// propagation delay has elapsed, consumes delivered flits, and
+    /// (re)transmits. Returns how many packets finished crossing the link
+    /// this cycle; the caller pops that many from its own FIFO.
+    pub fn advance(&mut self, now: u64) -> u32 {
+        while self.reverse.front().is_some_and(|&(t, _)| t <= now) {
+            let (_, ack) = self.reverse.pop_front().unwrap();
+            if let Some(ack) = ack {
+                self.tx.on_ack(ack, now);
+            }
+        }
+        while self.forward.front().is_some_and(|&(t, _)| t <= now) {
+            let (_, frame) = self.forward.pop_front().unwrap();
+            if let Some(frame) = frame {
+                let ack = self.rx.on_frame(&frame);
+                if self.lose(now) {
+                    self.ack_frames_dropped += 1;
+                    self.reverse.push_back((now + self.latency, None));
+                } else {
+                    self.reverse.push_back((now + self.latency, Some(ack)));
+                }
+            }
+        }
+        let completed = self.consume_delivered();
+        self.pump(now);
+        completed
+    }
+
+    /// Whether the link has fully drained: no queued packets, no frames in
+    /// flight, and no unacknowledged frames awaiting (re)transmission.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.forward.is_empty()
+            && self.reverse.is_empty()
+            && self.tx.in_flight() == 0
+    }
+
+    /// Flits currently inside the shim (enqueued but not yet delivered).
+    pub fn backlog_flits(&self) -> u64 {
+        self.next_enqueue - self.next_expect
+    }
+
+    /// Packets currently queued through the shim.
+    pub fn backlog_packets(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Snapshot of this link's counters.
+    pub fn stats(&self) -> ShimStats {
+        ShimStats {
+            frames_sent: self.tx.frames_sent,
+            retransmissions: self.tx.retransmissions,
+            data_frames_dropped: self.data_frames_dropped,
+            ack_frames_dropped: self.ack_frames_dropped,
+            flits_delivered: self.flits_delivered,
+        }
+    }
+
+    /// Drains newly delivered flits, self-checking order, and returns the
+    /// number of whole packets completed.
+    fn consume_delivered(&mut self) -> u32 {
+        let mut completed = 0;
+        while self.rx_consumed < self.rx.delivered.len() {
+            let payload = self.rx.delivered[self.rx_consumed];
+            self.rx_consumed += 1;
+            let serial = u64::from_le_bytes(payload[..8].try_into().unwrap());
+            assert_eq!(
+                serial, self.next_expect,
+                "lossy-link shim: go-back-N delivered flit {serial} while \
+                 expecting {} (out-of-order or duplicated delivery)",
+                self.next_expect
+            );
+            self.next_expect += 1;
+            self.flits_delivered += 1;
+            self.head_done += 1;
+            let head = *self
+                .pending
+                .front()
+                .expect("delivered flit without a pending packet");
+            if self.head_done == head {
+                self.pending.pop_front();
+                self.head_done = 0;
+                completed += 1;
+            }
+        }
+        // Keep the receiver's delivered log from growing without bound.
+        if self.rx_consumed >= 4096 {
+            self.rx.delivered.drain(..self.rx_consumed);
+            self.rx_consumed = 0;
+        }
+        completed
+    }
+
+    /// Offers queued flits into the window and transmits at most one data
+    /// frame (token bucket permitting).
+    fn pump(&mut self, now: u64) {
+        self.tokens = (self.tokens + TOKEN_GAIN * (now - self.tokens_at)).min(TOKEN_CAP);
+        self.tokens_at = now;
+        while self.next_offer < self.next_enqueue && self.tx.can_accept() {
+            let mut payload = [0u8; 24];
+            payload[..8].copy_from_slice(&self.next_offer.to_le_bytes());
+            self.tx.offer(payload);
+            self.next_offer += 1;
+        }
+        if self.last_tx == Some(now) || self.tokens < TOKEN_COST {
+            return;
+        }
+        if let Some(frame) = self.tx.next_frame(now, self.rx.expected()) {
+            self.tokens -= TOKEN_COST;
+            self.last_tx = Some(now);
+            if self.lose(now) {
+                self.data_frames_dropped += 1;
+                self.forward.push_back((now + self.latency, None));
+            } else {
+                self.forward.push_back((now + self.latency, Some(frame)));
+            }
+        }
+    }
+
+    /// Whether a frame put on the wire at `now` is lost: always during an
+    /// outage window, otherwise with the per-frame corruption probability.
+    fn lose(&mut self, now: u64) -> bool {
+        if self
+            .downs
+            .iter()
+            .any(|&(from, until)| from <= now && now < until)
+        {
+            return true;
+        }
+        self.frame_loss_p > 0.0 && self.rng.gen_bool(self.frame_loss_p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbn() -> GoBackNConfig {
+        GoBackNConfig {
+            window: 64,
+            timeout: 192,
+        }
+    }
+
+    /// Drives the shim to completion, returning (cycle, packets) pairs.
+    fn drain(shim: &mut LinkShim, mut now: u64, budget: u64) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        let stop = now + budget;
+        while !shim.idle() && now < stop {
+            now += 1;
+            let done = shim.advance(now);
+            if done > 0 {
+                out.push((now, done));
+            }
+        }
+        assert!(shim.idle(), "shim failed to drain within {budget} cycles");
+        out
+    }
+
+    #[test]
+    fn fault_free_single_flit_matches_ideal_wire_timing() {
+        let mut shim = LinkShim::new(44, gbn(), 0.0, Vec::new(), 1);
+        shim.enqueue(100, 1);
+        let events = drain(&mut shim, 100, 1000);
+        // Ideal wire: tail arrives at send + latency.
+        assert_eq!(events, vec![(144, 1)]);
+        assert_eq!(shim.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn fault_free_two_flit_packet_takes_one_extra_cycle() {
+        let mut shim = LinkShim::new(44, gbn(), 0.0, Vec::new(), 1);
+        shim.enqueue(100, 2);
+        let events = drain(&mut shim, 100, 1000);
+        // Ideal wire: tail arrival = send + latency + flits - 1.
+        assert_eq!(events, vec![(145, 1)]);
+    }
+
+    #[test]
+    fn lossy_link_retransmits_and_still_delivers_in_order() {
+        let mut shim = LinkShim::new(44, gbn(), 2e-3, Vec::new(), 7);
+        let mut now = 0;
+        for _ in 0..50 {
+            shim.enqueue(now, 2);
+            now += 3;
+        }
+        let events = drain(&mut shim, now, 2_000_000);
+        let total: u32 = events.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 50);
+        let s = shim.stats();
+        assert_eq!(s.flits_delivered, 100);
+        assert!(s.retransmissions > 0, "2e-3 BER must force retransmissions");
+        assert!(s.frames_sent >= 100 + s.retransmissions);
+    }
+
+    #[test]
+    fn outage_stalls_then_recovers() {
+        let mut shim = LinkShim::new(10, gbn(), 0.0, vec![(0, 500)], 3);
+        shim.enqueue(0, 1);
+        let events = drain(&mut shim, 0, 10_000);
+        assert_eq!(events.len(), 1);
+        let (cycle, _) = events[0];
+        assert!(cycle >= 500, "nothing can cross during the outage");
+        assert!(shim.stats().data_frames_dropped > 0);
+    }
+
+    #[test]
+    fn permanent_outage_never_goes_idle() {
+        let mut shim = LinkShim::new(10, gbn(), 0.0, vec![(0, u64::MAX)], 3);
+        shim.enqueue(0, 1);
+        for now in 1..5_000 {
+            assert_eq!(shim.advance(now), 0);
+        }
+        assert!(!shim.idle());
+        assert_eq!(shim.backlog_flits(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_schedule_is_reproducible() {
+        let run = |seed| {
+            let mut shim = LinkShim::new(44, gbn(), 1e-3, Vec::new(), seed);
+            let mut now = 0;
+            for _ in 0..40 {
+                shim.enqueue(now, 1);
+                now += 4;
+            }
+            let events = drain(&mut shim, now, 2_000_000);
+            (events, shim.stats())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).1, run(10).1);
+    }
+}

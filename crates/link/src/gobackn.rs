@@ -102,8 +102,15 @@ impl Sender {
     /// next sequence number the receiver expects.
     pub fn on_ack(&mut self, ack: u8, now: u64) {
         let advance = seq_dist(self.base, ack);
-        if advance <= 0 || advance as usize > self.buffer.len() {
-            return; // Stale or out-of-window ack.
+        // An ack can only cover frames that have been sent at least once —
+        // i.e. at most `high_water` ahead of the base. Anything further is
+        // an aliased sequence number: with 8-bit sequence numbers, an ack
+        // from ≥ 128 frames ago (or one whose corruption slipped past the
+        // CRC) can land in the valid-looking half of the space after a
+        // wrap. Accepting it would silently discard unacknowledged
+        // payloads, which go-back-N can never recover.
+        if advance <= 0 || advance as usize > self.high_water {
+            return; // Stale, aliased, or out-of-window ack.
         }
         for _ in 0..advance {
             self.buffer.pop_front();
@@ -262,6 +269,60 @@ mod tests {
         tx.on_ack(1, 2);
         tx.on_ack(0, 3);
         assert_eq!(tx.in_flight(), 0);
+    }
+
+    #[test]
+    fn ack_for_unsent_frames_is_rejected() {
+        // Four flits queued, only two put on the wire. An ack claiming all
+        // four (an aliased sequence number from a pre-wrap ack, or a
+        // corrupted ack that slipped past the CRC) must be ignored: frames
+        // 2 and 3 were never sent, so no receiver can have acked them.
+        let mut tx = Sender::new(GoBackNConfig::default());
+        for i in 0..4u8 {
+            tx.offer([i; 24]);
+        }
+        let _ = tx.next_frame(0, 0);
+        let _ = tx.next_frame(1, 0);
+        tx.on_ack(4, 2);
+        assert_eq!(tx.in_flight(), 4, "aliased ack must not discard payloads");
+        // A legitimate ack for the frames actually sent still advances.
+        tx.on_ack(2, 3);
+        assert_eq!(tx.in_flight(), 2);
+    }
+
+    #[test]
+    fn aliased_ack_near_wrap_is_rejected() {
+        // Walk the window up to the 8-bit wrap boundary, then replay an ack
+        // whose sequence number aliases into the "ahead of base" half.
+        let cfg = GoBackNConfig {
+            window: 8,
+            timeout: 16,
+        };
+        let mut tx = Sender::new(cfg);
+        let mut rx = Receiver::new();
+        let mut sent = 0u64;
+        let mut now = 0u64;
+        while sent < 300 {
+            while tx.can_accept() {
+                tx.offer([sent as u8; 24]);
+            }
+            now += 1;
+            if let Some(f) = tx.next_frame(now, 0) {
+                sent += 1;
+                let ack = rx.on_frame(&f);
+                tx.on_ack(ack, now);
+            }
+        }
+        // Base has wrapped past 255. One frame outstanding at most; an ack
+        // 100 ahead of base aliases to "future" — must be ignored.
+        let outstanding = tx.in_flight();
+        tx.on_ack(tx_base_plus(&tx, 100), now);
+        assert_eq!(tx.in_flight(), outstanding);
+    }
+
+    /// Test helper: sequence number `delta` frames ahead of the sender base.
+    fn tx_base_plus(tx: &Sender, delta: u8) -> u8 {
+        tx.base.wrapping_add(delta)
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`RateDriver`] — a single core streams single-flit packets at a
 //!   controlled injection and activation rate for the router-energy
 //!   measurements (Figure 13).
+//! * [`LoadDriver`] — open-loop Bernoulli injection at a fixed offered
+//!   rate, with per-packet latency samples and percentile reporting (the
+//!   fault-sweep workload).
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -494,9 +497,193 @@ impl Driver for RateDriver {
     }
 }
 
+/// Open-loop load workload: every endpoint flips a Bernoulli coin each
+/// cycle and injects a fresh packet with probability `rate`, up to a fixed
+/// per-endpoint budget, recording the in-network latency of every delivered
+/// packet. Unlike [`BatchDriver`] (which backpressures injection to keep
+/// queues short), offered load here is independent of network state, so
+/// latency inflation under faults is directly visible.
+pub struct LoadDriver {
+    pattern: Box<dyn TrafficPattern>,
+    rate: f64,
+    payload_bytes: usize,
+    remaining: Vec<u64>,
+    expected: u64,
+    delivered: u64,
+    rng: StdRng,
+    latencies: Vec<u64>,
+    /// Cycle of the final delivery (valid once done).
+    pub finish_cycle: u64,
+}
+
+impl std::fmt::Debug for LoadDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadDriver")
+            .field("rate", &self.rate)
+            .field("expected", &self.expected)
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl LoadDriver {
+    /// Creates a load driver: each endpoint injects `packets_per_endpoint`
+    /// packets drawn from `pattern`, offered at `rate` packets per cycle
+    /// per endpoint (16-byte payloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate <= 1`.
+    pub fn new(
+        sim: &Sim,
+        pattern: Box<dyn TrafficPattern>,
+        rate: f64,
+        packets_per_endpoint: u64,
+        seed: u64,
+    ) -> LoadDriver {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+        let n_eps = sim.cfg.num_endpoints();
+        let expected = packets_per_endpoint * n_eps as u64;
+        LoadDriver {
+            pattern,
+            rate,
+            payload_bytes: 16,
+            remaining: vec![packets_per_endpoint; n_eps],
+            expected,
+            delivered: 0,
+            rng: StdRng::seed_from_u64(seed),
+            latencies: Vec::with_capacity(expected as usize),
+            finish_cycle: 0,
+        }
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Mean in-network latency (injection to last-flit delivery) in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first delivery.
+    pub fn mean_latency(&self) -> f64 {
+        assert!(!self.latencies.is_empty(), "no deliveries recorded");
+        self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
+    }
+
+    /// Latency percentile in cycles (`q` in `[0, 1]`, e.g. 0.99 for p99),
+    /// by the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first delivery or for `q` outside `[0, 1]`.
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0, 1]");
+        assert!(!self.latencies.is_empty(), "no deliveries recorded");
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Delivered throughput in packets per cycle per endpoint over the full
+    /// run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the run completed.
+    pub fn throughput(&self) -> f64 {
+        assert!(self.delivered >= self.expected, "run not complete");
+        assert!(self.finish_cycle > 0, "no deliveries recorded");
+        self.expected as f64 / self.remaining.len() as f64 / self.finish_cycle as f64
+    }
+}
+
+impl Driver for LoadDriver {
+    fn pre_cycle(&mut self, sim: &mut Sim) {
+        for idx in 0..self.remaining.len() {
+            if self.remaining[idx] == 0 || !self.rng.gen_bool(self.rate) {
+                continue;
+            }
+            let src = sim.cfg.endpoint_at(idx);
+            let dst = self.pattern.sample_dst(&sim.cfg, src, &mut self.rng);
+            let pkt = Packet::write(src, dst, Payload::zeros(self.payload_bytes));
+            sim.inject(src, pkt);
+            self.remaining[idx] -= 1;
+        }
+    }
+
+    fn on_delivery(&mut self, sim: &mut Sim, delivery: &Delivery) {
+        if let Delivery::Packet(p) = delivery {
+            self.latencies.push(p.delivered_at - p.injected_at);
+            self.delivered += 1;
+            if self.delivered == self.expected {
+                self.finish_cycle = sim.now();
+            }
+        }
+    }
+
+    fn done(&self, _sim: &Sim) -> bool {
+        self.delivered >= self.expected
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Minimal pattern for driver unit tests: every packet targets its own
+    /// source endpoint.
+    #[derive(Debug)]
+    struct SelfPattern;
+
+    impl TrafficPattern for SelfPattern {
+        fn name(&self) -> String {
+            "self".into()
+        }
+
+        fn flows_from(
+            &self,
+            _cfg: &anton_core::config::MachineConfig,
+            src: GlobalEndpoint,
+        ) -> Vec<anton_core::pattern::Flow> {
+            vec![anton_core::pattern::Flow {
+                dst: src,
+                rate: 1.0,
+            }]
+        }
+
+        fn sample_dst(
+            &self,
+            _cfg: &anton_core::config::MachineConfig,
+            src: GlobalEndpoint,
+            _rng: &mut dyn rand::RngCore,
+        ) -> GlobalEndpoint {
+            src
+        }
+    }
+
+    #[test]
+    fn load_driver_percentiles_use_nearest_rank() {
+        let mut d = LoadDriver {
+            pattern: Box::new(SelfPattern),
+            rate: 0.5,
+            payload_bytes: 16,
+            remaining: vec![0],
+            expected: 0,
+            delivered: 0,
+            rng: StdRng::seed_from_u64(0),
+            latencies: vec![50, 10, 40, 20, 30],
+            finish_cycle: 0,
+        };
+        assert_eq!(d.latency_percentile(0.5), 30);
+        assert_eq!(d.latency_percentile(0.0), 10);
+        assert_eq!(d.latency_percentile(1.0), 50);
+        assert!((d.mean_latency() - 30.0).abs() < 1e-12);
+        d.latencies = vec![7];
+        assert_eq!(d.latency_percentile(0.99), 7);
+    }
 
     #[test]
     fn rate_driver_schedule_matches_rates() {

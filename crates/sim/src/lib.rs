@@ -13,12 +13,22 @@
 //!
 //! * [`sim`] — the simulator core ([`Sim`]);
 //! * [`driver`] — measurement workloads (batch throughput, ping-pong
-//!   latency, rate-controlled energy streams);
+//!   latency, rate-controlled energy streams, open-loop load);
 //! * [`metrics`] — typed metrics records: per-link-class utilization, VC
-//!   occupancy histograms, arbiter grant counts;
-//! * [`wire`] — credit-controlled channels;
+//!   occupancy histograms, arbiter grant counts, link-fault counters;
+//! * [`wire`] — credit-controlled channels, optionally wrapped in lossy
+//!   go-back-N link shims when a fault schedule is installed;
 //! * [`params`] — physical constants and calibration parameters;
 //! * [`state`] — in-flight packet state.
+//!
+//! # Self-checking invariants
+//!
+//! Every [`Sim::run`](sim::Sim::run) exit passes through an invariant audit:
+//! packet conservation (`created == terminated + live` at quiesce) and
+//! per-VC credit balance on every wire. A forward-progress watchdog turns
+//! silent deadlocks into a [`RunOutcome::Deadlock`](sim::RunOutcome) with a
+//! structured [`DeadlockReport`](sim::DeadlockReport) naming the stalled
+//! VCs, their head packets, and any link-shim backlogs.
 //!
 //! # Examples
 //!
@@ -49,7 +59,14 @@ pub mod sim;
 pub mod state;
 pub mod wire;
 
-pub use driver::{BatchDriver, BatchDriverBuilder, PayloadKind, PingPongDriver, RateDriver};
-pub use metrics::{ArbiterGrantCounts, LinkClass, LinkClassMetrics, Metrics, VcOccupancyHistogram};
+pub use driver::{
+    BatchDriver, BatchDriverBuilder, LoadDriver, PayloadKind, PingPongDriver, RateDriver,
+};
+pub use metrics::{
+    ArbiterGrantCounts, FaultMetrics, LinkClass, LinkClassMetrics, Metrics, VcOccupancyHistogram,
+};
 pub use params::{EnergyParams, LatencyParams, SimParams};
-pub use sim::{Delivery, Driver, EnergyCounters, PacketDelivery, RunOutcome, Sim, SimStats};
+pub use sim::{
+    DeadlockReport, Delivery, Driver, EnergyCounters, PacketDelivery, RunOutcome, Sim, SimStats,
+    StalledVc,
+};

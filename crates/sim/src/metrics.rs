@@ -14,6 +14,7 @@
 
 use anton_core::chip::LocalLink;
 use anton_core::trace::GlobalLink;
+use anton_fault::ShimStats;
 
 use crate::sim::{Sim, SimStats};
 use crate::wire::OCC_BUCKETS;
@@ -151,6 +152,24 @@ pub struct ArbiterGrantCounts {
     pub serializer: u64,
 }
 
+/// Aggregate link-layer fault counters across every lossy-link shim,
+/// present only when the simulation ran under a fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultMetrics {
+    /// Torus links carrying a lossy-link shim.
+    pub shimmed_links: usize,
+    /// Summed go-back-N counters across all shims.
+    pub totals: ShimStats,
+}
+
+impl FaultMetrics {
+    /// Fraction of data frames that were retransmissions (the link-layer
+    /// bandwidth overhead paid to recover from corruption).
+    pub fn retransmission_overhead(&self) -> f64 {
+        self.totals.retransmission_overhead()
+    }
+}
+
 /// A complete typed metrics record for one simulation.
 #[derive(Debug, Clone)]
 pub struct Metrics {
@@ -166,6 +185,9 @@ pub struct Metrics {
     pub vc_occupancy: Vec<VcOccupancyHistogram>,
     /// Arbiter grant counts.
     pub grants: ArbiterGrantCounts,
+    /// Link-layer fault counters; `None` when no fault schedule was
+    /// installed (ideal channels have no link-layer events to count).
+    pub fault: Option<FaultMetrics>,
 }
 
 impl Metrics {
@@ -175,7 +197,13 @@ impl Metrics {
         let cycles = now.max(1);
         let mut per_class: Vec<(usize, u64, u64)> = vec![(0, 0, 0); LinkClass::ALL.len()];
         let mut occ: Vec<Vec<[u64; OCC_BUCKETS]>> = vec![Vec::new(); LinkClass::ALL.len()];
+        let mut shimmed_links = 0usize;
+        let mut shim_totals = ShimStats::default();
         for wire in sim.wires() {
+            if let Some(stats) = wire.shim_stats() {
+                shimmed_links += 1;
+                shim_totals.merge(&stats);
+            }
             let ci = LinkClass::of(&wire.label) as usize;
             let (wires, flits, peak) = &mut per_class[ci];
             *wires += 1;
@@ -223,6 +251,10 @@ impl Metrics {
             link_classes,
             vc_occupancy,
             grants: sim.grant_counts(),
+            fault: (shimmed_links > 0).then_some(FaultMetrics {
+                shimmed_links,
+                totals: shim_totals,
+            }),
         }
     }
 

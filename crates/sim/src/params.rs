@@ -129,6 +129,12 @@ pub struct SimParams {
     /// Cycles without any flit movement (while packets are in flight) after
     /// which the watchdog declares deadlock.
     pub watchdog_cycles: u64,
+    /// Fault schedule for the external torus links. `None` (the default)
+    /// keeps every torus channel an ideal fixed-latency wire — the
+    /// simulator's behavior is bit-for-bit unchanged. `Some` installs a
+    /// lossy go-back-N link shim on every torus wire, driven by the
+    /// schedule's per-link BER and outage windows.
+    pub fault: Option<anton_fault::FaultSchedule>,
 }
 
 impl Default for SimParams {
@@ -143,6 +149,7 @@ impl Default for SimParams {
             collect_metrics: false,
             seed: 0xA2701,
             watchdog_cycles: 50_000,
+            fault: None,
         }
     }
 }

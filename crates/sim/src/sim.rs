@@ -254,6 +254,68 @@ pub enum RunOutcome {
     TimedOut,
 }
 
+/// One stalled head packet in a [`DeadlockReport`].
+#[derive(Debug, Clone)]
+pub struct StalledVc {
+    /// Wire whose receive buffer holds the packet.
+    pub link: GlobalLink,
+    /// Flattened VC index on that wire.
+    pub vc_index: u8,
+    /// Slab id of the stalled head packet.
+    pub packet: PacketId,
+    /// Flits the packet occupies.
+    pub flits: u8,
+    /// Cycle the packet entered the network.
+    pub injected_at: u64,
+    /// Human-readable routing progress ("where was this packet going").
+    pub route: String,
+}
+
+/// Structured diagnostic captured when the forward-progress watchdog trips:
+/// instead of hanging, the simulator records which VCs hold stalled head
+/// packets, where each was headed, and what the lossy link layer is still
+/// holding.
+#[derive(Debug, Clone, Default)]
+pub struct DeadlockReport {
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Packets still live in the network.
+    pub live_packets: usize,
+    /// Consecutive cycles without flit movement before the trip.
+    pub idle_cycles: u64,
+    /// Head packets of occupied VC buffers (capped; see `truncated`).
+    pub stalled: Vec<StalledVc>,
+    /// Occupied VC buffers beyond the report cap.
+    pub truncated: usize,
+    /// Flits stuck inside lossy-link shims, per torus wire.
+    pub shim_backlogs: Vec<(GlobalLink, u64)>,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "deadlock watchdog tripped at cycle {}: {} packets live after \
+             {} cycles without movement",
+            self.cycle, self.live_packets, self.idle_cycles
+        )?;
+        for s in &self.stalled {
+            writeln!(
+                f,
+                "  stalled {} vc{}: pkt{} ({} flits, injected @{}) {}",
+                s.link, s.vc_index, s.packet.0, s.flits, s.injected_at, s.route
+            )?;
+        }
+        if self.truncated > 0 {
+            writeln!(f, "  ... and {} more occupied VCs", self.truncated)?;
+        }
+        for (link, flits) in &self.shim_backlogs {
+            writeln!(f, "  link layer {link}: {flits} flits undelivered")?;
+        }
+        Ok(())
+    }
+}
+
 /// A workload driving the simulator: injects packets and consumes
 /// deliveries.
 pub trait Driver {
@@ -310,6 +372,7 @@ pub struct Sim {
     moved: bool,
     idle_cycles: u64,
     deadlocked: bool,
+    deadlock_report: Option<Box<DeadlockReport>>,
 }
 
 impl std::fmt::Debug for Sim {
@@ -446,6 +509,26 @@ impl Sim {
                     LinkGroup::T,
                 );
                 torus_wire.insert((n, c.index()), w);
+            }
+        }
+        // With a fault schedule, every external torus channel routes its
+        // flits through a lossy go-back-N link shim. Each link gets an
+        // independent RNG stream derived from the schedule seed and the
+        // link's dense index, so fault decisions are reproducible and
+        // independent of wire construction order.
+        if let Some(schedule) = &params.fault {
+            for (&(n, cidx), &w) in &torus_wire {
+                let node = NodeId(n);
+                let chan = ChanId::from_index(cidx);
+                let profile = schedule.profile(node, chan);
+                let seed = schedule.link_seed(cfg.torus_link_index(node, chan));
+                wires[w].install_shim(anton_fault::LinkShim::new(
+                    torus_latency,
+                    schedule.gbn,
+                    profile.ber,
+                    profile.downs,
+                    seed,
+                ));
             }
         }
 
@@ -613,6 +696,7 @@ impl Sim {
             moved: false,
             idle_cycles: 0,
             deadlocked: false,
+            deadlock_report: None,
         }
     }
 
@@ -859,17 +943,21 @@ impl Sim {
     }
 
     /// Runs until the driver completes, deadlock, or the cycle budget.
+    ///
+    /// Every exit path audits the self-checking invariants (packet
+    /// conservation and per-channel credit balance) and panics with a
+    /// diagnostic on violation, so every simulation is self-checking.
     pub fn run(&mut self, driver: &mut dyn Driver, max_cycles: u64) -> RunOutcome {
         let deadline = self.now + max_cycles;
         loop {
             if driver.done(self) {
-                return RunOutcome::Completed;
+                return self.audited(RunOutcome::Completed);
             }
             if self.deadlocked {
-                return RunOutcome::Deadlocked;
+                return self.audited(RunOutcome::Deadlocked);
             }
             if self.now >= deadline {
-                return RunOutcome::TimedOut;
+                return self.audited(RunOutcome::TimedOut);
             }
             driver.pre_cycle(self);
             self.step();
@@ -957,13 +1045,128 @@ impl Sim {
         mark(4, &mut t);
         if self.packets.live() > 0 && !self.moved {
             self.idle_cycles += 1;
-            if self.idle_cycles >= self.params.watchdog_cycles {
+            if self.idle_cycles >= self.params.watchdog_cycles && !self.deadlocked {
                 self.deadlocked = true;
+                let report = self.build_deadlock_report();
+                self.deadlock_report = Some(Box::new(report));
             }
         } else {
             self.idle_cycles = 0;
         }
+        debug_assert_eq!(
+            self.packets.created(),
+            self.packets.terminated() + self.packets.live() as u64,
+            "packet conservation violated at cycle {}",
+            self.now
+        );
         self.now += 1;
+    }
+
+    /// Audits the invariants at a run exit; panics with a diagnostic (and
+    /// the deadlock report, if one was captured) on violation.
+    fn audited(&self, outcome: RunOutcome) -> RunOutcome {
+        if let Err(e) = self.check_invariants() {
+            panic!(
+                "simulator invariant violated at {outcome:?}, cycle {}: {e}",
+                self.now
+            );
+        }
+        outcome
+    }
+
+    /// Cheap always-on self-checks, also run automatically at every
+    /// [`Sim::run`] exit:
+    ///
+    /// - **Packet conservation**: every packet ever created was either
+    ///   terminated (delivered, or absorbed into multicast copies) or is
+    ///   still live — and once the network has fully drained, nothing may
+    ///   remain live.
+    /// - **Credit balance**: on every wire and VC, sender credits plus
+    ///   flits in flight, inside the link layer, buffered, or returning as
+    ///   credits exactly equal the buffer depth.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let created = self.packets.created();
+        let terminated = self.packets.terminated();
+        let live = self.packets.live() as u64;
+        if created != terminated + live {
+            return Err(format!(
+                "packet conservation violated: {created} created != \
+                 {terminated} terminated + {live} live"
+            ));
+        }
+        for w in &self.wires {
+            w.check_credit_balance()?;
+        }
+        let quiescent = self.wires.iter().all(|w| w.is_quiescent())
+            && self.handler_heap.is_empty()
+            && self
+                .eps
+                .iter()
+                .all(|e| e.inject.is_empty() && e.repl.is_empty())
+            && self.chans.iter().all(|c| c.repl.is_empty());
+        if quiescent && live != 0 {
+            return Err(format!(
+                "packet conservation violated at quiesce: network drained \
+                 with {live} packets still live"
+            ));
+        }
+        Ok(())
+    }
+
+    /// The structured diagnostic captured when the deadlock watchdog
+    /// tripped; `None` while the network is making progress.
+    pub fn deadlock_report(&self) -> Option<&DeadlockReport> {
+        self.deadlock_report.as_deref()
+    }
+
+    fn build_deadlock_report(&self) -> DeadlockReport {
+        const CAP: usize = 64;
+        let mut report = DeadlockReport {
+            cycle: self.now,
+            live_packets: self.packets.live(),
+            idle_cycles: self.idle_cycles,
+            ..DeadlockReport::default()
+        };
+        for w in &self.wires {
+            let backlog = w.shim_backlog();
+            if backlog > 0 {
+                report.shim_backlogs.push((w.label, backlog));
+            }
+            let mask = w.occupied_mask();
+            for vc in 0..w.num_vcs() as u8 {
+                if mask & (1 << vc) == 0 {
+                    continue;
+                }
+                let Some(entry) = w.head(self.now, vc) else {
+                    continue;
+                };
+                if report.stalled.len() >= CAP {
+                    report.truncated += 1;
+                    continue;
+                }
+                let route = match self.packets.get(entry.pkt).route {
+                    RouteProgress::Unicast { spec, dst } => format!(
+                        "unicast to n{}:e{}, remaining offsets {:?}",
+                        dst.node.0, dst.ep.0, spec.offsets
+                    ),
+                    RouteProgress::McExit { dir, slice, .. } => {
+                        format!("multicast exit {:?} slice {}", dir, slice.0)
+                    }
+                    RouteProgress::McDeliver { ep, .. } => {
+                        format!("multicast delivery to e{}", ep.0)
+                    }
+                };
+                report.stalled.push(StalledVc {
+                    link: w.label,
+                    vc_index: vc,
+                    packet: entry.pkt,
+                    flits: entry.flits,
+                    injected_at: entry.age,
+                    route,
+                });
+            }
+        }
+        report
     }
 
     // ----- routing helpers -------------------------------------------------

@@ -76,6 +76,10 @@ pub struct PacketSlab {
     slots: Vec<Option<PacketState>>,
     free: Vec<u32>,
     live: usize,
+    /// Packets ever inserted (multicast copies count individually).
+    created: u64,
+    /// Packets ever removed (delivered or absorbed into copies).
+    terminated: u64,
 }
 
 impl PacketSlab {
@@ -87,6 +91,7 @@ impl PacketSlab {
     /// Inserts a packet, returning its id.
     pub fn insert(&mut self, state: PacketState) -> PacketId {
         self.live += 1;
+        self.created += 1;
         if let Some(idx) = self.free.pop() {
             self.slots[idx as usize] = Some(state);
             PacketId(idx)
@@ -105,6 +110,7 @@ impl PacketSlab {
         let state = self.slots[id.0 as usize].take().expect("stale packet id");
         self.free.push(id.0);
         self.live -= 1;
+        self.terminated += 1;
         state
     }
 
@@ -129,6 +135,16 @@ impl PacketSlab {
     /// Number of live packets.
     pub fn live(&self) -> usize {
         self.live
+    }
+
+    /// Packets ever inserted into the slab.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Packets ever removed from the slab.
+    pub fn terminated(&self) -> u64 {
+        self.terminated
     }
 }
 

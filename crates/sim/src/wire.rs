@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 
 use anton_core::trace::GlobalLink;
 use anton_core::vc::{TrafficClass, Vc};
+use anton_fault::{LinkShim, ShimStats};
 
 use crate::state::PacketId;
 
@@ -51,6 +52,16 @@ impl OccTracker {
         self.last_change[vcidx] = now;
         self.occupancy[vcidx] = (i32::from(self.occupancy[vcidx]) + delta) as u16;
     }
+}
+
+/// A lossy-link shim installed on a wire, plus the packets currently
+/// crossing it. The shim tracks flits; this queue keeps the matching
+/// entries in FIFO order (go-back-N delivery is strictly in-order, so the
+/// head of this queue is always the next packet to complete).
+#[derive(Debug)]
+struct ShimState {
+    shim: LinkShim,
+    queue: VecDeque<(BufEntry, u8)>,
 }
 
 /// Scheduling metadata carried alongside a buffered packet.
@@ -103,6 +114,9 @@ pub struct Wire {
     occupied: u16,
     /// Occupancy histogram state; `None` unless metrics collection is on.
     occ: Option<Box<OccTracker>>,
+    /// Lossy-link shim; `None` (the ideal fixed-latency channel) unless a
+    /// fault schedule installed one.
+    shim: Option<Box<ShimState>>,
 }
 
 impl Wire {
@@ -134,7 +148,31 @@ impl Wire {
             flits_carried: 0,
             occupied: 0,
             occ: None,
+            shim: None,
         }
+    }
+
+    /// Replaces the ideal channel with a lossy go-back-N link model. Call
+    /// before any traffic flows.
+    pub fn install_shim(&mut self, shim: LinkShim) {
+        assert!(
+            self.in_flight.is_empty() && self.occupied == 0,
+            "cannot install a shim on a wire carrying traffic"
+        );
+        self.shim = Some(Box::new(ShimState {
+            shim,
+            queue: VecDeque::new(),
+        }));
+    }
+
+    /// This wire's lossy-link counters, if a shim is installed.
+    pub fn shim_stats(&self) -> Option<ShimStats> {
+        self.shim.as_ref().map(|s| s.shim.stats())
+    }
+
+    /// Flits held inside the lossy-link shim (0 without a shim).
+    pub fn shim_backlog(&self) -> u64 {
+        self.shim.as_ref().map_or(0, |s| s.shim.backlog_flits())
     }
 
     /// Turns on time-weighted per-VC occupancy tracking (see
@@ -197,9 +235,17 @@ impl Wire {
         );
         self.credits[vcidx as usize] -= flits;
         self.flits_carried += u64::from(flits);
+        entry.rc_port = 0xFF;
+        if let Some(s) = &mut self.shim {
+            // Lossy path: the packet's flits cross the go-back-N link; the
+            // entry waits in the shim queue until the link layer delivers
+            // its last flit.
+            s.queue.push_back((entry, vcidx));
+            s.shim.enqueue(now, flits);
+            return;
+        }
         let tail_arrival = now + self.latency + u64::from(flits) - 1;
         entry.ready_at = tail_arrival + self.rx_pipeline;
-        entry.rc_port = 0xFF;
         self.in_flight.push_back((tail_arrival, entry, vcidx));
     }
 
@@ -237,6 +283,23 @@ impl Wire {
             self.bufs[vcidx as usize].push_back(entry);
             self.occupied |= 1 << vcidx;
         }
+        if let Some(s) = &mut self.shim {
+            let completed = s.shim.advance(now);
+            for _ in 0..completed {
+                let (mut entry, vcidx) = s
+                    .queue
+                    .pop_front()
+                    .expect("shim completed a packet the wire never queued");
+                entry.ready_at = now + self.rx_pipeline;
+                arrival_ready =
+                    Some(arrival_ready.map_or(entry.ready_at, |r: u64| r.max(entry.ready_at)));
+                if let Some(t) = &mut self.occ {
+                    t.note(now, vcidx as usize, 1);
+                }
+                self.bufs[vcidx as usize].push_back(entry);
+                self.occupied |= 1 << vcidx;
+            }
+        }
         (arrival_ready, credited)
     }
 
@@ -244,7 +307,9 @@ impl Wire {
     /// tick).
     #[inline]
     pub fn idle(&self) -> bool {
-        self.in_flight.is_empty() && self.credit_returns.is_empty()
+        self.in_flight.is_empty()
+            && self.credit_returns.is_empty()
+            && self.shim.as_ref().is_none_or(|s| s.shim.idle())
     }
 
     /// Bitmask of VC indices with nonempty receive buffers (heads may still
@@ -297,7 +362,47 @@ impl Wire {
 
     /// Whether any packet sits in flight or buffered.
     pub fn is_quiescent(&self) -> bool {
-        self.in_flight.is_empty() && self.occupied == 0
+        self.in_flight.is_empty()
+            && self.occupied == 0
+            && self.shim.as_ref().is_none_or(|s| s.queue.is_empty())
+    }
+
+    /// Verifies per-VC credit conservation: for every VC, the sender's
+    /// credits plus every flit the wire is accountable for (in flight,
+    /// inside the shim, buffered at the receiver, or returning as credits)
+    /// must equal the buffer depth. Returns a diagnostic on violation.
+    pub fn check_credit_balance(&self) -> Result<(), String> {
+        for vc in 0..self.num_vcs() {
+            let mut total = u32::from(self.credits[vc]);
+            for &(_, vcidx, flits) in &self.credit_returns {
+                if usize::from(vcidx) == vc {
+                    total += u32::from(flits);
+                }
+            }
+            for &(_, entry, vcidx) in &self.in_flight {
+                if usize::from(vcidx) == vc {
+                    total += u32::from(entry.flits);
+                }
+            }
+            for entry in &self.bufs[vc] {
+                total += u32::from(entry.flits);
+            }
+            if let Some(s) = &self.shim {
+                for &(entry, vcidx) in &s.queue {
+                    if usize::from(vcidx) == vc {
+                        total += u32::from(entry.flits);
+                    }
+                }
+            }
+            if total != u32::from(self.depth) {
+                return Err(format!(
+                    "credit imbalance on {} vc {vc}: accounted {total} flits \
+                     against depth {}",
+                    self.label, self.depth
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -446,6 +551,67 @@ mod tests {
         let mut w = wire(1, 2);
         w.send(0, entry(1, 2), 0);
         w.send(0, entry(2, 1), 0);
+    }
+
+    #[test]
+    fn shim_at_zero_ber_matches_ideal_wire_cycle_for_cycle() {
+        use anton_link::gobackn::GoBackNConfig;
+        let gbn = GoBackNConfig {
+            window: 64,
+            timeout: 192,
+        };
+        let mut ideal = wire(44, 8);
+        let mut lossy = wire(44, 8);
+        lossy.install_shim(LinkShim::new(44, gbn, 0.0, Vec::new(), 1));
+        // A single-flit and a two-flit packet, spaced like the serializer
+        // would emit them (≥ 45/14 cycles apart per flit).
+        for w in [&mut ideal, &mut lossy] {
+            w.send(5, entry(1, 1), 0);
+        }
+        let mut popped = 0;
+        for t in 5..400u64 {
+            if t == 12 {
+                for w in [&mut ideal, &mut lossy] {
+                    w.send(t, entry(2, 2), 3);
+                }
+            }
+            let (ra, ca) = ideal.tick(t);
+            let (rb, cb) = lossy.tick(t);
+            assert_eq!(ra, rb, "arrival wakeups diverge at cycle {t}");
+            assert_eq!(ca, cb, "credit wakeups diverge at cycle {t}");
+            for vc in [0u8, 3] {
+                if ideal.head(t, vc).is_some() {
+                    let a = ideal.pop(t, vc);
+                    let b = lossy.pop(t, vc);
+                    assert_eq!(a, b, "delivered entries diverge at cycle {t}");
+                    popped += 1;
+                }
+            }
+        }
+        assert_eq!(popped, 2, "both packets must arrive");
+        ideal.check_credit_balance().unwrap();
+        lossy.check_credit_balance().unwrap();
+    }
+
+    #[test]
+    fn credit_balance_accounts_for_shim_queue() {
+        use anton_link::gobackn::GoBackNConfig;
+        let gbn = GoBackNConfig {
+            window: 64,
+            timeout: 192,
+        };
+        let mut w = wire(10, 6);
+        // Link down forever: flits stay inside the shim, credits stay spent.
+        w.install_shim(LinkShim::new(10, gbn, 0.0, vec![(0, u64::MAX)], 1));
+        w.send(0, entry(1, 2), 0);
+        for t in 1..100 {
+            w.tick(t);
+        }
+        assert!(!w.can_send(0, 5));
+        assert_eq!(w.shim_backlog(), 2);
+        w.check_credit_balance().unwrap();
+        assert!(!w.idle(), "a stuck shim must keep the wire active");
+        assert!(!w.is_quiescent());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! * [`anton_core`] — topology, routing, VC promotion, multicast, packets;
 //! * [`anton_arbiter`] — the inverse-weighted arbiter and baselines;
 //! * [`anton_link`] — the SerDes link layer (framing, CRC, go-back-N);
+//! * [`anton_fault`] — fault injection: deterministic lossy-link schedules
+//!   and the go-back-N shim embedded in the simulator's torus channels;
 //! * [`anton_traffic`] — evaluation traffic patterns and MD workloads;
 //! * [`anton_analysis`] — channel loads, worst-case search, weights,
 //!   deadlock graphs;
@@ -52,8 +54,9 @@ pub mod prelude {
     pub use anton_core::config::MachineConfig;
     pub use anton_core::pattern::TrafficPattern;
     pub use anton_core::topology::TorusShape;
+    pub use anton_fault::{FaultKind, FaultSchedule};
     pub use anton_sim::driver::{
-        BatchDriver, BatchDriverBuilder, PayloadKind, PingPongDriver, RateDriver,
+        BatchDriver, BatchDriverBuilder, LoadDriver, PayloadKind, PingPongDriver, RateDriver,
     };
     pub use anton_sim::metrics::{LinkClass, Metrics};
     pub use anton_sim::params::{EnergyParams, LatencyParams, SimParams};
@@ -70,6 +73,7 @@ pub use anton_area;
 pub use anton_bench;
 pub use anton_core;
 pub use anton_energy;
+pub use anton_fault;
 pub use anton_link;
 pub use anton_pack;
 pub use anton_sim;
