@@ -1,0 +1,100 @@
+//! Criterion benchmarks over the simulator kernel hot path: one benchmark
+//! per (workload, machine size) pair, mirroring the `bench_kernel` binary's
+//! suite (uniform batch, nearest-neighbor batch, fault-sweep open loop,
+//! ping-pong latency) at small (2×2×2) and medium (4×4×4) sizes.
+//!
+//! Workload sizes here are trimmed relative to `bench_kernel` so the
+//! `cargo test` smoke pass (each body runs once) stays fast; for the
+//! acceptance-gate numbers use `bench_kernel --reps 3`, which exports
+//! `BENCH_sim.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anton_core::chip::LocalEndpointId;
+use anton_core::config::MachineConfig;
+use anton_core::topology::{NodeId, TorusShape};
+use anton_core::GlobalEndpoint;
+use anton_fault::FaultSchedule;
+use anton_sim::driver::{BatchDriver, LoadDriver, PingPongDriver};
+use anton_sim::params::SimParams;
+use anton_sim::sim::{RunOutcome, Sim};
+use anton_traffic::patterns::{NHopNeighbor, UniformRandom};
+
+const SEED: u64 = 42;
+
+fn run_batch(k: u8, uniform: bool, packets: u64) -> u64 {
+    let cfg = MachineConfig::new(TorusShape::cube(k));
+    let mut sim = Sim::new(cfg, SimParams::default());
+    let mut drv = BatchDriver::builder(&sim)
+        .pattern(if uniform {
+            Box::new(UniformRandom)
+        } else {
+            Box::new(NHopNeighbor::new(1))
+        })
+        .packets_per_endpoint(packets)
+        .seed(SEED)
+        .build();
+    assert_eq!(sim.run(&mut drv, 600_000_000), RunOutcome::Completed);
+    sim.now()
+}
+
+fn run_fault(k: u8, packets: u64) -> u64 {
+    let cfg = MachineConfig::new(TorusShape::cube(k));
+    let params = SimParams {
+        fault: Some(FaultSchedule::uniform(7, 1e-4)),
+        ..SimParams::default()
+    };
+    let mut sim = Sim::new(cfg, params);
+    let mut drv = LoadDriver::new(&sim, Box::new(UniformRandom), 0.1, packets, SEED);
+    assert_eq!(sim.run(&mut drv, 600_000_000), RunOutcome::Completed);
+    sim.now()
+}
+
+fn run_latency(k: u8, legs: u32) -> u64 {
+    let cfg = MachineConfig::new(TorusShape::cube(k));
+    let mut sim = Sim::new(cfg, SimParams::default());
+    let nn = sim.cfg.shape.num_nodes() as u32;
+    let pairs: Vec<(GlobalEndpoint, GlobalEndpoint)> = (0..4u32)
+        .map(|i| {
+            (
+                GlobalEndpoint {
+                    node: NodeId(i % nn),
+                    ep: LocalEndpointId(0),
+                },
+                GlobalEndpoint {
+                    node: NodeId((nn / 2 + i) % nn),
+                    ep: LocalEndpointId(0),
+                },
+            )
+        })
+        .collect();
+    let mut drv = PingPongDriver::new(pairs, legs);
+    assert_eq!(sim.run(&mut drv, 600_000_000), RunOutcome::Completed);
+    sim.now()
+}
+
+fn bench_kernel_small(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/small");
+    g.sample_size(10);
+    g.bench_function("uniform", |b| b.iter(|| black_box(run_batch(2, true, 24))));
+    g.bench_function("neighbor", |b| {
+        b.iter(|| black_box(run_batch(2, false, 24)))
+    });
+    g.bench_function("fault", |b| b.iter(|| black_box(run_fault(2, 16))));
+    g.bench_function("latency", |b| b.iter(|| black_box(run_latency(2, 100))));
+    g.finish();
+}
+
+fn bench_kernel_medium(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/medium");
+    g.sample_size(10);
+    g.bench_function("uniform", |b| b.iter(|| black_box(run_batch(4, true, 8))));
+    g.bench_function("neighbor", |b| b.iter(|| black_box(run_batch(4, false, 8))));
+    g.bench_function("fault", |b| b.iter(|| black_box(run_fault(4, 6))));
+    g.bench_function("latency", |b| b.iter(|| black_box(run_latency(4, 60))));
+    g.finish();
+}
+
+criterion_group!(kernel_benches, bench_kernel_small, bench_kernel_medium);
+criterion_main!(kernel_benches);

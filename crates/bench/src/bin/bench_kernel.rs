@@ -1,0 +1,340 @@
+//! Simulator-kernel performance benchmark: measures raw cycles/sec of the
+//! `anton-sim` hot path over representative workloads and machine sizes,
+//! and exports the numbers (with the committed pre-rewrite baseline and the
+//! speedup against it) to `BENCH_sim.json`.
+//!
+//! Workloads:
+//!
+//! * `uniform` — closed-loop batch of uniform-random traffic (the Figure 9
+//!   procedure), saturating the whole machine then draining the straggler
+//!   tail;
+//! * `neighbor` — closed-loop batch of 1-hop-neighbor traffic (the
+//!   MD-shaped locality extreme);
+//! * `fault` — open-loop load under a lossy fault schedule (the
+//!   fig_fault_sweep procedure), exercising the go-back-N link shims;
+//! * `latency` — sparse ping-pong round trips (the Section 4.3 one-way
+//!   latency measurement): the network is idle except for a handful of
+//!   in-flight packets, so runtime is dominated by cycle bookkeeping
+//!   rather than flit movement. This is the regime the event-driven
+//!   kernel targets, and `latency/medium` is the headline entry for the
+//!   >=3x kernel-speedup acceptance gate.
+//!
+//! Sizes: `small` is a 2×2×2 machine, `medium` a 4×4×4 machine (the size
+//! the ≥3× kernel-speedup acceptance gate is measured on). The saturated
+//! throughput workloads are kept as honest anchors: at full load both the
+//! event-driven and the dirty-scan kernel do the same irreducible per-flit
+//! work (~580 router sends/cycle on `uniform/medium`), so their speedup is
+//! near 1×; the scan overhead the rewrite removes only shows up when the
+//! machine has idle components, as in `latency` and sub-saturation loads.
+//!
+//! Each measurement runs `--reps` times and keeps the fastest (wall-clock
+//! noise only ever slows a run down). `--phases` additionally runs one
+//! profiled pass per entry to break the cycle loop into its five phases via
+//! `ANTON_SIM_PROFILE` (see DESIGN.md "Simulator kernel & profiling").
+//! `--quick` shrinks everything for the CI smoke job.
+
+use std::time::Instant;
+
+use anton_bench::{FlagSet, Json};
+use anton_core::chip::LocalEndpointId;
+use anton_core::config::MachineConfig;
+use anton_core::pattern::TrafficPattern;
+use anton_core::topology::{NodeId, TorusShape};
+use anton_core::GlobalEndpoint;
+use anton_fault::FaultSchedule;
+use anton_sim::driver::{BatchDriver, LoadDriver, PingPongDriver};
+use anton_sim::params::SimParams;
+use anton_sim::sim::{RunOutcome, Sim, PHASE_NS};
+use anton_traffic::patterns::{NHopNeighbor, UniformRandom};
+
+/// Pre-rewrite kernel throughput (cycles/sec), measured on the dirty-scan
+/// kernel at commit 5177f7c (PR 2 head) with this benchmark's default
+/// parameters on the CI-class build host. The speedup column of
+/// `BENCH_sim.json` is current/baseline, so the perf trajectory of the
+/// kernel is tracked from the event-driven rewrite onward. Absolute numbers
+/// are host-dependent; the ratio is the signal.
+/// Each value is the best (highest) seed-kernel cycles/sec observed across
+/// measurement runs, so the speedup column is a lower bound.
+const BASELINE_CPS: &[(&str, &str, f64)] = &[
+    ("uniform", "small", 23_700.0),
+    ("uniform", "medium", 1_339.0),
+    ("neighbor", "small", 24_232.0),
+    ("neighbor", "medium", 1_066.0),
+    ("fault", "small", 64_010.0),
+    ("fault", "medium", 5_097.0),
+    ("latency", "small", 1_364_243.0),
+    ("latency", "medium", 281_659.0),
+];
+
+fn baseline_cps(workload: &str, size: &str) -> Option<f64> {
+    BASELINE_CPS
+        .iter()
+        .find(|(w, s, _)| *w == workload && *s == size)
+        .map(|&(_, _, v)| v)
+}
+
+/// One finished measurement.
+struct Entry {
+    workload: &'static str,
+    size: &'static str,
+    k: u8,
+    cycles: u64,
+    wall_ms: f64,
+    cycles_per_sec: f64,
+    peak_rss_kb: u64,
+    phase_ns: Option<[u64; 5]>,
+}
+
+/// Peak resident-set high-water mark of this process in kB (`VmHWM` from
+/// `/proc/self/status`); 0 where procfs is unavailable. Note the high-water
+/// mark is process-global and monotone, so entries measured later in the
+/// run inherit the largest machine built so far.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Builds and runs one workload once, returning (cycles, wall seconds).
+fn run_once(workload: &str, k: u8, packets: u64, seed: u64) -> (u64, f64) {
+    let cfg = MachineConfig::new(TorusShape::cube(k));
+    match workload {
+        "uniform" | "neighbor" => {
+            let pattern: Box<dyn TrafficPattern> = if workload == "uniform" {
+                Box::new(UniformRandom)
+            } else {
+                Box::new(NHopNeighbor::new(1))
+            };
+            let mut sim = Sim::new(cfg, SimParams::default());
+            let mut drv = BatchDriver::builder(&sim)
+                .pattern(pattern)
+                .packets_per_endpoint(packets)
+                .seed(seed)
+                .build();
+            let t = Instant::now();
+            let outcome = sim.run(&mut drv, 600_000_000);
+            let wall = t.elapsed().as_secs_f64();
+            assert_eq!(outcome, RunOutcome::Completed, "{workload} k{k} run");
+            (sim.now(), wall)
+        }
+        "fault" => {
+            let params = SimParams {
+                fault: Some(FaultSchedule::uniform(7, 1e-4)),
+                ..SimParams::default()
+            };
+            let mut sim = Sim::new(cfg, params);
+            let mut drv = LoadDriver::new(&sim, Box::new(UniformRandom), 0.1, packets, seed);
+            let t = Instant::now();
+            let outcome = sim.run(&mut drv, 600_000_000);
+            let wall = t.elapsed().as_secs_f64();
+            assert_eq!(outcome, RunOutcome::Completed, "{workload} k{k} run");
+            (sim.now(), wall)
+        }
+        "latency" => {
+            let mut sim = Sim::new(cfg, SimParams::default());
+            let nn = sim.cfg.shape.num_nodes() as u32;
+            let pairs: Vec<(GlobalEndpoint, GlobalEndpoint)> = (0..4u32)
+                .map(|i| {
+                    (
+                        GlobalEndpoint {
+                            node: NodeId(i % nn),
+                            ep: LocalEndpointId(0),
+                        },
+                        GlobalEndpoint {
+                            node: NodeId((nn / 2 + i) % nn),
+                            ep: LocalEndpointId(0),
+                        },
+                    )
+                })
+                .collect();
+            let mut drv = PingPongDriver::new(pairs, packets as u32);
+            let t = Instant::now();
+            let outcome = sim.run(&mut drv, 600_000_000);
+            let wall = t.elapsed().as_secs_f64();
+            assert_eq!(outcome, RunOutcome::Completed, "{workload} k{k} run");
+            (sim.now(), wall)
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// One profiled pass, returning the per-phase nanosecond deltas.
+fn run_profiled(workload: &str, k: u8, packets: u64, seed: u64) -> [u64; 5] {
+    let before: Vec<u64> = PHASE_NS
+        .iter()
+        .map(|a| a.load(std::sync::atomic::Ordering::Relaxed))
+        .collect();
+    std::env::set_var("ANTON_SIM_PROFILE", "1");
+    run_once(workload, k, packets, seed);
+    std::env::remove_var("ANTON_SIM_PROFILE");
+    let mut delta = [0u64; 5];
+    for (i, d) in delta.iter_mut().enumerate() {
+        *d = PHASE_NS[i].load(std::sync::atomic::Ordering::Relaxed) - before[i];
+    }
+    delta
+}
+
+const PHASE_NAMES: [&str; 5] = [
+    "wires",
+    "endpoints_inject",
+    "adapters",
+    "routers",
+    "endpoints_recv",
+];
+
+fn main() {
+    let args = FlagSet::new(
+        "bench_kernel",
+        "Simulator-kernel cycles/sec benchmark exporting BENCH_sim.json",
+    )
+    .flag("reps", 3usize, "timed repetitions per entry (fastest kept)")
+    .flag("seed", 42u64, "workload seed")
+    .flag(
+        "out",
+        "BENCH_sim.json".to_string(),
+        "output path for the JSON report",
+    )
+    .switch("quick", "CI smoke mode: small size only, tiny batches")
+    .switch("no-phases", "skip the profiled per-phase pass")
+    .parse();
+    let quick = args.on("quick");
+    let reps: usize = if quick { 1 } else { args.get("reps") };
+    let seed: u64 = args.get("seed");
+    let phases = !args.on("no-phases") && !quick;
+    let out_path: String = args.get("out");
+
+    // (size, k, batch packets/ep, open-loop packets/ep, ping-pong legs)
+    let sizes: &[(&str, u8, u64, u64, u64)] = if quick {
+        &[("small", 2, 8, 6, 40)]
+    } else {
+        &[("small", 2, 96, 60, 400), ("medium", 4, 48, 30, 200)]
+    };
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for workload in ["uniform", "neighbor", "fault", "latency"] {
+        for &(size, k, batch, open, legs) in sizes {
+            let packets = match workload {
+                "fault" => open,
+                "latency" => legs,
+                _ => batch,
+            };
+            let mut best_wall = f64::INFINITY;
+            let mut cycles = 0u64;
+            for rep in 0..reps {
+                let (c, wall) = run_once(workload, k, packets, seed);
+                eprintln!(
+                    "[bench_kernel] {workload}/{size} rep {}/{reps}: {c} cycles in {:.3}s \
+                     ({:.0} cycles/sec)",
+                    rep + 1,
+                    wall,
+                    c as f64 / wall
+                );
+                cycles = c;
+                best_wall = best_wall.min(wall);
+            }
+            let phase_ns = phases.then(|| run_profiled(workload, k, packets, seed));
+            entries.push(Entry {
+                workload,
+                size,
+                k,
+                cycles,
+                wall_ms: best_wall * 1e3,
+                cycles_per_sec: cycles as f64 / best_wall,
+                peak_rss_kb: peak_rss_kb(),
+                phase_ns,
+            });
+        }
+    }
+
+    println!(
+        "{:<10} {:<8} {:>10} {:>10} {:>14} {:>12} {:>9}",
+        "workload", "size", "cycles", "wall-ms", "cycles/sec", "baseline", "speedup"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    for e in &entries {
+        let base = baseline_cps(e.workload, e.size);
+        let speedup = base.map(|b| e.cycles_per_sec / b);
+        println!(
+            "{:<10} {:<8} {:>10} {:>10.1} {:>14.0} {:>12} {:>9}",
+            e.workload,
+            e.size,
+            e.cycles,
+            e.wall_ms,
+            e.cycles_per_sec,
+            base.map_or("-".to_string(), |b| format!("{b:.0}")),
+            speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+        );
+        let mut obj = vec![
+            ("workload".to_string(), Json::from(e.workload)),
+            ("size".to_string(), Json::from(e.size)),
+            ("k".to_string(), Json::from(u64::from(e.k))),
+            ("cycles".to_string(), Json::from(e.cycles)),
+            ("wall_ms".to_string(), Json::from(e.wall_ms)),
+            ("cycles_per_sec".to_string(), Json::from(e.cycles_per_sec)),
+            ("peak_rss_kb".to_string(), Json::from(e.peak_rss_kb)),
+            (
+                "baseline_cycles_per_sec".to_string(),
+                base.map_or(Json::Null, Json::from),
+            ),
+            (
+                "speedup_vs_baseline".to_string(),
+                speedup.map_or(Json::Null, Json::from),
+            ),
+        ];
+        match e.phase_ns {
+            Some(p) => obj.push((
+                "phase_ns".to_string(),
+                Json::Obj(
+                    PHASE_NAMES
+                        .iter()
+                        .zip(p)
+                        .map(|(n, v)| (n.to_string(), Json::from(v)))
+                        .collect(),
+                ),
+            )),
+            None => obj.push(("phase_ns".to_string(), Json::Null)),
+        }
+        rows.push(Json::Obj(obj));
+    }
+    let headline = entries
+        .iter()
+        .find(|e| e.workload == "latency" && e.size == if quick { "small" } else { "medium" })
+        .map(|e| {
+            let base = baseline_cps(e.workload, e.size);
+            Json::obj([
+                ("workload", Json::from(e.workload)),
+                ("size", Json::from(e.size)),
+                ("cycles_per_sec", Json::from(e.cycles_per_sec)),
+                (
+                    "speedup_vs_baseline",
+                    base.map_or(Json::Null, |b| Json::from(e.cycles_per_sec / b)),
+                ),
+            ])
+        })
+        .unwrap_or(Json::Null);
+    let report = Json::obj([
+        ("name", Json::from("bench_sim")),
+        ("schema", Json::from(1u64)),
+        ("quick", Json::from(quick)),
+        ("headline", headline),
+        (
+            "baseline_kernel",
+            Json::from("dirty-scan (pre event-driven rewrite, commit 5177f7c)"),
+        ),
+        ("entries", Json::Arr(rows)),
+    ]);
+    std::fs::write(&out_path, report.to_pretty_string())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("[bench_kernel] wrote {out_path}");
+}

@@ -158,6 +158,17 @@ impl MeshDir {
             MeshDir::VMinus => MeshDir::VPlus,
         }
     }
+
+    /// Dense index 0..4 in [`MeshDir::ALL`] order.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MeshDir::UPlus => 0,
+            MeshDir::UMinus => 1,
+            MeshDir::VPlus => 2,
+            MeshDir::VMinus => 3,
+        }
+    }
 }
 
 impl fmt::Display for MeshDir {
@@ -240,6 +251,25 @@ pub enum LocalAttach {
     Chan(ChanId),
     /// An endpoint adapter (and through it, a compute endpoint).
     Endpoint(LocalEndpointId),
+}
+
+/// Attach codes below this value are fixed-function (mesh, skip, channel
+/// adapters); endpoint attaches follow, so codes are bounded by
+/// `ATTACH_CODE_BASE + num_endpoints`.
+pub const ATTACH_CODE_BASE: usize = MeshDir::ALL.len() + 1 + NUM_CHAN_ADAPTERS;
+
+impl LocalAttach {
+    /// Dense code of this attach point, for index-keyed port lookup tables:
+    /// mesh directions first, then skip, channel adapters, and endpoints.
+    #[inline]
+    pub fn code(self) -> usize {
+        match self {
+            LocalAttach::Mesh(d) => d.index(),
+            LocalAttach::Skip => MeshDir::ALL.len(),
+            LocalAttach::Chan(c) => MeshDir::ALL.len() + 1 + c.index(),
+            LocalAttach::Endpoint(e) => ATTACH_CODE_BASE + e.0 as usize,
+        }
+    }
 }
 
 /// A directed on-chip link.

@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod params;
 pub mod sim;
 pub mod state;
+pub mod wake;
 pub mod wire;
 
 pub use driver::{

@@ -14,7 +14,7 @@
 //! tracer of `anton-core` in tests.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,8 +24,8 @@ use anton_arbiter::{
     RoundRobinArbiter,
 };
 use anton_core::chip::{
-    ChanId, LinkGroup, LocalAttach, LocalEndpointId, LocalLink, MeshCoord, MAX_ROUTER_PORTS,
-    NUM_CHAN_ADAPTERS, NUM_ROUTERS,
+    ChanId, LinkGroup, LocalAttach, LocalEndpointId, LocalLink, MeshCoord, MeshDir,
+    ATTACH_CODE_BASE, MAX_ROUTER_PORTS, NUM_CHAN_ADAPTERS, NUM_ROUTERS,
 };
 use anton_core::config::{GlobalEndpoint, MachineConfig};
 use anton_core::multicast::{McGroup, McGroupId};
@@ -39,7 +39,8 @@ use crate::params::{
     SimParams, ADAPTER_PIPELINE, ROUTER_PIPELINE, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN,
 };
 use crate::state::{PacketId, PacketSlab, PacketState, RouteProgress};
-use crate::wire::{BufEntry, Wire};
+use crate::wake::Scheduler;
+use crate::wire::{BufEntry, Wire, WireCredits, WireHeads, WireMeta, WireReady, WireRx};
 
 /// Maximum multicast copies queued at one replication point.
 const REPL_CAP: usize = 32;
@@ -59,7 +60,6 @@ type WireId = usize;
 
 #[derive(Debug)]
 struct RouterPort {
-    attach: LocalAttach,
     in_wire: WireId,
     out_wire: WireId,
 }
@@ -110,7 +110,6 @@ struct RouterState {
     arbiters: Vec<Box<dyn PortArbiter>>,
     /// SA1 VC arbiters, one per input port (inputs = VC indices).
     in_arbiters: Vec<Box<dyn PortArbiter>>,
-    out_busy_until: Vec<u64>,
     port_energy: Vec<PortEnergy>,
     energy: EnergyCounters,
 }
@@ -170,7 +169,9 @@ struct EpState {
     from_router: WireId,
     inject: VecDeque<InjectCmd>,
     repl: VecDeque<PacketId>,
-    counters: HashMap<u16, u32>,
+    /// Armed counted-write counters, keyed by counter id. Endpoints hold a
+    /// handful at a time, so a linear scan beats hashing.
+    counters: Vec<(u16, u32)>,
     busy_until: u64,
 }
 
@@ -348,6 +349,32 @@ pub struct Sim {
     now: u64,
     rng: StdRng,
     wires: Vec<Wire>,
+    /// Sender-side credit counters per wire — dense and simulator-owned so
+    /// the allocation loops' credit checks stay in a few cache lines instead
+    /// of chasing into the scattered `Wire` structs.
+    wire_credits: Vec<WireCredits>,
+    /// Bitmask of VCs with buffered packets, per wire (dense mirror of the
+    /// receive-buffer state, maintained by `Wire::tick`/`Wire::pop`).
+    wire_occupied: Vec<u16>,
+    /// Head-of-buffer slot per wire and VC: valid whenever the matching
+    /// `wire_occupied` bit is set. Switch allocation re-peeks blocked heads
+    /// every cycle, so they live here — one dense load — rather than behind
+    /// the per-VC deques inside `Wire`.
+    wire_heads: Vec<WireHeads>,
+    /// Head ready cycle per wire and VC (u32-clamped mirror of the head's
+    /// `ready_at`): the allocation scan's first gate, kept apart from the
+    /// full entries so the scan's working set fits in L2.
+    wire_ready: Vec<WireReady>,
+    /// Head gating metadata per wire and VC (cached route, flits, pattern):
+    /// the scan's remaining gates, 4 bytes per head.
+    wire_meta: Vec<WireMeta>,
+    /// `group_vcs` per wire (dense mirror for VC-index math).
+    wire_gvcs: Vec<u8>,
+    /// Total VC count per wire.
+    wire_nvcs: Vec<u8>,
+    /// Earliest cycle each wire's tick can do anything (`Wire::next_event`);
+    /// active wires whose next event is still in the future skip their tick.
+    wire_next: Vec<u64>,
     /// Component consuming each wire's arrivals.
     wire_consumer: Vec<CompRef>,
     /// Component receiving each wire's credit returns.
@@ -355,20 +382,42 @@ pub struct Sim {
     /// Wires with flits or credits in flight.
     active_wires: Vec<u32>,
     wire_active: Vec<bool>,
-    /// Per-component wake deadlines: the component is processed every cycle
-    /// `now <= dirty_until`.
-    dirty_router: Vec<u64>,
-    dirty_chan: Vec<u64>,
-    dirty_ep: Vec<u64>,
+    /// Exact-cycle wake calendars, one per component kind: a component is
+    /// processed only on cycles somebody scheduled it for (see
+    /// [`crate::wake`]).
+    sched_router: Scheduler,
+    sched_chan: Scheduler,
+    sched_ep: Scheduler,
+    /// Reused per-cycle wake-list buffers (drained scheduler snapshots).
+    scratch_router: Vec<u32>,
+    scratch_chan: Vec<u32>,
+    scratch_ep: Vec<u32>,
     routers: Vec<RouterState>,
     chans: Vec<ChanState>,
     eps: Vec<EpState>,
     packets: PacketSlab,
-    mc_groups: HashMap<McGroupId, McGroup>,
+    /// Multicast groups, indexed by `McGroupId.0`.
+    mc_groups: Vec<Option<McGroup>>,
     handler_heap: BinaryHeap<Reverse<(u64, u32, u16)>>,
     deliveries: Vec<Delivery>,
     stats: SimStats,
     grants: crate::metrics::ArbiterGrantCounts,
+    /// Per-router output-port lookup: `attach.code()` → port index (0xFF =
+    /// no such port), replacing a linear port scan in route computation.
+    router_port_of: Vec<u8>,
+    /// Input wire per router port, strided by [`MAX_ROUTER_PORTS`]
+    /// (`u32::MAX` past a router's port count) — the allocation loop's view
+    /// of `RouterState::ports`, dense instead of per-router heap `Vec`s.
+    router_in_wire: Vec<u32>,
+    /// Output wire per router port (same layout).
+    router_out_wire: Vec<u32>,
+    /// Cycle each router output port is busy until (same layout).
+    router_out_busy: Vec<u64>,
+    /// Stride of `router_port_of` (attach codes per router).
+    attach_codes: usize,
+    /// Cached `ANTON_SIM_PROFILE` (checked once at construction): gates all
+    /// per-phase `Instant` reads in [`Sim::step`].
+    profile: bool,
     moved: bool,
     idle_cycles: u64,
     deadlocked: bool,
@@ -398,12 +447,17 @@ impl Sim {
         let mut chans: Vec<ChanState> = Vec::with_capacity(nodes * NUM_CHAN_ADAPTERS);
         let mut eps: Vec<EpState> = Vec::with_capacity(nodes * eps_per_node);
 
-        // Wire lookup tables filled in the first pass.
-        let mut mesh_wire: HashMap<(u32, MeshCoord, anton_core::chip::MeshDir), WireId> =
-            HashMap::new();
-        let mut skip_wire: HashMap<(u32, MeshCoord), WireId> = HashMap::new();
-        let mut chan_wires: HashMap<(u32, usize), (WireId, WireId)> = HashMap::new(); // (to adapter, to router)
-        let mut ep_wires: HashMap<(u32, u8), (WireId, WireId)> = HashMap::new();
+        // Wire lookup tables filled in the first pass (dense, index-keyed).
+        const NONE: WireId = usize::MAX;
+        let nrouters_total = nodes * NUM_ROUTERS;
+        let midx = |n: u32, r: MeshCoord, d: MeshDir| {
+            (n as usize * NUM_ROUTERS + r.index()) * MeshDir::ALL.len() + d.index()
+        };
+        let mut mesh_wire: Vec<WireId> = vec![NONE; nrouters_total * MeshDir::ALL.len()];
+        let mut skip_wire: Vec<WireId> = vec![NONE; nrouters_total];
+        // (to adapter, to router) per channel adapter.
+        let mut chan_wires: Vec<(WireId, WireId)> = vec![(NONE, NONE); nodes * NUM_CHAN_ADAPTERS];
+        let mut ep_wires: Vec<(WireId, WireId)> = vec![(NONE, NONE); nodes * eps_per_node];
 
         let torus_depth = params.torus_buffer_depth;
         let add_wire = move |wires: &mut Vec<Wire>, label: GlobalLink, latency, rx, group| {
@@ -430,7 +484,7 @@ impl Sim {
                             };
                             let w =
                                 add_wire(&mut wires, label, 1, ROUTER_PIPELINE - 1, LinkGroup::M);
-                            mesh_wire.insert((n, r, d), w);
+                            mesh_wire[midx(n, r, d)] = w;
                         }
                         LocalAttach::Skip => {
                             let label = GlobalLink::Local {
@@ -439,7 +493,7 @@ impl Sim {
                             };
                             let w =
                                 add_wire(&mut wires, label, 1, ROUTER_PIPELINE - 1, LinkGroup::T);
-                            skip_wire.insert((n, r), w);
+                            skip_wire[n as usize * NUM_ROUTERS + r.index()] = w;
                         }
                         LocalAttach::Chan(c) => {
                             let to_adapter = add_wire(
@@ -462,7 +516,8 @@ impl Sim {
                                 ROUTER_PIPELINE - 1,
                                 LinkGroup::T,
                             );
-                            chan_wires.insert((n, c.index()), (to_adapter, to_router));
+                            chan_wires[n as usize * NUM_CHAN_ADAPTERS + c.index()] =
+                                (to_adapter, to_router);
                         }
                         LocalAttach::Endpoint(e) => {
                             let to_ep = add_wire(
@@ -485,14 +540,14 @@ impl Sim {
                                 ROUTER_PIPELINE - 1,
                                 LinkGroup::M,
                             );
-                            ep_wires.insert((n, e.0), (to_ep, to_router));
+                            ep_wires[n as usize * eps_per_node + e.0 as usize] = (to_ep, to_router);
                         }
                     }
                 }
             }
         }
         // Torus wires.
-        let mut torus_wire: HashMap<(u32, usize), WireId> = HashMap::new(); // keyed by departing adapter
+        let mut torus_wire: Vec<WireId> = vec![NONE; nodes * NUM_CHAN_ADAPTERS]; // keyed by departing adapter
         for n in 0..nodes as u32 {
             let node = NodeId(n);
             for c in ChanId::all() {
@@ -508,7 +563,7 @@ impl Sim {
                     ADAPTER_PIPELINE - 1,
                     LinkGroup::T,
                 );
-                torus_wire.insert((n, c.index()), w);
+                torus_wire[n as usize * NUM_CHAN_ADAPTERS + c.index()] = w;
             }
         }
         // With a fault schedule, every external torus channel routes its
@@ -517,9 +572,9 @@ impl Sim {
         // link's dense index, so fault decisions are reproducible and
         // independent of wire construction order.
         if let Some(schedule) = &params.fault {
-            for (&(n, cidx), &w) in &torus_wire {
-                let node = NodeId(n);
-                let chan = ChanId::from_index(cidx);
+            for (ti, &w) in torus_wire.iter().enumerate() {
+                let node = NodeId((ti / NUM_CHAN_ADAPTERS) as u32);
+                let chan = ChanId::from_index(ti % NUM_CHAN_ADAPTERS);
                 let profile = schedule.profile(node, chan);
                 let seed = schedule.link_seed(cfg.torus_link_index(node, chan));
                 wires[w].install_shim(anton_fault::LinkShim::new(
@@ -533,36 +588,44 @@ impl Sim {
         }
 
         // Pass 2: create components.
+        let attach_codes = ATTACH_CODE_BASE + eps_per_node;
+        let mut router_port_of = vec![0xFFu8; nrouters_total * attach_codes];
         for n in 0..nodes as u32 {
             let node = NodeId(n);
             let node_coord = cfg.shape.coord(node);
             for r in MeshCoord::all() {
                 let attaches = cfg.chip.router_ports(r);
                 let mut ports = Vec::with_capacity(attaches.len());
+                let router_index = routers.len();
                 for attach in &attaches {
                     let (in_wire, out_wire) = match *attach {
                         LocalAttach::Mesh(d) => {
                             let nbr = r.step(d).expect("mesh port has neighbor");
-                            (mesh_wire[&(n, nbr, d.opposite())], mesh_wire[&(n, r, d)])
+                            (
+                                mesh_wire[midx(n, nbr, d.opposite())],
+                                mesh_wire[midx(n, r, d)],
+                            )
                         }
                         LocalAttach::Skip => {
                             let partner = cfg.chip.skip_partner(r).expect("skip port has partner");
-                            (skip_wire[&(n, partner)], skip_wire[&(n, r)])
+                            (
+                                skip_wire[n as usize * NUM_ROUTERS + partner.index()],
+                                skip_wire[n as usize * NUM_ROUTERS + r.index()],
+                            )
                         }
                         LocalAttach::Chan(c) => {
-                            let (to_adapter, to_router) = chan_wires[&(n, c.index())];
+                            let (to_adapter, to_router) =
+                                chan_wires[n as usize * NUM_CHAN_ADAPTERS + c.index()];
                             (to_router, to_adapter)
                         }
                         LocalAttach::Endpoint(e) => {
-                            let (to_ep, to_router) = ep_wires[&(n, e.0)];
+                            let (to_ep, to_router) =
+                                ep_wires[n as usize * eps_per_node + e.0 as usize];
                             (to_router, to_ep)
                         }
                     };
-                    ports.push(RouterPort {
-                        attach: *attach,
-                        in_wire,
-                        out_wire,
-                    });
+                    router_port_of[router_index * attach_codes + attach.code()] = ports.len() as u8;
+                    ports.push(RouterPort { in_wire, out_wire });
                 }
                 let nports = ports.len();
                 let arbiters: Vec<Box<dyn PortArbiter>> = (0..nports)
@@ -581,7 +644,6 @@ impl Sim {
                     ports,
                     arbiters,
                     in_arbiters,
-                    out_busy_until: vec![0; nports],
                     port_energy: vec![
                         PortEnergy {
                             last_words: [0; 3],
@@ -593,25 +655,24 @@ impl Sim {
                 });
             }
             for c in ChanId::all() {
-                let (from_router, to_router) = chan_wires[&(n, c.index())];
+                let (from_router, to_router) =
+                    chan_wires[n as usize * NUM_CHAN_ADAPTERS + c.index()];
                 // The wire we receive on departs from our neighbor in
                 // direction c.dir, labeled with the opposite direction.
                 let nbr = cfg.shape.neighbor(node_coord, c.dir);
                 let nbr_id = cfg.shape.id(nbr);
-                let arriving_from = torus_wire[&(
-                    nbr_id.0,
-                    ChanId {
+                let arriving_from = torus_wire[nbr_id.0 as usize * NUM_CHAN_ADAPTERS
+                    + ChanId {
                         dir: c.dir.opposite(),
                         slice: c.slice,
                     }
-                    .index(),
-                )];
+                    .index()];
                 chans.push(ChanState {
                     node,
                     chan: c,
                     from_router,
                     to_router,
-                    torus_out: torus_wire[&(n, c.index())],
+                    torus_out: torus_wire[n as usize * NUM_CHAN_ADAPTERS + c.index()],
                     torus_in: arriving_from,
                     tokens: i64::from(TORUS_TOKEN_COST),
                     tokens_at: 0,
@@ -625,7 +686,7 @@ impl Sim {
                 });
             }
             for e in cfg.chip.endpoints() {
-                let (from_router, to_router) = ep_wires[&(n, e.0)];
+                let (from_router, to_router) = ep_wires[n as usize * eps_per_node + e.0 as usize];
                 eps.push(EpState {
                     node,
                     ep: e,
@@ -633,7 +694,7 @@ impl Sim {
                     from_router,
                     inject: VecDeque::new(),
                     repl: VecDeque::new(),
-                    counters: HashMap::new(),
+                    counters: Vec::new(),
                     busy_until: 0,
                 });
             }
@@ -667,25 +728,51 @@ impl Sim {
         let nwires = wires.len();
         let nrouters = routers.len();
         let nchans = chans.len();
+        let wire_credits: Vec<WireCredits> = wires.iter().map(Wire::initial_credits).collect();
+        let wire_gvcs: Vec<u8> = wires.iter().map(|w| w.group_vcs).collect();
+        let wire_nvcs: Vec<u8> = wires.iter().map(|w| w.num_vcs() as u8).collect();
+        let mut router_in_wire = vec![u32::MAX; nrouters * MAX_ROUTER_PORTS];
+        let mut router_out_wire = vec![u32::MAX; nrouters * MAX_ROUTER_PORTS];
+        for (ridx, r) in routers.iter().enumerate() {
+            for (p, port) in r.ports.iter().enumerate() {
+                router_in_wire[ridx * MAX_ROUTER_PORTS + p] = port.in_wire as u32;
+                router_out_wire[ridx * MAX_ROUTER_PORTS + p] = port.out_wire as u32;
+            }
+        }
         Sim {
             rng: StdRng::seed_from_u64(params.seed),
             cfg,
+            profile: std::env::var_os("ANTON_SIM_PROFILE").is_some(),
             params,
             record_routes: false,
             now: 0,
             wires,
+            wire_credits,
+            wire_occupied: vec![0; nwires],
+            wire_heads: vec![[BufEntry::EMPTY; crate::wire::MAX_WIRE_VCS]; nwires],
+            wire_ready: vec![[0; crate::wire::MAX_WIRE_VCS]; nwires],
+            wire_meta: vec![[crate::wire::HeadMeta::EMPTY; crate::wire::MAX_WIRE_VCS]; nwires],
+            wire_gvcs,
+            wire_nvcs,
+            router_in_wire,
+            router_out_wire,
+            router_out_busy: vec![0; nrouters * MAX_ROUTER_PORTS],
+            wire_next: vec![u64::MAX; nwires],
             wire_consumer,
             wire_producer,
             active_wires: Vec::with_capacity(nwires),
             wire_active: vec![false; nwires],
-            dirty_router: vec![0; nrouters],
-            dirty_chan: vec![0; nchans],
-            dirty_ep: vec![0; num_eps],
+            sched_router: Scheduler::new(nrouters),
+            sched_chan: Scheduler::new(nchans),
+            sched_ep: Scheduler::new(num_eps),
+            scratch_router: Vec::with_capacity(nrouters),
+            scratch_chan: Vec::with_capacity(nchans),
+            scratch_ep: Vec::with_capacity(num_eps),
             routers,
             chans,
             eps,
             packets: PacketSlab::new(),
-            mc_groups: HashMap::new(),
+            mc_groups: Vec::new(),
             handler_heap: BinaryHeap::new(),
             deliveries: Vec::new(),
             stats: SimStats {
@@ -693,6 +780,8 @@ impl Sim {
                 ..SimStats::default()
             },
             grants: crate::metrics::ArbiterGrantCounts::default(),
+            router_port_of,
+            attach_codes,
             moved: false,
             idle_cycles: 0,
             deadlocked: false,
@@ -700,21 +789,15 @@ impl Sim {
         }
     }
 
+    /// Schedules a component for processing at exactly cycle `at` (see
+    /// [`crate::wake`] for why exact-cycle wakes are equivalent to the old
+    /// processed-until-deadline semantics).
     #[inline]
-    fn wake(&mut self, c: CompRef, until: u64) {
+    fn wake(&mut self, c: CompRef, at: u64) {
         match c {
-            CompRef::Router(i) => {
-                let d = &mut self.dirty_router[i as usize];
-                *d = (*d).max(until);
-            }
-            CompRef::Chan(i) => {
-                let d = &mut self.dirty_chan[i as usize];
-                *d = (*d).max(until);
-            }
-            CompRef::Ep(i) => {
-                let d = &mut self.dirty_ep[i as usize];
-                *d = (*d).max(until);
-            }
+            CompRef::Router(i) => self.sched_router.schedule(i as usize, at, self.now),
+            CompRef::Chan(i) => self.sched_chan.schedule(i as usize, at, self.now),
+            CompRef::Ep(i) => self.sched_ep.schedule(i as usize, at, self.now),
         }
     }
 
@@ -801,8 +884,15 @@ impl Sim {
     ///
     /// Panics if the group id is already registered.
     pub fn add_multicast_group(&mut self, group: McGroup) {
-        let prev = self.mc_groups.insert(group.id, group);
-        assert!(prev.is_none(), "duplicate multicast group id");
+        let idx = group.id.0 as usize;
+        if idx >= self.mc_groups.len() {
+            self.mc_groups.resize_with(idx + 1, || None);
+        }
+        assert!(
+            self.mc_groups[idx].is_none(),
+            "duplicate multicast group id"
+        );
+        self.mc_groups[idx] = Some(group);
     }
 
     /// Arms a counted-write counter at an endpoint (Section 2.1): after
@@ -810,7 +900,11 @@ impl Sim {
     /// handler fires (reported as [`Delivery::Handler`]).
     pub fn set_counter(&mut self, ep: GlobalEndpoint, counter: CounterId, count: u32) {
         let idx = self.cfg.endpoint_index(ep);
-        self.eps[idx].counters.insert(counter.0, count);
+        let counters = &mut self.eps[idx].counters;
+        match counters.iter_mut().find(|(c, _)| *c == counter.0) {
+            Some(slot) => slot.1 = count,
+            None => counters.push((counter.0, count)),
+        }
     }
 
     /// Queues a packet for injection at `src` (unbounded software queue).
@@ -949,6 +1043,9 @@ impl Sim {
     /// diagnostic on violation, so every simulation is self-checking.
     pub fn run(&mut self, driver: &mut dyn Driver, max_cycles: u64) -> RunOutcome {
         let deadline = self.now + max_cycles;
+        // Deliveries drain through a second buffer swapped in each cycle, so
+        // the two vectors ping-pong and no cycle allocates.
+        let mut dels: Vec<Delivery> = Vec::new();
         loop {
             if driver.done(self) {
                 return self.audited(RunOutcome::Completed);
@@ -961,35 +1058,52 @@ impl Sim {
             }
             driver.pre_cycle(self);
             self.step();
-            let dels = std::mem::take(&mut self.deliveries);
+            std::mem::swap(&mut self.deliveries, &mut dels);
             for d in &dels {
                 driver.on_delivery(self, d);
             }
+            dels.clear();
         }
     }
 
     /// Advances one cycle.
     pub fn step(&mut self) {
-        let prof = std::env::var_os("ANTON_SIM_PROFILE").is_some();
-        let mut t = std::time::Instant::now();
-        #[allow(unused_mut)]
-        let mut mark = |phase: usize, t: &mut std::time::Instant| {
-            if prof {
+        let prof = self.profile;
+        let mut t = prof.then(std::time::Instant::now);
+        let mark = |phase: usize, t: &mut Option<std::time::Instant>| {
+            if let Some(started) = t {
                 PHASE_NS[phase].fetch_add(
-                    t.elapsed().as_nanos() as u64,
+                    started.elapsed().as_nanos() as u64,
                     std::sync::atomic::Ordering::Relaxed,
                 );
-                *t = std::time::Instant::now();
+                *t = Some(std::time::Instant::now());
             }
         };
         let now = self.now;
         self.moved = false;
-        // Tick only wires with traffic or credits in flight, waking the
-        // components their events concern.
+        self.sched_router.begin_cycle(now);
+        self.sched_chan.begin_cycle(now);
+        self.sched_ep.begin_cycle(now);
+        // Tick only wires with traffic or credits in flight — and among
+        // those, only the ones whose next arrival/credit maturity is due —
+        // waking the components their events concern. Wakes raised here are
+        // either same-cycle (credits, zero-pipeline arrivals) or future, so
+        // the snapshots taken below see every component this cycle concerns.
         let mut i = 0;
         while i < self.active_wires.len() {
             let w = self.active_wires[i] as usize;
-            let (arrival_ready, credited) = self.wires[w].tick(now);
+            if self.wire_next[w] > now {
+                i += 1;
+                continue;
+            }
+            let mut rx = WireRx {
+                occupied: &mut self.wire_occupied[w],
+                heads: &mut self.wire_heads[w],
+                ready: &mut self.wire_ready[w],
+                meta: &mut self.wire_meta[w],
+            };
+            let (arrival_ready, credited) =
+                self.wires[w].tick(now, &mut self.wire_credits[w], &mut rx);
             if let Some(ready) = arrival_ready {
                 self.wake(self.wire_consumer[w], ready);
             }
@@ -1000,6 +1114,7 @@ impl Sim {
                 self.wire_active[w] = false;
                 self.active_wires.swap_remove(i);
             } else {
+                self.wire_next[w] = self.wires[w].next_event();
                 i += 1;
             }
         }
@@ -1018,31 +1133,43 @@ impl Sim {
                 counter: CounterId(counter),
             });
         }
-        for e in 0..self.eps.len() {
-            if self.dirty_ep[e] >= now {
-                self.ep_inject_step(e);
-            }
+        // Snapshot the woken components (in ascending index order — the
+        // processing order determinism depends on). All wake sources past
+        // this point target future cycles, so the snapshots are complete;
+        // the endpoint snapshot serves both the inject and receive phases,
+        // exactly like the old single dirty-scan did.
+        let mut ep_list = std::mem::take(&mut self.scratch_ep);
+        let mut chan_list = std::mem::take(&mut self.scratch_chan);
+        let mut router_list = std::mem::take(&mut self.scratch_router);
+        ep_list.clear();
+        chan_list.clear();
+        router_list.clear();
+        self.sched_ep.snapshot_into(&mut ep_list);
+        self.sched_chan.snapshot_into(&mut chan_list);
+        self.sched_router.snapshot_into(&mut router_list);
+        for &e in &ep_list {
+            self.ep_inject_step(e as usize);
         }
         mark(1, &mut t);
-        for c in 0..self.chans.len() {
-            if self.dirty_chan[c] >= now {
-                self.chan_inbound_step(c);
-                self.chan_outbound_step(c);
-            }
+        for &c in &chan_list {
+            self.chan_inbound_step(c as usize);
+            self.chan_outbound_step(c as usize);
         }
         mark(2, &mut t);
-        for r in 0..self.routers.len() {
-            if self.dirty_router[r] >= now {
-                self.router_step(r);
-            }
+        for &r in &router_list {
+            self.router_step(r as usize);
         }
         mark(3, &mut t);
-        for e in 0..self.eps.len() {
-            if self.dirty_ep[e] >= now {
-                self.ep_recv_step(e);
-            }
+        for &e in &ep_list {
+            self.ep_recv_step(e as usize);
         }
         mark(4, &mut t);
+        self.sched_router.end_cycle();
+        self.sched_chan.end_cycle();
+        self.sched_ep.end_cycle();
+        self.scratch_ep = ep_list;
+        self.scratch_chan = chan_list;
+        self.scratch_router = router_list;
         if self.packets.live() > 0 && !self.moved {
             self.idle_cycles += 1;
             if self.idle_cycles >= self.params.watchdog_cycles && !self.deadlocked {
@@ -1094,10 +1221,18 @@ impl Sim {
                  {terminated} terminated + {live} live"
             ));
         }
-        for w in &self.wires {
-            w.check_credit_balance()?;
+        for (wid, w) in self.wires.iter().enumerate() {
+            w.check_credit_balance(
+                &self.wire_credits[wid],
+                self.wire_occupied[wid],
+                &self.wire_heads[wid],
+            )?;
         }
-        let quiescent = self.wires.iter().all(|w| w.is_quiescent())
+        let quiescent = self
+            .wires
+            .iter()
+            .zip(&self.wire_occupied)
+            .all(|(w, &occ)| w.is_quiescent(occ))
             && self.handler_heap.is_empty()
             && self
                 .eps
@@ -1127,19 +1262,20 @@ impl Sim {
             idle_cycles: self.idle_cycles,
             ..DeadlockReport::default()
         };
-        for w in &self.wires {
+        for (wid, w) in self.wires.iter().enumerate() {
             let backlog = w.shim_backlog();
             if backlog > 0 {
                 report.shim_backlogs.push((w.label, backlog));
             }
-            let mask = w.occupied_mask();
+            let mask = self.wire_occupied[wid];
             for vc in 0..w.num_vcs() as u8 {
                 if mask & (1 << vc) == 0 {
                     continue;
                 }
-                let Some(entry) = w.head(self.now, vc) else {
+                let entry = &self.wire_heads[wid][vc as usize];
+                if entry.ready_at > self.now {
                     continue;
-                };
+                }
                 if report.stalled.len() >= CAP {
                     report.truncated += 1;
                     continue;
@@ -1216,11 +1352,9 @@ impl Sim {
                 .expect("distinct routers need a mesh hop");
             LocalAttach::Mesh(d)
         };
-        let port = router
-            .ports
-            .iter()
-            .position(|p| p.attach == attach)
-            .expect("routed attach must be a port");
+        let port = self.router_port_of[ridx * self.attach_codes + attach.code()];
+        debug_assert!(port != 0xFF, "routed attach must be a port");
+        let port = port as usize;
         let group = match attach {
             LocalAttach::Mesh(_) | LocalAttach::Endpoint(_) => LinkGroup::M,
             LocalAttach::Skip | LocalAttach::Chan(_) => LinkGroup::T,
@@ -1228,10 +1362,57 @@ impl Sim {
         (port, st.vc.vc_for(group))
     }
 
-    fn send_on_wire(&mut self, wire: WireId, pid: PacketId, vcidx: u8) {
-        let now = self.now;
+    /// Whether `flits` credits are available on a wire's VC.
+    #[inline]
+    fn wire_can_send(&self, wire: WireId, vcidx: u8, flits: u8) -> bool {
+        self.wire_credits[wire][vcidx as usize] >= flits
+    }
+
+    /// Pops the head packet of a wire's VC, refreshing the wire's dense
+    /// next-event/occupancy state and keeping it on the active list for the
+    /// scheduled credit return.
+    #[inline]
+    fn pop_wire(&mut self, wire: WireId, vcidx: u8) -> BufEntry {
+        let mut rx = WireRx {
+            occupied: &mut self.wire_occupied[wire],
+            heads: &mut self.wire_heads[wire],
+            ready: &mut self.wire_ready[wire],
+            meta: &mut self.wire_meta[wire],
+        };
+        let entry = self.wires[wire].pop(self.now, vcidx, &mut rx);
+        self.wire_next[wire] = self.wires[wire].next_event();
+        self.mark_wire_active(wire);
+        entry
+    }
+
+    /// The head entry of a wire's VC, if one is buffered and ready at `now`.
+    /// The gate reads only the compact occupancy/ready mirrors; the full
+    /// entry is touched on a hit.
+    #[inline]
+    fn wire_head(&self, wire: WireId, vcidx: u8) -> Option<&BufEntry> {
+        if self.wire_occupied[wire] & (1 << vcidx) == 0
+            || u64::from(self.wire_ready[wire][vcidx as usize]) > self.now
+        {
+            return None;
+        }
+        Some(&self.wire_heads[wire][vcidx as usize])
+    }
+
+    /// Flattened VC index of `(class, vc)` on a wire, from the dense
+    /// `group_vcs` mirror (see [`Wire::vc_index`]).
+    #[inline]
+    fn vc_index_of(&self, wire: WireId, class: anton_core::vc::TrafficClass, vc: Vc) -> u8 {
+        let gvcs = self.wire_gvcs[wire];
+        debug_assert!(vc.0 < gvcs, "vc {vc} out of range");
+        class.index() as u8 * gvcs + vc.0
+    }
+
+    /// Builds a fresh buffer entry for a packet from its slab state (hops
+    /// that already hold a buffered copy of the metadata pass it to
+    /// [`Sim::send_entry`] directly).
+    fn packet_entry(&self, pid: PacketId) -> BufEntry {
         let st = self.packets.get(pid);
-        let entry = BufEntry {
+        BufEntry {
             pkt: pid,
             ready_at: 0,
             flits: st.flits,
@@ -1240,9 +1421,15 @@ impl Sim {
             rc_port: 0xFF,
             rc_vcidx: 0,
             age: st.injected_at,
-        };
-        let flits = st.flits;
-        self.wires[wire].send(now, entry, vcidx);
+        }
+    }
+
+    fn send_entry(&mut self, wire: WireId, entry: BufEntry, vcidx: u8) {
+        let now = self.now;
+        let flits = entry.flits;
+        let pid = entry.pkt;
+        self.wires[wire].send(now, entry, vcidx, &mut self.wire_credits[wire]);
+        self.wire_next[wire] = self.wires[wire].next_event();
         let label = self.wires[wire].label;
         self.mark_wire_active(wire);
         self.moved = true;
@@ -1258,6 +1445,11 @@ impl Sim {
                 log.push((label, vc));
             }
         }
+    }
+
+    fn send_on_wire(&mut self, wire: WireId, pid: PacketId, vcidx: u8) {
+        let entry = self.packet_entry(pid);
+        self.send_entry(wire, entry, vcidx);
     }
 
     // ----- endpoint adapters ----------------------------------------------
@@ -1283,8 +1475,8 @@ impl Sim {
                 // before drawing the randomized route.
                 let wire_id = self.eps[eidx].to_router;
                 let flits = pkt.num_flits() as u8;
-                let vcidx = self.wires[wire_id].vc_index(pkt.class, Vc(0));
-                if !self.wires[wire_id].can_send(vcidx, flits) {
+                let vcidx = self.vc_index_of(wire_id, pkt.class, Vc(0));
+                if !self.wire_can_send(wire_id, vcidx, flits) {
                     return;
                 }
                 let src_c = self.cfg.shape.coord(node);
@@ -1342,8 +1534,8 @@ impl Sim {
         let class = st.packet.class;
         let vc = st.vc.vc_for(LinkGroup::M);
         let flits = st.flits;
-        let vcidx = self.wires[wire_id].vc_index(class, vc);
-        if !self.wires[wire_id].can_send(vcidx, flits) {
+        let vcidx = self.vc_index_of(wire_id, class, vc);
+        if !self.wire_can_send(wire_id, vcidx, flits) {
             return false;
         }
         self.send_on_wire(wire_id, pid, vcidx);
@@ -1357,18 +1549,16 @@ impl Sim {
     }
 
     fn ep_recv_step(&mut self, eidx: usize) {
-        let now = self.now;
         let wire_id = self.eps[eidx].from_router;
-        let mut mask = self.wires[wire_id].occupied_mask();
+        let mut mask = self.wire_occupied[wire_id];
         while mask != 0 {
             let v = mask.trailing_zeros() as u8;
             mask &= mask - 1;
-            let Some(entry) = self.wires[wire_id].head(now, v) else {
+            let Some(entry) = self.wire_head(wire_id, v) else {
                 continue;
             };
             let pid = entry.pkt;
-            self.wires[wire_id].pop(now, v);
-            self.mark_wire_active(wire_id);
+            self.pop_wire(wire_id, v);
             self.moved = true;
             self.deliver(eidx, pid);
         }
@@ -1385,10 +1575,12 @@ impl Sim {
         self.stats.last_delivery_cycle = now;
         self.stats.recv_per_endpoint[eidx] += 1;
         if let Some(cid) = st.packet.counter {
-            if let Some(rem) = self.eps[eidx].counters.get_mut(&cid.0) {
+            let counters = &mut self.eps[eidx].counters;
+            if let Some(pos) = counters.iter().position(|&(c, _)| c == cid.0) {
+                let rem = &mut counters[pos].1;
                 *rem = rem.saturating_sub(1);
                 if *rem == 0 {
-                    self.eps[eidx].counters.remove(&cid.0);
+                    counters.swap_remove(pos);
                     let fire = now + self.params.latency.handler_dispatch_cycles();
                     self.handler_heap.push(Reverse((fire, eidx as u32, cid.0)));
                 }
@@ -1421,17 +1613,17 @@ impl Sim {
             return;
         }
         let wire_id = self.chans[cidx].torus_in;
-        if self.wires[wire_id].occupied_mask() == 0 {
+        if self.wire_occupied[wire_id] == 0 {
             return;
         }
-        let nvcs = self.wires[wire_id].num_vcs() as u8;
+        let nvcs = self.wire_nvcs[wire_id];
         let start = self.chans[cidx].rr_vc_in;
         for k in 0..nvcs {
             let v = (start + k) % nvcs;
-            if self.wires[wire_id].occupied_mask() >> v & 1 == 0 {
+            if self.wire_occupied[wire_id] >> v & 1 == 0 {
                 continue;
             }
-            let Some(entry) = self.wires[wire_id].head(now, v) else {
+            let Some(entry) = self.wire_head(wire_id, v) else {
                 continue;
             };
             let pid = entry.pkt;
@@ -1441,8 +1633,7 @@ impl Sim {
                     if !self.can_send_chan_to_router(cidx, pid) {
                         continue;
                     }
-                    self.wires[wire_id].pop(now, v);
-                    self.mark_wire_active(wire_id);
+                    self.pop_wire(wire_id, v);
                     self.moved = true;
                     // Entry link uses the arriving T-phase VC; promotion
                     // (if the dimension finished) applies past it.
@@ -1461,8 +1652,7 @@ impl Sim {
                     if self.chans[cidx].repl.len() + fanout > REPL_CAP {
                         continue;
                     }
-                    self.wires[wire_id].pop(now, v);
-                    self.mark_wire_active(wire_id);
+                    self.pop_wire(wire_id, v);
                     self.moved = true;
                     let parent = self.packets.remove(pid);
                     let copies = self.expand_multicast_at(
@@ -1496,8 +1686,8 @@ impl Sim {
         let st = self.packets.get(pid);
         let wire_id = self.chans[cidx].to_router;
         let vc = st.vc.vc_for(LinkGroup::T);
-        let vcidx = self.wires[wire_id].vc_index(st.packet.class, vc);
-        self.wires[wire_id].can_send(vcidx, st.flits)
+        let vcidx = self.vc_index_of(wire_id, st.packet.class, vc);
+        self.wire_can_send(wire_id, vcidx, st.flits)
     }
 
     fn try_send_chan_to_router(&mut self, cidx: usize, pid: PacketId) -> bool {
@@ -1505,9 +1695,9 @@ impl Sim {
         let st = self.packets.get(pid);
         let wire_id = self.chans[cidx].to_router;
         let vc = st.vc.vc_for(LinkGroup::T);
-        let vcidx = self.wires[wire_id].vc_index(st.packet.class, vc);
+        let vcidx = self.vc_index_of(wire_id, st.packet.class, vc);
         let flits = st.flits;
-        if !self.wires[wire_id].can_send(vcidx, flits) {
+        if !self.wire_can_send(wire_id, vcidx, flits) {
             return false;
         }
         self.send_on_wire(wire_id, pid, vcidx);
@@ -1559,7 +1749,7 @@ impl Sim {
         let in_wire = self.chans[cidx].from_router;
         let out_wire = self.chans[cidx].torus_out;
         let crosses = self.chans[cidx].crosses_dateline;
-        if self.wires[in_wire].occupied_mask() == 0 {
+        if self.wire_occupied[in_wire] == 0 {
             return;
         }
         if self.chans[cidx].tokens < cost {
@@ -1572,39 +1762,36 @@ impl Sim {
         // Gather every VC whose head is ready and whose post-dateline torus
         // VC has credits, then let the serializer's VC arbiter pick — with
         // inverse weights installed, this is an EoS arbitration point.
-        let nvcs = self.wires[in_wire].num_vcs() as u8;
+        let nvcs = self.wire_nvcs[in_wire];
         let mut reqs = [ArbRequest {
             input: 0,
             pattern: 0,
             age: 0,
         }; 16];
-        let mut targets = [(PacketId(0), 0u8, VcPolicy::Anton.start()); 16];
+        let mut targets = [(BufEntry::EMPTY, 0u8, VcPolicy::Anton.start()); 16];
         let mut nreqs = 0;
         for v in 0..nvcs {
-            if self.wires[in_wire].occupied_mask() >> v & 1 == 0 {
+            if self.wire_occupied[in_wire] >> v & 1 == 0 {
                 continue;
             }
-            let Some(entry) = self.wires[in_wire].head(now, v) else {
+            let Some(entry) = self.wire_head(in_wire, v) else {
                 continue;
             };
-            let pid = entry.pkt;
-            let flits = entry.flits;
-            let pattern = entry.pattern;
-            let age = entry.age;
-            let st = self.packets.get(pid);
+            let e = *entry;
+            let st = self.packets.get(e.pkt);
             // VC on the torus link after a possible dateline promotion.
             let mut vc_after = st.vc;
             let tvc = vc_after.torus_hop(crosses);
-            let vcidx = self.wires[out_wire].vc_index(st.packet.class, tvc);
-            if !self.wires[out_wire].can_send(vcidx, flits) {
+            let vcidx = self.vc_index_of(out_wire, st.packet.class, tvc);
+            if !self.wire_can_send(out_wire, vcidx, e.flits) {
                 continue;
             }
             reqs[nreqs] = ArbRequest {
                 input: v as usize,
-                pattern,
-                age,
+                pattern: e.pattern,
+                age: e.age,
             };
-            targets[nreqs] = (pid, vcidx, vc_after);
+            targets[nreqs] = (e, vcidx, vc_after);
             nreqs += 1;
         }
         if nreqs == 0 {
@@ -1614,12 +1801,14 @@ impl Sim {
             .out_arbiter
             .pick(&reqs[..nreqs])
             .expect("nonempty requests yield a grant");
-        self.grants.serializer += 1;
+        if self.params.collect_grants {
+            self.grants.serializer += 1;
+        }
         let v = reqs[widx].input as u8;
-        let (pid, vcidx, vc_after) = targets[widx];
-        let flits = self.packets.get(pid).flits;
-        self.wires[in_wire].pop(now, v);
-        self.mark_wire_active(in_wire);
+        let (entry, vcidx, vc_after) = targets[widx];
+        let pid = entry.pkt;
+        let flits = entry.flits;
+        self.pop_wire(in_wire, v);
         {
             let dir = self.chans[cidx].chan.dir;
             let st = self.packets.get_mut(pid);
@@ -1630,7 +1819,7 @@ impl Sim {
                 spec.take_hop(dir);
             }
         }
-        self.send_on_wire(out_wire, pid, vcidx);
+        self.send_entry(out_wire, entry, vcidx);
         self.chans[cidx].tokens -= cost * i64::from(flits);
         // More traffic may be waiting: wake at the next refill.
         let deficit = (cost - self.chans[cidx].tokens).max(gain);
@@ -1647,7 +1836,8 @@ impl Sim {
         tree: u8,
     ) -> &anton_core::multicast::McEntry {
         self.mc_groups
-            .get(&group)
+            .get(group.0 as usize)
+            .and_then(Option::as_ref)
             .unwrap_or_else(|| panic!("unknown multicast group {group}"))
             .trees
             .get(tree as usize)
@@ -1677,7 +1867,11 @@ impl Sim {
         injected_at: u64,
     ) -> Vec<PacketId> {
         let entry = self.mc_entry(node, group, tree).clone();
-        let slice = self.mc_groups[&group].trees[tree as usize].slice;
+        let slice = self.mc_groups[group.0 as usize]
+            .as_ref()
+            .expect("group checked by mc_entry")
+            .trees[tree as usize]
+            .slice;
         let mut out = Vec::with_capacity(entry.forward.len() + entry.local.len());
         let (arrived_via, base_vc, torus_hops) = match arrival {
             Some((dir, vc, hops)) => (Some(dir), vc, hops),
@@ -1755,71 +1949,78 @@ impl Sim {
             out_port: usize,
             out_vcidx: u8,
             flits: u8,
+            class: u8,
             pattern: u8,
             age: u64,
         }
         let mut cands: [Option<Cand>; MAX_ROUTER_PORTS] = [None; MAX_ROUTER_PORTS];
+        let mut vc_cands: [Option<Cand>; 16] = [None; 16];
+        let mut vc_reqs = [ArbRequest {
+            input: 0,
+            pattern: 0,
+            age: 0,
+        }; 16];
+        let rbase = ridx * MAX_ROUTER_PORTS;
         for (inp, cand) in cands.iter_mut().enumerate().take(nports) {
-            let in_wire = self.routers[ridx].ports[inp].in_wire;
-            let occupied = self.wires[in_wire].occupied_mask();
+            let in_wire = self.router_in_wire[rbase + inp] as usize;
+            let occupied = self.wire_occupied[in_wire];
             if occupied == 0 {
                 continue;
             }
             // SA1: gather every VC whose head can proceed, then let the
             // input port's VC arbiter choose (inverse-weighted when
-            // programmed).
-            let nvcs = self.wires[in_wire].num_vcs() as u8;
-            let mut vc_cands: [Option<Cand>; 16] = [None; 16];
-            let mut vc_reqs = [ArbRequest {
-                input: 0,
-                pattern: 0,
-                age: 0,
-            }; 16];
+            // programmed). The gates read only the compact ready/meta
+            // mirrors; a head's full entry is loaded once it qualifies.
+            let nvcs = self.wire_nvcs[in_wire];
             let mut n_vc = 0usize;
             for v in 0..nvcs {
                 if occupied >> v & 1 == 0 {
                     continue;
                 }
-                let Some(entry) = self.wires[in_wire].head(now, v) else {
+                if u64::from(self.wire_ready[in_wire][v as usize]) > now {
                     continue;
-                };
-                let mut e = *entry;
-                if e.rc_port == 0xFF {
+                }
+                let m = self.wire_meta[in_wire][v as usize];
+                let (out_port, out_vcidx, flits) = if m.rc_port == 0xFF {
                     // Route computation: once per packet per router, cached
-                    // in the buffer entry.
+                    // in the head's gating metadata.
+                    let e = self.wire_heads[in_wire][v as usize];
                     let (out_port, out_vc) = self.route_output(ridx, e.pkt);
-                    let out_wire = self.routers[ridx].ports[out_port].out_wire;
+                    let out_wire = self.router_out_wire[rbase + out_port] as usize;
                     let class = if e.class == 0 {
                         anton_core::vc::TrafficClass::Request
                     } else {
                         anton_core::vc::TrafficClass::Reply
                     };
-                    e.rc_port = out_port as u8;
-                    e.rc_vcidx = self.wires[out_wire].vc_index(class, out_vc);
-                    let head = self.wires[in_wire].head_mut(v);
-                    head.rc_port = e.rc_port;
-                    head.rc_vcidx = e.rc_vcidx;
-                }
-                let out_port = e.rc_port as usize;
-                if self.routers[ridx].out_busy_until[out_port] > now {
+                    let rc_vcidx = self.vc_index_of(out_wire, class, out_vc);
+                    let mm = &mut self.wire_meta[in_wire][v as usize];
+                    mm.rc_port = out_port as u8;
+                    mm.rc_vcidx = rc_vcidx;
+                    (out_port, rc_vcidx, e.flits)
+                } else {
+                    (m.rc_port as usize, m.rc_vcidx, m.flits)
+                };
+                if self.router_out_busy[rbase + out_port] > now {
                     continue;
                 }
-                let out_wire = self.routers[ridx].ports[out_port].out_wire;
-                if !self.wires[out_wire].can_send(e.rc_vcidx, e.flits) {
+                let out_wire = self.router_out_wire[rbase + out_port] as usize;
+                if !self.wire_can_send(out_wire, out_vcidx, flits) {
                     continue;
                 }
+                let e = &self.wire_heads[in_wire][v as usize];
                 vc_cands[n_vc] = Some(Cand {
                     vcidx: v,
                     pid: e.pkt,
                     out_port,
-                    out_vcidx: e.rc_vcidx,
-                    flits: e.flits,
-                    pattern: e.pattern,
+                    out_vcidx,
+                    flits,
+                    class: e.class,
+                    pattern: m.pattern,
                     age: e.age,
                 });
                 vc_reqs[n_vc] = ArbRequest {
                     input: v as usize,
-                    pattern: e.pattern,
+                    pattern: m.pattern,
                     age: e.age,
                 };
                 n_vc += 1;
@@ -1827,14 +2028,18 @@ impl Sim {
             *cand = match n_vc {
                 0 => None,
                 1 => {
-                    self.grants.sa1 += 1;
+                    if self.params.collect_grants {
+                        self.grants.sa1 += 1;
+                    }
                     vc_cands[0]
                 }
                 _ => {
                     let w = self.routers[ridx].in_arbiters[inp]
                         .pick(&vc_reqs[..n_vc])
                         .expect("nonempty requests yield a grant");
-                    self.grants.sa1 += 1;
+                    if self.params.collect_grants {
+                        self.grants.sa1 += 1;
+                    }
                     vc_cands[w]
                 }
             };
@@ -1863,15 +2068,33 @@ impl Sim {
             let widx = self.routers[ridx].arbiters[out]
                 .pick(reqs)
                 .expect("nonempty requests yield a grant");
-            self.grants.output += 1;
+            if self.params.collect_grants {
+                self.grants.output += 1;
+            }
             let inp = reqs[widx].input;
             let cand = cands[inp].expect("winner came from candidates");
-            let in_wire = self.routers[ridx].ports[inp].in_wire;
-            let out_wire = self.routers[ridx].ports[out].out_wire;
-            self.wires[in_wire].pop(now, cand.vcidx);
-            self.mark_wire_active(in_wire);
-            self.send_on_wire(out_wire, cand.pid, cand.out_vcidx);
-            self.routers[ridx].out_busy_until[out] = now + u64::from(cand.flits);
+            let in_wire = self.router_in_wire[rbase + inp] as usize;
+            let out_wire = self.router_out_wire[rbase + out] as usize;
+            self.pop_wire(in_wire, cand.vcidx);
+            self.send_entry(
+                out_wire,
+                BufEntry {
+                    pkt: cand.pid,
+                    ready_at: 0,
+                    flits: cand.flits,
+                    class: cand.class,
+                    pattern: cand.pattern,
+                    rc_port: 0xFF,
+                    rc_vcidx: 0,
+                    age: cand.age,
+                },
+                cand.out_vcidx,
+            );
+            self.router_out_busy[rbase + out] = now + u64::from(cand.flits);
+            // The old deadline wake covered both following cycles; with
+            // exact-cycle wakes both must be scheduled (other ports may act
+            // at `now + 1` while this one is still busy).
+            self.wake(CompRef::Router(ridx as u32), now + 1);
             self.wake(CompRef::Router(ridx as u32), now + 2);
             if self.params.track_energy {
                 self.record_energy(ridx, out, cand.pid, cand.flits);

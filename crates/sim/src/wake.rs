@@ -1,0 +1,182 @@
+//! Exact-cycle wake scheduling for simulator components.
+//!
+//! The kernel's hot loop must not rescan every router, channel adapter, and
+//! endpoint adapter each cycle: on a 4×4×4 machine that is thousands of
+//! components, most of which have nothing to do on most cycles. Instead,
+//! every state change that could enable a component to act schedules a wake
+//! for it at the exact cycle the opportunity opens (a flit clearing the
+//! receiver pipeline, a credit returning, a busy window or token bucket
+//! expiring), and [`Sim::step`](crate::sim::Sim::step) processes only the
+//! woken components.
+//!
+//! A [`Scheduler`] is a small calendar wheel of per-cycle bitsets. Waking is
+//! an O(1) bit set; draining a cycle is an ascending-index bit scan, which
+//! preserves the strict component ordering the simulator's determinism
+//! (shared RNG draws, packet-slab id allocation, delivery order) depends on.
+//! Wakes are bounded to [`HORIZON`] cycles out — every wake source in the
+//! simulator is a short structural delay (pipeline depths, packet flit
+//! counts, serializer token refill), far below the bound.
+
+/// Calendar depth in cycles (power of two). Wakes must target a cycle less
+/// than this far in the future.
+pub const HORIZON: u64 = 64;
+
+/// A calendar wheel of component wake-ups with exact-cycle semantics.
+#[derive(Debug)]
+pub struct Scheduler {
+    /// `u64` words per bitset (components / 64, rounded up).
+    words: usize,
+    /// `HORIZON` bucket bitsets, flattened bucket-major.
+    buckets: Vec<u64>,
+    /// Components woken for the cycle currently being processed.
+    cur: Vec<u64>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `n` components, all of them woken for
+    /// cycle 0 (every component must get one bootstrap look).
+    pub fn new(n: usize) -> Scheduler {
+        let words = n.div_ceil(64);
+        let mut buckets = vec![0u64; words * HORIZON as usize];
+        for (i, w) in buckets.iter_mut().take(words).enumerate() {
+            let bits = n - i * 64;
+            *w = if bits >= 64 { !0 } else { (1u64 << bits) - 1 };
+        }
+        Scheduler {
+            words,
+            buckets,
+            cur: vec![0; words],
+        }
+    }
+
+    /// Schedules component `i` for processing at cycle `at` (`at == now`
+    /// wakes it for the cycle in progress; its phase must not have been
+    /// drained yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `HORIZON` or more cycles ahead.
+    #[inline]
+    pub fn schedule(&mut self, i: usize, at: u64, now: u64) {
+        if at == now {
+            self.cur[i / 64] |= 1 << (i % 64);
+            return;
+        }
+        assert!(
+            at > now && at - now < HORIZON,
+            "wake for component {i} at cycle {at} outside ({now}, {now}+{HORIZON})"
+        );
+        let base = (at % HORIZON) as usize * self.words;
+        self.buckets[base + i / 64] |= 1 << (i % 64);
+    }
+
+    /// Starts a cycle: moves the cycle's bucket into the current set.
+    pub fn begin_cycle(&mut self, now: u64) {
+        let base = (now % HORIZON) as usize * self.words;
+        for k in 0..self.words {
+            self.cur[k] |= self.buckets[base + k];
+            self.buckets[base + k] = 0;
+        }
+    }
+
+    /// Appends the current set's component indices to `out` in ascending
+    /// order (the order every processing phase must use).
+    pub fn snapshot_into(&self, out: &mut Vec<u32>) {
+        for (k, &word) in self.cur.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out.push((k * 64) as u32 + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Ends a cycle: clears the current set.
+    pub fn end_cycle(&mut self) {
+        self.cur.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(s: &Scheduler) -> Vec<u32> {
+        let mut v = Vec::new();
+        s.snapshot_into(&mut v);
+        v
+    }
+
+    #[test]
+    fn all_components_wake_at_cycle_zero() {
+        let mut s = Scheduler::new(130);
+        s.begin_cycle(0);
+        let got = drain(&s);
+        assert_eq!(got.len(), 130);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[129], 129);
+        s.end_cycle();
+        s.begin_cycle(1);
+        assert!(drain(&s).is_empty(), "no wakes scheduled for cycle 1");
+    }
+
+    #[test]
+    fn wakes_fire_at_their_exact_cycle_in_ascending_order() {
+        let mut s = Scheduler::new(200);
+        s.begin_cycle(0);
+        s.end_cycle();
+        s.schedule(150, 3, 1);
+        s.schedule(7, 3, 1);
+        s.schedule(64, 3, 1);
+        s.schedule(9, 2, 1);
+        s.begin_cycle(2);
+        assert_eq!(drain(&s), vec![9]);
+        s.end_cycle();
+        s.begin_cycle(3);
+        assert_eq!(drain(&s), vec![7, 64, 150]);
+        s.end_cycle();
+        s.begin_cycle(4);
+        assert!(drain(&s).is_empty());
+    }
+
+    #[test]
+    fn same_cycle_wake_joins_current_set() {
+        let mut s = Scheduler::new(10);
+        s.begin_cycle(0);
+        s.end_cycle();
+        s.begin_cycle(5);
+        s.schedule(3, 5, 5);
+        assert_eq!(drain(&s), vec![3]);
+    }
+
+    #[test]
+    fn duplicate_wakes_coalesce() {
+        let mut s = Scheduler::new(10);
+        s.begin_cycle(0);
+        s.end_cycle();
+        s.schedule(4, 2, 0);
+        s.schedule(4, 2, 1);
+        s.begin_cycle(2);
+        assert_eq!(drain(&s), vec![4]);
+    }
+
+    #[test]
+    fn wheel_wraps_around_the_horizon() {
+        let mut s = Scheduler::new(3);
+        s.begin_cycle(0);
+        s.end_cycle();
+        for t in 1..(3 * HORIZON) {
+            s.schedule(1, t, t - 1);
+            s.begin_cycle(t);
+            assert_eq!(drain(&s), vec![1], "cycle {t}");
+            s.end_cycle();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn wake_beyond_horizon_is_rejected() {
+        let mut s = Scheduler::new(4);
+        s.schedule(0, HORIZON, 0);
+    }
+}

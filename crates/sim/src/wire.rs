@@ -25,6 +25,95 @@ use crate::state::PacketId;
 /// absorbing deeper occupancies.
 pub const OCC_BUCKETS: usize = 16;
 
+/// Upper bound on flattened VC indices per wire (two classes of at most
+/// eight VCs), sizing the dense per-wire credit arrays the simulator keeps
+/// outside the [`Wire`] structs for cache-friendly hot-path access.
+pub const MAX_WIRE_VCS: usize = 16;
+
+/// Dense sender-side credit counters of one wire, owned by the simulator
+/// (see [`Sim`](crate::sim::Sim)) so switch-allocation credit checks scan a
+/// compact array instead of chasing into scattered `Wire` structs.
+pub type WireCredits = [u8; MAX_WIRE_VCS];
+
+/// Dense head-of-buffer slots of one wire, also simulator-owned: the head
+/// entry of VC `v` lives in slot `v` whenever the wire's occupied bit `v`
+/// is set (the `Wire`'s own queues hold only the entries *behind* the
+/// head). Switch allocation peeks blocked heads every cycle, so this is the
+/// hottest state in the simulator — one dense load instead of a pointer
+/// chase through per-VC deques.
+pub type WireHeads = [BufEntry; MAX_WIRE_VCS];
+
+/// Compact gating metadata of one VC head: everything the per-cycle switch
+/// allocation scans need to decide whether a head can move (cached route,
+/// flit count for the credit check, pattern for weighted arbitration). Kept
+/// in its own dense array — 4 bytes per VC instead of a full [`BufEntry`] —
+/// so the scan's working set stays L2-resident; the full entry is only
+/// loaded for heads that pass every gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadMeta {
+    /// Route-computation cache: output port (`0xFF` = not yet computed).
+    pub rc_port: u8,
+    /// Route-computation cache: VC index on the output wire.
+    pub rc_vcidx: u8,
+    /// Flits the head packet occupies.
+    pub flits: u8,
+    /// Traffic-pattern tag.
+    pub pattern: u8,
+}
+
+impl HeadMeta {
+    /// Placeholder for unoccupied head slots.
+    pub const EMPTY: HeadMeta = HeadMeta {
+        rc_port: 0xFF,
+        rc_vcidx: 0,
+        flits: 0,
+        pattern: 0,
+    };
+
+    fn of(entry: &BufEntry) -> HeadMeta {
+        HeadMeta {
+            rc_port: entry.rc_port,
+            rc_vcidx: entry.rc_vcidx,
+            flits: entry.flits,
+            pattern: entry.pattern,
+        }
+    }
+}
+
+/// Dense per-VC gating metadata of one wire (see [`HeadMeta`]).
+pub type WireMeta = [HeadMeta; MAX_WIRE_VCS];
+
+/// Dense per-VC head ready cycles of one wire, clamped to `u32` (simulated
+/// runs sit far below 2³² cycles; the clamp is debug-asserted).
+pub type WireReady = [u32; MAX_WIRE_VCS];
+
+/// The simulator-owned receive-side state of one wire, borrowed together
+/// for the maintenance points ([`Wire::tick`], [`Wire::pop`]) that file and
+/// promote head entries.
+#[derive(Debug)]
+pub struct WireRx<'a> {
+    /// Bitmask of VCs holding at least one packet.
+    pub occupied: &'a mut u16,
+    /// Full head entry per VC (valid where `occupied` is set).
+    pub heads: &'a mut WireHeads,
+    /// Head ready cycle per VC.
+    pub ready: &'a mut WireReady,
+    /// Head gating metadata per VC.
+    pub meta: &'a mut WireMeta,
+}
+
+impl WireRx<'_> {
+    /// Files `entry` as VC `vcidx`'s head, refreshing the dense mirrors.
+    #[inline]
+    fn set_head(&mut self, entry: BufEntry, vcidx: u8) {
+        debug_assert!(entry.ready_at <= u64::from(u32::MAX), "cycle overflow");
+        self.ready[vcidx as usize] = entry.ready_at as u32;
+        self.meta[vcidx as usize] = HeadMeta::of(&entry);
+        self.heads[vcidx as usize] = entry;
+        *self.occupied |= 1 << vcidx;
+    }
+}
+
 /// Time-weighted per-VC buffer-occupancy tracking, allocated only when
 /// [`crate::params::SimParams::collect_metrics`] is set.
 #[derive(Debug, Clone)]
@@ -86,6 +175,20 @@ pub struct BufEntry {
     pub age: u64,
 }
 
+impl BufEntry {
+    /// Placeholder for unoccupied head slots and scratch arrays.
+    pub const EMPTY: BufEntry = BufEntry {
+        pkt: PacketId(0),
+        ready_at: 0,
+        flits: 0,
+        class: 0,
+        pattern: 0,
+        rc_port: 0xFF,
+        rc_vcidx: 0,
+        age: 0,
+    };
+}
+
 /// One directed, credit-controlled channel.
 #[derive(Debug)]
 pub struct Wire {
@@ -100,18 +203,16 @@ pub struct Wire {
     pub group_vcs: u8,
     /// Buffer depth per VC in flits.
     depth: u8,
-    /// Sender-side credits per VC index.
-    credits: Vec<u8>,
     /// Packets in flight: `(tail_arrival_cycle, entry, vc_index)`, FIFO.
     in_flight: VecDeque<(u64, BufEntry, u8)>,
     /// Credits returning to the sender: `(arrival_cycle, vc_index, flits)`.
     credit_returns: VecDeque<(u64, u8, u8)>,
-    /// Receiver-side buffers per VC index.
+    /// Receiver-side buffers per VC index, holding only the entries behind
+    /// the head (the head itself lives in the simulator-owned
+    /// [`WireHeads`] slot, flagged by the occupied bit).
     bufs: Vec<VecDeque<BufEntry>>,
     /// Total flits ever sent on this wire (for utilization reporting).
     pub flits_carried: u64,
-    /// Bit per VC index: set while the VC's receive buffer is nonempty.
-    occupied: u16,
     /// Occupancy histogram state; `None` unless metrics collection is on.
     occ: Option<Box<OccTracker>>,
     /// Lossy-link shim; `None` (the ideal fixed-latency channel) unless a
@@ -135,28 +236,37 @@ impl Wire {
             "need VCs and room for a max-size packet"
         );
         let nvcs = 2 * group_vcs as usize;
+        assert!(nvcs <= MAX_WIRE_VCS, "too many VCs for the credit arrays");
         Wire {
             label,
             latency,
             rx_pipeline,
             group_vcs,
             depth,
-            credits: vec![depth; nvcs],
             in_flight: VecDeque::new(),
             credit_returns: VecDeque::new(),
             bufs: vec![VecDeque::new(); nvcs],
             flits_carried: 0,
-            occupied: 0,
             occ: None,
             shim: None,
         }
+    }
+
+    /// The sender-side credit state a fresh wire starts with: every VC holds
+    /// a full buffer's worth of credits.
+    pub fn initial_credits(&self) -> WireCredits {
+        let mut credits = [0u8; MAX_WIRE_VCS];
+        for c in credits.iter_mut().take(self.num_vcs()) {
+            *c = self.depth;
+        }
+        credits
     }
 
     /// Replaces the ideal channel with a lossy go-back-N link model. Call
     /// before any traffic flows.
     pub fn install_shim(&mut self, shim: LinkShim) {
         assert!(
-            self.in_flight.is_empty() && self.occupied == 0,
+            self.in_flight.is_empty() && self.bufs.iter().all(VecDeque::is_empty),
             "cannot install a shim on a wire carrying traffic"
         );
         self.shim = Some(Box::new(ShimState {
@@ -197,7 +307,7 @@ impl Wire {
 
     /// Total VC count (both classes).
     pub fn num_vcs(&self) -> usize {
-        self.credits.len()
+        self.bufs.len()
     }
 
     /// Flattened VC index of `(class, vc)` on this wire.
@@ -215,25 +325,19 @@ impl Wire {
         class.index() as u8 * self.group_vcs + vc.0
     }
 
-    /// Whether the sender holds enough credits for a `flits`-flit packet.
-    #[inline]
-    pub fn can_send(&self, vcidx: u8, flits: u8) -> bool {
-        self.credits[vcidx as usize] >= flits
-    }
-
-    /// Pushes a packet onto the wire.
+    /// Pushes a packet onto the wire, spending the sender's credits.
     ///
     /// # Panics
     ///
-    /// Panics without sufficient credits; check [`Wire::can_send`] first.
-    pub fn send(&mut self, now: u64, mut entry: BufEntry, vcidx: u8) {
+    /// Panics without sufficient credits; check the credit array first.
+    pub fn send(&mut self, now: u64, mut entry: BufEntry, vcidx: u8, credits: &mut WireCredits) {
         let flits = entry.flits;
         assert!(
-            self.can_send(vcidx, flits),
+            credits[vcidx as usize] >= flits,
             "send without credits on {}",
             self.label
         );
-        self.credits[vcidx as usize] -= flits;
+        credits[vcidx as usize] -= flits;
         self.flits_carried += u64::from(flits);
         entry.rc_port = 0xFF;
         if let Some(s) = &mut self.shim {
@@ -255,19 +359,21 @@ impl Wire {
     /// Returns `(arrival_ready, credited)`: the latest receiver-pipeline
     /// ready time among arrivals this cycle (to wake the consumer), and
     /// whether any credits returned (to wake the producer).
-    pub fn tick(&mut self, now: u64) -> (Option<u64>, bool) {
+    pub fn tick(
+        &mut self,
+        now: u64,
+        credits: &mut WireCredits,
+        rx: &mut WireRx,
+    ) -> (Option<u64>, bool) {
         let mut credited = false;
         while let Some(&(t, _, _)) = self.credit_returns.front() {
             if t > now {
                 break;
             }
             let (_, vcidx, flits) = self.credit_returns.pop_front().expect("peeked");
-            self.credits[vcidx as usize] += flits;
+            credits[vcidx as usize] += flits;
             credited = true;
-            debug_assert!(
-                self.credits[vcidx as usize] <= self.depth,
-                "credit overflow"
-            );
+            debug_assert!(credits[vcidx as usize] <= self.depth, "credit overflow");
         }
         let mut arrival_ready = None;
         while let Some(&(t, entry, vcidx)) = self.in_flight.front() {
@@ -280,8 +386,11 @@ impl Wire {
             if let Some(t) = &mut self.occ {
                 t.note(now, vcidx as usize, 1);
             }
-            self.bufs[vcidx as usize].push_back(entry);
-            self.occupied |= 1 << vcidx;
+            if *rx.occupied & (1 << vcidx) == 0 {
+                rx.set_head(entry, vcidx);
+            } else {
+                self.bufs[vcidx as usize].push_back(entry);
+            }
         }
         if let Some(s) = &mut self.shim {
             let completed = s.shim.advance(now);
@@ -296,11 +405,31 @@ impl Wire {
                 if let Some(t) = &mut self.occ {
                     t.note(now, vcidx as usize, 1);
                 }
-                self.bufs[vcidx as usize].push_back(entry);
-                self.occupied |= 1 << vcidx;
+                if *rx.occupied & (1 << vcidx) == 0 {
+                    rx.set_head(entry, vcidx);
+                } else {
+                    self.bufs[vcidx as usize].push_back(entry);
+                }
             }
         }
         (arrival_ready, credited)
+    }
+
+    /// The earliest future cycle at which ticking this wire can do anything:
+    /// the front of the in-flight and credit-return queues (both FIFO in
+    /// maturity order), or `u64::MAX` when nothing is pending. Wires with a
+    /// lossy-link shim installed report `0` while the shim holds traffic —
+    /// the go-back-N layer keeps internal timers and must tick every cycle.
+    #[inline]
+    pub fn next_event(&self) -> u64 {
+        if let Some(s) = &self.shim {
+            if !s.shim.idle() {
+                return 0;
+            }
+        }
+        let arrival = self.in_flight.front().map_or(u64::MAX, |&(t, _, _)| t);
+        let credit = self.credit_returns.front().map_or(u64::MAX, |&(t, _, _)| t);
+        arrival.min(credit)
     }
 
     /// Whether the wire has no flits or credits in flight (nothing left to
@@ -312,58 +441,35 @@ impl Wire {
             && self.shim.as_ref().is_none_or(|s| s.shim.idle())
     }
 
-    /// Bitmask of VC indices with nonempty receive buffers (heads may still
-    /// be mid-pipeline; check [`Wire::head`]).
-    #[inline]
-    pub fn occupied_mask(&self) -> u16 {
-        self.occupied
-    }
-
-    /// The head entry of a VC buffer, if it is ready at `now`.
-    #[inline]
-    pub fn head(&self, now: u64, vcidx: u8) -> Option<&BufEntry> {
-        match self.bufs[vcidx as usize].front() {
-            Some(e) if e.ready_at <= now => Some(e),
-            _ => None,
+    /// Pops the head packet of a VC buffer, scheduling the credit return
+    /// and promoting the next queued entry (if any) into the head slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC's occupied bit is clear.
+    pub fn pop(&mut self, now: u64, vcidx: u8, rx: &mut WireRx) -> BufEntry {
+        let bit = 1u16 << vcidx;
+        assert!(*rx.occupied & bit != 0, "pop from empty VC buffer");
+        let entry = rx.heads[vcidx as usize];
+        if let Some(next) = self.bufs[vcidx as usize].pop_front() {
+            rx.set_head(next, vcidx);
+        } else {
+            *rx.occupied &= !bit;
         }
-    }
-
-    /// Mutable access to the head entry (for the route-computation cache).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the buffer is empty.
-    #[inline]
-    pub fn head_mut(&mut self, vcidx: u8) -> &mut BufEntry {
-        self.bufs[vcidx as usize]
-            .front_mut()
-            .expect("head of empty VC buffer")
-    }
-
-    /// Pops the head packet of a VC buffer, scheduling the credit return.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the buffer is empty.
-    pub fn pop(&mut self, now: u64, vcidx: u8) -> BufEntry {
-        let entry = self.bufs[vcidx as usize]
-            .pop_front()
-            .expect("pop from empty VC buffer");
         if let Some(t) = &mut self.occ {
             t.note(now, vcidx as usize, -1);
-        }
-        if self.bufs[vcidx as usize].is_empty() {
-            self.occupied &= !(1 << vcidx);
         }
         self.credit_returns
             .push_back((now + self.latency, vcidx, entry.flits));
         entry
     }
 
-    /// Whether any packet sits in flight or buffered.
-    pub fn is_quiescent(&self) -> bool {
-        self.in_flight.is_empty()
-            && self.occupied == 0
+    /// Whether any packet sits in flight or buffered. `occupied` is the
+    /// wire's simulator-owned occupancy mask (head slots are not visible to
+    /// the wire itself).
+    pub fn is_quiescent(&self, occupied: u16) -> bool {
+        occupied == 0
+            && self.in_flight.is_empty()
             && self.shim.as_ref().is_none_or(|s| s.queue.is_empty())
     }
 
@@ -371,9 +477,14 @@ impl Wire {
     /// credits plus every flit the wire is accountable for (in flight,
     /// inside the shim, buffered at the receiver, or returning as credits)
     /// must equal the buffer depth. Returns a diagnostic on violation.
-    pub fn check_credit_balance(&self) -> Result<(), String> {
+    pub fn check_credit_balance(
+        &self,
+        credits: &WireCredits,
+        occupied: u16,
+        heads: &WireHeads,
+    ) -> Result<(), String> {
         for vc in 0..self.num_vcs() {
-            let mut total = u32::from(self.credits[vc]);
+            let mut total = u32::from(credits[vc]);
             for &(_, vcidx, flits) in &self.credit_returns {
                 if usize::from(vcidx) == vc {
                     total += u32::from(flits);
@@ -383,6 +494,9 @@ impl Wire {
                 if usize::from(vcidx) == vc {
                     total += u32::from(entry.flits);
                 }
+            }
+            if occupied & (1 << vc) != 0 {
+                total += u32::from(heads[vc].flits);
             }
             for entry in &self.bufs[vc] {
                 total += u32::from(entry.flits);
@@ -413,17 +527,82 @@ mod tests {
     use anton_core::chip::LocalLink;
     use anton_core::topology::NodeId;
 
-    fn wire(latency: u64, depth: u8) -> Wire {
-        Wire::new(
-            GlobalLink::Local {
-                node: NodeId(0),
-                link: LocalLink::EpToRouter(LocalEndpointId(0)),
-            },
-            latency,
-            0,
-            4,
-            depth,
-        )
+    /// A wire plus the dense flow-control state the simulator owns for it.
+    struct Harness {
+        w: Wire,
+        credits: WireCredits,
+        occupied: u16,
+        heads: WireHeads,
+        ready: WireReady,
+        meta: WireMeta,
+    }
+
+    impl Harness {
+        fn new(latency: u64, depth: u8) -> Harness {
+            Harness::with_pipeline(latency, 0, depth)
+        }
+
+        fn with_pipeline(latency: u64, rx_pipeline: u64, depth: u8) -> Harness {
+            let w = Wire::new(
+                GlobalLink::Local {
+                    node: NodeId(0),
+                    link: LocalLink::EpToRouter(LocalEndpointId(0)),
+                },
+                latency,
+                rx_pipeline,
+                4,
+                depth,
+            );
+            let credits = w.initial_credits();
+            Harness {
+                w,
+                credits,
+                occupied: 0,
+                heads: [BufEntry::EMPTY; MAX_WIRE_VCS],
+                ready: [0; MAX_WIRE_VCS],
+                meta: [HeadMeta::EMPTY; MAX_WIRE_VCS],
+            }
+        }
+
+        fn can_send(&self, vcidx: u8, flits: u8) -> bool {
+            self.credits[vcidx as usize] >= flits
+        }
+
+        fn send(&mut self, now: u64, entry: BufEntry, vcidx: u8) {
+            self.w.send(now, entry, vcidx, &mut self.credits);
+        }
+
+        fn tick(&mut self, now: u64) -> (Option<u64>, bool) {
+            let mut rx = WireRx {
+                occupied: &mut self.occupied,
+                heads: &mut self.heads,
+                ready: &mut self.ready,
+                meta: &mut self.meta,
+            };
+            self.w.tick(now, &mut self.credits, &mut rx)
+        }
+
+        fn pop(&mut self, now: u64, vcidx: u8) -> BufEntry {
+            let mut rx = WireRx {
+                occupied: &mut self.occupied,
+                heads: &mut self.heads,
+                ready: &mut self.ready,
+                meta: &mut self.meta,
+            };
+            self.w.pop(now, vcidx, &mut rx)
+        }
+
+        /// The head entry of a VC, if present and ready at `now` — the
+        /// simulator-side peek against the dense head slots.
+        fn head(&self, now: u64, vcidx: u8) -> Option<&BufEntry> {
+            let e = &self.heads[vcidx as usize];
+            (self.occupied & (1 << vcidx) != 0 && e.ready_at <= now).then_some(e)
+        }
+
+        fn check_credit_balance(&self) -> Result<(), String> {
+            self.w
+                .check_credit_balance(&self.credits, self.occupied, &self.heads)
+        }
     }
 
     fn entry(pkt: u32, flits: u8) -> BufEntry {
@@ -441,96 +620,100 @@ mod tests {
 
     #[test]
     fn packet_arrives_after_latency() {
-        let mut w = wire(3, 4);
-        w.send(10, entry(7, 1), 0);
+        let mut h = Harness::new(3, 4);
+        h.send(10, entry(7, 1), 0);
         for t in 10..13 {
-            w.tick(t);
-            assert!(w.head(t, 0).is_none(), "arrived early at {t}");
+            h.tick(t);
+            assert!(h.head(t, 0).is_none(), "arrived early at {t}");
         }
-        w.tick(13);
-        assert_eq!(w.head(13, 0).unwrap().pkt, PacketId(7));
+        h.tick(13);
+        assert_eq!(h.head(13, 0).unwrap().pkt, PacketId(7));
     }
 
     #[test]
     fn two_flit_packet_arrives_one_cycle_later() {
-        let mut w = wire(3, 4);
-        w.send(0, entry(1, 2), 0);
-        w.tick(3);
-        assert!(w.head(3, 0).is_none());
-        w.tick(4);
-        assert_eq!(w.head(4, 0).unwrap().pkt, PacketId(1));
+        let mut h = Harness::new(3, 4);
+        h.send(0, entry(1, 2), 0);
+        h.tick(3);
+        assert!(h.head(3, 0).is_none());
+        h.tick(4);
+        assert_eq!(h.head(4, 0).unwrap().pkt, PacketId(1));
     }
 
     #[test]
     fn credits_block_and_return() {
-        let mut w = wire(2, 3);
-        assert!(w.can_send(0, 2));
-        w.send(0, entry(1, 2), 0);
-        assert!(!w.can_send(0, 2), "only 1 credit left");
-        assert!(w.can_send(0, 1));
-        w.send(0, entry(2, 1), 0);
-        assert!(!w.can_send(0, 1));
+        let mut h = Harness::new(2, 3);
+        assert!(h.can_send(0, 2));
+        h.send(0, entry(1, 2), 0);
+        assert!(!h.can_send(0, 2), "only 1 credit left");
+        assert!(h.can_send(0, 1));
+        h.send(0, entry(2, 1), 0);
+        assert!(!h.can_send(0, 1));
         // Drain at the receiver; credits return after the wire latency.
-        w.tick(3);
-        assert_eq!(w.pop(3, 0).pkt, PacketId(1));
-        w.tick(4);
-        assert!(!w.can_send(0, 2), "credits in flight");
-        w.tick(5);
-        assert!(w.can_send(0, 2), "credits should have returned");
+        h.tick(3);
+        assert_eq!(h.pop(3, 0).pkt, PacketId(1));
+        h.tick(4);
+        assert!(!h.can_send(0, 2), "credits in flight");
+        h.tick(5);
+        assert!(h.can_send(0, 2), "credits should have returned");
     }
 
     #[test]
     fn vcs_are_independent() {
-        let mut w = wire(1, 2);
-        w.send(0, entry(1, 2), 0);
-        assert!(!w.can_send(0, 1));
-        assert!(w.can_send(3, 2), "other VC unaffected");
-        w.send(0, entry(2, 1), 3);
-        w.tick(2);
-        assert_eq!(w.head(2, 3).unwrap().pkt, PacketId(2));
-        assert_eq!(w.occupied_mask(), 0b1001);
+        let mut h = Harness::new(1, 2);
+        h.send(0, entry(1, 2), 0);
+        assert!(!h.can_send(0, 1));
+        assert!(h.can_send(3, 2), "other VC unaffected");
+        h.send(0, entry(2, 1), 3);
+        h.tick(2);
+        assert_eq!(h.head(2, 3).unwrap().pkt, PacketId(2));
+        assert_eq!(h.occupied, 0b1001);
     }
 
     #[test]
     fn rx_pipeline_delays_readiness() {
-        let mut w = Wire::new(
-            GlobalLink::Local {
-                node: NodeId(0),
-                link: LocalLink::EpToRouter(LocalEndpointId(0)),
-            },
-            1,
-            3,
-            4,
-            4,
-        );
-        w.send(0, entry(9, 1), 1);
-        w.tick(1);
-        assert!(w.head(1, 1).is_none(), "pipeline stages not yet elapsed");
-        w.tick(4);
-        assert_eq!(w.head(4, 1).unwrap().pkt, PacketId(9));
+        let mut h = Harness::with_pipeline(1, 3, 4);
+        h.send(0, entry(9, 1), 1);
+        h.tick(1);
+        assert!(h.head(1, 1).is_none(), "pipeline stages not yet elapsed");
+        h.tick(4);
+        assert_eq!(h.head(4, 1).unwrap().pkt, PacketId(9));
     }
 
     #[test]
     fn occupied_mask_tracks_buffers() {
-        let mut w = wire(1, 4);
-        assert_eq!(w.occupied_mask(), 0);
-        w.send(0, entry(1, 1), 2);
-        w.tick(1);
-        assert_eq!(w.occupied_mask(), 0b100);
-        w.pop(1, 2);
-        assert_eq!(w.occupied_mask(), 0);
-        assert!(w.is_quiescent() || !w.is_quiescent());
+        let mut h = Harness::new(1, 4);
+        assert_eq!(h.occupied, 0);
+        h.send(0, entry(1, 1), 2);
+        h.tick(1);
+        assert_eq!(h.occupied, 0b100);
+        h.pop(1, 2);
+        assert_eq!(h.occupied, 0);
+    }
+
+    #[test]
+    fn next_event_tracks_pending_maturities() {
+        let mut h = Harness::new(3, 4);
+        assert_eq!(h.w.next_event(), u64::MAX, "idle wire has no events");
+        h.send(10, entry(7, 1), 0);
+        assert_eq!(h.w.next_event(), 13, "tail flit arrival");
+        h.tick(13);
+        assert_eq!(h.w.next_event(), u64::MAX, "arrival consumed");
+        h.pop(13, 0);
+        assert_eq!(h.w.next_event(), 16, "credit return in flight");
+        h.tick(16);
+        assert_eq!(h.w.next_event(), u64::MAX);
     }
 
     #[test]
     fn rc_cache_cleared_on_send() {
-        let mut w = wire(1, 4);
+        let mut h = Harness::new(1, 4);
         let mut e = entry(1, 1);
         e.rc_port = 3;
-        w.send(0, e, 0);
-        w.tick(1);
+        h.send(0, e, 0);
+        h.tick(1);
         assert_eq!(
-            w.head(1, 0).unwrap().rc_port,
+            h.head(1, 0).unwrap().rc_port,
             0xFF,
             "stale RC must not travel"
         );
@@ -538,19 +721,19 @@ mod tests {
 
     #[test]
     fn vc_index_layout() {
-        let w = wire(1, 4);
-        assert_eq!(w.vc_index(TrafficClass::Request, Vc(0)), 0);
-        assert_eq!(w.vc_index(TrafficClass::Request, Vc(3)), 3);
-        assert_eq!(w.vc_index(TrafficClass::Reply, Vc(0)), 4);
-        assert_eq!(w.vc_index(TrafficClass::Reply, Vc(3)), 7);
+        let h = Harness::new(1, 4);
+        assert_eq!(h.w.vc_index(TrafficClass::Request, Vc(0)), 0);
+        assert_eq!(h.w.vc_index(TrafficClass::Request, Vc(3)), 3);
+        assert_eq!(h.w.vc_index(TrafficClass::Reply, Vc(0)), 4);
+        assert_eq!(h.w.vc_index(TrafficClass::Reply, Vc(3)), 7);
     }
 
     #[test]
     #[should_panic(expected = "without credits")]
     fn overcommit_rejected() {
-        let mut w = wire(1, 2);
-        w.send(0, entry(1, 2), 0);
-        w.send(0, entry(2, 1), 0);
+        let mut h = Harness::new(1, 2);
+        h.send(0, entry(1, 2), 0);
+        h.send(0, entry(2, 1), 0);
     }
 
     #[test]
@@ -560,20 +743,21 @@ mod tests {
             window: 64,
             timeout: 192,
         };
-        let mut ideal = wire(44, 8);
-        let mut lossy = wire(44, 8);
-        lossy.install_shim(LinkShim::new(44, gbn, 0.0, Vec::new(), 1));
+        let mut ideal = Harness::new(44, 8);
+        let mut lossy = Harness::new(44, 8);
+        lossy
+            .w
+            .install_shim(LinkShim::new(44, gbn, 0.0, Vec::new(), 1));
         // A single-flit and a two-flit packet, spaced like the serializer
         // would emit them (≥ 45/14 cycles apart per flit).
-        for w in [&mut ideal, &mut lossy] {
-            w.send(5, entry(1, 1), 0);
-        }
+        ideal.send(5, entry(1, 1), 0);
+        lossy.send(5, entry(1, 1), 0);
+        assert_eq!(lossy.w.next_event(), 0, "an active shim ticks every cycle");
         let mut popped = 0;
         for t in 5..400u64 {
             if t == 12 {
-                for w in [&mut ideal, &mut lossy] {
-                    w.send(t, entry(2, 2), 3);
-                }
+                ideal.send(t, entry(2, 2), 3);
+                lossy.send(t, entry(2, 2), 3);
             }
             let (ra, ca) = ideal.tick(t);
             let (rb, cb) = lossy.tick(t);
@@ -600,34 +784,34 @@ mod tests {
             window: 64,
             timeout: 192,
         };
-        let mut w = wire(10, 6);
+        let mut h = Harness::new(10, 6);
         // Link down forever: flits stay inside the shim, credits stay spent.
-        w.install_shim(LinkShim::new(10, gbn, 0.0, vec![(0, u64::MAX)], 1));
-        w.send(0, entry(1, 2), 0);
+        h.w.install_shim(LinkShim::new(10, gbn, 0.0, vec![(0, u64::MAX)], 1));
+        h.send(0, entry(1, 2), 0);
         for t in 1..100 {
-            w.tick(t);
+            h.tick(t);
         }
-        assert!(!w.can_send(0, 5));
-        assert_eq!(w.shim_backlog(), 2);
-        w.check_credit_balance().unwrap();
-        assert!(!w.idle(), "a stuck shim must keep the wire active");
-        assert!(!w.is_quiescent());
+        assert!(!h.can_send(0, 5));
+        assert_eq!(h.w.shim_backlog(), 2);
+        h.check_credit_balance().unwrap();
+        assert!(!h.w.idle(), "a stuck shim must keep the wire active");
+        assert!(!h.w.is_quiescent(h.occupied));
     }
 
     #[test]
     fn occupancy_histogram_weights_time_at_each_level() {
-        let mut w = wire(1, 4);
+        let mut h = Harness::new(1, 4);
         assert!(
-            w.occupancy_histograms(10).is_none(),
+            h.w.occupancy_histograms(10).is_none(),
             "tracking is off by default"
         );
-        w.enable_occupancy_tracking();
+        h.w.enable_occupancy_tracking();
         // Arrives at cycle 1, occupancy 0 for cycles [0, 1).
-        w.send(0, entry(1, 1), 0);
-        w.tick(1);
+        h.send(0, entry(1, 1), 0);
+        h.tick(1);
         // Occupancy 1 for cycles [1, 5), then drained.
-        w.pop(5, 0);
-        let hist = w.occupancy_histograms(10).expect("tracking enabled");
+        h.pop(5, 0);
+        let hist = h.w.occupancy_histograms(10).expect("tracking enabled");
         assert_eq!(hist[0][0], 1 + 5, "empty before arrival and after drain");
         assert_eq!(hist[0][1], 4, "held one packet for four cycles");
         assert!(hist[0][2..].iter().all(|&c| c == 0));

@@ -1,0 +1,373 @@
+//! Golden determinism snapshots of the simulator kernel.
+//!
+//! Each scenario runs a figure-shaped workload (fig9 batch throughput,
+//! fault-sweep open-loop traffic, multicast + counted writes) on a small
+//! machine and serializes every observable output — delivery stream, event
+//! counters, per-endpoint receive counts, grant counts, link-class
+//! utilization, occupancy histograms, per-wire flit counts — into a
+//! deterministic text form compared byte-for-byte against the committed
+//! snapshot under `tests/snapshots/`.
+//!
+//! The snapshots were generated on the pre-event-driven (dirty-scan) kernel;
+//! any kernel change that alters a single routing decision, arbitration
+//! grant, delivery cycle, or metric shows up here as a byte diff. To
+//! regenerate after an *intentional* behavioral change, run with
+//! `ANTON_UPDATE_SNAPSHOTS=1`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use anton_analysis::load::LoadAnalysis;
+use anton_analysis::weights::ArbiterWeightSet;
+use anton_arbiter::ArbiterKind;
+use anton_core::chip::{ChanId, LocalEndpointId};
+use anton_core::config::{GlobalEndpoint, MachineConfig};
+use anton_core::multicast::{McGroup, McGroupId};
+use anton_core::packet::{CounterId, Destination, Packet, Payload};
+use anton_core::topology::{NodeCoord, NodeId, TorusShape};
+use anton_fault::{FaultKind, FaultSchedule};
+use anton_sim::driver::{BatchDriver, LoadDriver};
+use anton_sim::params::SimParams;
+use anton_sim::sim::{Delivery, Driver, RunOutcome, Sim};
+use anton_traffic::patterns::UniformRandom;
+
+/// 64-bit FNV-1a, folded over `u64` words.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        for byte in s.as_bytes() {
+            self.0 ^= u64::from(*byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Wraps any driver, recording the full ordered delivery stream.
+struct Recorder<D> {
+    inner: D,
+    /// (src_idx, dst_idx, pattern, counter|u64::MAX, injected, delivered,
+    /// torus_hops) per packet delivery, in delivery order.
+    packets: Vec<[u64; 7]>,
+    /// (ep_idx, counter, cycle) per handler dispatch, in order.
+    handlers: Vec<[u64; 3]>,
+}
+
+impl<D> Recorder<D> {
+    fn new(inner: D) -> Recorder<D> {
+        Recorder {
+            inner,
+            packets: Vec::new(),
+            handlers: Vec::new(),
+        }
+    }
+}
+
+impl<D: Driver> Driver for Recorder<D> {
+    fn pre_cycle(&mut self, sim: &mut Sim) {
+        self.inner.pre_cycle(sim);
+    }
+
+    fn on_delivery(&mut self, sim: &mut Sim, delivery: &Delivery) {
+        match delivery {
+            Delivery::Packet(p) => self.packets.push([
+                sim.cfg.endpoint_index(p.src) as u64,
+                sim.cfg.endpoint_index(p.dst) as u64,
+                u64::from(p.pattern),
+                p.counter.map_or(u64::MAX, |c| u64::from(c.0)),
+                p.injected_at,
+                p.delivered_at,
+                u64::from(p.torus_hops),
+            ]),
+            Delivery::Handler { ep, counter } => self.handlers.push([
+                sim.cfg.endpoint_index(*ep) as u64,
+                u64::from(counter.0),
+                sim.now(),
+            ]),
+        }
+        self.inner.on_delivery(sim, delivery);
+    }
+
+    fn done(&self, sim: &Sim) -> bool {
+        self.inner.done(sim)
+    }
+}
+
+/// Serializes every observable output of a finished run.
+fn render<D: Driver>(name: &str, sim: &Sim, drv: &Recorder<D>, outcome: RunOutcome) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "# golden snapshot: {name}");
+    let _ = writeln!(w, "outcome: {outcome:?}");
+    let _ = writeln!(w, "cycles: {}", sim.now());
+    let _ = writeln!(w, "live_packets: {}", sim.live_packets());
+    let stats = sim.stats();
+    let _ = writeln!(w, "injected_packets: {}", stats.injected_packets);
+    let _ = writeln!(w, "delivered_packets: {}", stats.delivered_packets);
+    let _ = writeln!(w, "flit_hops: {}", stats.flit_hops);
+    let _ = writeln!(w, "torus_flits: {}", stats.torus_flits);
+    let _ = writeln!(w, "last_delivery_cycle: {}", stats.last_delivery_cycle);
+    let mut recv = Fnv::new();
+    for &c in &stats.recv_per_endpoint {
+        recv.word(c);
+    }
+    let _ = writeln!(
+        w,
+        "recv_per_endpoint: n={} digest={:#018x}",
+        stats.recv_per_endpoint.len(),
+        recv.0
+    );
+    let mut pd = Fnv::new();
+    for rec in &drv.packets {
+        for &f in rec {
+            pd.word(f);
+        }
+    }
+    let _ = writeln!(
+        w,
+        "packet_deliveries: n={} digest={:#018x}",
+        drv.packets.len(),
+        pd.0
+    );
+    for h in &drv.handlers {
+        let _ = writeln!(w, "handler: ep={} counter={} cycle={}", h[0], h[1], h[2]);
+    }
+    let m = sim.metrics();
+    let _ = writeln!(
+        w,
+        "grants: sa1={} output={} serializer={}",
+        m.grants.sa1, m.grants.output, m.grants.serializer
+    );
+    for lc in &m.link_classes {
+        let _ = writeln!(
+            w,
+            "link_class {}: wires={} flits={}",
+            lc.class, lc.wires, lc.flits
+        );
+    }
+    for occ in &m.vc_occupancy {
+        if occ.buckets.iter().all(|&b| b == 0) {
+            continue;
+        }
+        let _ = write!(w, "occ {} vc{}:", occ.class, occ.vc_index);
+        for b in occ.buckets {
+            let _ = write!(w, " {b}");
+        }
+        let _ = writeln!(w);
+    }
+    if let Some(f) = &m.fault {
+        let t = f.totals;
+        let _ = writeln!(
+            w,
+            "fault: links={} sent={} retx={} data_dropped={} ack_dropped={} delivered={}",
+            f.shimmed_links,
+            t.frames_sent,
+            t.retransmissions,
+            t.data_frames_dropped,
+            t.ack_frames_dropped,
+            t.flits_delivered
+        );
+    }
+    let mut wires = Fnv::new();
+    for (label, flits) in sim.wire_utilizations() {
+        wires.str(&label.to_string());
+        wires.word(flits);
+    }
+    let _ = writeln!(w, "wire_flits_digest: {:#018x}", wires.0);
+    out
+}
+
+fn check(name: &str, rendered: &str) {
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.push("tests/snapshots");
+    path.push(format!("{name}.txt"));
+    if std::env::var_os("ANTON_UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+    assert_eq!(
+        want, rendered,
+        "kernel output diverged from golden snapshot {name}; if the change \
+         is intentional, regenerate with ANTON_UPDATE_SNAPSHOTS=1"
+    );
+}
+
+fn ep(cfg: &MachineConfig, c: NodeCoord, i: u8) -> GlobalEndpoint {
+    GlobalEndpoint {
+        node: cfg.shape.id(c),
+        ep: LocalEndpointId(i),
+    }
+}
+
+/// Figure 9-shaped: closed-loop batch of uniform traffic, round-robin
+/// arbitration, metrics collection on.
+#[test]
+fn golden_fig9_round_robin() {
+    let cfg = MachineConfig::new(TorusShape::cube(2));
+    let params = SimParams {
+        collect_metrics: true,
+        ..SimParams::default()
+    };
+    let mut sim = Sim::new(cfg, params);
+    let inner = BatchDriver::builder(&sim)
+        .pattern(Box::new(UniformRandom))
+        .packets_per_endpoint(10)
+        .seed(42)
+        .build();
+    let mut drv = Recorder::new(inner);
+    let outcome = sim.run(&mut drv, 2_000_000);
+    assert_eq!(outcome, RunOutcome::Completed);
+    sim.check_invariants().unwrap();
+    check(
+        "fig9_round_robin",
+        &render("fig9_round_robin", &sim, &drv, outcome),
+    );
+}
+
+/// Figure 9-shaped with programmed inverse-weighted arbiters (exercises the
+/// weight-installation paths and EoS arbitration sites).
+#[test]
+fn golden_fig9_inverse_weighted() {
+    let cfg = MachineConfig::new(TorusShape::cube(2));
+    let analysis = LoadAnalysis::compute(&cfg, &UniformRandom);
+    let weights = ArbiterWeightSet::compute(&cfg, &[&analysis], 5);
+    let params = SimParams {
+        arbiter: ArbiterKind::InverseWeighted { m_bits: 5 },
+        collect_metrics: true,
+        ..SimParams::default()
+    };
+    let mut sim = Sim::new(cfg, params);
+    for ((node, router, out), table) in &weights.tables {
+        sim.set_arbiter_weights(*node, *router, *out, table.clone(), weights.m_bits);
+    }
+    for ((node, chan), table) in &weights.chan_tables {
+        sim.set_chan_arbiter_weights(*node, *chan, table.clone(), weights.m_bits);
+    }
+    for ((node, router, port), table) in &weights.input_tables {
+        sim.set_input_arbiter_weights(*node, *router, *port, table.clone(), weights.m_bits);
+    }
+    let inner = BatchDriver::builder(&sim)
+        .pattern(Box::new(UniformRandom))
+        .packets_per_endpoint(8)
+        .seed(7)
+        .build();
+    let mut drv = Recorder::new(inner);
+    let outcome = sim.run(&mut drv, 2_000_000);
+    assert_eq!(outcome, RunOutcome::Completed);
+    sim.check_invariants().unwrap();
+    check(
+        "fig9_inverse_weighted",
+        &render("fig9_inverse_weighted", &sim, &drv, outcome),
+    );
+}
+
+/// Fault-sweep-shaped: open-loop load under a lossy schedule with an outage
+/// window, metrics collection on.
+#[test]
+fn golden_fault_sweep() {
+    let cfg = MachineConfig::new(TorusShape::cube(2));
+    let schedule = FaultSchedule::uniform(5, 1e-4).with_fault(
+        NodeId(0),
+        ChanId::from_index(0),
+        FaultKind::Down {
+            from_cycle: 200,
+            until_cycle: 900,
+        },
+    );
+    let params = SimParams {
+        collect_metrics: true,
+        fault: Some(schedule),
+        ..SimParams::default()
+    };
+    let mut sim = Sim::new(cfg.clone(), params);
+    let inner = LoadDriver::new(&sim, Box::new(UniformRandom), 0.05, 20, 13);
+    let mut drv = Recorder::new(inner);
+    let outcome = sim.run(&mut drv, 10_000_000);
+    assert_eq!(outcome, RunOutcome::Completed);
+    sim.check_invariants().unwrap();
+    check("fault_sweep", &render("fault_sweep", &sim, &drv, outcome));
+}
+
+/// Multicast trees plus counted-write synchronization (exercises the
+/// replication tables, endpoint counters, and handler dispatch).
+#[test]
+fn golden_multicast_counted_write() {
+    let cfg = MachineConfig::new(TorusShape::cube(3));
+    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let src_node = NodeCoord::new(1, 1, 1);
+    let dests =
+        anton_traffic::md::halo_dest_set(&cfg, src_node, anton_traffic::md::HaloSpec::default());
+    let n_dests = dests.num_endpoints() as u64;
+    let group = McGroup::build(
+        &cfg.shape,
+        McGroupId(3),
+        src_node,
+        dests,
+        &anton_traffic::md::alternating_variants(),
+    );
+    sim.add_multicast_group(group);
+    let src = ep(&cfg, src_node, 0);
+    for tree in [0u8, 1] {
+        let mut pkt = Packet::write(src, src, Payload::zeros(16));
+        pkt.dst = Destination::Multicast {
+            group: McGroupId(3),
+            tree,
+        };
+        sim.inject(src, pkt);
+    }
+    // Counted write: three writes arm a three-count counter at a far corner.
+    let dst = ep(&cfg, NodeCoord::new(2, 2, 2), 5);
+    let counter = CounterId(4);
+    sim.set_counter(dst, counter, 3);
+    for _ in 0..3 {
+        let mut pkt = Packet::write(src, dst, Payload::zeros(16));
+        pkt.counter = Some(counter);
+        sim.inject(src, pkt);
+    }
+
+    struct Wait {
+        want_packets: u64,
+        packets: u64,
+        handler_seen: bool,
+    }
+    impl Driver for Wait {
+        fn pre_cycle(&mut self, _sim: &mut Sim) {}
+        fn on_delivery(&mut self, _sim: &mut Sim, d: &Delivery) {
+            match d {
+                Delivery::Packet(_) => self.packets += 1,
+                Delivery::Handler { .. } => self.handler_seen = true,
+            }
+        }
+        fn done(&self, _sim: &Sim) -> bool {
+            self.packets >= self.want_packets && self.handler_seen
+        }
+    }
+    let inner = Wait {
+        want_packets: 2 * n_dests + 3,
+        packets: 0,
+        handler_seen: false,
+    };
+    let mut drv = Recorder::new(inner);
+    let outcome = sim.run(&mut drv, 1_000_000);
+    assert_eq!(outcome, RunOutcome::Completed);
+    sim.check_invariants().unwrap();
+    check(
+        "multicast_counted_write",
+        &render("multicast_counted_write", &sim, &drv, outcome),
+    );
+}

@@ -102,3 +102,81 @@ fn grant_counts_are_live_and_deterministic() {
     // SA2, so SA1 grants can't be fewer than output grants.
     assert!(g.sa1 >= g.output);
 }
+
+/// Wraps [`BatchDriver`], recording every packet delivery for exact
+/// comparison across instrumentation settings.
+struct RecordingBatch {
+    inner: BatchDriver,
+    deliveries: Vec<anton_sim::sim::PacketDelivery>,
+}
+
+impl anton_sim::sim::Driver for RecordingBatch {
+    fn pre_cycle(&mut self, sim: &mut Sim) {
+        self.inner.pre_cycle(sim);
+    }
+    fn on_delivery(&mut self, sim: &mut Sim, d: &anton_sim::sim::Delivery) {
+        if let anton_sim::sim::Delivery::Packet(p) = d {
+            self.deliveries.push(p.clone());
+        }
+        self.inner.on_delivery(sim, d);
+    }
+    fn done(&self, sim: &Sim) -> bool {
+        self.inner.done(sim)
+    }
+}
+
+#[test]
+fn instrumentation_toggles_never_change_routing_or_deliveries() {
+    // Flipping collect_grants (and collect_metrics) must be observationally
+    // invisible: identical link-level routes, VCs, per-packet delivery
+    // cycles, and final simulated time.
+    let run = |collect_grants: bool, collect_metrics: bool| {
+        let cfg = MachineConfig::new(TorusShape::cube(2));
+        let params = SimParams {
+            collect_grants,
+            collect_metrics,
+            seed: 11,
+            ..SimParams::default()
+        };
+        let mut sim = Sim::new(cfg, params);
+        sim.record_routes = true;
+        let inner = BatchDriver::builder(&sim)
+            .pattern(Box::new(UniformRandom))
+            .packets_per_endpoint(6)
+            .seed(5)
+            .build();
+        let mut drv = RecordingBatch {
+            inner,
+            deliveries: Vec::new(),
+        };
+        assert_eq!(sim.run(&mut drv, 1_000_000), RunOutcome::Completed);
+        let mut log: Vec<_> = drv
+            .deliveries
+            .into_iter()
+            .map(|p| {
+                (
+                    p.src,
+                    p.dst,
+                    p.injected_at,
+                    p.delivered_at,
+                    p.torus_hops,
+                    p.route_log.expect("routes recorded"),
+                )
+            })
+            .collect();
+        log.sort_by_key(|(src, dst, inj, del, ..)| (*src, *dst, *inj, *del));
+        (sim.now(), log)
+    };
+    let reference = run(true, false); // the defaults
+    for (grants, metrics) in [(false, false), (true, true), (false, true)] {
+        let got = run(grants, metrics);
+        assert_eq!(
+            reference.0, got.0,
+            "final cycle changed under grants={grants} metrics={metrics}"
+        );
+        assert_eq!(
+            reference.1, got.1,
+            "deliveries/routes changed under grants={grants} metrics={metrics}"
+        );
+    }
+}
