@@ -54,6 +54,42 @@ pub trait PortArbiter: std::fmt::Debug {
     fn pick(&mut self, reqs: &[ArbRequest]) -> Option<usize>;
 }
 
+/// Where in the switching pipeline an arbitration grant was issued.
+///
+/// The simulator arbitrates at three structurally distinct places: the SA1
+/// stage choosing among virtual channels on one input port, the SA2/output
+/// stage choosing among input ports competing for one output, and the channel
+/// adapter's serializer choosing which staged packet departs onto the torus.
+/// Observability hooks tag each grant event with its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrantSite {
+    /// Input-side VC selection (SA1).
+    Sa1,
+    /// Output-port allocation (SA2).
+    Output,
+    /// Channel-adapter serializer onto the torus link.
+    Serializer,
+}
+
+impl GrantSite {
+    /// All grant sites in a fixed order.
+    pub const ALL: [GrantSite; 3] = [GrantSite::Sa1, GrantSite::Output, GrantSite::Serializer];
+
+    /// Stable lowercase name, used in serialized traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GrantSite::Sa1 => "sa1",
+            GrantSite::Output => "output",
+            GrantSite::Serializer => "serializer",
+        }
+    }
+
+    /// Inverse of [`GrantSite::name`].
+    pub fn from_name(name: &str) -> Option<GrantSite> {
+        GrantSite::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
 /// Which arbiter implementation a simulation should instantiate at each
 /// router output port.
 #[derive(Debug, Clone, PartialEq)]

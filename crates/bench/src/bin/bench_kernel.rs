@@ -30,7 +30,8 @@
 //! Each measurement runs `--reps` times and keeps the fastest (wall-clock
 //! noise only ever slows a run down). `--phases` additionally runs one
 //! profiled pass per entry to break the cycle loop into its five phases via
-//! `ANTON_SIM_PROFILE` (see DESIGN.md "Simulator kernel & profiling").
+//! `TraceConfig::profile` (the `ANTON_SIM_PROFILE` environment variable
+//! still works; see DESIGN.md "Simulator kernel & profiling").
 //! `--quick` shrinks everything for the CI smoke job.
 
 use std::time::Instant;
@@ -43,7 +44,7 @@ use anton_core::topology::{NodeId, TorusShape};
 use anton_core::GlobalEndpoint;
 use anton_fault::FaultSchedule;
 use anton_sim::driver::{BatchDriver, LoadDriver, PingPongDriver};
-use anton_sim::params::SimParams;
+use anton_sim::params::{SimParams, TraceConfig};
 use anton_sim::sim::{RunOutcome, Sim, PHASE_NS};
 use anton_traffic::patterns::{NHopNeighbor, UniformRandom};
 
@@ -107,8 +108,17 @@ fn peak_rss_kb() -> u64 {
 }
 
 /// Builds and runs one workload once, returning (cycles, wall seconds).
-fn run_once(workload: &str, k: u8, packets: u64, seed: u64) -> (u64, f64) {
+/// `profile` turns on the per-phase profiler via [`TraceConfig`] (the
+/// structured replacement for exporting `ANTON_SIM_PROFILE`).
+fn run_once(workload: &str, k: u8, packets: u64, seed: u64, profile: bool) -> (u64, f64) {
     let cfg = MachineConfig::new(TorusShape::cube(k));
+    let base_params = SimParams {
+        trace: TraceConfig {
+            profile,
+            ..TraceConfig::default()
+        },
+        ..SimParams::default()
+    };
     match workload {
         "uniform" | "neighbor" => {
             let pattern: Box<dyn TrafficPattern> = if workload == "uniform" {
@@ -116,7 +126,7 @@ fn run_once(workload: &str, k: u8, packets: u64, seed: u64) -> (u64, f64) {
             } else {
                 Box::new(NHopNeighbor::new(1))
             };
-            let mut sim = Sim::new(cfg, SimParams::default());
+            let mut sim = Sim::new(cfg, base_params);
             let mut drv = BatchDriver::builder(&sim)
                 .pattern(pattern)
                 .packets_per_endpoint(packets)
@@ -131,7 +141,7 @@ fn run_once(workload: &str, k: u8, packets: u64, seed: u64) -> (u64, f64) {
         "fault" => {
             let params = SimParams {
                 fault: Some(FaultSchedule::uniform(7, 1e-4)),
-                ..SimParams::default()
+                ..base_params
             };
             let mut sim = Sim::new(cfg, params);
             let mut drv = LoadDriver::new(&sim, Box::new(UniformRandom), 0.1, packets, seed);
@@ -142,7 +152,7 @@ fn run_once(workload: &str, k: u8, packets: u64, seed: u64) -> (u64, f64) {
             (sim.now(), wall)
         }
         "latency" => {
-            let mut sim = Sim::new(cfg, SimParams::default());
+            let mut sim = Sim::new(cfg, base_params);
             let nn = sim.cfg.shape.num_nodes() as u32;
             let pairs: Vec<(GlobalEndpoint, GlobalEndpoint)> = (0..4u32)
                 .map(|i| {
@@ -175,9 +185,7 @@ fn run_profiled(workload: &str, k: u8, packets: u64, seed: u64) -> [u64; 5] {
         .iter()
         .map(|a| a.load(std::sync::atomic::Ordering::Relaxed))
         .collect();
-    std::env::set_var("ANTON_SIM_PROFILE", "1");
-    run_once(workload, k, packets, seed);
-    std::env::remove_var("ANTON_SIM_PROFILE");
+    run_once(workload, k, packets, seed, true);
     let mut delta = [0u64; 5];
     for (i, d) in delta.iter_mut().enumerate() {
         *d = PHASE_NS[i].load(std::sync::atomic::Ordering::Relaxed) - before[i];
@@ -232,7 +240,7 @@ fn main() {
             let mut best_wall = f64::INFINITY;
             let mut cycles = 0u64;
             for rep in 0..reps {
-                let (c, wall) = run_once(workload, k, packets, seed);
+                let (c, wall) = run_once(workload, k, packets, seed, false);
                 eprintln!(
                     "[bench_kernel] {workload}/{size} rep {}/{reps}: {c} cycles in {:.3}s \
                      ({:.0} cycles/sec)",
@@ -334,7 +342,7 @@ fn main() {
         ),
         ("entries", Json::Arr(rows)),
     ]);
-    std::fs::write(&out_path, report.to_pretty_string())
+    anton_obs::write_atomic(&out_path, &report.to_pretty_string())
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("[bench_kernel] wrote {out_path}");
 }

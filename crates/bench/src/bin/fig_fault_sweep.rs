@@ -9,11 +9,16 @@
 //! retransmission round-trip. The BER = 0 column doubles as the control —
 //! the shim is timing-identical to the ideal wire there.
 //!
-//! Results land in `results/fig_fault_sweep.json` (schema v1, plus a
-//! `fault_model` object recording the schedule parameters) alongside the
-//! text table. Every run re-checks the simulator's packet-conservation and
-//! credit-balance invariants and says so on stdout — the CI smoke job greps
-//! for that line.
+//! Results land in `results/fig_fault_sweep.json` alongside the text table:
+//! schema v1 plus a `fault_model` object recording the schedule parameters,
+//! bumped to v2 with a `deadlock_reports` section when any point trips the
+//! forward-progress watchdog (each report serializes the stalled VCs, their
+//! routes, and — when event tracing is on — the last flight-recorder events
+//! per stall). Every completed run re-checks the simulator's
+//! packet-conservation and credit-balance invariants and says so on stdout —
+//! the CI smoke job greps for that line.
+
+use std::sync::Mutex;
 
 use anton_bench::harness::{ExperimentSpec, SweepPoint};
 use anton_bench::json::Json;
@@ -107,6 +112,8 @@ fn main() {
     }
 
     let n_points = spec.points().len();
+    // Serialized deadlock diagnostics, per tripped point (normally empty).
+    let deadlock_reports: Mutex<Vec<(usize, Json)>> = Mutex::new(Vec::new());
     let measurements = spec.run(threads, |point: &SweepPoint| {
         let ber = point.float("ber");
         let load = point.float("load");
@@ -125,15 +132,26 @@ fn main() {
             point.seed,
         );
         let outcome = sim.run(&mut driver, 50_000_000);
-        assert_eq!(
-            outcome,
-            RunOutcome::Completed,
-            "fault-sweep point {} did not complete: {:?}",
-            point.index,
-            sim.deadlock_report()
-        );
-        sim.check_invariants()
-            .expect("invariants must hold at quiesce");
+        let deadlocked = outcome == RunOutcome::Deadlocked;
+        if deadlocked {
+            let report = sim
+                .deadlock_report()
+                .expect("deadlock outcome carries a report");
+            eprintln!("[fault-sweep] point {} deadlocked:\n{report}", point.index);
+            deadlock_reports
+                .lock()
+                .expect("report list poisoned")
+                .push((point.index, report.to_json()));
+        } else {
+            assert_eq!(
+                outcome,
+                RunOutcome::Completed,
+                "fault-sweep point {} timed out",
+                point.index,
+            );
+            sim.check_invariants()
+                .expect("invariants must hold at quiesce");
+        }
         let m = sim.metrics();
         let fault = m.fault.expect("fault schedule installed on every point");
         eprintln!(
@@ -150,6 +168,7 @@ fn main() {
             "retransmissions" => fault.totals.retransmissions,
             "data_frames_dropped" => fault.totals.data_frames_dropped,
             "retransmission_overhead" => fault.retransmission_overhead(),
+            "deadlocked" => deadlocked,
         ]
     });
 
@@ -190,35 +209,55 @@ fn main() {
             100.0 * m.metric_f64("retransmission_overhead"),
         );
     }
+    let deadlock_reports = deadlock_reports.into_inner().expect("report list poisoned");
     println!();
-    println!("invariants ok: packet conservation and credit balance verified on {n_points} points");
+    println!(
+        "invariants ok: packet conservation and credit balance verified on {} points",
+        n_points - deadlock_reports.len()
+    );
 
+    let fault_model = Json::obj([
+        ("kind", Json::from("uniform")),
+        ("gbn_window", Json::from(u64::from(SHIM_WINDOW))),
+        ("gbn_timeout", Json::from(SHIM_TIMEOUT)),
+        (
+            "schedules",
+            Json::Arr(
+                measurements
+                    .iter()
+                    .map(|m| {
+                        let p = &spec.points()[m.index];
+                        schedule_json(&FaultSchedule::uniform(p.seed, p.float("ber")))
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
     let mut doc = spec.results_json(&measurements);
-    if let Json::Obj(pairs) = &mut doc {
-        pairs.push((
-            "fault_model".to_string(),
-            Json::obj([
-                ("kind", Json::from("uniform")),
-                ("gbn_window", Json::from(u64::from(SHIM_WINDOW))),
-                ("gbn_timeout", Json::from(SHIM_TIMEOUT)),
-                (
-                    "schedules",
-                    Json::Arr(
-                        measurements
-                            .iter()
-                            .map(|m| {
-                                let p = &spec.points()[m.index];
-                                schedule_json(&FaultSchedule::uniform(p.seed, p.float("ber")))
-                            })
-                            .collect(),
-                    ),
-                ),
-            ]),
-        ));
+    if !deadlock_reports.is_empty() {
+        let reports = Json::Arr(
+            deadlock_reports
+                .iter()
+                .map(|(index, report)| {
+                    Json::obj([
+                        ("point", Json::from(*index as u64)),
+                        ("report", report.clone()),
+                    ])
+                })
+                .collect(),
+        );
+        doc = spec.results_json_with(
+            &measurements,
+            &[("fault_model", fault_model), ("deadlock_reports", reports)],
+        );
+    } else if let Json::Obj(pairs) = &mut doc {
+        // No attachments that change semantics: fault_model alone stays v1,
+        // keeping the committed golden results byte-identical.
+        pairs.push(("fault_model".to_string(), fault_model));
     }
-    match std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write("results/fig_fault_sweep.json", doc.to_pretty_string()))
-    {
+    match std::fs::create_dir_all("results").and_then(|()| {
+        anton_obs::write_atomic("results/fig_fault_sweep.json", &doc.to_pretty_string())
+    }) {
         Ok(()) => eprintln!("[fault-sweep] wrote results/fig_fault_sweep.json"),
         Err(e) => eprintln!("[fault-sweep] could not write results JSON: {e}"),
     }

@@ -221,9 +221,38 @@ impl Measurement {
     }
 }
 
-/// Schema version stamped into every results file; bump when the JSON shape
-/// changes incompatibly.
+/// Schema version stamped into results files with no attachments; files at
+/// this version are exactly the PR-1 shape.
 pub const RESULTS_SCHEMA_VERSION: u64 = 1;
+
+/// Schema version stamped when observability attachments (sampled `windows`,
+/// `deadlock_reports`, …) are appended after `points`. A v2 document is a v1
+/// document plus extra top-level sections — v1 readers that ignore unknown
+/// keys keep working, and [`read_results`] accepts both.
+pub const RESULTS_SCHEMA_VERSION_V2: u64 = 2;
+
+/// Parses and validates a results document at schema version 1 or 2.
+///
+/// Checks the envelope (`experiment`, `schema_version`, `points`) and
+/// rejects versions this build does not know how to read; the attachments of
+/// a v2 file ride along untouched.
+pub fn read_results(text: &str) -> Result<Json, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let ver = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("results: missing `schema_version`")?;
+    if ver == 0 || ver > RESULTS_SCHEMA_VERSION_V2 {
+        return Err(format!("results: unsupported schema_version {ver}"));
+    }
+    doc.get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("results: missing `experiment`")?;
+    doc.get("points")
+        .and_then(Json::as_arr)
+        .ok_or("results: missing `points`")?;
+    Ok(doc)
+}
 
 /// A named sweep: the typed front door of the experiment harness.
 #[derive(Debug, Clone)]
@@ -359,17 +388,63 @@ impl ExperimentSpec {
         ])
     }
 
+    /// Renders measurements plus observability attachments. With an empty
+    /// attachment list this is byte-identical to [`results_json`]
+    /// (schema version 1); any attachment bumps the document to
+    /// [`RESULTS_SCHEMA_VERSION_V2`] and appends the sections after `points`.
+    ///
+    /// [`results_json`]: ExperimentSpec::results_json
+    pub fn results_json_with(
+        &self,
+        measurements: &[Measurement],
+        attachments: &[(&str, Json)],
+    ) -> Json {
+        let mut doc = self.results_json(measurements);
+        if attachments.is_empty() {
+            return doc;
+        }
+        let Json::Obj(fields) = &mut doc else {
+            unreachable!("results_json returns an object")
+        };
+        for (k, v) in fields.iter_mut() {
+            if k == "schema_version" {
+                *v = Json::from(RESULTS_SCHEMA_VERSION_V2);
+            }
+        }
+        for (k, v) in attachments {
+            fields.push(((*k).to_string(), v.clone()));
+        }
+        doc
+    }
+
     /// Writes `results/<name>.json` under `dir` (creating `results/` if
-    /// needed) and returns the path written.
+    /// needed) and returns the path written. The write is atomic
+    /// (temp-file-then-rename), so a crashed or interrupted run never leaves
+    /// a truncated results file behind.
     pub fn write_results_under(
         &self,
         dir: &Path,
         measurements: &[Measurement],
     ) -> io::Result<PathBuf> {
+        self.write_results_with_under(dir, measurements, &[])
+    }
+
+    /// [`write_results_under`], plus observability attachments (see
+    /// [`results_json_with`]).
+    ///
+    /// [`write_results_under`]: ExperimentSpec::write_results_under
+    /// [`results_json_with`]: ExperimentSpec::results_json_with
+    pub fn write_results_with_under(
+        &self,
+        dir: &Path,
+        measurements: &[Measurement],
+        attachments: &[(&str, Json)],
+    ) -> io::Result<PathBuf> {
         let results_dir = dir.join("results");
         std::fs::create_dir_all(&results_dir)?;
         let path = results_dir.join(format!("{}.json", self.name));
-        std::fs::write(&path, self.results_json(measurements).to_pretty_string())?;
+        let doc = self.results_json_with(measurements, attachments);
+        anton_obs::write_atomic(&path, &doc.to_pretty_string())?;
         Ok(path)
     }
 
@@ -470,6 +545,37 @@ mod tests {
             !doc.contains("threads"),
             "thread count must not leak into results"
         );
+    }
+
+    #[test]
+    fn attachments_bump_schema_to_v2_and_empty_list_is_byte_identical_v1() {
+        let mut spec = ExperimentSpec::new("v2_check", 3);
+        spec.push_point(values!["k" => 1u64]);
+        let out = spec.run(1, |_| values!["m" => 2u64]);
+        let v1 = spec.results_json(&out).to_pretty_string();
+        assert_eq!(spec.results_json_with(&out, &[]).to_pretty_string(), v1);
+        let windows = Json::obj([("every", Json::from(100u64))]);
+        let v2 = spec
+            .results_json_with(&out, &[("windows", windows)])
+            .to_pretty_string();
+        assert!(v2.contains("\"schema_version\": 2"));
+        assert!(v2.contains("\"windows\""));
+        // Both versions parse and validate through the back-compat reader.
+        for text in [&v1, &v2] {
+            let doc = read_results(text).expect("valid results document");
+            assert_eq!(
+                doc.get("experiment").and_then(Json::as_str),
+                Some("v2_check")
+            );
+        }
+    }
+
+    #[test]
+    fn read_results_rejects_bad_envelopes() {
+        assert!(read_results("not json").is_err());
+        assert!(read_results("{\"experiment\": \"x\"}").is_err());
+        let future = "{\"experiment\": \"x\", \"schema_version\": 99, \"points\": []}";
+        assert!(read_results(future).unwrap_err().contains("unsupported"));
     }
 
     #[test]

@@ -1,240 +1,8 @@
-//! Dependency-free JSON emission for structured experiment results.
+//! Dependency-free JSON for structured experiment results.
 //!
-//! The build environment is offline, so instead of a serde dependency the
-//! harness serializes through this small value tree. Object keys keep
-//! insertion order, making output deterministic — the harness determinism
-//! test compares serialized bytes.
+//! The value tree moved to [`anton_obs::json`] so the simulator's
+//! observability exports and the harness share one implementation (and one
+//! parser); this module re-exports it to keep `anton_bench::json::Json`
+//! paths working.
 
-use std::fmt::Write as _;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (serialized without a decimal point).
-    Int(i64),
-    /// An unsigned integer; keeps full `u64` precision (seeds use the whole
-    /// range).
-    UInt(u64),
-    /// A float; non-finite values serialize as `null` (JSON has no NaN).
-    Float(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; keys keep insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-
-impl From<i64> for Json {
-    fn from(v: i64) -> Json {
-        Json::Int(v)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(v: u64) -> Json {
-        Json::UInt(v)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::from(v as u64)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::Float(v)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(v: &str) -> Json {
-        Json::Str(v.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(v: String) -> Json {
-        Json::Str(v)
-    }
-}
-
-impl From<Vec<Json>> for Json {
-    fn from(v: Vec<Json>) -> Json {
-        Json::Arr(v)
-    }
-}
-
-impl Json {
-    /// Builds an object from `(key, value)` pairs, preserving order.
-    pub fn obj<K: Into<String>, V: Into<Json>>(pairs: impl IntoIterator<Item = (K, V)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.into(), v.into()))
-                .collect(),
-        )
-    }
-
-    /// Builds an array from values.
-    pub fn arr<V: Into<Json>>(items: impl IntoIterator<Item = V>) -> Json {
-        Json::Arr(items.into_iter().map(Into::into).collect())
-    }
-
-    /// Serializes with two-space indentation and a trailing newline.
-    pub fn to_pretty_string(&self) -> String {
-        let mut out = String::new();
-        self.write_pretty(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write_pretty(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::UInt(u) => {
-                let _ = write!(out, "{u}");
-            }
-            Json::Float(x) => {
-                if x.is_finite() {
-                    // `{:?}` prints the shortest representation that parses
-                    // back exactly, and always includes a decimal point or
-                    // exponent — unambiguously a float.
-                    let _ = write!(out, "{x:?}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    item.write_pretty(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write_pretty(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn indent(out: &mut String, depth: usize) {
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars_serialize() {
-        assert_eq!(Json::Null.to_pretty_string(), "null\n");
-        assert_eq!(Json::from(true).to_pretty_string(), "true\n");
-        assert_eq!(Json::from(42i64).to_pretty_string(), "42\n");
-        assert_eq!(Json::from(0.5).to_pretty_string(), "0.5\n");
-        assert_eq!(Json::Float(f64::NAN).to_pretty_string(), "null\n");
-        assert_eq!(Json::Float(f64::INFINITY).to_pretty_string(), "null\n");
-    }
-
-    #[test]
-    fn floats_keep_a_decimal_marker() {
-        // 1.0 must not serialize as the integer 1.
-        assert_eq!(Json::from(1.0).to_pretty_string(), "1.0\n");
-    }
-
-    #[test]
-    fn strings_escape_control_characters() {
-        let s = Json::from("a\"b\\c\nd\u{1}").to_pretty_string();
-        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
-    }
-
-    #[test]
-    fn nested_structure_is_stable() {
-        let j = Json::obj([
-            ("name", Json::from("fig9")),
-            (
-                "points",
-                Json::arr([Json::obj([("batch", Json::from(64u64))])]),
-            ),
-            ("empty", Json::Arr(vec![])),
-        ]);
-        assert_eq!(
-            j.to_pretty_string(),
-            "{\n  \"name\": \"fig9\",\n  \"points\": [\n    {\n      \"batch\": 64\n    }\n  ],\n  \"empty\": []\n}\n"
-        );
-    }
-
-    #[test]
-    fn u64_keeps_full_precision() {
-        assert_eq!(
-            Json::from(u64::MAX).to_pretty_string(),
-            format!("{}\n", u64::MAX)
-        );
-    }
-}
+pub use anton_obs::json::{Json, JsonError};

@@ -27,4 +27,4 @@ pub mod schedule;
 pub mod shim;
 
 pub use schedule::{FaultKind, FaultSchedule, LinkFault, LinkProfile, SHIM_TIMEOUT, SHIM_WINDOW};
-pub use shim::{LinkShim, ShimStats};
+pub use shim::{LinkShim, ShimEvent, ShimStats};

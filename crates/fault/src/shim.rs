@@ -71,6 +71,18 @@ impl ShimStats {
     }
 }
 
+/// A cycle-stamped link-layer occurrence, recorded only when event
+/// recording is switched on (see [`LinkShim::set_event_recording`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShimEvent {
+    /// A data frame was retransmitted (timeout or go-back-N rewind).
+    Retransmit,
+    /// A data frame was lost to corruption or outage.
+    DataFrameDropped,
+    /// An ack frame was lost to corruption or outage.
+    AckFrameDropped,
+}
+
 /// One direction of one lossy external torus link.
 pub struct LinkShim {
     /// One-way propagation delay in cycles (same as the ideal wire's).
@@ -106,6 +118,10 @@ pub struct LinkShim {
     data_frames_dropped: u64,
     ack_frames_dropped: u64,
     flits_delivered: u64,
+    /// Cycle-stamped event log; `None` (the default) records nothing, so
+    /// the fault path's behavior and cost are unchanged unless a flight
+    /// recorder asks for events.
+    events: Option<Vec<(u64, ShimEvent)>>,
 }
 
 impl std::fmt::Debug for LinkShim {
@@ -157,6 +173,29 @@ impl LinkShim {
             data_frames_dropped: 0,
             ack_frames_dropped: 0,
             flits_delivered: 0,
+            events: None,
+        }
+    }
+
+    /// Switches cycle-stamped event recording on or off. Turning it off
+    /// discards any events not yet taken.
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.events = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the events recorded since the last call; empty (and free of
+    /// allocation) when recording is off.
+    pub fn take_events(&mut self) -> Vec<(u64, ShimEvent)> {
+        match &mut self.events {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn log_event(&mut self, now: u64, ev: ShimEvent) {
+        if let Some(log) = &mut self.events {
+            log.push((now, ev));
         }
     }
 
@@ -187,6 +226,7 @@ impl LinkShim {
                 let ack = self.rx.on_frame(&frame);
                 if self.lose(now) {
                     self.ack_frames_dropped += 1;
+                    self.log_event(now, ShimEvent::AckFrameDropped);
                     self.reverse.push_back((now + self.latency, None));
                 } else {
                     self.reverse.push_back((now + self.latency, Some(ack)));
@@ -277,11 +317,16 @@ impl LinkShim {
         if self.last_tx == Some(now) || self.tokens < TOKEN_COST {
             return;
         }
+        let retrans_before = self.tx.retransmissions;
         if let Some(frame) = self.tx.next_frame(now, self.rx.expected()) {
             self.tokens -= TOKEN_COST;
             self.last_tx = Some(now);
+            if self.tx.retransmissions > retrans_before {
+                self.log_event(now, ShimEvent::Retransmit);
+            }
             if self.lose(now) {
                 self.data_frames_dropped += 1;
+                self.log_event(now, ShimEvent::DataFrameDropped);
                 self.forward.push_back((now + self.latency, None));
             } else {
                 self.forward.push_back((now + self.latency, Some(frame)));
@@ -385,6 +430,50 @@ mod tests {
         }
         assert!(!shim.idle());
         assert_eq!(shim.backlog_flits(), 1);
+    }
+
+    #[test]
+    fn event_recording_matches_counters_and_never_perturbs_delivery() {
+        let run = |record: bool| {
+            let mut shim = LinkShim::new(44, gbn(), 2e-3, Vec::new(), 7);
+            shim.set_event_recording(record);
+            let mut now = 0;
+            for _ in 0..50 {
+                shim.enqueue(now, 2);
+                now += 3;
+            }
+            let mut events = Vec::new();
+            let stop = now + 2_000_000;
+            let mut deliveries = Vec::new();
+            while !shim.idle() && now < stop {
+                now += 1;
+                let done = shim.advance(now);
+                if done > 0 {
+                    deliveries.push((now, done));
+                }
+                events.extend(shim.take_events());
+            }
+            (deliveries, shim.stats(), events)
+        };
+        let (del_on, stats_on, events) = run(true);
+        let (del_off, stats_off, no_events) = run(false);
+        assert_eq!(del_on, del_off, "recording must not change timing");
+        assert_eq!(stats_on, stats_off);
+        assert!(no_events.is_empty());
+        let count = |kind| events.iter().filter(|&&(_, e)| e == kind).count() as u64;
+        assert_eq!(count(ShimEvent::Retransmit), stats_on.retransmissions);
+        assert_eq!(
+            count(ShimEvent::DataFrameDropped),
+            stats_on.data_frames_dropped
+        );
+        assert_eq!(
+            count(ShimEvent::AckFrameDropped),
+            stats_on.ack_frames_dropped
+        );
+        assert!(
+            events.windows(2).all(|w| w[0].0 <= w[1].0),
+            "events are cycle-ordered"
+        );
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Chrome trace-event JSON export, viewable in Perfetto.
+//!
+//! The Chrome trace-event format models a trace as processes ("pid") holding
+//! threads ("tid") holding timestamped events; Perfetto's legacy loader
+//! (`ui.perfetto.dev` → "Open trace file") renders complete events ("X") as
+//! spans and instant events ("i") as markers. We map simulation cycles
+//! directly to the format's microsecond timestamps, so one cycle reads as
+//! one microsecond on the timeline.
+//!
+//! [`ChromeTrace`] is a generic builder; [`ChromeTrace::from_recorder`]
+//! derives the two standard views from a flight recorder: a **links**
+//! process (one thread per wire, a span per packet occupancy) and a
+//! **packets** process (one thread per packet, spans following the packet's
+//! journey hop by hop).
+
+use std::collections::BTreeMap;
+
+use crate::event::TraceEventKind;
+use crate::json::Json;
+use crate::recorder::FlightRecorder;
+
+/// Process id of the per-link view in recorder-derived traces.
+pub const PID_LINKS: u64 = 1;
+/// Process id of the per-packet view in recorder-derived traces.
+pub const PID_PACKETS: u64 = 2;
+
+#[derive(Debug, Clone)]
+struct ChromeEvent {
+    pid: u64,
+    tid: u64,
+    ts: u64,
+    /// Duration for complete ("X") events; `None` emits an instant ("i").
+    dur: Option<u64>,
+    name: String,
+    args: Option<Json>,
+}
+
+/// Builder for a Chrome trace-event document.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<ChromeEvent>,
+    process_names: BTreeMap<u64, String>,
+    thread_names: BTreeMap<(u64, u64), String>,
+}
+
+impl ChromeTrace {
+    /// Creates an empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Names a process (a top-level group in the Perfetto UI).
+    pub fn process_name(&mut self, pid: u64, name: impl Into<String>) {
+        self.process_names.insert(pid, name.into());
+    }
+
+    /// Names a thread (a timeline track in the Perfetto UI).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: impl Into<String>) {
+        self.thread_names.insert((pid, tid), name.into());
+    }
+
+    /// Adds a complete ("X") event: a span `[ts, ts + dur]`.
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        ts: u64,
+        dur: u64,
+        name: impl Into<String>,
+        args: Option<Json>,
+    ) {
+        self.events.push(ChromeEvent {
+            pid,
+            tid,
+            ts,
+            dur: Some(dur),
+            name: name.into(),
+            args,
+        });
+    }
+
+    /// Adds an instant ("i") event: a point marker at `ts`.
+    pub fn instant(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        ts: u64,
+        name: impl Into<String>,
+        args: Option<Json>,
+    ) {
+        self.events.push(ChromeEvent {
+            pid,
+            tid,
+            ts,
+            dur: None,
+            name: name.into(),
+            args,
+        });
+    }
+
+    /// Number of span/instant events added (metadata excluded).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no span/instant events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the document: metadata records first, then all events
+    /// sorted by `(pid, tid, ts)` so timestamps are monotone per track.
+    pub fn to_json(&self) -> Json {
+        let mut out = Vec::new();
+        for (pid, name) in &self.process_names {
+            out.push(Json::obj([
+                ("name", Json::from("process_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(*pid)),
+                ("tid", Json::from(0u64)),
+                ("args", Json::obj([("name", Json::from(name.as_str()))])),
+            ]));
+        }
+        for ((pid, tid), name) in &self.thread_names {
+            out.push(Json::obj([
+                ("name", Json::from("thread_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(*pid)),
+                ("tid", Json::from(*tid)),
+                ("args", Json::obj([("name", Json::from(name.as_str()))])),
+            ]));
+        }
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| {
+            let e = &self.events[i];
+            (e.pid, e.tid, e.ts, i)
+        });
+        for i in order {
+            let e = &self.events[i];
+            let mut pairs = vec![
+                ("name".to_string(), Json::from(e.name.as_str())),
+                (
+                    "ph".to_string(),
+                    Json::from(if e.dur.is_some() { "X" } else { "i" }),
+                ),
+                ("pid".to_string(), Json::from(e.pid)),
+                ("tid".to_string(), Json::from(e.tid)),
+                ("ts".to_string(), Json::from(e.ts)),
+            ];
+            if let Some(dur) = e.dur {
+                pairs.push(("dur".to_string(), Json::from(dur)));
+            } else {
+                pairs.push(("s".to_string(), Json::from("t")));
+            }
+            if let Some(args) = &e.args {
+                pairs.push(("args".to_string(), args.clone()));
+            }
+            out.push(Json::Obj(pairs));
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(out)),
+            ("displayTimeUnit", Json::from("ms")),
+        ])
+    }
+
+    /// Builds the standard two-view trace from a flight recorder.
+    pub fn from_recorder(rec: &FlightRecorder) -> ChromeTrace {
+        let mut trace = ChromeTrace::new();
+        trace.process_name(PID_LINKS, "links");
+        trace.process_name(PID_PACKETS, "packets");
+
+        // Per-link view: hop events become occupancy spans on the wire's
+        // track; shim and stall events become markers.
+        let mut by_packet: BTreeMap<u64, Vec<&crate::event::TraceEvent>> = BTreeMap::new();
+        for track in 0..rec.num_tracks() as u32 {
+            let mut named = false;
+            for ev in rec.track_events(track) {
+                if !named {
+                    trace.thread_name(PID_LINKS, u64::from(track), rec.track_label(track));
+                    named = true;
+                }
+                match ev.kind {
+                    TraceEventKind::Hop { vc, flits } => {
+                        let pkt = ev.packet.unwrap_or(u64::MAX);
+                        trace.complete(
+                            PID_LINKS,
+                            u64::from(track),
+                            ev.cycle,
+                            u64::from(flits.max(1)),
+                            format!("pkt{pkt} vc{vc}"),
+                            None,
+                        );
+                    }
+                    TraceEventKind::Retransmit => {
+                        trace.instant(PID_LINKS, u64::from(track), ev.cycle, "retransmit", None);
+                    }
+                    TraceEventKind::FrameDrop { ack } => {
+                        trace.instant(
+                            PID_LINKS,
+                            u64::from(track),
+                            ev.cycle,
+                            if ack { "ack drop" } else { "frame drop" },
+                            None,
+                        );
+                    }
+                    TraceEventKind::Stall { idle_cycles } => {
+                        trace.instant(
+                            PID_LINKS,
+                            u64::from(track),
+                            ev.cycle,
+                            format!("stall ({idle_cycles} idle)"),
+                            None,
+                        );
+                    }
+                    _ => {}
+                }
+                if let Some(pkt) = ev.packet {
+                    by_packet.entry(pkt).or_default().push(ev);
+                }
+            }
+        }
+
+        // Per-packet view: consecutive events become journey spans.
+        for (pkt, mut evs) in by_packet {
+            evs.sort_by_key(|e| e.seq);
+            trace.thread_name(PID_PACKETS, pkt, format!("pkt{pkt}"));
+            for pair in evs.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let dur = b.cycle.saturating_sub(a.cycle).max(1);
+                trace.complete(PID_PACKETS, pkt, a.cycle, dur, describe(a, rec), None);
+            }
+            if let Some(last) = evs.last() {
+                trace.instant(PID_PACKETS, pkt, last.cycle, describe(last, rec), None);
+            }
+        }
+        trace
+    }
+}
+
+fn describe(ev: &crate::event::TraceEvent, rec: &FlightRecorder) -> String {
+    let label = rec.track_label(ev.track);
+    match ev.kind {
+        TraceEventKind::Inject => format!("inject @{label}"),
+        TraceEventKind::Hop { vc, .. } => format!("hop {label} vc{vc}"),
+        TraceEventKind::VcPromotion { from, to } => format!("promote vc{from}->vc{to} @{label}"),
+        TraceEventKind::Grant { site, .. } => format!("grant {} @{label}", site.name()),
+        TraceEventKind::Retransmit => format!("retransmit @{label}"),
+        TraceEventKind::FrameDrop { ack } => {
+            format!("{} @{label}", if ack { "ack drop" } else { "frame drop" })
+        }
+        TraceEventKind::Deliver => format!("deliver @{label}"),
+        TraceEventKind::Stall { .. } => format!("stall @{label}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEventKind;
+
+    fn ts_of(ev: &Json) -> u64 {
+        ev.get("ts").and_then(Json::as_u64).unwrap()
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_track() {
+        let mut rec = FlightRecorder::new(32);
+        let a = rec.add_track("n0/E0->R");
+        let b = rec.add_track("n0/R(0,0)->U+");
+        // Record out of timestamp order across tracks.
+        rec.record(a, 5, Some(0), TraceEventKind::Hop { vc: 0, flits: 4 });
+        rec.record(b, 9, Some(0), TraceEventKind::Hop { vc: 0, flits: 4 });
+        rec.record(a, 7, Some(1), TraceEventKind::Hop { vc: 1, flits: 4 });
+        rec.record(b, 2, Some(1), TraceEventKind::Hop { vc: 1, flits: 4 });
+        let doc = ChromeTrace::from_recorder(&rec).to_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let mut last: std::collections::BTreeMap<(u64, u64), u64> = Default::default();
+        for ev in events {
+            if ev.get("ph").and_then(Json::as_str) == Some("M") {
+                continue;
+            }
+            let key = (
+                ev.get("pid").and_then(Json::as_u64).unwrap(),
+                ev.get("tid").and_then(Json::as_u64).unwrap(),
+            );
+            let ts = ts_of(ev);
+            if let Some(prev) = last.insert(key, ts) {
+                assert!(ts >= prev, "ts must be monotone within a track");
+            }
+        }
+    }
+
+    #[test]
+    fn from_recorder_builds_both_views() {
+        let mut rec = FlightRecorder::new(32);
+        let w = rec.add_track("n0/E0->R");
+        rec.record(w, 0, Some(3), TraceEventKind::Inject);
+        rec.record(w, 1, Some(3), TraceEventKind::Hop { vc: 0, flits: 4 });
+        rec.record(w, 9, Some(3), TraceEventKind::Deliver);
+        let doc = ChromeTrace::from_recorder(&rec).to_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .map(|e| e.get("pid").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert!(pids.contains(&PID_LINKS) && pids.contains(&PID_PACKETS));
+        // The packet view has one span per consecutive event pair.
+        let pkt_spans = events
+            .iter()
+            .filter(|e| {
+                e.get("pid").and_then(Json::as_u64) == Some(PID_PACKETS)
+                    && e.get("ph").and_then(Json::as_str) == Some("X")
+            })
+            .count();
+        assert_eq!(pkt_spans, 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Structural JSON round-tripping for [`GlobalLink`].
+//!
+//! Diagnostic exports (the deadlock report, shim backlog tables) need links
+//! in their JSON, and readers need to get the typed link back. The display
+//! string (`n3/R(0,1)->U+`) is emitted alongside for humans but is never
+//! parsed; the structural fields are the source of truth.
+
+use anton_core::chip::{
+    ChanId, LocalEndpointId, LocalLink, MeshCoord, MeshDir, MESH_U, MESH_V, NUM_CHAN_ADAPTERS,
+};
+use anton_core::topology::{NodeId, Slice, TorusDir};
+use anton_core::trace::GlobalLink;
+
+use crate::json::Json;
+
+/// Serializes a link structurally, plus a human-readable `label`.
+pub fn link_to_json(link: &GlobalLink) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![("label".to_string(), Json::from(link.to_string()))];
+    match link {
+        GlobalLink::Local { node, link } => {
+            pairs.push(("kind".to_string(), Json::from("local")));
+            pairs.push(("node".to_string(), Json::from(u64::from(node.0))));
+            pairs.push(("link".to_string(), local_link_to_json(link)));
+        }
+        GlobalLink::Torus { from, dir, slice } => {
+            pairs.push(("kind".to_string(), Json::from("torus")));
+            pairs.push(("from".to_string(), Json::from(u64::from(from.0))));
+            pairs.push(("dir".to_string(), Json::from(dir.index())));
+            pairs.push(("slice".to_string(), Json::from(u64::from(slice.0))));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+fn local_link_to_json(link: &LocalLink) -> Json {
+    match link {
+        LocalLink::Mesh { from, dir } => Json::obj([
+            ("kind", Json::from("mesh")),
+            ("u", Json::from(u64::from(from.u))),
+            ("v", Json::from(u64::from(from.v))),
+            ("dir", Json::from(dir.index())),
+        ]),
+        LocalLink::Skip { from } => Json::obj([
+            ("kind", Json::from("skip")),
+            ("u", Json::from(u64::from(from.u))),
+            ("v", Json::from(u64::from(from.v))),
+        ]),
+        LocalLink::ChanToRouter(c) => Json::obj([
+            ("kind", Json::from("chan_to_router")),
+            ("chan", Json::from(c.index())),
+        ]),
+        LocalLink::RouterToChan(c) => Json::obj([
+            ("kind", Json::from("router_to_chan")),
+            ("chan", Json::from(c.index())),
+        ]),
+        LocalLink::EpToRouter(e) => Json::obj([
+            ("kind", Json::from("ep_to_router")),
+            ("ep", Json::from(u64::from(e.0))),
+        ]),
+        LocalLink::RouterToEp(e) => Json::obj([
+            ("kind", Json::from("router_to_ep")),
+            ("ep", Json::from(u64::from(e.0))),
+        ]),
+    }
+}
+
+/// Inverse of [`link_to_json`]; ignores the `label` field.
+pub fn link_from_json(j: &Json) -> Result<GlobalLink, String> {
+    let kind = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("link missing 'kind'")?;
+    let field = |obj: &Json, name: &str| -> Result<u64, String> {
+        obj.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("link missing '{name}'"))
+    };
+    match kind {
+        "local" => {
+            let node =
+                NodeId(u32::try_from(field(j, "node")?).map_err(|_| "link 'node' out of range")?);
+            let lj = j.get("link").ok_or("local link missing 'link'")?;
+            let link = local_link_from_json(lj)?;
+            Ok(GlobalLink::Local { node, link })
+        }
+        "torus" => {
+            let from =
+                NodeId(u32::try_from(field(j, "from")?).map_err(|_| "link 'from' out of range")?);
+            let dir = field(j, "dir")? as usize;
+            if dir >= TorusDir::ALL.len() {
+                return Err(format!("torus dir index {dir} out of range"));
+            }
+            let slice = field(j, "slice")?;
+            if slice >= Slice::ALL.len() as u64 {
+                return Err(format!("slice {slice} out of range"));
+            }
+            Ok(GlobalLink::Torus {
+                from,
+                dir: TorusDir::from_index(dir),
+                slice: Slice(slice as u8),
+            })
+        }
+        other => Err(format!("unknown link kind '{other}'")),
+    }
+}
+
+fn local_link_from_json(j: &Json) -> Result<LocalLink, String> {
+    let kind = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("local link missing 'kind'")?;
+    let field = |name: &str| -> Result<u64, String> {
+        j.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("local link missing '{name}'"))
+    };
+    let coord = || -> Result<MeshCoord, String> {
+        let (u, v) = (field("u")?, field("v")?);
+        if u >= u64::from(MESH_U) || v >= u64::from(MESH_V) {
+            return Err(format!("mesh coordinate ({u},{v}) out of range"));
+        }
+        Ok(MeshCoord::new(u as u8, v as u8))
+    };
+    let chan = || -> Result<ChanId, String> {
+        let idx = field("chan")? as usize;
+        if idx >= NUM_CHAN_ADAPTERS {
+            return Err(format!("channel adapter index {idx} out of range"));
+        }
+        Ok(ChanId::from_index(idx))
+    };
+    let ep = || -> Result<LocalEndpointId, String> {
+        let e = field("ep")?;
+        u8::try_from(e)
+            .map(LocalEndpointId)
+            .map_err(|_| format!("endpoint id {e} out of range"))
+    };
+    match kind {
+        "mesh" => {
+            let dir = field("dir")? as usize;
+            if dir >= MeshDir::ALL.len() {
+                return Err(format!("mesh dir index {dir} out of range"));
+            }
+            Ok(LocalLink::Mesh {
+                from: coord()?,
+                dir: MeshDir::ALL[dir],
+            })
+        }
+        "skip" => Ok(LocalLink::Skip { from: coord()? }),
+        "chan_to_router" => Ok(LocalLink::ChanToRouter(chan()?)),
+        "router_to_chan" => Ok(LocalLink::RouterToChan(chan()?)),
+        "ep_to_router" => Ok(LocalLink::EpToRouter(ep()?)),
+        "router_to_ep" => Ok(LocalLink::RouterToEp(ep()?)),
+        other => Err(format!("unknown local link kind '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<GlobalLink> {
+        let mut out = vec![
+            GlobalLink::Torus {
+                from: NodeId(5),
+                dir: TorusDir::from_index(3),
+                slice: Slice(1),
+            },
+            GlobalLink::Local {
+                node: NodeId(0),
+                link: LocalLink::Skip {
+                    from: MeshCoord::new(2, 3),
+                },
+            },
+            GlobalLink::Local {
+                node: NodeId(7),
+                link: LocalLink::EpToRouter(LocalEndpointId(11)),
+            },
+            GlobalLink::Local {
+                node: NodeId(7),
+                link: LocalLink::RouterToEp(LocalEndpointId(0)),
+            },
+        ];
+        for dir in MeshDir::ALL {
+            out.push(GlobalLink::Local {
+                node: NodeId(1),
+                link: LocalLink::Mesh {
+                    from: MeshCoord::new(1, 2),
+                    dir,
+                },
+            });
+        }
+        for idx in [0usize, 5, 11] {
+            out.push(GlobalLink::Local {
+                node: NodeId(2),
+                link: LocalLink::ChanToRouter(ChanId::from_index(idx)),
+            });
+            out.push(GlobalLink::Local {
+                node: NodeId(2),
+                link: LocalLink::RouterToChan(ChanId::from_index(idx)),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for link in samples() {
+            let j = link_to_json(&link);
+            let text = j.to_pretty_string();
+            let parsed = Json::parse(&text).unwrap();
+            let back = link_from_json(&parsed).unwrap();
+            assert_eq!(back, link);
+            // The label matches the Display form.
+            assert_eq!(
+                parsed.get("label").and_then(Json::as_str),
+                Some(link.to_string().as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn bad_indices_are_rejected() {
+        let j = Json::obj([
+            ("kind", Json::from("torus")),
+            ("from", Json::from(0u64)),
+            ("dir", Json::from(6u64)),
+            ("slice", Json::from(0u64)),
+        ]);
+        assert!(link_from_json(&j).is_err());
+    }
+}

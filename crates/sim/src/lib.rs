@@ -66,7 +66,7 @@ pub use driver::{
 pub use metrics::{
     ArbiterGrantCounts, FaultMetrics, LinkClass, LinkClassMetrics, Metrics, VcOccupancyHistogram,
 };
-pub use params::{EnergyParams, LatencyParams, SimParams};
+pub use params::{EnergyParams, LatencyParams, SimParams, TraceConfig};
 pub use sim::{
     DeadlockReport, Delivery, Driver, EnergyCounters, PacketDelivery, RunOutcome, Sim, SimStats,
     StalledVc,

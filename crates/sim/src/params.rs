@@ -101,6 +101,65 @@ impl Default for EnergyParams {
     }
 }
 
+/// Observability configuration: the flight recorder, the time-series
+/// sampler, and the phase profiler.
+///
+/// Everything here is off by default and the simulator checks a single
+/// `Option` per hook site, so a default-configured run pays one predictable
+/// branch per site and allocates nothing. The legacy `ANTON_SIM_PROFILE`
+/// environment variable is folded into [`TraceConfig::profile`] at
+/// [`Sim::new`](crate::sim::Sim::new): setting either turns the phase
+/// profiler on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record typed events (inject/hop/VC-promotion/grant/retransmit/
+    /// deliver/stall) into per-wire flight-recorder ring buffers.
+    pub events: bool,
+    /// Capacity of each per-wire ring buffer, in events (min 1).
+    pub ring_capacity: usize,
+    /// Snapshot the dense kernel counters into a time-series window every
+    /// this many cycles; `0` disables sampling.
+    pub sample_every: u64,
+    /// Accumulate per-phase wall-clock nanoseconds (the profiler previously
+    /// enabled only by the `ANTON_SIM_PROFILE` environment variable).
+    pub profile: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            events: false,
+            ring_capacity: 256,
+            sample_every: 0,
+            profile: false,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A config with event recording on at the given ring capacity.
+    pub fn events(ring_capacity: usize) -> TraceConfig {
+        TraceConfig {
+            events: true,
+            ring_capacity,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// A config with time-series sampling on at the given period.
+    pub fn sampled(every: u64) -> TraceConfig {
+        TraceConfig {
+            sample_every: every,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// `true` when any tracing or sampling is enabled.
+    pub fn any(&self) -> bool {
+        self.events || self.sample_every > 0
+    }
+}
+
 /// Top-level simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimParams {
@@ -141,6 +200,9 @@ pub struct SimParams {
     /// lossy go-back-N link shim on every torus wire, driven by the
     /// schedule's per-link BER and outage windows.
     pub fault: Option<anton_fault::FaultSchedule>,
+    /// Observability: flight recorder, time-series sampler, profiler.
+    /// All off by default; see [`TraceConfig`].
+    pub trace: TraceConfig,
 }
 
 impl Default for SimParams {
@@ -157,6 +219,7 @@ impl Default for SimParams {
             seed: 0xA2701,
             watchdog_cycles: 50_000,
             fault: None,
+            trace: TraceConfig::default(),
         }
     }
 }

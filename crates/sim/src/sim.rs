@@ -20,8 +20,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use anton_arbiter::{
-    AgeArbiter, ArbRequest, ArbiterKind, FixedPriorityArbiter, InverseWeightedArbiter, PortArbiter,
-    RoundRobinArbiter,
+    AgeArbiter, ArbRequest, ArbiterKind, FixedPriorityArbiter, GrantSite, InverseWeightedArbiter,
+    PortArbiter, RoundRobinArbiter,
 };
 use anton_core::chip::{
     ChanId, LinkGroup, LocalAttach, LocalEndpointId, LocalLink, MeshCoord, MeshDir,
@@ -34,6 +34,10 @@ use anton_core::routing::RouteSpec;
 use anton_core::topology::{Dim, NodeId, TorusDir};
 use anton_core::trace::GlobalLink;
 use anton_core::vc::{Vc, VcPolicy, VcState};
+use anton_fault::ShimEvent;
+use anton_obs::json::Json;
+use anton_obs::link_json;
+use anton_obs::{ChannelKind, FlightRecorder, TimeSeries, TraceEvent, TraceEventKind};
 
 use crate::params::{
     SimParams, ADAPTER_PIPELINE, ROUTER_PIPELINE, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN,
@@ -256,7 +260,7 @@ pub enum RunOutcome {
 }
 
 /// One stalled head packet in a [`DeadlockReport`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StalledVc {
     /// Wire whose receive buffer holds the packet.
     pub link: GlobalLink,
@@ -270,13 +274,16 @@ pub struct StalledVc {
     pub injected_at: u64,
     /// Human-readable routing progress ("where was this packet going").
     pub route: String,
+    /// Last flight-recorder events touching this packet or this wire
+    /// (newest last; empty unless event recording was enabled).
+    pub recent_events: Vec<TraceEvent>,
 }
 
 /// Structured diagnostic captured when the forward-progress watchdog trips:
 /// instead of hanging, the simulator records which VCs hold stalled head
 /// packets, where each was headed, and what the lossy link layer is still
 /// holding.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeadlockReport {
     /// Cycle at which the watchdog fired.
     pub cycle: u64,
@@ -306,6 +313,25 @@ impl std::fmt::Display for DeadlockReport {
                 "  stalled {} vc{}: pkt{} ({} flits, injected @{}) {}",
                 s.link, s.vc_index, s.packet.0, s.flits, s.injected_at, s.route
             )?;
+            for ev in &s.recent_events {
+                match ev.packet {
+                    Some(p) => writeln!(
+                        f,
+                        "    @{} {} pkt{} (track {})",
+                        ev.cycle,
+                        ev.kind.name(),
+                        p,
+                        ev.track
+                    )?,
+                    None => writeln!(
+                        f,
+                        "    @{} {} (track {})",
+                        ev.cycle,
+                        ev.kind.name(),
+                        ev.track
+                    )?,
+                }
+            }
         }
         if self.truncated > 0 {
             writeln!(f, "  ... and {} more occupied VCs", self.truncated)?;
@@ -314,6 +340,119 @@ impl std::fmt::Display for DeadlockReport {
             writeln!(f, "  link layer {link}: {flits} flits undelivered")?;
         }
         Ok(())
+    }
+}
+
+impl StalledVc {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("link", link_json::link_to_json(&self.link)),
+            ("vc_index", Json::from(u64::from(self.vc_index))),
+            ("packet", Json::from(u64::from(self.packet.0))),
+            ("flits", Json::from(u64::from(self.flits))),
+            ("injected_at", Json::from(self.injected_at)),
+            ("route", Json::from(self.route.as_str())),
+            (
+                "recent_events",
+                Json::arr(self.recent_events.iter().map(TraceEvent::to_json)),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<StalledVc, String> {
+        let field = |k: &str| j.get(k).ok_or_else(|| format!("stalled vc: missing `{k}`"));
+        let uint = |k: &str| {
+            field(k).and_then(|v| {
+                v.as_u64()
+                    .ok_or_else(|| format!("stalled vc: `{k}` not a uint"))
+            })
+        };
+        Ok(StalledVc {
+            link: link_json::link_from_json(field("link")?)?,
+            vc_index: u8::try_from(uint("vc_index")?).map_err(|_| "vc_index out of range")?,
+            packet: PacketId(u32::try_from(uint("packet")?).map_err(|_| "packet out of range")?),
+            flits: u8::try_from(uint("flits")?).map_err(|_| "flits out of range")?,
+            injected_at: uint("injected_at")?,
+            route: field("route")?
+                .as_str()
+                .ok_or("stalled vc: `route` not a string")?
+                .to_string(),
+            recent_events: field("recent_events")?
+                .as_arr()
+                .ok_or("stalled vc: `recent_events` not an array")?
+                .iter()
+                .map(TraceEvent::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+impl DeadlockReport {
+    /// Serializes the report for `results/<name>.json` attachments.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycle", Json::from(self.cycle)),
+            ("live_packets", Json::from(self.live_packets as u64)),
+            ("idle_cycles", Json::from(self.idle_cycles)),
+            (
+                "stalled",
+                Json::arr(self.stalled.iter().map(StalledVc::to_json)),
+            ),
+            ("truncated", Json::from(self.truncated as u64)),
+            (
+                "shim_backlogs",
+                Json::arr(self.shim_backlogs.iter().map(|(link, flits)| {
+                    Json::obj([
+                        ("link", link_json::link_to_json(link)),
+                        ("flits", Json::from(*flits)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Inverse of [`DeadlockReport::to_json`].
+    pub fn from_json(j: &Json) -> Result<DeadlockReport, String> {
+        let field = |k: &str| {
+            j.get(k)
+                .ok_or_else(|| format!("deadlock report: missing `{k}`"))
+        };
+        let uint = |k: &str| {
+            field(k).and_then(|v| {
+                v.as_u64()
+                    .ok_or_else(|| format!("deadlock report: `{k}` not a uint"))
+            })
+        };
+        Ok(DeadlockReport {
+            cycle: uint("cycle")?,
+            live_packets: uint("live_packets")? as usize,
+            idle_cycles: uint("idle_cycles")?,
+            stalled: field("stalled")?
+                .as_arr()
+                .ok_or("deadlock report: `stalled` not an array")?
+                .iter()
+                .map(StalledVc::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            truncated: uint("truncated")? as usize,
+            shim_backlogs: field("shim_backlogs")?
+                .as_arr()
+                .ok_or("deadlock report: `shim_backlogs` not an array")?
+                .iter()
+                .map(|b| {
+                    let link = b
+                        .get("link")
+                        .ok_or("deadlock report: backlog missing `link`")
+                        .and_then(|l| {
+                            link_json::link_from_json(l).map_err(|_| "bad backlog link")
+                        })?;
+                    let flits = b
+                        .get("flits")
+                        .and_then(Json::as_u64)
+                        .ok_or("deadlock report: backlog missing `flits`")?;
+                    Ok::<_, String>((link, flits))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        })
     }
 }
 
@@ -422,6 +561,66 @@ pub struct Sim {
     idle_cycles: u64,
     deadlocked: bool,
     deadlock_report: Option<Box<DeadlockReport>>,
+    /// Flight recorder: per-wire typed-event rings. `None` (one predictable
+    /// branch per hook site) unless [`TraceConfig::events`] is set.
+    ///
+    /// [`TraceConfig::events`]: crate::params::TraceConfig::events
+    recorder: Option<Box<FlightRecorder>>,
+    /// Time-series sampler. `None` unless
+    /// [`TraceConfig::sample_every`](crate::params::TraceConfig::sample_every)
+    /// is non-zero.
+    sampler: Option<Box<SamplerState>>,
+}
+
+/// Last-K flight-recorder events attached to each stalled VC of a
+/// [`DeadlockReport`].
+const DEADLOCK_RECENT_EVENTS: usize = 8;
+
+/// Time-series sampler state: the typed window store plus the next sample
+/// cycle, boxed behind one `Option` so the disabled path costs one branch
+/// per [`Sim::step`].
+struct SamplerState {
+    ts: TimeSeries,
+    every: u64,
+    next_at: u64,
+    scratch: Vec<u64>,
+}
+
+impl SamplerState {
+    /// Fixed channels, in registration order; [`Sim::take_sample`] must push
+    /// raw readings in exactly this order, followed by one
+    /// `flits_<class>` counter per [`LinkClass`](crate::metrics::LinkClass)
+    /// in `LinkClass::ALL` order.
+    const CHANNELS: [(&'static str, ChannelKind); 8] = [
+        ("injected_packets", ChannelKind::Counter),
+        ("delivered_packets", ChannelKind::Counter),
+        ("in_flight_packets", ChannelKind::Gauge),
+        ("occupied_vcs", ChannelKind::Gauge),
+        ("shim_backlog_flits", ChannelKind::Gauge),
+        ("grants_sa1", ChannelKind::Counter),
+        ("grants_output", ChannelKind::Counter),
+        ("grants_serializer", ChannelKind::Counter),
+    ];
+
+    fn new(every: u64) -> SamplerState {
+        let mut ts = TimeSeries::new(every);
+        for (name, kind) in SamplerState::CHANNELS {
+            ts.channel(name, kind);
+        }
+        for class in crate::metrics::LinkClass::ALL {
+            ts.channel(format!("flits_{}", class.name()), ChannelKind::Counter);
+        }
+        let n = ts.num_channels();
+        // Every dense counter is zero at construction, so priming with zeros
+        // at cycle 0 makes the first emitted window cover [0, every).
+        ts.record(0, &vec![0; n]);
+        SamplerState {
+            ts,
+            every,
+            next_at: every,
+            scratch: Vec::with_capacity(n),
+        }
+    }
 }
 
 impl std::fmt::Debug for Sim {
@@ -739,10 +938,28 @@ impl Sim {
                 router_out_wire[ridx * MAX_ROUTER_PORTS + p] = port.out_wire as u32;
             }
         }
+        let recorder = if params.trace.events {
+            let mut rec = FlightRecorder::new(params.trace.ring_capacity);
+            for w in &wires {
+                rec.add_track(w.label.to_string());
+            }
+            // Lossy-link shims (if any) log retransmissions and frame drops
+            // only while a recorder is attached to drain them.
+            for w in &mut wires {
+                w.set_shim_event_recording(true);
+            }
+            Some(Box::new(rec))
+        } else {
+            None
+        };
+        let sampler = (params.trace.sample_every > 0)
+            .then(|| Box::new(SamplerState::new(params.trace.sample_every)));
         Sim {
             rng: StdRng::seed_from_u64(params.seed),
             cfg,
-            profile: std::env::var_os("ANTON_SIM_PROFILE").is_some(),
+            // The legacy environment variable still works; `TraceConfig`
+            // subsumes it.
+            profile: params.trace.profile || std::env::var_os("ANTON_SIM_PROFILE").is_some(),
             params,
             record_routes: false,
             now: 0,
@@ -786,6 +1003,8 @@ impl Sim {
             idle_cycles: 0,
             deadlocked: false,
             deadlock_report: None,
+            recorder,
+            sampler,
         }
     }
 
@@ -1089,6 +1308,7 @@ impl Sim {
         // waking the components their events concern. Wakes raised here are
         // either same-cycle (credits, zero-pipeline arrivals) or future, so
         // the snapshots taken below see every component this cycle concerns.
+        let rec_on = self.recorder.is_some();
         let mut i = 0;
         while i < self.active_wires.len() {
             let w = self.active_wires[i] as usize;
@@ -1104,6 +1324,9 @@ impl Sim {
             };
             let (arrival_ready, credited) =
                 self.wires[w].tick(now, &mut self.wire_credits[w], &mut rx);
+            if rec_on {
+                self.drain_shim_events(w);
+            }
             if let Some(ready) = arrival_ready {
                 self.wake(self.wire_consumer[w], ready);
             }
@@ -1186,7 +1409,70 @@ impl Sim {
             "packet conservation violated at cycle {}",
             self.now
         );
+        if let Some(s) = &self.sampler {
+            // `now + 1` cycles have completed once this step retires.
+            if now + 1 >= s.next_at {
+                self.take_sample(now + 1);
+                let s = self.sampler.as_mut().expect("sampler vanished mid-step");
+                s.next_at = now + 1 + s.every;
+            }
+        }
         self.now += 1;
+    }
+
+    /// Moves the shim's logged link-layer events (retransmissions, frame
+    /// drops) into the flight recorder on wire `w`'s track. Only called with
+    /// a recorder attached; allocation-free for shimless wires.
+    fn drain_shim_events(&mut self, w: usize) {
+        let events = self.wires[w].take_shim_events();
+        if events.is_empty() {
+            return;
+        }
+        let rec = self.recorder.as_mut().expect("recorder checked by caller");
+        for (cycle, ev) in events {
+            let kind = match ev {
+                ShimEvent::Retransmit => TraceEventKind::Retransmit,
+                ShimEvent::DataFrameDropped => TraceEventKind::FrameDrop { ack: false },
+                ShimEvent::AckFrameDropped => TraceEventKind::FrameDrop { ack: true },
+            };
+            rec.record(w as u32, cycle, None, kind);
+        }
+    }
+
+    /// Snapshots the dense kernel counters into the time-series sampler as
+    /// the reading for `cycle`. Push order must match the channel
+    /// registration order in [`SamplerState::new`].
+    fn take_sample(&mut self, cycle: u64) {
+        let mut s = self.sampler.take().expect("take_sample without a sampler");
+        s.scratch.clear();
+        s.scratch.push(self.stats.injected_packets);
+        s.scratch.push(self.stats.delivered_packets);
+        s.scratch.push(self.packets.live() as u64);
+        s.scratch.push(
+            self.wire_occupied
+                .iter()
+                .map(|m| u64::from(m.count_ones()))
+                .sum(),
+        );
+        s.scratch
+            .push(self.wires.iter().map(Wire::shim_backlog).sum());
+        s.scratch.push(self.grants.sa1);
+        s.scratch.push(self.grants.output);
+        s.scratch.push(self.grants.serializer);
+        let mut per_class = [0u64; crate::metrics::LinkClass::ALL.len()];
+        for w in &self.wires {
+            let class = crate::metrics::LinkClass::of(&w.label);
+            let slot = crate::metrics::LinkClass::ALL
+                .iter()
+                .position(|c| *c == class)
+                .expect("LinkClass::ALL covers every class");
+            per_class[slot] += w.flits_carried;
+        }
+        s.scratch.extend_from_slice(&per_class);
+        let scratch = std::mem::take(&mut s.scratch);
+        s.ts.record(cycle, &scratch);
+        s.scratch = scratch;
+        self.sampler = Some(s);
     }
 
     /// Audits the invariants at a run exit; panics with a diagnostic (and
@@ -1254,7 +1540,7 @@ impl Sim {
         self.deadlock_report.as_deref()
     }
 
-    fn build_deadlock_report(&self) -> DeadlockReport {
+    fn build_deadlock_report(&mut self) -> DeadlockReport {
         const CAP: usize = 64;
         let mut report = DeadlockReport {
             cycle: self.now,
@@ -1262,6 +1548,8 @@ impl Sim {
             idle_cycles: self.idle_cycles,
             ..DeadlockReport::default()
         };
+        // (wire id, packet) per stalled VC, for the flight-recorder pass.
+        let mut stall_sites: Vec<(u32, PacketId)> = Vec::new();
         for (wid, w) in self.wires.iter().enumerate() {
             let backlog = w.shim_backlog();
             if backlog > 0 {
@@ -1292,6 +1580,7 @@ impl Sim {
                         format!("multicast delivery to e{}", ep.0)
                     }
                 };
+                stall_sites.push((wid as u32, entry.pkt));
                 report.stalled.push(StalledVc {
                     link: w.label,
                     vc_index: vc,
@@ -1299,10 +1588,66 @@ impl Sim {
                     flits: entry.flits,
                     injected_at: entry.age,
                     route,
+                    recent_events: Vec::new(),
+                });
+            }
+        }
+        if let Some(rec) = self.recorder.as_mut() {
+            // Stamp a stall event per stuck VC, then attach the last-K
+            // events touching each stalled packet or wire (the stall
+            // included) so the report carries the history leading in.
+            for &(wid, pid) in &stall_sites {
+                rec.record(
+                    wid,
+                    report.cycle,
+                    Some(u64::from(pid.0)),
+                    TraceEventKind::Stall {
+                        idle_cycles: report.idle_cycles,
+                    },
+                );
+            }
+            for (s, &(wid, pid)) in report.stalled.iter_mut().zip(&stall_sites) {
+                let pkt = u64::from(pid.0);
+                s.recent_events = rec.recent_matching(DEADLOCK_RECENT_EVENTS, |e| {
+                    e.packet == Some(pkt) || e.track == wid
                 });
             }
         }
         report
+    }
+
+    // ----- observability ---------------------------------------------------
+
+    /// The flight recorder, when [`TraceConfig::events`] was set.
+    ///
+    /// [`TraceConfig::events`]: crate::params::TraceConfig::events
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// The sampled kernel-counter time series, when
+    /// [`TraceConfig::sample_every`](crate::params::TraceConfig::sample_every)
+    /// was non-zero.
+    pub fn timeseries(&self) -> Option<&TimeSeries> {
+        self.sampler.as_ref().map(|s| &s.ts)
+    }
+
+    /// Forces a final (possibly partial) sample window at the current cycle.
+    /// Call after a run completes so the tail of the simulation is not lost;
+    /// a no-op when sampling is off or a window was just emitted.
+    pub fn flush_samples(&mut self) {
+        if self.sampler.is_some() {
+            self.take_sample(self.now);
+        }
+    }
+
+    /// Records a flight-recorder event at the current cycle; one branch when
+    /// tracing is off.
+    #[inline]
+    fn record_event(&mut self, track: u32, packet: Option<u64>, kind: TraceEventKind) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(track, self.now, packet, kind);
+        }
     }
 
     // ----- routing helpers -------------------------------------------------
@@ -1445,6 +1790,11 @@ impl Sim {
                 log.push((label, vc));
             }
         }
+        self.record_event(
+            wire as u32,
+            Some(u64::from(pid.0)),
+            TraceEventKind::Hop { vc: vcidx, flits },
+        );
     }
 
     fn send_on_wire(&mut self, wire: WireId, pid: PacketId, vcidx: u8) {
@@ -1502,6 +1852,11 @@ impl Sim {
                     flits,
                     route_log: self.record_routes.then(Vec::new),
                 });
+                self.record_event(
+                    wire_id as u32,
+                    Some(u64::from(pid.0)),
+                    TraceEventKind::Inject,
+                );
                 let sent = self.try_send_to_router_from_ep(eidx, pid);
                 debug_assert!(sent, "credits were checked");
                 self.eps[eidx].inject.pop_front();
@@ -1512,6 +1867,16 @@ impl Sim {
                 if self.eps[eidx].repl.len() + copies.len() <= REPL_CAP {
                     self.eps[eidx].inject.pop_front();
                     self.stats.injected_packets += 1;
+                    if self.recorder.is_some() {
+                        let track = self.eps[eidx].to_router as u32;
+                        for pid in &copies {
+                            self.record_event(
+                                track,
+                                Some(u64::from(pid.0)),
+                                TraceEventKind::Inject,
+                            );
+                        }
+                    }
                     for pid in copies {
                         self.eps[eidx].repl.push_back(pid);
                     }
@@ -1574,6 +1939,10 @@ impl Sim {
         self.stats.delivered_packets += 1;
         self.stats.last_delivery_cycle = now;
         self.stats.recv_per_endpoint[eidx] += 1;
+        if self.recorder.is_some() {
+            let track = self.eps[eidx].from_router as u32;
+            self.record_event(track, Some(u64::from(pid.0)), TraceEventKind::Deliver);
+        }
         if let Some(cid) = st.packet.counter {
             let counters = &mut self.eps[eidx].counters;
             if let Some(pos) = counters.iter().position(|&(c, _)| c == cid.0) {
@@ -1705,7 +2074,16 @@ impl Sim {
         self.wake(CompRef::Chan(cidx as u32), now + u64::from(flits));
         let st = self.packets.get_mut(pid);
         if let Some(promoted) = st.pending_vc.take() {
+            let from = st.vc.vc_for(LinkGroup::T).0;
             st.vc = promoted;
+            self.record_event(
+                wire_id as u32,
+                Some(u64::from(pid.0)),
+                TraceEventKind::VcPromotion {
+                    from,
+                    to: promoted.vc_for(LinkGroup::T).0,
+                },
+            );
         }
         true
     }
@@ -1808,15 +2186,38 @@ impl Sim {
         let (entry, vcidx, vc_after) = targets[widx];
         let pid = entry.pkt;
         let flits = entry.flits;
+        if self.recorder.is_some() {
+            self.record_event(
+                out_wire as u32,
+                Some(u64::from(pid.0)),
+                TraceEventKind::Grant {
+                    site: GrantSite::Serializer,
+                    requests: nreqs as u8,
+                    winner: v,
+                },
+            );
+        }
         self.pop_wire(in_wire, v);
         {
             let dir = self.chans[cidx].chan.dir;
             let st = self.packets.get_mut(pid);
+            let from_tvc = st.vc.vc_for(LinkGroup::T).0;
+            let to_tvc = vc_after.vc_for(LinkGroup::T).0;
             st.vc = vc_after;
             st.torus_hops += 1;
             st.arrived_via = Some(dir);
             if let RouteProgress::Unicast { spec, .. } = &mut st.route {
                 spec.take_hop(dir);
+            }
+            if crosses && from_tvc != to_tvc {
+                self.record_event(
+                    out_wire as u32,
+                    Some(u64::from(pid.0)),
+                    TraceEventKind::VcPromotion {
+                        from: from_tvc,
+                        to: to_tvc,
+                    },
+                );
             }
         }
         self.send_entry(out_wire, entry, vcidx);
@@ -2043,6 +2444,19 @@ impl Sim {
                     vc_cands[w]
                 }
             };
+            if self.recorder.is_some() {
+                if let Some(c) = *cand {
+                    self.record_event(
+                        in_wire as u32,
+                        Some(u64::from(c.pid.0)),
+                        TraceEventKind::Grant {
+                            site: GrantSite::Sa1,
+                            requests: n_vc as u8,
+                            winner: c.vcidx,
+                        },
+                    );
+                }
+            }
         }
         let mut reqs_buf = [ArbRequest {
             input: 0,
@@ -2075,6 +2489,17 @@ impl Sim {
             let cand = cands[inp].expect("winner came from candidates");
             let in_wire = self.router_in_wire[rbase + inp] as usize;
             let out_wire = self.router_out_wire[rbase + out] as usize;
+            if self.recorder.is_some() {
+                self.record_event(
+                    out_wire as u32,
+                    Some(u64::from(cand.pid.0)),
+                    TraceEventKind::Grant {
+                        site: GrantSite::Output,
+                        requests: nreqs as u8,
+                        winner: inp as u8,
+                    },
+                );
+            }
             self.pop_wire(in_wire, cand.vcidx);
             self.send_entry(
                 out_wire,

@@ -285,6 +285,23 @@ impl Wire {
         self.shim.as_ref().map_or(0, |s| s.shim.backlog_flits())
     }
 
+    /// Turns link-layer event logging (retransmissions, frame drops) on or
+    /// off on the installed shim; a no-op without one. The flight recorder
+    /// drains the log each tick via [`Wire::take_shim_events`].
+    pub fn set_shim_event_recording(&mut self, on: bool) {
+        if let Some(s) = &mut self.shim {
+            s.shim.set_event_recording(on);
+        }
+    }
+
+    /// Drains the shim's event log (empty, and allocation-free, when
+    /// recording is off or no shim is installed).
+    pub fn take_shim_events(&mut self) -> Vec<(u64, anton_fault::ShimEvent)> {
+        self.shim
+            .as_mut()
+            .map_or_else(Vec::new, |s| s.shim.take_events())
+    }
+
     /// Turns on time-weighted per-VC occupancy tracking (see
     /// [`Wire::occupancy_histograms`]). Call before any traffic flows.
     pub fn enable_occupancy_tracking(&mut self) {

@@ -7,7 +7,7 @@ use anton_core::topology::{NodeId, TorusShape};
 use anton_core::vc::VcPolicy;
 use anton_fault::{FaultKind, FaultSchedule};
 use anton_sim::driver::BatchDriver;
-use anton_sim::params::SimParams;
+use anton_sim::params::{SimParams, TraceConfig};
 use anton_sim::sim::{RunOutcome, Sim};
 use anton_traffic::patterns::{NodePermutation, UniformRandom};
 
@@ -162,6 +162,12 @@ fn permanent_outage_trips_watchdog_with_link_diagnostic() {
     let text = report.to_string();
     assert!(text.contains("deadlock watchdog tripped"), "got: {text}");
     assert!(text.contains("flits undelivered"), "got: {text}");
+    // The diagnostic must survive a trip through its JSON serialization.
+    let json_text = report.to_json().to_pretty_string();
+    let parsed = anton_obs::Json::parse(&json_text).expect("report JSON parses");
+    let back =
+        anton_sim::sim::DeadlockReport::from_json(&parsed).expect("report JSON deserializes");
+    assert_eq!(*report, back);
     // Stranded packets are still conserved: created == terminated + live.
     sim.check_invariants()
         .expect("conservation and credit balance hold even mid-deadlock");
@@ -204,6 +210,52 @@ fn vc_deadlock_trips_watchdog_instead_of_hanging() {
     assert!(text.contains("unicast to"), "got: {text}");
     sim.check_invariants()
         .expect("conservation and credit balance hold in the deadlocked state");
+}
+
+#[test]
+fn deadlock_report_carries_flight_recorder_events_and_roundtrips() {
+    // Same VC-deadlock negative control, but with the flight recorder on:
+    // the report must attach the last recorded events per stalled VC, and
+    // the whole diagnostic (events included) must round-trip through JSON.
+    let k = 4u8;
+    let perm: Vec<u32> = (0..u32::from(k))
+        .map(|x| (x + u32::from(k) / 2) % u32::from(k))
+        .collect();
+    let mut cfg = MachineConfig::new(TorusShape::new(k, 1, 1));
+    cfg.vc_policy = VcPolicy::NaiveSingle;
+    let params = SimParams {
+        buffer_depth: 2,
+        watchdog_cycles: 5_000,
+        trace: TraceConfig::events(128),
+        ..SimParams::default()
+    };
+    let mut sim = Sim::new(cfg, params);
+    let mut drv = BatchDriver::builder(&sim)
+        .pattern(Box::new(NodePermutation::new(perm)))
+        .packets_per_endpoint(400)
+        .seed(7)
+        .build();
+    assert_eq!(sim.run(&mut drv, 10_000_000), RunOutcome::Deadlocked);
+    let report = sim.deadlock_report().expect("watchdog must leave a report");
+    assert!(!report.stalled.is_empty());
+    assert!(
+        report.stalled.iter().any(|s| !s.recent_events.is_empty()),
+        "with tracing on, stalls must carry recent flight-recorder events"
+    );
+    for s in &report.stalled {
+        assert!(
+            s.recent_events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "recent events must stay in recording order"
+        );
+    }
+    // The textual form surfaces the attached events too.
+    let text = report.to_string();
+    assert!(text.contains("stall"), "got: {text}");
+    let parsed =
+        anton_obs::Json::parse(&report.to_json().to_pretty_string()).expect("report JSON parses");
+    let back =
+        anton_sim::sim::DeadlockReport::from_json(&parsed).expect("report JSON deserializes");
+    assert_eq!(*report, back);
 }
 
 #[test]

@@ -6,7 +6,7 @@ use anton_core::config::MachineConfig;
 use anton_core::topology::TorusShape;
 use anton_sim::driver::BatchDriver;
 use anton_sim::metrics::LinkClass;
-use anton_sim::params::SimParams;
+use anton_sim::params::{SimParams, TraceConfig};
 use anton_sim::sim::{RunOutcome, Sim};
 use anton_traffic::patterns::UniformRandom;
 
@@ -127,14 +127,16 @@ impl anton_sim::sim::Driver for RecordingBatch {
 
 #[test]
 fn instrumentation_toggles_never_change_routing_or_deliveries() {
-    // Flipping collect_grants (and collect_metrics) must be observationally
+    // Flipping collect_grants, collect_metrics, and any TraceConfig (event
+    // recording, sampling at any window size) must be observationally
     // invisible: identical link-level routes, VCs, per-packet delivery
     // cycles, and final simulated time.
-    let run = |collect_grants: bool, collect_metrics: bool| {
+    let run = |collect_grants: bool, collect_metrics: bool, trace: TraceConfig| {
         let cfg = MachineConfig::new(TorusShape::cube(2));
         let params = SimParams {
             collect_grants,
             collect_metrics,
+            trace,
             seed: 11,
             ..SimParams::default()
         };
@@ -167,9 +169,9 @@ fn instrumentation_toggles_never_change_routing_or_deliveries() {
         log.sort_by_key(|(src, dst, inj, del, ..)| (*src, *dst, *inj, *del));
         (sim.now(), log)
     };
-    let reference = run(true, false); // the defaults
+    let reference = run(true, false, TraceConfig::default()); // the defaults
     for (grants, metrics) in [(false, false), (true, true), (false, true)] {
-        let got = run(grants, metrics);
+        let got = run(grants, metrics, TraceConfig::default());
         assert_eq!(
             reference.0, got.0,
             "final cycle changed under grants={grants} metrics={metrics}"
@@ -179,4 +181,74 @@ fn instrumentation_toggles_never_change_routing_or_deliveries() {
             "deliveries/routes changed under grants={grants} metrics={metrics}"
         );
     }
+    // Observability at any setting: full event recording (tiny and large
+    // rings), sampling at several window sizes, both at once, and the
+    // profiler flag.
+    let trace_variants = [
+        TraceConfig::events(4),
+        TraceConfig::events(4096),
+        TraceConfig::sampled(1),
+        TraceConfig::sampled(37),
+        TraceConfig::sampled(100_000), // larger than the run: tail-only
+        TraceConfig {
+            events: true,
+            ring_capacity: 64,
+            sample_every: 50,
+            profile: true,
+        },
+    ];
+    for trace in trace_variants {
+        let got = run(true, false, trace);
+        assert_eq!(reference.0, got.0, "final cycle changed under {trace:?}");
+        assert_eq!(
+            reference.1, got.1,
+            "deliveries/routes changed under {trace:?}"
+        );
+    }
+}
+
+#[test]
+fn recorder_and_sampler_capture_the_run() {
+    let cfg = MachineConfig::new(TorusShape::cube(2));
+    let params = SimParams {
+        trace: TraceConfig {
+            events: true,
+            ring_capacity: 256,
+            sample_every: 64,
+            profile: false,
+        },
+        seed: 9,
+        ..SimParams::default()
+    };
+    let mut sim = Sim::new(cfg, params);
+    let mut drv = BatchDriver::builder(&sim)
+        .pattern(Box::new(UniformRandom))
+        .packets_per_endpoint(8)
+        .seed(2)
+        .build();
+    assert_eq!(sim.run(&mut drv, 1_000_000), RunOutcome::Completed);
+    sim.flush_samples();
+
+    let rec = sim.recorder().expect("events enabled");
+    assert!(rec.total_recorded() > 0, "a saturating run records events");
+    let events = rec.all_events();
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    let delivers = events.iter().filter(|e| e.kind.name() == "deliver").count() as u64;
+    // Rings drop oldest, so at most stats.delivered_packets survive.
+    assert!(delivers <= sim.stats().delivered_packets);
+    assert!(delivers > 0, "recent deliveries stay in the rings");
+
+    let ts = sim.timeseries().expect("sampling enabled");
+    assert!(ts.windows().len() >= 2, "the run spans multiple windows");
+    let injected = ts
+        .channels()
+        .iter()
+        .position(|(n, _)| n == "injected_packets")
+        .unwrap();
+    let total: u64 = ts.windows().iter().map(|w| w.values[injected]).sum();
+    assert_eq!(
+        total,
+        sim.stats().injected_packets,
+        "per-window counter deltas must sum to the run total"
+    );
 }
