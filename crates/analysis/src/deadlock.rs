@@ -71,6 +71,16 @@ impl DepGraph {
         self.edges.iter().map(Vec::len).sum()
     }
 
+    /// Iterates every dependency edge as a `(from, to)` pair of
+    /// `(channel, VC)` nodes. Used by the static verifier's cross-check to
+    /// compare this enumerated graph against the symbolic construction.
+    pub fn edges(&self) -> impl Iterator<Item = (ChannelVc, ChannelVc)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .flat_map(move |(f, tos)| tos.iter().map(move |&t| (self.nodes[f], self.nodes[t])))
+    }
+
     /// Finds a dependency cycle, if one exists, returned as the sequence of
     /// `(channel, VC)` nodes around the cycle.
     pub fn find_cycle(&self) -> Option<Vec<ChannelVc>> {

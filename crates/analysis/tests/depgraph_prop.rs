@@ -1,0 +1,89 @@
+//! Property test: `DepGraph::find_cycle` agrees with a brute-force oracle
+//! on random directed graphs, and any cycle it reports is a real cycle of
+//! the graph.
+
+use anton_analysis::deadlock::{ChannelVc, DepGraph};
+use anton_core::topology::{Dim, NodeId, Sign, Slice, TorusDir};
+use anton_core::trace::GlobalLink;
+use anton_core::vc::Vc;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const N: usize = 12;
+
+/// Distinct `ChannelVc` labels for the abstract node ids the generator
+/// draws — the graph algorithm only cares about identity.
+fn cv(i: usize) -> ChannelVc {
+    (
+        GlobalLink::Torus {
+            from: NodeId(i as u32),
+            dir: TorusDir {
+                dim: Dim::X,
+                sign: Sign::Plus,
+            },
+            slice: Slice(0),
+        },
+        Vc(0),
+    )
+}
+
+/// Brute-force oracle: does any directed cycle exist? Recursive DFS over
+/// the raw edge list, no sharing with the production implementation.
+fn has_cycle_oracle(edges: &[(usize, usize)]) -> bool {
+    let mut adj = vec![Vec::new(); N];
+    for &(f, t) in edges {
+        adj[f].push(t);
+    }
+    // state: 0 = unvisited, 1 = on stack, 2 = done
+    fn dfs(u: usize, adj: &[Vec<usize>], state: &mut [u8]) -> bool {
+        state[u] = 1;
+        for &v in &adj[u] {
+            if state[v] == 1 {
+                return true;
+            }
+            if state[v] == 0 && dfs(v, adj, state) {
+                return true;
+            }
+        }
+        state[u] = 2;
+        false
+    }
+    let mut state = vec![0u8; N];
+    (0..N).any(|s| state[s] == 0 && dfs(s, &adj, &mut state))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn find_cycle_agrees_with_oracle(
+        edges in proptest::collection::vec((0usize..N, 0usize..N), 0..40)
+    ) {
+        let mut g = DepGraph::new();
+        for &(f, t) in &edges {
+            g.add_edge(cv(f), cv(t));
+        }
+        let found = g.find_cycle();
+        prop_assert_eq!(
+            found.is_some(),
+            has_cycle_oracle(&edges),
+            "edges: {:?}",
+            edges
+        );
+        if let Some(cycle) = found {
+            // The reported cycle must be nonempty and every consecutive
+            // pair (wrapping) must be a real edge.
+            prop_assert!(!cycle.is_empty());
+            let edge_set: HashSet<(ChannelVc, ChannelVc)> =
+                edges.iter().map(|&(f, t)| (cv(f), cv(t))).collect();
+            for i in 0..cycle.len() {
+                let from = cycle[i];
+                let to = cycle[(i + 1) % cycle.len()];
+                prop_assert!(
+                    edge_set.contains(&(from, to)),
+                    "reported cycle step {from:?} -> {to:?} is not an edge"
+                );
+            }
+        }
+    }
+}

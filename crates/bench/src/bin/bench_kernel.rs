@@ -175,7 +175,10 @@ fn run_once(workload: &str, k: u8, packets: u64, seed: u64, profile: bool) -> (u
             assert_eq!(outcome, RunOutcome::Completed, "{workload} k{k} run");
             (sim.now(), wall)
         }
-        other => panic!("unknown workload {other}"),
+        other => anton_bench::fail_usage(
+            &anton_verify::Diagnostic::error("AV101", format!("unknown workload `{other}`"))
+                .with("known", "uniform, neighbor, fault, latency"),
+        ),
     }
 }
 
@@ -342,7 +345,6 @@ fn main() {
         ),
         ("entries", Json::Arr(rows)),
     ]);
-    anton_obs::write_atomic(&out_path, &report.to_pretty_string())
-        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    anton_bench::write_output(&out_path, &report.to_pretty_string());
     eprintln!("[bench_kernel] wrote {out_path}");
 }

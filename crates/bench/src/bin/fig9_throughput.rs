@@ -16,18 +16,16 @@
 use anton_analysis::load::LoadAnalysis;
 use anton_analysis::weights::ArbiterWeightSet;
 use anton_bench::harness::{ExperimentSpec, SweepPoint};
-use anton_bench::{run_batch_detailed, saturation_rate, values, ArbiterSetup, FlagSet};
+use anton_bench::{
+    checked_cube, fail_usage, make_pattern, run_batch_detailed, saturation_rate, values,
+    ArbiterSetup, FlagSet,
+};
 use anton_core::config::MachineConfig;
 use anton_core::pattern::TrafficPattern;
-use anton_core::topology::TorusShape;
 use anton_traffic::patterns::{NHopNeighbor, UniformRandom};
 
-fn make_pattern(name: &str) -> Box<dyn TrafficPattern> {
-    match name {
-        "uniform" => Box::new(UniformRandom),
-        "2-hop-neighbor" => Box::new(NHopNeighbor::new(2)),
-        other => panic!("unknown pattern {other}"),
-    }
+fn pattern_or_exit(name: &str) -> Box<dyn TrafficPattern> {
+    make_pattern(name).unwrap_or_else(|d| fail_usage(&d))
 }
 
 fn main() {
@@ -48,7 +46,7 @@ fn main() {
     let batches = args.list("batches");
     let seed: u64 = args.get("seed");
     let threads: usize = args.get("threads");
-    let cfg = MachineConfig::new(TorusShape::cube(k));
+    let cfg = MachineConfig::new(checked_cube(k));
 
     println!("## Figure 9 — throughput beyond saturation ({k}x{k}x{k} torus, 16 cores/node)");
     println!();
@@ -88,7 +86,7 @@ fn main() {
         let batch = point.int("batch") as u64;
         let (p, m) = run_batch_detailed(
             &cfg,
-            vec![(make_pattern(pattern), 1.0)],
+            vec![(pattern_or_exit(pattern), 1.0)],
             batch,
             &setup,
             sat,

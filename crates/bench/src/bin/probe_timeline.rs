@@ -13,22 +13,16 @@
 use std::sync::Mutex;
 
 use anton_bench::harness::{ExperimentSpec, SweepPoint};
-use anton_bench::{values, FlagSet};
+use anton_bench::{checked_cube, fail_usage, values, FlagSet};
 use anton_core::config::MachineConfig;
 use anton_core::pattern::TrafficPattern;
-use anton_core::topology::TorusShape;
 use anton_obs::{ChromeTrace, Json};
 use anton_sim::driver::BatchDriver;
 use anton_sim::params::{SimParams, TraceConfig};
 use anton_sim::sim::{RunOutcome, Sim};
-use anton_traffic::patterns::{NHopNeighbor, UniformRandom};
 
 fn make_pattern(name: &str) -> Box<dyn TrafficPattern> {
-    match name {
-        "uniform" => Box::new(UniformRandom),
-        "2-hop-neighbor" => Box::new(NHopNeighbor::new(2)),
-        other => panic!("unknown pattern {other}"),
-    }
+    anton_bench::make_pattern(name).unwrap_or_else(|d| fail_usage(&d))
 }
 
 fn main() {
@@ -47,7 +41,7 @@ fn main() {
     let sample: u64 = args.get("sample");
     let ring: usize = args.get("ring");
     let seed: u64 = args.get("seed");
-    let cfg = MachineConfig::new(TorusShape::cube(k));
+    let cfg = MachineConfig::new(checked_cube(k));
 
     let mut spec = ExperimentSpec::new("probe_timeline", seed);
     for pattern in ["uniform", "2-hop-neighbor"] {
@@ -108,7 +102,7 @@ fn main() {
         .expect("uniform point always runs");
     let trace_path = std::path::Path::new("results/probe_timeline.trace.json");
     std::fs::create_dir_all("results").expect("create results/");
-    anton_obs::write_atomic(trace_path, &trace_doc.to_pretty_string()).expect("write Chrome trace");
+    anton_bench::write_output(trace_path, &trace_doc.to_pretty_string());
     eprintln!(
         "[probe_timeline] wrote {} (open in https://ui.perfetto.dev)",
         trace_path.display()

@@ -7,13 +7,13 @@
 //! simulation.
 
 use anton_analysis::deadlock::{build_unicast_dep_graph, RouteEnumeration};
-use anton_bench::FlagSet;
+use anton_bench::{checked_cube, FlagSet};
 use anton_core::chip::LinkGroup;
 use anton_core::config::MachineConfig;
 use anton_core::topology::TorusShape;
 use anton_core::vc::VcPolicy;
 use anton_sim::driver::BatchDriver;
-use anton_sim::params::SimParams;
+use anton_sim::params::{PreflightMode, SimParams};
 use anton_sim::sim::Sim;
 use anton_traffic::patterns::NodePermutation;
 
@@ -25,6 +25,7 @@ fn main() {
     .flag("k", 4u8, "torus dimension per side")
     .parse();
     let k: u8 = args.get("k");
+    let shape = checked_cube(k);
     println!("## Section 2.5 — VC promotion and deadlock freedom ({k}x{k}x{k})");
     println!();
     println!(
@@ -32,7 +33,7 @@ fn main() {
         "policy", "M-VCs", "T-VCs", "nodes", "edges", "acyclic"
     );
     for policy in [VcPolicy::Anton, VcPolicy::Baseline2n, VcPolicy::NaiveSingle] {
-        let mut cfg = MachineConfig::new(TorusShape::cube(k));
+        let mut cfg = MachineConfig::new(shape);
         cfg.vc_policy = policy;
         let graph = build_unicast_dep_graph(&cfg, &RouteEnumeration::default());
         let cycle = graph.find_cycle();
@@ -62,9 +63,12 @@ fn main() {
     for policy in [VcPolicy::NaiveSingle, VcPolicy::Anton] {
         let mut cfg = MachineConfig::new(TorusShape::new(k, 1, 1));
         cfg.vc_policy = policy;
+        // The NaiveSingle leg deliberately runs a config the pre-flight
+        // verifier rejects; demote the rejection to a stderr warning.
         let params = SimParams {
             buffer_depth: 2,
             watchdog_cycles: 5_000,
+            preflight: PreflightMode::WarnOnly,
             ..SimParams::default()
         };
         let mut sim = Sim::new(cfg, params);

@@ -1,0 +1,169 @@
+//! Standalone static verification of a machine configuration: runs the
+//! `anton-verify` lint engine and the symbolic deadlock certifier, prints a
+//! human-readable report, optionally exports it as JSON, and exits nonzero
+//! if any error-severity diagnostic (including a dependency cycle) was
+//! found.
+//!
+//! Examples:
+//!
+//! ```text
+//! verify_config                         # the paper's 8x8x8 Anton machine
+//! verify_config --k 4 --policy naive    # single-VC negative control
+//! verify_config --no-datelines          # broken promotion placement
+//! verify_config --cross-check           # also enumerate routes and diff
+//! verify_config --json results/verify_config.json
+//! ```
+
+use anton_bench::{fail_usage, write_output, FlagSet};
+use anton_core::config::MachineConfig;
+use anton_core::topology::TorusShape;
+use anton_core::vc::VcPolicy;
+use anton_verify::{
+    cross_check, full_enumeration, lint_params, ParamsView, Severity, VerifyModel, VerifyReport,
+};
+
+fn parse_policy(name: &str) -> VcPolicy {
+    match name {
+        "anton" => VcPolicy::Anton,
+        "baseline" => VcPolicy::Baseline2n,
+        "naive" => VcPolicy::NaiveSingle,
+        other => fail_usage(
+            &anton_verify::Diagnostic::error("AV101", format!("unknown VC policy `{other}`"))
+                .with("known", "anton, baseline, naive"),
+        ),
+    }
+}
+
+fn parse_shape(spec: &str) -> TorusShape {
+    let parts: Vec<&str> = spec.split('x').collect();
+    let bad = |why: String| -> ! {
+        fail_usage(
+            &anton_verify::Diagnostic::error("AV102", format!("bad --shape `{spec}`: {why}")).with(
+                "expected",
+                "KXxKYxKZ with each extent in 1..=16, e.g. 8x8x8",
+            ),
+        )
+    };
+    if parts.len() != 3 {
+        bad(format!("expected 3 extents, got {}", parts.len()));
+    }
+    let mut k = [0u8; 3];
+    for (slot, part) in k.iter_mut().zip(&parts) {
+        match part.parse::<u8>() {
+            Ok(v) if (1..=TorusShape::MAX_K).contains(&v) => *slot = v,
+            Ok(v) => bad(format!("extent {v} out of range 1..={}", TorusShape::MAX_K)),
+            Err(e) => bad(format!("extent `{part}`: {e}")),
+        }
+    }
+    TorusShape::new(k[0], k[1], k[2])
+}
+
+fn main() {
+    let args = FlagSet::new(
+        "verify_config",
+        "Static deadlock-freedom certification and config lints",
+    )
+    .flag("k", 8u8, "cubic torus extent (ignored if --shape is given)")
+    .flag(
+        "shape",
+        String::new(),
+        "rectangular shape KXxKYxKZ (overrides --k)",
+    )
+    .flag(
+        "policy",
+        "anton".to_string(),
+        "VC policy: anton|baseline|naive",
+    )
+    .switch("no-datelines", "model dateline promotion as disabled")
+    .switch(
+        "cross-check",
+        "also build the route-enumerated graph and diff it (small shapes only)",
+    )
+    .flag("json", String::new(), "write the JSON report to this path")
+    .parse();
+
+    let shape_spec: String = args.get("shape");
+    let shape = if shape_spec.is_empty() {
+        let k: u8 = args.get("k");
+        if !(1..=TorusShape::MAX_K).contains(&k) {
+            fail_usage(
+                &anton_verify::Diagnostic::error(
+                    "AV102",
+                    format!("torus extent {k} out of range 1..={}", TorusShape::MAX_K),
+                )
+                .with("k", k),
+            );
+        }
+        TorusShape::cube(k)
+    } else {
+        parse_shape(&shape_spec)
+    };
+    let mut cfg = MachineConfig::new(shape);
+    cfg.vc_policy = parse_policy(&args.get::<String>("policy"));
+
+    let model = if args.on("no-datelines") {
+        VerifyModel::without_datelines(cfg.clone())
+    } else {
+        VerifyModel::new(cfg.clone())
+    };
+
+    println!(
+        "verify_config: {shape} torus, policy {}, datelines {}",
+        cfg.vc_policy,
+        if model.datelines { "on" } else { "off" }
+    );
+    let mut report: VerifyReport = anton_verify::verify_model(&model);
+    // Standalone runs have no SimParams; lint the paper defaults so the
+    // report covers the parameters an experiment binary would use.
+    report
+        .diagnostics
+        .extend(lint_params(&cfg, &ParamsView::reference()));
+
+    if let Some(cert) = &report.certificate {
+        println!("{cert}");
+    }
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!("verdict: {}", report.summary());
+
+    if args.on("cross-check") {
+        let nodes = shape.num_nodes();
+        if nodes > 64 {
+            eprintln!(
+                "[verify_config] skipping --cross-check: full enumeration over \
+                 {nodes} nodes is infeasible (use a shape up to 4x4x4)"
+            );
+        } else {
+            let cc = cross_check(&cfg, &full_enumeration(&cfg));
+            println!(
+                "cross-check vs route enumeration: symbolic {} edges, enumerated {} \
+                 edges, identical: {}, verdicts agree: {}",
+                cc.symbolic_edges,
+                cc.enumerated_edges,
+                cc.edges_equal,
+                cc.verdicts_agree()
+            );
+            assert!(
+                cc.verdicts_agree() && cc.edges_equal,
+                "symbolic verifier disagrees with route enumeration — this is a bug"
+            );
+        }
+    }
+
+    let json_path: String = args.get("json");
+    if !json_path.is_empty() {
+        write_output(&json_path, &report.to_json().to_pretty_string());
+        eprintln!("[verify_config] wrote {json_path}");
+    }
+
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if errors > 0 {
+        eprintln!("verify_config: {errors} error(s)");
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
 pub mod flags;
 pub mod harness;
 pub mod json;
@@ -33,6 +34,7 @@ use anton_sim::metrics::Metrics;
 use anton_sim::params::{SimParams, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN};
 use anton_sim::sim::{RunOutcome, Sim};
 
+pub use cli::{checked_cube, fail_usage, make_pattern, write_output};
 pub use flags::{FlagSet, ParsedFlags};
 pub use harness::{ExperimentSpec, Measurement, SweepPoint, Value};
 pub use json::Json;
@@ -116,7 +118,11 @@ pub fn run_batch(
 ///
 /// # Panics
 ///
-/// Panics if the run deadlocks or exceeds the cycle budget.
+/// Panics if the run deadlocks or exceeds the cycle budget, if the static
+/// pre-flight verification inside [`Sim::new`] rejects the configuration,
+/// or if an [`ArbiterSetup::InverseWeighted`] weight set fails its lints
+/// (AV016) — every experiment fails fast on a broken setup rather than
+/// measuring it.
 pub fn run_batch_detailed(
     cfg: &MachineConfig,
     components: Vec<(Box<dyn TrafficPattern>, f64)>,
@@ -125,6 +131,14 @@ pub fn run_batch_detailed(
     saturation_rate: f64,
     seed: u64,
 ) -> (ThroughputPoint, Metrics) {
+    if let ArbiterSetup::InverseWeighted(w) = setup {
+        let diags = anton_verify::lint_weights(w);
+        assert!(
+            diags.is_empty(),
+            "arbiter weight set failed verification:\n{}",
+            diags.iter().map(|d| format!("{d}\n")).collect::<String>()
+        );
+    }
     let params = SimParams {
         arbiter: match setup {
             ArbiterSetup::RoundRobin => ArbiterKind::RoundRobin,

@@ -146,6 +146,31 @@ pub fn trace_hops(
     slice: Slice,
     final_ep: Option<LocalEndpointId>,
 ) -> Vec<TraceStep> {
+    trace_hops_with(
+        cfg,
+        start,
+        src_ep,
+        hops,
+        slice,
+        final_ep,
+        &mut |node, dir| cfg.shape.hop_crosses_dateline(node, dir),
+    )
+}
+
+/// [`trace_hops`] with the dateline-crossing rule supplied by the caller.
+///
+/// The static verifier uses this to trace routes under hypothetical crossing
+/// rules (e.g. datelines disabled) without re-implementing the tracer; all
+/// other semantics are identical to [`trace_hops`].
+pub fn trace_hops_with(
+    cfg: &MachineConfig,
+    start: NodeCoord,
+    src_ep: Option<LocalEndpointId>,
+    hops: &[TorusDir],
+    slice: Slice,
+    final_ep: Option<LocalEndpointId>,
+    crosses_dateline: &mut dyn FnMut(NodeCoord, TorusDir) -> bool,
+) -> Vec<TraceStep> {
     let chip = &cfg.chip;
     let mut steps = Vec::new();
     let mut vc = cfg.vc_policy.start();
@@ -220,7 +245,7 @@ pub fn trace_hops(
                 },
                 vc.vc_for(LinkGroup::T),
             ));
-            let crosses = cfg.shape.hop_crosses_dateline(node, dir);
+            let crosses = crosses_dateline(node, dir);
             let tvc = vc.torus_hop(crosses);
             steps.push((
                 GlobalLink::Torus {

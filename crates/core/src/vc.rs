@@ -228,6 +228,31 @@ impl VcState {
     pub fn in_dim(&self) -> bool {
         self.in_dim
     }
+
+    /// The M-group VC currently held (static-analysis introspection).
+    #[inline]
+    pub fn m_vc(&self) -> u8 {
+        self.m_vc
+    }
+
+    /// The T-group VC currently held (static-analysis introspection).
+    #[inline]
+    pub fn t_vc(&self) -> u8 {
+        self.t_vc
+    }
+
+    /// Whether the dateline was crossed in the current (or, between
+    /// dimensions, the most recent) dimension.
+    #[inline]
+    pub fn crossed(&self) -> bool {
+        self.crossed
+    }
+
+    /// The policy this state machine runs.
+    #[inline]
+    pub fn policy(&self) -> VcPolicy {
+        self.policy
+    }
 }
 
 #[cfg(test)]

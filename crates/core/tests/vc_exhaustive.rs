@@ -1,0 +1,156 @@
+//! Exhaustive sweep of the `VcState` transition system: every policy ×
+//! every dimension-traversal order × every per-dimension hop count and
+//! dateline-crossing pattern. Asserts the two safety properties the
+//! static verifier's abstraction rests on:
+//!
+//! 1. every VC the state machine assigns fits the policy's per-group
+//!    budget (`vc < num_vcs(group)` on every link the route would request);
+//! 2. promotion is monotone per dimension: within one dimension the T-VC
+//!    never decreases, and across dimensions the M-VC never decreases;
+//! 3. after `i` completed dimensions the M-VC is exactly the value the
+//!    policy guarantees regardless of crossing history (`i` for Anton and
+//!    Baseline2n, `0` for NaiveSingle) — the invariant that makes the
+//!    symbolic verifier's `(m_vc, mask)` state abstraction exact.
+
+use anton_core::chip::LinkGroup;
+use anton_core::vc::VcPolicy;
+
+const POLICIES: [VcPolicy; 3] = [VcPolicy::Anton, VcPolicy::Baseline2n, VcPolicy::NaiveSingle];
+
+/// All dimension subsets in all traversal orders: the routes a minimal
+/// dimension-order path can take (0 to 3 dimensions, order mattering).
+fn dim_sequences() -> Vec<Vec<u8>> {
+    let mut out = vec![vec![]];
+    for a in 0..3u8 {
+        out.push(vec![a]);
+        for b in 0..3u8 {
+            if b == a {
+                continue;
+            }
+            out.push(vec![a, b]);
+            for c in 0..3u8 {
+                if c == a || c == b {
+                    continue;
+                }
+                out.push(vec![a, b, c]);
+            }
+        }
+    }
+    assert_eq!(out.len(), 1 + 3 + 6 + 6);
+    out
+}
+
+/// Per-dimension arcs: (hops, crossing position). Hop counts cover a
+/// 1..=8-ary torus's minimal arcs (up to 4 hops); a minimal arc crosses
+/// the dateline at most once, at any position or not at all.
+fn arcs() -> Vec<(u8, Option<u8>)> {
+    let mut out = Vec::new();
+    for hops in 1..=4u8 {
+        out.push((hops, None));
+        for at in 0..hops {
+            out.push((hops, Some(at)));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_reachable_vc_fits_the_policy_budget() {
+    let seqs = dim_sequences();
+    let arcs = arcs();
+    let mut checked = 0u64;
+    for policy in POLICIES {
+        let m_budget = policy.num_vcs(LinkGroup::M);
+        let t_budget = policy.num_vcs(LinkGroup::T);
+        // Expected m_vc after i completed dimensions, independent of
+        // crossing pattern (the m_i = i invariant; NaiveSingle pins 0).
+        let m_after = |i: u8| match policy {
+            VcPolicy::NaiveSingle => 0,
+            _ => i,
+        };
+        for seq in &seqs {
+            // Choose each dimension's arc independently; iterate the cross
+            // product via mixed-radix counting.
+            let mut pick = vec![0usize; seq.len()];
+            loop {
+                let mut vc = policy.start();
+                assert!(vc.vc_for(LinkGroup::M).0 < m_budget, "{policy} injection");
+                let mut prev_m = vc.vc_for(LinkGroup::M).0;
+                for (di, _dim) in seq.iter().enumerate() {
+                    let (hops, cross_at) = arcs[pick[di]];
+                    vc.begin_dim();
+                    let mut prev_t = vc.vc_for(LinkGroup::T).0;
+                    assert!(prev_t < t_budget, "{policy} t_vc at dim start");
+                    for h in 0..hops {
+                        let t = vc.torus_hop(cross_at == Some(h));
+                        assert!(t.0 < t_budget, "{policy}: torus hop VC {t:?}");
+                        assert!(t.0 >= prev_t, "{policy}: T-VC demoted within a dimension");
+                        prev_t = t.0;
+                    }
+                    let m = vc.end_dim();
+                    assert!(m.0 < m_budget, "{policy}: mesh VC {m:?} after dim");
+                    assert!(m.0 >= prev_m, "{policy}: M-VC demoted across dimensions");
+                    prev_m = m.0;
+                    assert_eq!(
+                        vc.vc_for(LinkGroup::M).0,
+                        m_after(di as u8 + 1),
+                        "{policy}: m_vc after {} dims with arc {:?}",
+                        di + 1,
+                        arcs[pick[di]]
+                    );
+                    checked += 1;
+                }
+                // Delivery mesh segment uses the final M-VC.
+                assert!(vc.vc_for(LinkGroup::M).0 < m_budget);
+
+                // Advance the mixed-radix counter over arc choices.
+                let mut i = 0;
+                loop {
+                    if i == pick.len() {
+                        break;
+                    }
+                    pick[i] += 1;
+                    if pick[i] < arcs.len() {
+                        break;
+                    }
+                    pick[i] = 0;
+                    i += 1;
+                }
+                if pick.iter().all(|&p| p == 0) || seq.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    // 3 policies x (6 three-dim orders x 14^3 + 6 two-dim x 14^2 + 3 one-dim x 14)
+    // dimension legs each contribute at least one check.
+    assert!(checked > 100_000, "swept only {checked} legs");
+}
+
+/// The promotion ceiling: a packet that crosses a dateline in every
+/// dimension still fits the budget, and one that never crosses uses the
+/// most VCs (promotion-on-no-cross for Anton).
+#[test]
+fn extreme_crossing_patterns_hit_but_never_exceed_the_ceiling() {
+    for policy in [VcPolicy::Anton, VcPolicy::Baseline2n] {
+        let t_budget = policy.num_vcs(LinkGroup::T);
+        // Never crossing: Anton promotes at every end_dim.
+        let mut vc = policy.start();
+        for _ in 0..3 {
+            vc.begin_dim();
+            let t = vc.torus_hop(false);
+            assert!(t.0 < t_budget);
+            vc.end_dim();
+        }
+        assert_eq!(vc.vc_for(LinkGroup::M).0, 3);
+        // Crossing every dimension: the T-VC bump happens mid-arc instead.
+        let mut vc = policy.start();
+        for _ in 0..3 {
+            vc.begin_dim();
+            let t = vc.torus_hop(true);
+            assert!(t.0 < t_budget, "{policy}: crossed-arc VC {t:?}");
+            vc.end_dim();
+        }
+        assert_eq!(vc.vc_for(LinkGroup::M).0, 3);
+    }
+}

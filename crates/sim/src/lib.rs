@@ -66,8 +66,8 @@ pub use driver::{
 pub use metrics::{
     ArbiterGrantCounts, FaultMetrics, LinkClass, LinkClassMetrics, Metrics, VcOccupancyHistogram,
 };
-pub use params::{EnergyParams, LatencyParams, SimParams, TraceConfig};
+pub use params::{EnergyParams, LatencyParams, PreflightMode, SimParams, TraceConfig};
 pub use sim::{
     DeadlockReport, Delivery, Driver, EnergyCounters, PacketDelivery, RunOutcome, Sim, SimStats,
-    StalledVc,
+    StalledVc, StaticVerdict,
 };

@@ -160,6 +160,25 @@ impl TraceConfig {
     }
 }
 
+/// What [`Sim::new`](crate::sim::Sim::new) does with the result of the
+/// static pre-flight verification (`anton-verify` lints plus symbolic
+/// deadlock certification of the configured VC policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreflightMode {
+    /// Run the verifier and panic on any error-severity diagnostic before
+    /// the simulation starts. Warnings go to stderr. This is the default:
+    /// a config the verifier rejects would deadlock or misbehave anyway,
+    /// and the static report is far more actionable than a watchdog trip.
+    #[default]
+    Enforce,
+    /// Run the verifier, print every diagnostic to stderr, and continue.
+    /// For experiments that *intend* to run a broken configuration (e.g.
+    /// demonstrating that a single-VC torus deadlocks).
+    WarnOnly,
+    /// Skip verification entirely; the static verdict stays `Unknown`.
+    Off,
+}
+
 /// Top-level simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimParams {
@@ -203,6 +222,8 @@ pub struct SimParams {
     /// Observability: flight recorder, time-series sampler, profiler.
     /// All off by default; see [`TraceConfig`].
     pub trace: TraceConfig,
+    /// Static pre-flight verification policy (see [`PreflightMode`]).
+    pub preflight: PreflightMode,
 }
 
 impl Default for SimParams {
@@ -220,6 +241,38 @@ impl Default for SimParams {
             watchdog_cycles: 50_000,
             fault: None,
             trace: TraceConfig::default(),
+            preflight: PreflightMode::default(),
+        }
+    }
+}
+
+impl SimParams {
+    /// Projects these parameters into the lint engine's view
+    /// ([`anton_verify::ParamsView`]); `anton-verify` cannot depend on this
+    /// crate, so the mapping lives here. [`ParamsView::reference`] mirrors
+    /// [`SimParams::default`]; a test below pins the two in sync.
+    ///
+    /// [`ParamsView::reference`]: anton_verify::ParamsView::reference
+    pub fn verify_view(&self) -> anton_verify::ParamsView<'_> {
+        anton_verify::ParamsView {
+            buffer_depth: self.buffer_depth,
+            torus_buffer_depth: self.torus_buffer_depth,
+            sw_inject_ns: self.latency.sw_inject_ns,
+            handler_dispatch_ns: self.latency.handler_dispatch_ns,
+            serdes_wire_ns: self.latency.serdes_wire_ns,
+            torus_link_cycles: self.latency.torus_link_cycles(),
+            arbiter_m_bits: match self.arbiter {
+                ArbiterKind::InverseWeighted { m_bits } => Some(m_bits),
+                _ => None,
+            },
+            watchdog_cycles: self.watchdog_cycles,
+            fault: self.fault.as_ref(),
+            trace_events: self.trace.events,
+            trace_ring_capacity: self.trace.ring_capacity,
+            energy_fixed_pj: self.energy.fixed_pj,
+            energy_per_flip_pj: self.energy.per_flip_pj,
+            energy_activation_pj: self.energy.activation_pj,
+            energy_per_set_bit_pj: self.energy.per_set_bit_pj,
         }
     }
 }
@@ -240,5 +293,29 @@ mod tests {
         let lp = LatencyParams::default();
         assert_eq!(lp.torus_link_cycles(), 44);
         assert!((lp.cycles_to_ns(3) - 2.0).abs() < 1e-12);
+    }
+
+    /// `ParamsView::reference` (used by `verify_config` without a
+    /// simulator) must stay identical to the default parameters' view.
+    #[test]
+    fn verify_view_matches_reference() {
+        let params = SimParams::default();
+        let view = params.verify_view();
+        let r = anton_verify::ParamsView::reference();
+        assert_eq!(view.buffer_depth, r.buffer_depth);
+        assert_eq!(view.torus_buffer_depth, r.torus_buffer_depth);
+        assert_eq!(view.sw_inject_ns, r.sw_inject_ns);
+        assert_eq!(view.handler_dispatch_ns, r.handler_dispatch_ns);
+        assert_eq!(view.serdes_wire_ns, r.serdes_wire_ns);
+        assert_eq!(view.torus_link_cycles, r.torus_link_cycles);
+        assert_eq!(view.arbiter_m_bits, r.arbiter_m_bits);
+        assert_eq!(view.watchdog_cycles, r.watchdog_cycles);
+        assert!(view.fault.is_none() && r.fault.is_none());
+        assert_eq!(view.trace_events, r.trace_events);
+        assert_eq!(view.trace_ring_capacity, r.trace_ring_capacity);
+        assert_eq!(view.energy_fixed_pj, r.energy_fixed_pj);
+        assert_eq!(view.energy_per_flip_pj, r.energy_per_flip_pj);
+        assert_eq!(view.energy_activation_pj, r.energy_activation_pj);
+        assert_eq!(view.energy_per_set_bit_pj, r.energy_per_set_bit_pj);
     }
 }

@@ -40,7 +40,7 @@ use anton_obs::link_json;
 use anton_obs::{ChannelKind, FlightRecorder, TimeSeries, TraceEvent, TraceEventKind};
 
 use crate::params::{
-    SimParams, ADAPTER_PIPELINE, ROUTER_PIPELINE, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN,
+    PreflightMode, SimParams, ADAPTER_PIPELINE, ROUTER_PIPELINE, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN,
 };
 use crate::state::{PacketId, PacketSlab, PacketState, RouteProgress};
 use crate::wake::Scheduler;
@@ -279,6 +279,44 @@ pub struct StalledVc {
     pub recent_events: Vec<TraceEvent>,
 }
 
+/// What the static pre-flight verifier concluded about the configuration
+/// before the run started (see
+/// [`PreflightMode`](crate::params::PreflightMode)).
+///
+/// Embedded in [`DeadlockReport`] so a watchdog trip is immediately
+/// classifiable: a trip on a `PredictedDeadlock` config is the static
+/// analysis coming true; a trip on a `CertifiedAcyclic` config means the
+/// simulator diverged from the verified model — a model or simulator bug.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StaticVerdict {
+    /// Verification did not run (`PreflightMode::Off`), or the report was
+    /// read from JSON written before this field existed.
+    #[default]
+    Unknown,
+    /// The symbolic channel-dependency graph was certified acyclic.
+    CertifiedAcyclic,
+    /// The verifier found a dependency cycle in the configuration.
+    PredictedDeadlock,
+}
+
+impl StaticVerdict {
+    fn as_str(&self) -> &'static str {
+        match self {
+            StaticVerdict::Unknown => "unknown",
+            StaticVerdict::CertifiedAcyclic => "certified",
+            StaticVerdict::PredictedDeadlock => "predicted",
+        }
+    }
+
+    fn from_str(s: &str) -> StaticVerdict {
+        match s {
+            "certified" => StaticVerdict::CertifiedAcyclic,
+            "predicted" => StaticVerdict::PredictedDeadlock,
+            _ => StaticVerdict::Unknown,
+        }
+    }
+}
+
 /// Structured diagnostic captured when the forward-progress watchdog trips:
 /// instead of hanging, the simulator records which VCs hold stalled head
 /// packets, where each was headed, and what the lossy link layer is still
@@ -297,6 +335,8 @@ pub struct DeadlockReport {
     pub truncated: usize,
     /// Flits stuck inside lossy-link shims, per torus wire.
     pub shim_backlogs: Vec<(GlobalLink, u64)>,
+    /// What the static verifier predicted for this configuration.
+    pub static_verdict: StaticVerdict,
 }
 
 impl std::fmt::Display for DeadlockReport {
@@ -307,6 +347,19 @@ impl std::fmt::Display for DeadlockReport {
              {} cycles without movement",
             self.cycle, self.live_packets, self.idle_cycles
         )?;
+        match self.static_verdict {
+            StaticVerdict::Unknown => {}
+            StaticVerdict::PredictedDeadlock => writeln!(
+                f,
+                "  statically predicted: the pre-flight verifier found a \
+                 channel-dependency cycle in this configuration"
+            )?,
+            StaticVerdict::CertifiedAcyclic => writeln!(
+                f,
+                "  model bug: this configuration was statically certified \
+                 deadlock-free — the simulator diverged from the verified model"
+            )?,
+        }
         for s in &self.stalled {
             writeln!(
                 f,
@@ -408,6 +461,7 @@ impl DeadlockReport {
                     ])
                 })),
             ),
+            ("static_verdict", Json::from(self.static_verdict.as_str())),
         ])
     }
 
@@ -452,6 +506,12 @@ impl DeadlockReport {
                     Ok::<_, String>((link, flits))
                 })
                 .collect::<Result<Vec<_>, _>>()?,
+            // Tolerant of reports written before this field existed.
+            static_verdict: j
+                .get("static_verdict")
+                .and_then(Json::as_str)
+                .map(StaticVerdict::from_str)
+                .unwrap_or_default(),
         })
     }
 }
@@ -561,6 +621,9 @@ pub struct Sim {
     idle_cycles: u64,
     deadlocked: bool,
     deadlock_report: Option<Box<DeadlockReport>>,
+    /// What the pre-flight verifier concluded (stamped into any
+    /// [`DeadlockReport`] the watchdog produces).
+    static_verdict: StaticVerdict,
     /// Flight recorder: per-wire typed-event rings. `None` (one predictable
     /// branch per hook site) unless [`TraceConfig::events`] is set.
     ///
@@ -635,7 +698,18 @@ impl std::fmt::Debug for Sim {
 
 impl Sim {
     /// Builds the simulator for a machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// With the default [`PreflightMode::Enforce`], panics if the static
+    /// pre-flight verification finds any error-severity problem in the
+    /// configuration or parameters (an uncertifiable VC policy, a
+    /// malformed fault schedule, ...). Set
+    /// [`SimParams::preflight`](crate::params::SimParams::preflight) to
+    /// [`PreflightMode::WarnOnly`] to run a known-broken configuration
+    /// anyway (e.g. to demonstrate the predicted deadlock live).
     pub fn new(cfg: MachineConfig, params: SimParams) -> Sim {
+        let static_verdict = Self::run_preflight(&cfg, &params);
         let nodes = cfg.shape.num_nodes();
         let eps_per_node = cfg.endpoints_per_node();
         let policy = cfg.vc_policy;
@@ -1003,6 +1077,7 @@ impl Sim {
             idle_cycles: 0,
             deadlocked: false,
             deadlock_report: None,
+            static_verdict,
             recorder,
             sampler,
         }
@@ -1540,12 +1615,49 @@ impl Sim {
         self.deadlock_report.as_deref()
     }
 
+    /// What the static pre-flight verifier concluded about this
+    /// configuration at construction time.
+    pub fn static_verdict(&self) -> StaticVerdict {
+        self.static_verdict
+    }
+
+    /// Runs the `anton-verify` pre-flight according to
+    /// [`SimParams::preflight`](crate::params::SimParams::preflight).
+    fn run_preflight(cfg: &MachineConfig, params: &SimParams) -> StaticVerdict {
+        if params.preflight == PreflightMode::Off {
+            return StaticVerdict::Unknown;
+        }
+        let report = anton_verify::preflight(cfg, &params.verify_view());
+        let verdict = match report.certificate.as_ref() {
+            Some(c) if c.acyclic => StaticVerdict::CertifiedAcyclic,
+            Some(_) => StaticVerdict::PredictedDeadlock,
+            None => StaticVerdict::Unknown,
+        };
+        if report.has_errors() && params.preflight == PreflightMode::Enforce {
+            let mut text = String::new();
+            for d in &report.diagnostics {
+                text.push_str(&format!("{d}\n"));
+            }
+            panic!(
+                "static pre-flight verification rejected this configuration \
+                 ({}):\n{text}set SimParams::preflight to PreflightMode::WarnOnly \
+                 to run it anyway",
+                report.summary()
+            );
+        }
+        for d in &report.diagnostics {
+            eprintln!("anton-sim pre-flight: {d}");
+        }
+        verdict
+    }
+
     fn build_deadlock_report(&mut self) -> DeadlockReport {
         const CAP: usize = 64;
         let mut report = DeadlockReport {
             cycle: self.now,
             live_packets: self.packets.live(),
             idle_cycles: self.idle_cycles,
+            static_verdict: self.static_verdict,
             ..DeadlockReport::default()
         };
         // (wire id, packet) per stalled VC, for the flight-recorder pass.

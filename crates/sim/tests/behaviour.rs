@@ -10,7 +10,7 @@ use anton_core::topology::{NodeCoord, Slice, TorusShape};
 use anton_core::trace::trace_unicast;
 use anton_core::vc::VcPolicy;
 use anton_sim::driver::BatchDriver;
-use anton_sim::params::SimParams;
+use anton_sim::params::{PreflightMode, SimParams};
 use anton_sim::sim::{Delivery, Driver, RunOutcome, Sim};
 use anton_traffic::patterns::{NodePermutation, UniformRandom};
 
@@ -157,9 +157,12 @@ fn naive_single_vc_deadlocks_on_ring_wrap_traffic() {
 
     let mut cfg = MachineConfig::new(shape);
     cfg.vc_policy = VcPolicy::NaiveSingle;
+    // The pre-flight verifier rejects this config (that is the point of
+    // the test), so demote it to a warning.
     let params = SimParams {
         buffer_depth: 2,
         watchdog_cycles: 5_000,
+        preflight: PreflightMode::WarnOnly,
         ..SimParams::default()
     };
     let mut sim = Sim::new(cfg, params.clone());

@@ -7,7 +7,7 @@ use anton_core::topology::{NodeId, TorusShape};
 use anton_core::vc::VcPolicy;
 use anton_fault::{FaultKind, FaultSchedule};
 use anton_sim::driver::BatchDriver;
-use anton_sim::params::{SimParams, TraceConfig};
+use anton_sim::params::{PreflightMode, SimParams, TraceConfig};
 use anton_sim::sim::{RunOutcome, Sim};
 use anton_traffic::patterns::{NodePermutation, UniformRandom};
 
@@ -188,6 +188,7 @@ fn vc_deadlock_trips_watchdog_instead_of_hanging() {
     let params = SimParams {
         buffer_depth: 2,
         watchdog_cycles: 5_000,
+        preflight: PreflightMode::WarnOnly,
         ..SimParams::default()
     };
     let mut sim = Sim::new(cfg, params);
@@ -227,6 +228,7 @@ fn deadlock_report_carries_flight_recorder_events_and_roundtrips() {
         buffer_depth: 2,
         watchdog_cycles: 5_000,
         trace: TraceConfig::events(128),
+        preflight: PreflightMode::WarnOnly,
         ..SimParams::default()
     };
     let mut sim = Sim::new(cfg, params);

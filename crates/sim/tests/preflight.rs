@@ -1,0 +1,87 @@
+//! Static pre-flight verification wired into `Sim::new`.
+
+use anton_core::config::MachineConfig;
+use anton_core::topology::TorusShape;
+use anton_core::vc::VcPolicy;
+use anton_sim::driver::BatchDriver;
+use anton_sim::params::{PreflightMode, SimParams};
+use anton_sim::sim::{RunOutcome, Sim, StaticVerdict};
+use anton_traffic::patterns::NodePermutation;
+
+#[test]
+fn default_config_certifies_at_construction() {
+    let sim = Sim::new(
+        MachineConfig::new(TorusShape::cube(2)),
+        SimParams::default(),
+    );
+    assert_eq!(sim.static_verdict(), StaticVerdict::CertifiedAcyclic);
+}
+
+#[test]
+fn preflight_off_leaves_verdict_unknown() {
+    let params = SimParams {
+        preflight: PreflightMode::Off,
+        ..SimParams::default()
+    };
+    let sim = Sim::new(MachineConfig::new(TorusShape::cube(2)), params);
+    assert_eq!(sim.static_verdict(), StaticVerdict::Unknown);
+}
+
+#[test]
+#[should_panic(expected = "static pre-flight verification rejected")]
+fn enforce_mode_rejects_single_vc_torus() {
+    let mut cfg = MachineConfig::new(TorusShape::cube(2));
+    cfg.vc_policy = VcPolicy::NaiveSingle;
+    let _ = Sim::new(cfg, SimParams::default());
+}
+
+#[test]
+#[should_panic(expected = "static pre-flight verification rejected")]
+fn enforce_mode_rejects_zero_watchdog() {
+    let params = SimParams {
+        watchdog_cycles: 0,
+        ..SimParams::default()
+    };
+    let _ = Sim::new(MachineConfig::new(TorusShape::cube(2)), params);
+}
+
+/// The end-to-end story the verifier exists for: a statically predicted
+/// deadlock comes true in the live simulation, and the watchdog's report
+/// says so.
+#[test]
+fn predicted_deadlock_is_labeled_in_the_report() {
+    let mut cfg = MachineConfig::new(TorusShape::new(4, 1, 1));
+    cfg.vc_policy = VcPolicy::NaiveSingle;
+    let params = SimParams {
+        buffer_depth: 2,
+        watchdog_cycles: 5_000,
+        preflight: PreflightMode::WarnOnly,
+        ..SimParams::default()
+    };
+    let mut sim = Sim::new(cfg, params);
+    assert_eq!(sim.static_verdict(), StaticVerdict::PredictedDeadlock);
+
+    let perm: Vec<u32> = (0..4u32).map(|x| (x + 2) % 4).collect();
+    let mut drv = BatchDriver::builder(&sim)
+        .pattern(Box::new(NodePermutation::new(perm)))
+        .packets_per_endpoint(400)
+        .seed(7)
+        .build();
+    assert_eq!(sim.run(&mut drv, 3_000_000), RunOutcome::Deadlocked);
+    let report = sim.deadlock_report().expect("report");
+    assert_eq!(report.static_verdict, StaticVerdict::PredictedDeadlock);
+    let text = report.to_string();
+    assert!(text.contains("statically predicted"), "got: {text}");
+
+    // The verdict survives the JSON round trip, and reports written before
+    // the field existed default to `Unknown`.
+    let j = report.to_json();
+    let back = anton_sim::sim::DeadlockReport::from_json(&j).expect("round trip");
+    assert_eq!(back, *report);
+    let mut old = j.clone();
+    if let anton_obs::json::Json::Obj(pairs) = &mut old {
+        pairs.retain(|(k, _)| k != "static_verdict");
+    }
+    let back = anton_sim::sim::DeadlockReport::from_json(&old).expect("tolerant parse");
+    assert_eq!(back.static_verdict, StaticVerdict::Unknown);
+}

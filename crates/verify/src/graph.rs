@@ -1,0 +1,376 @@
+//! Dense `(channel, VC)` dependency graph for the symbolic verifier.
+//!
+//! The symbolic construction visits millions of edges on a full-size
+//! machine, so unlike [`anton_analysis::deadlock::DepGraph`] (which interns
+//! nodes through a `HashMap`), this graph addresses every possible
+//! `(link, VC)` pair arithmetically: each node of the machine contributes a
+//! fixed block of link slots, and an index is `(node · slots + slot) · vcs +
+//! vc`. Absent pairs simply keep an empty adjacency list.
+
+use anton_core::chip::{ChanId, LocalEndpointId, LocalLink, MeshCoord, MeshDir, NUM_ROUTERS};
+use anton_core::config::MachineConfig;
+use anton_core::topology::NodeId;
+use anton_core::trace::GlobalLink;
+use anton_core::vc::Vc;
+
+/// Per-node slot layout: 64 mesh + 16 skip + 12 chan→router + 12
+/// router→chan, then the endpoint links, then 12 torus departures.
+const MESH_SLOTS: usize = NUM_ROUTERS * 4;
+const SKIP_BASE: usize = MESH_SLOTS;
+const CTR_BASE: usize = SKIP_BASE + NUM_ROUTERS;
+const RTC_BASE: usize = CTR_BASE + 12;
+const EP_BASE: usize = RTC_BASE + 12;
+
+/// A dependency graph over every addressable `(link, VC)` pair of one
+/// machine, with adjacency stored densely by arithmetic index.
+#[derive(Debug)]
+pub struct SymGraph {
+    slots: usize,
+    eps: usize,
+    vcs: usize,
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl SymGraph {
+    /// An empty graph sized for `cfg` with `vcs` virtual channels per link.
+    pub fn new(cfg: &MachineConfig, vcs: usize) -> SymGraph {
+        let eps = usize::from(cfg.chip.num_endpoints());
+        let slots = EP_BASE + 2 * eps + 12;
+        let n = cfg.shape.num_nodes() * slots * vcs;
+        SymGraph {
+            slots,
+            eps,
+            vcs,
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    fn local_slot(&self, link: &LocalLink) -> usize {
+        match link {
+            LocalLink::Mesh { from, dir } => from.index() * 4 + dir.index(),
+            LocalLink::Skip { from } => SKIP_BASE + from.index(),
+            LocalLink::ChanToRouter(c) => CTR_BASE + c.index(),
+            LocalLink::RouterToChan(c) => RTC_BASE + c.index(),
+            LocalLink::EpToRouter(e) => EP_BASE + usize::from(e.0),
+            LocalLink::RouterToEp(e) => EP_BASE + self.eps + usize::from(e.0),
+        }
+    }
+
+    /// The dense index of a `(link, VC)` pair.
+    pub fn index(&self, link: &GlobalLink, vc: Vc) -> u32 {
+        let (node, slot) = match link {
+            GlobalLink::Local { node, link } => (node.0 as usize, self.local_slot(link)),
+            GlobalLink::Torus { from, dir, slice } => (
+                from.0 as usize,
+                EP_BASE
+                    + 2 * self.eps
+                    + ChanId {
+                        dir: *dir,
+                        slice: *slice,
+                    }
+                    .index(),
+            ),
+        };
+        ((node * self.slots + slot) * self.vcs + usize::from(vc.0)) as u32
+    }
+
+    /// Inverse of [`SymGraph::index`].
+    pub fn decode(&self, idx: u32) -> (GlobalLink, Vc) {
+        let idx = idx as usize;
+        let vc = Vc((idx % self.vcs) as u8);
+        let rest = idx / self.vcs;
+        let node = NodeId((rest / self.slots) as u32);
+        let slot = rest % self.slots;
+        let link = if slot < SKIP_BASE {
+            GlobalLink::Local {
+                node,
+                link: LocalLink::Mesh {
+                    from: MeshCoord::from_index(slot / 4),
+                    dir: MeshDir::ALL[slot % 4],
+                },
+            }
+        } else if slot < CTR_BASE {
+            GlobalLink::Local {
+                node,
+                link: LocalLink::Skip {
+                    from: MeshCoord::from_index(slot - SKIP_BASE),
+                },
+            }
+        } else if slot < RTC_BASE {
+            GlobalLink::Local {
+                node,
+                link: LocalLink::ChanToRouter(ChanId::from_index(slot - CTR_BASE)),
+            }
+        } else if slot < EP_BASE {
+            GlobalLink::Local {
+                node,
+                link: LocalLink::RouterToChan(ChanId::from_index(slot - RTC_BASE)),
+            }
+        } else if slot < EP_BASE + self.eps {
+            GlobalLink::Local {
+                node,
+                link: LocalLink::EpToRouter(LocalEndpointId((slot - EP_BASE) as u8)),
+            }
+        } else if slot < EP_BASE + 2 * self.eps {
+            GlobalLink::Local {
+                node,
+                link: LocalLink::RouterToEp(LocalEndpointId((slot - EP_BASE - self.eps) as u8)),
+            }
+        } else {
+            let chan = ChanId::from_index(slot - EP_BASE - 2 * self.eps);
+            GlobalLink::Torus {
+                from: node,
+                dir: chan.dir,
+                slice: chan.slice,
+            }
+        };
+        (link, vc)
+    }
+
+    /// Adds one dependency edge (idempotent).
+    pub fn add_edge(&mut self, from: (GlobalLink, Vc), to: (GlobalLink, Vc)) {
+        let f = self.index(&from.0, from.1);
+        let t = self.index(&to.0, to.1);
+        let list = &mut self.adj[f as usize];
+        if !list.contains(&t) {
+            list.push(t);
+            self.num_edges += 1;
+        }
+    }
+
+    /// Number of `(link, VC)` pairs with at least one incident edge.
+    pub fn num_live_nodes(&self) -> usize {
+        let mut has_in = vec![false; self.adj.len()];
+        for tos in &self.adj {
+            for &t in tos {
+                has_in[t as usize] = true;
+            }
+        }
+        self.adj
+            .iter()
+            .zip(&has_in)
+            .filter(|(out, &inc)| !out.is_empty() || inc)
+            .count()
+    }
+
+    /// Total dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Iterates every edge as decoded `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = ((GlobalLink, Vc), (GlobalLink, Vc))> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(f, tos)| {
+            tos.iter()
+                .map(move |&t| (self.decode(f as u32), self.decode(t)))
+        })
+    }
+
+    /// Finds a dependency cycle, if one exists, as the index sequence around
+    /// the cycle (same three-color iterative DFS as the enumerating
+    /// checker, over the dense index space).
+    pub fn find_cycle(&self) -> Option<Vec<u32>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.adj.len();
+        let mut color = vec![Color::White; n];
+        let mut parent = vec![u32::MAX; n];
+        for start in 0..n {
+            if color[start] != Color::White || self.adj[start].is_empty() {
+                continue;
+            }
+            let mut stack = vec![(start as u32, 0usize)];
+            color[start] = Color::Gray;
+            while let Some(&mut (u, ref mut ei)) = stack.last_mut() {
+                let edges = &self.adj[u as usize];
+                if *ei < edges.len() {
+                    let v = edges[*ei];
+                    *ei += 1;
+                    match color[v as usize] {
+                        Color::White => {
+                            color[v as usize] = Color::Gray;
+                            parent[v as usize] = u;
+                            stack.push((v, 0));
+                        }
+                        Color::Gray => {
+                            let mut cycle = vec![v];
+                            let mut cur = u;
+                            while cur != v {
+                                cycle.push(cur);
+                                cur = parent[cur as usize];
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u as usize] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Shortens a found cycle: BFS from (a sample of) the cycle's nodes for
+    /// the shortest cycle through each, returning the overall shortest.
+    /// Skipped (returns the input) when the graph is too large for the
+    /// extra passes to be worth setup time.
+    pub fn minimize_cycle(&self, cycle: Vec<u32>) -> Vec<u32> {
+        const MAX_EDGES: usize = 2_000_000;
+        const MAX_STARTS: usize = 24;
+        if self.num_edges > MAX_EDGES {
+            return cycle;
+        }
+        let mut best = cycle.clone();
+        for &s in cycle.iter().take(MAX_STARTS) {
+            // BFS from s's successors back to s.
+            let mut parent = vec![u32::MAX; self.adj.len()];
+            let mut queue = std::collections::VecDeque::new();
+            for &t in &self.adj[s as usize] {
+                if t == s {
+                    return vec![s]; // self-loop: cannot do better
+                }
+                if parent[t as usize] == u32::MAX {
+                    parent[t as usize] = s;
+                    queue.push_back(t);
+                }
+            }
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &v in &self.adj[u as usize] {
+                    if v == s {
+                        // Reconstruct s -> ... -> u -> s.
+                        let mut path = vec![u];
+                        let mut cur = u;
+                        while cur != s {
+                            cur = parent[cur as usize];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        if path.len() < best.len() {
+                            best = path;
+                        }
+                        break 'bfs;
+                    }
+                    if parent[v as usize] == u32::MAX {
+                        parent[v as usize] = u;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_core::topology::{Slice, TorusDir, TorusShape};
+
+    #[test]
+    fn index_round_trips_every_slot() {
+        let cfg = MachineConfig::new(TorusShape::new(3, 2, 1));
+        let g = SymGraph::new(&cfg, 4);
+        let node = NodeId(4);
+        let mut links: Vec<GlobalLink> = Vec::new();
+        for r in MeshCoord::all() {
+            for dir in MeshDir::ALL {
+                links.push(GlobalLink::Local {
+                    node,
+                    link: LocalLink::Mesh { from: r, dir },
+                });
+            }
+            links.push(GlobalLink::Local {
+                node,
+                link: LocalLink::Skip { from: r },
+            });
+        }
+        for c in ChanId::all() {
+            links.push(GlobalLink::Local {
+                node,
+                link: LocalLink::ChanToRouter(c),
+            });
+            links.push(GlobalLink::Local {
+                node,
+                link: LocalLink::RouterToChan(c),
+            });
+            links.push(GlobalLink::Torus {
+                from: node,
+                dir: c.dir,
+                slice: c.slice,
+            });
+        }
+        for e in cfg.chip.endpoints() {
+            links.push(GlobalLink::Local {
+                node,
+                link: LocalLink::EpToRouter(e),
+            });
+            links.push(GlobalLink::Local {
+                node,
+                link: LocalLink::RouterToEp(e),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for link in links {
+            for vc in 0..4u8 {
+                let idx = g.index(&link, Vc(vc));
+                assert!(seen.insert(idx), "index collision at {link} vc{vc}");
+                assert_eq!(g.decode(idx), (link, Vc(vc)));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_cycle_found_and_minimized() {
+        let cfg = MachineConfig::new(TorusShape::cube(2));
+        let mut g = SymGraph::new(&cfg, 2);
+        let t = |n: u32| {
+            (
+                GlobalLink::Torus {
+                    from: NodeId(n),
+                    dir: TorusDir::ALL[0],
+                    slice: Slice(0),
+                },
+                Vc(0),
+            )
+        };
+        // A long cycle 0->1->2->3->0 plus a chord 1->0 making a 2-cycle.
+        g.add_edge(t(0), t(1));
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(3), t(0));
+        g.add_edge(t(1), t(0));
+        let cycle = g.find_cycle().expect("planted cycle");
+        let min = g.minimize_cycle(cycle);
+        assert_eq!(min.len(), 2, "chord gives a 2-cycle");
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycle() {
+        let cfg = MachineConfig::new(TorusShape::cube(2));
+        let mut g = SymGraph::new(&cfg, 2);
+        let t = |n: u32, v: u8| {
+            (
+                GlobalLink::Torus {
+                    from: NodeId(n),
+                    dir: TorusDir::ALL[2],
+                    slice: Slice(1),
+                },
+                Vc(v),
+            )
+        };
+        g.add_edge(t(0, 0), t(1, 0));
+        g.add_edge(t(1, 0), t(0, 1));
+        g.add_edge(t(0, 1), t(1, 1));
+        assert!(g.find_cycle().is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! Static verification for the Anton 2 network model.
+//!
+//! This crate certifies a machine configuration *before* simulation:
+//!
+//! - **Symbolic deadlock certification** ([`certify`]): builds the
+//!   `(channel, VC)` dependency graph of the whole machine from an abstract
+//!   transition system over the VC-promotion state machine — all dimension
+//!   orders, dateline-crossing patterns, and slices at once, without
+//!   enumerating routes — and proves it acyclic, or extracts a minimal
+//!   concrete cycle with witness routes when it is not. A cross-check mode
+//!   ([`cross_check`]) compares the symbolic graph edge-for-edge against
+//!   the route-enumerating checker in `anton-analysis` on small machines.
+//! - **Config lint engine** ([`lint_config`], [`lint_params`],
+//!   [`lint_weights`]): ~18 typed checks with stable `AV0xx` codes covering
+//!   VC budgets, dateline placement, direction-order tables, buffer and
+//!   latency parameters, fault schedules, arbiter weights, and tracing
+//!   configuration. See `crate::lint` for the code table.
+//!
+//! The simulator runs [`preflight`] inside `Sim::new` (fail-fast by
+//! default), the experiment harness verifies configurations before
+//! launching batches, and the `verify_config` binary emits a standalone
+//! JSON verification report.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod graph;
+pub mod lint;
+pub mod model;
+pub mod report;
+pub mod symbolic;
+mod witness;
+
+pub use anton_analysis::deadlock::{ChannelVc, RouteEnumeration};
+pub use lint::{lint_config, lint_model, lint_params, lint_weights, ParamsView};
+pub use model::VerifyModel;
+pub use report::{
+    CycleCounterexample, DeadlockCertificate, Diagnostic, Severity, VerifyReport, WitnessRoute,
+};
+pub use symbolic::{certify, cross_check, full_enumeration, CrossCheck};
+
+use anton_core::config::MachineConfig;
+
+/// Verifies a model: configuration lints plus symbolic deadlock
+/// certification. A dependency cycle adds an `AV002` error carrying the
+/// counterexample summary; the full counterexample rides on the report's
+/// certificate.
+pub fn verify_model(model: &VerifyModel) -> VerifyReport {
+    let mut diagnostics = lint_model(model);
+    let certificate = certify(model);
+    if !certificate.acyclic {
+        let mut d = Diagnostic::error(
+            "AV002",
+            format!("channel dependency graph has a cycle — {certificate}"),
+        );
+        if let Some(ce) = &certificate.counterexample {
+            d = d.with("cycle_length", ce.cycle.len());
+            for (i, (link, vc)) in ce.cycle.iter().take(6).enumerate() {
+                d = d.with(format!("cycle[{i}]"), format!("{link}@{vc}"));
+            }
+            if let Some(w) = ce.witnesses.first() {
+                d = d.with("witness", w);
+            }
+        }
+        diagnostics.push(d);
+    }
+    VerifyReport {
+        diagnostics,
+        certificate: Some(certificate),
+    }
+}
+
+/// Verifies a machine configuration as built (datelines active).
+pub fn verify_config(cfg: &MachineConfig) -> VerifyReport {
+    verify_model(&VerifyModel::new(cfg.clone()))
+}
+
+/// The pre-flight check the simulator runs before construction: full
+/// configuration verification plus parameter lints.
+pub fn preflight(cfg: &MachineConfig, view: &ParamsView<'_>) -> VerifyReport {
+    let mut report = verify_config(cfg);
+    report.diagnostics.extend(lint_params(cfg, view));
+    report
+}

@@ -1,0 +1,614 @@
+//! The configuration lint engine.
+//!
+//! Every check emits a typed [`Diagnostic`] with a stable code. Codes
+//! `AV0xx` cover machine configuration and simulation parameters; `AV1xx`
+//! are reserved for command-line usage errors raised by the experiment
+//! binaries. The full table lives in `docs/DESIGN.md`; in brief:
+//!
+//! | code  | severity | check |
+//! |-------|----------|-------|
+//! | AV001 | error    | VC budget below the `n+1` the shape needs |
+//! | AV002 | error    | channel-dependency cycle (symbolic verifier) |
+//! | AV003 | error    | dateline promotion disabled on a wrapping torus |
+//! | AV004 | error    | direction-order routing fails to converge |
+//! | AV005 | error    | on-chip mesh dependency cycle |
+//! | AV006 | error    | VC count does not fit the 16-entry wire mask |
+//! | AV007 | error    | zero router / torus buffer depth |
+//! | AV008 | warning  | torus buffers below the retransmission BDP |
+//! | AV009 | error/warning | non-finite, negative, or zero latency |
+//! | AV010 | error    | zero torus link latency |
+//! | AV011 | error/warning | fault schedule references a bad link |
+//! | AV012 | error    | bit-error rate outside `[0, 1]` |
+//! | AV013 | warning  | empty or inverted link-down window |
+//! | AV014 | error    | event tracing enabled with a zero-capacity ring |
+//! | AV015 | error    | zero watchdog period (trips immediately) |
+//! | AV016 | error    | arbiter `m_bits` / weight-table inconsistency |
+//! | AV017 | error/warning | go-back-N window or timeout misconfigured |
+//! | AV018 | error/warning | non-finite or negative energy coefficient |
+//! | AV101 | error    | unknown traffic pattern / workload name |
+//! | AV102 | error    | torus extent outside `1..=16` |
+//! | AV103 | error    | cannot write an output file |
+
+use anton_analysis::weights::ArbiterWeightSet;
+use anton_core::chip::{LinkGroup, MeshCoord, NUM_ROUTERS};
+use anton_core::config::MachineConfig;
+use anton_fault::{FaultKind, FaultSchedule};
+
+use crate::model::VerifyModel;
+use crate::report::Diagnostic;
+
+/// Minimum torus buffering (flits) that keeps a reliable link busy across
+/// the go-back-N shim: the 89.6 Gb/s effective rate is 45 wire cycles per
+/// 14 payload-flit frame, and two frames must be in flight —
+/// `⌈2 · 44 · 14 / 45⌉ = 28`. (Mirrors the sizing argument behind the
+/// simulator's default of 32.)
+pub const MIN_TORUS_BDP_FLITS: u8 = 28;
+
+/// The parameters of a simulation run, as seen by the lint engine.
+///
+/// `anton-sim` depends on this crate (pre-flight runs inside `Sim::new`),
+/// so the lints cannot read `SimParams` directly; the simulator projects
+/// its parameters into this view instead. [`ParamsView::reference`]
+/// duplicates the paper-default values for standalone use (`verify_config`
+/// without a simulator); `anton-sim`'s tests pin the two in sync.
+#[derive(Debug, Clone)]
+pub struct ParamsView<'a> {
+    /// Router input buffer depth per VC (flits).
+    pub buffer_depth: u8,
+    /// Torus arrival buffer depth per VC (flits).
+    pub torus_buffer_depth: u8,
+    /// Software injection overhead (ns).
+    pub sw_inject_ns: f64,
+    /// Receive handler dispatch overhead (ns).
+    pub handler_dispatch_ns: f64,
+    /// SerDes + wire flight time per torus hop (ns).
+    pub serdes_wire_ns: f64,
+    /// Torus link latency in cycles.
+    pub torus_link_cycles: u64,
+    /// Inverse-weight bit width when weighted arbitration is configured.
+    pub arbiter_m_bits: Option<u32>,
+    /// Idle cycles before the deadlock watchdog trips.
+    pub watchdog_cycles: u64,
+    /// Fault schedule, when fault injection is active.
+    pub fault: Option<&'a FaultSchedule>,
+    /// Whether flight-recorder event tracing is enabled.
+    pub trace_events: bool,
+    /// Flight-recorder ring capacity (events).
+    pub trace_ring_capacity: usize,
+    /// Fixed energy per packet (pJ).
+    pub energy_fixed_pj: f64,
+    /// Energy per toggled wire bit (pJ).
+    pub energy_per_flip_pj: f64,
+    /// Buffer activation energy (pJ).
+    pub energy_activation_pj: f64,
+    /// Energy per stored set bit (pJ).
+    pub energy_per_set_bit_pj: f64,
+}
+
+impl ParamsView<'static> {
+    /// The paper-default parameters (mirrors `anton-sim`'s defaults; the
+    /// simulator's tests assert the two stay identical).
+    pub fn reference() -> ParamsView<'static> {
+        ParamsView {
+            buffer_depth: 8,
+            torus_buffer_depth: 32,
+            sw_inject_ns: 26.0,
+            handler_dispatch_ns: 23.0,
+            serdes_wire_ns: 29.0,
+            torus_link_cycles: 44,
+            arbiter_m_bits: None,
+            watchdog_cycles: 50_000,
+            fault: None,
+            trace_events: false,
+            trace_ring_capacity: 256,
+            energy_fixed_pj: 42.7,
+            energy_per_flip_pj: 0.837,
+            energy_activation_pj: 34.4,
+            energy_per_set_bit_pj: 0.250,
+        }
+    }
+}
+
+/// Lints the machine configuration proper (topology, VC budget, routing
+/// tables). Deadlock certification (AV002) is separate — see
+/// [`crate::verify_model`].
+pub fn lint_config(cfg: &MachineConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = usable_dim_count(cfg);
+
+    // AV001: the promotion scheme needs n+1 VCs in both groups.
+    for group in [LinkGroup::M, LinkGroup::T] {
+        let have = cfg.vc_policy.num_vcs(group);
+        if u32::from(have) < u32::from(n) + 1 {
+            out.push(
+                Diagnostic::error(
+                    "AV001",
+                    format!(
+                        "policy {} provides {have} {group:?}-group VC(s) but a \
+                         {n}-dimensional torus needs at least n+1 = {}",
+                        cfg.vc_policy,
+                        n + 1
+                    ),
+                )
+                .with("policy", cfg.vc_policy)
+                .with("group", format!("{group:?}"))
+                .with("vcs", have)
+                .with("usable_dims", n),
+            );
+        }
+    }
+
+    // AV006: two traffic classes x VCs must fit the 16-entry wire VC mask.
+    for group in [LinkGroup::M, LinkGroup::T] {
+        let have = u32::from(cfg.vc_policy.num_vcs(group));
+        if 2 * have > 16 {
+            out.push(
+                Diagnostic::error(
+                    "AV006",
+                    format!(
+                        "2 traffic classes x {have} {group:?}-group VCs exceed the \
+                         16-entry wire VC mask"
+                    ),
+                )
+                .with("vcs", have),
+            );
+        }
+    }
+
+    // AV004: the direction-order table must route every router pair within
+    // the mesh diameter (6 hops on a 4x4 mesh).
+    let mut bad_pairs = 0usize;
+    for a in MeshCoord::all() {
+        for b in MeshCoord::all() {
+            let mut cur = a;
+            let mut steps = 0;
+            while let Some(d) = cfg.dir_order.next_dir(cur, b) {
+                match cur.step(d) {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+                steps += 1;
+                if steps > 6 {
+                    break;
+                }
+            }
+            if cur != b {
+                bad_pairs += 1;
+            }
+        }
+    }
+    if bad_pairs > 0 {
+        out.push(
+            Diagnostic::error(
+                "AV004",
+                format!(
+                    "direction order {} fails to route {bad_pairs} router pair(s) \
+                     within the mesh diameter",
+                    cfg.dir_order
+                ),
+            )
+            .with("dir_order", cfg.dir_order)
+            .with("bad_pairs", bad_pairs),
+        );
+    }
+
+    // AV005: single-VC direction-order mesh routing must itself be
+    // deadlock-free on one generic chip. Build the (router, direction) link
+    // dependency graph over all router-pair routes and check acyclicity.
+    if let Some(cycle_len) = mesh_dep_cycle(cfg) {
+        out.push(
+            Diagnostic::error(
+                "AV005",
+                format!(
+                    "direction order {} creates an on-chip mesh dependency cycle \
+                     of length {cycle_len}",
+                    cfg.dir_order
+                ),
+            )
+            .with("dir_order", cfg.dir_order),
+        );
+    }
+
+    out
+}
+
+fn usable_dim_count(cfg: &MachineConfig) -> u8 {
+    anton_core::topology::Dim::ALL
+        .iter()
+        .filter(|d| cfg.shape.k(**d) > 1)
+        .count() as u8
+}
+
+/// Cycle check over the on-chip mesh links of one generic node under the
+/// configured direction order. Returns the cycle length if one exists.
+fn mesh_dep_cycle(cfg: &MachineConfig) -> Option<usize> {
+    // Link index: from.index() * 4 + dir.index() (64 mesh links).
+    let n = NUM_ROUTERS * 4;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for a in MeshCoord::all() {
+        for b in MeshCoord::all() {
+            let mut cur = a;
+            let mut prev: Option<usize> = None;
+            while let Some(d) = cfg.dir_order.next_dir(cur, b) {
+                let idx = cur.index() * 4 + d.index();
+                if let Some(p) = prev {
+                    if !adj[p].contains(&idx) {
+                        adj[p].push(idx);
+                    }
+                }
+                prev = Some(idx);
+                cur = cur.step(d)?;
+            }
+        }
+    }
+    // Three-color DFS.
+    #[derive(Clone, Copy, PartialEq)]
+    enum C {
+        W,
+        G,
+        B,
+    }
+    let mut color = vec![C::W; n];
+    let mut depth_of = vec![0usize; n];
+    for s in 0..n {
+        if color[s] != C::W {
+            continue;
+        }
+        let mut stack = vec![(s, 0usize)];
+        color[s] = C::G;
+        depth_of[s] = 0;
+        while let Some(&mut (u, ref mut ei)) = stack.last_mut() {
+            if *ei < adj[u].len() {
+                let v = adj[u][*ei];
+                *ei += 1;
+                match color[v] {
+                    C::W => {
+                        color[v] = C::G;
+                        depth_of[v] = stack.len();
+                        stack.push((v, 0));
+                    }
+                    C::G => return Some(stack.len() - depth_of[v]),
+                    C::B => {}
+                }
+            } else {
+                color[u] = C::B;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Model-level lints: [`lint_config`] plus checks that depend on the
+/// verifier's model knobs (AV003).
+pub fn lint_model(model: &VerifyModel) -> Vec<Diagnostic> {
+    let mut out = lint_config(&model.cfg);
+    if !model.datelines && usable_dim_count(&model.cfg) > 0 {
+        out.push(
+            Diagnostic::error(
+                "AV003",
+                "dateline VC promotion is disabled on a wrapping torus — \
+                 ring dependencies are unbroken",
+            )
+            .with("shape", model.cfg.shape),
+        );
+    }
+    out
+}
+
+/// Lints simulation parameters against the configuration.
+pub fn lint_params(cfg: &MachineConfig, view: &ParamsView<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // AV007: zero buffering cannot move a single flit.
+    if view.buffer_depth == 0 {
+        out.push(Diagnostic::error("AV007", "router buffer depth is zero").with("buffer_depth", 0));
+    }
+    if view.torus_buffer_depth == 0 {
+        out.push(
+            Diagnostic::error("AV007", "torus buffer depth is zero").with("torus_buffer_depth", 0),
+        );
+    } else if view.torus_buffer_depth < MIN_TORUS_BDP_FLITS {
+        // AV008: below the go-back-N bandwidth-delay product the reliable
+        // link can never reach the 89.6 Gb/s derated rate.
+        out.push(
+            Diagnostic::warning(
+                "AV008",
+                format!(
+                    "torus buffer depth {} is below the {MIN_TORUS_BDP_FLITS}-flit \
+                     retransmission bandwidth-delay product; links cannot sustain \
+                     the 89.6 Gb/s effective rate",
+                    view.torus_buffer_depth
+                ),
+            )
+            .with("torus_buffer_depth", view.torus_buffer_depth)
+            .with("min_flits", MIN_TORUS_BDP_FLITS),
+        );
+    }
+
+    // AV009: latency parameters.
+    for (name, v) in [
+        ("sw_inject_ns", view.sw_inject_ns),
+        ("handler_dispatch_ns", view.handler_dispatch_ns),
+        ("serdes_wire_ns", view.serdes_wire_ns),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            out.push(
+                Diagnostic::error(
+                    "AV009",
+                    format!("latency {name} = {v} is not a valid delay"),
+                )
+                .with(name, v),
+            );
+        } else if v == 0.0 {
+            out.push(
+                Diagnostic::warning(
+                    "AV009",
+                    format!("latency {name} is zero — the modeled overhead vanishes"),
+                )
+                .with(name, v),
+            );
+        }
+    }
+
+    // AV010: zero-cycle torus links break the latency model.
+    if view.torus_link_cycles == 0 {
+        out.push(Diagnostic::error(
+            "AV010",
+            "torus link latency is zero cycles",
+        ));
+    }
+
+    // AV015: the watchdog compares idle_cycles >= watchdog_cycles, so zero
+    // trips on the very first idle cycle.
+    if view.watchdog_cycles == 0 {
+        out.push(Diagnostic::error(
+            "AV015",
+            "deadlock watchdog period is zero — it trips on the first idle cycle",
+        ));
+    }
+
+    // AV016: inverse-weight bit width.
+    if let Some(m_bits) = view.arbiter_m_bits {
+        if !(2..=16).contains(&m_bits) {
+            out.push(
+                Diagnostic::error(
+                    "AV016",
+                    format!("arbiter weight width m_bits = {m_bits} outside 2..=16"),
+                )
+                .with("m_bits", m_bits),
+            );
+        }
+    }
+
+    // AV014: tracing into a zero-capacity ring records nothing and the
+    // deadlock report loses its evidence.
+    if view.trace_events && view.trace_ring_capacity == 0 {
+        out.push(Diagnostic::error(
+            "AV014",
+            "event tracing enabled with a zero-capacity flight-recorder ring",
+        ));
+    }
+
+    // AV018: energy coefficients.
+    for (name, v) in [
+        ("fixed_pj", view.energy_fixed_pj),
+        ("per_flip_pj", view.energy_per_flip_pj),
+        ("activation_pj", view.energy_activation_pj),
+        ("per_set_bit_pj", view.energy_per_set_bit_pj),
+    ] {
+        if !v.is_finite() {
+            out.push(
+                Diagnostic::error(
+                    "AV018",
+                    format!("energy coefficient {name} = {v} is not finite"),
+                )
+                .with(name, v),
+            );
+        } else if v < 0.0 {
+            out.push(
+                Diagnostic::warning(
+                    "AV018",
+                    format!("energy coefficient {name} = {v} is negative"),
+                )
+                .with(name, v),
+            );
+        }
+    }
+
+    if let Some(fault) = view.fault {
+        lint_fault(cfg, view, fault, &mut out);
+    }
+
+    out
+}
+
+fn lint_fault(
+    cfg: &MachineConfig,
+    view: &ParamsView<'_>,
+    fault: &FaultSchedule,
+    out: &mut Vec<Diagnostic>,
+) {
+    // AV012: bit-error rates are probabilities.
+    let bad_ber = |ber: f64| !(0.0..=1.0).contains(&ber) || ber.is_nan();
+    if bad_ber(fault.default_ber) {
+        out.push(
+            Diagnostic::error(
+                "AV012",
+                format!(
+                    "default bit-error rate {} outside [0, 1]",
+                    fault.default_ber
+                ),
+            )
+            .with("default_ber", fault.default_ber),
+        );
+    }
+    for (i, f) in fault.faults.iter().enumerate() {
+        // AV011: the fault must name a real link.
+        if f.from.0 as usize >= cfg.shape.num_nodes() {
+            out.push(
+                Diagnostic::error(
+                    "AV011",
+                    format!(
+                        "fault #{i} references node {} of a {}-node machine",
+                        f.from.0,
+                        cfg.shape.num_nodes()
+                    ),
+                )
+                .with("fault", i)
+                .with("node", f.from.0),
+            );
+        } else if cfg.shape.k(f.chan.dir.dim) <= 1 {
+            out.push(
+                Diagnostic::warning(
+                    "AV011",
+                    format!(
+                        "fault #{i} targets a {} link, but that dimension has extent 1 \
+                         — no minimal route uses it",
+                        f.chan.dir
+                    ),
+                )
+                .with("fault", i)
+                .with("dim", f.chan.dir.dim),
+            );
+        }
+        match f.kind {
+            FaultKind::Degraded { ber } => {
+                if bad_ber(ber) {
+                    out.push(
+                        Diagnostic::error(
+                            "AV012",
+                            format!("fault #{i} bit-error rate {ber} outside [0, 1]"),
+                        )
+                        .with("fault", i)
+                        .with("ber", ber),
+                    );
+                }
+            }
+            FaultKind::Down {
+                from_cycle,
+                until_cycle,
+            } => {
+                // AV013: an empty window never fires — almost certainly a
+                // typo in the schedule.
+                if until_cycle <= from_cycle {
+                    out.push(
+                        Diagnostic::warning(
+                            "AV013",
+                            format!(
+                                "fault #{i} down-window [{from_cycle}, {until_cycle}) is empty"
+                            ),
+                        )
+                        .with("fault", i),
+                    );
+                }
+            }
+        }
+    }
+    // AV017: go-back-N parameters.
+    if fault.gbn.window == 0 || fault.gbn.window >= 128 {
+        out.push(
+            Diagnostic::error(
+                "AV017",
+                format!(
+                    "go-back-N window {} invalid (must be 1..=127 so sequence-number \
+                     halves disambiguate)",
+                    fault.gbn.window
+                ),
+            )
+            .with("window", fault.gbn.window),
+        );
+    }
+    let min_timeout = 2 * view.torus_link_cycles;
+    if fault.gbn.timeout < min_timeout {
+        out.push(
+            Diagnostic::warning(
+                "AV017",
+                format!(
+                    "go-back-N timeout {} is below one round trip ({} cycles); \
+                     fault-free traffic will rewind spuriously",
+                    fault.gbn.timeout, min_timeout
+                ),
+            )
+            .with("timeout", fault.gbn.timeout)
+            .with("round_trip", min_timeout),
+        );
+    }
+}
+
+/// Lints a computed arbiter weight set (AV016). Issues are aggregated:
+/// at most one diagnostic per kind, carrying a count.
+pub fn lint_weights(set: &ArbiterWeightSet) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !(2..=16).contains(&set.m_bits) {
+        out.push(
+            Diagnostic::error(
+                "AV016",
+                format!(
+                    "arbiter weight width m_bits = {} outside 2..=16",
+                    set.m_bits
+                ),
+            )
+            .with("m_bits", set.m_bits),
+        );
+        return out;
+    }
+    let max_w = (1u32 << set.m_bits) - 1;
+    let mut zero = 0usize;
+    let mut overflow = 0usize;
+    let mut mismatched = 0usize;
+    let all_tables = set
+        .tables
+        .values()
+        .chain(set.chan_tables.values())
+        .chain(set.input_tables.values());
+    for table in all_tables {
+        for row in table {
+            if row.len() != set.num_patterns {
+                mismatched += 1;
+            }
+            for &w in row {
+                if w == 0 {
+                    zero += 1;
+                } else if w > max_w {
+                    overflow += 1;
+                }
+            }
+        }
+    }
+    if zero > 0 {
+        out.push(
+            Diagnostic::error(
+                "AV016",
+                format!("{zero} arbiter weight(s) are zero — a zero weight never wins arbitration"),
+            )
+            .with("zero_weights", zero),
+        );
+    }
+    if overflow > 0 {
+        out.push(
+            Diagnostic::error(
+                "AV016",
+                format!(
+                    "{overflow} arbiter weight(s) exceed the {}-bit field (max {max_w})",
+                    set.m_bits
+                ),
+            )
+            .with("overflowing_weights", overflow)
+            .with("max_w", max_w),
+        );
+    }
+    if mismatched > 0 {
+        out.push(
+            Diagnostic::error(
+                "AV016",
+                format!(
+                    "{mismatched} weight row(s) do not cover all {} pattern(s)",
+                    set.num_patterns
+                ),
+            )
+            .with("mismatched_rows", mismatched),
+        );
+    }
+    out
+}

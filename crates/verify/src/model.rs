@@ -1,0 +1,79 @@
+//! The machine model the static verifier reasons about.
+//!
+//! A [`VerifyModel`] is a [`MachineConfig`] plus the knobs that distinguish
+//! the machine-as-built from hypothetical (usually broken) variants the
+//! verifier can analyze to produce counterexamples — today, whether the
+//! dateline-crossing rule is active.
+
+use anton_core::config::MachineConfig;
+use anton_core::topology::{Dim, NodeCoord, Sign, TorusDir};
+
+/// A machine configuration as seen by the static verifier.
+#[derive(Debug, Clone)]
+pub struct VerifyModel {
+    /// The configuration under analysis.
+    pub cfg: MachineConfig,
+    /// Whether dateline crossings promote VCs. Disabling this models a
+    /// machine whose dateline registers were never programmed — the classic
+    /// unsafe torus configuration — and must make the verifier produce a
+    /// concrete dependency cycle.
+    pub datelines: bool,
+}
+
+impl VerifyModel {
+    /// The model of the machine as configured (datelines active).
+    pub fn new(cfg: MachineConfig) -> VerifyModel {
+        VerifyModel {
+            cfg,
+            datelines: true,
+        }
+    }
+
+    /// A model with the dateline rule disabled.
+    pub fn without_datelines(cfg: MachineConfig) -> VerifyModel {
+        VerifyModel {
+            cfg,
+            datelines: false,
+        }
+    }
+
+    /// The dateline-crossing rule under this model.
+    #[inline]
+    pub fn crosses(&self, node: NodeCoord, dir: TorusDir) -> bool {
+        self.datelines && self.cfg.shape.hop_crosses_dateline(node, dir)
+    }
+
+    /// Dimensions a route can actually travel in (extent > 1).
+    pub fn usable_dims(&self) -> Vec<Dim> {
+        Dim::ALL
+            .iter()
+            .copied()
+            .filter(|d| self.cfg.shape.k(*d) > 1)
+            .collect()
+    }
+
+    /// Directions minimal routing can depart in along `dim`.
+    ///
+    /// For `k == 2` the minimal tie-break always resolves to `+`
+    /// ([`anton_core::topology::TorusShape::minimal_offset_choices`]), so
+    /// `-` arcs are unreachable and must not enter the dependency graph.
+    pub fn signs_for(&self, dim: Dim) -> &'static [Sign] {
+        if self.cfg.shape.k(dim) == 2 {
+            &[Sign::Plus]
+        } else {
+            &[Sign::Plus, Sign::Minus]
+        }
+    }
+
+    /// Longest minimal arc along `dim` (`⌊k/2⌋` hops).
+    #[inline]
+    pub fn max_arc_len(&self, dim: Dim) -> u8 {
+        self.cfg.shape.k(dim) / 2
+    }
+
+    /// Whether a minimal arc along `dim` can cross a dateline under this
+    /// model (some arc of length `<= ⌊k/2⌋` includes the wrap hop).
+    pub fn crossing_possible(&self, dim: Dim) -> bool {
+        self.datelines && self.cfg.shape.k(dim) > 1
+    }
+}

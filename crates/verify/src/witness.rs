@@ -1,0 +1,176 @@
+//! Concrete witness-route synthesis for dependency-cycle counterexamples.
+//!
+//! When the symbolic verifier finds a `(channel, VC)` cycle, each edge of
+//! the cycle carries provenance ([`crate::symbolic::EdgeCtx`]) describing
+//! the *generalized* route fragment that produced it. This module turns
+//! that provenance back into a *concrete* route — source endpoint, torus
+//! hop sequence, slice, destination endpoint — and validates it by
+//! re-tracing through the reference tracer
+//! ([`anton_core::trace::trace_hops_with`]) under the model's dateline
+//! rule: the traced route must request the edge's two `(channel, VC)`
+//! pairs consecutively. Only validated witnesses are reported.
+//!
+//! Synthesis exploits the promotion invariant `m_i = i`: any history of
+//! already-routed dimensions yields the same M-state, so a minimal prefix
+//! of one `+1` arc per masked dimension reproduces the abstract state
+//! exactly.
+
+use anton_analysis::deadlock::ChannelVc;
+use anton_core::config::GlobalEndpoint;
+use anton_core::topology::{Dim, NodeCoord, Sign, Slice, TorusDir};
+use anton_core::trace::trace_hops_with;
+
+use crate::model::VerifyModel;
+use crate::report::WitnessRoute;
+use crate::symbolic::{dim_bit, CaptureSink, EdgeCtx, EntryCtx, ExitCtx};
+
+/// Maximum witnesses reported per counterexample (a minimized cycle can
+/// still be long; a handful of concrete routes is enough to act on).
+const MAX_WITNESSES: usize = 8;
+
+/// Synthesizes validated witness routes for the edges of `cycle` from the
+/// provenance gathered in `cap`.
+pub(crate) fn synthesize(
+    model: &VerifyModel,
+    cycle: &[ChannelVc],
+    cap: &CaptureSink,
+) -> Vec<WitnessRoute> {
+    let mut out = Vec::new();
+    for i in 0..cycle.len() {
+        if out.len() >= MAX_WITNESSES {
+            break;
+        }
+        let holds = cycle[i];
+        let waits_for = cycle[(i + 1) % cycle.len()];
+        let Some(Some(ctx)) = cap.wanted.get(&(holds, waits_for)) else {
+            debug_assert!(
+                false,
+                "cycle edge {}→{} not re-generated",
+                holds.0, waits_for.0
+            );
+            continue;
+        };
+        if let Some(w) = witness_for(model, ctx, holds, waits_for) {
+            out.push(w);
+        } else {
+            debug_assert!(
+                false,
+                "witness for {}→{} failed validation",
+                holds.0, waits_for.0
+            );
+        }
+    }
+    out
+}
+
+/// Steps a coordinate backwards along `(dim, sign)` by `len` hops.
+fn step_back(model: &VerifyModel, at: NodeCoord, dim: Dim, sign: Sign, len: u8) -> NodeCoord {
+    let k = i32::from(model.cfg.shape.k(dim));
+    let c = (i32::from(at.get(dim)) - sign.delta() * i32::from(len)).rem_euclid(k) as u8;
+    at.with(dim, c)
+}
+
+/// Prepends one `+1` arc per dimension in `mask`, ending at `arc_start`:
+/// returns the route's start node and the prefix hop sequence.
+fn prefix_for(model: &VerifyModel, mask: u8, arc_start: NodeCoord) -> (NodeCoord, Vec<TorusDir>) {
+    let mut src = arc_start;
+    let mut hops = Vec::new();
+    for d in Dim::ALL {
+        if mask & dim_bit(d) != 0 {
+            src = step_back(model, src, d, Sign::Plus, 1);
+            hops.push(TorusDir::new(d, Sign::Plus));
+        }
+    }
+    (src, hops)
+}
+
+/// Builds and validates the witness route for one cycle edge.
+fn witness_for(
+    model: &VerifyModel,
+    ctx: &EdgeCtx,
+    holds: ChannelVc,
+    waits_for: ChannelVc,
+) -> Option<WitnessRoute> {
+    use anton_core::chip::LocalEndpointId;
+    let cfg = &model.cfg;
+    let (src_node, src_ep, mut hops, slice, dst_ep) = match *ctx {
+        EdgeCtx::Ring {
+            dim,
+            sign,
+            slice,
+            start,
+            pre_mask,
+            hop,
+        } => {
+            let (src, mut hops) = prefix_for(model, pre_mask, start);
+            let dir = TorusDir::new(dim, sign);
+            for _ in 0..=hop {
+                hops.push(dir);
+            }
+            (src, LocalEndpointId(0), hops, slice, LocalEndpointId(0))
+        }
+        EdgeCtx::MPhase { node, entry, exit } => {
+            let (src, src_ep, hops, entry_slice) = match entry {
+                EntryCtx::Inject { ep } => (node, ep, Vec::new(), None),
+                EntryCtx::Arrive {
+                    dim,
+                    sign,
+                    slice,
+                    len,
+                    pre_mask,
+                } => {
+                    let arc_start = step_back(model, node, dim, sign, len);
+                    let (src, mut hops) = prefix_for(model, pre_mask, arc_start);
+                    let dir = TorusDir::new(dim, sign);
+                    for _ in 0..len {
+                        hops.push(dir);
+                    }
+                    (src, LocalEndpointId(0), hops, Some(slice))
+                }
+            };
+            let mut hops = hops;
+            let (dst_ep, exit_slice) = match exit {
+                ExitCtx::Deliver { ep } => (ep, None),
+                ExitCtx::Depart { dim, sign, slice } => {
+                    hops.push(TorusDir::new(dim, sign));
+                    (LocalEndpointId(0), Some(slice))
+                }
+            };
+            let slice = entry_slice.or(exit_slice).unwrap_or(Slice(0));
+            (src, src_ep, hops, slice, dst_ep)
+        }
+    };
+    // Validate by re-tracing under the model's dateline rule: the traced
+    // route must hold `holds` and request `waits_for` back to back.
+    let steps = trace_hops_with(
+        cfg,
+        src_node,
+        Some(src_ep),
+        &hops,
+        slice,
+        Some(dst_ep),
+        &mut |n, d| model.crosses(n, d),
+    );
+    if !steps.windows(2).any(|w| w[0] == holds && w[1] == waits_for) {
+        return None;
+    }
+    let mut dst_node = src_node;
+    for h in &hops {
+        dst_node = cfg.shape.neighbor(dst_node, *h);
+    }
+    hops.shrink_to_fit();
+    Some(WitnessRoute {
+        src: GlobalEndpoint {
+            node: cfg.shape.id(src_node),
+            ep: src_ep,
+        },
+        dst: GlobalEndpoint {
+            node: cfg.shape.id(dst_node),
+            ep: dst_ep,
+        },
+        hops,
+        slice,
+        holds,
+        waits_for,
+    })
+}
