@@ -45,7 +45,10 @@ pub struct ArbRequest {
 ///
 /// Callers must only present requests that can actually proceed (credits
 /// available), since `pick` commits the grant.
-pub trait PortArbiter: std::fmt::Debug {
+///
+/// Arbiters are `Send`: each sharded-kernel worker thread owns the arbiters
+/// of its partition's routers outright.
+pub trait PortArbiter: std::fmt::Debug + Send {
     /// Number of physical inputs this arbiter serves.
     fn num_inputs(&self) -> usize;
 

@@ -25,7 +25,10 @@ const SEED: u64 = 42;
 
 fn run_batch(k: u8, uniform: bool, packets: u64) -> u64 {
     let cfg = MachineConfig::new(TorusShape::cube(k));
-    let mut sim = Sim::new(cfg, SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg)
+        .params(SimParams::default())
+        .build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(if uniform {
             Box::new(UniformRandom)
@@ -45,7 +48,7 @@ fn run_fault(k: u8, packets: u64) -> u64 {
         fault: Some(FaultSchedule::uniform(7, 1e-4)),
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     let mut drv = LoadDriver::new(&sim, Box::new(UniformRandom), 0.1, packets, SEED);
     assert_eq!(sim.run(&mut drv, 600_000_000), RunOutcome::Completed);
     sim.now()
@@ -53,7 +56,10 @@ fn run_fault(k: u8, packets: u64) -> u64 {
 
 fn run_latency(k: u8, legs: u32) -> u64 {
     let cfg = MachineConfig::new(TorusShape::cube(k));
-    let mut sim = Sim::new(cfg, SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg)
+        .params(SimParams::default())
+        .build();
     let nn = sim.cfg.shape.num_nodes() as u32;
     let pairs: Vec<(GlobalEndpoint, GlobalEndpoint)> = (0..4u32)
         .map(|i| {

@@ -99,7 +99,10 @@ fn bench_sim(c: &mut Criterion) {
     g.bench_function("sim_uniform_batch8_k2", |b| {
         b.iter(|| {
             let cfg = MachineConfig::new(TorusShape::cube(2));
-            let mut sim = Sim::new(cfg, SimParams::default());
+            let mut sim = Sim::builder()
+                .config(cfg)
+                .params(SimParams::default())
+                .build();
             let mut drv = BatchDriver::builder(&sim)
                 .pattern(Box::new(UniformRandom))
                 .packets_per_endpoint(8)

@@ -20,7 +20,11 @@
 //!   >=3x kernel-speedup acceptance gate.
 //!
 //! Sizes: `small` is a 2×2×2 machine, `medium` a 4×4×4 machine (the size
-//! the ≥3× kernel-speedup acceptance gate is measured on). The saturated
+//! the ≥3× kernel-speedup acceptance gate is measured on), and `large` the
+//! paper's full 8×8×8 machine — measured on `uniform` only, once serially
+//! and once on the sharded parallel kernel (`--shards`, default 8), with
+//! the sharded entry recording its wall-clock speedup against the serial
+//! run of the identical workload (`speedup_vs_serial`). The saturated
 //! throughput workloads are kept as honest anchors: at full load both the
 //! event-driven and the dirty-scan kernel do the same irreducible per-flit
 //! work (~580 router sends/cycle on `uniform/medium`), so their speedup is
@@ -79,17 +83,22 @@ struct Entry {
     workload: &'static str,
     size: &'static str,
     k: u8,
+    shards: usize,
     cycles: u64,
     wall_ms: f64,
     cycles_per_sec: f64,
     peak_rss_kb: u64,
+    speedup_vs_serial: Option<f64>,
     phase_ns: Option<[u64; 5]>,
 }
 
 /// Peak resident-set high-water mark of this process in kB (`VmHWM` from
-/// `/proc/self/status`); 0 where procfs is unavailable. Note the high-water
-/// mark is process-global and monotone, so entries measured later in the
-/// run inherit the largest machine built so far.
+/// `/proc/self/status`); 0 where procfs is unavailable.
+///
+/// The high-water mark is process-global and monotone, so each entry calls
+/// [`reset_peak_rss`] before its workload runs — the sample taken after
+/// them then belongs to that entry alone rather than inheriting the
+/// largest machine built so far.
 fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
@@ -107,10 +116,57 @@ fn peak_rss_kb() -> u64 {
     0
 }
 
+/// Resets the process RSS high-water mark (writing `5` to
+/// `/proc/self/clear_refs`), so the next [`peak_rss_kb`] sample covers only
+/// the work that follows. Kernels or sandboxes that refuse the write leave
+/// the mark monotone — the pre-fix behavior — which the per-entry sample
+/// then degrades to, never worse.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Times one run of a [`ShardableDriver`] workload on either kernel:
+/// serial for `shards <= 1`, the sharded parallel kernel otherwise.
+fn time_run<D: anton_sim::ShardableDriver>(
+    cfg: MachineConfig,
+    params: SimParams,
+    shards: usize,
+    drv: &mut D,
+    label: &str,
+) -> (u64, f64) {
+    if shards > 1 {
+        let mut sim = Sim::builder()
+            .config(cfg)
+            .params(params)
+            .shards(shards)
+            .build_sharded();
+        let t = Instant::now();
+        let outcome = sim.run(drv, 600_000_000);
+        let wall = t.elapsed().as_secs_f64();
+        assert_eq!(outcome, RunOutcome::Completed, "{label} run");
+        (sim.now(), wall)
+    } else {
+        let mut sim = Sim::builder().config(cfg).params(params).build();
+        let t = Instant::now();
+        let outcome = sim.run(drv, 600_000_000);
+        let wall = t.elapsed().as_secs_f64();
+        assert_eq!(outcome, RunOutcome::Completed, "{label} run");
+        (sim.now(), wall)
+    }
+}
+
 /// Builds and runs one workload once, returning (cycles, wall seconds).
 /// `profile` turns on the per-phase profiler via [`TraceConfig`] (the
-/// structured replacement for exporting `ANTON_SIM_PROFILE`).
-fn run_once(workload: &str, k: u8, packets: u64, seed: u64, profile: bool) -> (u64, f64) {
+/// structured replacement for exporting `ANTON_SIM_PROFILE`). `shards > 1`
+/// runs on the sharded parallel kernel (same cycles, different wall clock).
+fn run_once(
+    workload: &str,
+    k: u8,
+    packets: u64,
+    seed: u64,
+    profile: bool,
+    shards: usize,
+) -> (u64, f64) {
     let cfg = MachineConfig::new(TorusShape::cube(k));
     let base_params = SimParams {
         trace: TraceConfig {
@@ -126,33 +182,30 @@ fn run_once(workload: &str, k: u8, packets: u64, seed: u64, profile: bool) -> (u
             } else {
                 Box::new(NHopNeighbor::new(1))
             };
-            let mut sim = Sim::new(cfg, base_params);
-            let mut drv = BatchDriver::builder(&sim)
+            let mut drv = BatchDriver::builder_for(&cfg)
                 .pattern(pattern)
                 .packets_per_endpoint(packets)
                 .seed(seed)
                 .build();
-            let t = Instant::now();
-            let outcome = sim.run(&mut drv, 600_000_000);
-            let wall = t.elapsed().as_secs_f64();
-            assert_eq!(outcome, RunOutcome::Completed, "{workload} k{k} run");
-            (sim.now(), wall)
+            time_run(
+                cfg,
+                base_params,
+                shards,
+                &mut drv,
+                &format!("{workload} k{k}"),
+            )
         }
         "fault" => {
             let params = SimParams {
                 fault: Some(FaultSchedule::uniform(7, 1e-4)),
                 ..base_params
             };
-            let mut sim = Sim::new(cfg, params);
-            let mut drv = LoadDriver::new(&sim, Box::new(UniformRandom), 0.1, packets, seed);
-            let t = Instant::now();
-            let outcome = sim.run(&mut drv, 600_000_000);
-            let wall = t.elapsed().as_secs_f64();
-            assert_eq!(outcome, RunOutcome::Completed, "{workload} k{k} run");
-            (sim.now(), wall)
+            let mut drv = LoadDriver::for_config(&cfg, Box::new(UniformRandom), 0.1, packets, seed);
+            time_run(cfg, params, shards, &mut drv, &format!("{workload} k{k}"))
         }
         "latency" => {
-            let mut sim = Sim::new(cfg, base_params);
+            assert_eq!(shards, 1, "the ping-pong driver has no sharded split");
+            let mut sim = Sim::builder().config(cfg).params(base_params).build();
             let nn = sim.cfg.shape.num_nodes() as u32;
             let pairs: Vec<(GlobalEndpoint, GlobalEndpoint)> = (0..4u32)
                 .map(|i| {
@@ -188,7 +241,7 @@ fn run_profiled(workload: &str, k: u8, packets: u64, seed: u64) -> [u64; 5] {
         .iter()
         .map(|a| a.load(std::sync::atomic::Ordering::Relaxed))
         .collect();
-    run_once(workload, k, packets, seed, true);
+    run_once(workload, k, packets, seed, true, 1);
     let mut delta = [0u64; 5];
     for (i, d) in delta.iter_mut().enumerate() {
         *d = PHASE_NS[i].load(std::sync::atomic::Ordering::Relaxed) - before[i];
@@ -216,13 +269,21 @@ fn main() {
         "BENCH_sim.json".to_string(),
         "output path for the JSON report",
     )
+    .flag(
+        "shards",
+        8usize,
+        "shard count for the large (k=8) sharded entry",
+    )
     .switch("quick", "CI smoke mode: small size only, tiny batches")
     .switch("no-phases", "skip the profiled per-phase pass")
+    .switch("no-large", "skip the large (k=8) serial-vs-sharded entries")
     .parse();
     let quick = args.on("quick");
     let reps: usize = if quick { 1 } else { args.get("reps") };
     let seed: u64 = args.get("seed");
     let phases = !args.on("no-phases") && !quick;
+    let large = !args.on("no-large") && !quick;
+    let large_shards: usize = args.get("shards");
     let out_path: String = args.get("out");
 
     // (size, k, batch packets/ep, open-loop packets/ep, ping-pong legs)
@@ -240,10 +301,11 @@ fn main() {
                 "latency" => legs,
                 _ => batch,
             };
+            reset_peak_rss();
             let mut best_wall = f64::INFINITY;
             let mut cycles = 0u64;
             for rep in 0..reps {
-                let (c, wall) = run_once(workload, k, packets, seed, false);
+                let (c, wall) = run_once(workload, k, packets, seed, false, 1);
                 eprintln!(
                     "[bench_kernel] {workload}/{size} rep {}/{reps}: {c} cycles in {:.3}s \
                      ({:.0} cycles/sec)",
@@ -259,37 +321,78 @@ fn main() {
                 workload,
                 size,
                 k,
+                shards: 1,
                 cycles,
                 wall_ms: best_wall * 1e3,
                 cycles_per_sec: cycles as f64 / best_wall,
                 peak_rss_kb: peak_rss_kb(),
+                speedup_vs_serial: None,
                 phase_ns,
             });
         }
     }
 
+    // The headline sharded entries: the paper's full 8×8×8 machine, serial
+    // versus the sharded parallel kernel, same workload and seed — cycles
+    // are byte-identical by construction, so the wall-clock ratio is the
+    // whole story. Expensive (512 nodes, 8192 endpoints), hence one rep and
+    // a `--no-large` escape hatch.
+    if large {
+        let (workload, k, packets) = ("uniform", 8u8, 4u64);
+        let mut serial_cps = None;
+        for shards in [1usize, large_shards.max(2)] {
+            reset_peak_rss();
+            let (cycles, wall) = run_once(workload, k, packets, seed, false, shards);
+            let cps = cycles as f64 / wall;
+            eprintln!(
+                "[bench_kernel] {workload}/large shards {shards}: {cycles} cycles in {wall:.3}s \
+                 ({cps:.0} cycles/sec)"
+            );
+            let speedup_vs_serial = serial_cps.map(|s: f64| cps / s);
+            if shards == 1 {
+                serial_cps = Some(cps);
+            }
+            entries.push(Entry {
+                workload,
+                size: "large",
+                k,
+                shards,
+                cycles,
+                wall_ms: wall * 1e3,
+                cycles_per_sec: cps,
+                peak_rss_kb: peak_rss_kb(),
+                speedup_vs_serial,
+                phase_ns: None,
+            });
+        }
+    }
+
     println!(
-        "{:<10} {:<8} {:>10} {:>10} {:>14} {:>12} {:>9}",
-        "workload", "size", "cycles", "wall-ms", "cycles/sec", "baseline", "speedup"
+        "{:<10} {:<8} {:>7} {:>10} {:>10} {:>14} {:>12} {:>9}",
+        "workload", "size", "shards", "cycles", "wall-ms", "cycles/sec", "baseline", "speedup"
     );
     let mut rows: Vec<Json> = Vec::new();
     for e in &entries {
         let base = baseline_cps(e.workload, e.size);
         let speedup = base.map(|b| e.cycles_per_sec / b);
         println!(
-            "{:<10} {:<8} {:>10} {:>10.1} {:>14.0} {:>12} {:>9}",
+            "{:<10} {:<8} {:>7} {:>10} {:>10.1} {:>14.0} {:>12} {:>9}",
             e.workload,
             e.size,
+            e.shards,
             e.cycles,
             e.wall_ms,
             e.cycles_per_sec,
             base.map_or("-".to_string(), |b| format!("{b:.0}")),
-            speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+            speedup
+                .or(e.speedup_vs_serial)
+                .map_or("-".to_string(), |s| format!("{s:.2}x")),
         );
         let mut obj = vec![
             ("workload".to_string(), Json::from(e.workload)),
             ("size".to_string(), Json::from(e.size)),
             ("k".to_string(), Json::from(u64::from(e.k))),
+            ("shards".to_string(), Json::from(e.shards)),
             ("cycles".to_string(), Json::from(e.cycles)),
             ("wall_ms".to_string(), Json::from(e.wall_ms)),
             ("cycles_per_sec".to_string(), Json::from(e.cycles_per_sec)),
@@ -301,6 +404,10 @@ fn main() {
             (
                 "speedup_vs_baseline".to_string(),
                 speedup.map_or(Json::Null, Json::from),
+            ),
+            (
+                "speedup_vs_serial".to_string(),
+                e.speedup_vs_serial.map_or(Json::Null, Json::from),
             ),
         ];
         match e.phase_ns {

@@ -47,7 +47,10 @@ fn main() {
                 node: cfg.shape.id(dst),
                 ep: LocalEndpointId(5),
             };
-            let mut sim = Sim::new(cfg.clone(), SimParams::default());
+            let mut sim = Sim::builder()
+                .config(cfg.clone())
+                .params(SimParams::default())
+                .build();
             let mut drv = PingPongDriver::new(vec![(a, b)], legs);
             let outcome = sim.run(&mut drv, 60_000_000);
             assert_eq!(

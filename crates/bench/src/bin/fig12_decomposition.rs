@@ -33,7 +33,10 @@ fn main() {
         node: cfg.shape.id(NodeCoord::new(0, 1, 0)),
         ep: LocalEndpointId(8),
     };
-    let mut sim = Sim::new(cfg.clone(), params.clone());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(params.clone())
+        .build();
     let mut drv = PingPongDriver::new(vec![(a, b)], 60);
     let outcome = sim.run(&mut drv, 10_000_000);
     assert_eq!(outcome, RunOutcome::Completed);

@@ -116,7 +116,10 @@ fn main() {
     let unicast_hops_per_group = groups[0]
         .dests
         .unicast_torus_hops(&sim_cfg.shape, groups[0].src);
-    let mut sim = Sim::new(sim_cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(sim_cfg.clone())
+        .params(SimParams::default())
+        .build();
     let num_groups = groups.len() as u64;
     for g in groups {
         sim.add_multicast_group(g);

@@ -11,13 +11,16 @@
 //! land in `results/fig9_throughput.json` alongside the text table.
 //!
 //! Defaults reproduce the paper's 8×8×8 machine; pass `--k 4` and smaller
-//! `--batches` for a quick run.
+//! `--batches` for a quick run. `--shards N` runs every point on the
+//! sharded parallel kernel (N sub-bricks, one worker thread each) —
+//! measurements are byte-identical to serial, only wall-clock time changes,
+//! and the recorded results note the shard count.
 
 use anton_analysis::load::LoadAnalysis;
 use anton_analysis::weights::ArbiterWeightSet;
 use anton_bench::harness::{ExperimentSpec, SweepPoint};
 use anton_bench::{
-    checked_cube, fail_usage, make_pattern, run_batch_detailed, saturation_rate, values,
+    checked_cube, fail_usage, make_pattern, run_batch_sharded, saturation_rate, values,
     ArbiterSetup, FlagSet,
 };
 use anton_core::config::MachineConfig;
@@ -41,11 +44,17 @@ fn main() {
     )
     .flag("seed", 42u64, "base seed; per-point seeds derive from it")
     .flag("threads", 1usize, "worker threads for the sweep")
+    .flag(
+        "shards",
+        1usize,
+        "worker shards per simulation (1 = serial kernel; results identical)",
+    )
     .parse();
     let k: u8 = args.get("k");
     let batches = args.list("batches");
     let seed: u64 = args.get("seed");
     let threads: usize = args.get("threads");
+    let shards: usize = args.get("shards");
     let cfg = MachineConfig::new(checked_cube(k));
 
     println!("## Figure 9 — throughput beyond saturation ({k}x{k}x{k} torus, 16 cores/node)");
@@ -59,6 +68,7 @@ fn main() {
     eprintln!("[fig9] uniform saturation {sat_uniform:.5}, 2-hop {sat_2hop:.5} pkts/cycle/core");
 
     let mut spec = ExperimentSpec::new("fig9_throughput", seed);
+    spec.set_shards(shards);
     for pattern in ["uniform", "2-hop-neighbor"] {
         for arbiter in ["round-robin", "inverse-weighted"] {
             for &batch in &batches {
@@ -84,13 +94,14 @@ fn main() {
             sat_2hop
         };
         let batch = point.int("batch") as u64;
-        let (p, m) = run_batch_detailed(
+        let (p, m) = run_batch_sharded(
             &cfg,
             vec![(pattern_or_exit(pattern), 1.0)],
             batch,
             &setup,
             sat,
             point.seed,
+            shards,
         );
         eprintln!(
             "[fig9] {}/{n_points} {pattern} {} batch {batch} done",

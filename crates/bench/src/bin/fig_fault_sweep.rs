@@ -87,6 +87,11 @@ fn main() {
     .flag("packets", 200u64, "packets per endpoint per point")
     .flag("seed", 42u64, "base seed; per-point seeds derive from it")
     .flag("threads", 1usize, "worker threads for the sweep")
+    .flag(
+        "shards",
+        1usize,
+        "worker shards per simulation (1 = serial kernel; results identical)",
+    )
     .parse();
     let k: u8 = args.get("k");
     let bers = args.flist("bers");
@@ -94,6 +99,7 @@ fn main() {
     let packets: u64 = args.get("packets");
     let seed: u64 = args.get("seed");
     let threads: usize = args.get("threads");
+    let shards: usize = args.get("shards");
     let cfg = MachineConfig::new(TorusShape::cube(k));
 
     println!("## Fault sweep — lossy torus links ({k}x{k}x{k} torus, 16 cores/node)");
@@ -102,6 +108,7 @@ fn main() {
     eprintln!("[fault-sweep] uniform saturation {sat:.5} pkts/cycle/core");
 
     let mut spec = ExperimentSpec::new("fig_fault_sweep", seed);
+    spec.set_shards(shards);
     for &load in &loads {
         for &ber in &bers {
             spec.push_point(values![
@@ -123,25 +130,46 @@ fn main() {
             watchdog_cycles: 200_000,
             ..SimParams::default()
         };
-        let mut sim = Sim::new(cfg.clone(), params);
-        let mut driver = LoadDriver::new(
-            &sim,
+        let mut driver = LoadDriver::for_config(
+            &cfg,
             Box::new(UniformRandom),
             load * sat,
             packets,
             point.seed,
         );
-        let outcome = sim.run(&mut driver, 50_000_000);
+        // Either kernel produces identical measurements; `--shards` only
+        // changes how many worker threads step the machine.
+        let (outcome, m, report) = if shards > 1 {
+            let mut sim = Sim::builder()
+                .config(cfg.clone())
+                .params(params)
+                .shards(shards)
+                .build_sharded();
+            let outcome = sim.run(&mut driver, 50_000_000);
+            if outcome == RunOutcome::Completed {
+                sim.check_invariants()
+                    .expect("invariants must hold at quiesce");
+            }
+            let report = sim.deadlock_report().map(|r| (r.to_string(), r.to_json()));
+            (outcome, sim.metrics(), report)
+        } else {
+            let mut sim = Sim::builder().config(cfg.clone()).params(params).build();
+            let outcome = sim.run(&mut driver, 50_000_000);
+            if outcome == RunOutcome::Completed {
+                sim.check_invariants()
+                    .expect("invariants must hold at quiesce");
+            }
+            let report = sim.deadlock_report().map(|r| (r.to_string(), r.to_json()));
+            (outcome, sim.metrics(), report)
+        };
         let deadlocked = outcome == RunOutcome::Deadlocked;
         if deadlocked {
-            let report = sim
-                .deadlock_report()
-                .expect("deadlock outcome carries a report");
-            eprintln!("[fault-sweep] point {} deadlocked:\n{report}", point.index);
+            let (text, json) = report.expect("deadlock outcome carries a report");
+            eprintln!("[fault-sweep] point {} deadlocked:\n{text}", point.index);
             deadlock_reports
                 .lock()
                 .expect("report list poisoned")
-                .push((point.index, report.to_json()));
+                .push((point.index, json));
         } else {
             assert_eq!(
                 outcome,
@@ -149,10 +177,7 @@ fn main() {
                 "fault-sweep point {} timed out",
                 point.index,
             );
-            sim.check_invariants()
-                .expect("invariants must hold at quiesce");
         }
-        let m = sim.metrics();
         let fault = m.fault.expect("fault schedule installed on every point");
         eprintln!(
             "[fault-sweep] {}/{n_points} ber {ber:.1e} load {load:.2} done ({} cycles)",

@@ -19,7 +19,10 @@ fn main() {
     let k: u8 = args.get("k");
     let batch: u64 = args.get("batch");
     let cfg = MachineConfig::new(TorusShape::cube(k));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(UniformRandom))
         .packets_per_endpoint(batch)

@@ -57,7 +57,7 @@ fn main() {
             },
             ..SimParams::default()
         };
-        let mut sim = Sim::new(cfg.clone(), params);
+        let mut sim = Sim::builder().config(cfg.clone()).params(params).build();
         if kind == "iw" {
             for ((node, router, out), table) in &weights.tables {
                 sim.set_arbiter_weights(*node, *router, *out, table.clone(), 5);

@@ -67,7 +67,7 @@ fn main() {
         }
         _ => None,
     };
-    let mut sim = Sim::new(cfg.clone(), params);
+    let mut sim = Sim::builder().config(cfg.clone()).params(params).build();
     if let Some(w) = &weights {
         apply_weights(&mut sim, w);
     }

@@ -37,7 +37,7 @@ fn main() {
         trace: TraceConfig::sampled(bucket),
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(UniformRandom))
         .packets_per_endpoint(batch)

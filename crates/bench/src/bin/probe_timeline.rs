@@ -62,7 +62,7 @@ fn main() {
             },
             ..SimParams::default()
         };
-        let mut sim = Sim::new(cfg.clone(), params);
+        let mut sim = Sim::builder().config(cfg.clone()).params(params).build();
         let mut drv = BatchDriver::builder(&sim)
             .pattern(make_pattern(pattern))
             .packets_per_endpoint(batch)

@@ -71,7 +71,7 @@ fn main() {
             preflight: PreflightMode::WarnOnly,
             ..SimParams::default()
         };
-        let mut sim = Sim::new(cfg, params);
+        let mut sim = Sim::builder().config(cfg).params(params).build();
         let mut drv = BatchDriver::builder(&sim)
             .pattern(Box::new(NodePermutation::new(perm.clone())))
             .packets_per_endpoint(400)

@@ -251,7 +251,22 @@ pub fn read_results(text: &str) -> Result<Json, String> {
     doc.get("points")
         .and_then(Json::as_arr)
         .ok_or("results: missing `points`")?;
+    if let Some(shards) = doc.get("shards") {
+        let n = shards.as_u64().ok_or("results: `shards` is not a count")?;
+        if n == 0 {
+            return Err("results: `shards` must be at least 1".to_string());
+        }
+    }
     Ok(doc)
+}
+
+/// Worker-shard count recorded in a results document.
+///
+/// Documents written before the sharded kernel existed have no `shards` key
+/// and read back as `1` (serial) — the same tolerant-default treatment
+/// `static_verdict` received in deadlock reports.
+pub fn results_shards(doc: &Json) -> u64 {
+    doc.get("shards").and_then(Json::as_u64).unwrap_or(1)
 }
 
 /// A named sweep: the typed front door of the experiment harness.
@@ -259,6 +274,7 @@ pub fn read_results(text: &str) -> Result<Json, String> {
 pub struct ExperimentSpec {
     name: String,
     base_seed: u64,
+    shards: usize,
     points: Vec<SweepPoint>,
 }
 
@@ -269,6 +285,7 @@ impl ExperimentSpec {
         ExperimentSpec {
             name: name.into(),
             base_seed,
+            shards: 1,
             points: Vec::new(),
         }
     }
@@ -281,6 +298,20 @@ impl ExperimentSpec {
     /// The base seed the point seeds are derived from.
     pub fn base_seed(&self) -> u64 {
         self.base_seed
+    }
+
+    /// Declares that every point of this sweep runs on the sharded kernel
+    /// with `shards` worker shards (`1` = serial kernel). Recorded in the
+    /// results document; the sharded kernel is byte-identical to serial, so
+    /// this — like the thread count — must never change measurements.
+    pub fn set_shards(&mut self, shards: usize) -> &mut Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Worker shards each point's simulation runs on (`1` = serial kernel).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Appends a sweep point, assigning its index and derived seed.
@@ -349,9 +380,13 @@ impl ExperimentSpec {
 
     /// Renders measurements as the structured results document.
     ///
-    /// Schema: `{ experiment, schema_version, base_seed, points: [ { index,
-    /// seed, params: {..}, metrics: {..} } ] }`. Thread count is deliberately
-    /// absent — it must not influence results.
+    /// Schema: `{ experiment, schema_version, base_seed, shards, points:
+    /// [ { index, seed, params: {..}, metrics: {..} } ] }`. Thread count is
+    /// deliberately absent — it must not influence results. `shards` records
+    /// which kernel produced the numbers (serial at `1`); the sharded kernel
+    /// is measurement-identical, so the field is provenance, not a parameter
+    /// ([`read_results`] defaults it to `1` for documents written before it
+    /// existed).
     pub fn results_json(&self, measurements: &[Measurement]) -> Json {
         let points = measurements
             .iter()
@@ -384,6 +419,7 @@ impl ExperimentSpec {
             ("experiment", Json::from(self.name.as_str())),
             ("schema_version", Json::from(RESULTS_SCHEMA_VERSION)),
             ("base_seed", Json::from(self.base_seed)),
+            ("shards", Json::from(self.shards as u64)),
             ("points", Json::Arr(points)),
         ])
     }
@@ -455,13 +491,12 @@ impl ExperimentSpec {
 }
 
 /// Derives the RNG seed for sweep-point `index` of a spec seeded with
-/// `base`. Pure function of its arguments (splitmix64 finalization over a
-/// golden-ratio stride), so any execution schedule assigns identical seeds.
+/// `base`. Pure function of its arguments, so any execution schedule assigns
+/// identical seeds. This is the same splitmix64 derivation that backs every
+/// other stream seed in the simulator ([`anton_core::seed`]), so committed
+/// results keep their seeds across harness versions.
 pub fn derive_seed(base: u64, index: u64) -> u64 {
-    let mut z = base ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    anton_core::seed::derive_stream_seed(base, index)
 }
 
 #[cfg(test)]
@@ -540,11 +575,38 @@ mod tests {
         assert!(doc.contains("\"experiment\": \"schema_check\""));
         assert!(doc.contains("\"schema_version\": 1"));
         assert!(doc.contains("\"base_seed\": 5"));
+        assert!(doc.contains("\"shards\": 1"));
         assert!(doc.contains("\"metric\": 1.5"));
         assert!(
             !doc.contains("threads"),
             "thread count must not leak into results"
         );
+    }
+
+    #[test]
+    fn shards_are_recorded_and_read_back_tolerantly() {
+        let mut spec = ExperimentSpec::new("shard_check", 5);
+        spec.set_shards(4);
+        assert_eq!(spec.shards(), 4);
+        spec.push_point(values!["k" => 2u64]);
+        let out = spec.run(1, |_| values!["m" => 1u64]);
+        let text = spec.results_json(&out).to_pretty_string();
+        assert!(text.contains("\"shards\": 4"));
+        let doc = read_results(&text).expect("valid results document");
+        assert_eq!(results_shards(&doc), 4);
+
+        // Documents from before the sharded kernel carry no `shards` key and
+        // read back as serial, exactly like `static_verdict` defaults in old
+        // deadlock reports.
+        let old = "{\"experiment\": \"x\", \"schema_version\": 1, \"points\": []}";
+        let doc = read_results(old).expect("pre-shard document stays readable");
+        assert_eq!(results_shards(&doc), 1);
+
+        // A present-but-nonsensical count is rejected, and `set_shards`
+        // itself clamps zero to serial.
+        let zero = "{\"experiment\": \"x\", \"schema_version\": 1, \"shards\": 0, \"points\": []}";
+        assert!(read_results(zero).unwrap_err().contains("shards"));
+        assert_eq!(ExperimentSpec::new("z", 0).set_shards(0).shards(), 1);
     }
 
     #[test]

@@ -119,10 +119,10 @@ pub fn run_batch(
 /// # Panics
 ///
 /// Panics if the run deadlocks or exceeds the cycle budget, if the static
-/// pre-flight verification inside [`Sim::new`] rejects the configuration,
-/// or if an [`ArbiterSetup::InverseWeighted`] weight set fails its lints
-/// (AV016) — every experiment fails fast on a broken setup rather than
-/// measuring it.
+/// pre-flight verification inside [`Sim::builder`] rejects the
+/// configuration, or if an [`ArbiterSetup::InverseWeighted`] weight set
+/// fails its lints (AV016) — every experiment fails fast on a broken setup
+/// rather than measuring it.
 pub fn run_batch_detailed(
     cfg: &MachineConfig,
     components: Vec<(Box<dyn TrafficPattern>, f64)>,
@@ -130,6 +130,29 @@ pub fn run_batch_detailed(
     setup: &ArbiterSetup,
     saturation_rate: f64,
     seed: u64,
+) -> (ThroughputPoint, Metrics) {
+    run_batch_sharded(cfg, components, batch, setup, saturation_rate, seed, 1)
+}
+
+/// [`run_batch_detailed`] on the sharded parallel kernel: the machine is
+/// partitioned into `shards` contiguous sub-bricks, each stepped by its own
+/// worker thread under bounded-lag synchronization. `shards <= 1` runs the
+/// serial kernel. Measurements are byte-identical for every shard count —
+/// only wall-clock time changes — which the golden shard-equivalence suite
+/// pins.
+///
+/// # Panics
+///
+/// As [`run_batch_detailed`]; additionally if the pre-flight lints reject
+/// the shard count (AV019: more shards than nodes).
+pub fn run_batch_sharded(
+    cfg: &MachineConfig,
+    components: Vec<(Box<dyn TrafficPattern>, f64)>,
+    batch: u64,
+    setup: &ArbiterSetup,
+    saturation_rate: f64,
+    seed: u64,
+    shards: usize,
 ) -> (ThroughputPoint, Metrics) {
     if let ArbiterSetup::InverseWeighted(w) = setup {
         let diags = anton_verify::lint_weights(w);
@@ -146,29 +169,49 @@ pub fn run_batch_detailed(
         },
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg.clone(), params);
-    if let ArbiterSetup::InverseWeighted(w) = setup {
-        apply_weights(&mut sim, w);
-    }
-    let mut driver = BatchDriver::builder(&sim)
+    let mut driver = BatchDriver::builder_for(cfg)
         .components(components)
         .packets_per_endpoint(batch)
         .seed(seed)
         .build();
-    let outcome = sim.run(&mut driver, 600_000_000);
-    assert_eq!(
-        outcome,
-        RunOutcome::Completed,
-        "batch run did not complete: {outcome:?}"
-    );
-    let point = ThroughputPoint {
-        batch,
-        normalized: driver.throughput() / saturation_rate,
-        cycles: driver.finish_cycle,
-        peak_utilization: sim.max_torus_utilization(),
-    };
-    let metrics = sim.metrics();
-    (point, metrics)
+    let builder = Sim::builder().config(cfg.clone()).params(params);
+    if shards > 1 {
+        let mut sim = builder.shards(shards).build_sharded();
+        if let ArbiterSetup::InverseWeighted(w) = setup {
+            sim.configure(|s| apply_weights(s, w));
+        }
+        let outcome = sim.run(&mut driver, 600_000_000);
+        assert_eq!(
+            outcome,
+            RunOutcome::Completed,
+            "batch run did not complete: {outcome:?}"
+        );
+        let point = ThroughputPoint {
+            batch,
+            normalized: driver.throughput() / saturation_rate,
+            cycles: driver.finish_cycle,
+            peak_utilization: sim.max_torus_utilization(),
+        };
+        (point, sim.metrics())
+    } else {
+        let mut sim = builder.build();
+        if let ArbiterSetup::InverseWeighted(w) = setup {
+            apply_weights(&mut sim, w);
+        }
+        let outcome = sim.run(&mut driver, 600_000_000);
+        assert_eq!(
+            outcome,
+            RunOutcome::Completed,
+            "batch run did not complete: {outcome:?}"
+        );
+        let point = ThroughputPoint {
+            batch,
+            normalized: driver.throughput() / saturation_rate,
+            cycles: driver.finish_cycle,
+            peak_utilization: sim.max_torus_utilization(),
+        };
+        (point, sim.metrics())
+    }
 }
 
 /// Computes a pattern's analytic saturation injection rate on a machine.

@@ -3,7 +3,7 @@
 //! per-point seeds, same values, same serialized results document.
 
 use anton_bench::harness::{ExperimentSpec, SweepPoint};
-use anton_bench::{run_batch_detailed, saturation_rate, values, ArbiterSetup};
+use anton_bench::{run_batch_detailed, run_batch_sharded, saturation_rate, values, ArbiterSetup};
 use anton_core::config::MachineConfig;
 use anton_core::topology::TorusShape;
 use anton_traffic::patterns::UniformRandom;
@@ -66,6 +66,42 @@ fn parallel_measurements_are_byte_identical_to_serial() {
         cycles[0] > 0.0 && cycles[0] < cycles[2],
         "cycles {cycles:?}"
     );
+}
+
+/// The sharded kernel behind `--shards` is measurement-invisible: the same
+/// sweep point produces bit-identical throughput numbers and metrics on the
+/// serial kernel and on any shard count.
+#[test]
+fn sharded_measurements_match_serial_exactly() {
+    let cfg = MachineConfig::new(TorusShape::cube(2));
+    let sat = saturation_rate(&cfg, &UniformRandom);
+    for shards in [2usize, 4, 8] {
+        let (serial, ms) = run_batch_detailed(
+            &cfg,
+            vec![(Box::new(UniformRandom), 1.0)],
+            8,
+            &ArbiterSetup::RoundRobin,
+            sat,
+            42,
+        );
+        let (sharded, mp) = run_batch_sharded(
+            &cfg,
+            vec![(Box::new(UniformRandom), 1.0)],
+            8,
+            &ArbiterSetup::RoundRobin,
+            sat,
+            42,
+            shards,
+        );
+        assert_eq!(serial.normalized.to_bits(), sharded.normalized.to_bits());
+        assert_eq!(serial.cycles, sharded.cycles);
+        assert_eq!(
+            serial.peak_utilization.to_bits(),
+            sharded.peak_utilization.to_bits()
+        );
+        assert_eq!(ms.stats, mp.stats, "{shards} shards");
+        assert_eq!(ms.grants, mp.grants, "{shards} shards");
+    }
 }
 
 #[test]

@@ -54,6 +54,7 @@ pub mod onchip;
 pub mod packet;
 pub mod pattern;
 pub mod routing;
+pub mod seed;
 pub mod topology;
 pub mod trace;
 pub mod vc;
@@ -64,5 +65,6 @@ pub use onchip::DirOrder;
 pub use packet::{Packet, Payload};
 pub use pattern::{Flow, TrafficPattern};
 pub use routing::{DimOrder, RouteSpec};
+pub use seed::derive_stream_seed;
 pub use topology::{Dim, NodeCoord, NodeId, Sign, Slice, TorusDir, TorusShape};
 pub use vc::{TrafficClass, Vc, VcPolicy, VcState};

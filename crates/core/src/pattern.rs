@@ -33,7 +33,11 @@ pub struct Flow {
 /// Implementations must keep `flows_from` and `sample_dst` consistent: the
 /// sampling distribution of `sample_dst` must be proportional to the rates
 /// returned by `flows_from`.
-pub trait TrafficPattern {
+///
+/// Patterns are `Send + Sync`: workload drivers share one pattern object
+/// across the sharded kernel's worker threads (all randomness lives in the
+/// per-endpoint RNG streams passed to `sample_dst`, never in the pattern).
+pub trait TrafficPattern: Send + Sync {
     /// Human-readable pattern name (used in experiment output).
     fn name(&self) -> String;
 

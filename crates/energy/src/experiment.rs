@@ -47,7 +47,7 @@ fn run_route(
         track_energy: true,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg.clone(), params);
+    let mut sim = Sim::builder().config(cfg.clone()).params(params).build();
     let src = GlobalEndpoint {
         node: NodeId(0),
         ep: LocalEndpointId(0),

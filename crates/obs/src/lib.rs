@@ -9,9 +9,13 @@
 //! * [`event`] — the typed trace-event taxonomy (inject, hop, VC promotion,
 //!   arbiter grant, retransmit, deliver, stall);
 //! * [`recorder`] — the flight recorder: fixed-capacity per-component ring
-//!   buffers of [`event::TraceEvent`]s with drop-oldest semantics;
+//!   buffers of [`event::TraceEvent`]s with drop-oldest semantics, plus the
+//!   canonical [`merged_events`](recorder::merged_events) order for the
+//!   per-shard rings of a sharded run;
 //! * [`sampler`] — the time-series sampler: periodic snapshots of dense
-//!   kernel counters folded into typed windows;
+//!   kernel counters folded into typed windows, with
+//!   [`TimeSeries::merged`](sampler::TimeSeries::merged) summing per-shard
+//!   series into the machine-wide view;
 //! * [`chrome`] — Chrome trace-event JSON export (viewable in Perfetto);
 //! * [`link_json`] — structural JSON round-tripping for
 //!   [`anton_core::trace::GlobalLink`].
@@ -34,7 +38,7 @@ pub mod sampler;
 pub use chrome::ChromeTrace;
 pub use event::{TraceEvent, TraceEventKind};
 pub use json::Json;
-pub use recorder::{EventRing, FlightRecorder};
+pub use recorder::{merged_events, EventRing, FlightRecorder};
 pub use sampler::{ChannelKind, SampleWindow, TimeSeries};
 
 use std::io;

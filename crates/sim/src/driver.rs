@@ -12,33 +12,48 @@
 //!   rate, with per-packet latency samples and percentile reporting (the
 //!   fault-sweep workload).
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use anton_core::config::GlobalEndpoint;
+use anton_core::config::{GlobalEndpoint, MachineConfig};
 use anton_core::packet::{CounterId, Destination, Packet, PatternId, Payload};
 use anton_core::pattern::TrafficPattern;
+use anton_core::seed::derive_stream_seed;
 use anton_core::vc::TrafficClass;
 
 use crate::params::CYCLE_NS;
+use crate::shard::ShardableDriver;
 use crate::sim::{Delivery, Driver, Sim};
 
 /// Keep this many packets queued at each endpoint adapter so injection is
 /// never starved by the driver.
 const LOW_WATER: usize = 2;
 
+/// Per-endpoint RNG streams derived from one base seed: endpoint `i` draws
+/// from stream `i` regardless of how many other endpoints draw, so a
+/// shard simulating only a sub-range of endpoints reproduces exactly the
+/// draws a serial run would make for them.
+fn endpoint_streams(seed: u64, n_eps: usize) -> Vec<StdRng> {
+    (0..n_eps)
+        .map(|i| StdRng::seed_from_u64(derive_stream_seed(seed, i as u64)))
+        .collect()
+}
+
 /// A batch workload: each endpoint sends `packets_per_endpoint` packets,
 /// each drawn from one of the weighted pattern components and labeled with
 /// that component's [`PatternId`].
 pub struct BatchDriver {
-    components: Vec<(Box<dyn TrafficPattern>, f64)>,
+    components: Vec<(Arc<dyn TrafficPattern>, f64)>,
     packets_per_endpoint: u64,
     payload_bytes: usize,
     remaining: Vec<u64>,
     expected: u64,
     delivered: u64,
-    rng: StdRng,
+    /// One independent RNG stream per endpoint (see [`endpoint_streams`]).
+    rngs: Vec<StdRng>,
     /// Cycle of the final delivery (valid once done).
     pub finish_cycle: u64,
 }
@@ -63,16 +78,22 @@ impl BatchDriver {
     /// use anton_sim::sim::Sim;
     /// use anton_traffic::UniformRandom;
     ///
-    /// let sim = Sim::new(MachineConfig::new(TorusShape::cube(2)), SimParams::default());
+    /// let sim = Sim::builder().config(MachineConfig::new(TorusShape::cube(2))).params(SimParams::default()).build();
     /// let driver = BatchDriver::builder(&sim)
     ///     .pattern(Box::new(UniformRandom))
     ///     .packets_per_endpoint(4)
     ///     .seed(1)
     ///     .build();
     /// ```
-    pub fn builder(sim: &Sim) -> BatchDriverBuilder<'_> {
+    pub fn builder(sim: &Sim) -> BatchDriverBuilder {
+        BatchDriver::builder_for(&sim.cfg)
+    }
+
+    /// Starts configuring a batch driver from a machine configuration alone
+    /// (no simulator needed — the entry point sharded runs use).
+    pub fn builder_for(cfg: &MachineConfig) -> BatchDriverBuilder {
         BatchDriverBuilder {
-            sim,
+            n_eps: cfg.num_endpoints(),
             components: Vec::new(),
             packets_per_endpoint: 1,
             payload_bytes: 16,
@@ -132,7 +153,7 @@ impl BatchDriver {
         self.packets_per_endpoint as f64 / self.finish_cycle as f64
     }
 
-    fn from_builder(b: BatchDriverBuilder<'_>) -> BatchDriver {
+    fn from_builder(b: BatchDriverBuilder) -> BatchDriver {
         assert!(!b.components.is_empty(), "need at least one pattern");
         let total: f64 = b.components.iter().map(|(_, w)| w).sum();
         assert!(total > 0.0, "weights must be positive");
@@ -141,7 +162,7 @@ impl BatchDriver {
             .into_iter()
             .map(|(p, w)| (p, w / total))
             .collect::<Vec<_>>();
-        let n_eps = b.sim.cfg.num_endpoints();
+        let n_eps = b.n_eps;
         BatchDriver {
             components,
             packets_per_endpoint: b.packets_per_endpoint,
@@ -149,15 +170,15 @@ impl BatchDriver {
             remaining: vec![b.packets_per_endpoint; n_eps],
             expected: b.packets_per_endpoint * n_eps as u64,
             delivered: 0,
-            rng: StdRng::seed_from_u64(b.seed),
+            rngs: endpoint_streams(b.seed, n_eps),
             finish_cycle: 0,
         }
     }
 
-    fn sample_component(&mut self) -> usize {
-        let mut x: f64 = self.rng.gen();
-        for (i, (_, w)) in self.components.iter().enumerate() {
-            if x < *w || i == self.components.len() - 1 {
+    fn sample_component(components: &[(Arc<dyn TrafficPattern>, f64)], rng: &mut StdRng) -> usize {
+        let mut x: f64 = rng.gen();
+        for (i, (_, w)) in components.iter().enumerate() {
+            if x < *w || i == components.len() - 1 {
                 return i;
             }
             x -= *w;
@@ -166,19 +187,20 @@ impl BatchDriver {
     }
 }
 
-/// Configures a [`BatchDriver`]; obtained from [`BatchDriver::builder`].
+/// Configures a [`BatchDriver`]; obtained from [`BatchDriver::builder`] or
+/// [`BatchDriver::builder_for`].
 ///
 /// Defaults: one packet per endpoint, 16-byte payloads, seed 0. At least
 /// one pattern component must be added before [`build`](Self::build).
-pub struct BatchDriverBuilder<'a> {
-    sim: &'a Sim,
-    components: Vec<(Box<dyn TrafficPattern>, f64)>,
+pub struct BatchDriverBuilder {
+    n_eps: usize,
+    components: Vec<(Arc<dyn TrafficPattern>, f64)>,
     packets_per_endpoint: u64,
     payload_bytes: usize,
     seed: u64,
 }
 
-impl std::fmt::Debug for BatchDriverBuilder<'_> {
+impl std::fmt::Debug for BatchDriverBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BatchDriverBuilder")
             .field("components", &self.components.len())
@@ -189,9 +211,9 @@ impl std::fmt::Debug for BatchDriverBuilder<'_> {
     }
 }
 
-impl<'a> BatchDriverBuilder<'a> {
+impl BatchDriverBuilder {
     /// Adds a pattern component with weight 1.
-    pub fn pattern(self, pattern: Box<dyn TrafficPattern>) -> BatchDriverBuilder<'a> {
+    pub fn pattern(self, pattern: Box<dyn TrafficPattern>) -> BatchDriverBuilder {
         self.component(pattern, 1.0)
     }
 
@@ -202,8 +224,8 @@ impl<'a> BatchDriverBuilder<'a> {
         mut self,
         pattern: Box<dyn TrafficPattern>,
         weight: f64,
-    ) -> BatchDriverBuilder<'a> {
-        self.components.push((pattern, weight));
+    ) -> BatchDriverBuilder {
+        self.components.push((Arc::from(pattern), weight));
         self
     }
 
@@ -211,25 +233,26 @@ impl<'a> BatchDriverBuilder<'a> {
     pub fn components(
         mut self,
         components: Vec<(Box<dyn TrafficPattern>, f64)>,
-    ) -> BatchDriverBuilder<'a> {
-        self.components.extend(components);
+    ) -> BatchDriverBuilder {
+        self.components
+            .extend(components.into_iter().map(|(p, w)| (Arc::from(p), w)));
         self
     }
 
     /// Sets the number of packets each endpoint sends (default 1).
-    pub fn packets_per_endpoint(mut self, n: u64) -> BatchDriverBuilder<'a> {
+    pub fn packets_per_endpoint(mut self, n: u64) -> BatchDriverBuilder {
         self.packets_per_endpoint = n;
         self
     }
 
     /// Sets the payload size in bytes (default 16, as in the paper).
-    pub fn payload_bytes(mut self, bytes: usize) -> BatchDriverBuilder<'a> {
+    pub fn payload_bytes(mut self, bytes: usize) -> BatchDriverBuilder {
         self.payload_bytes = bytes;
         self
     }
 
     /// Sets the driver RNG seed (default 0).
-    pub fn seed(mut self, seed: u64) -> BatchDriverBuilder<'a> {
+    pub fn seed(mut self, seed: u64) -> BatchDriverBuilder {
         self.seed = seed;
         self
     }
@@ -253,10 +276,9 @@ impl Driver for BatchDriver {
             }
             let src = sim.cfg.endpoint_at(idx);
             while self.remaining[idx] > 0 && sim.inject_queue_len(src) < LOW_WATER {
-                let comp = self.sample_component();
-                let dst = self.components[comp]
-                    .0
-                    .sample_dst(&sim.cfg, src, &mut self.rng);
+                let rng = &mut self.rngs[idx];
+                let comp = BatchDriver::sample_component(&self.components, rng);
+                let dst = self.components[comp].0.sample_dst(&sim.cfg, src, rng);
                 let mut pkt = Packet::write(src, dst, Payload::zeros(self.payload_bytes));
                 pkt.pattern = PatternId(comp as u8);
                 sim.inject(src, pkt);
@@ -276,6 +298,41 @@ impl Driver for BatchDriver {
 
     fn done(&self, _sim: &Sim) -> bool {
         self.delivered >= self.expected
+    }
+}
+
+impl ShardableDriver for BatchDriver {
+    /// Each sub-driver keeps the full per-endpoint stream table (streams
+    /// are independent, so carrying unused ones is free) but only retains
+    /// injection budget for its own endpoint range.
+    fn split(
+        &self,
+        _cfg: &MachineConfig,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Vec<Box<dyn Driver + Send>> {
+        ranges
+            .iter()
+            .map(|r| {
+                let mut remaining = vec![0u64; self.remaining.len()];
+                remaining[r.clone()].copy_from_slice(&self.remaining[r.clone()]);
+                Box::new(BatchDriver {
+                    components: self.components.clone(),
+                    packets_per_endpoint: self.packets_per_endpoint,
+                    payload_bytes: self.payload_bytes,
+                    remaining,
+                    expected: u64::MAX,
+                    delivered: 0,
+                    rngs: self.rngs.clone(),
+                    finish_cycle: 0,
+                }) as Box<dyn Driver + Send>
+            })
+            .collect()
+    }
+
+    /// Closed loop: the batch completes exactly when its last packet is
+    /// delivered, so the network is drained at `done`.
+    fn done_implies_quiescent(&self) -> bool {
+        true
     }
 }
 
@@ -504,13 +561,14 @@ impl Driver for RateDriver {
 /// queues short), offered load here is independent of network state, so
 /// latency inflation under faults is directly visible.
 pub struct LoadDriver {
-    pattern: Box<dyn TrafficPattern>,
+    pattern: Arc<dyn TrafficPattern>,
     rate: f64,
     payload_bytes: usize,
     remaining: Vec<u64>,
     expected: u64,
     delivered: u64,
-    rng: StdRng,
+    /// One independent RNG stream per endpoint (see [`endpoint_streams`]).
+    rngs: Vec<StdRng>,
     latencies: Vec<u64>,
     /// Cycle of the final delivery (valid once done).
     pub finish_cycle: u64,
@@ -541,17 +599,33 @@ impl LoadDriver {
         packets_per_endpoint: u64,
         seed: u64,
     ) -> LoadDriver {
+        LoadDriver::for_config(&sim.cfg, pattern, rate, packets_per_endpoint, seed)
+    }
+
+    /// Creates a load driver from a machine configuration alone (the entry
+    /// point sharded runs use); see [`LoadDriver::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate <= 1`.
+    pub fn for_config(
+        cfg: &MachineConfig,
+        pattern: Box<dyn TrafficPattern>,
+        rate: f64,
+        packets_per_endpoint: u64,
+        seed: u64,
+    ) -> LoadDriver {
         assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
-        let n_eps = sim.cfg.num_endpoints();
+        let n_eps = cfg.num_endpoints();
         let expected = packets_per_endpoint * n_eps as u64;
         LoadDriver {
-            pattern,
+            pattern: Arc::from(pattern),
             rate,
             payload_bytes: 16,
             remaining: vec![packets_per_endpoint; n_eps],
             expected,
             delivered: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rngs: endpoint_streams(seed, n_eps),
             latencies: Vec::with_capacity(expected as usize),
             finish_cycle: 0,
         }
@@ -603,11 +677,11 @@ impl LoadDriver {
 impl Driver for LoadDriver {
     fn pre_cycle(&mut self, sim: &mut Sim) {
         for idx in 0..self.remaining.len() {
-            if self.remaining[idx] == 0 || !self.rng.gen_bool(self.rate) {
+            if self.remaining[idx] == 0 || !self.rngs[idx].gen_bool(self.rate) {
                 continue;
             }
             let src = sim.cfg.endpoint_at(idx);
-            let dst = self.pattern.sample_dst(&sim.cfg, src, &mut self.rng);
+            let dst = self.pattern.sample_dst(&sim.cfg, src, &mut self.rngs[idx]);
             let pkt = Packet::write(src, dst, Payload::zeros(self.payload_bytes));
             sim.inject(src, pkt);
             self.remaining[idx] -= 1;
@@ -626,6 +700,39 @@ impl Driver for LoadDriver {
 
     fn done(&self, _sim: &Sim) -> bool {
         self.delivered >= self.expected
+    }
+}
+
+impl ShardableDriver for LoadDriver {
+    fn split(
+        &self,
+        _cfg: &MachineConfig,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Vec<Box<dyn Driver + Send>> {
+        ranges
+            .iter()
+            .map(|r| {
+                let mut remaining = vec![0u64; self.remaining.len()];
+                remaining[r.clone()].copy_from_slice(&self.remaining[r.clone()]);
+                Box::new(LoadDriver {
+                    pattern: Arc::clone(&self.pattern),
+                    rate: self.rate,
+                    payload_bytes: self.payload_bytes,
+                    remaining,
+                    expected: u64::MAX,
+                    delivered: 0,
+                    rngs: self.rngs.clone(),
+                    latencies: Vec::new(),
+                    finish_cycle: 0,
+                }) as Box<dyn Driver + Send>
+            })
+            .collect()
+    }
+
+    /// The injection budget is bounded and every unicast packet delivers
+    /// once, so the last expected delivery drains the network.
+    fn done_implies_quiescent(&self) -> bool {
+        true
     }
 }
 
@@ -667,13 +774,13 @@ mod tests {
     #[test]
     fn load_driver_percentiles_use_nearest_rank() {
         let mut d = LoadDriver {
-            pattern: Box::new(SelfPattern),
+            pattern: Arc::new(SelfPattern),
             rate: 0.5,
             payload_bytes: 16,
             remaining: vec![0],
             expected: 0,
             delivered: 0,
-            rng: StdRng::seed_from_u64(0),
+            rngs: endpoint_streams(0, 1),
             latencies: vec![50, 10, 40, 20, 30],
             finish_cycle: 0,
         };

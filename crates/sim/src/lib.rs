@@ -12,6 +12,8 @@
 //! under credit-based virtual cut-through flow control.
 //!
 //! * [`sim`] — the simulator core ([`Sim`]);
+//! * [`builder`] — fluent, lint-validated construction
+//!   ([`Sim::builder`]);
 //! * [`driver`] — measurement workloads (batch throughput, ping-pong
 //!   latency, rate-controlled energy streams, open-loop load);
 //! * [`metrics`] — typed metrics records: per-link-class utilization, VC
@@ -19,6 +21,9 @@
 //! * [`wire`] — credit-controlled channels, optionally wrapped in lossy
 //!   go-back-N link shims when a fault schedule is installed;
 //! * [`params`] — physical constants and calibration parameters;
+//! * [`shard`] — the sharded parallel kernel ([`ShardedSim`]): bounded-lag
+//!   windows across one worker thread per contiguous torus sub-brick,
+//!   byte-identical to serial execution for every shard count;
 //! * [`state`] — in-flight packet state.
 //!
 //! # Self-checking invariants
@@ -33,14 +38,12 @@
 //! # Examples
 //!
 //! ```
-//! use anton_core::{MachineConfig, TorusShape};
+//! use anton_core::TorusShape;
 //! use anton_sim::driver::BatchDriver;
-//! use anton_sim::params::SimParams;
 //! use anton_sim::sim::{RunOutcome, Sim};
 //! use anton_traffic::UniformRandom;
 //!
-//! let cfg = MachineConfig::new(TorusShape::cube(2));
-//! let mut sim = Sim::new(cfg, SimParams::default());
+//! let mut sim = Sim::builder().shape(TorusShape::cube(2)).build();
 //! let mut driver = BatchDriver::builder(&sim)
 //!     .pattern(Box::new(UniformRandom))
 //!     .packets_per_endpoint(4)
@@ -52,14 +55,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod builder;
 pub mod driver;
 pub mod metrics;
 pub mod params;
+pub mod shard;
 pub mod sim;
 pub mod state;
 pub mod wake;
 pub mod wire;
 
+pub use builder::SimBuilder;
 pub use driver::{
     BatchDriver, BatchDriverBuilder, LoadDriver, PayloadKind, PingPongDriver, RateDriver,
 };
@@ -67,6 +73,7 @@ pub use metrics::{
     ArbiterGrantCounts, FaultMetrics, LinkClass, LinkClassMetrics, Metrics, VcOccupancyHistogram,
 };
 pub use params::{EnergyParams, LatencyParams, PreflightMode, SimParams, TraceConfig};
+pub use shard::{ShardPlan, ShardableDriver, ShardedSim};
 pub use sim::{
     DeadlockReport, Delivery, Driver, EnergyCounters, PacketDelivery, RunOutcome, Sim, SimStats,
     StalledVc, StaticVerdict,

@@ -224,6 +224,12 @@ pub struct SimParams {
     pub trace: TraceConfig,
     /// Static pre-flight verification policy (see [`PreflightMode`]).
     pub preflight: PreflightMode,
+    /// Worker shards for the parallel kernel: `1` (the default) runs the
+    /// serial kernel; `N > 1` partitions the torus into `N` contiguous
+    /// sub-bricks stepped by one worker thread each (see
+    /// [`ShardedSim`](crate::shard::ShardedSim)). Output is byte-identical
+    /// for every value.
+    pub shards: usize,
 }
 
 impl Default for SimParams {
@@ -242,6 +248,7 @@ impl Default for SimParams {
             fault: None,
             trace: TraceConfig::default(),
             preflight: PreflightMode::default(),
+            shards: 1,
         }
     }
 }
@@ -273,6 +280,7 @@ impl SimParams {
             energy_per_flip_pj: self.energy.per_flip_pj,
             energy_activation_pj: self.energy.activation_pj,
             energy_per_set_bit_pj: self.energy.per_set_bit_pj,
+            shards: self.shards,
         }
     }
 }
@@ -317,5 +325,6 @@ mod tests {
         assert_eq!(view.energy_per_flip_pj, r.energy_per_flip_pj);
         assert_eq!(view.energy_activation_pj, r.energy_activation_pj);
         assert_eq!(view.energy_per_set_bit_pj, r.energy_per_set_bit_pj);
+        assert_eq!(view.shards, r.shards);
     }
 }

@@ -1,0 +1,933 @@
+//! Sharded parallel execution of the simulation kernel.
+//!
+//! [`ShardedSim`] partitions the torus into contiguous sub-bricks of nodes
+//! (one shard per worker thread) and runs each shard's event-driven wake
+//! wheel independently up to a conservative lookahead horizon — the
+//! bounded-lag scheme classically built from null messages, except that the
+//! lookahead here is *static*: the minimum latency of any torus link
+//! crossing a shard boundary (44 cycles at default calibration), so no null
+//! messages are needed. At each horizon barrier the shards exchange
+//! boundary traffic through mutex-striped mailboxes: departed packets
+//! travel producer → consumer with their full slab state, and credit
+//! returns travel consumer → producer.
+//!
+//! # Replicas and boundary roles
+//!
+//! Every shard holds a *full-machine* [`Sim`] replica (identical wire and
+//! component arrays, global endpoint indexing); components outside the
+//! shard's node range simply stay dormant because only the shard's own
+//! sub-driver injects. A torus wire whose producer and consumer nodes land
+//! in different shards exists in both replicas with complementary
+//! [`BoundaryRole`](crate::wire::BoundaryRole)s: the producer-side copy
+//! owns the credits, serialization, and link-layer shim and diverts
+//! departed flits into an outbox; the consumer-side copy owns the receive
+//! buffers and diverts credit returns back. The per-VC credit balance of
+//! such a wire therefore only holds *across* the two replicas, which
+//! [`ShardedSim::check_invariants`] verifies.
+//!
+//! # Determinism
+//!
+//! Sharded execution is byte-identical to the serial kernel for every
+//! shard count. Three mechanisms make that hold:
+//!
+//! * every endpoint draws route randomization from its own counter-derived
+//!   RNG stream ([`anton_core::seed::derive_stream_seed`]), so a draw
+//!   depends only on that endpoint's locally-deterministic state;
+//! * shards own *contiguous ascending* node ranges, so concatenating
+//!   per-cycle delivery logs in shard order reproduces the exact serial
+//!   delivery order (the serial kernel emits handler dispatches, then
+//!   endpoint receives, both in ascending endpoint order);
+//! * global control decisions (driver completion, the deadlock watchdog,
+//!   the cycle budget) are replayed cycle-by-cycle on a *control replica*
+//!   by the coordinator after each window, in serial order, so a run stops
+//!   at exactly the serial cycle.
+//!
+//! A driver whose [`done`](Driver::done) can trip while packets are still
+//! in flight (open-loop load) forces a one-cycle window so the replayed
+//! stop decision never lags the workers; closed-loop drivers declare
+//! [`ShardableDriver::done_implies_quiescent`] and keep the full horizon,
+//! because overrunning a drained network has no observable effect.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use anton_core::config::{GlobalEndpoint, MachineConfig};
+use anton_core::multicast::McGroup;
+use anton_core::packet::{CounterId, Packet};
+use anton_core::topology::NodeId;
+use anton_core::trace::GlobalLink;
+use anton_fault::ShimStats;
+
+use crate::metrics::{
+    ArbiterGrantCounts, FaultMetrics, LinkClass, LinkClassMetrics, Metrics, VcOccupancyHistogram,
+};
+use crate::params::{PreflightMode, SimParams, TraceConfig};
+use crate::sim::{
+    DeadlockReport, Delivery, Driver, EnergyCounters, RunOutcome, Sim, SimStats, StaticVerdict,
+};
+use crate::state::PacketState;
+use crate::wire::{BufEntry, OCC_BUCKETS};
+
+/// Window length used when only one shard exists (no boundary wires limit
+/// the lookahead; the window only bounds control-decision latency).
+const SOLO_WINDOW: u64 = 1024;
+
+/// Serial cap on stalled-VC entries in a deadlock report, mirrored when
+/// merging per-shard reports.
+const REPORT_CAP: usize = 64;
+
+/// A driver that can be decomposed into per-shard sub-drivers.
+///
+/// [`ShardedSim::run`] splits the driver once at the start of the run: each
+/// worker thread drives its shard replica with the returned sub-driver,
+/// while the *original* driver only ever observes the control replica — it
+/// receives every delivery, in exact serial order, through
+/// [`on_delivery`](Driver::on_delivery), and its [`done`](Driver::done)
+/// predicate decides completion. Its [`pre_cycle`](Driver::pre_cycle) is
+/// never called in sharded mode.
+///
+/// Contract for implementations:
+///
+/// * sub-driver `i` must inject **only** from endpoints inside `ranges[i]`
+///   (dense endpoint indices), and must inject exactly the packets the
+///   undivided driver would inject from those endpoints — per-endpoint RNG
+///   streams make this natural;
+/// * the original driver's `on_delivery` runs against the control replica,
+///   which never simulates: it must not inject or otherwise drive traffic
+///   (drivers that inject in response to deliveries, like ping-pong, are
+///   not shardable);
+/// * `done` may read the delivery stream and [`Sim::stats`], but not
+///   live-packet or wire state (the control replica carries none).
+pub trait ShardableDriver: Driver {
+    /// Splits the driver into one sub-driver per endpoint range.
+    fn split(&self, cfg: &MachineConfig, ranges: &[Range<usize>]) -> Vec<Box<dyn Driver + Send>>;
+
+    /// Whether [`done`](Driver::done) returning `true` implies the network
+    /// has fully drained (closed-loop workloads). When `false` (the safe
+    /// default, right for open-loop load), the sharded kernel shrinks its
+    /// sync window to one cycle so the run stops at exactly the serial
+    /// cycle with no overrun.
+    fn done_implies_quiescent(&self) -> bool {
+        false
+    }
+}
+
+/// How the machine's nodes are partitioned into shards: one contiguous
+/// range of node ids per shard, covering all nodes in ascending order.
+///
+/// Contiguity in *node id* order is what makes the sharded delivery merge
+/// trivially deterministic: concatenating per-shard logs in shard order is
+/// already ascending endpoint order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    node_ranges: Vec<Range<usize>>,
+}
+
+impl ShardPlan {
+    /// Partitions `nodes` into `shards` contiguous ranges, as even as
+    /// possible (the first `nodes % shards` ranges get one extra node).
+    pub fn contiguous(nodes: usize, shards: usize) -> ShardPlan {
+        assert!(shards >= 1, "shard plan needs at least one shard");
+        assert!(
+            shards <= nodes,
+            "cannot split {nodes} nodes into {shards} shards"
+        );
+        let base = nodes / shards;
+        let rem = nodes % shards;
+        let mut node_ranges = Vec::with_capacity(shards);
+        let mut start = 0;
+        for s in 0..shards {
+            let len = base + usize::from(s < rem);
+            node_ranges.push(start..start + len);
+            start += len;
+        }
+        ShardPlan { node_ranges }
+    }
+
+    /// Builds a plan from explicit ranges, which must be non-empty,
+    /// contiguous, and start at node 0.
+    pub fn from_node_ranges(node_ranges: Vec<Range<usize>>) -> ShardPlan {
+        assert!(
+            !node_ranges.is_empty(),
+            "shard plan needs at least one range"
+        );
+        let mut next = 0;
+        for r in &node_ranges {
+            assert_eq!(r.start, next, "shard ranges must be contiguous");
+            assert!(r.end > r.start, "shard ranges must be non-empty");
+            next = r.end;
+        }
+        ShardPlan { node_ranges }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.node_ranges.len()
+    }
+
+    /// The node-id range of each shard.
+    pub fn node_ranges(&self) -> &[Range<usize>] {
+        &self.node_ranges
+    }
+
+    /// Total nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.node_ranges.last().map_or(0, |r| r.end)
+    }
+
+    /// The dense-endpoint-index range of each shard.
+    pub fn endpoint_ranges(&self, eps_per_node: usize) -> Vec<Range<usize>> {
+        self.node_ranges
+            .iter()
+            .map(|r| r.start * eps_per_node..r.end * eps_per_node)
+            .collect()
+    }
+
+    fn owner_of_node(&self, n: usize) -> usize {
+        self.node_ranges
+            .iter()
+            .position(|r| r.contains(&n))
+            .expect("node outside shard plan")
+    }
+}
+
+/// One shard's view of the plan, passed to `Sim::construct` so boundary
+/// wires get their roles marked.
+pub(crate) struct ShardAssignment<'a> {
+    pub(crate) plan: &'a ShardPlan,
+    pub(crate) me: usize,
+}
+
+impl ShardAssignment<'_> {
+    pub(crate) fn owner(&self, node: NodeId) -> usize {
+        self.plan.owner_of_node(node.0 as usize)
+    }
+}
+
+/// A packet crossing a shard boundary: the buffer entry departing an export
+/// wire plus the packet's full slab state, which moves producer → consumer
+/// with it.
+pub(crate) struct PacketTransfer {
+    pub(crate) wire: u32,
+    pub(crate) mature: u64,
+    pub(crate) entry: BufEntry,
+    pub(crate) vcidx: u8,
+    pub(crate) state: PacketState,
+}
+
+/// A credit return crossing a shard boundary (consumer → producer).
+pub(crate) struct CreditTransfer {
+    pub(crate) wire: u32,
+    pub(crate) at: u64,
+    pub(crate) vcidx: u8,
+    pub(crate) flits: u8,
+}
+
+/// Everything one shard ships to one other shard at a horizon barrier.
+#[derive(Default)]
+pub(crate) struct ShardMail {
+    pub(crate) packets: Vec<PacketTransfer>,
+    pub(crate) credits: Vec<CreditTransfer>,
+}
+
+/// Per-cycle worker log replayed by the coordinator: the cycle's delivery
+/// stream (handlers first, mirroring serial emission order) plus the
+/// watchdog inputs.
+struct CycleLog {
+    dels: Vec<Delivery>,
+    /// Number of leading `Delivery::Handler` entries in `dels`.
+    handlers: usize,
+    moved: bool,
+    live: u64,
+}
+
+/// One shard's log of a whole sync window.
+#[derive(Default)]
+struct WindowLog {
+    cycles: Vec<CycleLog>,
+}
+
+/// The sharded simulation: N full-machine shard replicas stepped by worker
+/// threads in bounded-lag sync windows, plus a control replica the
+/// coordinator replays global decisions on. See the [module
+/// docs](self) for the protocol.
+///
+/// The driver-facing surface mirrors [`Sim`]: build it (normally through
+/// [`Sim::builder`](crate::sim::Sim) with a shard count), optionally
+/// [`configure`](ShardedSim::configure) / [`inject`](ShardedSim::inject) /
+/// [`set_counter`](ShardedSim::set_counter), then [`run`](ShardedSim::run)
+/// with a [`ShardableDriver`] and read the merged statistics and metrics.
+#[derive(Debug)]
+pub struct ShardedSim {
+    plan: ShardPlan,
+    shards: Vec<Sim>,
+    control: Sim,
+    /// Shard owning each wire's producing side (intra-node wires: the
+    /// node's owner on both sides).
+    wire_tx_owner: Vec<u32>,
+    /// Shard owning each wire's consuming side.
+    wire_rx_owner: Vec<u32>,
+    /// Boundary lookahead: the minimum latency of a shard-crossing link.
+    link_window: u64,
+    fault_present: bool,
+    end_cycle: u64,
+    idle_cycles: u64,
+    deadlocked: bool,
+    deadlock_report: Option<Box<DeadlockReport>>,
+}
+
+impl ShardedSim {
+    /// Builds a sharded simulation with `params.shards` contiguous shards.
+    ///
+    /// The static pre-flight verification runs once (on the control
+    /// replica) under the caller's [`PreflightMode`]; shard replicas skip
+    /// it.
+    pub fn new(cfg: MachineConfig, params: SimParams) -> ShardedSim {
+        let shards = params.shards.max(1);
+        let plan = ShardPlan::contiguous(cfg.shape.num_nodes(), shards);
+        ShardedSim::with_plan(cfg, params, plan)
+    }
+
+    /// Builds a sharded simulation over an explicit [`ShardPlan`].
+    pub fn with_plan(cfg: MachineConfig, params: SimParams, plan: ShardPlan) -> ShardedSim {
+        assert_eq!(
+            plan.num_nodes(),
+            cfg.shape.num_nodes(),
+            "shard plan does not cover the machine"
+        );
+        let fault_present = params.fault.is_some();
+        let link_window = params.latency.torus_link_cycles().max(1);
+        // The control replica never steps: it exists for preflight (run
+        // once, under the caller's policy), for driver callbacks during
+        // replay, and as the keeper of the merged delivery statistics.
+        // Tracing and metric trackers on it would only waste memory.
+        let mut control_params = params.clone();
+        control_params.trace = TraceConfig::default();
+        control_params.collect_metrics = false;
+        control_params.track_energy = false;
+        let control = Sim::construct(cfg.clone(), control_params, None);
+        let mut shard_params = params;
+        shard_params.preflight = PreflightMode::Off;
+        let shards: Vec<Sim> = (0..plan.num_shards())
+            .map(|me| {
+                Sim::construct(
+                    cfg.clone(),
+                    shard_params.clone(),
+                    Some(&ShardAssignment { plan: &plan, me }),
+                )
+            })
+            .collect();
+        let mut wire_tx_owner = Vec::with_capacity(control.wires().len());
+        let mut wire_rx_owner = Vec::with_capacity(control.wires().len());
+        for wire in control.wires() {
+            let (tx, rx) = match wire.label {
+                GlobalLink::Torus { from, dir, .. } => {
+                    let to = cfg.shape.id(cfg.shape.neighbor(cfg.shape.coord(from), dir));
+                    (
+                        plan.owner_of_node(from.0 as usize),
+                        plan.owner_of_node(to.0 as usize),
+                    )
+                }
+                GlobalLink::Local { node, .. } => {
+                    let o = plan.owner_of_node(node.0 as usize);
+                    (o, o)
+                }
+            };
+            wire_tx_owner.push(tx as u32);
+            wire_rx_owner.push(rx as u32);
+        }
+        ShardedSim {
+            plan,
+            shards,
+            control,
+            wire_tx_owner,
+            wire_rx_owner,
+            link_window,
+            fault_present,
+            end_cycle: 0,
+            idle_cycles: 0,
+            deadlocked: false,
+            deadlock_report: None,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.control.cfg
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards()
+    }
+
+    /// The shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The per-shard replicas, in shard order — read-only access for
+    /// diagnostics and for merging per-shard observability state (flight
+    /// recorders, time series).
+    pub fn shards(&self) -> &[Sim] {
+        &self.shards
+    }
+
+    /// Applies a configuration closure to every shard replica (arbiter
+    /// weight installation and similar pre-run setup; the closure must be
+    /// deterministic and is applied to each replica in shard order).
+    pub fn configure(&mut self, mut f: impl FnMut(&mut Sim)) {
+        for sh in &mut self.shards {
+            f(sh);
+        }
+    }
+
+    /// Registers a multicast group on every shard replica.
+    pub fn add_multicast_group(&mut self, group: McGroup) {
+        for sh in &mut self.shards {
+            sh.add_multicast_group(group.clone());
+        }
+    }
+
+    /// Arms a counted-write counter at `ep` (routed to the owning shard).
+    pub fn set_counter(&mut self, ep: GlobalEndpoint, counter: CounterId, count: u32) {
+        let s = self.plan.owner_of_node(ep.node.0 as usize);
+        self.shards[s].set_counter(ep, counter, count);
+    }
+
+    /// Queues a packet for injection at `src` (routed to the owning shard).
+    pub fn inject(&mut self, src: GlobalEndpoint, packet: Packet) {
+        let s = self.plan.owner_of_node(src.node.0 as usize);
+        self.shards[s].inject(src, packet);
+    }
+
+    /// The cycle the last run ended on (the exact serial end cycle, even
+    /// when worker replicas legally overran a drained network by a partial
+    /// window).
+    pub fn now(&self) -> u64 {
+        self.end_cycle
+    }
+
+    /// Packets currently live across all shards.
+    pub fn live_packets(&self) -> usize {
+        self.shards.iter().map(Sim::live_packets).sum()
+    }
+
+    /// Whether the (globally evaluated) deadlock watchdog has fired.
+    pub fn deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+
+    /// The merged deadlock diagnostic, when the watchdog fired.
+    pub fn deadlock_report(&self) -> Option<&DeadlockReport> {
+        self.deadlock_report.as_deref()
+    }
+
+    /// What the static pre-flight verifier concluded (run once, on the
+    /// control replica).
+    pub fn static_verdict(&self) -> StaticVerdict {
+        self.control.static_verdict()
+    }
+
+    /// The per-shard flight-recorder rings merged into one canonical event
+    /// stream, when [`TraceConfig::events`] tracing was on.
+    ///
+    /// Each wire's track is taken from its producing-side owner alone — the
+    /// same authority rule the merged statistics use — so boundary wires
+    /// contribute each event exactly once. Events a worker recorded while
+    /// legally overrunning a drained network past the run's end cycle are
+    /// dropped, and the stream is ordered by `(cycle, track)` with
+    /// reassigned sequence numbers: a deterministic, schedule-independent
+    /// export (see [`anton_obs::merged_events`] for the order's rationale).
+    ///
+    /// [`TraceConfig::events`]: crate::params::TraceConfig::events
+    pub fn merged_events(&self) -> Vec<anton_obs::TraceEvent> {
+        let mut out: Vec<anton_obs::TraceEvent> = Vec::new();
+        for (i, sh) in self.shards.iter().enumerate() {
+            let Some(rec) = sh.recorder() else { continue };
+            for t in 0..rec.num_tracks() as u32 {
+                if self.wire_tx_owner[t as usize] != i as u32 {
+                    continue;
+                }
+                out.extend(
+                    rec.track_events(t)
+                        .filter(|e| e.cycle <= self.end_cycle)
+                        .copied(),
+                );
+            }
+        }
+        out.sort_by_key(|e| (e.cycle, e.track, e.seq));
+        for (seq, e) in out.iter_mut().enumerate() {
+            e.seq = seq as u64;
+        }
+        out
+    }
+
+    /// The per-shard kernel-counter time series summed into the
+    /// machine-wide view, when
+    /// [`TraceConfig::sample_every`](crate::params::TraceConfig::sample_every)
+    /// was non-zero. Windows a worker sampled while overrunning a drained
+    /// network past the end cycle are truncated away.
+    pub fn merged_timeseries(&self) -> Option<anton_obs::TimeSeries> {
+        let parts: Vec<&anton_obs::TimeSeries> =
+            self.shards.iter().filter_map(Sim::timeseries).collect();
+        (!parts.is_empty()).then(|| {
+            let mut ts = anton_obs::TimeSeries::merged(&parts);
+            ts.truncate_after(self.end_cycle);
+            ts
+        })
+    }
+
+    /// Merged statistics: delivery-side counters come from the control
+    /// replica's serial-order replay, injection- and flit-side counters sum
+    /// over the shards (each event is counted by exactly one replica).
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.control.stats().clone();
+        for sh in &self.shards {
+            let st = sh.stats();
+            s.injected_packets += st.injected_packets;
+            s.flit_hops += st.flit_hops;
+            s.torus_flits += st.torus_flits;
+        }
+        s
+    }
+
+    /// Merged arbiter grant counts (only a wire's owning shard ever
+    /// arbitrates it, so the sum counts every grant once).
+    pub fn grant_counts(&self) -> ArbiterGrantCounts {
+        let mut g = ArbiterGrantCounts::default();
+        for sh in &self.shards {
+            let c = sh.grant_counts();
+            g.sa1 += c.sa1;
+            g.output += c.output;
+            g.serializer += c.serializer;
+        }
+        g
+    }
+
+    /// Merged per-router energy counters.
+    pub fn router_energy(&self) -> EnergyCounters {
+        let mut total = EnergyCounters::default();
+        for sh in &self.shards {
+            total.add(&sh.router_energy());
+        }
+        total
+    }
+
+    /// Raw flit counts per wire, labeled — each wire read from its
+    /// producing-side owner (the replica that counted its traffic).
+    pub fn wire_utilizations(&self) -> Vec<(GlobalLink, u64)> {
+        self.control
+            .wires()
+            .iter()
+            .enumerate()
+            .map(|(w, cw)| {
+                let owner = &self.shards[self.wire_tx_owner[w] as usize];
+                (cw.label, owner.wires()[w].flits_carried)
+            })
+            .collect()
+    }
+
+    /// Utilization of every external torus channel, as in
+    /// [`Sim::torus_utilizations`], over the serial end cycle.
+    pub fn torus_utilizations(
+        &self,
+    ) -> Vec<(
+        NodeId,
+        anton_core::topology::TorusDir,
+        anton_core::topology::Slice,
+        f64,
+    )> {
+        let cycles = self.end_cycle.max(1) as f64;
+        self.control
+            .wires()
+            .iter()
+            .enumerate()
+            .filter_map(|(w, cw)| match cw.label {
+                GlobalLink::Torus { from, dir, slice } => {
+                    let owner = &self.shards[self.wire_tx_owner[w] as usize];
+                    Some((
+                        from,
+                        dir,
+                        slice,
+                        owner.wires()[w].flits_carried as f64 / cycles,
+                    ))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Peak torus-channel utilization as a fraction of effective channel
+    /// bandwidth, as in [`Sim::max_torus_utilization`].
+    pub fn max_torus_utilization(&self) -> f64 {
+        let cap =
+            f64::from(crate::params::TORUS_TOKEN_GAIN) / f64::from(crate::params::TORUS_TOKEN_COST);
+        self.torus_utilizations()
+            .iter()
+            .map(|(_, _, _, u)| u / cap)
+            .fold(0.0, f64::max)
+    }
+
+    /// Collects the merged typed metrics record. Per boundary wire, the
+    /// producing-side replica is authoritative for flits carried and
+    /// link-layer shim counters (it runs the send path and the shim), the
+    /// consuming-side replica for queue-occupancy histograms (it runs the
+    /// receive buffers); interior wires live wholly in their owning shard.
+    pub fn metrics(&self) -> Metrics {
+        let now = self.end_cycle;
+        let cycles = now.max(1);
+        let mut per_class: Vec<(usize, u64, u64)> = vec![(0, 0, 0); LinkClass::ALL.len()];
+        let mut occ: Vec<Vec<[u64; OCC_BUCKETS]>> = vec![Vec::new(); LinkClass::ALL.len()];
+        let mut shimmed_links = 0usize;
+        let mut shim_totals = ShimStats::default();
+        for (w, cw) in self.control.wires().iter().enumerate() {
+            let txw = &self.shards[self.wire_tx_owner[w] as usize].wires()[w];
+            let rxw = &self.shards[self.wire_rx_owner[w] as usize].wires()[w];
+            if let Some(stats) = txw.shim_stats() {
+                shimmed_links += 1;
+                shim_totals.merge(&stats);
+            }
+            let ci = LinkClass::of(&cw.label) as usize;
+            let (wires, flits, peak) = &mut per_class[ci];
+            *wires += 1;
+            *flits += txw.flits_carried;
+            *peak = (*peak).max(txw.flits_carried);
+            if let Some(hists) = rxw.occupancy_histograms(now) {
+                let agg = &mut occ[ci];
+                if agg.len() < hists.len() {
+                    agg.resize(hists.len(), [0; OCC_BUCKETS]);
+                }
+                for (vc, h) in hists.iter().enumerate() {
+                    for (b, c) in h.iter().enumerate() {
+                        agg[vc][b] += c;
+                    }
+                }
+            }
+        }
+        let link_classes = LinkClass::ALL
+            .iter()
+            .zip(&per_class)
+            .map(|(&class, &(wires, flits, peak))| LinkClassMetrics {
+                class,
+                wires,
+                flits,
+                mean_util: flits as f64 / cycles as f64 / (wires.max(1)) as f64,
+                peak_util: peak as f64 / cycles as f64,
+            })
+            .collect();
+        let vc_occupancy = LinkClass::ALL
+            .iter()
+            .zip(occ)
+            .flat_map(|(&class, agg)| {
+                agg.into_iter()
+                    .enumerate()
+                    .map(move |(vc, buckets)| VcOccupancyHistogram {
+                        class,
+                        vc_index: vc as u8,
+                        buckets,
+                    })
+            })
+            .collect();
+        Metrics {
+            cycles: now,
+            stats: self.stats(),
+            link_classes,
+            vc_occupancy,
+            grants: self.grant_counts(),
+            fault: (shimmed_links > 0).then_some(FaultMetrics {
+                shimmed_links,
+                totals: shim_totals,
+            }),
+        }
+    }
+
+    /// Self-checks across the whole sharded machine:
+    ///
+    /// - every shard's own invariants (packet conservation per slab,
+    ///   credit balance on its interior wires, quiescence consistency);
+    /// - the **combined** credit balance of every boundary wire: producer
+    ///   credits plus producer-accounted flits plus consumer-accounted
+    ///   flits must equal the buffer depth on each VC;
+    /// - agreement between the control replica's replayed delivery count
+    ///   and the sum of per-shard delivery counts.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (s, sh) in self.shards.iter().enumerate() {
+            sh.check_invariants()
+                .map_err(|e| format!("shard {s}: {e}"))?;
+        }
+        for (s, sh) in self.shards.iter().enumerate() {
+            for &(w, dest) in sh.export_wire_ids() {
+                let wid = w as usize;
+                let cons = &self.shards[dest as usize];
+                let wire = &sh.wires()[wid];
+                let depth = u32::from(wire.depth());
+                for vc in 0..wire.num_vcs() {
+                    let total = u32::from(sh.wire_credit_count(wid, vc))
+                        + sh.wire_accounted_flits(wid, vc)
+                        + cons.wire_accounted_flits(wid, vc);
+                    if total != depth {
+                        return Err(format!(
+                            "boundary credit balance violated on wire {wid} ({:?}) vc {vc} \
+                             between shards {s} and {dest}: accounted {total} != depth {depth}",
+                            wire.label
+                        ));
+                    }
+                }
+            }
+        }
+        let per_shard: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.stats().delivered_packets)
+            .sum();
+        let replayed = self.control.stats().delivered_packets;
+        if per_shard != replayed {
+            return Err(format!(
+                "delivery replay diverged: shards delivered {per_shard}, \
+                 control replayed {replayed}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs until the driver completes, deadlock, or the cycle budget, in
+    /// bounded-lag sync windows across one worker thread per shard.
+    ///
+    /// The result — outcome, end cycle, delivery stream seen by `driver`,
+    /// statistics, metrics — is byte-identical to
+    /// [`Sim::run`] with the undivided driver, for every shard count.
+    /// Every exit path audits the sharded invariants and panics with a
+    /// diagnostic on violation.
+    pub fn run<D: ShardableDriver + ?Sized>(
+        &mut self,
+        driver: &mut D,
+        max_cycles: u64,
+    ) -> RunOutcome {
+        let nshards = self.plan.num_shards();
+        let eps_per_node = self.control.cfg.endpoints_per_node();
+        let subs = driver.split(&self.control.cfg, &self.plan.endpoint_ranges(eps_per_node));
+        assert_eq!(
+            subs.len(),
+            nshards,
+            "ShardableDriver::split returned {} sub-drivers for {} shards",
+            subs.len(),
+            nshards
+        );
+        // Conservative lookahead: one cycle under a fault schedule (the
+        // link-layer shim can complete a flit visible to the consumer on
+        // the next cycle) or for drivers whose completion can preempt
+        // in-flight traffic; otherwise the full boundary link latency.
+        let horizon = if !driver.done_implies_quiescent() {
+            1
+        } else if nshards == 1 {
+            SOLO_WINDOW
+        } else if self.fault_present {
+            1
+        } else {
+            self.link_window
+        };
+        let watchdog = self.control.params.watchdog_cycles;
+        let t0 = self.shards[0].now();
+        let deadline = t0 + max_cycles;
+
+        let sims = std::mem::take(&mut self.shards);
+        let barrier = Barrier::new(nshards + 1);
+        let stop = AtomicBool::new(false);
+        let window_end = AtomicU64::new(t0);
+        let inboxes: Vec<Mutex<ShardMail>> = (0..nshards)
+            .map(|_| Mutex::new(ShardMail::default()))
+            .collect();
+        let logs: Vec<Mutex<WindowLog>> = (0..nshards)
+            .map(|_| Mutex::new(WindowLog::default()))
+            .collect();
+
+        let mut pending_deadlock: Option<(u64, u64)> = None;
+        let (collected, outcome, end) = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nshards);
+            for (me, (mut sim, mut sub)) in sims.into_iter().zip(subs).enumerate() {
+                let barrier = &barrier;
+                let stop = &stop;
+                let window_end = &window_end;
+                let inboxes = &inboxes;
+                let logs = &logs;
+                handles.push(scope.spawn(move || {
+                    loop {
+                        barrier.wait();
+                        if stop.load(Ordering::Acquire) {
+                            return sim;
+                        }
+                        let t_end = window_end.load(Ordering::Acquire);
+                        let mut log = WindowLog {
+                            cycles: Vec::with_capacity((t_end - sim.now()) as usize),
+                        };
+                        while sim.now() < t_end {
+                            sub.pre_cycle(&mut sim);
+                            sim.step();
+                            let mut dels = Vec::new();
+                            sim.drain_deliveries(&mut dels);
+                            for d in &dels {
+                                sub.on_delivery(&mut sim, d);
+                            }
+                            let handlers = dels
+                                .iter()
+                                .take_while(|d| matches!(d, Delivery::Handler { .. }))
+                                .count();
+                            log.cycles.push(CycleLog {
+                                dels,
+                                handlers,
+                                moved: sim.moved(),
+                                live: sim.live_packets() as u64,
+                            });
+                        }
+                        let mut mail: Vec<ShardMail> =
+                            (0..inboxes.len()).map(|_| ShardMail::default()).collect();
+                        sim.drain_boundary_exports(&mut mail);
+                        for (dest, m) in mail.into_iter().enumerate() {
+                            if m.packets.is_empty() && m.credits.is_empty() {
+                                continue;
+                            }
+                            let mut inbox = inboxes[dest].lock().unwrap();
+                            inbox.packets.extend(m.packets);
+                            inbox.credits.extend(m.credits);
+                        }
+                        *logs[me].lock().unwrap() = log;
+                        barrier.wait();
+                        // All producers have published; apply this shard's
+                        // imports while the coordinator replays the logs.
+                        // Stable-sorting by wire id makes the slab insertion
+                        // order independent of producer-thread arrival order
+                        // (per-wire order is already deterministic).
+                        let mut mine = std::mem::take(&mut *inboxes[me].lock().unwrap());
+                        mine.packets.sort_by_key(|p| p.wire);
+                        mine.credits.sort_by_key(|c| c.wire);
+                        for p in mine.packets {
+                            sim.apply_packet_import(t_end, p);
+                        }
+                        for c in mine.credits {
+                            sim.apply_credit_import(c);
+                        }
+                    }
+                }));
+            }
+
+            let mut result: Option<(RunOutcome, u64)> = None;
+            self.control.set_now(t0);
+            if driver.done(&self.control) {
+                result = Some((RunOutcome::Completed, t0));
+            } else if self.deadlocked {
+                result = Some((RunOutcome::Deadlocked, t0));
+            } else if t0 >= deadline {
+                result = Some((RunOutcome::TimedOut, t0));
+            }
+            let mut t = t0;
+            while result.is_none() {
+                // Cap the window so no worker can step past a decision the
+                // replay will make: the deadline, and the earliest cycle
+                // the global watchdog could possibly trip.
+                let t_end = (t + horizon)
+                    .min(deadline)
+                    .min(t + (watchdog - self.idle_cycles));
+                window_end.store(t_end, Ordering::Release);
+                barrier.wait();
+                barrier.wait();
+                let guards: Vec<_> = logs.iter().map(|l| l.lock().unwrap()).collect();
+                for (i, v) in (t..t_end).enumerate() {
+                    // Replay cycle `v` exactly as the serial kernel emits
+                    // it: handler dispatches of every shard in ascending
+                    // shard (= endpoint) order, then packet receives
+                    // likewise; driver callbacks observe now == v + 1.
+                    self.control.set_now(v + 1);
+                    for g in &guards {
+                        let c = &g.cycles[i];
+                        for d in &c.dels[..c.handlers] {
+                            self.control.replay_delivery(d);
+                            driver.on_delivery(&mut self.control, d);
+                        }
+                    }
+                    for g in &guards {
+                        let c = &g.cycles[i];
+                        for d in &c.dels[c.handlers..] {
+                            self.control.replay_delivery(d);
+                            driver.on_delivery(&mut self.control, d);
+                        }
+                    }
+                    if driver.done(&self.control) {
+                        result = Some((RunOutcome::Completed, v + 1));
+                        break;
+                    }
+                    let live: u64 = guards.iter().map(|g| g.cycles[i].live).sum();
+                    let moved = guards.iter().any(|g| g.cycles[i].moved);
+                    if live > 0 && !moved {
+                        self.idle_cycles += 1;
+                        if self.idle_cycles >= watchdog {
+                            pending_deadlock = Some((v, self.idle_cycles));
+                            result = Some((RunOutcome::Deadlocked, v + 1));
+                            break;
+                        }
+                    } else {
+                        self.idle_cycles = 0;
+                    }
+                    if v + 1 >= deadline {
+                        result = Some((RunOutcome::TimedOut, deadline));
+                        break;
+                    }
+                }
+                drop(guards);
+                t = t_end;
+            }
+            stop.store(true, Ordering::Release);
+            barrier.wait();
+            let collected: Vec<Sim> = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect();
+            let (outcome, end) = result.unwrap();
+            (collected, outcome, end)
+        });
+        self.shards = collected;
+        self.end_cycle = end;
+        // Close each replica's open sample window so merged_timeseries()
+        // keeps the tail of the run (a no-op when sampling is off).
+        for sh in &mut self.shards {
+            sh.flush_samples();
+        }
+        if let Some((cycle, idle)) = pending_deadlock {
+            self.deadlocked = true;
+            let report = self.synthesize_deadlock_report(cycle, idle);
+            self.deadlock_report = Some(Box::new(report));
+        }
+        if let Err(msg) = self.check_invariants() {
+            panic!("sharded simulation failed self-check at {outcome:?}: {msg}");
+        }
+        outcome
+    }
+
+    /// Merges per-shard stalled-state diagnostics into one report, as if
+    /// the serial watchdog had tripped at `cycle`.
+    fn synthesize_deadlock_report(&mut self, cycle: u64, idle_cycles: u64) -> DeadlockReport {
+        let static_verdict = self.control.static_verdict();
+        let mut merged = DeadlockReport {
+            cycle,
+            live_packets: 0,
+            idle_cycles,
+            stalled: Vec::new(),
+            truncated: 0,
+            shim_backlogs: Vec::new(),
+            static_verdict,
+        };
+        for sh in &mut self.shards {
+            let r = sh.forced_deadlock_report(cycle, idle_cycles);
+            merged.live_packets += r.live_packets;
+            merged.truncated += r.truncated;
+            merged.stalled.extend(r.stalled);
+            merged.shim_backlogs.extend(r.shim_backlogs);
+        }
+        if merged.stalled.len() > REPORT_CAP {
+            merged.truncated += merged.stalled.len() - REPORT_CAP;
+            merged.stalled.truncate(REPORT_CAP);
+        }
+        merged
+    }
+}

@@ -44,7 +44,9 @@ use crate::params::{
 };
 use crate::state::{PacketId, PacketSlab, PacketState, RouteProgress};
 use crate::wake::Scheduler;
-use crate::wire::{BufEntry, Wire, WireCredits, WireHeads, WireMeta, WireReady, WireRx};
+use crate::wire::{
+    BoundaryRole, BufEntry, Wire, WireCredits, WireHeads, WireMeta, WireReady, WireRx,
+};
 
 /// Maximum multicast copies queued at one replication point.
 const REPL_CAP: usize = 32;
@@ -177,6 +179,12 @@ struct EpState {
     /// handful at a time, so a linear scan beats hashing.
     counters: Vec<(u16, u32)>,
     busy_until: u64,
+    /// Route-randomization stream of this endpoint, derived from the base
+    /// seed and the endpoint's dense index
+    /// ([`anton_core::seed::derive_stream_seed`]). Per-endpoint streams make
+    /// the draw sequence independent of which other endpoints inject, so a
+    /// sharded run reproduces the serial draws exactly.
+    rng: StdRng,
 }
 
 /// A queued injection: routing is either randomized (the normal oblivious
@@ -232,7 +240,7 @@ pub struct PacketDelivery {
 }
 
 /// Aggregate simulation statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Packets injected into the network (multicast counts once).
     pub injected_packets: u64,
@@ -546,7 +554,6 @@ pub struct Sim {
     /// Record per-packet link-level routes into deliveries.
     pub record_routes: bool,
     now: u64,
-    rng: StdRng,
     wires: Vec<Wire>,
     /// Sender-side credit counters per wire — dense and simulator-owned so
     /// the allocation loops' credit checks stay in a few cache lines instead
@@ -633,6 +640,16 @@ pub struct Sim {
     /// [`TraceConfig::sample_every`](crate::params::TraceConfig::sample_every)
     /// is non-zero.
     sampler: Option<Box<SamplerState>>,
+    /// Boundary torus wires this shard replica exports on, with the shard
+    /// that consumes each (empty in serial runs; see [`crate::shard`]).
+    export_wires: Vec<(u32, u32)>,
+    /// Boundary torus wires this shard replica imports on, with the shard
+    /// that produces each (empty in serial runs).
+    import_wires: Vec<(u32, u32)>,
+    /// True when a [`crate::shard::ShardedSim`] drives this replica: the
+    /// run-loop control (watchdog, completion, deadline) lives on the
+    /// coordinator, which replays the merged delivery order.
+    external_control: bool,
 }
 
 /// Last-K flight-recorder events attached to each stalled VC of a
@@ -708,7 +725,21 @@ impl Sim {
     /// [`SimParams::preflight`](crate::params::SimParams::preflight) to
     /// [`PreflightMode::WarnOnly`] to run a known-broken configuration
     /// anyway (e.g. to demonstrate the predicted deadlock live).
+    #[deprecated(note = "construct through the fluent, lint-validated Sim::builder() \
+                instead; Sim::new stays functional as a thin shim")]
     pub fn new(cfg: MachineConfig, params: SimParams) -> Sim {
+        Sim::construct(cfg, params, None)
+    }
+
+    /// Builds the simulator, optionally as one shard replica of a
+    /// [`crate::shard::ShardedSim`]: a full-machine instance whose boundary
+    /// torus wires divert traffic through the inter-shard mailboxes and
+    /// whose run-loop control lives on the coordinator.
+    pub(crate) fn construct(
+        cfg: MachineConfig,
+        params: SimParams,
+        shard: Option<&crate::shard::ShardAssignment<'_>>,
+    ) -> Sim {
         let static_verdict = Self::run_preflight(&cfg, &params);
         let nodes = cfg.shape.num_nodes();
         let eps_per_node = cfg.endpoints_per_node();
@@ -859,6 +890,32 @@ impl Sim {
                 ));
             }
         }
+        // Sharded execution: mark the torus wires crossing a shard boundary
+        // so their traffic diverts through the inter-shard mailboxes (see
+        // `crate::shard`). A wire departing an owned node toward a foreign
+        // one exports; the mirror direction imports. Wires between two
+        // foreign nodes stay inert — nothing ever injects on them.
+        let mut export_wires: Vec<(u32, u32)> = Vec::new();
+        let mut import_wires: Vec<(u32, u32)> = Vec::new();
+        if let Some(assign) = shard {
+            for n in 0..nodes as u32 {
+                let node = NodeId(n);
+                let node_coord = cfg.shape.coord(node);
+                let from_shard = assign.owner(node);
+                for c in ChanId::all() {
+                    let w = torus_wire[n as usize * NUM_CHAN_ADAPTERS + c.index()];
+                    let to = cfg.shape.id(cfg.shape.neighbor(node_coord, c.dir));
+                    let to_shard = assign.owner(to);
+                    if from_shard == assign.me && to_shard != assign.me {
+                        wires[w].set_boundary_role(BoundaryRole::Export);
+                        export_wires.push((w as u32, to_shard as u32));
+                    } else if from_shard != assign.me && to_shard == assign.me {
+                        wires[w].set_boundary_role(BoundaryRole::Import);
+                        import_wires.push((w as u32, from_shard as u32));
+                    }
+                }
+            }
+        }
 
         // Pass 2: create components.
         let attach_codes = ATTACH_CODE_BASE + eps_per_node;
@@ -960,6 +1017,7 @@ impl Sim {
             }
             for e in cfg.chip.endpoints() {
                 let (from_router, to_router) = ep_wires[n as usize * eps_per_node + e.0 as usize];
+                let stream = anton_core::seed::derive_stream_seed(params.seed, eps.len() as u64);
                 eps.push(EpState {
                     node,
                     ep: e,
@@ -969,6 +1027,7 @@ impl Sim {
                     repl: VecDeque::new(),
                     counters: Vec::new(),
                     busy_until: 0,
+                    rng: StdRng::seed_from_u64(stream),
                 });
             }
         }
@@ -1029,7 +1088,6 @@ impl Sim {
         let sampler = (params.trace.sample_every > 0)
             .then(|| Box::new(SamplerState::new(params.trace.sample_every)));
         Sim {
-            rng: StdRng::seed_from_u64(params.seed),
             cfg,
             // The legacy environment variable still works; `TraceConfig`
             // subsumes it.
@@ -1080,6 +1138,9 @@ impl Sim {
             static_verdict,
             recorder,
             sampler,
+            export_wires,
+            import_wires,
+            external_control: shard.is_some(),
         }
     }
 
@@ -1324,10 +1385,147 @@ impl Sim {
         total
     }
 
-    /// The RNG used for route randomization (exposed for drivers that want
-    /// correlated decisions).
-    pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.rng
+    // ----- sharded-kernel hooks (see `crate::shard`) ------------------------
+
+    /// Repositions the clock without stepping — the coordinator's replay
+    /// spoofs the control replica's `now` so driver callbacks observe the
+    /// same cycle they would in a serial run.
+    pub(crate) fn set_now(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// Whether the last stepped cycle moved any flit (the watchdog input;
+    /// the coordinator evaluates the watchdog globally from per-shard logs).
+    pub(crate) fn moved(&self) -> bool {
+        self.moved
+    }
+
+    /// Moves the deliveries of the cycles stepped so far into `out`.
+    pub(crate) fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.deliveries);
+    }
+
+    /// Drains every export-boundary outbox into the per-destination-shard
+    /// mailboxes, transferring each departed packet's slab state along with
+    /// its buffer entry, and every import-boundary credit outbox back toward
+    /// the producing shard. Called once per sync window, at the barrier.
+    pub(crate) fn drain_boundary_exports(&mut self, out: &mut [crate::shard::ShardMail]) {
+        let mut scratch: Vec<(u64, BufEntry, u8)> = Vec::new();
+        let mut scratch_credits: Vec<(u64, u8, u8)> = Vec::new();
+        for i in 0..self.export_wires.len() {
+            let (w, dest) = self.export_wires[i];
+            scratch.clear();
+            self.wires[w as usize].take_outbox(&mut scratch);
+            for &(mature, entry, vcidx) in &scratch {
+                let state = self.packets.remove(entry.pkt);
+                out[dest as usize]
+                    .packets
+                    .push(crate::shard::PacketTransfer {
+                        wire: w,
+                        mature,
+                        entry,
+                        vcidx,
+                        state,
+                    });
+            }
+        }
+        for i in 0..self.import_wires.len() {
+            let (w, src) = self.import_wires[i];
+            scratch_credits.clear();
+            self.wires[w as usize].take_outbox_credits(&mut scratch_credits);
+            for &(at, vcidx, flits) in &scratch_credits {
+                out[src as usize]
+                    .credits
+                    .push(crate::shard::CreditTransfer {
+                        wire: w,
+                        at,
+                        vcidx,
+                        flits,
+                    });
+            }
+        }
+    }
+
+    /// Applies one inbound boundary packet: inserts its state into the local
+    /// slab and files the entry into the import wire (in flight, or directly
+    /// into the receive buffer when it matured during the closing window).
+    /// `window_start` is the first cycle the next window will step.
+    pub(crate) fn apply_packet_import(
+        &mut self,
+        window_start: u64,
+        t: crate::shard::PacketTransfer,
+    ) {
+        let w = t.wire as usize;
+        let mut entry = t.entry;
+        entry.pkt = self.packets.insert(t.state);
+        let mut rx = WireRx {
+            occupied: &mut self.wire_occupied[w],
+            heads: &mut self.wire_heads[w],
+            ready: &mut self.wire_ready[w],
+            meta: &mut self.wire_meta[w],
+        };
+        if let Some(ready) =
+            self.wires[w].apply_import(window_start, t.mature, entry, t.vcidx, &mut rx)
+        {
+            let consumer = self.wire_consumer[w];
+            self.wake(consumer, ready.max(self.now));
+        }
+        self.wire_next[w] = self.wires[w].next_event();
+        self.mark_wire_active(w);
+    }
+
+    /// Applies one inbound boundary credit return on an export wire.
+    pub(crate) fn apply_credit_import(&mut self, t: crate::shard::CreditTransfer) {
+        let w = t.wire as usize;
+        self.wires[w].apply_credit_return(t.at, t.vcidx, t.flits);
+        self.wire_next[w] = self.wires[w].next_event();
+        self.mark_wire_active(w);
+    }
+
+    /// Replays a delivery on the control replica: updates the delivery
+    /// statistics exactly as [`Sim::deliver`] would have, so driver `done`
+    /// predicates reading [`Sim::stats`] observe the serial values.
+    pub(crate) fn replay_delivery(&mut self, d: &Delivery) {
+        if let Delivery::Packet(p) = d {
+            let idx = self.cfg.endpoint_index(p.dst);
+            self.stats.delivered_packets += 1;
+            self.stats.recv_per_endpoint[idx] += 1;
+            self.stats.last_delivery_cycle = p.delivered_at;
+        }
+    }
+
+    /// Sender-side credit count of one wire VC (combined boundary balance
+    /// checks).
+    pub(crate) fn wire_credit_count(&self, w: usize, vc: usize) -> u8 {
+        self.wire_credits[w][vc]
+    }
+
+    /// Flits this replica accounts for on one wire VC (see
+    /// [`Wire::accounted_flits`]).
+    pub(crate) fn wire_accounted_flits(&self, w: usize, vc: usize) -> u32 {
+        self.wires[w].accounted_flits(vc, self.wire_occupied[w], &self.wire_heads[w])
+    }
+
+    /// Export-boundary wires of this replica, as `(wire, consumer shard)`.
+    pub(crate) fn export_wire_ids(&self) -> &[(u32, u32)] {
+        &self.export_wires
+    }
+
+    /// Builds a deadlock report from the current state as if the watchdog
+    /// tripped at `cycle` after `idle_cycles` idle cycles (the coordinator
+    /// evaluates the watchdog globally and synthesizes the report from each
+    /// shard's stalled state).
+    pub(crate) fn forced_deadlock_report(
+        &mut self,
+        cycle: u64,
+        idle_cycles: u64,
+    ) -> DeadlockReport {
+        let saved = self.now;
+        self.now = cycle;
+        self.idle_cycles = idle_cycles;
+        let report = self.build_deadlock_report();
+        self.now = saved;
+        report
     }
 
     /// Runs until the driver completes, deadlock, or the cycle budget.
@@ -1468,7 +1666,7 @@ impl Sim {
         self.scratch_ep = ep_list;
         self.scratch_chan = chan_list;
         self.scratch_router = router_list;
-        if self.packets.live() > 0 && !self.moved {
+        if !self.external_control && self.packets.live() > 0 && !self.moved {
             self.idle_cycles += 1;
             if self.idle_cycles >= self.params.watchdog_cycles && !self.deadlocked {
                 self.deadlocked = true;
@@ -1583,6 +1781,11 @@ impl Sim {
             ));
         }
         for (wid, w) in self.wires.iter().enumerate() {
+            if w.boundary_role() != BoundaryRole::Interior {
+                // A boundary wire's flits split across two shard replicas;
+                // `ShardedSim::check_invariants` checks the combined balance.
+                continue;
+            }
             w.check_credit_balance(
                 &self.wire_credits[wid],
                 self.wire_occupied[wid],
@@ -1945,9 +2148,12 @@ impl Sim {
                 let dst_c = self.cfg.shape.coord(dst.node);
                 let spec = match cmd {
                     InjectCmd::WithSpec(_, spec) => spec,
-                    InjectCmd::Auto(_) => {
-                        RouteSpec::randomized(&self.cfg.shape, src_c, dst_c, &mut self.rng)
-                    }
+                    InjectCmd::Auto(_) => RouteSpec::randomized(
+                        &self.cfg.shape,
+                        src_c,
+                        dst_c,
+                        &mut self.eps[eidx].rng,
+                    ),
                 };
                 let mut vc = self.cfg.vc_policy.start();
                 if spec.next_dir().is_some() {

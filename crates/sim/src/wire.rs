@@ -153,6 +153,27 @@ struct ShimState {
     queue: VecDeque<(BufEntry, u8)>,
 }
 
+/// A wire's relationship to a shard boundary in the sharded kernel.
+///
+/// Every shard of a sharded run holds a structurally complete machine; a
+/// torus wire whose two endpoints are owned by different shards exists in
+/// both, with complementary roles. The producing shard's copy carries the
+/// sender state (credits, serializer, lossy-link shim) and diverts matured
+/// packets into an outbox instead of its local receive buffers; the
+/// consuming shard's copy carries the receive buffers and diverts credit
+/// returns back toward the producer. Outboxes drain at window barriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundaryRole {
+    /// Not a boundary wire: both endpoints in the same shard (or a serial
+    /// run). All traffic stays local.
+    #[default]
+    Interior,
+    /// This shard owns the sender; matured packets go to the outbox.
+    Export,
+    /// This shard owns the receiver; credit returns go to the outbox.
+    Import,
+}
+
 /// Scheduling metadata carried alongside a buffered packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufEntry {
@@ -218,6 +239,16 @@ pub struct Wire {
     /// Lossy-link shim; `None` (the ideal fixed-latency channel) unless a
     /// fault schedule installed one.
     shim: Option<Box<ShimState>>,
+    /// Shard-boundary role (see [`BoundaryRole`]); `Interior` in serial
+    /// runs.
+    role: BoundaryRole,
+    /// Matured packets awaiting transfer to the consuming shard
+    /// (`Export` role only): `(maturity_cycle, entry, vc_index)`, in send
+    /// order (ascending maturity per VC and globally, since sends are).
+    outbox: Vec<(u64, BufEntry, u8)>,
+    /// Credit returns awaiting transfer to the producing shard (`Import`
+    /// role only): `(arrival_cycle, vc_index, flits)`, in pop order.
+    outbox_credits: Vec<(u64, u8, u8)>,
 }
 
 impl Wire {
@@ -249,7 +280,24 @@ impl Wire {
             flits_carried: 0,
             occ: None,
             shim: None,
+            role: BoundaryRole::Interior,
+            outbox: Vec::new(),
+            outbox_credits: Vec::new(),
         }
+    }
+
+    /// Marks this wire's shard-boundary role. Call before any traffic flows.
+    pub fn set_boundary_role(&mut self, role: BoundaryRole) {
+        assert!(
+            self.in_flight.is_empty() && self.bufs.iter().all(VecDeque::is_empty),
+            "cannot change the boundary role of a wire carrying traffic"
+        );
+        self.role = role;
+    }
+
+    /// This wire's shard-boundary role.
+    pub fn boundary_role(&self) -> BoundaryRole {
+        self.role
     }
 
     /// The sender-side credit state a fresh wire starts with: every VC holds
@@ -367,6 +415,12 @@ impl Wire {
         }
         let tail_arrival = now + self.latency + u64::from(flits) - 1;
         entry.ready_at = tail_arrival + self.rx_pipeline;
+        if self.role == BoundaryRole::Export {
+            // The receiver lives in another shard: the matured entry ships
+            // at the next window barrier instead of entering local buffers.
+            self.outbox.push((tail_arrival, entry, vcidx));
+            return;
+        }
         self.in_flight.push_back((tail_arrival, entry, vcidx));
     }
 
@@ -417,6 +471,13 @@ impl Wire {
                     .pop_front()
                     .expect("shim completed a packet the wire never queued");
                 entry.ready_at = now + self.rx_pipeline;
+                if self.role == BoundaryRole::Export {
+                    // Link-layer delivery completed toward a foreign shard:
+                    // ship the entry at the barrier, tagged with the cycle
+                    // it cleared the link.
+                    self.outbox.push((now, entry, vcidx));
+                    continue;
+                }
                 arrival_ready =
                     Some(arrival_ready.map_or(entry.ready_at, |r: u64| r.max(entry.ready_at)));
                 if let Some(t) = &mut self.occ {
@@ -430,6 +491,72 @@ impl Wire {
             }
         }
         (arrival_ready, credited)
+    }
+
+    /// Drains the export outbox (`(maturity_cycle, entry, vc_index)` in
+    /// send order). Called at window barriers by the sharded kernel.
+    pub fn take_outbox(&mut self, out: &mut Vec<(u64, BufEntry, u8)>) {
+        out.append(&mut self.outbox);
+    }
+
+    /// Drains the credit-return outbox (`(arrival_cycle, vc_index, flits)`
+    /// in pop order). Called at window barriers by the sharded kernel.
+    pub fn take_outbox_credits(&mut self, out: &mut Vec<(u64, u8, u8)>) {
+        out.append(&mut self.outbox_credits);
+    }
+
+    /// Files a packet arriving from the producing shard's copy of this wire
+    /// (`Import` role). `window_start` is the first cycle of the window
+    /// about to run.
+    ///
+    /// Two timing regimes, both exactly matching the serial kernel:
+    ///
+    /// * `mature >= window_start` (every ideal boundary wire — the flight
+    ///   latency exceeds the window length): the entry joins `in_flight`
+    ///   and the normal [`Wire::tick`] matures it on its exact cycle.
+    /// * `mature < window_start` (lossy-link completions under the
+    ///   one-cycle fault horizon): the entry is filed retroactively — the
+    ///   occupancy clock is back-dated to `mature`, and the entry's
+    ///   `ready_at` (`mature + rx_pipeline`) is already at or past
+    ///   `window_start`, so no consumer could have observed it earlier.
+    ///
+    /// Returns the cycle the consumer must be woken at, if filing bypassed
+    /// the in-flight queue.
+    pub fn apply_import(
+        &mut self,
+        window_start: u64,
+        mature: u64,
+        entry: BufEntry,
+        vcidx: u8,
+        rx: &mut WireRx,
+    ) -> Option<u64> {
+        debug_assert_eq!(self.role, BoundaryRole::Import);
+        if mature >= window_start {
+            debug_assert!(self.in_flight.back().is_none_or(|&(t, _, _)| t <= mature));
+            self.in_flight.push_back((mature, entry, vcidx));
+            return None;
+        }
+        debug_assert!(entry.ready_at >= window_start, "import observable early");
+        if let Some(t) = &mut self.occ {
+            t.note(mature, vcidx as usize, 1);
+        }
+        let ready = entry.ready_at;
+        if *rx.occupied & (1 << vcidx) == 0 {
+            rx.set_head(entry, vcidx);
+        } else {
+            self.bufs[vcidx as usize].push_back(entry);
+        }
+        Some(ready)
+    }
+
+    /// Files a credit return arriving from the consuming shard's copy of
+    /// this wire (`Export` role). Credit arrival cycles are in pop order
+    /// and at least one full link latency ahead of the window that popped
+    /// them, so appending preserves the queue's maturity order.
+    pub fn apply_credit_return(&mut self, at: u64, vcidx: u8, flits: u8) {
+        debug_assert_eq!(self.role, BoundaryRole::Export);
+        debug_assert!(self.credit_returns.back().is_none_or(|&(t, _, _)| t <= at));
+        self.credit_returns.push_back((at, vcidx, flits));
     }
 
     /// The earliest future cycle at which ticking this wire can do anything:
@@ -476,8 +603,15 @@ impl Wire {
         if let Some(t) = &mut self.occ {
             t.note(now, vcidx as usize, -1);
         }
-        self.credit_returns
-            .push_back((now + self.latency, vcidx, entry.flits));
+        if self.role == BoundaryRole::Import {
+            // The sender's credit pool lives in the producing shard: the
+            // return ships at the next window barrier.
+            self.outbox_credits
+                .push((now + self.latency, vcidx, entry.flits));
+        } else {
+            self.credit_returns
+                .push_back((now + self.latency, vcidx, entry.flits));
+        }
         entry
     }
 
@@ -488,6 +622,57 @@ impl Wire {
         occupied == 0
             && self.in_flight.is_empty()
             && self.shim.as_ref().is_none_or(|s| s.queue.is_empty())
+            && self.outbox.is_empty()
+    }
+
+    /// Flits this wire copy is accountable for on VC `vc`, excluding the
+    /// sender's credit pool: in flight, inside the shim, buffered at the
+    /// receiver, returning as credits, or parked in a boundary outbox.
+    ///
+    /// For an interior wire, `credits[vc] + accounted_flits(vc)` equals the
+    /// buffer depth. For a boundary wire the depth is accounted jointly by
+    /// the producing copy's credits plus both copies' accounted flits.
+    pub fn accounted_flits(&self, vc: usize, occupied: u16, heads: &WireHeads) -> u32 {
+        let mut total = 0u32;
+        for &(_, vcidx, flits) in &self.credit_returns {
+            if usize::from(vcidx) == vc {
+                total += u32::from(flits);
+            }
+        }
+        for &(_, entry, vcidx) in &self.in_flight {
+            if usize::from(vcidx) == vc {
+                total += u32::from(entry.flits);
+            }
+        }
+        if occupied & (1 << vc) != 0 {
+            total += u32::from(heads[vc].flits);
+        }
+        for entry in &self.bufs[vc] {
+            total += u32::from(entry.flits);
+        }
+        if let Some(s) = &self.shim {
+            for &(entry, vcidx) in &s.queue {
+                if usize::from(vcidx) == vc {
+                    total += u32::from(entry.flits);
+                }
+            }
+        }
+        for &(_, entry, vcidx) in &self.outbox {
+            if usize::from(vcidx) == vc {
+                total += u32::from(entry.flits);
+            }
+        }
+        for &(_, vcidx, flits) in &self.outbox_credits {
+            if usize::from(vcidx) == vc {
+                total += u32::from(flits);
+            }
+        }
+        total
+    }
+
+    /// Buffer depth per VC in flits.
+    pub fn depth(&self) -> u8 {
+        self.depth
     }
 
     /// Verifies per-VC credit conservation: for every VC, the sender's
@@ -500,31 +685,8 @@ impl Wire {
         occupied: u16,
         heads: &WireHeads,
     ) -> Result<(), String> {
-        for vc in 0..self.num_vcs() {
-            let mut total = u32::from(credits[vc]);
-            for &(_, vcidx, flits) in &self.credit_returns {
-                if usize::from(vcidx) == vc {
-                    total += u32::from(flits);
-                }
-            }
-            for &(_, entry, vcidx) in &self.in_flight {
-                if usize::from(vcidx) == vc {
-                    total += u32::from(entry.flits);
-                }
-            }
-            if occupied & (1 << vc) != 0 {
-                total += u32::from(heads[vc].flits);
-            }
-            for entry in &self.bufs[vc] {
-                total += u32::from(entry.flits);
-            }
-            if let Some(s) = &self.shim {
-                for &(entry, vcidx) in &s.queue {
-                    if usize::from(vcidx) == vc {
-                        total += u32::from(entry.flits);
-                    }
-                }
-            }
+        for (vc, &credit) in credits.iter().enumerate().take(self.num_vcs()) {
+            let total = u32::from(credit) + self.accounted_flits(vc, occupied, heads);
             if total != u32::from(self.depth) {
                 return Err(format!(
                     "credit imbalance on {} vc {vc}: accounted {total} flits \

@@ -56,7 +56,10 @@ fn sim_routes_match_reference_tracer() {
     // Every link and VC the simulator sends a packet over must match the
     // reference trace, across all dimension orders and both slices.
     let cfg = MachineConfig::new(TorusShape::new(4, 3, 2));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     sim.record_routes = true;
     let cases = [
         (NodeCoord::new(0, 0, 0), NodeCoord::new(2, 1, 1), 0u8, 15u8),
@@ -89,7 +92,10 @@ fn sim_routes_match_reference_tracer() {
 #[test]
 fn two_flit_packets_route_identically() {
     let cfg = MachineConfig::new(TorusShape::cube(3));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     sim.record_routes = true;
     let src = ep(&cfg, NodeCoord::new(0, 0, 0), 0);
     let dst = ep(&cfg, NodeCoord::new(2, 2, 2), 8);
@@ -112,7 +118,10 @@ fn two_flit_packets_route_identically() {
 #[test]
 fn zero_load_latency_is_linear_in_hops() {
     let cfg = MachineConfig::new(TorusShape::new(8, 1, 1));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     // Measure pure network latency (inject -> deliver) for 1..4 X hops.
     let mut lat = Vec::new();
     for hops in 1..=4u8 {
@@ -165,7 +174,7 @@ fn naive_single_vc_deadlocks_on_ring_wrap_traffic() {
         preflight: PreflightMode::WarnOnly,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params.clone());
+    let mut sim = Sim::builder().config(cfg).params(params.clone()).build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(NodePermutation::new(perm.clone())))
         .packets_per_endpoint(400)
@@ -181,7 +190,7 @@ fn naive_single_vc_deadlocks_on_ring_wrap_traffic() {
     // Identical workload under the Anton promotion policy completes.
     let mut cfg = MachineConfig::new(shape);
     cfg.vc_policy = VcPolicy::Anton;
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(NodePermutation::new(perm)))
         .packets_per_endpoint(400)
@@ -193,7 +202,10 @@ fn naive_single_vc_deadlocks_on_ring_wrap_traffic() {
 #[test]
 fn uniform_batch_completes_and_is_conserved() {
     let cfg = MachineConfig::new(TorusShape::cube(2));
-    let mut sim = Sim::new(cfg, SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg)
+        .params(SimParams::default())
+        .build();
     let batch = 50;
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(UniformRandom))
@@ -213,7 +225,10 @@ fn uniform_batch_completes_and_is_conserved() {
 #[test]
 fn counted_write_handler_fires_after_count() {
     let cfg = MachineConfig::new(TorusShape::cube(2));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     let src = ep(&cfg, NodeCoord::new(0, 0, 0), 0);
     let dst = ep(&cfg, NodeCoord::new(1, 1, 1), 3);
     let counter = CounterId(9);
@@ -260,7 +275,10 @@ fn counted_write_handler_fires_after_count() {
 #[test]
 fn multicast_delivers_exactly_the_destination_set() {
     let cfg = MachineConfig::new(TorusShape::cube(4));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     let src_node = NodeCoord::new(1, 1, 1);
     let spec = anton_traffic::md::HaloSpec {
         radius: 1,
@@ -312,7 +330,10 @@ fn multicast_delivers_exactly_the_destination_set() {
 #[test]
 fn multicast_alternating_trees_spread_traffic() {
     let cfg = MachineConfig::new(TorusShape::cube(4));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     let src_node = NodeCoord::new(0, 0, 0);
     let dests =
         anton_traffic::md::halo_dest_set(&cfg, src_node, anton_traffic::md::HaloSpec::default());
@@ -352,7 +373,7 @@ fn fairness_improves_with_inverse_weighted_arbiters() {
             arbiter: kind,
             ..SimParams::default()
         };
-        let mut sim = Sim::new(cfg, params);
+        let mut sim = Sim::builder().config(cfg).params(params).build();
         let mut drv = BatchDriver::builder(&sim)
             .pattern(Box::new(UniformRandom))
             .packets_per_endpoint(150)

@@ -36,7 +36,10 @@ impl Driver for Collect {
 fn request_and_reply_classes_both_deliver() {
     // Mixed-class traffic exercises both VC class banks end to end.
     let cfg = MachineConfig::new(TorusShape::cube(3));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     let mut rng = StdRng::seed_from_u64(11);
     let n = cfg.num_endpoints();
     let total = 600u64;
@@ -64,7 +67,10 @@ fn request_and_reply_classes_both_deliver() {
 #[test]
 fn blended_adversarial_patterns_conserve_packets() {
     let cfg = MachineConfig::new(TorusShape::cube(4));
-    let mut sim = Sim::new(cfg, SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg)
+        .params(SimParams::default())
+        .build();
     let blend: Vec<(Box<dyn anton_core::pattern::TrafficPattern>, f64)> = vec![
         (Box::new(Tornado), 0.4),
         (Box::new(ReverseTornado), 0.4),
@@ -90,7 +96,10 @@ fn two_flit_packets_conserve_under_load() {
     // Max-size (32-byte payload, 2-flit) packets at saturation: no loss, no
     // duplication, correct payload length semantics.
     let cfg = MachineConfig::new(TorusShape::cube(2));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     let mut rng = StdRng::seed_from_u64(3);
     let n = cfg.num_endpoints();
     let total = 800u64;
@@ -122,7 +131,10 @@ fn randomized_routes_respect_vc_budget_in_flight() {
     // the hardware actually used against the policy budget — the dynamic
     // counterpart of the static trace checks.
     let cfg = MachineConfig::new(TorusShape::new(4, 3, 2));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     sim.record_routes = true;
     let mut rng = StdRng::seed_from_u64(7);
     let n = cfg.num_endpoints();
@@ -160,7 +172,10 @@ fn deliveries_arrive_in_order_per_source_destination_vc_pair() {
     // different oblivious routes, but counted sequence via payload should
     // never lose packets. Verify exact multiset delivery.
     let cfg = MachineConfig::new(TorusShape::cube(2));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     let src = GlobalEndpoint {
         node: cfg.shape.id(NodeCoord::new(0, 0, 0)),
         ep: LocalEndpointId(0),

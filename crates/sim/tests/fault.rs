@@ -19,7 +19,7 @@ fn run_batch(fault: Option<FaultSchedule>, packets: u64) -> (Sim, BatchDriver, R
         fault,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(UniformRandom))
         .packets_per_endpoint(packets)
@@ -145,7 +145,7 @@ fn permanent_outage_trips_watchdog_with_link_diagnostic() {
         watchdog_cycles: 5_000,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(UniformRandom))
         .packets_per_endpoint(20)
@@ -191,7 +191,7 @@ fn vc_deadlock_trips_watchdog_instead_of_hanging() {
         preflight: PreflightMode::WarnOnly,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(NodePermutation::new(perm)))
         .packets_per_endpoint(400)
@@ -231,7 +231,7 @@ fn deadlock_report_carries_flight_recorder_events_and_roundtrips() {
         preflight: PreflightMode::WarnOnly,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(NodePermutation::new(perm)))
         .packets_per_endpoint(400)

@@ -8,11 +8,15 @@
 //! deterministic text form compared byte-for-byte against the committed
 //! snapshot under `tests/snapshots/`.
 //!
-//! The snapshots were generated on the pre-event-driven (dirty-scan) kernel;
-//! any kernel change that alters a single routing decision, arbitration
+//! Any kernel change that alters a single routing decision, arbitration
 //! grant, delivery cycle, or metric shows up here as a byte diff. To
 //! regenerate after an *intentional* behavioral change, run with
 //! `ANTON_UPDATE_SNAPSHOTS=1`.
+//!
+//! Every scenario additionally runs on the sharded parallel kernel
+//! ([`ShardedSim`]) at 1, 2, 4, and 8 shards, and the rendered output must
+//! be byte-identical to the serial kernel's — the sharded kernel's
+//! determinism contract.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -25,10 +29,13 @@ use anton_core::config::{GlobalEndpoint, MachineConfig};
 use anton_core::multicast::{McGroup, McGroupId};
 use anton_core::packet::{CounterId, Destination, Packet, Payload};
 use anton_core::topology::{NodeCoord, NodeId, TorusShape};
+use anton_core::trace::GlobalLink;
 use anton_fault::{FaultKind, FaultSchedule};
 use anton_sim::driver::{BatchDriver, LoadDriver};
+use anton_sim::metrics::Metrics;
 use anton_sim::params::SimParams;
-use anton_sim::sim::{Delivery, Driver, RunOutcome, Sim};
+use anton_sim::shard::{ShardableDriver, ShardedSim};
+use anton_sim::sim::{Delivery, Driver, RunOutcome, Sim, SimStats};
 use anton_traffic::patterns::UniformRandom;
 
 /// 64-bit FNV-1a, folded over `u64` words.
@@ -105,15 +112,72 @@ impl<D: Driver> Driver for Recorder<D> {
     }
 }
 
+/// In sharded mode the recording stays on the original driver — the
+/// coordinator's serial-order replay feeds it — while the inner driver's
+/// sub-drivers run the shards.
+impl<D: ShardableDriver> ShardableDriver for Recorder<D> {
+    fn split(
+        &self,
+        cfg: &MachineConfig,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Vec<Box<dyn Driver + Send>> {
+        self.inner.split(cfg, ranges)
+    }
+
+    fn done_implies_quiescent(&self) -> bool {
+        self.inner.done_implies_quiescent()
+    }
+}
+
+/// Which kernel a scenario runs on.
+#[derive(Clone, Copy)]
+enum Kernel {
+    Serial,
+    Sharded(usize),
+}
+
+/// Everything a finished run exposes, captured identically from either
+/// kernel so the render is kernel-agnostic.
+struct Observed {
+    outcome: RunOutcome,
+    cycles: u64,
+    live: u64,
+    stats: SimStats,
+    metrics: Metrics,
+    wires: Vec<(GlobalLink, u64)>,
+}
+
+fn observe(sim: &Sim, outcome: RunOutcome) -> Observed {
+    Observed {
+        outcome,
+        cycles: sim.now(),
+        live: sim.live_packets() as u64,
+        stats: sim.stats().clone(),
+        metrics: sim.metrics(),
+        wires: sim.wire_utilizations(),
+    }
+}
+
+fn observe_sharded(sim: &ShardedSim, outcome: RunOutcome) -> Observed {
+    Observed {
+        outcome,
+        cycles: sim.now(),
+        live: sim.live_packets() as u64,
+        stats: sim.stats(),
+        metrics: sim.metrics(),
+        wires: sim.wire_utilizations(),
+    }
+}
+
 /// Serializes every observable output of a finished run.
-fn render<D: Driver>(name: &str, sim: &Sim, drv: &Recorder<D>, outcome: RunOutcome) -> String {
+fn render<D>(name: &str, obs: &Observed, drv: &Recorder<D>) -> String {
     let mut out = String::new();
     let w = &mut out;
     let _ = writeln!(w, "# golden snapshot: {name}");
-    let _ = writeln!(w, "outcome: {outcome:?}");
-    let _ = writeln!(w, "cycles: {}", sim.now());
-    let _ = writeln!(w, "live_packets: {}", sim.live_packets());
-    let stats = sim.stats();
+    let _ = writeln!(w, "outcome: {:?}", obs.outcome);
+    let _ = writeln!(w, "cycles: {}", obs.cycles);
+    let _ = writeln!(w, "live_packets: {}", obs.live);
+    let stats = &obs.stats;
     let _ = writeln!(w, "injected_packets: {}", stats.injected_packets);
     let _ = writeln!(w, "delivered_packets: {}", stats.delivered_packets);
     let _ = writeln!(w, "flit_hops: {}", stats.flit_hops);
@@ -144,7 +208,7 @@ fn render<D: Driver>(name: &str, sim: &Sim, drv: &Recorder<D>, outcome: RunOutco
     for h in &drv.handlers {
         let _ = writeln!(w, "handler: ep={} counter={} cycle={}", h[0], h[1], h[2]);
     }
-    let m = sim.metrics();
+    let m = &obs.metrics;
     let _ = writeln!(
         w,
         "grants: sa1={} output={} serializer={}",
@@ -181,9 +245,9 @@ fn render<D: Driver>(name: &str, sim: &Sim, drv: &Recorder<D>, outcome: RunOutco
         );
     }
     let mut wires = Fnv::new();
-    for (label, flits) in sim.wire_utilizations() {
+    for (label, flits) in &obs.wires {
         wires.str(&label.to_string());
-        wires.word(flits);
+        wires.word(*flits);
     }
     let _ = writeln!(w, "wire_flits_digest: {:#018x}", wires.0);
     out
@@ -207,6 +271,19 @@ fn check(name: &str, rendered: &str) {
     );
 }
 
+/// Asserts a scenario renders byte-identically on the sharded kernel at
+/// every shard count.
+fn check_shard_equivalence(scenario: impl Fn(Kernel) -> String, shard_counts: &[usize]) {
+    let serial = scenario(Kernel::Serial);
+    for &n in shard_counts {
+        let sharded = scenario(Kernel::Sharded(n));
+        assert_eq!(
+            serial, sharded,
+            "sharded kernel diverged from serial at {n} shards"
+        );
+    }
+}
+
 fn ep(cfg: &MachineConfig, c: NodeCoord, i: u8) -> GlobalEndpoint {
     GlobalEndpoint {
         node: cfg.shape.id(c),
@@ -216,33 +293,45 @@ fn ep(cfg: &MachineConfig, c: NodeCoord, i: u8) -> GlobalEndpoint {
 
 /// Figure 9-shaped: closed-loop batch of uniform traffic, round-robin
 /// arbitration, metrics collection on.
-#[test]
-fn golden_fig9_round_robin() {
+fn fig9_round_robin(kernel: Kernel) -> String {
     let cfg = MachineConfig::new(TorusShape::cube(2));
     let params = SimParams {
         collect_metrics: true,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
-    let inner = BatchDriver::builder(&sim)
+    let inner = BatchDriver::builder_for(&cfg)
         .pattern(Box::new(UniformRandom))
         .packets_per_endpoint(10)
         .seed(42)
         .build();
     let mut drv = Recorder::new(inner);
-    let outcome = sim.run(&mut drv, 2_000_000);
-    assert_eq!(outcome, RunOutcome::Completed);
-    sim.check_invariants().unwrap();
-    check(
-        "fig9_round_robin",
-        &render("fig9_round_robin", &sim, &drv, outcome),
-    );
+    match kernel {
+        Kernel::Serial => {
+            let mut sim = Sim::builder().config(cfg).params(params).build();
+            let outcome = sim.run(&mut drv, 2_000_000);
+            assert_eq!(outcome, RunOutcome::Completed);
+            sim.check_invariants().unwrap();
+            render("fig9_round_robin", &observe(&sim, outcome), &drv)
+        }
+        Kernel::Sharded(n) => {
+            let mut sim = ShardedSim::new(
+                cfg,
+                SimParams {
+                    shards: n,
+                    ..params
+                },
+            );
+            let outcome = sim.run(&mut drv, 2_000_000);
+            assert_eq!(outcome, RunOutcome::Completed);
+            sim.check_invariants().unwrap();
+            render("fig9_round_robin", &observe_sharded(&sim, outcome), &drv)
+        }
+    }
 }
 
 /// Figure 9-shaped with programmed inverse-weighted arbiters (exercises the
 /// weight-installation paths and EoS arbitration sites).
-#[test]
-fn golden_fig9_inverse_weighted() {
+fn fig9_inverse_weighted(kernel: Kernel) -> String {
     let cfg = MachineConfig::new(TorusShape::cube(2));
     let analysis = LoadAnalysis::compute(&cfg, &UniformRandom);
     let weights = ArbiterWeightSet::compute(&cfg, &[&analysis], 5);
@@ -251,35 +340,56 @@ fn golden_fig9_inverse_weighted() {
         collect_metrics: true,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
-    for ((node, router, out), table) in &weights.tables {
-        sim.set_arbiter_weights(*node, *router, *out, table.clone(), weights.m_bits);
-    }
-    for ((node, chan), table) in &weights.chan_tables {
-        sim.set_chan_arbiter_weights(*node, *chan, table.clone(), weights.m_bits);
-    }
-    for ((node, router, port), table) in &weights.input_tables {
-        sim.set_input_arbiter_weights(*node, *router, *port, table.clone(), weights.m_bits);
-    }
-    let inner = BatchDriver::builder(&sim)
+    let install = |sim: &mut Sim| {
+        for ((node, router, out), table) in &weights.tables {
+            sim.set_arbiter_weights(*node, *router, *out, table.clone(), weights.m_bits);
+        }
+        for ((node, chan), table) in &weights.chan_tables {
+            sim.set_chan_arbiter_weights(*node, *chan, table.clone(), weights.m_bits);
+        }
+        for ((node, router, port), table) in &weights.input_tables {
+            sim.set_input_arbiter_weights(*node, *router, *port, table.clone(), weights.m_bits);
+        }
+    };
+    let inner = BatchDriver::builder_for(&cfg)
         .pattern(Box::new(UniformRandom))
         .packets_per_endpoint(8)
         .seed(7)
         .build();
     let mut drv = Recorder::new(inner);
-    let outcome = sim.run(&mut drv, 2_000_000);
-    assert_eq!(outcome, RunOutcome::Completed);
-    sim.check_invariants().unwrap();
-    check(
-        "fig9_inverse_weighted",
-        &render("fig9_inverse_weighted", &sim, &drv, outcome),
-    );
+    match kernel {
+        Kernel::Serial => {
+            let mut sim = Sim::builder().config(cfg).params(params).build();
+            install(&mut sim);
+            let outcome = sim.run(&mut drv, 2_000_000);
+            assert_eq!(outcome, RunOutcome::Completed);
+            sim.check_invariants().unwrap();
+            render("fig9_inverse_weighted", &observe(&sim, outcome), &drv)
+        }
+        Kernel::Sharded(n) => {
+            let mut sim = ShardedSim::new(
+                cfg,
+                SimParams {
+                    shards: n,
+                    ..params
+                },
+            );
+            sim.configure(install);
+            let outcome = sim.run(&mut drv, 2_000_000);
+            assert_eq!(outcome, RunOutcome::Completed);
+            sim.check_invariants().unwrap();
+            render(
+                "fig9_inverse_weighted",
+                &observe_sharded(&sim, outcome),
+                &drv,
+            )
+        }
+    }
 }
 
 /// Fault-sweep-shaped: open-loop load under a lossy schedule with an outage
 /// window, metrics collection on.
-#[test]
-fn golden_fault_sweep() {
+fn fault_sweep(kernel: Kernel) -> String {
     let cfg = MachineConfig::new(TorusShape::cube(2));
     let schedule = FaultSchedule::uniform(5, 1e-4).with_fault(
         NodeId(0),
@@ -294,21 +404,86 @@ fn golden_fault_sweep() {
         fault: Some(schedule),
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg.clone(), params);
-    let inner = LoadDriver::new(&sim, Box::new(UniformRandom), 0.05, 20, 13);
+    let inner = LoadDriver::for_config(&cfg, Box::new(UniformRandom), 0.05, 20, 13);
     let mut drv = Recorder::new(inner);
-    let outcome = sim.run(&mut drv, 10_000_000);
-    assert_eq!(outcome, RunOutcome::Completed);
-    sim.check_invariants().unwrap();
-    check("fault_sweep", &render("fault_sweep", &sim, &drv, outcome));
+    match kernel {
+        Kernel::Serial => {
+            let mut sim = Sim::builder().config(cfg).params(params).build();
+            let outcome = sim.run(&mut drv, 10_000_000);
+            assert_eq!(outcome, RunOutcome::Completed);
+            sim.check_invariants().unwrap();
+            render("fault_sweep", &observe(&sim, outcome), &drv)
+        }
+        Kernel::Sharded(n) => {
+            let mut sim = ShardedSim::new(
+                cfg,
+                SimParams {
+                    shards: n,
+                    ..params
+                },
+            );
+            let outcome = sim.run(&mut drv, 10_000_000);
+            assert_eq!(outcome, RunOutcome::Completed);
+            sim.check_invariants().unwrap();
+            render("fault_sweep", &observe_sharded(&sim, outcome), &drv)
+        }
+    }
+}
+
+/// Driver for the multicast scenario: waits for a fixed delivery count plus
+/// one handler dispatch. All traffic is injected up front, so shard
+/// sub-drivers have nothing to do.
+struct Wait {
+    want_packets: u64,
+    packets: u64,
+    handler_seen: bool,
+}
+
+impl Driver for Wait {
+    fn pre_cycle(&mut self, _sim: &mut Sim) {}
+    fn on_delivery(&mut self, _sim: &mut Sim, d: &Delivery) {
+        match d {
+            Delivery::Packet(_) => self.packets += 1,
+            Delivery::Handler { .. } => self.handler_seen = true,
+        }
+    }
+    fn done(&self, _sim: &Sim) -> bool {
+        self.packets >= self.want_packets && self.handler_seen
+    }
+}
+
+/// A sub-driver that injects nothing.
+struct Idle;
+
+impl Driver for Idle {
+    fn pre_cycle(&mut self, _sim: &mut Sim) {}
+    fn on_delivery(&mut self, _sim: &mut Sim, _d: &Delivery) {}
+    fn done(&self, _sim: &Sim) -> bool {
+        false
+    }
+}
+
+impl ShardableDriver for Wait {
+    fn split(
+        &self,
+        _cfg: &MachineConfig,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Vec<Box<dyn Driver + Send>> {
+        ranges
+            .iter()
+            .map(|_| Box::new(Idle) as Box<dyn Driver + Send>)
+            .collect()
+    }
+
+    fn done_implies_quiescent(&self) -> bool {
+        true
+    }
 }
 
 /// Multicast trees plus counted-write synchronization (exercises the
 /// replication tables, endpoint counters, and handler dispatch).
-#[test]
-fn golden_multicast_counted_write() {
+fn multicast_counted_write(kernel: Kernel) -> String {
     let cfg = MachineConfig::new(TorusShape::cube(3));
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
     let src_node = NodeCoord::new(1, 1, 1);
     let dests =
         anton_traffic::md::halo_dest_set(&cfg, src_node, anton_traffic::md::HaloSpec::default());
@@ -320,54 +495,117 @@ fn golden_multicast_counted_write() {
         dests,
         &anton_traffic::md::alternating_variants(),
     );
-    sim.add_multicast_group(group);
     let src = ep(&cfg, src_node, 0);
-    for tree in [0u8, 1] {
-        let mut pkt = Packet::write(src, src, Payload::zeros(16));
-        pkt.dst = Destination::Multicast {
-            group: McGroupId(3),
-            tree,
-        };
-        sim.inject(src, pkt);
-    }
-    // Counted write: three writes arm a three-count counter at a far corner.
     let dst = ep(&cfg, NodeCoord::new(2, 2, 2), 5);
     let counter = CounterId(4);
-    sim.set_counter(dst, counter, 3);
-    for _ in 0..3 {
-        let mut pkt = Packet::write(src, dst, Payload::zeros(16));
-        pkt.counter = Some(counter);
-        sim.inject(src, pkt);
-    }
-
-    struct Wait {
-        want_packets: u64,
-        packets: u64,
-        handler_seen: bool,
-    }
-    impl Driver for Wait {
-        fn pre_cycle(&mut self, _sim: &mut Sim) {}
-        fn on_delivery(&mut self, _sim: &mut Sim, d: &Delivery) {
-            match d {
-                Delivery::Packet(_) => self.packets += 1,
-                Delivery::Handler { .. } => self.handler_seen = true,
-            }
+    let packets = || {
+        let mut pkts = Vec::new();
+        for tree in [0u8, 1] {
+            let mut pkt = Packet::write(src, src, Payload::zeros(16));
+            pkt.dst = Destination::Multicast {
+                group: McGroupId(3),
+                tree,
+            };
+            pkts.push(pkt);
         }
-        fn done(&self, _sim: &Sim) -> bool {
-            self.packets >= self.want_packets && self.handler_seen
+        // Counted write: three writes arm a three-count counter at a far
+        // corner.
+        for _ in 0..3 {
+            let mut pkt = Packet::write(src, dst, Payload::zeros(16));
+            pkt.counter = Some(counter);
+            pkts.push(pkt);
         }
-    }
+        pkts
+    };
     let inner = Wait {
         want_packets: 2 * n_dests + 3,
         packets: 0,
         handler_seen: false,
     };
     let mut drv = Recorder::new(inner);
-    let outcome = sim.run(&mut drv, 1_000_000);
-    assert_eq!(outcome, RunOutcome::Completed);
-    sim.check_invariants().unwrap();
+    match kernel {
+        Kernel::Serial => {
+            let mut sim = Sim::builder()
+                .config(cfg.clone())
+                .params(SimParams::default())
+                .build();
+            sim.add_multicast_group(group);
+            sim.set_counter(dst, counter, 3);
+            for pkt in packets() {
+                sim.inject(src, pkt);
+            }
+            let outcome = sim.run(&mut drv, 1_000_000);
+            assert_eq!(outcome, RunOutcome::Completed);
+            sim.check_invariants().unwrap();
+            render("multicast_counted_write", &observe(&sim, outcome), &drv)
+        }
+        Kernel::Sharded(n) => {
+            let mut sim = ShardedSim::new(
+                cfg.clone(),
+                SimParams {
+                    shards: n,
+                    ..SimParams::default()
+                },
+            );
+            sim.add_multicast_group(group);
+            sim.set_counter(dst, counter, 3);
+            for pkt in packets() {
+                sim.inject(src, pkt);
+            }
+            let outcome = sim.run(&mut drv, 1_000_000);
+            assert_eq!(outcome, RunOutcome::Completed);
+            sim.check_invariants().unwrap();
+            render(
+                "multicast_counted_write",
+                &observe_sharded(&sim, outcome),
+                &drv,
+            )
+        }
+    }
+}
+
+#[test]
+fn golden_fig9_round_robin() {
+    check("fig9_round_robin", &fig9_round_robin(Kernel::Serial));
+}
+
+#[test]
+fn golden_fig9_inverse_weighted() {
+    check(
+        "fig9_inverse_weighted",
+        &fig9_inverse_weighted(Kernel::Serial),
+    );
+}
+
+#[test]
+fn golden_fault_sweep() {
+    check("fault_sweep", &fault_sweep(Kernel::Serial));
+}
+
+#[test]
+fn golden_multicast_counted_write() {
     check(
         "multicast_counted_write",
-        &render("multicast_counted_write", &sim, &drv, outcome),
+        &multicast_counted_write(Kernel::Serial),
     );
+}
+
+#[test]
+fn sharded_equivalence_fig9_round_robin() {
+    check_shard_equivalence(fig9_round_robin, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn sharded_equivalence_fig9_inverse_weighted() {
+    check_shard_equivalence(fig9_inverse_weighted, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn sharded_equivalence_fault_sweep() {
+    check_shard_equivalence(fault_sweep, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn sharded_equivalence_multicast_counted_write() {
+    check_shard_equivalence(multicast_counted_write, &[1, 2, 4, 8]);
 }

@@ -17,7 +17,7 @@ fn run_uniform(collect_metrics: bool, seed: u64) -> Sim {
         seed,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(UniformRandom))
         .packets_per_endpoint(8)
@@ -140,7 +140,7 @@ fn instrumentation_toggles_never_change_routing_or_deliveries() {
             seed: 11,
             ..SimParams::default()
         };
-        let mut sim = Sim::new(cfg, params);
+        let mut sim = Sim::builder().config(cfg).params(params).build();
         sim.record_routes = true;
         let inner = BatchDriver::builder(&sim)
             .pattern(Box::new(UniformRandom))
@@ -220,7 +220,7 @@ fn recorder_and_sampler_capture_the_run() {
         seed: 9,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     let mut drv = BatchDriver::builder(&sim)
         .pattern(Box::new(UniformRandom))
         .packets_per_endpoint(8)

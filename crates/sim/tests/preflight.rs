@@ -1,4 +1,4 @@
-//! Static pre-flight verification wired into `Sim::new`.
+//! Static pre-flight verification wired into simulator construction.
 
 use anton_core::config::MachineConfig;
 use anton_core::topology::TorusShape;
@@ -10,11 +10,31 @@ use anton_traffic::patterns::NodePermutation;
 
 #[test]
 fn default_config_certifies_at_construction() {
+    let sim = Sim::builder().shape(TorusShape::cube(2)).build();
+    assert_eq!(sim.static_verdict(), StaticVerdict::CertifiedAcyclic);
+}
+
+/// The deprecated constructor must stay functional for downstream users
+/// that have not migrated to the builder yet.
+#[test]
+#[allow(deprecated)]
+fn deprecated_sim_new_still_works() {
     let sim = Sim::new(
         MachineConfig::new(TorusShape::cube(2)),
         SimParams::default(),
     );
     assert_eq!(sim.static_verdict(), StaticVerdict::CertifiedAcyclic);
+}
+
+/// `.shards()` flows through the builder into the lint engine: AV019
+/// rejects more shards than nodes under the default enforce mode.
+#[test]
+#[should_panic(expected = "static pre-flight verification rejected")]
+fn enforce_mode_rejects_oversharded_machine() {
+    let _ = Sim::builder()
+        .shape(TorusShape::cube(2))
+        .shards(9) // a 2x2x2 machine has 8 nodes
+        .build();
 }
 
 #[test]
@@ -23,7 +43,10 @@ fn preflight_off_leaves_verdict_unknown() {
         preflight: PreflightMode::Off,
         ..SimParams::default()
     };
-    let sim = Sim::new(MachineConfig::new(TorusShape::cube(2)), params);
+    let sim = Sim::builder()
+        .config(MachineConfig::new(TorusShape::cube(2)))
+        .params(params)
+        .build();
     assert_eq!(sim.static_verdict(), StaticVerdict::Unknown);
 }
 
@@ -32,7 +55,10 @@ fn preflight_off_leaves_verdict_unknown() {
 fn enforce_mode_rejects_single_vc_torus() {
     let mut cfg = MachineConfig::new(TorusShape::cube(2));
     cfg.vc_policy = VcPolicy::NaiveSingle;
-    let _ = Sim::new(cfg, SimParams::default());
+    let _ = Sim::builder()
+        .config(cfg)
+        .params(SimParams::default())
+        .build();
 }
 
 #[test]
@@ -42,7 +68,10 @@ fn enforce_mode_rejects_zero_watchdog() {
         watchdog_cycles: 0,
         ..SimParams::default()
     };
-    let _ = Sim::new(MachineConfig::new(TorusShape::cube(2)), params);
+    let _ = Sim::builder()
+        .config(MachineConfig::new(TorusShape::cube(2)))
+        .params(params)
+        .build();
 }
 
 /// The end-to-end story the verifier exists for: a statically predicted
@@ -58,7 +87,7 @@ fn predicted_deadlock_is_labeled_in_the_report() {
         preflight: PreflightMode::WarnOnly,
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     assert_eq!(sim.static_verdict(), StaticVerdict::PredictedDeadlock);
 
     let perm: Vec<u32> = (0..4u32).map(|x| (x + 2) % 4).collect();

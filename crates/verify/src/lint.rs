@@ -25,6 +25,7 @@
 //! | AV016 | error    | arbiter `m_bits` / weight-table inconsistency |
 //! | AV017 | error/warning | go-back-N window or timeout misconfigured |
 //! | AV018 | error/warning | non-finite or negative energy coefficient |
+//! | AV019 | error    | shard count zero or above the node count |
 //! | AV101 | error    | unknown traffic pattern / workload name |
 //! | AV102 | error    | torus extent outside `1..=16` |
 //! | AV103 | error    | cannot write an output file |
@@ -83,6 +84,8 @@ pub struct ParamsView<'a> {
     pub energy_activation_pj: f64,
     /// Energy per stored set bit (pJ).
     pub energy_per_set_bit_pj: f64,
+    /// Worker shards of the parallel kernel (`1` = serial).
+    pub shards: usize,
 }
 
 impl ParamsView<'static> {
@@ -105,6 +108,7 @@ impl ParamsView<'static> {
             energy_per_flip_pj: 0.837,
             energy_activation_pj: 34.4,
             energy_per_set_bit_pj: 0.250,
+            shards: 1,
         }
     }
 }
@@ -414,6 +418,26 @@ pub fn lint_params(cfg: &MachineConfig, view: &ParamsView<'_>) -> Vec<Diagnostic
                 .with(name, v),
             );
         }
+    }
+
+    // AV019: the sharded kernel assigns one contiguous node sub-brick per
+    // shard, so the count must be 1..=num_nodes.
+    if view.shards == 0 {
+        out.push(Diagnostic::error("AV019", "shard count is zero").with("shards", 0));
+    } else if view.shards > cfg.shape.num_nodes() {
+        out.push(
+            Diagnostic::error(
+                "AV019",
+                format!(
+                    "{} shards exceed the {}-node machine — a shard needs at \
+                     least one node",
+                    view.shards,
+                    cfg.shape.num_nodes()
+                ),
+            )
+            .with("shards", view.shards)
+            .with("nodes", cfg.shape.num_nodes()),
+        );
     }
 
     if let Some(fault) = view.fault {

@@ -135,6 +135,25 @@ fn av018_energy_coefficients() {
     assert!(av018.iter().any(|d| d.severity == Severity::Warning));
 }
 
+#[test]
+fn av019_shard_count_bounds() {
+    let cfg = default_cfg();
+    let mut view = ParamsView::reference();
+    view.shards = 0;
+    let diags = lint_params(&cfg, &view);
+    let zero = diags.iter().find(|d| d.code == "AV019").expect("AV019");
+    assert_eq!(zero.severity, Severity::Error);
+
+    // One shard per node is the maximum a 4x4x4 machine admits.
+    let mut view = ParamsView::reference();
+    view.shards = 64;
+    assert!(!codes(&lint_params(&cfg, &view)).contains(&"AV019"));
+    view.shards = 65;
+    let diags = lint_params(&cfg, &view);
+    let over = diags.iter().find(|d| d.code == "AV019").expect("AV019");
+    assert_eq!(over.severity, Severity::Error);
+}
+
 fn x_plus_link() -> (NodeId, ChanId) {
     let dir = TorusDir {
         dim: Dim::X,

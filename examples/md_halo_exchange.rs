@@ -59,7 +59,10 @@ fn main() {
         spec.endpoints_per_node, unicast_hops, tree_hops
     );
 
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     let nodes = cfg.shape.num_nodes() as u64;
     for g in groups {
         sim.add_multicast_group(g);

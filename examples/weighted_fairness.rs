@@ -47,7 +47,7 @@ fn run(cfg: &MachineConfig, weights: Option<&ArbiterWeightSet>, batch: u64) -> (
         },
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg.clone(), params);
+    let mut sim = Sim::builder().config(cfg.clone()).params(params).build();
     if let Some(w) = weights {
         apply_weights(&mut sim, w);
     }

@@ -28,7 +28,7 @@
 //! use anton2::prelude::*;
 //!
 //! let cfg = MachineConfig::new(TorusShape::cube(2));
-//! let mut sim = Sim::new(cfg, SimParams::default());
+//! let mut sim = Sim::builder().config(cfg).params(SimParams::default()).build();
 //! let mut driver = BatchDriver::builder(&sim)
 //!     .pattern(Box::new(UniformRandom))
 //!     .packets_per_endpoint(4)

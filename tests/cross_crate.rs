@@ -20,7 +20,10 @@ fn simulated_link_traffic_tracks_analytic_loads() {
     let cfg = MachineConfig::new(TorusShape::cube(2));
     let analysis = LoadAnalysis::compute(&cfg, &UniformRandom);
 
-    let mut sim = Sim::new(cfg.clone(), SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     let batch = 400u64;
     let mut driver = BatchDriver::builder(&sim)
         .pattern(Box::new(UniformRandom))
@@ -73,7 +76,10 @@ fn default_configuration_is_deadlock_free_end_to_end() {
 
     // And a saturating workload on the same shape drains completely. The
     // deprecated constructor must keep working for downstream callers.
-    let mut sim = Sim::new(cfg, SimParams::default());
+    let mut sim = Sim::builder()
+        .config(cfg)
+        .params(SimParams::default())
+        .build();
     #[allow(deprecated)]
     let mut driver = BatchDriver::uniform_pattern(&sim, Box::new(UniformRandom), 80, 9);
     assert_eq!(sim.run(&mut driver, 50_000_000), RunOutcome::Completed);
@@ -94,7 +100,7 @@ fn weight_tables_install_at_every_arbitration_point() {
         arbiter: anton2::anton_arbiter::ArbiterKind::InverseWeighted { m_bits: 5 },
         ..SimParams::default()
     };
-    let mut sim = Sim::new(cfg, params);
+    let mut sim = Sim::builder().config(cfg).params(params).build();
     apply_weights(&mut sim, &weights); // panics on any index mismatch
     let mut driver = BatchDriver::builder(&sim)
         .pattern(Box::new(UniformRandom))
@@ -121,7 +127,10 @@ fn packaging_covers_every_simulated_channel() {
     let shape = TorusShape::cube(8);
     let cfg = MachineConfig::new(shape);
     let pack = Packaging::new(shape);
-    let sim = Sim::new(cfg.clone(), SimParams::default());
+    let sim = Sim::builder()
+        .config(cfg.clone())
+        .params(SimParams::default())
+        .build();
     let mut torus_channels = 0;
     for (label, _) in sim.wire_utilizations() {
         if let GlobalLink::Torus { from, dir, .. } = label {
