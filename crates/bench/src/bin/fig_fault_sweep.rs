@@ -9,6 +9,14 @@
 //! retransmission round-trip. The BER = 0 column doubles as the control —
 //! the shim is timing-identical to the ideal wire there.
 //!
+//! On top of the BER sweep, `--down-window from,until` (on by default)
+//! takes one external link fully `Down` for that cycle window on every
+//! point: stranded packets are ejected and rerouted over the pre-certified
+//! degraded route tables, and the sweep records how many packets rerouted
+//! plus the latency inflation the detour cost them relative to
+//! same-run traffic that stayed on its original route. Pass an empty
+//! string to sweep BER only.
+//!
 //! Results land in `results/fig_fault_sweep.json` alongside the text table:
 //! schema v1 plus a `fault_model` object recording the schedule parameters,
 //! bumped to v2 with a `deadlock_reports` section when any point trips the
@@ -22,9 +30,10 @@ use std::sync::Mutex;
 
 use anton_bench::harness::{ExperimentSpec, SweepPoint};
 use anton_bench::json::Json;
-use anton_bench::{saturation_rate, values, FlagSet};
+use anton_bench::{fail_usage, saturation_rate, values, FlagSet};
+use anton_core::chip::ChanId;
 use anton_core::config::MachineConfig;
-use anton_core::topology::TorusShape;
+use anton_core::topology::{NodeId, TorusShape};
 use anton_fault::{FaultKind, FaultSchedule, SHIM_TIMEOUT, SHIM_WINDOW};
 use anton_sim::driver::LoadDriver;
 use anton_sim::params::SimParams;
@@ -85,6 +94,12 @@ fn main() {
         "offered loads as fractions of uniform saturation",
     )
     .flag("packets", 200u64, "packets per endpoint per point")
+    .flag(
+        "down-window",
+        "600,1400".to_string(),
+        "cycle window `from,until` during which one external link is fully \
+         Down on every point (empty = BER sweep only)",
+    )
     .flag("seed", 42u64, "base seed; per-point seeds derive from it")
     .flag("threads", 1usize, "worker threads for the sweep")
     .flag(
@@ -100,6 +115,33 @@ fn main() {
     let seed: u64 = args.get("seed");
     let threads: usize = args.get("threads");
     let shards: usize = args.get("shards");
+    let down_spec: String = args.get("down-window");
+    let down_window: Option<(u64, u64)> = if down_spec.is_empty() {
+        None
+    } else {
+        let bad = || -> ! {
+            fail_usage(
+                &anton_verify::Diagnostic::error(
+                    "AV103",
+                    format!("bad --down-window `{down_spec}`"),
+                )
+                .with(
+                    "expected",
+                    "two cycle numbers `from,until` with from < until",
+                ),
+            )
+        };
+        let parts: Vec<&str> = down_spec.split(',').map(str::trim).collect();
+        if parts.len() != 2 {
+            bad();
+        }
+        match (parts[0].parse::<u64>(), parts[1].parse::<u64>()) {
+            (Ok(from), Ok(until)) if from < until => Some((from, until)),
+            _ => bad(),
+        }
+    };
+    // The down link of every point: node 0's x+ channel on slice 0.
+    let down_link = (NodeId(0), ChanId::from_index(0));
     let cfg = MachineConfig::new(TorusShape::cube(k));
 
     println!("## Fault sweep — lossy torus links ({k}x{k}x{k} torus, 16 cores/node)");
@@ -121,10 +163,24 @@ fn main() {
     let n_points = spec.points().len();
     // Serialized deadlock diagnostics, per tripped point (normally empty).
     let deadlock_reports: Mutex<Vec<(usize, Json)>> = Mutex::new(Vec::new());
+    let make_schedule = |seed: u64, ber: f64| {
+        let mut s = FaultSchedule::uniform(seed, ber);
+        if let Some((from_cycle, until_cycle)) = down_window {
+            s = s.with_fault(
+                down_link.0,
+                down_link.1,
+                FaultKind::Down {
+                    from_cycle,
+                    until_cycle,
+                },
+            );
+        }
+        s
+    };
     let measurements = spec.run(threads, |point: &SweepPoint| {
         let ber = point.float("ber");
         let load = point.float("load");
-        let schedule = FaultSchedule::uniform(point.seed, ber);
+        let schedule = make_schedule(point.seed, ber);
         let params = SimParams {
             fault: Some(schedule),
             watchdog_cycles: 200_000,
@@ -139,7 +195,7 @@ fn main() {
         );
         // Either kernel produces identical measurements; `--shards` only
         // changes how many worker threads step the machine.
-        let (outcome, m, report) = if shards > 1 {
+        let (outcome, m, rerouted, report) = if shards > 1 {
             let mut sim = Sim::builder()
                 .config(cfg.clone())
                 .params(params)
@@ -151,7 +207,7 @@ fn main() {
                     .expect("invariants must hold at quiesce");
             }
             let report = sim.deadlock_report().map(|r| (r.to_string(), r.to_json()));
-            (outcome, sim.metrics(), report)
+            (outcome, sim.metrics(), sim.stats().rerouted_packets, report)
         } else {
             let mut sim = Sim::builder().config(cfg.clone()).params(params).build();
             let outcome = sim.run(&mut driver, 50_000_000);
@@ -160,7 +216,7 @@ fn main() {
                     .expect("invariants must hold at quiesce");
             }
             let report = sim.deadlock_report().map(|r| (r.to_string(), r.to_json()));
-            (outcome, sim.metrics(), report)
+            (outcome, sim.metrics(), sim.stats().rerouted_packets, report)
         };
         let deadlocked = outcome == RunOutcome::Deadlocked;
         if deadlocked {
@@ -193,12 +249,14 @@ fn main() {
             "retransmissions" => fault.totals.retransmissions,
             "data_frames_dropped" => fault.totals.data_frames_dropped,
             "retransmission_overhead" => fault.retransmission_overhead(),
+            "rerouted_packets" => rerouted,
+            "reroute_latency_inflation" => driver.reroute_latency_inflation(),
             "deadlocked" => deadlocked,
         ]
     });
 
     println!(
-        "{:>6} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>12} {:>10}",
+        "{:>6} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>12} {:>10} {:>9} {:>8}",
         "load",
         "BER",
         "throughput",
@@ -207,7 +265,9 @@ fn main() {
         "p99",
         "p99-infl",
         "retransmits",
-        "overhead"
+        "overhead",
+        "rerouted",
+        "rr-infl"
     );
     for m in &measurements {
         let p = &spec.points()[m.index];
@@ -222,7 +282,7 @@ fn main() {
             })
             .expect("ber list must include the 0.0 control");
         println!(
-            "{:>6.2} {:>10.1e} {:>12.5} {:>9} {:>8.2}x {:>9} {:>8.2}x {:>12} {:>9.4}%",
+            "{:>6.2} {:>10.1e} {:>12.5} {:>9} {:>8.2}x {:>9} {:>8.2}x {:>12} {:>9.4}% {:>9} {:>7.2}x",
             load,
             ber,
             m.metric_f64("throughput"),
@@ -232,6 +292,8 @@ fn main() {
             m.metric_f64("p99_latency") / base.metric_f64("p99_latency"),
             m.metric_f64("retransmissions") as u64,
             100.0 * m.metric_f64("retransmission_overhead"),
+            m.metric_f64("rerouted_packets") as u64,
+            m.metric_f64("reroute_latency_inflation"),
         );
     }
     let deadlock_reports = deadlock_reports.into_inner().expect("report list poisoned");
@@ -252,7 +314,7 @@ fn main() {
                     .iter()
                     .map(|m| {
                         let p = &spec.points()[m.index];
-                        schedule_json(&FaultSchedule::uniform(p.seed, p.float("ber")))
+                        schedule_json(&make_schedule(p.seed, p.float("ber")))
                     })
                     .collect(),
             ),

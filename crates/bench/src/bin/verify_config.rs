@@ -11,15 +11,19 @@
 //! verify_config --k 4 --policy naive    # single-VC negative control
 //! verify_config --no-datelines          # broken promotion placement
 //! verify_config --cross-check           # also enumerate routes and diff
+//! verify_config --down-links 0,0,0,x+   # certify the degraded reroute tables
 //! verify_config --json results/verify_config.json
 //! ```
 
 use anton_bench::{fail_usage, write_output, FlagSet};
+use anton_core::chip::ChanId;
 use anton_core::config::MachineConfig;
-use anton_core::topology::TorusShape;
+use anton_core::route_table::DownLinkSet;
+use anton_core::topology::{Dim, NodeCoord, NodeId, Sign, Slice, TorusDir, TorusShape};
 use anton_core::vc::VcPolicy;
 use anton_verify::{
-    cross_check, full_enumeration, lint_params, ParamsView, Severity, VerifyModel, VerifyReport,
+    cross_check, full_enumeration, lint_params, verify_degraded, ParamsView, Severity, VerifyModel,
+    VerifyReport,
 };
 
 fn parse_policy(name: &str) -> VcPolicy {
@@ -58,6 +62,75 @@ fn parse_shape(spec: &str) -> TorusShape {
     TorusShape::new(k[0], k[1], k[2])
 }
 
+/// Parses the `--down-links` spec: `;`-separated entries of
+/// `x,y,z,dir[,slice]` where `dir` is one of `x+ x- y+ y- z+ z-`. Without
+/// the slice field the direction goes down on both slices (a failed
+/// physical cable); with it only that slice's channel fails.
+fn parse_down_links(shape: TorusShape, spec: &str) -> DownLinkSet {
+    let bad = |entry: &str, why: String| -> ! {
+        fail_usage(
+            &anton_verify::Diagnostic::error(
+                "AV103",
+                format!("bad --down-links entry `{entry}`: {why}"),
+            )
+            .with(
+                "expected",
+                "x,y,z,dir[,slice] entries joined by ';', e.g. 0,0,0,x+;1,2,3,y-,1",
+            ),
+        )
+    };
+    let mut downs = DownLinkSet::empty(shape);
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        let parts: Vec<&str> = entry.trim().split(',').map(str::trim).collect();
+        if !(4..=5).contains(&parts.len()) {
+            bad(
+                entry,
+                format!("expected 4 or 5 fields, got {}", parts.len()),
+            );
+        }
+        let mut coord = [0u8; 3];
+        for (i, (slot, dim)) in coord.iter_mut().zip([Dim::X, Dim::Y, Dim::Z]).enumerate() {
+            match parts[i].parse::<u8>() {
+                Ok(v) if v < shape.k(dim) => *slot = v,
+                Ok(v) => bad(
+                    entry,
+                    format!("{dim:?} coordinate {v} outside extent {}", shape.k(dim)),
+                ),
+                Err(e) => bad(entry, format!("coordinate `{}`: {e}", parts[i])),
+            }
+        }
+        let node: NodeId = shape.id(NodeCoord::new(coord[0], coord[1], coord[2]));
+        let dir = match parts[3].to_ascii_lowercase().as_str() {
+            "x+" => TorusDir::new(Dim::X, Sign::Plus),
+            "x-" => TorusDir::new(Dim::X, Sign::Minus),
+            "y+" => TorusDir::new(Dim::Y, Sign::Plus),
+            "y-" => TorusDir::new(Dim::Y, Sign::Minus),
+            "z+" => TorusDir::new(Dim::Z, Sign::Plus),
+            "z-" => TorusDir::new(Dim::Z, Sign::Minus),
+            other => bad(entry, format!("unknown direction `{other}`")),
+        };
+        let slices: Vec<Slice> = if parts.len() == 5 {
+            match parts[4].parse::<u8>() {
+                Ok(s) if (s as usize) < Slice::ALL.len() => vec![Slice(s)],
+                Ok(s) => bad(entry, format!("slice {s} out of range 0..2")),
+                Err(e) => bad(entry, format!("slice `{}`: {e}", parts[4])),
+            }
+        } else {
+            Slice::ALL.to_vec()
+        };
+        for slice in slices {
+            downs.insert(node, ChanId { dir, slice });
+        }
+    }
+    if downs.is_empty() {
+        fail_usage(&anton_verify::Diagnostic::error(
+            "AV103",
+            "--down-links given but no links parsed".to_string(),
+        ));
+    }
+    downs
+}
+
 fn main() {
     let args = FlagSet::new(
         "verify_config",
@@ -78,6 +151,12 @@ fn main() {
     .switch(
         "cross-check",
         "also build the route-enumerated graph and diff it (small shapes only)",
+    )
+    .flag(
+        "down-links",
+        String::new(),
+        "certify degraded reroute tables for these down links \
+         (x,y,z,dir[,slice] entries joined by ';', dir in x+ x- y+ y- z+ z-)",
     )
     .flag("json", String::new(), "write the JSON report to this path")
     .parse();
@@ -118,6 +197,28 @@ fn main() {
     report
         .diagnostics
         .extend(lint_params(&cfg, &ParamsView::reference()));
+
+    let down_spec: String = args.get("down-links");
+    if !down_spec.is_empty() {
+        let downs = parse_down_links(shape, &down_spec);
+        println!(
+            "degraded check: {} down link(s) — building and certifying reroute tables",
+            downs.len()
+        );
+        let verdict = verify_degraded(&cfg, &downs);
+        if let Some(cert) = &verdict.certificate {
+            println!("degraded tables: {cert}");
+        }
+        println!(
+            "degraded verdict: {}",
+            if verdict.certified() {
+                "certified for install"
+            } else {
+                "REJECTED (the simulator would refuse these tables)"
+            }
+        );
+        report.diagnostics.extend(verdict.diagnostics);
+    }
 
     if let Some(cert) = &report.certificate {
         println!("{cert}");

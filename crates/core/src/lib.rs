@@ -10,6 +10,7 @@
 //! * [`topology`] — the torus, its coordinates, slices, and datelines;
 //! * [`chip`] — the on-chip mesh, skip channels, and adapter floorplan;
 //! * [`routing`] — oblivious minimal dimension-order inter-node routing;
+//! * [`route_table`] — fault-aware next-hop tables for degraded tori;
 //! * [`onchip`] — direction-order on-chip routing (V⁻, U⁺, U⁻, V⁺);
 //! * [`vc`] — the n+1-VC promotion algorithm for deadlock avoidance, plus
 //!   the 2n baseline;
@@ -53,6 +54,7 @@ pub mod multicast;
 pub mod onchip;
 pub mod packet;
 pub mod pattern;
+pub mod route_table;
 pub mod routing;
 pub mod seed;
 pub mod topology;
@@ -64,6 +66,7 @@ pub use config::{GlobalEndpoint, MachineConfig};
 pub use onchip::DirOrder;
 pub use packet::{Packet, Payload};
 pub use pattern::{Flow, TrafficPattern};
+pub use route_table::{build_route_table, DownLinkSet, RouteTable, RouteTableError, TableMethod};
 pub use routing::{DimOrder, RouteSpec};
 pub use seed::derive_stream_seed;
 pub use topology::{Dim, NodeCoord, NodeId, Sign, Slice, TorusDir, TorusShape};

@@ -171,6 +171,59 @@ pub fn trace_hops_with(
     final_ep: Option<LocalEndpointId>,
     crosses_dateline: &mut dyn FnMut(NodeCoord, TorusDir) -> bool,
 ) -> Vec<TraceStep> {
+    trace_hops_impl(
+        cfg,
+        start,
+        src_ep,
+        hops,
+        slice,
+        final_ep,
+        crosses_dateline,
+        true,
+    )
+}
+
+/// [`trace_hops_with`] for *run-ordered* hop sequences as produced by
+/// degraded route tables: hops are grouped into maximal single-direction
+/// runs, but a dimension may be revisited in a later run (a BFS detour
+/// around a severed ring, e.g. `+Y +X +X -Y`). The VC-promotion state
+/// machine handles this — each run is its own `begin_dim`/`end_dim` phase
+/// and the `m_i = i` invariant holds per *run* — as long as the total run
+/// count stays within the promotion budget
+/// ([`crate::route_table::RouteTable::validate`] enforces it), so only the
+/// dimension-revisit restriction is relaxed here.
+pub fn trace_table_hops(
+    cfg: &MachineConfig,
+    start: NodeCoord,
+    src_ep: Option<LocalEndpointId>,
+    hops: &[TorusDir],
+    slice: Slice,
+    final_ep: Option<LocalEndpointId>,
+    crosses_dateline: &mut dyn FnMut(NodeCoord, TorusDir) -> bool,
+) -> Vec<TraceStep> {
+    trace_hops_impl(
+        cfg,
+        start,
+        src_ep,
+        hops,
+        slice,
+        final_ep,
+        crosses_dateline,
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn trace_hops_impl(
+    cfg: &MachineConfig,
+    start: NodeCoord,
+    src_ep: Option<LocalEndpointId>,
+    hops: &[TorusDir],
+    slice: Slice,
+    final_ep: Option<LocalEndpointId>,
+    crosses_dateline: &mut dyn FnMut(NodeCoord, TorusDir) -> bool,
+    strict_dim_order: bool,
+) -> Vec<TraceStep> {
     let chip = &cfg.chip;
     let mut steps = Vec::new();
     let mut vc = cfg.vc_policy.start();
@@ -203,11 +256,13 @@ pub fn trace_hops_with(
             hops[idx..idx + run].iter().all(|h| *h == dir),
             "hops within a dimension must share a direction"
         );
-        assert!(
-            hops[idx + run..].iter().all(|h| h.dim != dir.dim),
-            "dimension {} revisited — not a dimension-order route",
-            dir.dim
-        );
+        if strict_dim_order {
+            assert!(
+                hops[idx + run..].iter().all(|h| h.dim != dir.dim),
+                "dimension {} revisited — not a dimension-order route",
+                dir.dim
+            );
+        }
         vc.begin_dim();
         // M-phase: mesh hops from the current router to the departure adapter.
         let depart = ChanId { dir, slice };

@@ -570,6 +570,9 @@ pub struct LoadDriver {
     /// One independent RNG stream per endpoint (see [`endpoint_streams`]).
     rngs: Vec<StdRng>,
     latencies: Vec<u64>,
+    /// Latencies of the subset of deliveries that were rerouted over a
+    /// degraded table after ejection from a failed link.
+    rerouted_latencies: Vec<u64>,
     /// Cycle of the final delivery (valid once done).
     pub finish_cycle: u64,
 }
@@ -627,6 +630,7 @@ impl LoadDriver {
             delivered: 0,
             rngs: endpoint_streams(seed, n_eps),
             latencies: Vec::with_capacity(expected as usize),
+            rerouted_latencies: Vec::new(),
             finish_cycle: 0,
         }
     }
@@ -661,6 +665,28 @@ impl LoadDriver {
         sorted[rank.min(sorted.len() - 1)]
     }
 
+    /// Mean latency of rerouted deliveries relative to the mean latency of
+    /// deliveries that stayed on their original route, within the same run.
+    /// Returns 1.0 (no inflation) when no packet was rerouted; the
+    /// remaining journeys of rerouted packets price the detour directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if *every* delivery was rerouted (no baseline to compare
+    /// against).
+    pub fn reroute_latency_inflation(&self) -> f64 {
+        if self.rerouted_latencies.is_empty() {
+            return 1.0;
+        }
+        let n_base = self.latencies.len() - self.rerouted_latencies.len();
+        assert!(n_base > 0, "every delivery rerouted: no baseline latency");
+        let rerouted_sum: u64 = self.rerouted_latencies.iter().sum();
+        let base_sum = self.latencies.iter().sum::<u64>() - rerouted_sum;
+        let rerouted_mean = rerouted_sum as f64 / self.rerouted_latencies.len() as f64;
+        let base_mean = base_sum as f64 / n_base as f64;
+        rerouted_mean / base_mean
+    }
+
     /// Delivered throughput in packets per cycle per endpoint over the full
     /// run.
     ///
@@ -691,6 +717,9 @@ impl Driver for LoadDriver {
     fn on_delivery(&mut self, sim: &mut Sim, delivery: &Delivery) {
         if let Delivery::Packet(p) = delivery {
             self.latencies.push(p.delivered_at - p.injected_at);
+            if p.rerouted {
+                self.rerouted_latencies.push(p.delivered_at - p.injected_at);
+            }
             self.delivered += 1;
             if self.delivered == self.expected {
                 self.finish_cycle = sim.now();
@@ -723,6 +752,7 @@ impl ShardableDriver for LoadDriver {
                     delivered: 0,
                     rngs: self.rngs.clone(),
                     latencies: Vec::new(),
+                    rerouted_latencies: Vec::new(),
                     finish_cycle: 0,
                 }) as Box<dyn Driver + Send>
             })
@@ -782,6 +812,7 @@ mod tests {
             delivered: 0,
             rngs: endpoint_streams(0, 1),
             latencies: vec![50, 10, 40, 20, 30],
+            rerouted_latencies: Vec::new(),
             finish_cycle: 0,
         };
         assert_eq!(d.latency_percentile(0.5), 30);

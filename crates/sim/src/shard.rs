@@ -62,7 +62,7 @@ use anton_fault::ShimStats;
 use crate::metrics::{
     ArbiterGrantCounts, FaultMetrics, LinkClass, LinkClassMetrics, Metrics, VcOccupancyHistogram,
 };
-use crate::params::{PreflightMode, SimParams, TraceConfig};
+use crate::params::{SimParams, TraceConfig};
 use crate::sim::{
     DeadlockReport, Delivery, Driver, EnergyCounters, RunOutcome, Sim, SimStats, StaticVerdict,
 };
@@ -307,8 +307,12 @@ impl ShardedSim {
         control_params.collect_metrics = false;
         control_params.track_energy = false;
         let control = Sim::construct(cfg.clone(), control_params, None);
-        let mut shard_params = params;
-        shard_params.preflight = PreflightMode::Off;
+        // Replicas keep the caller's preflight mode: `Sim::construct` skips
+        // the static pre-flight for them (the control replica above ran it
+        // once), but the mode still governs whether degraded route tables
+        // are built — every replica must reach the serial run's
+        // install-or-reject decision.
+        let shard_params = params;
         let shards: Vec<Sim> = (0..plan.num_shards())
             .map(|me| {
                 Sim::construct(
@@ -487,6 +491,7 @@ impl ShardedSim {
         for sh in &self.shards {
             let st = sh.stats();
             s.injected_packets += st.injected_packets;
+            s.rerouted_packets += st.rerouted_packets;
             s.flit_hops += st.flit_hops;
             s.torus_flits += st.torus_flits;
         }
@@ -916,6 +921,7 @@ impl ShardedSim {
             truncated: 0,
             shim_backlogs: Vec::new(),
             static_verdict,
+            down_links: Vec::new(),
         };
         for sh in &mut self.shards {
             let r = sh.forced_deadlock_report(cycle, idle_cycles);
@@ -923,6 +929,11 @@ impl ShardedSim {
             merged.truncated += r.truncated;
             merged.stalled.extend(r.stalled);
             merged.shim_backlogs.extend(r.shim_backlogs);
+            for link in r.down_links {
+                if !merged.down_links.contains(&link) {
+                    merged.down_links.push(link);
+                }
+            }
         }
         if merged.stalled.len() > REPORT_CAP {
             merged.truncated += merged.stalled.len() - REPORT_CAP;

@@ -30,11 +30,12 @@ use anton_core::chip::{
 use anton_core::config::{GlobalEndpoint, MachineConfig};
 use anton_core::multicast::{McGroup, McGroupId};
 use anton_core::packet::{CounterId, Destination, Packet};
-use anton_core::routing::RouteSpec;
-use anton_core::topology::{Dim, NodeId, TorusDir};
+use anton_core::route_table::{DownLinkSet, RouteTable};
+use anton_core::routing::{DimOrder, RouteSpec};
+use anton_core::topology::{Dim, NodeId, Slice, TorusDir};
 use anton_core::trace::GlobalLink;
 use anton_core::vc::{Vc, VcPolicy, VcState};
-use anton_fault::ShimEvent;
+use anton_fault::{FaultKind, ShimEvent};
 use anton_obs::json::Json;
 use anton_obs::link_json;
 use anton_obs::{ChannelKind, FlightRecorder, TimeSeries, TraceEvent, TraceEventKind};
@@ -188,20 +189,63 @@ struct EpState {
 }
 
 /// A queued injection: routing is either randomized (the normal oblivious
-/// policy) or fixed to an explicit route spec (tests and controlled
-/// experiments).
+/// policy), fixed to an explicit route spec (tests and controlled
+/// experiments), or a fault-time re-entry over the installed degraded
+/// tables.
 #[derive(Debug, Clone, Copy)]
 enum InjectCmd {
     Auto(Packet),
     WithSpec(Packet, RouteSpec),
+    /// A unicast packet pulled off a failed link and re-entered at its
+    /// stranding node: routed over the current epoch's certified table,
+    /// keeping its original injection cycle (so latency accounting spans
+    /// the whole journey) and the hops already taken.
+    Reroute {
+        packet: Packet,
+        slice: Slice,
+        injected_at: u64,
+        torus_hops: u16,
+    },
 }
 
 impl InjectCmd {
     fn packet(&self) -> &Packet {
         match self {
-            InjectCmd::Auto(p) | InjectCmd::WithSpec(p, _) => p,
+            InjectCmd::Auto(p)
+            | InjectCmd::WithSpec(p, _)
+            | InjectCmd::Reroute { packet: p, .. } => p,
         }
     }
+}
+
+/// One epoch of the degradation timeline: a maximal interval over which the
+/// set of down links is constant.
+#[derive(Debug)]
+struct DegradedEpoch {
+    /// First cycle of the epoch.
+    start: u64,
+    /// Links down throughout the epoch.
+    downs: DownLinkSet,
+    /// Installed table set while this epoch is current (`None` when no
+    /// links are down: healthy randomized spec routing applies).
+    set: Option<u8>,
+}
+
+/// Runtime state of fault-aware degraded routing, built at construction
+/// from the fault schedule's `Down` windows and only present when at least
+/// one exists. Every table set referenced here passed the explicit
+/// certification gate ([`anton_verify::certify_tables`] over the union of
+/// all sets) before install — the simulator refuses to route over
+/// uncertified tables.
+#[derive(Debug)]
+struct DegradedState {
+    /// Unique certified table sets (one [`RouteTable`] per slice, in slice
+    /// order); epochs with identical down-link sets share a set.
+    table_sets: Vec<Vec<RouteTable>>,
+    /// Epochs in ascending `start` order; `epochs[0].start == 0`.
+    epochs: Vec<DegradedEpoch>,
+    /// Index of the epoch covering the current cycle.
+    cur: usize,
 }
 
 /// A completed network-level event reported to the driver.
@@ -235,6 +279,9 @@ pub struct PacketDelivery {
     pub delivered_at: u64,
     /// Inter-node hops taken.
     pub torus_hops: u16,
+    /// Whether the packet was rerouted over a degraded table after being
+    /// ejected from a failed link.
+    pub rerouted: bool,
     /// Link-level route (when route recording is enabled).
     pub route_log: Option<Vec<(GlobalLink, Vc)>>,
 }
@@ -254,6 +301,11 @@ pub struct SimStats {
     pub torus_flits: u64,
     /// Cycle of the most recent delivery.
     pub last_delivery_cycle: u64,
+    /// Packets that travelled on a certified degraded route table instead
+    /// of their natural oblivious route: ejected from a failed link (or
+    /// its feeding serializer) and re-entered, or steered onto the table
+    /// at injection because the drawn route crossed a link that was down.
+    pub rerouted_packets: u64,
 }
 
 /// Outcome of [`Sim::run`].
@@ -345,6 +397,10 @@ pub struct DeadlockReport {
     pub shim_backlogs: Vec<(GlobalLink, u64)>,
     /// What the static verifier predicted for this configuration.
     pub static_verdict: StaticVerdict,
+    /// External torus links that were Down (outage window covering the trip
+    /// cycle) or Degraded per the fault schedule, so a report can be
+    /// interpreted without re-deriving the schedule.
+    pub down_links: Vec<GlobalLink>,
 }
 
 impl std::fmt::Display for DeadlockReport {
@@ -399,6 +455,9 @@ impl std::fmt::Display for DeadlockReport {
         }
         for (link, flits) in &self.shim_backlogs {
             writeln!(f, "  link layer {link}: {flits} flits undelivered")?;
+        }
+        for link in &self.down_links {
+            writeln!(f, "  faulty at trip time: {link}")?;
         }
         Ok(())
     }
@@ -470,6 +529,10 @@ impl DeadlockReport {
                 })),
             ),
             ("static_verdict", Json::from(self.static_verdict.as_str())),
+            (
+                "down_links",
+                Json::arr(self.down_links.iter().map(link_json::link_to_json)),
+            ),
         ])
     }
 
@@ -519,6 +582,17 @@ impl DeadlockReport {
                 .get("static_verdict")
                 .and_then(Json::as_str)
                 .map(StaticVerdict::from_str)
+                .unwrap_or_default(),
+            // Likewise tolerant: absent (or partially unreadable) in old
+            // reports, which simply carry no fault-state annotation.
+            down_links: j
+                .get("down_links")
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|l| link_json::link_from_json(l).ok())
+                        .collect()
+                })
                 .unwrap_or_default(),
         })
     }
@@ -631,6 +705,10 @@ pub struct Sim {
     /// What the pre-flight verifier concluded (stamped into any
     /// [`DeadlockReport`] the watchdog produces).
     static_verdict: StaticVerdict,
+    /// Fault-aware degraded routing: the epoch timeline and certified
+    /// table sets built from the schedule's `Down` windows. `None` without
+    /// Down windows (or with preflight off).
+    degraded: Option<Box<DegradedState>>,
     /// Flight recorder: per-wire typed-event rings. `None` (one predictable
     /// branch per hook site) unless [`TraceConfig::events`] is set.
     ///
@@ -740,7 +818,19 @@ impl Sim {
         params: SimParams,
         shard: Option<&crate::shard::ShardAssignment<'_>>,
     ) -> Sim {
-        let static_verdict = Self::run_preflight(&cfg, &params);
+        // Shard replicas skip the static pre-flight (the coordinator's
+        // control replica ran it once) but must still build the degraded
+        // tables — the construction is deterministic, so every replica
+        // reaches the same install-or-reject decision the control replica
+        // (and a serial run) did. `quiet` keeps the rejection warnings from
+        // repeating once per shard.
+        let is_replica = shard.is_some();
+        let static_verdict = if is_replica {
+            StaticVerdict::Unknown
+        } else {
+            Self::run_preflight(&cfg, &params)
+        };
+        let degraded = Self::build_degraded(&cfg, &params, is_replica);
         let nodes = cfg.shape.num_nodes();
         let eps_per_node = cfg.endpoints_per_node();
         let policy = cfg.vc_policy;
@@ -1136,6 +1226,7 @@ impl Sim {
             deadlocked: false,
             deadlock_report: None,
             static_verdict,
+            degraded,
             recorder,
             sampler,
             export_wires,
@@ -1576,6 +1667,9 @@ impl Sim {
         self.sched_router.begin_cycle(now);
         self.sched_chan.begin_cycle(now);
         self.sched_ep.begin_cycle(now);
+        if self.degraded.is_some() {
+            self.degraded_epoch_tick(now);
+        }
         // Tick only wires with traffic or credits in flight — and among
         // those, only the ones whose next arrival/credit maturity is due —
         // waking the components their events concern. Wakes raised here are
@@ -1854,6 +1948,331 @@ impl Sim {
         verdict
     }
 
+    // ----- fault-aware degraded routing -------------------------------------
+
+    /// Builds the degraded-routing timeline from the fault schedule's `Down`
+    /// windows: the timeline splits into epochs over which the down-link set
+    /// is constant, each distinct non-empty set gets one route-table set
+    /// (generated by `anton-verify`), and the **union** of every set's
+    /// tables must pass the explicit deadlock certifier before anything is
+    /// installed — traffic pinned to different epochs' tables shares the
+    /// network in flight, so the mixed system is what has to be acyclic.
+    ///
+    /// Returns `None` when the schedule has no `Down` windows (BER-only
+    /// schedules keep the pure go-back-N recovery path) or preflight is
+    /// `Off` (the user opted out of verification, and uncertified tables
+    /// are never installed). When generation or certification fails,
+    /// [`PreflightMode::Enforce`] panics at construction; `WarnOnly` runs
+    /// without tables, leaving outage diagnosis to the legacy watchdog.
+    fn build_degraded(
+        cfg: &MachineConfig,
+        params: &SimParams,
+        quiet: bool,
+    ) -> Option<Box<DegradedState>> {
+        let schedule = params.fault.as_ref()?;
+        if params.preflight == PreflightMode::Off {
+            return None;
+        }
+        let mut windows: Vec<(NodeId, ChanId, u64, u64)> = Vec::new();
+        for f in &schedule.faults {
+            if let FaultKind::Down {
+                from_cycle,
+                until_cycle,
+            } = f.kind
+            {
+                if from_cycle < until_cycle {
+                    windows.push((f.from, f.chan, from_cycle, until_cycle));
+                }
+            }
+        }
+        if windows.is_empty() {
+            return None;
+        }
+        let mut boundaries: Vec<u64> = vec![0];
+        for &(_, _, from, until) in &windows {
+            boundaries.push(from);
+            if until != u64::MAX {
+                boundaries.push(until);
+            }
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let mut table_sets: Vec<Vec<RouteTable>> = Vec::new();
+        let mut set_keys: Vec<Vec<(NodeId, ChanId)>> = Vec::new();
+        let mut epochs: Vec<DegradedEpoch> = Vec::new();
+        let mut problems: Vec<String> = Vec::new();
+        for &b in &boundaries {
+            let mut downs = DownLinkSet::empty(cfg.shape);
+            for &(n, c, from, until) in &windows {
+                if from <= b && b < until {
+                    downs.insert(n, c);
+                }
+            }
+            let set = if downs.is_empty() {
+                None
+            } else {
+                let key: Vec<(NodeId, ChanId)> = downs.iter().collect();
+                let idx = match set_keys.iter().position(|k| *k == key) {
+                    Some(i) => i,
+                    None => {
+                        let (tables, diags) = anton_verify::build_degraded_tables(cfg, &downs);
+                        for d in &diags {
+                            if d.severity == anton_verify::Severity::Error {
+                                problems.push(d.to_string());
+                            }
+                        }
+                        set_keys.push(key);
+                        table_sets.push(tables);
+                        table_sets.len() - 1
+                    }
+                };
+                assert!(idx <= usize::from(u8::MAX), "too many distinct down sets");
+                Some(idx as u8)
+            };
+            epochs.push(DegradedEpoch {
+                start: b,
+                downs,
+                set,
+            });
+        }
+        if problems.is_empty() {
+            let union: Vec<RouteTable> = table_sets.iter().flatten().cloned().collect();
+            let cert = anton_verify::certify_tables(cfg, &union);
+            if !cert.acyclic {
+                problems.push(format!(
+                    "degraded route tables failed deadlock certification \
+                     ({} channel-VC nodes, {} edges, dependency cycle found)",
+                    cert.nodes, cert.edges
+                ));
+            }
+        }
+        if !problems.is_empty() {
+            let mut text = String::new();
+            for p in &problems {
+                text.push_str(&format!("{p}\n"));
+            }
+            if params.preflight == PreflightMode::Enforce {
+                panic!(
+                    "cannot install certified reroutes for this fault \
+                     schedule:\n{text}set SimParams::preflight to \
+                     PreflightMode::WarnOnly to run with the legacy outage \
+                     watchdog instead"
+                );
+            }
+            if !quiet {
+                for p in &problems {
+                    eprintln!("anton-sim degraded routing: {p} (tables not installed)");
+                }
+            }
+            return None;
+        }
+        Some(Box::new(DegradedState {
+            table_sets,
+            epochs,
+            cur: 0,
+        }))
+    }
+
+    /// Advances the degradation epoch to the one covering `now`, draining
+    /// newly-failed links and waking the serializers of newly-recovered
+    /// ones. Runs at the top of [`Sim::step`], before component snapshots,
+    /// so same-cycle wakes land in this cycle.
+    fn degraded_epoch_tick(&mut self, now: u64) {
+        loop {
+            let Some(dg) = &self.degraded else { return };
+            let next = dg.cur + 1;
+            if next >= dg.epochs.len() || dg.epochs[next].start > now {
+                return;
+            }
+            let old = &dg.epochs[dg.cur].downs;
+            let new = &dg.epochs[next].downs;
+            let onsets: Vec<(NodeId, ChanId)> =
+                new.iter().filter(|&(n, c)| !old.contains(n, c)).collect();
+            let clears: Vec<(NodeId, ChanId)> =
+                old.iter().filter(|&(n, c)| !new.contains(n, c)).collect();
+            self.degraded.as_mut().expect("checked above").cur = next;
+            for (n, c) in onsets {
+                self.down_link_onset(n, c);
+            }
+            for (n, c) in clears {
+                // The link is back up: wake its serializer so the absorbed
+                // adapter resumes feeding the torus.
+                let cidx = n.0 as usize * NUM_CHAN_ADAPTERS + c.index();
+                self.wake(CompRef::Chan(cidx as u32), now);
+            }
+        }
+    }
+
+    /// A link just went `Down`: tear down its go-back-N session, restore
+    /// the credits its undelivered flits held, and recover the stranded
+    /// packets — unicast traffic reroutes over the epoch's certified table;
+    /// multicast copies (which have no table to follow) re-enter the shim,
+    /// which re-delivers them once the outage clears.
+    fn down_link_onset(&mut self, node: NodeId, chan: ChanId) {
+        let cidx = node.0 as usize * NUM_CHAN_ADAPTERS + chan.index();
+        let w = self.chans[cidx].torus_out;
+        let drained = self.wires[w].drain_shim_undelivered(self.now, &mut self.wire_credits[w]);
+        for (entry, vcidx) in drained {
+            match self.packets.get(entry.pkt).route {
+                RouteProgress::Unicast { .. } | RouteProgress::Table { .. } => {
+                    self.reroute_packet(node, entry.pkt);
+                }
+                _ => {
+                    self.wires[w].send(self.now, entry, vcidx, &mut self.wire_credits[w]);
+                }
+            }
+        }
+        self.wire_next[w] = self.wires[w].next_event();
+        self.mark_wire_active(w);
+        self.wake(CompRef::Chan(cidx as u32), self.now);
+    }
+
+    /// Ejects a stranded unicast packet from the network at `node` and
+    /// queues it for re-injection over the degraded tables, preserving its
+    /// original injection cycle and accumulated hop count (so delivery
+    /// latency spans the whole journey).
+    fn reroute_packet(&mut self, node: NodeId, pid: PacketId) {
+        let st = self.packets.remove(pid);
+        let slice = match st.route {
+            RouteProgress::Unicast { spec, .. } => spec.slice,
+            RouteProgress::Table { slice, .. } => slice,
+            _ => unreachable!("only unicast traffic reroutes"),
+        };
+        self.stats.rerouted_packets += 1;
+        self.moved = true;
+        let eidx = node.0 as usize * self.cfg.endpoints_per_node();
+        self.eps[eidx].inject.push_back(InjectCmd::Reroute {
+            packet: st.packet,
+            slice,
+            injected_at: st.injected_at,
+            torus_hops: st.torus_hops,
+        });
+        // `now + 1`: reroutes raised mid-cycle (serializer absorption) land
+        // after the endpoint snapshot was taken.
+        self.wake(CompRef::Ep(eidx as u32), self.now + 1);
+    }
+
+    /// Routing decision for a freshly injected unicast packet: the
+    /// randomized oblivious spec on a healthy network, or the current
+    /// epoch's certified table when the spec would traverse a link that is
+    /// down right now.
+    fn routed_unicast(&self, node: NodeId, spec: RouteSpec, dst: GlobalEndpoint) -> RouteProgress {
+        if let Some(dg) = &self.degraded {
+            let epoch = &dg.epochs[dg.cur];
+            if let Some(set) = epoch.set {
+                if self.spec_hits_down(node, &spec, &epoch.downs) {
+                    return RouteProgress::Table {
+                        set,
+                        slice: spec.slice,
+                        cur: node,
+                        dst,
+                    };
+                }
+            }
+        }
+        RouteProgress::Unicast { spec, dst }
+    }
+
+    /// Whether a route spec starting at `node` traverses any down link.
+    fn spec_hits_down(&self, node: NodeId, spec: &RouteSpec, downs: &DownLinkSet) -> bool {
+        let mut cur = self.cfg.shape.coord(node);
+        for dir in spec.hops() {
+            let id = self.cfg.shape.id(cur);
+            if downs.contains(
+                id,
+                ChanId {
+                    dir,
+                    slice: spec.slice,
+                },
+            ) {
+                return true;
+            }
+            cur = self.cfg.shape.neighbor(cur, dir);
+        }
+        false
+    }
+
+    /// Route for a packet re-entered at `node` during the current epoch.
+    /// In a healthy epoch (every outage cleared while the packet waited in
+    /// the re-injection queue) there is no installed table; the packet
+    /// falls back to a deterministic dimension-ordered spec — every link it
+    /// needs is up.
+    fn table_route(&self, node: NodeId, slice: Slice, dst: GlobalEndpoint) -> RouteProgress {
+        if let Some(dg) = &self.degraded {
+            if let Some(set) = dg.epochs[dg.cur].set {
+                return RouteProgress::Table {
+                    set,
+                    slice,
+                    cur: node,
+                    dst,
+                };
+            }
+        }
+        let spec = RouteSpec::deterministic(
+            &self.cfg.shape,
+            self.cfg.shape.coord(node),
+            self.cfg.shape.coord(dst.node),
+            DimOrder::XYZ,
+            slice,
+        );
+        RouteProgress::Unicast { spec, dst }
+    }
+
+    /// Next torus hop of a table-routed packet (`None` at its destination
+    /// node).
+    fn table_next_hop(&self, set: u8, slice: Slice, cur: NodeId, dst: NodeId) -> Option<TorusDir> {
+        let dg = self
+            .degraded
+            .as_ref()
+            .expect("table packets exist only with degraded state installed");
+        dg.table_sets[set as usize][slice.0 as usize].next_hop(cur, dst)
+    }
+
+    /// Whether this adapter's outgoing torus link is down in the current
+    /// degradation epoch.
+    fn link_down_now(&self, cidx: usize) -> bool {
+        let Some(dg) = &self.degraded else {
+            return false;
+        };
+        let epoch = &dg.epochs[dg.cur];
+        !epoch.downs.is_empty()
+            && epoch
+                .downs
+                .contains(self.chans[cidx].node, self.chans[cidx].chan)
+    }
+
+    /// The serializer of a down link absorbs its queue instead of feeding
+    /// the dead channel: every rerouteable head is pulled off the adapter's
+    /// inbound wire and re-entered at this node over the certified table.
+    /// Multicast copies stay queued (they have no table) and resume when
+    /// the link comes back.
+    fn absorb_at_down_serializer(&mut self, cidx: usize, in_wire: WireId) {
+        let now = self.now;
+        let node = self.chans[cidx].node;
+        let nvcs = self.wire_nvcs[in_wire];
+        for v in 0..nvcs {
+            while self.wire_occupied[in_wire] >> v & 1 != 0 {
+                let Some(entry) = self.wire_head(in_wire, v) else {
+                    break;
+                };
+                let pid = entry.pkt;
+                if !matches!(
+                    self.packets.get(pid).route,
+                    RouteProgress::Unicast { .. } | RouteProgress::Table { .. }
+                ) {
+                    break;
+                }
+                self.pop_wire(in_wire, v);
+                self.reroute_packet(node, pid);
+            }
+        }
+        if self.wire_occupied[in_wire] != 0 {
+            // Heads still maturing (or multicast copies waiting out the
+            // outage): poll again next cycle.
+            self.wake(CompRef::Chan(cidx as u32), now + 1);
+        }
+    }
+
     fn build_deadlock_report(&mut self) -> DeadlockReport {
         const CAP: usize = 64;
         let mut report = DeadlockReport {
@@ -1863,6 +2282,25 @@ impl Sim {
             static_verdict: self.static_verdict,
             ..DeadlockReport::default()
         };
+        if let Some(schedule) = &self.params.fault {
+            for f in &schedule.faults {
+                let link = GlobalLink::Torus {
+                    from: f.from,
+                    dir: f.chan.dir,
+                    slice: f.chan.slice,
+                };
+                let active = match f.kind {
+                    FaultKind::Down {
+                        from_cycle,
+                        until_cycle,
+                    } => from_cycle <= self.now && self.now < until_cycle,
+                    FaultKind::Degraded { .. } => true,
+                };
+                if active && !report.down_links.contains(&link) {
+                    report.down_links.push(link);
+                }
+            }
+        }
         // (wire id, packet) per stalled VC, for the flight-recorder pass.
         let mut stall_sites: Vec<(u32, PacketId)> = Vec::new();
         for (wid, w) in self.wires.iter().enumerate() {
@@ -1887,6 +2325,15 @@ impl Sim {
                     RouteProgress::Unicast { spec, dst } => format!(
                         "unicast to n{}:e{}, remaining offsets {:?}",
                         dst.node.0, dst.ep.0, spec.offsets
+                    ),
+                    RouteProgress::Table {
+                        set,
+                        slice,
+                        cur,
+                        dst,
+                    } => format!(
+                        "table-routed (set {set}) to n{}:e{}, at n{} slice {}",
+                        dst.node.0, dst.ep.0, cur.0, slice.0
                     ),
                     RouteProgress::McExit { dir, slice, .. } => {
                         format!("multicast exit {:?} slice {}", dir, slice.0)
@@ -1976,6 +2423,15 @@ impl Sim {
                     dir: d,
                     slice: spec.slice,
                 }),
+                None => LocalAttach::Endpoint(dst.ep),
+            },
+            RouteProgress::Table {
+                set,
+                slice,
+                cur,
+                dst,
+            } => match self.table_next_hop(set, slice, cur, dst.node) {
+                Some(d) => LocalAttach::Chan(ChanId { dir: d, slice }),
                 None => LocalAttach::Endpoint(dst.ep),
             },
             RouteProgress::McExit { dir, slice, .. } => LocalAttach::Chan(ChanId { dir, slice }),
@@ -2146,27 +2602,52 @@ impl Sim {
                 }
                 let src_c = self.cfg.shape.coord(node);
                 let dst_c = self.cfg.shape.coord(dst.node);
-                let spec = match cmd {
-                    InjectCmd::WithSpec(_, spec) => spec,
-                    InjectCmd::Auto(_) => RouteSpec::randomized(
-                        &self.cfg.shape,
-                        src_c,
-                        dst_c,
-                        &mut self.eps[eidx].rng,
+                let (route, injected_at, torus_hops, fresh) = match cmd {
+                    InjectCmd::WithSpec(_, spec) => {
+                        (RouteProgress::Unicast { spec, dst }, now, 0, true)
+                    }
+                    InjectCmd::Auto(_) => {
+                        let spec = RouteSpec::randomized(
+                            &self.cfg.shape,
+                            src_c,
+                            dst_c,
+                            &mut self.eps[eidx].rng,
+                        );
+                        (self.routed_unicast(node, spec, dst), now, 0, true)
+                    }
+                    InjectCmd::Reroute {
+                        slice,
+                        injected_at,
+                        torus_hops,
+                        ..
+                    } => (
+                        self.table_route(node, slice, dst),
+                        injected_at,
+                        torus_hops,
+                        false,
                     ),
                 };
+                let on_table = matches!(route, RouteProgress::Table { .. });
+                let first_hop = match &route {
+                    RouteProgress::Unicast { spec, .. } => spec.next_dir().is_some(),
+                    RouteProgress::Table {
+                        set, slice, cur, ..
+                    } => self.table_next_hop(*set, *slice, *cur, dst.node).is_some(),
+                    _ => unreachable!("unicast injection"),
+                };
                 let mut vc = self.cfg.vc_policy.start();
-                if spec.next_dir().is_some() {
+                if first_hop {
                     vc.begin_dim();
                 }
                 let pid = self.packets.insert(PacketState {
                     packet: pkt,
-                    route: RouteProgress::Unicast { spec, dst },
+                    route,
                     vc,
                     pending_vc: None,
                     arrived_via: None,
-                    injected_at: now,
-                    torus_hops: 0,
+                    injected_at,
+                    torus_hops,
+                    rerouted: !fresh || on_table,
                     flits,
                     route_log: self.record_routes.then(Vec::new),
                 });
@@ -2178,7 +2659,15 @@ impl Sim {
                 let sent = self.try_send_to_router_from_ep(eidx, pid);
                 debug_assert!(sent, "credits were checked");
                 self.eps[eidx].inject.pop_front();
-                self.stats.injected_packets += 1;
+                if fresh {
+                    self.stats.injected_packets += 1;
+                    // Drained packets were already counted when pulled off
+                    // the dead link; fresh injections steered onto the
+                    // tables by the down-link check count here.
+                    if on_table {
+                        self.stats.rerouted_packets += 1;
+                    }
+                }
             }
             Destination::Multicast { group, tree } => {
                 let copies = self.expand_multicast_at(node, group, tree, None, &pkt, now);
@@ -2281,6 +2770,7 @@ impl Sim {
             injected_at: st.injected_at,
             delivered_at: now,
             torus_hops: st.torus_hops,
+            rerouted: st.rerouted,
             route_log: st.route_log,
         }));
     }
@@ -2316,7 +2806,7 @@ impl Sim {
             let pid = entry.pkt;
             let st = self.packets.get(pid);
             match st.route {
-                RouteProgress::Unicast { .. } => {
+                RouteProgress::Unicast { .. } | RouteProgress::Table { .. } => {
                     if !self.can_send_chan_to_router(cidx, pid) {
                         continue;
                     }
@@ -2411,17 +2901,34 @@ impl Sim {
     /// and into the next dimension if one remains) applies after the entry
     /// link.
     fn stage_unicast_arrival(&mut self, pid: PacketId) {
-        let st = self.packets.get_mut(pid);
-        let RouteProgress::Unicast { spec, .. } = &st.route else {
-            return;
-        };
+        let st = self.packets.get(pid);
         let arrived = st
             .arrived_via
             .expect("arrival transition outside torus arrival");
-        if spec.offsets[arrived.dim.index()] == 0 {
+        // For table packets the dimension run ends when the *next* hop (or
+        // ejection) departs from the arriving dimension — the same grouping
+        // the certifier's witness-route model uses.
+        let (dim_done, more) = match &st.route {
+            RouteProgress::Unicast { spec, .. } => (
+                spec.offsets[arrived.dim.index()] == 0,
+                spec.next_dir().is_some(),
+            ),
+            RouteProgress::Table {
+                set,
+                slice,
+                cur,
+                dst,
+            } => {
+                let next = self.table_next_hop(*set, *slice, *cur, dst.node);
+                (next.map(|d| d.dim) != Some(arrived.dim), next.is_some())
+            }
+            _ => return,
+        };
+        if dim_done {
+            let st = self.packets.get_mut(pid);
             let mut promoted = st.vc;
             promoted.end_dim();
-            if spec.next_dir().is_some() {
+            if more {
                 promoted.begin_dim();
             }
             st.pending_vc = Some(promoted);
@@ -2446,6 +2953,10 @@ impl Sim {
         let out_wire = self.chans[cidx].torus_out;
         let crosses = self.chans[cidx].crosses_dateline;
         if self.wire_occupied[in_wire] == 0 {
+            return;
+        }
+        if self.link_down_now(cidx) {
+            self.absorb_at_down_serializer(cidx, in_wire);
             return;
         }
         if self.chans[cidx].tokens < cost {
@@ -2518,14 +3029,22 @@ impl Sim {
         self.pop_wire(in_wire, v);
         {
             let dir = self.chans[cidx].chan.dir;
+            let next_node = {
+                let shape = &self.cfg.shape;
+                shape.id(shape.neighbor(shape.coord(self.chans[cidx].node), dir))
+            };
             let st = self.packets.get_mut(pid);
             let from_tvc = st.vc.vc_for(LinkGroup::T).0;
             let to_tvc = vc_after.vc_for(LinkGroup::T).0;
             st.vc = vc_after;
             st.torus_hops += 1;
             st.arrived_via = Some(dir);
-            if let RouteProgress::Unicast { spec, .. } = &mut st.route {
-                spec.take_hop(dir);
+            match &mut st.route {
+                RouteProgress::Unicast { spec, .. } => {
+                    spec.take_hop(dir);
+                }
+                RouteProgress::Table { cur, .. } => *cur = next_node,
+                _ => {}
             }
             if crosses && from_tvc != to_tvc {
                 self.record_event(
@@ -2629,6 +3148,7 @@ impl Sim {
                 arrived_via,
                 injected_at,
                 torus_hops,
+                rerouted: false,
                 flits: pkt.num_flits() as u8,
                 route_log: self.record_routes.then(Vec::new),
             }));
@@ -2649,6 +3169,7 @@ impl Sim {
                 arrived_via,
                 injected_at,
                 torus_hops,
+                rerouted: false,
                 flits: pkt.num_flits() as u8,
                 route_log: self.record_routes.then(Vec::new),
             }));

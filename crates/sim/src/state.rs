@@ -5,7 +5,7 @@ use anton_core::config::GlobalEndpoint;
 use anton_core::multicast::McGroupId;
 use anton_core::packet::Packet;
 use anton_core::routing::RouteSpec;
-use anton_core::topology::{Slice, TorusDir};
+use anton_core::topology::{NodeId, Slice, TorusDir};
 use anton_core::trace::GlobalLink;
 use anton_core::vc::{Vc, VcState};
 
@@ -20,6 +20,22 @@ pub enum RouteProgress {
     Unicast {
         /// Remaining inter-node route.
         spec: RouteSpec,
+        /// Final destination endpoint.
+        dst: GlobalEndpoint,
+    },
+    /// A unicast packet following an installed degraded route table —
+    /// per-node next-hop lookup instead of a precomputed spec. The packet
+    /// is pinned to the table set of the degradation epoch that (re)injected
+    /// it; the install gate certifies the union of every epoch's tables, so
+    /// mixed-set traffic in flight together stays deadlock-free.
+    Table {
+        /// Index into the simulator's installed table sets.
+        set: u8,
+        /// Slice whose table routes this packet.
+        slice: Slice,
+        /// Node the packet currently sits at (advanced at the serializer,
+        /// like a spec's `take_hop`).
+        cur: NodeId,
         /// Final destination endpoint.
         dst: GlobalEndpoint,
     },
@@ -64,6 +80,9 @@ pub struct PacketState {
     pub injected_at: u64,
     /// Inter-node hops taken so far.
     pub torus_hops: u16,
+    /// Whether the packet was ever ejected from a failed link and
+    /// re-entered over a degraded route table.
+    pub rerouted: bool,
     /// Flits occupied on channels.
     pub flits: u8,
     /// Link-level route log (only when `SimParams::record_routes`).
@@ -182,6 +201,7 @@ mod tests {
             arrived_via: None,
             injected_at: 0,
             torus_hops: 0,
+            rerouted: false,
             flits: 1,
             route_log: None,
         }

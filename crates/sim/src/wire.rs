@@ -323,6 +323,39 @@ impl Wire {
         }));
     }
 
+    /// Tears down an installed shim's go-back-N session (see
+    /// `LinkShim::drain_reset`) and hands back every buffered entry the
+    /// link layer had not yet delivered, restoring the sender-side credits
+    /// their flits held. The caller re-routes the packets; the wire is
+    /// left clean for the link's next up-window. Returns the drained
+    /// entries in their original send order (empty without a shim, or
+    /// when the shim is idle).
+    pub fn drain_shim_undelivered(
+        &mut self,
+        now: u64,
+        credits: &mut WireCredits,
+    ) -> Vec<(BufEntry, u8)> {
+        let Some(s) = &mut self.shim else {
+            return Vec::new();
+        };
+        let pending = s.shim.drain_reset(now);
+        debug_assert_eq!(
+            pending,
+            s.queue.len(),
+            "shim pending packets out of sync with the wire's entry queue"
+        );
+        let _ = pending;
+        let drained: Vec<(BufEntry, u8)> = s.queue.drain(..).collect();
+        for &(entry, vcidx) in &drained {
+            credits[vcidx as usize] += entry.flits;
+            debug_assert!(
+                credits[vcidx as usize] <= self.depth,
+                "drain restored more credits than the buffer depth"
+            );
+        }
+        drained
+    }
+
     /// This wire's lossy-link counters, if a shim is installed.
     pub fn shim_stats(&self) -> Option<ShimStats> {
         self.shim.as_ref().map(|s| s.shim.stats())

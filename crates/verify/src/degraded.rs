@@ -1,0 +1,739 @@
+//! Degraded-topology verification: building and certifying fault-aware
+//! route tables so a machine with `Down` links *reroutes* instead of
+//! deadlocking.
+//!
+//! The load-bearing entry point is the **explicit table certificate**
+//! ([`certify_tables`]): every `(src, dst)` path of a concrete table set
+//! is walked through the reference tracer, the resulting
+//! channel-dependency edges are overlaid on the *healthy* minimal-routing
+//! graph (randomized minimal traffic that can be in flight alongside the
+//! rerouted traffic), and the union is checked for cycles. The simulator
+//! certifies the union of every table it will ever install for a run —
+//! packets pinned to different degradation epochs coexist, so their
+//! dependency edges must be acyclic *together*, not just per epoch.
+//!
+//! Why per-degradation certification, rather than one certificate for the
+//! whole direction-ordered family? Because the family is genuinely cyclic
+//! on tori with `k ≥ 4`. A long rerouted arc that crosses its dateline
+//! keeps traveling past it, so it arrives at nodes far from the dateline
+//! still on the *promoted* T-VC with a low M-level — arrivals healthy
+//! minimal routing can never produce there. Those arrivals open
+//! mesh-level dependency chains at low VCs that couple opposite-direction
+//! rings on *different slices* through the shared on-chip mesh, closing a
+//! cycle ([`certify_family`] extracts a concrete 16-edge counterexample
+//! on a 4×4×4 torus; the `long_arc_family_is_cyclic` test pins it). Any
+//! one degradation only bends a few rings, so concrete table sets
+//! generally stay acyclic — but that must be *proved per table set*,
+//! which is exactly what this module does and what the simulator's
+//! install gate enforces. This mirrors why full-blown fault-tolerant
+//! routing needs per-route-set proofs rather than a single static
+//! argument.
+//!
+//! [`verify_degraded`] ties generation ([`build_degraded_tables`]) and
+//! certification together and reports failures through the
+//! `AV020`/`AV021` lint codes: a down set that partitions the network (no
+//! table exists) and a degradation whose tables cannot be certified
+//! deadlock-free (never installed).
+
+use std::collections::HashSet;
+
+use anton_analysis::deadlock::ChannelVc;
+use anton_core::chip::{ChanId, LinkGroup, LocalEndpointId, LocalLink, MeshCoord};
+use anton_core::config::{GlobalEndpoint, MachineConfig};
+use anton_core::route_table::{build_route_table, DownLinkSet, RouteTable, TableMethod};
+use anton_core::topology::{NodeId, Slice};
+use anton_core::trace::{trace_table_hops, GlobalLink};
+use anton_core::vc::Vc;
+
+use crate::graph::SymGraph;
+use crate::model::VerifyModel;
+use crate::report::{CycleCounterexample, DeadlockCertificate, Diagnostic, Severity, WitnessRoute};
+use crate::symbolic::{generate, generate_into, reachable_mstates, CaptureSink};
+
+/// Certifies the direction-ordered degraded route *family* — the
+/// down-set-independent over-approximation admitting arcs up to `k − 1`
+/// hops in either direction of every ring at once.
+///
+/// This is an **analysis tool, not an install gate**: the family is
+/// provably cyclic for `k ≥ 4` (see the module docs — long crossed arcs
+/// couple opposite-direction rings across slices through the shared
+/// on-chip mesh), which is precisely why the simulator certifies each
+/// concrete table set explicitly with [`certify_tables`] instead of
+/// relying on one static certificate.
+pub fn certify_family(cfg: &MachineConfig) -> DeadlockCertificate {
+    crate::symbolic::certify(&VerifyModel::degraded_family(cfg.clone()))
+}
+
+/// Explicitly certifies a concrete set of route tables: every
+/// `(src, dst)` path is walked through the reference tracer, the
+/// resulting channel-dependency edges are overlaid on the *healthy*
+/// minimal-routing graph (the randomized minimal traffic that can be in
+/// flight at the same time), and the union is checked for cycles.
+///
+/// Pass **every table that can have packets in flight simultaneously** —
+/// for a simulation run with several degradation epochs, the union of all
+/// epochs' tables — since cross-table couplings through the shared mesh
+/// are exactly the failure mode a per-epoch check would miss.
+pub fn certify_tables(cfg: &MachineConfig, tables: &[RouteTable]) -> DeadlockCertificate {
+    let model = VerifyModel::new(cfg.clone());
+    let policy = cfg.vc_policy;
+    let vcs = policy
+        .num_vcs(LinkGroup::M)
+        .max(policy.num_vcs(LinkGroup::T));
+    let mut g = SymGraph::new(cfg, usize::from(vcs));
+    generate_into(&model, &mut g);
+    for table in tables {
+        add_table_edges(cfg, table, &mut g);
+    }
+    let base = DeadlockCertificate {
+        policy,
+        datelines: true,
+        nodes: g.num_live_nodes(),
+        edges: g.num_edges(),
+        acyclic: true,
+        counterexample: None,
+    };
+    let Some(cycle) = g.find_cycle() else {
+        return base;
+    };
+    let cycle = g.minimize_cycle(cycle);
+    let cvs: Vec<ChannelVc> = cycle.iter().map(|&i| g.decode(i)).collect();
+    // Witnesses: recover what the family generator can, then scan the
+    // table paths for the remaining (table-originated) cycle edges.
+    let mut cap = CaptureSink::for_cycle(&cvs);
+    let mstates = reachable_mstates(&model);
+    generate(&model, &mstates, &mut cap);
+    let mut witnesses = crate::witness::synthesize(&model, &cvs, &cap, false);
+    table_witnesses(cfg, tables, &cvs, &mut witnesses);
+    DeadlockCertificate {
+        acyclic: false,
+        counterexample: Some(CycleCounterexample {
+            cycle: cvs,
+            witnesses,
+        }),
+        ..base
+    }
+}
+
+/// Emits every channel-dependency edge the table's routes produce: the
+/// full link-level trace of each `(src, dst)` path (with endpoint 0
+/// standing in for the endpoint-independent torus portion), plus the
+/// injection and delivery mesh chains of every other endpoint, recovered
+/// from the adapter contexts the walks recorded.
+fn add_table_edges(cfg: &MachineConfig, table: &RouteTable, g: &mut SymGraph) {
+    let shape = cfg.shape;
+    let chip = &cfg.chip;
+    let slice = table.slice();
+    let ep0 = LocalEndpointId(0);
+    let mut crosses = |n, d| shape.hop_crosses_dateline(n, d);
+    let n = shape.num_nodes();
+    // Per-source first-departure adapters and per-destination terminal
+    // arrivals, with the VCs requested there.
+    let mut departs: Vec<HashSet<(ChanId, Vc)>> = vec![HashSet::new(); n];
+    let mut arrivals: Vec<HashSet<(ChanId, Vc, Vc)>> = vec![HashSet::new(); n];
+    for src in shape.nodes() {
+        for dst in shape.nodes() {
+            if src == dst {
+                continue;
+            }
+            let hops = table
+                .path(shape.id(src), shape.id(dst))
+                .expect("certified tables have no unreachable pairs");
+            let steps =
+                trace_table_hops(cfg, src, Some(ep0), &hops, slice, Some(ep0), &mut crosses);
+            for w in steps.windows(2) {
+                g.add_edge(w[0], w[1]);
+            }
+            for (link, vc) in &steps {
+                if let GlobalLink::Local {
+                    link: LocalLink::RouterToChan(c),
+                    ..
+                } = link
+                {
+                    departs[shape.id(src).0 as usize].insert((*c, *vc));
+                    break;
+                }
+            }
+            let m_final = steps.last().expect("trace is never empty").1;
+            for (link, vc) in steps.iter().rev() {
+                if let GlobalLink::Local {
+                    link: LocalLink::ChanToRouter(c),
+                    ..
+                } = link
+                {
+                    arrivals[shape.id(dst).0 as usize].insert((*c, *vc, m_final));
+                    break;
+                }
+            }
+        }
+    }
+    let m0 = cfg.vc_policy.start().vc_for(LinkGroup::M);
+    for nid in 0..n {
+        let node = NodeId(nid as u32);
+        for ep in chip.endpoints() {
+            for &(depart, tvc) in &departs[nid] {
+                let entry = (
+                    GlobalLink::Local {
+                        node,
+                        link: LocalLink::EpToRouter(ep),
+                    },
+                    m0,
+                );
+                let exit = (
+                    GlobalLink::Local {
+                        node,
+                        link: LocalLink::RouterToChan(depart),
+                    },
+                    tvc,
+                );
+                mesh_chain(
+                    cfg,
+                    node,
+                    entry,
+                    chip.endpoint_router(ep),
+                    chip.chan_router(depart),
+                    m0,
+                    exit,
+                    g,
+                );
+            }
+            for &(arrive, tvc, m) in &arrivals[nid] {
+                let entry = (
+                    GlobalLink::Local {
+                        node,
+                        link: LocalLink::ChanToRouter(arrive),
+                    },
+                    tvc,
+                );
+                let exit = (
+                    GlobalLink::Local {
+                        node,
+                        link: LocalLink::RouterToEp(ep),
+                    },
+                    m,
+                );
+                mesh_chain(
+                    cfg,
+                    node,
+                    entry,
+                    chip.chan_router(arrive),
+                    chip.endpoint_router(ep),
+                    m,
+                    exit,
+                    g,
+                );
+            }
+            // Node-local delivery between endpoint pairs.
+            for ep2 in chip.endpoints() {
+                let entry = (
+                    GlobalLink::Local {
+                        node,
+                        link: LocalLink::EpToRouter(ep),
+                    },
+                    m0,
+                );
+                let exit = (
+                    GlobalLink::Local {
+                        node,
+                        link: LocalLink::RouterToEp(ep2),
+                    },
+                    m0,
+                );
+                mesh_chain(
+                    cfg,
+                    node,
+                    entry,
+                    chip.endpoint_router(ep),
+                    chip.endpoint_router(ep2),
+                    m0,
+                    exit,
+                    g,
+                );
+            }
+        }
+    }
+}
+
+/// Adds the edge chain `entry → mesh hops → exit` following the configured
+/// direction-order route between two on-chip routers.
+#[allow(clippy::too_many_arguments)]
+fn mesh_chain(
+    cfg: &MachineConfig,
+    node: NodeId,
+    entry: ChannelVc,
+    from: MeshCoord,
+    to: MeshCoord,
+    m: Vc,
+    exit: ChannelVc,
+    g: &mut SymGraph,
+) {
+    let mut prev = entry;
+    let mut cur = from;
+    while let Some(d) = cfg.dir_order.next_dir(cur, to) {
+        let mesh = (
+            GlobalLink::Local {
+                node,
+                link: LocalLink::Mesh { from: cur, dir: d },
+            },
+            m,
+        );
+        g.add_edge(prev, mesh);
+        prev = mesh;
+        cur = cur.step(d).expect("direction-order route stays on chip");
+    }
+    g.add_edge(prev, exit);
+}
+
+/// Finds concrete table paths witnessing cycle edges the family generator
+/// could not account for.
+fn table_witnesses(
+    cfg: &MachineConfig,
+    tables: &[RouteTable],
+    cycle: &[ChannelVc],
+    witnesses: &mut Vec<WitnessRoute>,
+) {
+    const MAX_WITNESSES: usize = 8;
+    let shape = cfg.shape;
+    let ep0 = LocalEndpointId(0);
+    let have: HashSet<(ChannelVc, ChannelVc)> =
+        witnesses.iter().map(|w| (w.holds, w.waits_for)).collect();
+    let mut crosses = |n, d| shape.hop_crosses_dateline(n, d);
+    for i in 0..cycle.len() {
+        if witnesses.len() >= MAX_WITNESSES {
+            return;
+        }
+        let holds = cycle[i];
+        let waits_for = cycle[(i + 1) % cycle.len()];
+        if have.contains(&(holds, waits_for)) {
+            continue;
+        }
+        'scan: for table in tables {
+            for src in shape.nodes() {
+                for dst in shape.nodes() {
+                    if src == dst {
+                        continue;
+                    }
+                    let Some(hops) = table.path(shape.id(src), shape.id(dst)) else {
+                        continue;
+                    };
+                    let steps = trace_table_hops(
+                        cfg,
+                        src,
+                        Some(ep0),
+                        &hops,
+                        table.slice(),
+                        Some(ep0),
+                        &mut crosses,
+                    );
+                    if steps.windows(2).any(|w| w[0] == holds && w[1] == waits_for) {
+                        witnesses.push(WitnessRoute {
+                            src: GlobalEndpoint {
+                                node: shape.id(src),
+                                ep: ep0,
+                            },
+                            dst: GlobalEndpoint {
+                                node: shape.id(dst),
+                                ep: ep0,
+                            },
+                            hops,
+                            slice: table.slice(),
+                            holds,
+                            waits_for,
+                        });
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of building and certifying degraded route tables for one
+/// down-link set.
+#[derive(Debug)]
+pub struct DegradedVerdict {
+    /// The generated tables, one per slice in slice order (fewer when
+    /// generation failed for a slice).
+    pub tables: Vec<RouteTable>,
+    /// The certificate over the installed system, when generation
+    /// succeeded far enough to certify.
+    pub certificate: Option<DeadlockCertificate>,
+    /// `AV020`/`AV021` diagnostics raised along the way.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl DegradedVerdict {
+    /// Whether the degradation is certified for install: a table exists
+    /// for every slice, no error diagnostics, and the certificate is
+    /// acyclic. The simulator refuses to install anything less.
+    pub fn certified(&self) -> bool {
+        self.tables.len() == Slice::ALL.len()
+            && self
+                .diagnostics
+                .iter()
+                .all(|d| d.severity != Severity::Error)
+            && self.certificate.as_ref().is_some_and(|c| c.acyclic)
+    }
+}
+
+/// Builds the per-slice degraded route tables for one down-link set and
+/// structurally validates them, reporting failures as `AV020`/`AV021`
+/// diagnostics. Returns fewer than [`Slice::ALL`] tables when a slice
+/// fails. This is the generation half of [`verify_degraded`]; the
+/// simulator calls it per degradation epoch, then certifies the union of
+/// all epochs' tables with [`certify_tables`].
+pub fn build_degraded_tables(
+    cfg: &MachineConfig,
+    downs: &DownLinkSet,
+) -> (Vec<RouteTable>, Vec<Diagnostic>) {
+    let mut diagnostics = Vec::new();
+    let mut tables = Vec::new();
+    for slice in Slice::ALL {
+        match build_route_table(&cfg.shape, slice, downs) {
+            Ok(t) => tables.push(t),
+            Err(e) => diagnostics.push(table_error_diag(slice, downs, &e)),
+        }
+    }
+    // BFS tables must satisfy the VC-state structural rules before the
+    // symbolic walk is even defined on their paths.
+    tables.retain(|t| {
+        if t.method() != TableMethod::Bfs {
+            return true;
+        }
+        match t.validate() {
+            Ok(()) => true,
+            Err(e) => {
+                diagnostics.push(
+                    Diagnostic::error(
+                        "AV021",
+                        format!(
+                            "degraded {} table for {} is not VC-compatible: {e}",
+                            t.method(),
+                            t.slice()
+                        ),
+                    )
+                    .with("slice", t.slice())
+                    .with("down_links", downs.len()),
+                );
+                false
+            }
+        }
+    });
+    (tables, diagnostics)
+}
+
+/// Builds and certifies the degraded route tables for a down-link set:
+/// generation plus the explicit per-path certification of
+/// [`certify_tables`]. This is both the offline check behind
+/// `verify_config --down-links` and the simulator's install gate for a
+/// single-epoch fault schedule.
+pub fn verify_degraded(cfg: &MachineConfig, downs: &DownLinkSet) -> DegradedVerdict {
+    let (tables, mut diagnostics) = build_degraded_tables(cfg, downs);
+    if tables.len() < Slice::ALL.len() {
+        return DegradedVerdict {
+            tables,
+            certificate: None,
+            diagnostics,
+        };
+    }
+    let certificate = certify_tables(cfg, &tables);
+    if !certificate.acyclic {
+        let mut d = Diagnostic::error(
+            "AV021",
+            format!("degraded route tables are uncertifiable — {certificate}"),
+        )
+        .with("down_links", downs.len());
+        if let Some(ce) = &certificate.counterexample {
+            d = d.with("cycle_length", ce.cycle.len());
+            if let Some(w) = ce.witnesses.first() {
+                d = d.with("witness", w);
+            }
+        }
+        diagnostics.push(d);
+    }
+    DegradedVerdict {
+        tables,
+        certificate: Some(certificate),
+        diagnostics,
+    }
+}
+
+fn table_error_diag(
+    slice: Slice,
+    downs: &DownLinkSet,
+    err: &anton_core::route_table::RouteTableError,
+) -> Diagnostic {
+    use anton_core::route_table::RouteTableError;
+    match err {
+        RouteTableError::Unreachable { src, dst } => Diagnostic::error(
+            "AV020",
+            format!("down links partition {slice}: no live path from {src} to {dst}"),
+        )
+        .with("slice", slice)
+        .with("src", src)
+        .with("dst", dst)
+        .with("down_links", downs.len()),
+        e @ RouteTableError::NotVcCompatible { .. } => Diagnostic::error(
+            "AV021",
+            format!("degraded table for {slice} is not VC-compatible: {e}"),
+        )
+        .with("slice", slice)
+        .with("down_links", downs.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_core::topology::{Dim, NodeCoord, Sign, TorusDir, TorusShape};
+
+    fn chan(dim: Dim, sign: Sign, slice: Slice) -> ChanId {
+        ChanId {
+            dir: TorusDir::new(dim, sign),
+            slice,
+        }
+    }
+
+    #[test]
+    fn long_arc_family_is_cyclic() {
+        // The negative result that shapes this module's API: the
+        // down-set-independent long-arc family is NOT deadlock-free once
+        // the torus is large enough for a crossed arc to continue ≥ 2
+        // hops past its dateline (k ≥ 4). A promoted-VC arrival far from
+        // the dateline opens low-VC mesh chains that couple
+        // opposite-direction rings across slices, closing a cycle. Hence
+        // every concrete table set must be certified explicitly.
+        let cert = certify_family(&MachineConfig::new(TorusShape::cube(4)));
+        assert!(!cert.acyclic, "family unexpectedly certified: {cert}");
+        let ce = cert.counterexample.expect("cycle extracted");
+        assert!(!ce.witnesses.is_empty(), "cycle has concrete witnesses");
+        // On k = 3 every crossed arc ends at most one hop past the
+        // dateline — the positional property healthy routing relies on —
+        // so the family is still sound there.
+        let small = certify_family(&MachineConfig::new(TorusShape::cube(3)));
+        assert!(small.acyclic, "{small}");
+    }
+
+    #[test]
+    fn explicit_tables_are_subset_of_family_graph() {
+        // Cross-validates the explicit path walker against the symbolic
+        // generator: every direction-ordered degraded table's dependency
+        // edges must already be present in the (over-approximating)
+        // long-arc family graph.
+        let cfg = MachineConfig::new(TorusShape::cube(3));
+        let model = VerifyModel::degraded_family(cfg.clone());
+        let vcs = usize::from(
+            cfg.vc_policy
+                .num_vcs(LinkGroup::M)
+                .max(cfg.vc_policy.num_vcs(LinkGroup::T)),
+        );
+        let mut family = SymGraph::new(&cfg, vcs);
+        generate_into(&model, &mut family);
+        let family_edges: HashSet<(ChannelVc, ChannelVc)> = family.edges().collect();
+        // Healthy plus a sample of single-link downs.
+        let shape = cfg.shape;
+        let mut down_sets = vec![DownLinkSet::empty(shape)];
+        for (node, dim, sign) in [
+            (NodeCoord::new(0, 0, 0), Dim::X, Sign::Plus),
+            (NodeCoord::new(1, 2, 0), Dim::Y, Sign::Minus),
+            (NodeCoord::new(2, 1, 1), Dim::Z, Sign::Plus),
+        ] {
+            for slice in Slice::ALL {
+                down_sets.push(DownLinkSet::from_links(
+                    shape,
+                    [(shape.id(node), chan(dim, sign, slice))],
+                ));
+            }
+        }
+        for downs in &down_sets {
+            let mut explicit = SymGraph::new(&cfg, vcs);
+            for slice in Slice::ALL {
+                let table = build_route_table(&shape, slice, downs).unwrap();
+                assert_eq!(table.method(), TableMethod::DirectionOrdered);
+                add_table_edges(&cfg, &table, &mut explicit);
+            }
+            for (from, to) in explicit.edges() {
+                assert!(
+                    family_edges.contains(&(from, to)),
+                    "table edge {}@{} -> {}@{} missing from family graph ({} downs)",
+                    from.0,
+                    from.1,
+                    to.0,
+                    to.1,
+                    downs.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_down_link_verifies_end_to_end() {
+        // Every direction (both signs of all three dims, both slices) of
+        // a single down link at an off-origin node must build and certify
+        // — the load-bearing claim behind "any single external link Down
+        // survives". The integration suite sweeps positions; this unit
+        // test sweeps channels.
+        let cfg = MachineConfig::new(TorusShape::cube(3));
+        let shape = cfg.shape;
+        let node = shape.id(NodeCoord::new(1, 2, 0));
+        for dir in TorusDir::ALL {
+            for slice in Slice::ALL {
+                let downs = DownLinkSet::from_links(shape, [(node, ChanId { dir, slice })]);
+                let verdict = verify_degraded(&cfg, &downs);
+                assert!(
+                    verdict.certified(),
+                    "down {dir:?} {slice}: {:?}",
+                    verdict.diagnostics
+                );
+                assert_eq!(verdict.tables.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn single_down_link_certifies_past_family_boundary() {
+        // cube(4) is where the long-arc family goes cyclic — but a
+        // concrete single-link degradation only bends one ring on one
+        // slice, and its explicit certificate (healthy overlay + long-way
+        // table) stays acyclic. Down Z- at z=3 forces the 3-hop
+        // long-way +Z arc through the dateline, the exact arc shape that
+        // breaks the family.
+        let cfg = MachineConfig::new(TorusShape::cube(4));
+        let shape = cfg.shape;
+        let downs = DownLinkSet::from_links(
+            shape,
+            [(
+                shape.id(NodeCoord::new(0, 2, 3)),
+                chan(Dim::Z, Sign::Minus, Slice(0)),
+            )],
+        );
+        let verdict = verify_degraded(&cfg, &downs);
+        assert!(verdict.certified(), "{:?}", verdict.diagnostics);
+    }
+
+    #[test]
+    fn cross_slice_epoch_union_is_rejected() {
+        // The union hazard the per-epoch gate would miss: one epoch takes
+        // down Z- (slice 0) at z=3 of ring (x=0, y=2), another takes down
+        // Z+ (slice 1) at z=0 of the same ring. Each epoch alone
+        // certifies; their coexisting tables route the ring's long way in
+        // *opposite* directions on the two slices, and the promoted-VC
+        // arrivals couple through the shared mesh into a real dependency
+        // cycle. The certifier must reject the union.
+        let cfg = MachineConfig::new(TorusShape::cube(4));
+        let shape = cfg.shape;
+        let a = DownLinkSet::from_links(
+            shape,
+            [(
+                shape.id(NodeCoord::new(0, 2, 3)),
+                chan(Dim::Z, Sign::Minus, Slice(0)),
+            )],
+        );
+        let b = DownLinkSet::from_links(
+            shape,
+            [(
+                shape.id(NodeCoord::new(0, 2, 0)),
+                chan(Dim::Z, Sign::Plus, Slice(1)),
+            )],
+        );
+        let mut all = Vec::new();
+        for downs in [&a, &b] {
+            assert!(verify_degraded(&cfg, downs).certified());
+            let (tables, diags) = build_degraded_tables(&cfg, downs);
+            assert!(diags.is_empty(), "{diags:?}");
+            all.extend(tables);
+        }
+        let cert = certify_tables(&cfg, &all);
+        assert!(!cert.acyclic, "union unexpectedly certified: {cert}");
+        let ce = cert.counterexample.expect("cycle extracted");
+        assert!(!ce.witnesses.is_empty());
+    }
+
+    #[test]
+    fn multi_epoch_table_union_certifies() {
+        // Packets pinned to different degradation epochs coexist, so the
+        // simulator certifies the union of all epochs' tables at once.
+        // Two different single-link degradations (different rings,
+        // different slices) plus healthy traffic must be jointly acyclic.
+        let cfg = MachineConfig::new(TorusShape::cube(3));
+        let shape = cfg.shape;
+        let epoch_downs = [
+            DownLinkSet::from_links(
+                shape,
+                [(
+                    shape.id(NodeCoord::new(1, 1, 0)),
+                    chan(Dim::X, Sign::Plus, Slice(0)),
+                )],
+            ),
+            DownLinkSet::from_links(
+                shape,
+                [(
+                    shape.id(NodeCoord::new(0, 2, 1)),
+                    chan(Dim::Z, Sign::Minus, Slice(1)),
+                )],
+            ),
+        ];
+        let mut all = Vec::new();
+        for downs in &epoch_downs {
+            let (tables, diags) = build_degraded_tables(&cfg, downs);
+            assert!(diags.is_empty(), "{diags:?}");
+            all.extend(tables);
+        }
+        let cert = certify_tables(&cfg, &all);
+        assert!(cert.acyclic, "{cert}");
+    }
+
+    #[test]
+    fn severed_ring_bfs_tables_certify_explicitly() {
+        let cfg = MachineConfig::new(TorusShape::new(4, 4, 1));
+        let shape = cfg.shape;
+        // Same double-down scenario as route_table's BFS test: the y=0
+        // x-ring is blocked in both rotations for the pair (0,0)->(2,0).
+        let downs = DownLinkSet::from_links(
+            shape,
+            [
+                (
+                    shape.id(NodeCoord::new(1, 0, 0)),
+                    chan(Dim::X, Sign::Plus, Slice(0)),
+                ),
+                (
+                    shape.id(NodeCoord::new(3, 0, 0)),
+                    chan(Dim::X, Sign::Minus, Slice(0)),
+                ),
+            ],
+        );
+        let verdict = verify_degraded(&cfg, &downs);
+        assert!(verdict.certified(), "{:?}", verdict.diagnostics);
+        assert!(verdict
+            .tables
+            .iter()
+            .any(|t| t.method() == TableMethod::Bfs));
+    }
+
+    #[test]
+    fn partitioned_network_reports_av020() {
+        let cfg = MachineConfig::new(TorusShape::new(2, 1, 1));
+        let n0 = NodeId(0);
+        let downs = DownLinkSet::from_links(
+            cfg.shape,
+            [
+                (n0, chan(Dim::X, Sign::Plus, Slice(0))),
+                (n0, chan(Dim::X, Sign::Minus, Slice(0))),
+            ],
+        );
+        let verdict = verify_degraded(&cfg, &downs);
+        assert!(!verdict.certified());
+        assert!(verdict.diagnostics.iter().any(|d| d.code == "AV020"));
+    }
+
+    #[test]
+    fn healthy_tables_verify() {
+        let cfg = MachineConfig::new(TorusShape::cube(3));
+        let verdict = verify_degraded(&cfg, &DownLinkSet::empty(cfg.shape));
+        assert!(verdict.certified());
+        assert!(verdict
+            .tables
+            .iter()
+            .all(|t| t.method() == TableMethod::DirectionOrdered));
+    }
+}

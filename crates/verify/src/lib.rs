@@ -10,6 +10,14 @@
 //!   concrete cycle with witness routes when it is not. A cross-check mode
 //!   ([`cross_check`]) compares the symbolic graph edge-for-edge against
 //!   the route-enumerating checker in `anton-analysis` on small machines.
+//! - **Degraded-topology certification** ([`degraded`]): builds fault-aware
+//!   route tables over the live link graph and certifies each concrete
+//!   table set explicitly — every path walked through the reference
+//!   tracer, overlaid on the healthy minimal-routing graph, the union
+//!   checked for cycles. (A single down-set-independent certificate is
+//!   provably impossible: the long-arc route family is cyclic for
+//!   `k ≥ 4`.) The simulator refuses to install anything uncertified
+//!   (`AV020`/`AV021`).
 //! - **Config lint engine** ([`lint_config`], [`lint_params`],
 //!   [`lint_weights`]): ~18 typed checks with stable `AV0xx` codes covering
 //!   VC budgets, dateline placement, direction-order tables, buffer and
@@ -24,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod degraded;
 pub mod graph;
 pub mod lint;
 pub mod model;
@@ -32,6 +41,9 @@ pub mod symbolic;
 mod witness;
 
 pub use anton_analysis::deadlock::{ChannelVc, RouteEnumeration};
+pub use degraded::{
+    build_degraded_tables, certify_family, certify_tables, verify_degraded, DegradedVerdict,
+};
 pub use lint::{lint_config, lint_model, lint_params, lint_weights, ParamsView};
 pub use model::VerifyModel;
 pub use report::{

@@ -26,6 +26,8 @@
 //! | AV017 | error/warning | go-back-N window or timeout misconfigured |
 //! | AV018 | error/warning | non-finite or negative energy coefficient |
 //! | AV019 | error    | shard count zero or above the node count |
+//! | AV020 | error    | down links partition the network (unreachable node pairs) |
+//! | AV021 | error    | degraded route tables uncertifiable (VC-incompatible or cyclic) |
 //! | AV101 | error    | unknown traffic pattern / workload name |
 //! | AV102 | error    | torus extent outside `1..=16` |
 //! | AV103 | error    | cannot write an output file |

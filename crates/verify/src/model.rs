@@ -18,6 +18,13 @@ pub struct VerifyModel {
     /// unsafe torus configuration — and must make the verifier produce a
     /// concrete dependency cycle.
     pub datelines: bool,
+    /// Whether the model covers the *degraded route family*: torus arcs up
+    /// to `k − 1` hops (the long way around a ring, as direction-ordered
+    /// degraded route tables take past a down link) in either direction, in
+    /// addition to healthy minimal arcs. A simple arc still crosses its
+    /// ring's dateline at most once regardless of length, so the same
+    /// abstract state machine applies; the edge set is strictly larger.
+    pub long_arcs: bool,
 }
 
 impl VerifyModel {
@@ -26,6 +33,7 @@ impl VerifyModel {
         VerifyModel {
             cfg,
             datelines: true,
+            long_arcs: false,
         }
     }
 
@@ -34,6 +42,26 @@ impl VerifyModel {
         VerifyModel {
             cfg,
             datelines: false,
+            long_arcs: false,
+        }
+    }
+
+    /// The degraded-family model: every direction-ordered route the machine
+    /// can carry — healthy minimal dimension-order routing *and* every
+    /// direction-ordered degraded table (arcs up to `k − 1` hops, either
+    /// sign) — under active datelines.
+    ///
+    /// This over-approximation is **cyclic for `k ≥ 4`**: crossed long arcs
+    /// deliver promoted-VC arrivals far from the dateline, whose low-VC
+    /// mesh chains couple opposite-direction rings across slices (see
+    /// `anton_verify::degraded` for the full story). It exists as an
+    /// analysis model and counterexample generator; concrete table sets
+    /// are certified explicitly instead.
+    pub fn degraded_family(cfg: MachineConfig) -> VerifyModel {
+        VerifyModel {
+            cfg,
+            datelines: true,
+            long_arcs: true,
         }
     }
 
@@ -52,23 +80,32 @@ impl VerifyModel {
             .collect()
     }
 
-    /// Directions minimal routing can depart in along `dim`.
+    /// Directions routing can depart in along `dim`.
     ///
     /// For `k == 2` the minimal tie-break always resolves to `+`
     /// ([`anton_core::topology::TorusShape::minimal_offset_choices`]), so
-    /// `-` arcs are unreachable and must not enter the dependency graph.
+    /// `-` arcs are unreachable and must not enter the dependency graph —
+    /// unless the model covers the degraded family, where a table may route
+    /// `-` because the `+` link is down.
     pub fn signs_for(&self, dim: Dim) -> &'static [Sign] {
-        if self.cfg.shape.k(dim) == 2 {
+        if self.cfg.shape.k(dim) == 2 && !self.long_arcs {
             &[Sign::Plus]
         } else {
             &[Sign::Plus, Sign::Minus]
         }
     }
 
-    /// Longest minimal arc along `dim` (`⌊k/2⌋` hops).
+    /// Longest torus arc along `dim` the model admits: `⌊k/2⌋` hops
+    /// (minimal routing) or `k − 1` (the degraded family's long way
+    /// around).
     #[inline]
     pub fn max_arc_len(&self, dim: Dim) -> u8 {
-        self.cfg.shape.k(dim) / 2
+        let k = self.cfg.shape.k(dim);
+        if self.long_arcs {
+            k.saturating_sub(1)
+        } else {
+            k / 2
+        }
     }
 
     /// Whether a minimal arc along `dim` can cross a dateline under this

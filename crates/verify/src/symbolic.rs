@@ -520,9 +520,16 @@ pub(crate) fn build_sym_graph(model: &VerifyModel) -> SymGraph {
         .num_vcs(LinkGroup::M)
         .max(policy.num_vcs(LinkGroup::T));
     let mut g = SymGraph::new(&model.cfg, usize::from(vcs));
-    let mstates = reachable_mstates(model);
-    generate(model, &mstates, &mut GraphSink(&mut g));
+    generate_into(model, &mut g);
     g
+}
+
+/// Emits the model's full symbolic edge set into an existing graph (used by
+/// the degraded-table certifier to overlay explicit table edges on the
+/// family graph).
+pub(crate) fn generate_into(model: &VerifyModel, g: &mut SymGraph) {
+    let mstates = reachable_mstates(model);
+    generate(model, &mstates, &mut GraphSink(g));
 }
 
 /// Symbolically certifies a model deadlock-free, or extracts a minimal
@@ -549,7 +556,7 @@ pub fn certify(model: &VerifyModel) -> DeadlockCertificate {
     let mut cap = CaptureSink::for_cycle(&cvs);
     let mstates = reachable_mstates(model);
     generate(model, &mstates, &mut cap);
-    let witnesses = crate::witness::synthesize(model, &cvs, &cap);
+    let witnesses = crate::witness::synthesize(model, &cvs, &cap, true);
     DeadlockCertificate {
         acyclic: false,
         counterexample: Some(CycleCounterexample {
