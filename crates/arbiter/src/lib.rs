@@ -11,7 +11,10 @@
 //! * [`accumulator`] — the sliding-window accumulator update of Figure 6;
 //! * [`iwarb`] — the composed [`InverseWeightedArbiter`] providing equality
 //!   of service over blends of pre-characterized traffic patterns;
-//! * [`baseline`] — round-robin, age-based, and fixed-priority baselines.
+//! * [`baseline`] — round-robin, age-based, and fixed-priority baselines;
+//! * [`bitset`] — the branchless bitmask arbitration core the simulator's
+//!   hot path uses: every policy over `u64` request lanes, property-tested
+//!   per-grant-equivalent to the reference arbiters above.
 //!
 //! All arbiters implement [`PortArbiter`], the interface the simulator's
 //! router output ports use.
@@ -21,11 +24,13 @@
 
 pub mod accumulator;
 pub mod baseline;
+pub mod bitset;
 pub mod iwarb;
 pub mod priority;
 
 pub use accumulator::AccumulatorBank;
 pub use baseline::{AgeArbiter, FixedPriorityArbiter, RoundRobinArbiter};
+pub use bitset::BitsetArbiter;
 pub use iwarb::InverseWeightedArbiter;
 
 /// One arbitration request: a head packet waiting at an arbiter input.

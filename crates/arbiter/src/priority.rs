@@ -105,6 +105,25 @@ pub fn priority_arb_spec(req: u32, pri: &[u8], rr_therm: u32, k: usize, p: usize
     best.map(|(_, i)| i)
 }
 
+/// 64-lane mathematical specification of the two-priority-level arbiter
+/// (`p = 2`) with priorities given as a bitmask instead of a level slice:
+/// grant the requesting lane with the maximum `(effective level, index)`
+/// pair. Reference model for [`crate::bitset::priority_arb_fast2_64`].
+pub fn priority_arb_spec64(req: u64, pri: u64, rr_therm: u64) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for i in 0..64 {
+        if req >> i & 1 == 0 {
+            continue;
+        }
+        let key = 2 * (pri >> i & 1) as usize + (rr_therm >> i & 1) as usize;
+        let level = key.div_ceil(2).min(2);
+        if best.is_none_or(|(bl, bi)| (level, i) > (bl, bi)) {
+            best = Some((level, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
 /// Constant-time evaluation of the two-priority-level arbiter: semantically
 /// identical to [`priority_arb_rtl`] with `p = 2` but using machine bit
 /// operations instead of the unrolled-vector construction. Used on the

@@ -199,16 +199,17 @@ impl Metrics {
         let mut occ: Vec<Vec<[u64; OCC_BUCKETS]>> = vec![Vec::new(); LinkClass::ALL.len()];
         let mut shimmed_links = 0usize;
         let mut shim_totals = ShimStats::default();
-        for wire in sim.wires() {
+        for (w, wire) in sim.wires().iter().enumerate() {
             if let Some(stats) = wire.shim_stats() {
                 shimmed_links += 1;
                 shim_totals.merge(&stats);
             }
+            let carried = sim.wire_flits_carried(w);
             let ci = LinkClass::of(&wire.label) as usize;
             let (wires, flits, peak) = &mut per_class[ci];
             *wires += 1;
-            *flits += wire.flits_carried;
-            *peak = (*peak).max(wire.flits_carried);
+            *flits += carried;
+            *peak = (*peak).max(carried);
             if let Some(hists) = wire.occupancy_histograms(now) {
                 let agg = &mut occ[ci];
                 if agg.len() < hists.len() {

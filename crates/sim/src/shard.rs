@@ -529,7 +529,7 @@ impl ShardedSim {
             .enumerate()
             .map(|(w, cw)| {
                 let owner = &self.shards[self.wire_tx_owner[w] as usize];
-                (cw.label, owner.wires()[w].flits_carried)
+                (cw.label, owner.wire_flits_carried(w))
             })
             .collect()
     }
@@ -556,7 +556,7 @@ impl ShardedSim {
                         from,
                         dir,
                         slice,
-                        owner.wires()[w].flits_carried as f64 / cycles,
+                        owner.wire_flits_carried(w) as f64 / cycles,
                     ))
                 }
                 _ => None,
@@ -588,17 +588,19 @@ impl ShardedSim {
         let mut shimmed_links = 0usize;
         let mut shim_totals = ShimStats::default();
         for (w, cw) in self.control.wires().iter().enumerate() {
-            let txw = &self.shards[self.wire_tx_owner[w] as usize].wires()[w];
+            let tx_owner = &self.shards[self.wire_tx_owner[w] as usize];
+            let txw = &tx_owner.wires()[w];
             let rxw = &self.shards[self.wire_rx_owner[w] as usize].wires()[w];
             if let Some(stats) = txw.shim_stats() {
                 shimmed_links += 1;
                 shim_totals.merge(&stats);
             }
+            let carried = tx_owner.wire_flits_carried(w);
             let ci = LinkClass::of(&cw.label) as usize;
             let (wires, flits, peak) = &mut per_class[ci];
             *wires += 1;
-            *flits += txw.flits_carried;
-            *peak = (*peak).max(txw.flits_carried);
+            *flits += carried;
+            *peak = (*peak).max(carried);
             if let Some(hists) = rxw.occupancy_histograms(now) {
                 let agg = &mut occ[ci];
                 if agg.len() < hists.len() {

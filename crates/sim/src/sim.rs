@@ -19,10 +19,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use anton_arbiter::{
-    AgeArbiter, ArbRequest, ArbiterKind, FixedPriorityArbiter, GrantSite, InverseWeightedArbiter,
-    PortArbiter, RoundRobinArbiter,
-};
+use anton_arbiter::{BitsetArbiter, GrantSite};
 use anton_core::chip::{
     ChanId, LinkGroup, LocalAttach, LocalEndpointId, LocalLink, MeshCoord, MeshDir,
     ATTACH_CODE_BASE, MAX_ROUTER_PORTS, NUM_CHAN_ADAPTERS, NUM_ROUTERS,
@@ -34,7 +31,7 @@ use anton_core::route_table::{DownLinkSet, RouteTable};
 use anton_core::routing::{DimOrder, RouteSpec};
 use anton_core::topology::{Dim, NodeId, Slice, TorusDir};
 use anton_core::trace::GlobalLink;
-use anton_core::vc::{Vc, VcPolicy, VcState};
+use anton_core::vc::{Vc, VcState};
 use anton_fault::{FaultKind, ShimEvent};
 use anton_obs::json::Json;
 use anton_obs::link_json;
@@ -45,9 +42,7 @@ use crate::params::{
 };
 use crate::state::{PacketId, PacketSlab, PacketState, RouteProgress};
 use crate::wake::Scheduler;
-use crate::wire::{
-    BoundaryRole, BufEntry, Wire, WireCredits, WireHeads, WireMeta, WireReady, WireRx,
-};
+use crate::wire::{BoundaryRole, BufEntry, GateEntry, Wire, WireCredits, WireRx};
 
 /// Maximum multicast copies queued at one replication point.
 const REPL_CAP: usize = 32;
@@ -64,6 +59,25 @@ pub static PHASE_NS: [std::sync::atomic::AtomicU64; 5] = [
 ];
 
 type WireId = usize;
+
+/// Dense per-wire timing and classification (see `Sim::wire_timing`).
+#[derive(Debug, Clone, Copy)]
+struct WireTiming {
+    /// Flight latency in cycles (saturated to `u16::MAX` on wires too slow
+    /// for the fast path, which never reads it).
+    lat: u16,
+    /// Receiver pipeline delay in cycles.
+    rxp: u8,
+    /// `FAST_WIRE` / `TORUS_WIRE` flag bits.
+    flags: u8,
+}
+
+/// The wire is an ideal interior channel whose worst-case arrival fits the
+/// wake wheel: sends and pops may bypass the `Wire` struct entirely.
+const FAST_WIRE: u8 = 1;
+/// The wire realizes an external torus channel (dense mirror of the label
+/// for the send path's statistics).
+const TORUS_WIRE: u8 = 2;
 
 #[derive(Debug)]
 struct RouterPort {
@@ -114,9 +128,6 @@ struct RouterState {
     node: NodeId,
     mesh: MeshCoord,
     ports: Vec<RouterPort>,
-    arbiters: Vec<Box<dyn PortArbiter>>,
-    /// SA1 VC arbiters, one per input port (inputs = VC indices).
-    in_arbiters: Vec<Box<dyn PortArbiter>>,
     port_energy: Vec<PortEnergy>,
     energy: EnergyCounters,
 }
@@ -154,7 +165,7 @@ struct ChanState {
     repl: VecDeque<PacketId>,
     /// VC arbiter of the outbound serializer (per Section 3, every
     /// arbitration point can be inverse-weighted).
-    out_arbiter: Box<dyn PortArbiter>,
+    out_arbiter: BitsetArbiter,
     rr_vc_in: u8,
     to_router_busy_until: u64,
 }
@@ -639,39 +650,65 @@ pub struct Sim {
     /// Head-of-buffer slot per wire and VC: valid whenever the matching
     /// `wire_occupied` bit is set. Switch allocation re-peeks blocked heads
     /// every cycle, so they live here — one dense load — rather than behind
-    /// the per-VC deques inside `Wire`.
-    wire_heads: Vec<WireHeads>,
-    /// Head ready cycle per wire and VC (u32-clamped mirror of the head's
-    /// `ready_at`): the allocation scan's first gate, kept apart from the
-    /// full entries so the scan's working set fits in L2.
-    wire_ready: Vec<WireReady>,
-    /// Head gating metadata per wire and VC (cached route, flits, pattern):
-    /// the scan's remaining gates, 4 bytes per head.
-    wire_meta: Vec<WireMeta>,
+    /// the per-VC deques inside `Wire`. Flat, `1 << vc_shift` slots per
+    /// wire.
+    wire_heads: Vec<BufEntry>,
+    /// Head gating record per wire and VC (ready cycle, cached route, flits,
+    /// pattern): everything the allocation scan's gates consult, packed to
+    /// 8 bytes per head so one load answers every gate and the scan's
+    /// working set stays L2-resident. Flat, `1 << vc_shift` slots per wire.
+    wire_gate: Vec<GateEntry>,
+    /// log2 row stride of `wire_heads`/`wire_gate`: the machine's widest
+    /// wire VC count rounded up to a power of two. Sizing rows to the
+    /// machine instead of [`MAX_WIRE_VCS`](crate::wire::MAX_WIRE_VCS)
+    /// halves the allocation scan's footprint on the common 8-index
+    /// configurations.
+    vc_shift: u32,
+    /// Per-wire timing and classification (flight latency, receiver
+    /// pipeline, `FAST_WIRE`/`TORUS_WIRE` flags), packed to 4 bytes: the
+    /// send/pop fast paths read this instead of the `Wire` struct.
+    wire_timing: Vec<WireTiming>,
+    /// Bitmask of VCs with packets queued *behind* the head, per wire —
+    /// maintained by the wire's filing/promotion points through
+    /// [`WireRx::queued`] and by the fast send path. A clear bit means a
+    /// pop needs no promotion, so [`Sim::pop_wire`] can skip the wire.
+    wire_queued: Vec<u16>,
+    /// Flits sent on each wire by the fast path, which never touches the
+    /// `Wire` struct; readers go through [`Sim::wire_flits_carried`],
+    /// which adds this mirror to the wire's own counter.
+    wire_flits: Vec<u64>,
     /// `group_vcs` per wire (dense mirror for VC-index math).
     wire_gvcs: Vec<u8>,
     /// Total VC count per wire.
     wire_nvcs: Vec<u8>,
-    /// Earliest cycle each wire's tick can do anything (`Wire::next_event`);
-    /// active wires whose next event is still in the future skip their tick.
-    wire_next: Vec<u64>,
     /// Component consuming each wire's arrivals.
     wire_consumer: Vec<CompRef>,
     /// Component receiving each wire's credit returns.
     wire_producer: Vec<CompRef>,
-    /// Wires with flits or credits in flight.
-    active_wires: Vec<u32>,
-    wire_active: Vec<bool>,
     /// Exact-cycle wake calendars, one per component kind: a component is
     /// processed only on cycles somebody scheduled it for (see
     /// [`crate::wake`]).
     sched_router: Scheduler,
     sched_chan: Scheduler,
     sched_ep: Scheduler,
+    /// Wake calendar for the wires themselves: a wire is ticked only on
+    /// cycles an event (arrival or credit maturity, or a shim needing its
+    /// every-cycle tick) was scheduled for, replacing the per-cycle scan of
+    /// an active-wire list. Events past the wheel's horizon chain forward
+    /// through clamped re-schedules.
+    sched_wire: Scheduler,
+    /// Calendar of interior-wire credit returns: slot `c % HORIZON` holds
+    /// the `(wire, vc index, flits)` returns maturing at cycle `c`. Pops
+    /// file here instead of into per-wire return queues, so the wires phase
+    /// applies a cycle's returns in one dense drain and most wires never
+    /// need a tick at all; returns beyond the horizon fall back to the
+    /// wire's own queue (see [`Sim::pop_wire`]).
+    credit_wheel: Vec<Vec<(u32, u8, u8)>>,
     /// Reused per-cycle wake-list buffers (drained scheduler snapshots).
     scratch_router: Vec<u32>,
     scratch_chan: Vec<u32>,
     scratch_ep: Vec<u32>,
+    scratch_wire: Vec<u32>,
     routers: Vec<RouterState>,
     chans: Vec<ChanState>,
     eps: Vec<EpState>,
@@ -693,8 +730,21 @@ pub struct Sim {
     router_out_wire: Vec<u32>,
     /// Cycle each router output port is busy until (same layout).
     router_out_busy: Vec<u64>,
+    /// SA2/output arbiter per router output port (same strided layout,
+    /// placeholder single-lane arbiters past a router's port count):
+    /// monomorphic bitset state instead of boxed `dyn PortArbiter`, so the
+    /// allocation loop's grants are direct calls over dense memory.
+    router_out_arb: Vec<BitsetArbiter>,
+    /// SA1 VC arbiter per router input port (same layout; lanes = the
+    /// feeding wire's VC indices).
+    router_in_arb: Vec<BitsetArbiter>,
     /// Stride of `router_port_of` (attach codes per router).
     attach_codes: usize,
+    /// Decode of stamped chip-target codes (see [`BufEntry::target`]): the
+    /// adapter attach plus the mesh router it hangs off. Only chan and
+    /// endpoint attaches are ever stamped; mesh/skip rows hold placeholders
+    /// routing never reads.
+    target_of_code: Vec<(LocalAttach, MeshCoord)>,
     /// Cached `ANTON_SIM_PROFILE` (checked once at construction): gates all
     /// per-phase `Instant` reads in [`Sim::step`].
     profile: bool,
@@ -865,42 +915,50 @@ impl Sim {
             wires.len() - 1
         };
 
-        // Pass 1: create all wires.
+        // Pass 1: create all wires, grouped by *consumer*: every wire has
+        // exactly one consuming component, so visiting components in their
+        // processing order (per node: routers, channel adapters, endpoint
+        // adapters) enumerates each wire exactly once, and each component's
+        // input gate/head/credit rows land contiguous in the dense mirrors
+        // — the per-cycle allocation scans walk adjacent cache lines
+        // instead of scattered ones. Renumbering is behavior-neutral:
+        // nothing keys off wire ids except dense storage (fault-shim RNG
+        // streams and shard boundaries are derived from structural indices).
+        let mut torus_wire: Vec<WireId> = vec![NONE; nodes * NUM_CHAN_ADAPTERS]; // keyed by departing adapter
         for n in 0..nodes as u32 {
             let node = NodeId(n);
+            let node_coord = cfg.shape.coord(node);
             for r in MeshCoord::all() {
                 for attach in cfg.chip.router_ports(r) {
                     match attach {
                         LocalAttach::Mesh(d) => {
+                            // This port's input: the mesh wire leaving the
+                            // neighbor toward us.
+                            let nbr = r.step(d).expect("mesh port has neighbor");
+                            let from_dir = d.opposite();
                             let label = GlobalLink::Local {
                                 node,
-                                link: LocalLink::Mesh { from: r, dir: d },
+                                link: LocalLink::Mesh {
+                                    from: nbr,
+                                    dir: from_dir,
+                                },
                             };
                             let w =
                                 add_wire(&mut wires, label, 1, ROUTER_PIPELINE - 1, LinkGroup::M);
-                            mesh_wire[midx(n, r, d)] = w;
+                            mesh_wire[midx(n, nbr, from_dir)] = w;
                         }
                         LocalAttach::Skip => {
+                            let partner = cfg.chip.skip_partner(r).expect("skip port has partner");
                             let label = GlobalLink::Local {
                                 node,
-                                link: LocalLink::Skip { from: r },
+                                link: LocalLink::Skip { from: partner },
                             };
                             let w =
                                 add_wire(&mut wires, label, 1, ROUTER_PIPELINE - 1, LinkGroup::T);
-                            skip_wire[n as usize * NUM_ROUTERS + r.index()] = w;
+                            skip_wire[n as usize * NUM_ROUTERS + partner.index()] = w;
                         }
                         LocalAttach::Chan(c) => {
-                            let to_adapter = add_wire(
-                                &mut wires,
-                                GlobalLink::Local {
-                                    node,
-                                    link: LocalLink::RouterToChan(c),
-                                },
-                                1,
-                                ADAPTER_PIPELINE - 1,
-                                LinkGroup::T,
-                            );
-                            let to_router = add_wire(
+                            let w = add_wire(
                                 &mut wires,
                                 GlobalLink::Local {
                                     node,
@@ -910,21 +968,10 @@ impl Sim {
                                 ROUTER_PIPELINE - 1,
                                 LinkGroup::T,
                             );
-                            chan_wires[n as usize * NUM_CHAN_ADAPTERS + c.index()] =
-                                (to_adapter, to_router);
+                            chan_wires[n as usize * NUM_CHAN_ADAPTERS + c.index()].1 = w;
                         }
                         LocalAttach::Endpoint(e) => {
-                            let to_ep = add_wire(
-                                &mut wires,
-                                GlobalLink::Local {
-                                    node,
-                                    link: LocalLink::RouterToEp(e),
-                                },
-                                1,
-                                0,
-                                LinkGroup::M,
-                            );
-                            let to_router = add_wire(
+                            let w = add_wire(
                                 &mut wires,
                                 GlobalLink::Local {
                                     node,
@@ -934,21 +981,36 @@ impl Sim {
                                 ROUTER_PIPELINE - 1,
                                 LinkGroup::M,
                             );
-                            ep_wires[n as usize * eps_per_node + e.0 as usize] = (to_ep, to_router);
+                            ep_wires[n as usize * eps_per_node + e.0 as usize].1 = w;
                         }
                     }
                 }
             }
-        }
-        // Torus wires.
-        let mut torus_wire: Vec<WireId> = vec![NONE; nodes * NUM_CHAN_ADAPTERS]; // keyed by departing adapter
-        for n in 0..nodes as u32 {
-            let node = NodeId(n);
             for c in ChanId::all() {
-                let label = GlobalLink::Torus {
-                    from: node,
-                    dir: c.dir,
+                // The adapter's router-side input.
+                let w = add_wire(
+                    &mut wires,
+                    GlobalLink::Local {
+                        node,
+                        link: LocalLink::RouterToChan(c),
+                    },
+                    1,
+                    ADAPTER_PIPELINE - 1,
+                    LinkGroup::T,
+                );
+                chan_wires[n as usize * NUM_CHAN_ADAPTERS + c.index()].0 = w;
+                // The adapter's torus input: the external channel departing
+                // our neighbor in this adapter's direction, labeled with
+                // the opposite direction.
+                let nbr = cfg.shape.id(cfg.shape.neighbor(node_coord, c.dir));
+                let from_chan = ChanId {
+                    dir: c.dir.opposite(),
                     slice: c.slice,
+                };
+                let label = GlobalLink::Torus {
+                    from: nbr,
+                    dir: from_chan.dir,
+                    slice: from_chan.slice,
                 };
                 let w = add_wire(
                     &mut wires,
@@ -957,7 +1019,20 @@ impl Sim {
                     ADAPTER_PIPELINE - 1,
                     LinkGroup::T,
                 );
-                torus_wire[n as usize * NUM_CHAN_ADAPTERS + c.index()] = w;
+                torus_wire[nbr.0 as usize * NUM_CHAN_ADAPTERS + from_chan.index()] = w;
+            }
+            for e in cfg.chip.endpoints() {
+                let w = add_wire(
+                    &mut wires,
+                    GlobalLink::Local {
+                        node,
+                        link: LocalLink::RouterToEp(e),
+                    },
+                    1,
+                    0,
+                    LinkGroup::M,
+                );
+                ep_wires[n as usize * eps_per_node + e.0 as usize].0 = w;
             }
         }
         // With a fault schedule, every external torus channel routes its
@@ -1010,6 +1085,18 @@ impl Sim {
         // Pass 2: create components.
         let attach_codes = ATTACH_CODE_BASE + eps_per_node;
         let mut router_port_of = vec![0xFFu8; nrouters_total * attach_codes];
+        // Chip-target decode for entry-stamped route computation: every
+        // adapter attach is owned by exactly one mesh router, and the chip
+        // layout is identical on every node, so one table serves them all.
+        let mut target_of_code: Vec<(LocalAttach, MeshCoord)> =
+            vec![(LocalAttach::Skip, MeshCoord::new(0, 0)); attach_codes];
+        for r in MeshCoord::all() {
+            for attach in cfg.chip.router_ports(r) {
+                if matches!(attach, LocalAttach::Chan(_) | LocalAttach::Endpoint(_)) {
+                    target_of_code[attach.code()] = (attach, r);
+                }
+            }
+        }
         for n in 0..nodes as u32 {
             let node = NodeId(n);
             let node_coord = cfg.shape.coord(node);
@@ -1048,22 +1135,10 @@ impl Sim {
                     ports.push(RouterPort { in_wire, out_wire });
                 }
                 let nports = ports.len();
-                let arbiters: Vec<Box<dyn PortArbiter>> = (0..nports)
-                    .map(|_| Self::make_arbiter(&params.arbiter, nports))
-                    .collect();
-                let in_arbiters: Vec<Box<dyn PortArbiter>> = ports
-                    .iter()
-                    .map(|p| {
-                        Box::new(RoundRobinArbiter::new(wires[p.in_wire].num_vcs()))
-                            as Box<dyn PortArbiter>
-                    })
-                    .collect();
                 routers.push(RouterState {
                     node,
                     mesh: r,
                     ports,
-                    arbiters,
-                    in_arbiters,
                     port_energy: vec![
                         PortEnergy {
                             last_words: [0; 3],
@@ -1098,9 +1173,9 @@ impl Sim {
                     tokens_at: 0,
                     crosses_dateline: cfg.shape.hop_crosses_dateline(node_coord, c.dir),
                     repl: VecDeque::new(),
-                    out_arbiter: Box::new(RoundRobinArbiter::new(
+                    out_arbiter: BitsetArbiter::round_robin(
                         2 * policy.num_vcs(LinkGroup::T) as usize,
-                    )),
+                    ),
                     rr_vc_in: 0,
                     to_router_busy_until: 0,
                 });
@@ -1153,12 +1228,58 @@ impl Sim {
         let wire_credits: Vec<WireCredits> = wires.iter().map(Wire::initial_credits).collect();
         let wire_gvcs: Vec<u8> = wires.iter().map(|w| w.group_vcs).collect();
         let wire_nvcs: Vec<u8> = wires.iter().map(|w| w.num_vcs() as u8).collect();
+        // Row stride of the flat head/gate mirrors: the machine's widest
+        // wire, not the static MAX_WIRE_VCS bound, so the allocation scan's
+        // working set carries no padding on the common 8-index configs.
+        let vc_shift = wire_nvcs
+            .iter()
+            .copied()
+            .max()
+            .map_or(1, |n| (n as usize).next_power_of_two())
+            .trailing_zeros();
+        // All wire configuration (shims, occupancy tracking, boundary
+        // roles) happened above, so the fast-path classification is final
+        // for the life of the run. A packet is at most two flits
+        // (`Packet::num_flits`), which bounds the consumer-wake offset.
+        const MAX_PACKET_FLITS: u64 = 2;
+        let wire_timing: Vec<WireTiming> = wires
+            .iter()
+            .map(|w| {
+                let worst = w.latency + MAX_PACKET_FLITS - 1 + w.rx_pipeline;
+                let fast = w.is_ideal_interior() && worst < crate::wake::HORIZON;
+                let torus = matches!(w.label, GlobalLink::Torus { .. });
+                WireTiming {
+                    lat: w.latency.min(u64::from(u16::MAX)) as u16,
+                    rxp: w.rx_pipeline.min(u64::from(u8::MAX)) as u8,
+                    flags: u8::from(fast) * FAST_WIRE + u8::from(torus) * TORUS_WIRE,
+                }
+            })
+            .collect();
         let mut router_in_wire = vec![u32::MAX; nrouters * MAX_ROUTER_PORTS];
         let mut router_out_wire = vec![u32::MAX; nrouters * MAX_ROUTER_PORTS];
         for (ridx, r) in routers.iter().enumerate() {
             for (p, port) in r.ports.iter().enumerate() {
                 router_in_wire[ridx * MAX_ROUTER_PORTS + p] = port.in_wire as u32;
                 router_out_wire[ridx * MAX_ROUTER_PORTS + p] = port.out_wire as u32;
+            }
+        }
+        // Dense arbiter state over the same strided port layout. Slots past
+        // a router's port count hold inert single-lane placeholders so the
+        // stride stays uniform.
+        let mut router_out_arb = Vec::with_capacity(nrouters * MAX_ROUTER_PORTS);
+        let mut router_in_arb = Vec::with_capacity(nrouters * MAX_ROUTER_PORTS);
+        for r in &routers {
+            let nports = r.ports.len();
+            for p in 0..MAX_ROUTER_PORTS {
+                if p < nports {
+                    router_out_arb.push(BitsetArbiter::from_kind(&params.arbiter, nports));
+                    router_in_arb.push(BitsetArbiter::round_robin(
+                        wires[r.ports[p].in_wire].num_vcs(),
+                    ));
+                } else {
+                    router_out_arb.push(BitsetArbiter::round_robin(1));
+                    router_in_arb.push(BitsetArbiter::round_robin(1));
+                }
             }
         }
         let recorder = if params.trace.events {
@@ -1188,25 +1309,30 @@ impl Sim {
             wires,
             wire_credits,
             wire_occupied: vec![0; nwires],
-            wire_heads: vec![[BufEntry::EMPTY; crate::wire::MAX_WIRE_VCS]; nwires],
-            wire_ready: vec![[0; crate::wire::MAX_WIRE_VCS]; nwires],
-            wire_meta: vec![[crate::wire::HeadMeta::EMPTY; crate::wire::MAX_WIRE_VCS]; nwires],
+            wire_heads: vec![BufEntry::EMPTY; nwires << vc_shift],
+            wire_gate: vec![crate::wire::GateEntry::EMPTY; nwires << vc_shift],
+            vc_shift,
+            wire_timing,
+            wire_queued: vec![0; nwires],
+            wire_flits: vec![0; nwires],
             wire_gvcs,
             wire_nvcs,
             router_in_wire,
             router_out_wire,
             router_out_busy: vec![0; nrouters * MAX_ROUTER_PORTS],
-            wire_next: vec![u64::MAX; nwires],
+            router_out_arb,
+            router_in_arb,
             wire_consumer,
             wire_producer,
-            active_wires: Vec::with_capacity(nwires),
-            wire_active: vec![false; nwires],
             sched_router: Scheduler::new(nrouters),
             sched_chan: Scheduler::new(nchans),
             sched_ep: Scheduler::new(num_eps),
+            sched_wire: Scheduler::new(nwires),
+            credit_wheel: vec![Vec::new(); crate::wake::HORIZON as usize],
             scratch_router: Vec::with_capacity(nrouters),
             scratch_chan: Vec::with_capacity(nchans),
             scratch_ep: Vec::with_capacity(num_eps),
+            scratch_wire: Vec::with_capacity(nwires),
             routers,
             chans,
             eps,
@@ -1221,6 +1347,7 @@ impl Sim {
             grants: crate::metrics::ArbiterGrantCounts::default(),
             router_port_of,
             attach_codes,
+            target_of_code,
             moved: false,
             idle_cycles: 0,
             deadlocked: false,
@@ -1247,23 +1374,22 @@ impl Sim {
         }
     }
 
+    /// (Re)schedules wire `w` on the wire wheel for its next pending event
+    /// ([`Wire::next_event`]). Events past the wheel's horizon are clamped
+    /// to its edge and chain forward through spurious wakes (each wake
+    /// re-schedules); an active shim's `next_event` of 0 clamps up to
+    /// `min_at`, giving it the every-cycle tick it needs. `min_at` is the
+    /// earliest cycle the caller may still tick the wire: `now` from
+    /// contexts that run before this cycle's wire phase (window barriers,
+    /// the degradation-epoch tick), `now + 1` once the phase has drained.
     #[inline]
-    fn mark_wire_active(&mut self, w: WireId) {
-        if !self.wire_active[w] {
-            self.wire_active[w] = true;
-            self.active_wires.push(w as u32);
+    fn schedule_wire(&mut self, w: WireId, min_at: u64) {
+        let next = self.wires[w].next_event();
+        if next == u64::MAX {
+            return;
         }
-    }
-
-    fn make_arbiter(kind: &ArbiterKind, nports: usize) -> Box<dyn PortArbiter> {
-        match kind {
-            ArbiterKind::RoundRobin => Box::new(RoundRobinArbiter::new(nports)),
-            ArbiterKind::InverseWeighted { m_bits } => {
-                Box::new(InverseWeightedArbiter::uniform(nports, *m_bits))
-            }
-            ArbiterKind::Age => Box::new(AgeArbiter::new(nports)),
-            ArbiterKind::FixedPriority => Box::new(FixedPriorityArbiter::new(nports)),
-        }
+        let at = next.clamp(min_at, self.now + (crate::wake::HORIZON - 1));
+        self.sched_wire.schedule(w, at, self.now);
     }
 
     /// Installs inverse weights at one router output arbiter.
@@ -1282,9 +1408,11 @@ impl Sim {
         weights: Vec<Vec<u32>>,
         m_bits: u32,
     ) {
-        let r = &mut self.routers[node.0 as usize * NUM_ROUTERS + router_idx];
+        let ridx = node.0 as usize * NUM_ROUTERS + router_idx;
+        let r = &self.routers[ridx];
         assert!(out_port < r.ports.len(), "output port out of range");
-        r.arbiters[out_port] = Box::new(InverseWeightedArbiter::new(weights, m_bits));
+        self.router_out_arb[ridx * MAX_ROUTER_PORTS + out_port] =
+            BitsetArbiter::inverse_weighted(weights, m_bits);
     }
 
     /// Installs inverse weights at one router input port's SA1 VC arbiter.
@@ -1302,9 +1430,11 @@ impl Sim {
         weights: Vec<Vec<u32>>,
         m_bits: u32,
     ) {
-        let r = &mut self.routers[node.0 as usize * NUM_ROUTERS + router_idx];
+        let ridx = node.0 as usize * NUM_ROUTERS + router_idx;
+        let r = &self.routers[ridx];
         assert!(in_port < r.ports.len(), "input port out of range");
-        r.in_arbiters[in_port] = Box::new(InverseWeightedArbiter::new(weights, m_bits));
+        self.router_in_arb[ridx * MAX_ROUTER_PORTS + in_port] =
+            BitsetArbiter::inverse_weighted(weights, m_bits);
     }
 
     /// Installs inverse weights at one channel adapter's serializer VC
@@ -1321,7 +1451,7 @@ impl Sim {
         m_bits: u32,
     ) {
         let c = &mut self.chans[node.0 as usize * NUM_CHAN_ADAPTERS + chan_idx];
-        c.out_arbiter = Box::new(InverseWeightedArbiter::new(weights, m_bits));
+        c.out_arbiter = BitsetArbiter::inverse_weighted(weights, m_bits);
     }
 
     /// Registers a multicast group's tables.
@@ -1431,12 +1561,20 @@ impl Sim {
         self.deadlocked
     }
 
+    /// Total flits ever sent on one wire: the wire's own counter (slow
+    /// paths) plus the simulator's fast-path mirror, which bypasses the
+    /// `Wire` struct.
+    pub fn wire_flits_carried(&self, w: usize) -> u64 {
+        self.wires[w].flits_carried + self.wire_flits[w]
+    }
+
     /// Raw flit counts carried by every wire, labeled by its structural
     /// link — for utilization reporting and bottleneck analysis.
     pub fn wire_utilizations(&self) -> Vec<(GlobalLink, u64)> {
         self.wires
             .iter()
-            .map(|w| (w.label, w.flits_carried))
+            .enumerate()
+            .map(|(i, w)| (w.label, self.wire_flits_carried(i)))
             .collect()
     }
 
@@ -1446,9 +1584,10 @@ impl Sim {
         let cycles = self.now.max(1) as f64;
         self.wires
             .iter()
-            .filter_map(|w| match w.label {
+            .enumerate()
+            .filter_map(|(i, w)| match w.label {
                 GlobalLink::Torus { from, dir, slice } => {
-                    Some((from, dir, slice, w.flits_carried as f64 / cycles))
+                    Some((from, dir, slice, self.wire_flits_carried(i) as f64 / cycles))
                 }
                 _ => None,
             })
@@ -1551,9 +1690,9 @@ impl Sim {
         entry.pkt = self.packets.insert(t.state);
         let mut rx = WireRx {
             occupied: &mut self.wire_occupied[w],
-            heads: &mut self.wire_heads[w],
-            ready: &mut self.wire_ready[w],
-            meta: &mut self.wire_meta[w],
+            heads: &mut self.wire_heads[w << self.vc_shift..(w + 1) << self.vc_shift],
+            gate: &mut self.wire_gate[w << self.vc_shift..(w + 1) << self.vc_shift],
+            queued: &mut self.wire_queued[w],
         };
         if let Some(ready) =
             self.wires[w].apply_import(window_start, t.mature, entry, t.vcidx, &mut rx)
@@ -1561,16 +1700,14 @@ impl Sim {
             let consumer = self.wire_consumer[w];
             self.wake(consumer, ready.max(self.now));
         }
-        self.wire_next[w] = self.wires[w].next_event();
-        self.mark_wire_active(w);
+        self.schedule_wire(w, self.now);
     }
 
     /// Applies one inbound boundary credit return on an export wire.
     pub(crate) fn apply_credit_import(&mut self, t: crate::shard::CreditTransfer) {
         let w = t.wire as usize;
         self.wires[w].apply_credit_return(t.at, t.vcidx, t.flits);
-        self.wire_next[w] = self.wires[w].next_event();
-        self.mark_wire_active(w);
+        self.schedule_wire(w, self.now);
     }
 
     /// Replays a delivery on the control replica: updates the delivery
@@ -1592,9 +1729,25 @@ impl Sim {
     }
 
     /// Flits this replica accounts for on one wire VC (see
-    /// [`Wire::accounted_flits`]).
+    /// [`Wire::accounted_flits`]), including credit returns parked in the
+    /// global credit calendar.
     pub(crate) fn wire_accounted_flits(&self, w: usize, vc: usize) -> u32 {
-        self.wires[w].accounted_flits(vc, self.wire_occupied[w], &self.wire_heads[w])
+        self.wires[w].accounted_flits(
+            vc,
+            self.wire_occupied[w],
+            &self.wire_heads[w << self.vc_shift..],
+        ) + self.wheel_credit_flits(w, vc)
+    }
+
+    /// Credit-return flits parked in the global credit calendar for one
+    /// wire VC (cold path: invariant checks only).
+    fn wheel_credit_flits(&self, w: usize, vc: usize) -> u32 {
+        self.credit_wheel
+            .iter()
+            .flatten()
+            .filter(|&&(wu, vcidx, _)| wu as usize == w && usize::from(vcidx) == vc)
+            .map(|&(_, _, flits)| u32::from(flits))
+            .sum()
     }
 
     /// Export-boundary wires of this replica, as `(wire, consumer shard)`.
@@ -1670,24 +1823,45 @@ impl Sim {
         if self.degraded.is_some() {
             self.degraded_epoch_tick(now);
         }
-        // Tick only wires with traffic or credits in flight — and among
-        // those, only the ones whose next arrival/credit maturity is due —
-        // waking the components their events concern. Wakes raised here are
-        // either same-cycle (credits, zero-pipeline arrivals) or future, so
-        // the snapshots taken below see every component this cycle concerns.
-        let rec_on = self.recorder.is_some();
-        let mut i = 0;
-        while i < self.active_wires.len() {
-            let w = self.active_wires[i] as usize;
-            if self.wire_next[w] > now {
-                i += 1;
-                continue;
+        // Tick only the wires whose next arrival/credit maturity is due —
+        // the wire wheel's snapshot for this cycle — waking the components
+        // their events concern. Wakes raised here are either same-cycle
+        // (credits, zero-pipeline arrivals) or future, so the snapshots
+        // taken below see every component this cycle concerns. Direct-filed
+        // sends (see [`Wire::send`]) never appear here at all: their
+        // consumer wake was issued at send time.
+        // Apply this cycle's credit-calendar slot first: one dense drain
+        // covers every interior-wire credit return maturing now, without
+        // touching the wires themselves. Order against the wire ticks below
+        // is immaterial — credits touch sender-side pools, arrivals touch
+        // receive buffers, and producer wakes are idempotent bit sets.
+        {
+            let slot = (now % crate::wake::HORIZON) as usize;
+            let mut returns = std::mem::take(&mut self.credit_wheel[slot]);
+            for &(wu, vcidx, flits) in &returns {
+                let w = wu as usize;
+                self.wire_credits[w][vcidx as usize] += flits;
+                debug_assert!(
+                    self.wire_credits[w][vcidx as usize] <= self.wires[w].depth(),
+                    "credit overflow"
+                );
+                self.wake(self.wire_producer[w], now);
             }
+            returns.clear();
+            self.credit_wheel[slot] = returns;
+        }
+        let rec_on = self.recorder.is_some();
+        let mut wire_list = std::mem::take(&mut self.scratch_wire);
+        wire_list.clear();
+        self.sched_wire.begin_cycle(now);
+        self.sched_wire.snapshot_into(&mut wire_list);
+        for &wu in &wire_list {
+            let w = wu as usize;
             let mut rx = WireRx {
                 occupied: &mut self.wire_occupied[w],
-                heads: &mut self.wire_heads[w],
-                ready: &mut self.wire_ready[w],
-                meta: &mut self.wire_meta[w],
+                heads: &mut self.wire_heads[w << self.vc_shift..(w + 1) << self.vc_shift],
+                gate: &mut self.wire_gate[w << self.vc_shift..(w + 1) << self.vc_shift],
+                queued: &mut self.wire_queued[w],
             };
             let (arrival_ready, credited) =
                 self.wires[w].tick(now, &mut self.wire_credits[w], &mut rx);
@@ -1700,14 +1874,10 @@ impl Sim {
             if credited {
                 self.wake(self.wire_producer[w], now);
             }
-            if self.wires[w].idle() {
-                self.wire_active[w] = false;
-                self.active_wires.swap_remove(i);
-            } else {
-                self.wire_next[w] = self.wires[w].next_event();
-                i += 1;
-            }
+            self.schedule_wire(w, now + 1);
         }
+        self.sched_wire.end_cycle();
+        self.scratch_wire = wire_list;
         mark(0, &mut t);
         while let Some(&Reverse((t, ep_idx, counter))) = self.handler_heap.peek() {
             if t > now {
@@ -1827,13 +1997,13 @@ impl Sim {
         s.scratch.push(self.grants.output);
         s.scratch.push(self.grants.serializer);
         let mut per_class = [0u64; crate::metrics::LinkClass::ALL.len()];
-        for w in &self.wires {
+        for (i, w) in self.wires.iter().enumerate() {
             let class = crate::metrics::LinkClass::of(&w.label);
             let slot = crate::metrics::LinkClass::ALL
                 .iter()
                 .position(|c| *c == class)
                 .expect("LinkClass::ALL covers every class");
-            per_class[slot] += w.flits_carried;
+            per_class[slot] += w.flits_carried + self.wire_flits[i];
         }
         s.scratch.extend_from_slice(&per_class);
         let scratch = std::mem::take(&mut s.scratch);
@@ -1880,10 +2050,18 @@ impl Sim {
                 // `ShardedSim::check_invariants` checks the combined balance.
                 continue;
             }
+            // Credit returns parked in the global calendar are part of the
+            // wire's accounted flits: fold them into a scratch credit image
+            // before the balance check.
+            let mut credits = self.wire_credits[wid];
+            for (vc, c) in credits.iter_mut().enumerate() {
+                let parked = self.wheel_credit_flits(wid, vc);
+                *c = c.saturating_add(u8::try_from(parked).unwrap_or(u8::MAX));
+            }
             w.check_credit_balance(
-                &self.wire_credits[wid],
+                &credits,
                 self.wire_occupied[wid],
-                &self.wire_heads[wid],
+                &self.wire_heads[wid << self.vc_shift..],
             )?;
         }
         let quiescent = self
@@ -2118,12 +2296,26 @@ impl Sim {
                     self.reroute_packet(node, entry.pkt);
                 }
                 _ => {
-                    self.wires[w].send(self.now, entry, vcidx, &mut self.wire_credits[w]);
+                    // Re-enters the shim queue (the wire keeps its shim),
+                    // so no consumer wake can come back.
+                    let mut rx = WireRx {
+                        occupied: &mut self.wire_occupied[w],
+                        heads: &mut self.wire_heads[w << self.vc_shift..(w + 1) << self.vc_shift],
+                        gate: &mut self.wire_gate[w << self.vc_shift..(w + 1) << self.vc_shift],
+                        queued: &mut self.wire_queued[w],
+                    };
+                    let filed = self.wires[w].send(
+                        self.now,
+                        entry,
+                        vcidx,
+                        &mut self.wire_credits[w],
+                        &mut rx,
+                    );
+                    debug_assert!(filed.is_none(), "shimmed wires never direct-file");
                 }
             }
         }
-        self.wire_next[w] = self.wires[w].next_event();
-        self.mark_wire_active(w);
+        self.schedule_wire(w, self.now);
         self.wake(CompRef::Chan(cidx as u32), self.now);
     }
 
@@ -2313,7 +2505,7 @@ impl Sim {
                 if mask & (1 << vc) == 0 {
                     continue;
                 }
-                let entry = &self.wire_heads[wid][vc as usize];
+                let entry = &self.wire_heads[(wid << self.vc_shift) + vc as usize];
                 if entry.ready_at > self.now {
                     continue;
                 }
@@ -2478,6 +2670,41 @@ impl Sim {
         (port, st.vc.vc_for(group))
     }
 
+    /// Entry-stamped variant of [`Sim::route_output`]: routes from the
+    /// context the sender stamped into the buffer entry (see
+    /// [`BufEntry::target`]), touching no per-packet slab state. Identical
+    /// by construction to the slab-derived route — the stamp inputs are
+    /// stable for the whole chip traversal (asserted at the fill site in
+    /// debug builds).
+    #[inline]
+    fn route_output_stamped(&self, ridx: usize, target_code: u8, meta: u8) -> (usize, Vc) {
+        let (target, target_router) = self.target_of_code[target_code as usize];
+        let here = self.routers[ridx].mesh;
+        let attach = if here == target_router {
+            target
+        } else if self.cfg.chip.skip_partner(here) == Some(target_router)
+            && matches!(target, LocalAttach::Chan(c) if c.dir.dim == Dim::X)
+            && meta & 0x40 != 0
+        {
+            // X through-traffic bypasses two routers via the skip channel.
+            LocalAttach::Skip
+        } else {
+            let d = self
+                .cfg
+                .dir_order
+                .next_dir(here, target_router)
+                .expect("distinct routers need a mesh hop");
+            LocalAttach::Mesh(d)
+        };
+        let port = self.router_port_of[ridx * self.attach_codes + attach.code()];
+        debug_assert!(port != 0xFF, "routed attach must be a port");
+        let vc = match attach {
+            LocalAttach::Mesh(_) | LocalAttach::Endpoint(_) => Vc(meta & 7),
+            LocalAttach::Skip | LocalAttach::Chan(_) => Vc((meta >> 3) & 7),
+        };
+        (port as usize, vc)
+    }
+
     /// Whether `flits` credits are available on a wire's VC.
     #[inline]
     fn wire_can_send(&self, wire: WireId, vcidx: u8, flits: u8) -> bool {
@@ -2485,19 +2712,49 @@ impl Sim {
     }
 
     /// Pops the head packet of a wire's VC, refreshing the wire's dense
-    /// next-event/occupancy state and keeping it on the active list for the
-    /// scheduled credit return.
+    /// occupancy state and filing the credit return the pop puts in flight
+    /// into the global credit calendar (or, beyond the calendar's horizon,
+    /// back onto the wire's own return queue plus a wire-wheel tick).
     #[inline]
     fn pop_wire(&mut self, wire: WireId, vcidx: u8) -> BufEntry {
+        let bit = 1u16 << vcidx;
+        let t = self.wire_timing[wire];
+        if t.flags & FAST_WIRE != 0 && self.wire_queued[wire] & bit == 0 {
+            // Ideal interior wire with nothing queued behind the head: the
+            // pop is pure dense-state bookkeeping — clear the occupied bit
+            // and file the credit return straight into the calendar
+            // (latency >= 1 and < HORIZON, so the slot is always valid).
+            debug_assert!(
+                self.wire_occupied[wire] & bit != 0,
+                "pop from empty VC buffer"
+            );
+            self.wire_occupied[wire] &= !bit;
+            let entry = self.wire_heads[(wire << self.vc_shift) + vcidx as usize];
+            let at = self.now + u64::from(t.lat);
+            let slot = (at % crate::wake::HORIZON) as usize;
+            self.credit_wheel[slot].push((wire as u32, vcidx, entry.flits));
+            return entry;
+        }
         let mut rx = WireRx {
             occupied: &mut self.wire_occupied[wire],
-            heads: &mut self.wire_heads[wire],
-            ready: &mut self.wire_ready[wire],
-            meta: &mut self.wire_meta[wire],
+            heads: &mut self.wire_heads[wire << self.vc_shift..(wire + 1) << self.vc_shift],
+            gate: &mut self.wire_gate[wire << self.vc_shift..(wire + 1) << self.vc_shift],
+            queued: &mut self.wire_queued[wire],
         };
-        let entry = self.wires[wire].pop(self.now, vcidx, &mut rx);
-        self.wire_next[wire] = self.wires[wire].next_event();
-        self.mark_wire_active(wire);
+        let (entry, credit) = self.wires[wire].pop_deferred(self.now, vcidx, &mut rx);
+        if let Some((at, vc, flits)) = credit {
+            // Zero-latency returns mature "now", but the wires phase has
+            // already run this cycle — they apply next cycle, exactly when
+            // a post-pop wire tick would have drained them.
+            let at = at.max(self.now + 1);
+            if at - self.now < crate::wake::HORIZON {
+                let slot = (at % crate::wake::HORIZON) as usize;
+                self.credit_wheel[slot].push((wire as u32, vc, flits));
+            } else {
+                self.wires[wire].file_credit_return(at, vc, flits);
+                self.schedule_wire(wire, self.now + 1);
+            }
+        }
         entry
     }
 
@@ -2507,11 +2764,11 @@ impl Sim {
     #[inline]
     fn wire_head(&self, wire: WireId, vcidx: u8) -> Option<&BufEntry> {
         if self.wire_occupied[wire] & (1 << vcidx) == 0
-            || u64::from(self.wire_ready[wire][vcidx as usize]) > self.now
+            || u64::from(self.wire_gate[(wire << self.vc_shift) + vcidx as usize].ready) > self.now
         {
             return None;
         }
-        Some(&self.wire_heads[wire][vcidx as usize])
+        Some(&self.wire_heads[(wire << self.vc_shift) + vcidx as usize])
     }
 
     /// Flattened VC index of `(class, vc)` on a wire, from the dense
@@ -2528,6 +2785,27 @@ impl Sim {
     /// [`Sim::send_entry`] directly).
     fn packet_entry(&self, pid: PacketId) -> BufEntry {
         let st = self.packets.get(pid);
+        // Stamp the chip-traversal route context while the slab line is
+        // hot: the target adapter is fixed until the packet leaves the
+        // chip, the VC state changes only at adapters (a staged pending
+        // promotion applies the instant this send completes, so stamp the
+        // promoted state), and the arrival dimension is set once at torus
+        // arrival. Table routes stay unstamped: fault events can swap
+        // routing tables while a packet is mid-chip, and each router must
+        // observe the table as of its own scan.
+        let target = match st.route {
+            RouteProgress::Table { .. } => 0xFF,
+            _ => {
+                let code = self.chip_target(pid).code();
+                debug_assert!(code < 0xFF, "attach code overflows stamp");
+                code as u8
+            }
+        };
+        let vcs = st.pending_vc.unwrap_or(st.vc);
+        let m_vc = vcs.vc_for(LinkGroup::M).0;
+        let t_vc = vcs.vc_for(LinkGroup::T).0;
+        debug_assert!(m_vc < 8 && t_vc < 8, "stamped VC exceeds 3 bits");
+        let arrived_x = st.arrived_via.map(|d| d.dim) == Some(Dim::X);
         BufEntry {
             pkt: pid,
             ready_at: 0,
@@ -2536,24 +2814,67 @@ impl Sim {
             pattern: st.packet.pattern.0,
             rc_port: 0xFF,
             rc_vcidx: 0,
+            target,
+            meta: m_vc | (t_vc << 3) | (u8::from(arrived_x) << 6),
             age: st.injected_at,
         }
     }
 
-    fn send_entry(&mut self, wire: WireId, entry: BufEntry, vcidx: u8) {
+    fn send_entry(&mut self, wire: WireId, mut entry: BufEntry, vcidx: u8) {
         let now = self.now;
         let flits = entry.flits;
         let pid = entry.pkt;
-        self.wires[wire].send(now, entry, vcidx, &mut self.wire_credits[wire]);
-        self.wire_next[wire] = self.wires[wire].next_event();
-        let label = self.wires[wire].label;
-        self.mark_wire_active(wire);
+        let t = self.wire_timing[wire];
+        if t.flags & FAST_WIRE != 0 {
+            // Ideal interior wire: spend the credits, stamp the arrival and
+            // file the entry into the dense receive mirrors without loading
+            // the `Wire` struct. Its in-flight queue stays empty by
+            // construction — every arrival here fits the wake horizon — so
+            // this is exactly `Wire::send`'s direct-file path.
+            let credits = &mut self.wire_credits[wire];
+            assert!(credits[vcidx as usize] >= flits, "send without credits");
+            credits[vcidx as usize] -= flits;
+            self.wire_flits[wire] += u64::from(flits);
+            entry.rc_port = 0xFF;
+            let ready = now + u64::from(t.lat) + u64::from(flits) - 1 + u64::from(t.rxp);
+            entry.ready_at = ready;
+            let bit = 1u16 << vcidx;
+            if self.wire_occupied[wire] & bit == 0 {
+                self.wire_gate[(wire << self.vc_shift) + vcidx as usize] =
+                    crate::wire::GateEntry::of(&entry);
+                self.wire_heads[(wire << self.vc_shift) + vcidx as usize] = entry;
+                self.wire_occupied[wire] |= bit;
+            } else {
+                self.wires[wire].queue_behind_head(entry, vcidx);
+                self.wire_queued[wire] |= bit;
+            }
+            self.wake(self.wire_consumer[wire], ready);
+        } else {
+            let filed = {
+                let mut rx = WireRx {
+                    occupied: &mut self.wire_occupied[wire],
+                    heads: &mut self.wire_heads[wire << self.vc_shift..(wire + 1) << self.vc_shift],
+                    gate: &mut self.wire_gate[wire << self.vc_shift..(wire + 1) << self.vc_shift],
+                    queued: &mut self.wire_queued[wire],
+                };
+                self.wires[wire].send(now, entry, vcidx, &mut self.wire_credits[wire], &mut rx)
+            };
+            if let Some(ready) = filed {
+                // Direct-filed arrival: the wire wheel never sees it; wake
+                // the consumer for the cycle the head clears the receive
+                // pipeline.
+                self.wake(self.wire_consumer[wire], ready);
+            } else {
+                self.schedule_wire(wire, now + 1);
+            }
+        }
         self.moved = true;
         self.stats.flit_hops += u64::from(flits);
-        if matches!(label, GlobalLink::Torus { .. }) {
+        if t.flags & TORUS_WIRE != 0 {
             self.stats.torus_flits += u64::from(flits);
         }
         if self.record_routes {
+            let label = self.wires[wire].label;
             let group_vcs = self.wires[wire].group_vcs;
             let vc = Vc(vcidx % group_vcs);
             let st = self.packets.get_mut(pid);
@@ -2795,76 +3116,95 @@ impl Sim {
         }
         let nvcs = self.wire_nvcs[wire_id];
         let start = self.chans[cidx].rr_vc_in;
+        let to_router = self.chans[cidx].to_router;
         for k in 0..nvcs {
             let v = (start + k) % nvcs;
             if self.wire_occupied[wire_id] >> v & 1 == 0 {
                 continue;
             }
-            let Some(entry) = self.wire_head(wire_id, v) else {
+            let m = self.wire_gate[(wire_id << self.vc_shift) + v as usize];
+            if u64::from(m.ready) > now {
                 continue;
+            }
+            // Arrival classification, cached in the head's gate record so
+            // blocked heads never touch the packet slab: the adapter owns
+            // this wire's rc slots (`0xFE` = unicast/table with the
+            // to-router VC index alongside, `0xFD` = multicast exit). The
+            // classification and VC are stable while the head is parked —
+            // packet VC state only advances when the packet moves.
+            let (kind, cvcidx) = if m.rc_port == 0xFF {
+                let pid = self.wire_heads[(wire_id << self.vc_shift) + v as usize].pkt;
+                let st = self.packets.get(pid);
+                let (kind, cvcidx) = match st.route {
+                    RouteProgress::Unicast { .. } | RouteProgress::Table { .. } => {
+                        let vc = st.vc.vc_for(LinkGroup::T);
+                        (0xFE, self.vc_index_of(to_router, st.packet.class, vc))
+                    }
+                    RouteProgress::McExit { .. } => (0xFD, 0),
+                    RouteProgress::McDeliver { .. } => {
+                        unreachable!("deliver copies never cross torus links")
+                    }
+                };
+                let g = &mut self.wire_gate[(wire_id << self.vc_shift) + v as usize];
+                g.rc_port = kind;
+                g.rc_vcidx = cvcidx;
+                (kind, cvcidx)
+            } else {
+                (m.rc_port, m.rc_vcidx)
             };
-            let pid = entry.pkt;
-            let st = self.packets.get(pid);
-            match st.route {
-                RouteProgress::Unicast { .. } | RouteProgress::Table { .. } => {
-                    if !self.can_send_chan_to_router(cidx, pid) {
-                        continue;
-                    }
-                    self.pop_wire(wire_id, v);
-                    self.moved = true;
-                    // Entry link uses the arriving T-phase VC; promotion
-                    // (if the dimension finished) applies past it.
-                    self.stage_unicast_arrival(pid);
-                    let sent = self.try_send_chan_to_router(cidx, pid);
-                    debug_assert!(sent, "send checked above");
-                    self.chans[cidx].rr_vc_in = (v + 1) % nvcs;
-                    return;
+            if kind == 0xFE {
+                if !self.wire_can_send(to_router, cvcidx, m.flits) {
+                    continue;
                 }
-                RouteProgress::McExit { group, tree, .. } => {
-                    let node = self.chans[cidx].node;
-                    let arrived = st.arrived_via.expect("multicast copy arrived via torus");
-                    let pkt = st.packet;
-                    // Peek at the fanout size before committing.
-                    let fanout = self.mc_fanout(node, group, tree);
-                    if self.chans[cidx].repl.len() + fanout > REPL_CAP {
-                        continue;
-                    }
-                    self.pop_wire(wire_id, v);
-                    self.moved = true;
-                    let parent = self.packets.remove(pid);
-                    let copies = self.expand_multicast_at(
-                        node,
-                        group,
-                        tree,
-                        Some((arrived, parent.vc, parent.torus_hops)),
-                        &pkt,
-                        parent.injected_at,
-                    );
-                    for c in copies {
-                        self.chans[cidx].repl.push_back(c);
-                    }
-                    if let Some(&head) = self.chans[cidx].repl.front() {
-                        if self.try_send_chan_to_router(cidx, head) {
-                            self.chans[cidx].repl.pop_front();
-                        }
-                    }
-                    self.wake(CompRef::Chan(cidx as u32), now + 1);
-                    self.chans[cidx].rr_vc_in = (v + 1) % nvcs;
-                    return;
+                let pid = self.wire_heads[(wire_id << self.vc_shift) + v as usize].pkt;
+                self.pop_wire(wire_id, v);
+                self.moved = true;
+                // Entry link uses the arriving T-phase VC; promotion
+                // (if the dimension finished) applies past it.
+                self.stage_unicast_arrival(pid);
+                let sent = self.try_send_chan_to_router(cidx, pid);
+                debug_assert!(sent, "send checked above");
+                self.chans[cidx].rr_vc_in = (v + 1) % nvcs;
+                return;
+            }
+            {
+                let pid = self.wire_heads[(wire_id << self.vc_shift) + v as usize].pkt;
+                let st = self.packets.get(pid);
+                let RouteProgress::McExit { group, tree, .. } = st.route else {
+                    unreachable!("gate cache says multicast exit")
+                };
+                let node = self.chans[cidx].node;
+                let arrived = st.arrived_via.expect("multicast copy arrived via torus");
+                let pkt = st.packet;
+                // Peek at the fanout size before committing.
+                let fanout = self.mc_fanout(node, group, tree);
+                if self.chans[cidx].repl.len() + fanout > REPL_CAP {
+                    continue;
                 }
-                RouteProgress::McDeliver { .. } => {
-                    unreachable!("deliver copies never cross torus links")
+                self.pop_wire(wire_id, v);
+                self.moved = true;
+                let parent = self.packets.remove(pid);
+                let copies = self.expand_multicast_at(
+                    node,
+                    group,
+                    tree,
+                    Some((arrived, parent.vc, parent.torus_hops)),
+                    &pkt,
+                    parent.injected_at,
+                );
+                for c in copies {
+                    self.chans[cidx].repl.push_back(c);
                 }
+                if let Some(&head) = self.chans[cidx].repl.front() {
+                    if self.try_send_chan_to_router(cidx, head) {
+                        self.chans[cidx].repl.pop_front();
+                    }
+                }
+                self.wake(CompRef::Chan(cidx as u32), now + 1);
+                self.chans[cidx].rr_vc_in = (v + 1) % nvcs;
+                return;
             }
         }
-    }
-
-    fn can_send_chan_to_router(&self, cidx: usize, pid: PacketId) -> bool {
-        let st = self.packets.get(pid);
-        let wire_id = self.chans[cidx].to_router;
-        let vc = st.vc.vc_for(LinkGroup::T);
-        let vcidx = self.vc_index_of(wire_id, st.packet.class, vc);
-        self.wire_can_send(wire_id, vcidx, st.flits)
     }
 
     fn try_send_chan_to_router(&mut self, cidx: usize, pid: PacketId) -> bool {
@@ -2966,62 +3306,80 @@ impl Sim {
             self.wake(CompRef::Chan(cidx as u32), now + refill as u64);
             return;
         }
-        // Gather every VC whose head is ready and whose post-dateline torus
-        // VC has credits, then let the serializer's VC arbiter pick — with
-        // inverse weights installed, this is an EoS arbitration point.
-        let nvcs = self.wire_nvcs[in_wire];
-        let mut reqs = [ArbRequest {
-            input: 0,
-            pattern: 0,
-            age: 0,
-        }; 16];
-        let mut targets = [(BufEntry::EMPTY, 0u8, VcPolicy::Anton.start()); 16];
-        let mut nreqs = 0;
-        for v in 0..nvcs {
-            if self.wire_occupied[in_wire] >> v & 1 == 0 {
+        // Gather the requesting VC set as a bitmask — heads that are ready
+        // and whose post-dateline torus VC has credits — then let the
+        // serializer's VC arbiter pick branchlessly from the mask (with
+        // inverse weights installed, this is an EoS arbitration point).
+        // The torus-lane index is computed once per head and cached in its
+        // gate record (`0xFE` marker; packet VC state is stable while the
+        // head is parked), so blocked heads re-gate without slab loads.
+        let mut req: u64 = 0;
+        let mut occ = self.wire_occupied[in_wire];
+        while occ != 0 {
+            let v = occ.trailing_zeros() as u8;
+            occ &= occ - 1;
+            let m = self.wire_gate[(in_wire << self.vc_shift) + v as usize];
+            if u64::from(m.ready) > now {
                 continue;
             }
-            let Some(entry) = self.wire_head(in_wire, v) else {
-                continue;
+            let vcidx = if m.rc_port == 0xFF {
+                let st = self
+                    .packets
+                    .get(self.wire_heads[(in_wire << self.vc_shift) + v as usize].pkt);
+                // VC on the torus link after a possible dateline promotion.
+                let mut vc_after = st.vc;
+                let tvc = vc_after.torus_hop(crosses);
+                let vcidx = self.vc_index_of(out_wire, st.packet.class, tvc);
+                let g = &mut self.wire_gate[(in_wire << self.vc_shift) + v as usize];
+                g.rc_port = 0xFE;
+                g.rc_vcidx = vcidx;
+                vcidx
+            } else {
+                m.rc_vcidx
             };
-            let e = *entry;
-            let st = self.packets.get(e.pkt);
-            // VC on the torus link after a possible dateline promotion.
-            let mut vc_after = st.vc;
-            let tvc = vc_after.torus_hop(crosses);
-            let vcidx = self.vc_index_of(out_wire, st.packet.class, tvc);
-            if !self.wire_can_send(out_wire, vcidx, e.flits) {
+            if !self.wire_can_send(out_wire, vcidx, m.flits) {
                 continue;
             }
-            reqs[nreqs] = ArbRequest {
-                input: v as usize,
-                pattern: e.pattern,
-                age: e.age,
-            };
-            targets[nreqs] = (e, vcidx, vc_after);
-            nreqs += 1;
+            req |= 1 << v;
         }
-        if nreqs == 0 {
+        if req == 0 {
             return;
         }
-        let widx = self.chans[cidx]
-            .out_arbiter
-            .pick(&reqs[..nreqs])
-            .expect("nonempty requests yield a grant");
+        let v = {
+            let base = in_wire << self.vc_shift;
+            let gate = &self.wire_gate[base..];
+            let heads = &self.wire_heads[base..];
+            self.chans[cidx]
+                .out_arbiter
+                .pick_mask(req, |i| gate[i as usize].pattern, |i| heads[i as usize].age)
+                .expect("nonempty requests yield a grant") as u8
+        };
         if self.params.collect_grants {
             self.grants.serializer += 1;
         }
-        let v = reqs[widx].input as u8;
-        let (entry, vcidx, vc_after) = targets[widx];
+        // Re-derive the winner's target lane from its head entry: the
+        // packet-state lookups above were gates only, so the per-loser
+        // entry/target staging is gone.
+        let mut entry = self.wire_heads[(in_wire << self.vc_shift) + v as usize];
+        // The stamped route context describes the chip being left; the next
+        // chip's channel adapter re-stamps on mesh entry.
+        entry.target = 0xFF;
+        entry.meta = 0;
         let pid = entry.pkt;
         let flits = entry.flits;
+        let (vcidx, vc_after) = {
+            let st = self.packets.get(pid);
+            let mut vc_after = st.vc;
+            let tvc = vc_after.torus_hop(crosses);
+            (self.vc_index_of(out_wire, st.packet.class, tvc), vc_after)
+        };
         if self.recorder.is_some() {
             self.record_event(
                 out_wire as u32,
                 Some(u64::from(pid.0)),
                 TraceEventKind::Grant {
                     site: GrantSite::Serializer,
-                    requests: nreqs as u8,
+                    requests: req.count_ones() as u8,
                     winner: v,
                 },
             );
@@ -3191,15 +3549,18 @@ impl Sim {
             flits: u8,
             class: u8,
             pattern: u8,
+            target: u8,
+            meta: u8,
             age: u64,
         }
         let mut cands: [Option<Cand>; MAX_ROUTER_PORTS] = [None; MAX_ROUTER_PORTS];
-        let mut vc_cands: [Option<Cand>; 16] = [None; 16];
-        let mut vc_reqs = [ArbRequest {
-            input: 0,
-            pattern: 0,
-            age: 0,
-        }; 16];
+        // SA2 request bitsets, built once during the SA1 pass: bit `inp` of
+        // `out_req[out]` is set when input port `inp`'s SA1 winner wants
+        // output `out`. `outs` tracks the non-empty outputs so SA2 walks
+        // exactly the contested ports instead of rescanning candidates
+        // per output.
+        let mut out_req = [0u64; MAX_ROUTER_PORTS];
+        let mut outs: u32 = 0;
         let rbase = ridx * MAX_ROUTER_PORTS;
         for (inp, cand) in cands.iter_mut().enumerate().take(nports) {
             let in_wire = self.router_in_wire[rbase + inp] as usize;
@@ -3207,25 +3568,37 @@ impl Sim {
             if occupied == 0 {
                 continue;
             }
-            // SA1: gather every VC whose head can proceed, then let the
-            // input port's VC arbiter choose (inverse-weighted when
-            // programmed). The gates read only the compact ready/meta
-            // mirrors; a head's full entry is loaded once it qualifies.
-            let nvcs = self.wire_nvcs[in_wire];
-            let mut n_vc = 0usize;
-            for v in 0..nvcs {
-                if occupied >> v & 1 == 0 {
+            // SA1: gather the VCs whose heads can proceed into a request
+            // bitmask, then let the input port's VC arbiter pick from it
+            // (inverse-weighted when programmed). The gates read only the
+            // packed gate records; the winner's full entry is loaded after
+            // the grant.
+            let mut req: u64 = 0;
+            let mut occ = occupied;
+            while occ != 0 {
+                let v = occ.trailing_zeros() as u8;
+                occ &= occ - 1;
+                let m = self.wire_gate[(in_wire << self.vc_shift) + v as usize];
+                if u64::from(m.ready) > now {
                     continue;
                 }
-                if u64::from(self.wire_ready[in_wire][v as usize]) > now {
-                    continue;
-                }
-                let m = self.wire_meta[in_wire][v as usize];
                 let (out_port, out_vcidx, flits) = if m.rc_port == 0xFF {
                     // Route computation: once per packet per router, cached
-                    // in the head's gating metadata.
-                    let e = self.wire_heads[in_wire][v as usize];
-                    let (out_port, out_vc) = self.route_output(ridx, e.pkt);
+                    // in the head's gating metadata. Stamped entries route
+                    // from their sender-provided context — no packet-slab
+                    // load in the hot path.
+                    let e = self.wire_heads[(in_wire << self.vc_shift) + v as usize];
+                    let (out_port, out_vc) = if e.target != 0xFF {
+                        let r = self.route_output_stamped(ridx, e.target, e.meta);
+                        debug_assert_eq!(
+                            r,
+                            self.route_output(ridx, e.pkt),
+                            "stamped route context diverged from slab route"
+                        );
+                        r
+                    } else {
+                        self.route_output(ridx, e.pkt)
+                    };
                     let out_wire = self.router_out_wire[rbase + out_port] as usize;
                     let class = if e.class == 0 {
                         anton_core::vc::TrafficClass::Request
@@ -3233,7 +3606,7 @@ impl Sim {
                         anton_core::vc::TrafficClass::Reply
                     };
                     let rc_vcidx = self.vc_index_of(out_wire, class, out_vc);
-                    let mm = &mut self.wire_meta[in_wire][v as usize];
+                    let mm = &mut self.wire_gate[(in_wire << self.vc_shift) + v as usize];
                     mm.rc_port = out_port as u8;
                     mm.rc_vcidx = rc_vcidx;
                     (out_port, rc_vcidx, e.flits)
@@ -3247,84 +3620,86 @@ impl Sim {
                 if !self.wire_can_send(out_wire, out_vcidx, flits) {
                     continue;
                 }
-                let e = &self.wire_heads[in_wire][v as usize];
-                vc_cands[n_vc] = Some(Cand {
-                    vcidx: v,
-                    pid: e.pkt,
-                    out_port,
-                    out_vcidx,
-                    flits,
-                    class: e.class,
-                    pattern: m.pattern,
-                    age: e.age,
-                });
-                vc_reqs[n_vc] = ArbRequest {
-                    input: v as usize,
-                    pattern: m.pattern,
-                    age: e.age,
-                };
-                n_vc += 1;
+                req |= 1 << v;
             }
-            *cand = match n_vc {
-                0 => None,
-                1 => {
-                    if self.params.collect_grants {
-                        self.grants.sa1 += 1;
-                    }
-                    vc_cands[0]
-                }
-                _ => {
-                    let w = self.routers[ridx].in_arbiters[inp]
-                        .pick(&vc_reqs[..n_vc])
-                        .expect("nonempty requests yield a grant");
-                    if self.params.collect_grants {
-                        self.grants.sa1 += 1;
-                    }
-                    vc_cands[w]
-                }
-            };
-            if self.recorder.is_some() {
-                if let Some(c) = *cand {
-                    self.record_event(
-                        in_wire as u32,
-                        Some(u64::from(c.pid.0)),
-                        TraceEventKind::Grant {
-                            site: GrantSite::Sa1,
-                            requests: n_vc as u8,
-                            winner: c.vcidx,
-                        },
-                    );
-                }
-            }
-        }
-        let mut reqs_buf = [ArbRequest {
-            input: 0,
-            pattern: 0,
-            age: 0,
-        }; MAX_ROUTER_PORTS];
-        for out in 0..nports {
-            let mut nreqs = 0;
-            for (inp, cand) in cands.iter().enumerate().take(nports) {
-                if let Some(c) = cand.filter(|c| c.out_port == out) {
-                    reqs_buf[nreqs] = ArbRequest {
-                        input: inp,
-                        pattern: c.pattern,
-                        age: c.age,
-                    };
-                    nreqs += 1;
-                }
-            }
-            let reqs = &reqs_buf[..nreqs];
-            if reqs.is_empty() {
+            if req == 0 {
                 continue;
             }
-            let widx = self.routers[ridx].arbiters[out]
-                .pick(reqs)
-                .expect("nonempty requests yield a grant");
+            // A sole candidate bypasses the arbiter (state untouched),
+            // matching the reference model's "no contest, no pick" rule.
+            let v = if req & (req - 1) == 0 {
+                req.trailing_zeros()
+            } else {
+                let base = in_wire << self.vc_shift;
+                let gate = &self.wire_gate[base..];
+                let heads = &self.wire_heads[base..];
+                self.router_in_arb[rbase + inp]
+                    .pick_mask(req, |i| gate[i as usize].pattern, |i| heads[i as usize].age)
+                    .expect("nonempty requests yield a grant")
+            };
+            if self.params.collect_grants {
+                self.grants.sa1 += 1;
+            }
+            // Rebuild the winner's candidate from the head mirrors (the rc
+            // cache above guarantees the route fields are populated).
+            let m = self.wire_gate[(in_wire << self.vc_shift) + v as usize];
+            let e = &self.wire_heads[(in_wire << self.vc_shift) + v as usize];
+            let c = Cand {
+                vcidx: v as u8,
+                pid: e.pkt,
+                out_port: m.rc_port as usize,
+                out_vcidx: m.rc_vcidx,
+                flits: m.flits,
+                class: e.class,
+                pattern: m.pattern,
+                target: e.target,
+                meta: e.meta,
+                age: e.age,
+            };
+            out_req[c.out_port] |= 1 << inp;
+            outs |= 1 << c.out_port;
+            *cand = Some(c);
+            if self.recorder.is_some() {
+                self.record_event(
+                    in_wire as u32,
+                    Some(u64::from(c.pid.0)),
+                    TraceEventKind::Grant {
+                        site: GrantSite::Sa1,
+                        requests: req.count_ones() as u8,
+                        winner: c.vcidx,
+                    },
+                );
+            }
+        }
+        // SA2: walk the contested outputs in ascending order (as the old
+        // per-output scan did) and grant one input each from its request
+        // bitset. Unlike SA1, the output arbiter always commits — even an
+        // uncontested request advances its state.
+        while outs != 0 {
+            let out = outs.trailing_zeros() as usize;
+            outs &= outs - 1;
+            let req = out_req[out];
+            let inp = {
+                let cands_ref = &cands;
+                self.router_out_arb[rbase + out]
+                    .pick_mask(
+                        req,
+                        |i| {
+                            cands_ref[i as usize]
+                                .expect("requesting input has a cand")
+                                .pattern
+                        },
+                        |i| {
+                            cands_ref[i as usize]
+                                .expect("requesting input has a cand")
+                                .age
+                        },
+                    )
+                    .expect("nonempty requests yield a grant") as usize
+            };
             if self.params.collect_grants {
                 self.grants.output += 1;
             }
-            let inp = reqs[widx].input;
             let cand = cands[inp].expect("winner came from candidates");
             let in_wire = self.router_in_wire[rbase + inp] as usize;
             let out_wire = self.router_out_wire[rbase + out] as usize;
@@ -3334,7 +3709,7 @@ impl Sim {
                     Some(u64::from(cand.pid.0)),
                     TraceEventKind::Grant {
                         site: GrantSite::Output,
-                        requests: nreqs as u8,
+                        requests: req.count_ones() as u8,
                         winner: inp as u8,
                     },
                 );
@@ -3350,6 +3725,8 @@ impl Sim {
                     pattern: cand.pattern,
                     rc_port: 0xFF,
                     rc_vcidx: 0,
+                    target: cand.target,
+                    meta: cand.meta,
                     age: cand.age,
                 },
                 cand.out_vcidx,

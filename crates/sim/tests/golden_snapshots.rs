@@ -244,9 +244,18 @@ fn render<D>(name: &str, obs: &Observed, drv: &Recorder<D>) -> String {
             t.flits_delivered
         );
     }
+    // Hash per-link flit counts in structural (label-sorted) order so the
+    // digest certifies traffic per link, not the kernel's internal wire
+    // numbering (which is free to change for locality).
+    let mut labeled: Vec<(String, u64)> = obs
+        .wires
+        .iter()
+        .map(|(label, flits)| (label.to_string(), *flits))
+        .collect();
+    labeled.sort();
     let mut wires = Fnv::new();
-    for (label, flits) in &obs.wires {
-        wires.str(&label.to_string());
+    for (label, flits) in &labeled {
+        wires.str(label);
         wires.word(*flits);
     }
     let _ = writeln!(w, "wire_flits_digest: {:#018x}", wires.0);
