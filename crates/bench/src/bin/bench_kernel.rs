@@ -94,10 +94,10 @@ struct Entry {
     cycles_per_sec: f64,
     peak_rss_kb: u64,
     speedup_vs_serial: Option<f64>,
-    phase_ns: Option<[u64; 5]>,
-    /// Why `phase_ns` is absent when it structurally cannot be recorded
-    /// (as opposed to merely being disabled with `--no-phases`).
-    phase_note: Option<&'static str>,
+    /// The per-phase wall-clock breakdown from one profiled pass: the five
+    /// serial kernel phases for `shards == 1` entries, the four sharded
+    /// worker phases (summed plus `per_shard`) otherwise.
+    phase_ns: Option<Json>,
 }
 
 /// One row of the arbitration-core microbenchmark: ns/grant of the
@@ -387,6 +387,62 @@ fn run_once(
     }
 }
 
+/// One profiled pass on the sharded parallel kernel, returning the worker
+/// phase breakdown (`compute` / `barrier_wait` / `mailbox` / `merge`)
+/// summed across shards plus the per-shard split under `per_shard`.
+fn run_profiled_sharded(k: u8, packets: u64, seed: u64, shards: usize) -> Json {
+    let cfg = MachineConfig::new(TorusShape::cube(k));
+    let params = SimParams {
+        trace: TraceConfig {
+            profile: true,
+            ..TraceConfig::default()
+        },
+        ..SimParams::default()
+    };
+    let mut drv = BatchDriver::builder_for(&cfg)
+        .pattern(Box::new(UniformRandom))
+        .packets_per_endpoint(packets)
+        .seed(seed)
+        .build();
+    let mut sim = Sim::builder()
+        .config(cfg)
+        .params(params)
+        .shards(shards)
+        .build_sharded();
+    assert_eq!(
+        sim.run(&mut drv, 600_000_000),
+        RunOutcome::Completed,
+        "profiled sharded run"
+    );
+    let per = sim.phase_ns().expect("phase profiler on");
+    let mut total = [0u64; anton_obs::NUM_SHARD_PHASES];
+    for p in per {
+        for (t, v) in total.iter_mut().zip(p) {
+            *t += v;
+        }
+    }
+    let Json::Obj(mut obj) = anton_obs::phase::phases_to_json(&total) else {
+        unreachable!("phases_to_json returns an object")
+    };
+    obj.push((
+        "per_shard".to_string(),
+        Json::Arr(per.iter().map(anton_obs::phase::phases_to_json).collect()),
+    ));
+    Json::Obj(obj)
+}
+
+/// Renders a serial five-phase breakdown as an object keyed by
+/// [`PHASE_NAMES`].
+fn serial_phases_json(p: [u64; 5]) -> Json {
+    Json::Obj(
+        PHASE_NAMES
+            .iter()
+            .zip(p)
+            .map(|(n, v)| (n.to_string(), Json::from(v)))
+            .collect(),
+    )
+}
+
 /// One profiled pass, returning the per-phase nanosecond deltas.
 fn run_profiled(workload: &str, k: u8, packets: u64, seed: u64) -> [u64; 5] {
     let before: Vec<u64> = PHASE_NS
@@ -471,7 +527,8 @@ fn main() {
                 cycles = c;
                 best_wall = best_wall.min(wall);
             }
-            let phase_ns = phases.then(|| run_profiled(workload, k, packets, seed));
+            let phase_ns =
+                phases.then(|| serial_phases_json(run_profiled(workload, k, packets, seed)));
             entries.push(Entry {
                 workload,
                 size,
@@ -483,7 +540,6 @@ fn main() {
                 peak_rss_kb: peak_rss_kb(),
                 speedup_vs_serial: None,
                 phase_ns,
-                phase_note: None,
             });
         }
     }
@@ -509,24 +565,15 @@ fn main() {
                 serial_cps = Some(cps);
             }
             let rss = peak_rss_kb();
-            // The serial large entry gets a profiled pass like every other
-            // serial entry, so the phase breakdown is visible at the
-            // paper's full 8×8×8 scale; the sharded kernel's workers are
-            // not phase-instrumented, so that entry documents the absence
-            // instead of emitting a bare null.
-            let (phase_ns, phase_note) = if shards == 1 {
-                (
-                    phases.then(|| run_profiled(workload, k, packets, seed)),
-                    None,
-                )
+            // Both large entries get a profiled pass, so the phase
+            // breakdown is visible at the paper's full 8×8×8 scale: the
+            // serial entry reports the kernel's five cycle-loop phases, the
+            // sharded entry the four worker phases of the two-barrier
+            // window protocol (summed across shards, plus `per_shard`).
+            let phase_ns = if shards == 1 {
+                phases.then(|| serial_phases_json(run_profiled(workload, k, packets, seed)))
             } else {
-                (
-                    None,
-                    Some(
-                        "sharded workers are not phase-instrumented; \
-                         see the serial k=8 entry for the phase breakdown",
-                    ),
-                )
+                phases.then(|| run_profiled_sharded(k, packets, seed, shards))
             };
             entries.push(Entry {
                 workload,
@@ -539,7 +586,6 @@ fn main() {
                 peak_rss_kb: rss,
                 speedup_vs_serial,
                 phase_ns,
-                phase_note,
             });
         }
     }
@@ -602,22 +648,10 @@ fn main() {
                 e.speedup_vs_serial.map_or(Json::Null, Json::from),
             ),
         ];
-        match e.phase_ns {
-            Some(p) => obj.push((
-                "phase_ns".to_string(),
-                Json::Obj(
-                    PHASE_NAMES
-                        .iter()
-                        .zip(p)
-                        .map(|(n, v)| (n.to_string(), Json::from(v)))
-                        .collect(),
-                ),
-            )),
-            None => obj.push(("phase_ns".to_string(), Json::Null)),
-        }
-        if let Some(note) = e.phase_note {
-            obj.push(("phase_ns_note".to_string(), Json::from(note)));
-        }
+        obj.push((
+            "phase_ns".to_string(),
+            e.phase_ns.clone().unwrap_or(Json::Null),
+        ));
         rows.push(Json::Obj(obj));
     }
     let headline = entries

@@ -58,7 +58,7 @@ fn main() {
                 events: true,
                 ring_capacity: ring,
                 sample_every: sample,
-                profile: false,
+                ..TraceConfig::default()
             },
             ..SimParams::default()
         };

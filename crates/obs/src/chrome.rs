@@ -29,8 +29,11 @@ struct ChromeEvent {
     pid: u64,
     tid: u64,
     ts: u64,
-    /// Duration for complete ("X") events; `None` emits an instant ("i").
+    /// Duration for complete ("X") events; `None` emits an instant ("i")
+    /// unless `value` is set.
     dur: Option<u64>,
+    /// Sample value for counter ("C") events; takes precedence over `dur`.
+    value: Option<u64>,
     name: String,
     args: Option<Json>,
 }
@@ -74,6 +77,7 @@ impl ChromeTrace {
             tid,
             ts,
             dur: Some(dur),
+            value: None,
             name: name.into(),
             args,
         });
@@ -93,9 +97,60 @@ impl ChromeTrace {
             tid,
             ts,
             dur: None,
+            value: None,
             name: name.into(),
             args,
         });
+    }
+
+    /// Adds a counter ("C") sample: the series named `name` on process
+    /// `pid` takes `value` from `ts` onward. Perfetto renders each
+    /// `(pid, name)` pair as one counter track.
+    pub fn counter(&mut self, pid: u64, ts: u64, name: impl Into<String>, value: u64) {
+        self.events.push(ChromeEvent {
+            pid,
+            tid: 0,
+            ts,
+            dur: None,
+            value: Some(value),
+            name: name.into(),
+            args: None,
+        });
+    }
+
+    /// Derives one *cumulative* counter track per selected channel of a
+    /// sampled time series: each closed window `[start, end)` contributes a
+    /// sample at `end` holding the running sum of the channel (so counter
+    /// tracks are monotone and read as totals-so-far). A zero sample at the
+    /// first window's start anchors every track.
+    pub fn counters_from_timeseries(
+        &mut self,
+        pid: u64,
+        ts: &crate::sampler::TimeSeries,
+        mut select: impl FnMut(&str) -> bool,
+    ) {
+        let windows = ts.windows();
+        let Some(first) = windows.first() else {
+            return;
+        };
+        for (ci, (name, kind)) in ts.channels().iter().enumerate() {
+            if !select(name) {
+                continue;
+            }
+            self.counter(pid, first.start, name.clone(), 0);
+            let mut running = 0u64;
+            for w in windows {
+                let sample = match kind {
+                    crate::sampler::ChannelKind::Counter => {
+                        running += w.values[ci];
+                        running
+                    }
+                    // Gauges are instantaneous readings: export them raw.
+                    crate::sampler::ChannelKind::Gauge => w.values[ci],
+                };
+                self.counter(pid, w.end, name.clone(), sample);
+            }
+        }
     }
 
     /// Number of span/instant events added (metadata excluded).
@@ -137,23 +192,34 @@ impl ChromeTrace {
         });
         for i in order {
             let e = &self.events[i];
+            let ph = if e.value.is_some() {
+                "C"
+            } else if e.dur.is_some() {
+                "X"
+            } else {
+                "i"
+            };
             let mut pairs = vec![
                 ("name".to_string(), Json::from(e.name.as_str())),
-                (
-                    "ph".to_string(),
-                    Json::from(if e.dur.is_some() { "X" } else { "i" }),
-                ),
+                ("ph".to_string(), Json::from(ph)),
                 ("pid".to_string(), Json::from(e.pid)),
                 ("tid".to_string(), Json::from(e.tid)),
                 ("ts".to_string(), Json::from(e.ts)),
             ];
-            if let Some(dur) = e.dur {
+            if let Some(value) = e.value {
+                pairs.push((
+                    "args".to_string(),
+                    Json::obj([("value", Json::from(value))]),
+                ));
+            } else if let Some(dur) = e.dur {
                 pairs.push(("dur".to_string(), Json::from(dur)));
             } else {
                 pairs.push(("s".to_string(), Json::from("t")));
             }
-            if let Some(args) = &e.args {
-                pairs.push(("args".to_string(), args.clone()));
+            if e.value.is_none() {
+                if let Some(args) = &e.args {
+                    pairs.push(("args".to_string(), args.clone()));
+                }
             }
             out.push(Json::Obj(pairs));
         }
@@ -287,6 +353,40 @@ mod tests {
             if let Some(prev) = last.insert(key, ts) {
                 assert!(ts >= prev, "ts must be monotone within a track");
             }
+        }
+    }
+
+    #[test]
+    fn counter_tracks_from_timeseries_are_cumulative_and_monotone() {
+        use crate::sampler::{ChannelKind, TimeSeries};
+        let mut ts = TimeSeries::new(10);
+        ts.channel("flits_torus", ChannelKind::Counter);
+        ts.channel("occupied_vcs", ChannelKind::Gauge);
+        ts.record(0, &[0, 0]);
+        ts.record(10, &[5, 3]);
+        ts.record(20, &[9, 1]);
+        let mut trace = ChromeTrace::new();
+        trace.counters_from_timeseries(7, &ts, |name| name.starts_with("flits_"));
+        let doc = trace.to_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let samples: Vec<(u64, u64)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .map(|e| {
+                assert_eq!(e.get("name").and_then(Json::as_str), Some("flits_torus"));
+                (
+                    ts_of(e),
+                    e.get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(Json::as_u64)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        // Anchor at the first window start, then the running sum per window.
+        assert_eq!(samples, vec![(0, 0), (10, 5), (20, 9)]);
+        for pair in samples.windows(2) {
+            assert!(pair[1].0 >= pair[0].0 && pair[1].1 >= pair[0].1);
         }
     }
 

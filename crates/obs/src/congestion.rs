@@ -1,0 +1,439 @@
+//! Congestion analysis over a [`StallTable`](crate::stall::StallTable):
+//! ranked hotspots, per-link-class totals, and root-blocker trees.
+//!
+//! The simulator snapshots its stall table into plain [`LinkStat`] records
+//! (label and link class attached — this crate knows nothing about the
+//! machine) and [`CongestionReport::build`] derives:
+//!
+//! * **hotspots** — links ranked by total attributed stall cycles, each
+//!   with its dominant cause and the full per-cause breakdown;
+//! * **class totals** — the same cycles folded per link class, answering
+//!   "which link class saturates first";
+//! * **root-blocker trees** — from the `(blocked, blocking)` edge
+//!   durations: a *root blocker* is a wire that starves others of credits
+//!   while not itself being credit-starved; its tree lists the upstream
+//!   wires whose traffic it transitively stalls, so one glance explains a
+//!   backpressure chain instead of a wall of symptoms.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::stall::{StallCause, NUM_CAUSES};
+
+/// Per-link stall snapshot handed to the analyzer by the simulator.
+#[derive(Debug, Clone)]
+pub struct LinkStat {
+    /// Dense wire id (matches the edge endpoints).
+    pub wire: u32,
+    /// Human-readable link label.
+    pub label: String,
+    /// Link-class name (e.g. `"torus"`, `"mesh"`).
+    pub class: String,
+    /// Stall cycles per cause, indexed by [`StallCause::index`].
+    pub cause_cycles: [u64; NUM_CAUSES],
+    /// Non-zero per-VC stall totals `(vc index, cycles)`.
+    pub vc_cycles: Vec<(u8, u64)>,
+}
+
+impl LinkStat {
+    /// Total stall cycles across all causes.
+    pub fn total(&self) -> u64 {
+        self.cause_cycles.iter().sum()
+    }
+
+    /// The cause holding the most cycles (ties break toward the lower
+    /// cause index).
+    pub fn dominant(&self) -> StallCause {
+        let mut best = StallCause::NoCredit;
+        let mut cycles = 0;
+        for c in StallCause::ALL {
+            if self.cause_cycles[c.index()] > cycles {
+                cycles = self.cause_cycles[c.index()];
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// One node of a root-blocker tree: a wire and the wires whose traffic it
+/// stalls.
+#[derive(Debug, Clone)]
+pub struct BlockerNode {
+    /// The blocking wire.
+    pub wire: u32,
+    /// Its label.
+    pub label: String,
+    /// Stall cycles charged directly to this wire by its parent's edge (for
+    /// the tree root: the sum over its direct victims).
+    pub cycles: u64,
+    /// Wires directly stalled waiting on this wire's credits, heaviest
+    /// first.
+    pub blocked: Vec<BlockerNode>,
+}
+
+impl BlockerNode {
+    /// Stall cycles in this subtree (direct victims, transitively).
+    pub fn transitive_cycles(&self) -> u64 {
+        self.blocked
+            .iter()
+            .map(|b| b.cycles + b.transitive_cycles())
+            .sum()
+    }
+}
+
+/// Maximum depth of an exported root-blocker tree.
+const TREE_DEPTH: usize = 4;
+/// Maximum children kept per tree node.
+const TREE_FANOUT: usize = 4;
+
+/// The derived congestion analysis; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct CongestionReport {
+    /// Total attributed stall cycles (equals the sum over hotspots).
+    pub total_stall_cycles: u64,
+    /// Machine-wide stall cycles per cause.
+    pub cause_totals: [u64; NUM_CAUSES],
+    /// `(class name, cycles)` descending by cycles.
+    pub class_totals: Vec<(String, u64)>,
+    /// Links with attributed stalls, descending by total (ties ascending by
+    /// wire id).
+    pub hotspots: Vec<LinkStat>,
+    /// Root-blocker trees, descending by transitive stalled cycles.
+    pub roots: Vec<BlockerNode>,
+}
+
+impl CongestionReport {
+    /// Builds the report from per-link stats plus the stall table's
+    /// `(blocked, blocking)` edge durations. `label_of` resolves wire ids
+    /// that appear only as blockers.
+    pub fn build(
+        mut stats: Vec<LinkStat>,
+        edges: &BTreeMap<(u32, u32), u64>,
+        label_of: impl Fn(u32) -> String,
+    ) -> CongestionReport {
+        stats.retain(|s| s.total() > 0);
+        stats.sort_by_key(|s| (std::cmp::Reverse(s.total()), s.wire));
+
+        let mut cause_totals = [0u64; NUM_CAUSES];
+        let mut class_map: BTreeMap<String, u64> = BTreeMap::new();
+        let mut total = 0;
+        for s in &stats {
+            for (t, c) in cause_totals.iter_mut().zip(&s.cause_cycles) {
+                *t += c;
+            }
+            *class_map.entry(s.class.clone()).or_insert(0) += s.total();
+            total += s.total();
+        }
+        let mut class_totals: Vec<(String, u64)> = class_map.into_iter().collect();
+        class_totals.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        let roots = build_roots(edges, &label_of);
+        CongestionReport {
+            total_stall_cycles: total,
+            cause_totals,
+            class_totals,
+            hotspots: stats,
+            roots,
+        }
+    }
+
+    /// Schema-stable JSON for the results attachment.
+    pub fn to_json(&self) -> Json {
+        let causes = |cc: &[u64; NUM_CAUSES]| {
+            Json::Obj(
+                StallCause::ALL
+                    .iter()
+                    .filter(|c| cc[c.index()] > 0)
+                    .map(|c| (c.name().to_string(), Json::from(cc[c.index()])))
+                    .collect(),
+            )
+        };
+        let hotspots = self
+            .hotspots
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("link", Json::from(s.label.as_str())),
+                    ("class", Json::from(s.class.as_str())),
+                    ("total_cycles", Json::from(s.total())),
+                    ("dominant", Json::from(s.dominant().name())),
+                    ("causes", causes(&s.cause_cycles)),
+                    (
+                        "vcs",
+                        Json::Arr(
+                            s.vc_cycles
+                                .iter()
+                                .map(|&(vc, cy)| {
+                                    Json::obj([
+                                        ("vc", Json::from(u64::from(vc))),
+                                        ("cycles", Json::from(cy)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let classes = self
+            .class_totals
+            .iter()
+            .map(|(name, cy)| {
+                Json::obj([
+                    ("class", Json::from(name.as_str())),
+                    ("cycles", Json::from(*cy)),
+                ])
+            })
+            .collect();
+        fn node_json(n: &BlockerNode) -> Json {
+            Json::obj([
+                ("link", Json::from(n.label.as_str())),
+                ("cycles", Json::from(n.cycles)),
+                ("transitive_cycles", Json::from(n.transitive_cycles())),
+                (
+                    "blocked",
+                    Json::Arr(n.blocked.iter().map(node_json).collect()),
+                ),
+            ])
+        }
+        Json::obj([
+            ("total_stall_cycles", Json::from(self.total_stall_cycles)),
+            ("cause_totals", causes(&self.cause_totals)),
+            ("class_totals", Json::Arr(classes)),
+            ("hotspots", Json::Arr(hotspots)),
+            (
+                "root_blockers",
+                Json::Arr(self.roots.iter().map(node_json).collect()),
+            ),
+        ])
+    }
+
+    /// Human-readable ranked report (at most `max_rows` hotspot rows).
+    pub fn render(&self, max_rows: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "congestion: {} attributed stall cycles across {} links",
+            self.total_stall_cycles,
+            self.hotspots.len()
+        );
+        if self.total_stall_cycles == 0 {
+            return out;
+        }
+        let _ = writeln!(out, "\nstall cycles by link class:");
+        for (class, cy) in &self.class_totals {
+            let pct = 100.0 * *cy as f64 / self.total_stall_cycles as f64;
+            let _ = writeln!(out, "  {class:<16} {cy:>12}  ({pct:5.1}%)");
+        }
+        let _ = writeln!(out, "\nstall cycles by cause:");
+        for c in StallCause::ALL {
+            let cy = self.cause_totals[c.index()];
+            if cy > 0 {
+                let pct = 100.0 * cy as f64 / self.total_stall_cycles as f64;
+                let _ = writeln!(out, "  {:<20} {cy:>12}  ({pct:5.1}%)", c.name());
+            }
+        }
+        let _ = writeln!(out, "\ntop hotspots:");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:<10} {:>12}  dominant cause",
+            "link", "class", "cycles"
+        );
+        for s in self.hotspots.iter().take(max_rows) {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:<10} {:>12}  {}",
+                s.label,
+                s.class,
+                s.total(),
+                s.dominant().name()
+            );
+        }
+        if self.hotspots.len() > max_rows {
+            let _ = writeln!(out, "  ... {} more", self.hotspots.len() - max_rows);
+        }
+        if !self.roots.is_empty() {
+            let _ = writeln!(out, "\nroot blockers (backpressure chains):");
+            for r in &self.roots {
+                let _ = writeln!(
+                    out,
+                    "  {} stalls {} upstream cycles:",
+                    r.label,
+                    r.transitive_cycles()
+                );
+                fn walk(out: &mut String, n: &BlockerNode, depth: usize) {
+                    for b in &n.blocked {
+                        let _ = writeln!(
+                            out,
+                            "  {}<- {} ({} cycles)",
+                            "   ".repeat(depth),
+                            b.label,
+                            b.cycles
+                        );
+                        walk(out, b, depth + 1);
+                    }
+                }
+                walk(&mut out, r, 1);
+            }
+        }
+        out
+    }
+}
+
+/// Derives the root-blocker trees from the edge durations.
+fn build_roots(
+    edges: &BTreeMap<(u32, u32), u64>,
+    label_of: &impl Fn(u32) -> String,
+) -> Vec<BlockerNode> {
+    // blame: cycles a wire inflicts as a blocker; victimhood: cycles a wire
+    // suffers waiting on someone else's credits.
+    let mut blame: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut victim: BTreeMap<u32, u64> = BTreeMap::new();
+    // blocking wire -> (blocked wire, cycles), heaviest first after sort.
+    let mut victims_of: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
+    for (&(blocked, blocking), &cy) in edges {
+        *blame.entry(blocking).or_insert(0) += cy;
+        *victim.entry(blocked).or_insert(0) += cy;
+        victims_of.entry(blocking).or_default().push((blocked, cy));
+    }
+    for v in victims_of.values_mut() {
+        v.sort_by_key(|&(w, cy)| (std::cmp::Reverse(cy), w));
+    }
+    // True roots starve others while starving for nothing themselves; when
+    // backpressure forms a cycle none exists, so fall back to every blamed
+    // wire and let the heaviest lead.
+    let mut roots: Vec<u32> = blame
+        .keys()
+        .copied()
+        .filter(|w| !victim.contains_key(w))
+        .collect();
+    if roots.is_empty() {
+        roots = blame.keys().copied().collect();
+    }
+    roots.sort_by_key(|w| (std::cmp::Reverse(blame[w]), *w));
+
+    fn grow(
+        wire: u32,
+        cycles: u64,
+        depth: usize,
+        victims_of: &BTreeMap<u32, Vec<(u32, u64)>>,
+        path: &mut Vec<u32>,
+        label_of: &impl Fn(u32) -> String,
+    ) -> BlockerNode {
+        let mut blocked = Vec::new();
+        if depth < TREE_DEPTH {
+            path.push(wire);
+            if let Some(vs) = victims_of.get(&wire) {
+                for &(v, cy) in vs.iter().take(TREE_FANOUT) {
+                    if path.contains(&v) {
+                        continue; // backpressure cycle: don't recurse forever
+                    }
+                    blocked.push(grow(v, cy, depth + 1, victims_of, path, label_of));
+                }
+            }
+            path.pop();
+        }
+        BlockerNode {
+            wire,
+            label: label_of(wire),
+            cycles,
+            blocked,
+        }
+    }
+
+    roots
+        .into_iter()
+        .map(|w| {
+            let direct: u64 = victims_of[&w].iter().map(|&(_, cy)| cy).sum();
+            grow(w, direct, 0, &victims_of, &mut Vec::new(), label_of)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(wire: u32, class: &str, cause: StallCause, cycles: u64) -> LinkStat {
+        let mut cause_cycles = [0u64; NUM_CAUSES];
+        cause_cycles[cause.index()] = cycles;
+        LinkStat {
+            wire,
+            label: format!("w{wire}"),
+            class: class.into(),
+            cause_cycles,
+            vc_cycles: vec![(0, cycles)],
+        }
+    }
+
+    #[test]
+    fn hotspots_rank_by_total_and_classes_fold() {
+        let stats = vec![
+            stat(0, "mesh", StallCause::LostSa1, 10),
+            stat(1, "torus", StallCause::NoCredit, 100),
+            stat(2, "torus", StallCause::SerializerBusy, 50),
+            stat(3, "mesh", StallCause::LostSa2, 0),
+        ];
+        let r = CongestionReport::build(stats, &BTreeMap::new(), |w| format!("w{w}"));
+        assert_eq!(r.total_stall_cycles, 160);
+        assert_eq!(r.hotspots.len(), 3); // the zero row is dropped
+        assert_eq!(r.hotspots[0].wire, 1);
+        assert_eq!(r.class_totals[0], ("torus".to_string(), 150));
+        assert_eq!(r.hotspots[0].dominant(), StallCause::NoCredit);
+        // Per-link totals sum to the attributed stall count.
+        let sum: u64 = r.hotspots.iter().map(|h| h.total()).sum();
+        assert_eq!(sum, r.total_stall_cycles);
+    }
+
+    #[test]
+    fn chains_resolve_to_the_root_blocker() {
+        // 0 waits on 1, 1 waits on 2: the root blocker is 2.
+        let mut edges = BTreeMap::new();
+        edges.insert((0, 1), 30u64);
+        edges.insert((1, 2), 40u64);
+        let r = CongestionReport::build(Vec::new(), &edges, |w| format!("w{w}"));
+        assert_eq!(r.roots.len(), 1);
+        let root = &r.roots[0];
+        assert_eq!(root.wire, 2);
+        assert_eq!(root.blocked.len(), 1);
+        assert_eq!(root.blocked[0].wire, 1);
+        assert_eq!(root.blocked[0].blocked[0].wire, 0);
+        assert_eq!(root.transitive_cycles(), 70);
+    }
+
+    #[test]
+    fn backpressure_cycles_terminate() {
+        let mut edges = BTreeMap::new();
+        edges.insert((0, 1), 5u64);
+        edges.insert((1, 0), 7u64);
+        let r = CongestionReport::build(Vec::new(), &edges, |w| format!("w{w}"));
+        // No wire is victim-free; the heaviest blamed wire leads.
+        assert!(!r.roots.is_empty());
+        assert_eq!(r.roots[0].wire, 0); // blame(0)=7 > blame(1)=5
+        let json = r.to_json();
+        assert!(json.get("root_blockers").is_some());
+    }
+
+    #[test]
+    fn render_and_json_carry_the_ranking() {
+        let stats = vec![
+            stat(1, "torus", StallCause::NoCredit, 100),
+            stat(0, "mesh", StallCause::LostSa1, 10),
+        ];
+        let mut edges = BTreeMap::new();
+        edges.insert((0, 1), 10u64);
+        let r = CongestionReport::build(stats, &edges, |w| format!("w{w}"));
+        let text = r.render(10);
+        assert!(text.contains("110 attributed stall cycles"));
+        assert!(text.contains("torus"));
+        let json = r.to_json();
+        assert_eq!(
+            json.get("total_stall_cycles").and_then(Json::as_u64),
+            Some(110)
+        );
+        let hs = json.get("hotspots").and_then(Json::as_arr).unwrap();
+        assert_eq!(hs[0].get("link").and_then(Json::as_str), Some("w1"));
+    }
+}

@@ -16,7 +16,15 @@
 //!   kernel counters folded into typed windows, with
 //!   [`TimeSeries::merged`](sampler::TimeSeries::merged) summing per-shard
 //!   series into the machine-wide view;
-//! * [`chrome`] — Chrome trace-event JSON export (viewable in Perfetto);
+//! * [`stall`] — stall attribution: segmented per-link/per-VC stall-cycle
+//!   counters keyed by cause (credit starvation, lost arbitration,
+//!   serializer busy, retransmit backlog, dead-link drain);
+//! * [`congestion`] — the analyzer over a stall table: ranked hotspots,
+//!   per-link-class totals, and root-blocker backpressure trees;
+//! * [`phase`] — shard phase profiling: per-worker wall-clock split into
+//!   compute / barrier-wait / mailbox / merge;
+//! * [`chrome`] — Chrome trace-event JSON export (viewable in Perfetto),
+//!   including counter ("C") tracks derived from sampled time series;
 //! * [`link_json`] — structural JSON round-tripping for
 //!   [`anton_core::trace::GlobalLink`].
 //!
@@ -29,17 +37,23 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chrome;
+pub mod congestion;
 pub mod event;
 pub mod json;
 pub mod link_json;
+pub mod phase;
 pub mod recorder;
 pub mod sampler;
+pub mod stall;
 
 pub use chrome::ChromeTrace;
+pub use congestion::{CongestionReport, LinkStat};
 pub use event::{TraceEvent, TraceEventKind};
 pub use json::Json;
+pub use phase::{PhaseClock, ShardPhase, NUM_SHARD_PHASES, SHARD_PHASE_NAMES};
 pub use recorder::{merged_events, EventRing, FlightRecorder};
 pub use sampler::{ChannelKind, SampleWindow, TimeSeries};
+pub use stall::{StallCause, StallTable};
 
 use std::io;
 use std::path::Path;

@@ -1,0 +1,122 @@
+//! Shard phase profiling: where a parallel worker's wall-clock goes.
+//!
+//! Each worker of a sharded run owns a [`PhaseClock`] — a lock-free
+//! (thread-local, no shared state) accumulator splitting its wall-clock
+//! into the four phases of the two-barrier window protocol:
+//!
+//! * **compute** — stepping the shard's replica through the window;
+//! * **barrier_wait** — blocked on either window barrier (load imbalance
+//!   plus coordinator replay time);
+//! * **mailbox** — draining boundary exports and publishing them to the
+//!   consumer shards' inboxes;
+//! * **merge** — sorting and applying this shard's imports.
+//!
+//! The clock costs one branch per lap when disabled. Per-shard totals are
+//! exported as `phase_ns` (see [`phases_to_json`]) on the sharded
+//! `bench_kernel` entries and as per-shard tracks in the Perfetto trace.
+
+use std::time::Instant;
+
+/// Number of shard phases.
+pub const NUM_SHARD_PHASES: usize = 4;
+
+/// JSON/report key per phase, in [`ShardPhase`] index order.
+pub const SHARD_PHASE_NAMES: [&str; NUM_SHARD_PHASES] =
+    ["compute", "barrier_wait", "mailbox", "merge"];
+
+/// One phase of a shard worker's window loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPhase {
+    /// Stepping the replica through the window.
+    Compute = 0,
+    /// Blocked on a window barrier.
+    BarrierWait = 1,
+    /// Draining and publishing boundary exports.
+    Mailbox = 2,
+    /// Sorting and applying imports.
+    Merge = 3,
+}
+
+/// Per-worker phase accumulator; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct PhaseClock {
+    enabled: bool,
+    last: Instant,
+    acc: [u64; NUM_SHARD_PHASES],
+}
+
+impl PhaseClock {
+    /// Creates a clock; when `enabled` is false every call is a no-op
+    /// behind one branch.
+    pub fn new(enabled: bool) -> PhaseClock {
+        PhaseClock {
+            enabled,
+            last: Instant::now(),
+            acc: [0; NUM_SHARD_PHASES],
+        }
+    }
+
+    /// Charges the time since the previous lap (or construction) to
+    /// `phase`.
+    #[inline]
+    pub fn lap(&mut self, phase: ShardPhase) {
+        if self.enabled {
+            let now = Instant::now();
+            self.acc[phase as usize] += (now - self.last).as_nanos() as u64;
+            self.last = now;
+        }
+    }
+
+    /// The accumulated nanoseconds per phase.
+    pub fn into_ns(self) -> [u64; NUM_SHARD_PHASES] {
+        self.acc
+    }
+}
+
+/// Renders one shard's phase nanoseconds as an object keyed by
+/// [`SHARD_PHASE_NAMES`].
+pub fn phases_to_json(ns: &[u64; NUM_SHARD_PHASES]) -> crate::json::Json {
+    crate::json::Json::Obj(
+        SHARD_PHASE_NAMES
+            .iter()
+            .zip(ns)
+            .map(|(name, v)| (name.to_string(), crate::json::Json::from(*v)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_clock_accumulates_nothing() {
+        let mut c = PhaseClock::new(false);
+        c.lap(ShardPhase::Compute);
+        std::thread::yield_now();
+        c.lap(ShardPhase::BarrierWait);
+        assert_eq!(c.into_ns(), [0; NUM_SHARD_PHASES]);
+    }
+
+    #[test]
+    fn laps_charge_elapsed_time_to_the_named_phase() {
+        let mut c = PhaseClock::new(true);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        c.lap(ShardPhase::Compute);
+        c.lap(ShardPhase::Merge);
+        let ns = c.into_ns();
+        assert!(ns[ShardPhase::Compute as usize] >= 1_000_000);
+        assert_eq!(ns[ShardPhase::BarrierWait as usize], 0);
+    }
+
+    #[test]
+    fn json_keys_follow_the_phase_names() {
+        let j = phases_to_json(&[1, 2, 3, 4]);
+        for (i, name) in SHARD_PHASE_NAMES.iter().enumerate() {
+            assert_eq!(
+                j.get(name).and_then(crate::json::Json::as_u64),
+                Some(i as u64 + 1)
+            );
+        }
+    }
+}

@@ -317,6 +317,50 @@ mod tests {
     }
 
     #[test]
+    fn overflowed_ring_merge_stays_monotone_and_renumbers_stably() {
+        // Shard 0's ring overflows (drop-oldest); shard 1's does not. The
+        // merged stream must still be monotone in (cycle, track, part) and
+        // its renumbering must be a pure function of the surviving events —
+        // i.e. stable across a replay.
+        let build = || {
+            let mut p0 = FlightRecorder::new(4);
+            let w = p0.add_track("wire-0");
+            for i in 0..12 {
+                p0.record(w, 100 + i, Some(i), TraceEventKind::Inject);
+            }
+            let mut p1 = FlightRecorder::new(4);
+            let w1 = p1.add_track("wire-0");
+            p1.record(w1, 103, Some(50), TraceEventKind::Deliver);
+            p1.record(w1, 109, Some(51), TraceEventKind::Deliver);
+            (p0, p1)
+        };
+        let (p0, p1) = build();
+        assert_eq!(p0.track_dropped(0), 8);
+        assert_eq!(p1.track_dropped(0), 0);
+
+        let merged = merged_events([&p0, &p1]);
+        // Drop-oldest kept exactly p0's last four events; p1 kept both.
+        assert_eq!(merged.len(), 6);
+        let mut last = (0u64, 0u32, 0usize);
+        for (i, e) in merged.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "seq renumbered to merged position");
+            let part = usize::from(e.kind == TraceEventKind::Deliver);
+            let key = (e.cycle, e.track, part);
+            assert!(key >= last, "merged order must stay monotone");
+            last = key;
+        }
+        // The non-overflowed shard's early event survives even though the
+        // overflowed shard dropped that whole cycle range.
+        assert_eq!(merged[0].cycle, 103);
+        assert_eq!(merged[0].packet, Some(50));
+
+        // Stability: replaying the identical recordings renumbers
+        // identically.
+        let (q0, q1) = build();
+        assert_eq!(merged_events([&q0, &q1]), merged);
+    }
+
+    #[test]
     fn recent_matching_returns_last_k_in_order() {
         let mut rec = FlightRecorder::new(16);
         let a = rec.add_track("wire-a");

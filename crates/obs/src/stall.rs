@@ -1,0 +1,341 @@
+//! Stall attribution: dense per-link/per-VC stall-cycle counters keyed by
+//! *cause*.
+//!
+//! A head that fails to advance in an event-driven kernel is not re-examined
+//! every cycle — its component sleeps until something could change. So the
+//! table counts stalls as **segments**, not per-cycle increments: the first
+//! time a component visit finds a head blocked it opens a segment stamped
+//! with the classified cause; later visits that classify the same cause are
+//! free (one compare); a visit that classifies a *different* cause closes
+//! the old segment (attributing its whole duration to the old cause) and
+//! opens a new one; the pop that finally moves the head closes the segment.
+//! The result is exact whole-run per-cause cycle counts with no per-cycle
+//! work on sleeping components.
+//!
+//! Causes that name a *blocking* wire (credit starvation, retransmit
+//! backlog) additionally accumulate `(blocked wire, blocking wire)` edge
+//! durations, from which [`CongestionReport`](crate::congestion) derives
+//! root-blocker trees.
+//!
+//! Determinism: every `(wire, VC)` slot has exactly one observing component
+//! (the wire's consumer), causes are pure functions of machine state, and
+//! visits happen on deterministic wake cycles — so two runs that step the
+//! same schedule produce identical tables, and per-shard tables of a
+//! sharded run [`merge`](StallTable::merge) by summation into exactly the
+//! serial table.
+
+use std::collections::BTreeMap;
+
+/// Number of stall causes ([`StallCause::ALL`]).
+pub const NUM_CAUSES: usize = 7;
+
+/// Why a buffered, ready head failed to advance this visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StallCause {
+    /// The downstream wire's VC had fewer credits than the head's flits.
+    NoCredit = 0,
+    /// Another VC of the same input port won switch allocation stage 1.
+    LostSa1 = 1,
+    /// Another input port won the output port in switch allocation stage 2.
+    LostSa2 = 2,
+    /// The output port (or adapter-to-router link) was mid-transfer.
+    OutputBusy = 3,
+    /// The torus serializer was unavailable: token bucket refilling, or the
+    /// serializer granted a competing VC this cycle.
+    SerializerBusy = 4,
+    /// Credit starvation on a lossy link whose go-back-N shim is holding a
+    /// retransmit backlog — the credits are stuck behind re-sent frames.
+    RetransmitBacklog = 5,
+    /// Head parked at the serializer of a Down link (multicast copies have
+    /// no reroute table and wait out the outage).
+    DeadLinkDrain = 6,
+}
+
+impl StallCause {
+    /// Every cause, in index order.
+    pub const ALL: [StallCause; NUM_CAUSES] = [
+        StallCause::NoCredit,
+        StallCause::LostSa1,
+        StallCause::LostSa2,
+        StallCause::OutputBusy,
+        StallCause::SerializerBusy,
+        StallCause::RetransmitBacklog,
+        StallCause::DeadLinkDrain,
+    ];
+
+    /// Stable snake_case name (used in JSON exports and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::NoCredit => "no_credit",
+            StallCause::LostSa1 => "lost_sa1",
+            StallCause::LostSa2 => "lost_sa2",
+            StallCause::OutputBusy => "output_busy",
+            StallCause::SerializerBusy => "serializer_busy",
+            StallCause::RetransmitBacklog => "retransmit_backlog",
+            StallCause::DeadLinkDrain => "dead_link_drain",
+        }
+    }
+
+    /// Dense index of this cause.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+const NO_SEG: u8 = 0xFF;
+const NO_BLOCKER: u32 = u32::MAX;
+
+/// One open stall segment of a `(wire, VC)` slot.
+#[derive(Debug, Clone, Copy)]
+struct OpenSeg {
+    /// `StallCause as u8`, or [`NO_SEG`] when the slot is not stalled.
+    cause: u8,
+    /// Blocking wire id, or [`NO_BLOCKER`].
+    blocker: u32,
+    /// Cycle the segment opened.
+    since: u64,
+}
+
+const CLOSED: OpenSeg = OpenSeg {
+    cause: NO_SEG,
+    blocker: NO_BLOCKER,
+    since: 0,
+};
+
+/// Dense per-`(wire, VC)` stall-cycle counters, segmented by cause; see the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct StallTable {
+    vc_shift: u32,
+    open: Vec<OpenSeg>,
+    /// `slot * NUM_CAUSES + cause` → accumulated stall cycles.
+    counts: Vec<u64>,
+    /// `(blocked wire, blocking wire)` → accumulated stall cycles.
+    edges: BTreeMap<(u32, u32), u64>,
+    total: u64,
+}
+
+impl StallTable {
+    /// Creates a table for `num_wires` wires with `1 << vc_shift` VC slots
+    /// per wire.
+    pub fn new(num_wires: usize, vc_shift: u32) -> StallTable {
+        let slots = num_wires << vc_shift;
+        StallTable {
+            vc_shift,
+            open: vec![CLOSED; slots],
+            counts: vec![0; slots * NUM_CAUSES],
+            edges: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, wire: u32, vcidx: u8) -> usize {
+        ((wire as usize) << self.vc_shift) + vcidx as usize
+    }
+
+    fn close(&mut self, slot: usize, wire: u32, seg: OpenSeg, now: u64) {
+        let dur = now - seg.since;
+        if dur == 0 {
+            return;
+        }
+        self.counts[slot * NUM_CAUSES + seg.cause as usize] += dur;
+        self.total += dur;
+        if seg.blocker != NO_BLOCKER {
+            *self.edges.entry((wire, seg.blocker)).or_insert(0) += dur;
+        }
+    }
+
+    /// Classifies the head of `(wire, vcidx)` as stalled with `cause` at
+    /// cycle `now`, naming the `blocker` wire when the cause is another
+    /// wire's credit state. Re-observing the same cause is a no-op; a cause
+    /// change closes the running segment and opens a new one.
+    #[inline]
+    pub fn observe(
+        &mut self,
+        wire: u32,
+        vcidx: u8,
+        cause: StallCause,
+        blocker: Option<u32>,
+        now: u64,
+    ) {
+        let slot = self.slot(wire, vcidx);
+        let blocker = blocker.unwrap_or(NO_BLOCKER);
+        let seg = self.open[slot];
+        if seg.cause == cause as u8 && seg.blocker == blocker {
+            return;
+        }
+        if seg.cause != NO_SEG {
+            self.close(slot, wire, seg, now);
+        }
+        self.open[slot] = OpenSeg {
+            cause: cause as u8,
+            blocker,
+            since: now,
+        };
+    }
+
+    /// Closes any open segment of `(wire, vcidx)` at cycle `now` — called
+    /// when the head advances (is popped).
+    #[inline]
+    pub fn resolve(&mut self, wire: u32, vcidx: u8, now: u64) {
+        let slot = self.slot(wire, vcidx);
+        let seg = self.open[slot];
+        if seg.cause != NO_SEG {
+            self.close(slot, wire, seg, now);
+            self.open[slot] = CLOSED;
+        }
+    }
+
+    /// Closes every open segment at cycle `now` (end of run). The table
+    /// stays usable; heads still stalled afterwards re-open on their next
+    /// observation.
+    pub fn flush(&mut self, now: u64) {
+        for slot in 0..self.open.len() {
+            let seg = self.open[slot];
+            if seg.cause != NO_SEG {
+                let wire = (slot >> self.vc_shift) as u32;
+                self.close(slot, wire, seg, now);
+                self.open[slot] = CLOSED;
+            }
+        }
+    }
+
+    /// Adds another table's closed counts into this one (per-shard tables of
+    /// a sharded run sum into the serial table). Open segments are not
+    /// merged — flush both tables first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables' shapes differ.
+    pub fn merge(&mut self, other: &StallTable) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "table shape mismatch"
+        );
+        assert_eq!(self.vc_shift, other.vc_shift, "table shape mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (&k, &v) in &other.edges {
+            *self.edges.entry(k).or_insert(0) += v;
+        }
+        self.total += other.total;
+    }
+
+    /// Total attributed stall cycles across every wire, VC, and cause.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing has been attributed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of wires the table covers.
+    pub fn num_wires(&self) -> usize {
+        self.open.len() >> self.vc_shift
+    }
+
+    /// Per-cause stall cycles of one wire, summed over its VCs.
+    pub fn wire_cause_cycles(&self, wire: u32) -> [u64; NUM_CAUSES] {
+        let mut out = [0u64; NUM_CAUSES];
+        let base = (wire as usize) << self.vc_shift;
+        for vc in 0..(1usize << self.vc_shift) {
+            let row = (base + vc) * NUM_CAUSES;
+            for (c, o) in self.counts[row..row + NUM_CAUSES].iter().zip(&mut out) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Non-zero per-VC stall totals of one wire (all causes summed).
+    pub fn wire_vc_cycles(&self, wire: u32) -> Vec<(u8, u64)> {
+        let base = (wire as usize) << self.vc_shift;
+        (0..(1usize << self.vc_shift))
+            .filter_map(|vc| {
+                let row = (base + vc) * NUM_CAUSES;
+                let t: u64 = self.counts[row..row + NUM_CAUSES].iter().sum();
+                (t > 0).then_some((vc as u8, t))
+            })
+            .collect()
+    }
+
+    /// Wires with any attributed stall cycles, ascending.
+    pub fn stalled_wires(&self) -> Vec<u32> {
+        (0..self.num_wires() as u32)
+            .filter(|&w| self.wire_cause_cycles(w).iter().any(|&c| c > 0))
+            .collect()
+    }
+
+    /// Accumulated `(blocked wire, blocking wire)` → stall-cycle edges.
+    pub fn edges(&self) -> &BTreeMap<(u32, u32), u64> {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_attribute_whole_durations_to_the_classified_cause() {
+        let mut t = StallTable::new(4, 2);
+        t.observe(1, 0, StallCause::NoCredit, Some(3), 10);
+        // Re-observing the same cause is free and extends the segment.
+        t.observe(1, 0, StallCause::NoCredit, Some(3), 15);
+        // A cause change at 20 closes [10, 20) as NoCredit.
+        t.observe(1, 0, StallCause::LostSa1, None, 20);
+        // The pop at 23 closes [20, 23) as LostSa1.
+        t.resolve(1, 0, 23);
+        let causes = t.wire_cause_cycles(1);
+        assert_eq!(causes[StallCause::NoCredit.index()], 10);
+        assert_eq!(causes[StallCause::LostSa1.index()], 3);
+        assert_eq!(t.total_stall_cycles(), 13);
+        assert_eq!(t.edges().get(&(1, 3)), Some(&10));
+        assert_eq!(t.wire_vc_cycles(1), vec![(0, 13)]);
+        assert_eq!(t.stalled_wires(), vec![1]);
+    }
+
+    #[test]
+    fn zero_length_segments_vanish_and_resolve_without_open_is_a_noop() {
+        let mut t = StallTable::new(2, 1);
+        t.resolve(0, 0, 5);
+        t.observe(0, 1, StallCause::OutputBusy, None, 7);
+        t.resolve(0, 1, 7); // same-cycle open+close: nothing attributed
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn flush_closes_everything_and_merge_sums_tables() {
+        let mut a = StallTable::new(2, 1);
+        a.observe(0, 0, StallCause::SerializerBusy, None, 0);
+        a.flush(8);
+        let mut b = StallTable::new(2, 1);
+        b.observe(0, 0, StallCause::SerializerBusy, None, 2);
+        b.observe(1, 1, StallCause::NoCredit, Some(0), 4);
+        b.flush(10);
+        a.merge(&b);
+        assert_eq!(
+            a.wire_cause_cycles(0)[StallCause::SerializerBusy.index()],
+            16
+        );
+        assert_eq!(a.wire_cause_cycles(1)[StallCause::NoCredit.index()], 6);
+        assert_eq!(a.total_stall_cycles(), 22);
+        assert_eq!(a.edges().get(&(1, 0)), Some(&6));
+    }
+
+    #[test]
+    fn blocker_change_with_same_cause_starts_a_new_edge_segment() {
+        let mut t = StallTable::new(4, 0);
+        t.observe(2, 0, StallCause::NoCredit, Some(0), 0);
+        t.observe(2, 0, StallCause::NoCredit, Some(1), 6);
+        t.resolve(2, 0, 10);
+        assert_eq!(t.edges().get(&(2, 0)), Some(&6));
+        assert_eq!(t.edges().get(&(2, 1)), Some(&4));
+        assert_eq!(t.total_stall_cycles(), 10);
+    }
+}

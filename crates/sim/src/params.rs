@@ -123,6 +123,12 @@ pub struct TraceConfig {
     /// Accumulate per-phase wall-clock nanoseconds (the profiler previously
     /// enabled only by the `ANTON_SIM_PROFILE` environment variable).
     pub profile: bool,
+    /// Attribute stall cycles: whenever a buffered head fails to advance,
+    /// classify the cause (no credit, lost SA1/SA2, output or serializer
+    /// busy, retransmit backlog, dead-link drain) into dense per-link/
+    /// per-VC counters (see [`anton_obs::stall`]). Off by default; the
+    /// counters never influence simulation behavior.
+    pub stalls: bool,
 }
 
 impl Default for TraceConfig {
@@ -132,6 +138,7 @@ impl Default for TraceConfig {
             ring_capacity: 256,
             sample_every: 0,
             profile: false,
+            stalls: false,
         }
     }
 }
@@ -154,9 +161,17 @@ impl TraceConfig {
         }
     }
 
-    /// `true` when any tracing or sampling is enabled.
+    /// A config with stall attribution on.
+    pub fn stalls() -> TraceConfig {
+        TraceConfig {
+            stalls: true,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// `true` when any tracing, sampling, or stall attribution is enabled.
     pub fn any(&self) -> bool {
-        self.events || self.sample_every > 0
+        self.events || self.sample_every > 0 || self.stalls
     }
 }
 

@@ -275,6 +275,10 @@ pub struct ShardedSim {
     idle_cycles: u64,
     deadlocked: bool,
     deadlock_report: Option<Box<DeadlockReport>>,
+    /// Per-shard wall-clock nanoseconds split by worker phase
+    /// ([`anton_obs::phase`]), accumulated across [`ShardedSim::run`] calls.
+    /// Empty unless the phase profiler is on.
+    phase_ns: Vec<[u64; anton_obs::NUM_SHARD_PHASES]>,
 }
 
 impl ShardedSim {
@@ -353,6 +357,7 @@ impl ShardedSim {
             idle_cycles: 0,
             deadlocked: false,
             deadlock_report: None,
+            phase_ns: Vec::new(),
         }
     }
 
@@ -481,6 +486,40 @@ impl ShardedSim {
             ts.truncate_after(self.end_cycle);
             ts
         })
+    }
+
+    /// Per-shard wall-clock nanoseconds split by worker phase
+    /// (`compute` / `barrier_wait` / `mailbox` / `merge`, indexed by
+    /// [`anton_obs::ShardPhase`]), accumulated across [`run`] calls.
+    /// `None` unless the phase profiler was on
+    /// ([`TraceConfig::profile`](crate::params::TraceConfig::profile) or
+    /// `ANTON_SIM_PROFILE`).
+    ///
+    /// [`run`]: ShardedSim::run
+    pub fn phase_ns(&self) -> Option<&[[u64; anton_obs::NUM_SHARD_PHASES]]> {
+        (!self.phase_ns.is_empty()).then_some(self.phase_ns.as_slice())
+    }
+
+    /// The per-shard stall-attribution tables summed into one machine-wide
+    /// table, when [`TraceConfig::stalls`](crate::params::TraceConfig::stalls)
+    /// was on. Each (wire, VC) slot is only ever observed by the one shard
+    /// that owns its consuming component, so summation counts every stall
+    /// segment exactly once and the result is byte-identical to a serial
+    /// run of the same workload.
+    pub fn merged_stalls(&self) -> Option<anton_obs::StallTable> {
+        let mut parts = self.shards.iter().filter_map(Sim::stall_table);
+        let mut merged = parts.next()?.clone();
+        for p in parts {
+            merged.merge(p);
+        }
+        Some(merged)
+    }
+
+    /// Congestion analysis over [`merged_stalls`](ShardedSim::merged_stalls):
+    /// ranked hotspots, per-cause totals, and root-blocker trees.
+    pub fn congestion_report(&self) -> Option<anton_obs::CongestionReport> {
+        let merged = self.merged_stalls()?;
+        Some(self.shards[0].congestion_report_from(&merged))
     }
 
     /// Merged statistics: delivery-side counters come from the control
@@ -736,6 +775,12 @@ impl ShardedSim {
             self.link_window
         };
         let watchdog = self.control.params.watchdog_cycles;
+        // The phase profiler honors the same switches as the serial one:
+        // `TraceConfig::profile` or the legacy environment variable. Read
+        // the flag from a worker replica — the control replica's trace
+        // config is deliberately blanked.
+        let profile =
+            self.shards[0].params.trace.profile || std::env::var_os("ANTON_SIM_PROFILE").is_some();
         let t0 = self.shards[0].now();
         let deadline = t0 + max_cycles;
 
@@ -751,7 +796,7 @@ impl ShardedSim {
             .collect();
 
         let mut pending_deadlock: Option<(u64, u64)> = None;
-        let (collected, outcome, end) = std::thread::scope(|scope| {
+        let (collected, phases, outcome, end) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(nshards);
             for (me, (mut sim, mut sub)) in sims.into_iter().zip(subs).enumerate() {
                 let barrier = &barrier;
@@ -760,10 +805,14 @@ impl ShardedSim {
                 let inboxes = &inboxes;
                 let logs = &logs;
                 handles.push(scope.spawn(move || {
+                    // Lock-free phase accounting: the clock lives on this
+                    // worker's stack and is only merged after join.
+                    let mut clock = anton_obs::PhaseClock::new(profile);
                     loop {
                         barrier.wait();
+                        clock.lap(anton_obs::ShardPhase::BarrierWait);
                         if stop.load(Ordering::Acquire) {
-                            return sim;
+                            return (sim, clock.into_ns());
                         }
                         let t_end = window_end.load(Ordering::Acquire);
                         let mut log = WindowLog {
@@ -788,6 +837,7 @@ impl ShardedSim {
                                 live: sim.live_packets() as u64,
                             });
                         }
+                        clock.lap(anton_obs::ShardPhase::Compute);
                         let mut mail: Vec<ShardMail> =
                             (0..inboxes.len()).map(|_| ShardMail::default()).collect();
                         sim.drain_boundary_exports(&mut mail);
@@ -800,7 +850,9 @@ impl ShardedSim {
                             inbox.credits.extend(m.credits);
                         }
                         *logs[me].lock().unwrap() = log;
+                        clock.lap(anton_obs::ShardPhase::Mailbox);
                         barrier.wait();
+                        clock.lap(anton_obs::ShardPhase::BarrierWait);
                         // All producers have published; apply this shard's
                         // imports while the coordinator replays the logs.
                         // Stable-sorting by wire id makes the slab insertion
@@ -815,6 +867,7 @@ impl ShardedSim {
                         for c in mine.credits {
                             sim.apply_credit_import(c);
                         }
+                        clock.lap(anton_obs::ShardPhase::Merge);
                     }
                 }));
             }
@@ -886,19 +939,31 @@ impl ShardedSim {
             }
             stop.store(true, Ordering::Release);
             barrier.wait();
-            let collected: Vec<Sim> = handles
+            let (collected, phases): (Vec<Sim>, Vec<[u64; anton_obs::NUM_SHARD_PHASES]>) = handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
-                .collect();
+                .unzip();
             let (outcome, end) = result.unwrap();
-            (collected, outcome, end)
+            (collected, phases, outcome, end)
         });
         self.shards = collected;
         self.end_cycle = end;
+        if profile {
+            if self.phase_ns.is_empty() {
+                self.phase_ns = vec![[0; anton_obs::NUM_SHARD_PHASES]; nshards];
+            }
+            for (acc, run) in self.phase_ns.iter_mut().zip(&phases) {
+                for (a, r) in acc.iter_mut().zip(run) {
+                    *a += r;
+                }
+            }
+        }
         // Close each replica's open sample window so merged_timeseries()
-        // keeps the tail of the run (a no-op when sampling is off).
+        // keeps the tail of the run (a no-op when sampling is off), and
+        // settle any stall segments still open at the final cycle.
         for sh in &mut self.shards {
             sh.flush_samples();
+            sh.flush_stalls();
         }
         if let Some((cycle, idle)) = pending_deadlock {
             self.deadlocked = true;

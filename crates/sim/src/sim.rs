@@ -35,7 +35,10 @@ use anton_core::vc::{Vc, VcState};
 use anton_fault::{FaultKind, ShimEvent};
 use anton_obs::json::Json;
 use anton_obs::link_json;
-use anton_obs::{ChannelKind, FlightRecorder, TimeSeries, TraceEvent, TraceEventKind};
+use anton_obs::{
+    ChannelKind, CongestionReport, FlightRecorder, LinkStat, StallCause, StallTable, TimeSeries,
+    TraceEvent, TraceEventKind,
+};
 
 use crate::params::{
     PreflightMode, SimParams, ADAPTER_PIPELINE, ROUTER_PIPELINE, TORUS_TOKEN_COST, TORUS_TOKEN_GAIN,
@@ -768,6 +771,11 @@ pub struct Sim {
     /// [`TraceConfig::sample_every`](crate::params::TraceConfig::sample_every)
     /// is non-zero.
     sampler: Option<Box<SamplerState>>,
+    /// Stall attribution table. `None` (one predictable branch per hook
+    /// site) unless [`TraceConfig::stalls`] is set.
+    ///
+    /// [`TraceConfig::stalls`]: crate::params::TraceConfig::stalls
+    stall: Option<Box<StallTable>>,
     /// Boundary torus wires this shard replica exports on, with the shard
     /// that consumes each (empty in serial runs; see [`crate::shard`]).
     export_wires: Vec<(u32, u32)>,
@@ -1298,6 +1306,10 @@ impl Sim {
         };
         let sampler = (params.trace.sample_every > 0)
             .then(|| Box::new(SamplerState::new(params.trace.sample_every)));
+        let stall = params
+            .trace
+            .stalls
+            .then(|| Box::new(StallTable::new(nwires, vc_shift)));
         Sim {
             cfg,
             // The legacy environment variable still works; `TraceConfig`
@@ -1356,6 +1368,7 @@ impl Sim {
             degraded,
             recorder,
             sampler,
+            stall,
             export_wires,
             import_wires,
             external_control: shard.is_some(),
@@ -2459,6 +2472,11 @@ impl Sim {
             }
         }
         if self.wire_occupied[in_wire] != 0 {
+            if self.stall.is_some() {
+                // Whatever is left is parked at a dead serializer: multicast
+                // copies (no reroute table) waiting out the outage.
+                self.note_stall_all_ready(in_wire, StallCause::DeadLinkDrain);
+            }
             // Heads still maturing (or multicast copies waiting out the
             // outage): poll again next cycle.
             self.wake(CompRef::Chan(cidx as u32), now + 1);
@@ -2604,6 +2622,82 @@ impl Sim {
         }
     }
 
+    /// The stall attribution table, when [`TraceConfig::stalls`] was set.
+    ///
+    /// [`TraceConfig::stalls`]: crate::params::TraceConfig::stalls
+    pub fn stall_table(&self) -> Option<&StallTable> {
+        self.stall.as_deref()
+    }
+
+    /// Closes every open stall segment at the current cycle. Call after a
+    /// run completes so stalls still in progress at the end are counted; a
+    /// no-op when stall attribution is off.
+    pub fn flush_stalls(&mut self) {
+        if let Some(st) = self.stall.as_deref_mut() {
+            st.flush(self.now);
+        }
+    }
+
+    /// The derived congestion analysis (ranked hotspots, class totals,
+    /// root-blocker trees), when stall attribution is on. Flush first.
+    pub fn congestion_report(&self) -> Option<CongestionReport> {
+        let table = self.stall.as_deref()?;
+        Some(self.congestion_report_from(table))
+    }
+
+    /// Builds a congestion report from an explicit stall table with this
+    /// replica's wire labels and link classes (the sharded kernel merges
+    /// per-shard tables first).
+    pub(crate) fn congestion_report_from(&self, table: &StallTable) -> CongestionReport {
+        let stats = table
+            .stalled_wires()
+            .into_iter()
+            .map(|w| {
+                let label = self.wires[w as usize].label;
+                LinkStat {
+                    wire: w,
+                    label: label.to_string(),
+                    class: crate::metrics::LinkClass::of(&label).name().to_string(),
+                    cause_cycles: table.wire_cause_cycles(w),
+                    vc_cycles: table.wire_vc_cycles(w),
+                }
+            })
+            .collect();
+        CongestionReport::build(stats, table.edges(), |w| {
+            self.wires[w as usize].label.to_string()
+        })
+    }
+
+    /// Classifies the head of `(wire, vcidx)` as stalled with `cause` at
+    /// the current cycle; one branch when stall attribution is off.
+    #[inline]
+    fn note_stall(&mut self, wire: WireId, vcidx: u8, cause: StallCause, blocker: Option<WireId>) {
+        if let Some(st) = self.stall.as_deref_mut() {
+            st.observe(
+                wire as u32,
+                vcidx,
+                cause,
+                blocker.map(|b| b as u32),
+                self.now,
+            );
+        }
+    }
+
+    /// Classifies every ready head buffered on `wire` as stalled with
+    /// `cause` — for whole-component stalls (busy adapter-to-router link,
+    /// serializer out of tokens, dead-link drain) where no per-VC scan runs.
+    /// Call only with stall attribution on.
+    fn note_stall_all_ready(&mut self, wire: WireId, cause: StallCause) {
+        let mut occ = self.wire_occupied[wire];
+        while occ != 0 {
+            let v = occ.trailing_zeros() as u8;
+            occ &= occ - 1;
+            if u64::from(self.wire_gate[(wire << self.vc_shift) + v as usize].ready) <= self.now {
+                self.note_stall(wire, v, cause, None);
+            }
+        }
+    }
+
     // ----- routing helpers -------------------------------------------------
 
     /// The on-chip target (adapter) of a packet at its current node.
@@ -2717,6 +2811,12 @@ impl Sim {
     /// back onto the wire's own return queue plus a wire-wheel tick).
     #[inline]
     fn pop_wire(&mut self, wire: WireId, vcidx: u8) -> BufEntry {
+        // Every head advance funnels through here, so this is the one
+        // resolution point for stall attribution: the pop closes any open
+        // stall segment of this (wire, VC) slot.
+        if let Some(st) = self.stall.as_deref_mut() {
+            st.resolve(wire as u32, vcidx, self.now);
+        }
         let bit = 1u16 << vcidx;
         let t = self.wire_timing[wire];
         if t.flags & FAST_WIRE != 0 && self.wire_queued[wire] & bit == 0 {
@@ -3101,12 +3201,44 @@ impl Sim {
     fn chan_inbound_step(&mut self, cidx: usize) {
         let now = self.now;
         if self.chans[cidx].to_router_busy_until > now {
+            if self.stall.is_some() {
+                // Ready arrivals are waiting out a transfer already on the
+                // adapter-to-router link.
+                let wire_id = self.chans[cidx].torus_in;
+                self.note_stall_all_ready(wire_id, StallCause::OutputBusy);
+            }
             return;
         }
         // Drain pending multicast copies first.
         if let Some(&pid) = self.chans[cidx].repl.front() {
             if self.try_send_chan_to_router(cidx, pid) {
                 self.chans[cidx].repl.pop_front();
+                if self.stall.is_some() {
+                    // The copy took the adapter-to-router link; ready
+                    // arrivals behind it wait out the transfer.
+                    let wire_id = self.chans[cidx].torus_in;
+                    self.note_stall_all_ready(wire_id, StallCause::OutputBusy);
+                }
+            } else if self.stall.is_some() {
+                // The copy at the replication queue's head is itself
+                // credit-starved, and it holds up every arrival behind it.
+                let to_router = self.chans[cidx].to_router;
+                let wire_id = self.chans[cidx].torus_in;
+                let cause = if self.wires[to_router].shim_backlog() > 0 {
+                    StallCause::RetransmitBacklog
+                } else {
+                    StallCause::NoCredit
+                };
+                let mut occ = self.wire_occupied[wire_id];
+                while occ != 0 {
+                    let v = occ.trailing_zeros() as u8;
+                    occ &= occ - 1;
+                    if u64::from(self.wire_gate[(wire_id << self.vc_shift) + v as usize].ready)
+                        <= now
+                    {
+                        self.note_stall(wire_id, v, cause, Some(to_router));
+                    }
+                }
             }
             return;
         }
@@ -3154,6 +3286,14 @@ impl Sim {
             };
             if kind == 0xFE {
                 if !self.wire_can_send(to_router, cvcidx, m.flits) {
+                    if self.stall.is_some() {
+                        let cause = if self.wires[to_router].shim_backlog() > 0 {
+                            StallCause::RetransmitBacklog
+                        } else {
+                            StallCause::NoCredit
+                        };
+                        self.note_stall(wire_id, v, cause, Some(to_router));
+                    }
                     continue;
                 }
                 let pid = self.wire_heads[(wire_id << self.vc_shift) + v as usize].pkt;
@@ -3179,6 +3319,10 @@ impl Sim {
                 // Peek at the fanout size before committing.
                 let fanout = self.mc_fanout(node, group, tree);
                 if self.chans[cidx].repl.len() + fanout > REPL_CAP {
+                    // The replication queue can't absorb this copy's fanout:
+                    // the adapter's output path is occupied by earlier
+                    // copies.
+                    self.note_stall(wire_id, v, StallCause::OutputBusy, None);
                     continue;
                 }
                 self.pop_wire(wire_id, v);
@@ -3300,6 +3444,10 @@ impl Sim {
             return;
         }
         if self.chans[cidx].tokens < cost {
+            if self.stall.is_some() {
+                // Ready heads wait out the token-bucket refill.
+                self.note_stall_all_ready(in_wire, StallCause::SerializerBusy);
+            }
             // Sleep until the bucket refills.
             let deficit = cost - self.chans[cidx].tokens;
             let refill = (deficit + gain - 1) / gain;
@@ -3338,6 +3486,14 @@ impl Sim {
                 m.rc_vcidx
             };
             if !self.wire_can_send(out_wire, vcidx, m.flits) {
+                if self.stall.is_some() {
+                    let cause = if self.wires[out_wire].shim_backlog() > 0 {
+                        StallCause::RetransmitBacklog
+                    } else {
+                        StallCause::NoCredit
+                    };
+                    self.note_stall(in_wire, v, cause, Some(out_wire));
+                }
                 continue;
             }
             req |= 1 << v;
@@ -3356,6 +3512,15 @@ impl Sim {
         };
         if self.params.collect_grants {
             self.grants.serializer += 1;
+        }
+        if self.stall.is_some() {
+            // VCs that requested but lost the serializer grant.
+            let mut losers = req & !(1 << v);
+            while losers != 0 {
+                let l = losers.trailing_zeros() as u8;
+                losers &= losers - 1;
+                self.note_stall(in_wire, l, StallCause::SerializerBusy, None);
+            }
         }
         // Re-derive the winner's target lane from its head entry: the
         // packet-state lookups above were gates only, so the per-loser
@@ -3614,10 +3779,19 @@ impl Sim {
                     (m.rc_port as usize, m.rc_vcidx, m.flits)
                 };
                 if self.router_out_busy[rbase + out_port] > now {
+                    self.note_stall(in_wire, v, StallCause::OutputBusy, None);
                     continue;
                 }
                 let out_wire = self.router_out_wire[rbase + out_port] as usize;
                 if !self.wire_can_send(out_wire, out_vcidx, flits) {
+                    if self.stall.is_some() {
+                        let cause = if self.wires[out_wire].shim_backlog() > 0 {
+                            StallCause::RetransmitBacklog
+                        } else {
+                            StallCause::NoCredit
+                        };
+                        self.note_stall(in_wire, v, cause, Some(out_wire));
+                    }
                     continue;
                 }
                 req |= 1 << v;
@@ -3639,6 +3813,15 @@ impl Sim {
             };
             if self.params.collect_grants {
                 self.grants.sa1 += 1;
+            }
+            if self.stall.is_some() {
+                // VCs that requested but lost the input port's SA1 grant.
+                let mut losers = req & !(1 << v);
+                while losers != 0 {
+                    let l = losers.trailing_zeros() as u8;
+                    losers &= losers - 1;
+                    self.note_stall(in_wire, l, StallCause::LostSa1, None);
+                }
             }
             // Rebuild the winner's candidate from the head mirrors (the rc
             // cache above guarantees the route fields are populated).
@@ -3699,6 +3882,17 @@ impl Sim {
             };
             if self.params.collect_grants {
                 self.grants.output += 1;
+            }
+            if self.stall.is_some() {
+                // Input ports whose SA1 winner lost this output's SA2 grant.
+                let mut losers = req & !(1 << inp);
+                while losers != 0 {
+                    let l = losers.trailing_zeros() as usize;
+                    losers &= losers - 1;
+                    let lc = cands[l].expect("requesting input has a cand");
+                    let lw = self.router_in_wire[rbase + l] as usize;
+                    self.note_stall(lw, lc.vcidx, StallCause::LostSa2, None);
+                }
             }
             let cand = cands[inp].expect("winner came from candidates");
             let in_wire = self.router_in_wire[rbase + inp] as usize;

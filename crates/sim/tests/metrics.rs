@@ -182,19 +182,25 @@ fn instrumentation_toggles_never_change_routing_or_deliveries() {
         );
     }
     // Observability at any setting: full event recording (tiny and large
-    // rings), sampling at several window sizes, both at once, and the
-    // profiler flag.
+    // rings), sampling at several window sizes, stall attribution, all at
+    // once, and the profiler flag.
     let trace_variants = [
         TraceConfig::events(4),
         TraceConfig::events(4096),
         TraceConfig::sampled(1),
         TraceConfig::sampled(37),
         TraceConfig::sampled(100_000), // larger than the run: tail-only
+        TraceConfig::stalls(),
+        TraceConfig {
+            stalls: true,
+            ..TraceConfig::events(16)
+        },
         TraceConfig {
             events: true,
             ring_capacity: 64,
             sample_every: 50,
             profile: true,
+            stalls: true,
         },
     ];
     for trace in trace_variants {
@@ -215,7 +221,7 @@ fn recorder_and_sampler_capture_the_run() {
             events: true,
             ring_capacity: 256,
             sample_every: 64,
-            profile: false,
+            ..TraceConfig::default()
         },
         seed: 9,
         ..SimParams::default()

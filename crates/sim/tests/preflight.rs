@@ -14,15 +14,15 @@ fn default_config_certifies_at_construction() {
     assert_eq!(sim.static_verdict(), StaticVerdict::CertifiedAcyclic);
 }
 
-/// The deprecated constructor must stay functional for downstream users
-/// that have not migrated to the builder yet.
+/// Construction from an explicit `MachineConfig` plus `SimParams` — the
+/// shape every `Sim::new` caller used before migrating to the builder —
+/// certifies the same way.
 #[test]
-#[allow(deprecated)]
-fn deprecated_sim_new_still_works() {
-    let sim = Sim::new(
-        MachineConfig::new(TorusShape::cube(2)),
-        SimParams::default(),
-    );
+fn explicit_config_and_params_certify_through_the_builder() {
+    let sim = Sim::builder()
+        .config(MachineConfig::new(TorusShape::cube(2)))
+        .params(SimParams::default())
+        .build();
     assert_eq!(sim.static_verdict(), StaticVerdict::CertifiedAcyclic);
 }
 
