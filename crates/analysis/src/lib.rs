@@ -12,6 +12,7 @@
 //! * [`fit`] — least-squares fitting and fairness statistics used by the
 //!   measurement reproductions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

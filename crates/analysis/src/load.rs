@@ -40,7 +40,7 @@ pub fn link_into_router(
             }
             LocalLink::RouterToChan(_) | LocalLink::RouterToEp(_) => None,
         },
-        GlobalLink::Torus { .. } => None,
+        GlobalLink::Torus { .. } | GlobalLink::Direct { .. } => None,
     }
 }
 
@@ -62,7 +62,7 @@ pub fn link_out_of_router(
             }
             LocalLink::ChanToRouter(_) | LocalLink::EpToRouter(_) => None,
         },
-        GlobalLink::Torus { .. } => None,
+        GlobalLink::Torus { .. } | GlobalLink::Direct { .. } => None,
     }
 }
 
@@ -259,6 +259,10 @@ fn translate_link(cfg: &MachineConfig, link: &GlobalLink, delta: [i32; 3]) -> Gl
             from: translate_node(cfg, *from, delta),
             dir: *dir,
             slice: *slice,
+        },
+        GlobalLink::Direct { from, to } => GlobalLink::Direct {
+            from: translate_node(cfg, *from, delta),
+            to: translate_node(cfg, *to, delta),
         },
     }
 }

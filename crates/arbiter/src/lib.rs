@@ -19,6 +19,7 @@
 //! All arbiters implement [`PortArbiter`], the interface the simulator's
 //! router output ports use.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

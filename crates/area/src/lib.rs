@@ -12,6 +12,7 @@
 //! reports only as totals (link logic, configuration, debug, reduction,
 //! multicast tables, miscellaneous).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

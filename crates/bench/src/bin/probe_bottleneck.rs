@@ -36,6 +36,7 @@ fn main() {
     for (label, flits) in sim.wire_utilizations() {
         let (kind, cap) = match label {
             GlobalLink::Torus { .. } => ("torus", 14.0 / 45.0),
+            GlobalLink::Direct { .. } => ("direct", 1.0),
             GlobalLink::Local { link, .. } => match link {
                 LocalLink::Mesh { .. } => ("mesh", 1.0),
                 LocalLink::Skip { .. } => ("skip", 1.0),

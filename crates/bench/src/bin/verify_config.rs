@@ -12,18 +12,22 @@
 //! verify_config --no-datelines          # broken promotion placement
 //! verify_config --cross-check           # also enumerate routes and diff
 //! verify_config --down-links 0,0,0,x+   # certify the degraded reroute tables
+//! verify_config --topology mesh         # VC-free full mesh (zero VCs)
+//! verify_config --topology mesh --mesh-routing ring   # cyclic negative control
 //! verify_config --json results/verify_config.json
 //! ```
 
 use anton_bench::{fail_usage, write_output, FlagSet};
 use anton_core::chip::ChanId;
 use anton_core::config::MachineConfig;
+use anton_core::mesh::MeshRule;
 use anton_core::route_table::DownLinkSet;
 use anton_core::topology::{Dim, NodeCoord, NodeId, Sign, Slice, TorusDir, TorusShape};
 use anton_core::vc::VcPolicy;
+use anton_obs::json::Json;
 use anton_verify::{
-    cross_check, full_enumeration, lint_params, verify_degraded, ParamsView, Severity, VerifyModel,
-    VerifyReport,
+    cross_check, full_enumeration, lint_params, verify_degraded, verify_mesh, ParamsView, Severity,
+    VerifyModel, VerifyReport,
 };
 
 fn parse_policy(name: &str) -> VcPolicy {
@@ -131,10 +135,60 @@ fn parse_down_links(shape: TorusShape, spec: &str) -> DownLinkSet {
     downs
 }
 
+/// Writes the JSON report. On top of [`VerifyReport::to_json`], the
+/// top-level object carries the certified pair/edge counts (previously
+/// print-only) and, when a degraded check ran, its certificate too.
+fn write_json_report(path: &str, report: &VerifyReport, degraded: Option<&Json>) {
+    let mut json = report.to_json();
+    if let Json::Obj(pairs) = &mut json {
+        if let Some(cert) = &report.certificate {
+            pairs.push(("certified_pairs".to_string(), Json::from(cert.nodes)));
+            pairs.push(("certified_edges".to_string(), Json::from(cert.edges)));
+            pairs.push(("certified_acyclic".to_string(), Json::from(cert.acyclic)));
+        }
+        if let Some(d) = degraded {
+            pairs.push(("degraded".to_string(), d.clone()));
+        }
+    }
+    write_output(path, &json.to_pretty_string());
+    eprintln!("[verify_config] wrote {path}");
+}
+
+/// Prints the certificate, the diagnostics, and the verdict line, writes
+/// the JSON report when requested, and exits 1 if anything is
+/// error-severity. Shared by the torus and mesh paths.
+fn finish(report: &VerifyReport, json_path: &str, degraded: Option<&Json>) -> ! {
+    if let Some(cert) = &report.certificate {
+        println!("{cert}");
+    }
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!("verdict: {}", report.summary());
+    if !json_path.is_empty() {
+        write_json_report(json_path, report, degraded);
+    }
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if errors > 0 {
+        eprintln!("verify_config: {errors} error(s)");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = FlagSet::new(
         "verify_config",
         "Static deadlock-freedom certification and config lints",
+    )
+    .flag(
+        "topology",
+        "torus".to_string(),
+        "topology to certify: torus|mesh",
     )
     .flag("k", 8u8, "cubic torus extent (ignored if --shape is given)")
     .flag(
@@ -158,8 +212,53 @@ fn main() {
         "certify degraded reroute tables for these down links \
          (x,y,z,dir[,slice] entries joined by ';', dir in x+ x- y+ y- z+ z-)",
     )
+    .flag(
+        "mesh-nodes",
+        8usize,
+        "full-mesh node count (with --topology mesh)",
+    )
+    .flag(
+        "mesh-routing",
+        "direct".to_string(),
+        "full-mesh routing rule: direct|ring (with --topology mesh)",
+    )
     .flag("json", String::new(), "write the JSON report to this path")
     .parse();
+
+    let json_path: String = args.get("json");
+    match args.get::<String>("topology").as_str() {
+        "torus" => {}
+        "mesh" => {
+            let nodes: usize = args.get("mesh-nodes");
+            if !(2..=64).contains(&nodes) {
+                fail_usage(
+                    &anton_verify::Diagnostic::error(
+                        "AV102",
+                        format!("--mesh-nodes {nodes} out of range 2..=64"),
+                    )
+                    .with("mesh_nodes", nodes),
+                );
+            }
+            let rule = match args.get::<String>("mesh-routing").as_str() {
+                "direct" => MeshRule::Direct,
+                "ring" => MeshRule::Ring,
+                other => fail_usage(
+                    &anton_verify::Diagnostic::error(
+                        "AV101",
+                        format!("unknown mesh routing rule `{other}`"),
+                    )
+                    .with("known", "direct, ring"),
+                ),
+            };
+            println!("verify_config: {nodes}-node full mesh, {rule} routing, zero VCs");
+            let report = verify_mesh(nodes, rule);
+            finish(&report, &json_path, None);
+        }
+        other => fail_usage(
+            &anton_verify::Diagnostic::error("AV101", format!("unknown topology `{other}`"))
+                .with("known", "torus, mesh"),
+        ),
+    }
 
     let shape_spec: String = args.get("shape");
     let shape = if shape_spec.is_empty() {
@@ -198,6 +297,7 @@ fn main() {
         .diagnostics
         .extend(lint_params(&cfg, &ParamsView::reference()));
 
+    let mut degraded_json: Option<Json> = None;
     let down_spec: String = args.get("down-links");
     if !down_spec.is_empty() {
         let downs = parse_down_links(shape, &down_spec);
@@ -217,16 +317,19 @@ fn main() {
                 "REJECTED (the simulator would refuse these tables)"
             }
         );
+        degraded_json = Some(Json::obj([
+            ("down_links", Json::from(downs.len())),
+            ("certified", Json::from(verdict.certified())),
+            (
+                "certificate",
+                verdict
+                    .certificate
+                    .as_ref()
+                    .map_or(Json::Null, anton_verify::DeadlockCertificate::to_json),
+            ),
+        ]));
         report.diagnostics.extend(verdict.diagnostics);
     }
-
-    if let Some(cert) = &report.certificate {
-        println!("{cert}");
-    }
-    for d in &report.diagnostics {
-        println!("{d}");
-    }
-    println!("verdict: {}", report.summary());
 
     if args.on("cross-check") {
         let nodes = shape.num_nodes();
@@ -252,19 +355,5 @@ fn main() {
         }
     }
 
-    let json_path: String = args.get("json");
-    if !json_path.is_empty() {
-        write_output(&json_path, &report.to_json().to_pretty_string());
-        eprintln!("[verify_config] wrote {json_path}");
-    }
-
-    let errors = report
-        .diagnostics
-        .iter()
-        .filter(|d| d.severity == Severity::Error)
-        .count();
-    if errors > 0 {
-        eprintln!("verify_config: {errors} error(s)");
-        std::process::exit(1);
-    }
+    finish(&report, &json_path, degraded_json.as_ref());
 }

@@ -16,6 +16,7 @@
 //! * plus the shared measurement loop: weight installation, saturation
 //!   normalization, and batch-throughput runs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

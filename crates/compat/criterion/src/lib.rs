@@ -13,6 +13,7 @@
 //! `harness = false` bench targets) every benchmark body runs exactly
 //! once as a smoke test instead of being timed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::hint::black_box;

@@ -13,6 +13,7 @@
 //! reproducible run-to-run. On failure the runner panics with the case
 //! number and assertion message (there is no shrinking phase).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Strategies: composable descriptions of how to draw random values.

@@ -12,6 +12,7 @@
 //! deterministic, well-mixed stream, not a specific one. The generator is
 //! deterministic across platforms and Rust versions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// A source of random `u32`/`u64` values and random bytes.

@@ -18,7 +18,15 @@
 //! * [`packet`] — fine-grained packets and flits;
 //! * [`trace`] — the reference link-level route semantics;
 //! * [`pattern`] — the traffic-pattern abstraction;
-//! * [`config`] — machine-level configuration.
+//! * [`config`] — machine-level configuration;
+//! * [`net`] — the [`net::Topology`]/[`net::RoutingFunction`] trait layer
+//!   that the symbolic deadlock certifier consumes;
+//! * [`dimorder`] — the paper's dimension-order torus routing as a
+//!   [`net::RoutingFunction`] transition system;
+//! * [`table_routing`] — explicit [`route_table::RouteTable`] routes as a
+//!   [`net::RoutingFunction`];
+//! * [`mesh`] — a full-mesh topology with VC-free routing, the first
+//!   non-torus instance.
 //!
 //! # Examples
 //!
@@ -45,29 +53,41 @@
 //! assert!(!steps.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod chip;
 pub mod config;
+pub mod dimorder;
+pub mod mesh;
 pub mod multicast;
+pub mod net;
 pub mod onchip;
 pub mod packet;
 pub mod pattern;
 pub mod route_table;
 pub mod routing;
 pub mod seed;
+pub mod table_routing;
 pub mod topology;
 pub mod trace;
 pub mod vc;
 
 pub use chip::{ChanId, ChipLayout, LocalEndpointId, MeshCoord, MeshDir};
 pub use config::{GlobalEndpoint, MachineConfig};
+pub use dimorder::DimOrderRouting;
+pub use mesh::{FullMesh, MeshRouting, MeshRule};
+pub use net::{
+    Arrival, ConcreteRoute, DepEdge, Progress, RoutePath, RouteState, RoutingFunction, Topology,
+    TorusTopology,
+};
 pub use onchip::DirOrder;
 pub use packet::{Packet, Payload};
 pub use pattern::{Flow, TrafficPattern};
 pub use route_table::{build_route_table, DownLinkSet, RouteTable, RouteTableError, TableMethod};
 pub use routing::{DimOrder, RouteSpec};
 pub use seed::derive_stream_seed;
+pub use table_routing::TableRouting;
 pub use topology::{Dim, NodeCoord, NodeId, Sign, Slice, TorusDir, TorusShape};
 pub use vc::{TrafficClass, Vc, VcPolicy, VcState};

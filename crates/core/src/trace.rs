@@ -36,15 +36,24 @@ pub enum GlobalLink {
         /// Torus slice.
         slice: Slice,
     },
+    /// A point-to-point inter-node channel of a non-torus topology (e.g. one
+    /// spoke of a full mesh).
+    Direct {
+        /// Node the channel departs from.
+        from: NodeId,
+        /// Node the channel arrives at.
+        to: NodeId,
+    },
 }
 
 impl GlobalLink {
-    /// The deadlock-analysis group of the link (torus channels are T-group).
+    /// The deadlock-analysis group of the link (inter-node channels are
+    /// T-group).
     #[inline]
     pub fn group(&self) -> LinkGroup {
         match self {
             GlobalLink::Local { link, .. } => link.group(),
-            GlobalLink::Torus { .. } => LinkGroup::T,
+            GlobalLink::Torus { .. } | GlobalLink::Direct { .. } => LinkGroup::T,
         }
     }
 }
@@ -54,6 +63,7 @@ impl fmt::Display for GlobalLink {
         match self {
             GlobalLink::Local { node, link } => write!(f, "{node}/{link}"),
             GlobalLink::Torus { from, dir, slice } => write!(f, "{from}/{dir}{slice}"),
+            GlobalLink::Direct { from, to } => write!(f, "{from}->{to}"),
         }
     }
 }

@@ -18,6 +18,7 @@
 //! methodology end-to-end on the simulator: [`experiment`] produces the
 //! measurements and [`model`] fits the coefficients back out of them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

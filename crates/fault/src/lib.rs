@@ -20,6 +20,7 @@
 //! self-checks that the link layer delivered every flit exactly once and in
 //! order.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

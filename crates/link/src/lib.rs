@@ -32,6 +32,7 @@
 //! assert!((stats.goodput_gbps(&LinkParams::default()) - 89.6).abs() < 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -33,6 +33,7 @@
 //! keeps the dependency arrow pointing the right way (`anton-sim` depends on
 //! `anton-obs`, never the reverse) and lets offline tools reuse the parsers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -28,6 +28,11 @@ pub fn link_to_json(link: &GlobalLink) -> Json {
             pairs.push(("dir".to_string(), Json::from(dir.index())));
             pairs.push(("slice".to_string(), Json::from(u64::from(slice.0))));
         }
+        GlobalLink::Direct { from, to } => {
+            pairs.push(("kind".to_string(), Json::from("direct")));
+            pairs.push(("from".to_string(), Json::from(u64::from(from.0))));
+            pairs.push(("to".to_string(), Json::from(u64::from(to.0))));
+        }
     }
     Json::Obj(pairs)
 }
@@ -99,6 +104,12 @@ pub fn link_from_json(j: &Json) -> Result<GlobalLink, String> {
                 dir: TorusDir::from_index(dir),
                 slice: Slice(slice as u8),
             })
+        }
+        "direct" => {
+            let from =
+                NodeId(u32::try_from(field(j, "from")?).map_err(|_| "link 'from' out of range")?);
+            let to = NodeId(u32::try_from(field(j, "to")?).map_err(|_| "link 'to' out of range")?);
+            Ok(GlobalLink::Direct { from, to })
         }
         other => Err(format!("unknown link kind '{other}'")),
     }

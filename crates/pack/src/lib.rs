@@ -15,6 +15,7 @@
 //! packaging constraints: a 512-node machine uses 32 backplanes in 4 racks,
 //! and X/Y neighbors within a backplane tile need no cables at all.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

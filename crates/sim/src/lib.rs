@@ -52,6 +52,7 @@
 //! assert_eq!(sim.run(&mut driver, 100_000), RunOutcome::Completed);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

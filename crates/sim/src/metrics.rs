@@ -53,7 +53,9 @@ impl LinkClass {
     /// The class of a structural link.
     pub fn of(link: &GlobalLink) -> LinkClass {
         match link {
-            GlobalLink::Torus { .. } => LinkClass::Torus,
+            // Direct inter-node channels (non-torus topologies) report under
+            // the torus class; the simulator only instantiates torus wires.
+            GlobalLink::Torus { .. } | GlobalLink::Direct { .. } => LinkClass::Torus,
             GlobalLink::Local { link, .. } => match link {
                 LocalLink::Mesh { .. } => LinkClass::Mesh,
                 LocalLink::Skip { .. } => LinkClass::Skip,

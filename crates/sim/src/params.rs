@@ -108,8 +108,8 @@ impl Default for EnergyParams {
 /// `Option` per hook site, so a default-configured run pays one predictable
 /// branch per site and allocates nothing. The legacy `ANTON_SIM_PROFILE`
 /// environment variable is folded into [`TraceConfig::profile`] at
-/// [`Sim::new`](crate::sim::Sim::new): setting either turns the phase
-/// profiler on.
+/// construction time (`Sim::builder().build()`): setting either turns the
+/// phase profiler on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceConfig {
     /// Record typed events (inject/hop/VC-promotion/grant/retransmit/
@@ -175,7 +175,7 @@ impl TraceConfig {
     }
 }
 
-/// What [`Sim::new`](crate::sim::Sim::new) does with the result of the
+/// What simulator construction (`Sim::builder().build()`) does with the result of the
 /// static pre-flight verification (`anton-verify` lints plus symbolic
 /// deadlock certification of the configured VC policy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

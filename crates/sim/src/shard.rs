@@ -341,6 +341,10 @@ impl ShardedSim {
                     let o = plan.owner_of_node(node.0 as usize);
                     (o, o)
                 }
+                GlobalLink::Direct { from, to } => (
+                    plan.owner_of_node(from.0 as usize),
+                    plan.owner_of_node(to.0 as usize),
+                ),
             };
             wire_tx_owner.push(tx as u32);
             wire_rx_owner.push(rx as u32);

@@ -850,23 +850,6 @@ impl std::fmt::Debug for Sim {
 }
 
 impl Sim {
-    /// Builds the simulator for a machine configuration.
-    ///
-    /// # Panics
-    ///
-    /// With the default [`PreflightMode::Enforce`], panics if the static
-    /// pre-flight verification finds any error-severity problem in the
-    /// configuration or parameters (an uncertifiable VC policy, a
-    /// malformed fault schedule, ...). Set
-    /// [`SimParams::preflight`](crate::params::SimParams::preflight) to
-    /// [`PreflightMode::WarnOnly`] to run a known-broken configuration
-    /// anyway (e.g. to demonstrate the predicted deadlock live).
-    #[deprecated(note = "construct through the fluent, lint-validated Sim::builder() \
-                instead; Sim::new stays functional as a thin shim")]
-    pub fn new(cfg: MachineConfig, params: SimParams) -> Sim {
-        Sim::construct(cfg, params, None)
-    }
-
     /// Builds the simulator, optionally as one shard replica of a
     /// [`crate::shard::ShardedSim`]: a full-machine instance whose boundary
     /// torus wires divert traffic through the inter-shard mailboxes and

@@ -15,8 +15,8 @@ fn default_config_certifies_at_construction() {
 }
 
 /// Construction from an explicit `MachineConfig` plus `SimParams` — the
-/// shape every `Sim::new` caller used before migrating to the builder —
-/// certifies the same way.
+/// shape callers of the removed `Sim::new` shim used before migrating to
+/// the builder — certifies the same way.
 #[test]
 fn explicit_config_and_params_certify_through_the_builder() {
     let sim = Sim::builder()

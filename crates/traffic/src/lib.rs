@@ -11,6 +11,7 @@
 //! All patterns implement [`anton_core::pattern::TrafficPattern`], serving
 //! both the offline load analyses and the online simulation drivers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -35,20 +35,17 @@
 //! table exists) and a degradation whose tables cannot be certified
 //! deadlock-free (never installed).
 
-use std::collections::HashSet;
-
-use anton_analysis::deadlock::ChannelVc;
-use anton_core::chip::{ChanId, LinkGroup, LocalEndpointId, LocalLink, MeshCoord};
-use anton_core::config::{GlobalEndpoint, MachineConfig};
+use anton_core::config::MachineConfig;
+use anton_core::net::RoutingFunction;
+use anton_core::net::TorusTopology;
 use anton_core::route_table::{build_route_table, DownLinkSet, RouteTable, TableMethod};
-use anton_core::topology::{NodeId, Slice};
-use anton_core::trace::{trace_table_hops, GlobalLink};
-use anton_core::vc::Vc;
+use anton_core::table_routing::TableRouting;
+use anton_core::topology::Slice;
 
-use crate::graph::SymGraph;
+use crate::engine::certify_routing;
 use crate::model::VerifyModel;
-use crate::report::{CycleCounterexample, DeadlockCertificate, Diagnostic, Severity, WitnessRoute};
-use crate::symbolic::{generate, generate_into, reachable_mstates, CaptureSink};
+use crate::report::{DeadlockCertificate, Diagnostic, Severity};
+use crate::symbolic::{model_label, model_routing};
 
 /// Certifies the direction-ordered degraded route *family* — the
 /// down-set-independent over-approximation admitting arcs up to `k − 1`
@@ -76,276 +73,20 @@ pub fn certify_family(cfg: &MachineConfig) -> DeadlockCertificate {
 /// are exactly the failure mode a per-epoch check would miss.
 pub fn certify_tables(cfg: &MachineConfig, tables: &[RouteTable]) -> DeadlockCertificate {
     let model = VerifyModel::new(cfg.clone());
-    let policy = cfg.vc_policy;
-    let vcs = policy
-        .num_vcs(LinkGroup::M)
-        .max(policy.num_vcs(LinkGroup::T));
-    let mut g = SymGraph::new(cfg, usize::from(vcs));
-    generate_into(&model, &mut g);
-    for table in tables {
-        add_table_edges(cfg, table, &mut g);
-    }
-    let base = DeadlockCertificate {
-        policy,
-        datelines: true,
-        nodes: g.num_live_nodes(),
-        edges: g.num_edges(),
-        acyclic: true,
-        counterexample: None,
-    };
-    let Some(cycle) = g.find_cycle() else {
-        return base;
-    };
-    let cycle = g.minimize_cycle(cycle);
-    let cvs: Vec<ChannelVc> = cycle.iter().map(|&i| g.decode(i)).collect();
-    // Witnesses: recover what the family generator can, then scan the
-    // table paths for the remaining (table-originated) cycle edges.
-    let mut cap = CaptureSink::for_cycle(&cvs);
-    let mstates = reachable_mstates(&model);
-    generate(&model, &mstates, &mut cap);
-    let mut witnesses = crate::witness::synthesize(&model, &cvs, &cap, false);
-    table_witnesses(cfg, tables, &cvs, &mut witnesses);
-    DeadlockCertificate {
-        acyclic: false,
-        counterexample: Some(CycleCounterexample {
-            cycle: cvs,
-            witnesses,
-        }),
-        ..base
-    }
-}
-
-/// Emits every channel-dependency edge the table's routes produce: the
-/// full link-level trace of each `(src, dst)` path (with endpoint 0
-/// standing in for the endpoint-independent torus portion), plus the
-/// injection and delivery mesh chains of every other endpoint, recovered
-/// from the adapter contexts the walks recorded.
-fn add_table_edges(cfg: &MachineConfig, table: &RouteTable, g: &mut SymGraph) {
-    let shape = cfg.shape;
-    let chip = &cfg.chip;
-    let slice = table.slice();
-    let ep0 = LocalEndpointId(0);
-    let mut crosses = |n, d| shape.hop_crosses_dateline(n, d);
-    let n = shape.num_nodes();
-    // Per-source first-departure adapters and per-destination terminal
-    // arrivals, with the VCs requested there.
-    let mut departs: Vec<HashSet<(ChanId, Vc)>> = vec![HashSet::new(); n];
-    let mut arrivals: Vec<HashSet<(ChanId, Vc, Vc)>> = vec![HashSet::new(); n];
-    for src in shape.nodes() {
-        for dst in shape.nodes() {
-            if src == dst {
-                continue;
-            }
-            let hops = table
-                .path(shape.id(src), shape.id(dst))
-                .expect("certified tables have no unreachable pairs");
-            let steps =
-                trace_table_hops(cfg, src, Some(ep0), &hops, slice, Some(ep0), &mut crosses);
-            for w in steps.windows(2) {
-                g.add_edge(w[0], w[1]);
-            }
-            for (link, vc) in &steps {
-                if let GlobalLink::Local {
-                    link: LocalLink::RouterToChan(c),
-                    ..
-                } = link
-                {
-                    departs[shape.id(src).0 as usize].insert((*c, *vc));
-                    break;
-                }
-            }
-            let m_final = steps.last().expect("trace is never empty").1;
-            for (link, vc) in steps.iter().rev() {
-                if let GlobalLink::Local {
-                    link: LocalLink::ChanToRouter(c),
-                    ..
-                } = link
-                {
-                    arrivals[shape.id(dst).0 as usize].insert((*c, *vc, m_final));
-                    break;
-                }
-            }
-        }
-    }
-    let m0 = cfg.vc_policy.start().vc_for(LinkGroup::M);
-    for nid in 0..n {
-        let node = NodeId(nid as u32);
-        for ep in chip.endpoints() {
-            for &(depart, tvc) in &departs[nid] {
-                let entry = (
-                    GlobalLink::Local {
-                        node,
-                        link: LocalLink::EpToRouter(ep),
-                    },
-                    m0,
-                );
-                let exit = (
-                    GlobalLink::Local {
-                        node,
-                        link: LocalLink::RouterToChan(depart),
-                    },
-                    tvc,
-                );
-                mesh_chain(
-                    cfg,
-                    node,
-                    entry,
-                    chip.endpoint_router(ep),
-                    chip.chan_router(depart),
-                    m0,
-                    exit,
-                    g,
-                );
-            }
-            for &(arrive, tvc, m) in &arrivals[nid] {
-                let entry = (
-                    GlobalLink::Local {
-                        node,
-                        link: LocalLink::ChanToRouter(arrive),
-                    },
-                    tvc,
-                );
-                let exit = (
-                    GlobalLink::Local {
-                        node,
-                        link: LocalLink::RouterToEp(ep),
-                    },
-                    m,
-                );
-                mesh_chain(
-                    cfg,
-                    node,
-                    entry,
-                    chip.chan_router(arrive),
-                    chip.endpoint_router(ep),
-                    m,
-                    exit,
-                    g,
-                );
-            }
-            // Node-local delivery between endpoint pairs.
-            for ep2 in chip.endpoints() {
-                let entry = (
-                    GlobalLink::Local {
-                        node,
-                        link: LocalLink::EpToRouter(ep),
-                    },
-                    m0,
-                );
-                let exit = (
-                    GlobalLink::Local {
-                        node,
-                        link: LocalLink::RouterToEp(ep2),
-                    },
-                    m0,
-                );
-                mesh_chain(
-                    cfg,
-                    node,
-                    entry,
-                    chip.endpoint_router(ep),
-                    chip.endpoint_router(ep2),
-                    m0,
-                    exit,
-                    g,
-                );
-            }
-        }
-    }
-}
-
-/// Adds the edge chain `entry → mesh hops → exit` following the configured
-/// direction-order route between two on-chip routers.
-#[allow(clippy::too_many_arguments)]
-fn mesh_chain(
-    cfg: &MachineConfig,
-    node: NodeId,
-    entry: ChannelVc,
-    from: MeshCoord,
-    to: MeshCoord,
-    m: Vc,
-    exit: ChannelVc,
-    g: &mut SymGraph,
-) {
-    let mut prev = entry;
-    let mut cur = from;
-    while let Some(d) = cfg.dir_order.next_dir(cur, to) {
-        let mesh = (
-            GlobalLink::Local {
-                node,
-                link: LocalLink::Mesh { from: cur, dir: d },
-            },
-            m,
-        );
-        g.add_edge(prev, mesh);
-        prev = mesh;
-        cur = cur.step(d).expect("direction-order route stays on chip");
-    }
-    g.add_edge(prev, exit);
-}
-
-/// Finds concrete table paths witnessing cycle edges the family generator
-/// could not account for.
-fn table_witnesses(
-    cfg: &MachineConfig,
-    tables: &[RouteTable],
-    cycle: &[ChannelVc],
-    witnesses: &mut Vec<WitnessRoute>,
-) {
-    const MAX_WITNESSES: usize = 8;
-    let shape = cfg.shape;
-    let ep0 = LocalEndpointId(0);
-    let have: HashSet<(ChannelVc, ChannelVc)> =
-        witnesses.iter().map(|w| (w.holds, w.waits_for)).collect();
-    let mut crosses = |n, d| shape.hop_crosses_dateline(n, d);
-    for i in 0..cycle.len() {
-        if witnesses.len() >= MAX_WITNESSES {
-            return;
-        }
-        let holds = cycle[i];
-        let waits_for = cycle[(i + 1) % cycle.len()];
-        if have.contains(&(holds, waits_for)) {
-            continue;
-        }
-        'scan: for table in tables {
-            for src in shape.nodes() {
-                for dst in shape.nodes() {
-                    if src == dst {
-                        continue;
-                    }
-                    let Some(hops) = table.path(shape.id(src), shape.id(dst)) else {
-                        continue;
-                    };
-                    let steps = trace_table_hops(
-                        cfg,
-                        src,
-                        Some(ep0),
-                        &hops,
-                        table.slice(),
-                        Some(ep0),
-                        &mut crosses,
-                    );
-                    if steps.windows(2).any(|w| w[0] == holds && w[1] == waits_for) {
-                        witnesses.push(WitnessRoute {
-                            src: GlobalEndpoint {
-                                node: shape.id(src),
-                                ep: ep0,
-                            },
-                            dst: GlobalEndpoint {
-                                node: shape.id(dst),
-                                ep: ep0,
-                            },
-                            hops,
-                            slice: table.slice(),
-                            holds,
-                            waits_for,
-                        });
-                        break 'scan;
-                    }
-                }
-            }
-        }
-    }
+    let topo = TorusTopology::new(cfg);
+    let healthy = model_routing(&model);
+    let table_rfs: Vec<TableRouting> = tables
+        .iter()
+        .map(|t| TableRouting::new(cfg.clone(), t.clone()))
+        .collect();
+    let mut rfs: Vec<&dyn RoutingFunction> = vec![&healthy];
+    rfs.extend(table_rfs.iter().map(|t| t as &dyn RoutingFunction));
+    let (cert, diags) = certify_routing(&topo, &rfs, model_label(&model));
+    debug_assert!(
+        diags.is_empty(),
+        "table routing broke its envelope: {diags:?}"
+    );
+    cert
 }
 
 /// Outcome of building and certifying degraded route tables for one
@@ -485,7 +226,8 @@ fn table_error_diag(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anton_core::topology::{Dim, NodeCoord, Sign, TorusDir, TorusShape};
+    use anton_core::chip::ChanId;
+    use anton_core::topology::{Dim, NodeCoord, NodeId, Sign, TorusDir, TorusShape};
 
     fn chan(dim: Dim, sign: Sign, slice: Slice) -> ChanId {
         ChanId {
@@ -516,20 +258,18 @@ mod tests {
 
     #[test]
     fn explicit_tables_are_subset_of_family_graph() {
-        // Cross-validates the explicit path walker against the symbolic
-        // generator: every direction-ordered degraded table's dependency
-        // edges must already be present in the (over-approximating)
-        // long-arc family graph.
+        // Cross-validates the explicit table walker against the symbolic
+        // transition system: every direction-ordered degraded table's
+        // dependency edges must already be present in the
+        // (over-approximating) long-arc family graph.
         let cfg = MachineConfig::new(TorusShape::cube(3));
         let model = VerifyModel::degraded_family(cfg.clone());
-        let vcs = usize::from(
-            cfg.vc_policy
-                .num_vcs(LinkGroup::M)
-                .max(cfg.vc_policy.num_vcs(LinkGroup::T)),
-        );
-        let mut family = SymGraph::new(&cfg, vcs);
-        generate_into(&model, &mut family);
-        let family_edges: HashSet<(ChannelVc, ChannelVc)> = family.edges().collect();
+        let topo = TorusTopology::new(&cfg);
+        let family_rf = model_routing(&model);
+        let mut diags = Vec::new();
+        let family = crate::engine::build_routing_graph(&topo, &[&family_rf], &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+        let family_edges: std::collections::HashSet<_> = family.edges().collect();
         // Healthy plus a sample of single-link downs.
         let shape = cfg.shape;
         let mut down_sets = vec![DownLinkSet::empty(shape)];
@@ -546,12 +286,19 @@ mod tests {
             }
         }
         for downs in &down_sets {
-            let mut explicit = SymGraph::new(&cfg, vcs);
+            let mut table_rfs = Vec::new();
             for slice in Slice::ALL {
                 let table = build_route_table(&shape, slice, downs).unwrap();
                 assert_eq!(table.method(), TableMethod::DirectionOrdered);
-                add_table_edges(&cfg, &table, &mut explicit);
+                table_rfs.push(TableRouting::new(cfg.clone(), table));
             }
+            let rfs: Vec<&dyn RoutingFunction> = table_rfs
+                .iter()
+                .map(|t| t as &dyn RoutingFunction)
+                .collect();
+            let mut diags = Vec::new();
+            let explicit = crate::engine::build_routing_graph(&topo, &rfs, &mut diags);
+            assert!(diags.is_empty(), "{diags:?}");
             for (from, to) in explicit.edges() {
                 assert!(
                     family_edges.contains(&(from, to)),

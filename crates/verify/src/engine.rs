@@ -1,0 +1,326 @@
+//! The topology-agnostic symbolic certification engine.
+//!
+//! Everything the certifier knows about a network comes through two traits:
+//! a [`Topology`] that can address links, and one or more
+//! [`RoutingFunction`]s whose abstract transition systems describe every
+//! route the network can carry. The engine explores each routing function
+//! breadth-first over `(link, VC, abstract state)` arrivals, records every
+//! consecutive `(link, VC)` pair a transition acquires as a
+//! channel-dependency edge, and checks the union graph for cycles:
+//!
+//! ```text
+//!   Topology ─────────┐
+//!                     ├─► build_routing_graph ─► SymGraph ─► find_cycle
+//!   RoutingFunction ──┘          │                              │
+//!        (roots/transitions)     └── AV022/AV023 diags      minimize
+//!                                                               │
+//!   RoutingFunction::witnesses ◄── wanted cycle edges ──────────┘
+//!                     │
+//!                     ▼
+//!        DeadlockCertificate { acyclic | counterexample + witnesses }
+//! ```
+//!
+//! Passing several routing functions certifies their **union** — exactly
+//! what the degraded-table install gate needs (healthy traffic plus every
+//! epoch's rerouted traffic can be in flight at once, so their dependency
+//! edges must be jointly acyclic).
+//!
+//! A routing function that steps outside its declared envelope is reported
+//! rather than trusted: a VC beyond the declared budget raises `AV022`, a
+//! link the topology cannot address raises `AV023`, and the offending
+//! transition is excluded from the graph (certification then fails closed
+//! through the error diagnostic).
+
+use std::collections::{HashSet, VecDeque};
+
+use anton_core::net::{Arrival, DepEdge, RoutingFunction, Topology};
+use anton_core::trace::GlobalLink;
+use anton_core::vc::Vc;
+
+use crate::graph::SymGraph;
+use crate::report::{CycleCounterexample, DeadlockCertificate, Diagnostic, WitnessRoute};
+
+/// Cap on concrete witness routes attached to a counterexample.
+const MAX_WITNESSES: usize = 8;
+
+/// Builds the union channel-dependency graph of `routings` over `topo` by
+/// breadth-first exploration of each routing function's transition system.
+///
+/// Envelope violations (`AV022` out-of-budget VC, `AV023` unaddressable
+/// link) are appended to `diags` — once per routing function per code —
+/// and the offending transitions are dropped from the graph.
+pub fn build_routing_graph<'t>(
+    topo: &'t dyn Topology,
+    routings: &[&dyn RoutingFunction],
+    diags: &mut Vec<Diagnostic>,
+) -> SymGraph<'t> {
+    let vcs = routings.iter().map(|r| r.num_vcs()).max().unwrap_or(1);
+    let mut g = SymGraph::new(topo, vcs);
+    for rf in routings {
+        let mut bad_vc = false;
+        let mut bad_link = false;
+        let mut seen: HashSet<(u32, u64)> = HashSet::new();
+        let mut queue: VecDeque<Arrival> = VecDeque::new();
+        for root in rf.roots() {
+            let Some(idx) = g.index_of(&root.link, root.vc) else {
+                if !bad_link {
+                    bad_link = true;
+                    diags.push(unaddressable_diag(topo, rf, &root.link, root.vc));
+                }
+                continue;
+            };
+            if seen.insert((idx, root.state.0)) {
+                queue.push_back(root);
+            }
+        }
+        while let Some(arrival) = queue.pop_front() {
+            'progress: for prog in rf.transitions(&arrival) {
+                // Validate the whole step chain before inserting any edge,
+                // so a bad transition contributes nothing.
+                let mut chain = Vec::with_capacity(prog.steps.len() + 1);
+                chain.push(g.index(&arrival.link, arrival.vc));
+                for (link, vc) in &prog.steps {
+                    if usize::from(vc.0) >= vcs {
+                        if !bad_vc {
+                            bad_vc = true;
+                            diags.push(
+                                Diagnostic::error(
+                                    "AV022",
+                                    format!(
+                                        "routing function `{}` requested {link}@{vc}, outside \
+                                         its declared budget of {vcs} VCs",
+                                        rf.describe()
+                                    ),
+                                )
+                                .with("vc", vc.0)
+                                .with("num_vcs", vcs),
+                            );
+                        }
+                        continue 'progress;
+                    }
+                    let Some(idx) = g.index_of(link, *vc) else {
+                        if !bad_link {
+                            bad_link = true;
+                            diags.push(unaddressable_diag(topo, rf, link, *vc));
+                        }
+                        continue 'progress;
+                    };
+                    chain.push(idx);
+                }
+                for w in chain.windows(2) {
+                    g.add_edge_idx(w[0], w[1]);
+                }
+                if let Some((node, state)) = prog.next {
+                    let (link, vc) = prog
+                        .steps
+                        .last()
+                        .map_or((arrival.link, arrival.vc), |&(l, v)| (l, v));
+                    let idx = g.index(&link, vc);
+                    if seen.insert((idx, state.0)) {
+                        queue.push_back(Arrival {
+                            node,
+                            link,
+                            vc,
+                            state,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+fn unaddressable_diag(
+    topo: &dyn Topology,
+    rf: &&dyn RoutingFunction,
+    link: &GlobalLink,
+    vc: Vc,
+) -> Diagnostic {
+    Diagnostic::error(
+        "AV023",
+        format!(
+            "routing function `{}` emitted {link}@{vc}, which topology `{}` cannot address",
+            rf.describe(),
+            topo.describe()
+        ),
+    )
+    .with("link", link)
+}
+
+/// Certifies the union of `routings` over `topo` deadlock-free, or extracts
+/// a minimal concrete `(channel, VC)` cycle with witness routes when it is
+/// not. `model` labels the certificate (e.g. `"anton(n+1) policy, datelines
+/// on"`). Envelope diagnostics are returned alongside the certificate.
+pub fn certify_routing(
+    topo: &dyn Topology,
+    routings: &[&dyn RoutingFunction],
+    model: impl Into<String>,
+) -> (DeadlockCertificate, Vec<Diagnostic>) {
+    let mut diags = Vec::new();
+    let g = build_routing_graph(topo, routings, &mut diags);
+    let base = DeadlockCertificate {
+        model: model.into(),
+        nodes: g.num_live_nodes(),
+        edges: g.num_edges(),
+        acyclic: true,
+        counterexample: None,
+    };
+    let Some(cycle) = g.find_cycle() else {
+        return (base, diags);
+    };
+    let cycle = g.minimize_cycle(cycle);
+    let cvs: Vec<(GlobalLink, Vc)> = cycle.iter().map(|&i| g.decode(i)).collect();
+    let wanted: Vec<DepEdge> = (0..cvs.len())
+        .map(|i| (cvs[i], cvs[(i + 1) % cvs.len()]))
+        .collect();
+    // Each routing function gets a chance to explain the edges no earlier
+    // function could; first concrete route per edge wins.
+    let mut routes: Vec<Option<WitnessRoute>> = vec![None; wanted.len()];
+    for rf in routings {
+        if routes.iter().filter(|w| w.is_some()).count() >= MAX_WITNESSES {
+            break;
+        }
+        let missing: Vec<usize> = (0..wanted.len()).filter(|&i| routes[i].is_none()).collect();
+        if missing.is_empty() {
+            break;
+        }
+        let subset: Vec<DepEdge> = missing.iter().map(|&i| wanted[i]).collect();
+        for (slot, w) in missing
+            .into_iter()
+            .zip(rf.witnesses(&subset, MAX_WITNESSES))
+        {
+            if let Some(c) = w {
+                routes[slot] = Some(WitnessRoute {
+                    src: c.src,
+                    dst: c.dst,
+                    path: c.path,
+                    holds: c.holds,
+                    waits_for: c.waits_for,
+                });
+            }
+        }
+    }
+    let witnesses: Vec<WitnessRoute> = routes.into_iter().flatten().take(MAX_WITNESSES).collect();
+    let cert = DeadlockCertificate {
+        acyclic: false,
+        counterexample: Some(CycleCounterexample {
+            cycle: cvs,
+            witnesses,
+        }),
+        ..base
+    };
+    (cert, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_core::mesh::{FullMesh, MeshRouting, MeshRule};
+    use anton_core::net::Progress;
+    use anton_core::topology::NodeId;
+
+    /// A routing function that immediately violates its VC budget.
+    #[derive(Debug)]
+    struct BadVc;
+
+    impl RoutingFunction for BadVc {
+        fn describe(&self) -> String {
+            "bad-vc test routing".into()
+        }
+        fn num_vcs(&self) -> usize {
+            1
+        }
+        fn roots(&self) -> Vec<Arrival> {
+            MeshRouting::new(2, MeshRule::Direct).roots()
+        }
+        fn transitions(&self, _arrival: &Arrival) -> Vec<Progress> {
+            vec![Progress {
+                steps: vec![(
+                    GlobalLink::Direct {
+                        from: NodeId(0),
+                        to: NodeId(1),
+                    },
+                    Vc(7),
+                )],
+                next: None,
+            }]
+        }
+    }
+
+    /// A routing function that emits a link its topology does not have.
+    #[derive(Debug)]
+    struct BadLink;
+
+    impl RoutingFunction for BadLink {
+        fn describe(&self) -> String {
+            "bad-link test routing".into()
+        }
+        fn num_vcs(&self) -> usize {
+            1
+        }
+        fn roots(&self) -> Vec<Arrival> {
+            MeshRouting::new(2, MeshRule::Direct).roots()
+        }
+        fn transitions(&self, _arrival: &Arrival) -> Vec<Progress> {
+            vec![Progress {
+                steps: vec![(
+                    GlobalLink::Direct {
+                        from: NodeId(0),
+                        to: NodeId(99),
+                    },
+                    Vc(0),
+                )],
+                next: None,
+            }]
+        }
+    }
+
+    #[test]
+    fn vc_budget_violation_raises_av022() {
+        let topo = FullMesh::new(2);
+        let (cert, diags) = certify_routing(&topo, &[&BadVc], "bad vc");
+        assert!(diags.iter().any(|d| d.code == "AV022"), "{diags:?}");
+        // The offending transition contributes no edges.
+        assert_eq!(cert.edges, 0);
+    }
+
+    #[test]
+    fn unaddressable_link_raises_av023() {
+        let topo = FullMesh::new(2);
+        let (cert, diags) = certify_routing(&topo, &[&BadLink], "bad link");
+        assert!(diags.iter().any(|d| d.code == "AV023"), "{diags:?}");
+        assert_eq!(cert.edges, 0);
+    }
+
+    /// A default-witness routing function: the engine must tolerate
+    /// `witnesses` returning all-`None`.
+    #[derive(Debug)]
+    struct NoWitness;
+
+    impl RoutingFunction for NoWitness {
+        fn describe(&self) -> String {
+            "witnessless ring".into()
+        }
+        fn num_vcs(&self) -> usize {
+            1
+        }
+        fn roots(&self) -> Vec<Arrival> {
+            MeshRouting::new(3, MeshRule::Ring).roots()
+        }
+        fn transitions(&self, arrival: &Arrival) -> Vec<Progress> {
+            MeshRouting::new(3, MeshRule::Ring).transitions(arrival)
+        }
+    }
+
+    #[test]
+    fn cyclic_routing_without_witnesses_still_reports_the_cycle() {
+        let topo = FullMesh::new(3);
+        let (cert, diags) = certify_routing(&topo, &[&NoWitness], "ring, no witnesses");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(!cert.acyclic);
+        let ce = cert.counterexample.expect("cycle");
+        assert!(!ce.cycle.is_empty());
+        assert!(ce.witnesses.is_empty());
+    }
+}

@@ -3,77 +3,54 @@
 //! The symbolic construction visits millions of edges on a full-size
 //! machine, so unlike [`anton_analysis::deadlock::DepGraph`] (which interns
 //! nodes through a `HashMap`), this graph addresses every possible
-//! `(link, VC)` pair arithmetically: each node of the machine contributes a
-//! fixed block of link slots, and an index is `(node · slots + slot) · vcs +
-//! vc`. Absent pairs simply keep an empty adjacency list.
+//! `(link, VC)` pair arithmetically through a
+//! [`Topology`](anton_core::net::Topology): each node of the machine
+//! contributes a fixed block of link slots, and an index is
+//! `(node · slots + slot) · vcs + vc`. Absent pairs simply keep an empty
+//! adjacency list. The graph itself is topology-agnostic — the same
+//! structure certifies a torus and a full mesh.
 
-use anton_core::chip::{ChanId, LocalEndpointId, LocalLink, MeshCoord, MeshDir, NUM_ROUTERS};
-use anton_core::config::MachineConfig;
-use anton_core::topology::NodeId;
+use anton_core::net::Topology;
 use anton_core::trace::GlobalLink;
 use anton_core::vc::Vc;
 
-/// Per-node slot layout: 64 mesh + 16 skip + 12 chan→router + 12
-/// router→chan, then the endpoint links, then 12 torus departures.
-const MESH_SLOTS: usize = NUM_ROUTERS * 4;
-const SKIP_BASE: usize = MESH_SLOTS;
-const CTR_BASE: usize = SKIP_BASE + NUM_ROUTERS;
-const RTC_BASE: usize = CTR_BASE + 12;
-const EP_BASE: usize = RTC_BASE + 12;
-
 /// A dependency graph over every addressable `(link, VC)` pair of one
-/// machine, with adjacency stored densely by arithmetic index.
+/// topology, with adjacency stored densely by arithmetic index.
 #[derive(Debug)]
-pub struct SymGraph {
-    slots: usize,
-    eps: usize,
+pub struct SymGraph<'t> {
+    topo: &'t dyn Topology,
     vcs: usize,
     adj: Vec<Vec<u32>>,
     num_edges: usize,
 }
 
-impl SymGraph {
-    /// An empty graph sized for `cfg` with `vcs` virtual channels per link.
-    pub fn new(cfg: &MachineConfig, vcs: usize) -> SymGraph {
-        let eps = usize::from(cfg.chip.num_endpoints());
-        let slots = EP_BASE + 2 * eps + 12;
-        let n = cfg.shape.num_nodes() * slots * vcs;
+impl<'t> SymGraph<'t> {
+    /// An empty graph sized for `topo` with `vcs` virtual channels per link.
+    pub fn new(topo: &'t dyn Topology, vcs: usize) -> SymGraph<'t> {
+        let n = topo.num_nodes() * topo.slots_per_node() * vcs;
         SymGraph {
-            slots,
-            eps,
+            topo,
             vcs,
             adj: vec![Vec::new(); n],
             num_edges: 0,
         }
     }
 
-    fn local_slot(&self, link: &LocalLink) -> usize {
-        match link {
-            LocalLink::Mesh { from, dir } => from.index() * 4 + dir.index(),
-            LocalLink::Skip { from } => SKIP_BASE + from.index(),
-            LocalLink::ChanToRouter(c) => CTR_BASE + c.index(),
-            LocalLink::RouterToChan(c) => RTC_BASE + c.index(),
-            LocalLink::EpToRouter(e) => EP_BASE + usize::from(e.0),
-            LocalLink::RouterToEp(e) => EP_BASE + self.eps + usize::from(e.0),
+    /// The dense index of a `(link, VC)` pair, or `None` when the topology
+    /// cannot address the link (or the VC exceeds the graph's budget).
+    pub fn index_of(&self, link: &GlobalLink, vc: Vc) -> Option<u32> {
+        if usize::from(vc.0) >= self.vcs {
+            return None;
         }
+        let (node, slot) = self.topo.slot(link)?;
+        Some(((node * self.topo.slots_per_node() + slot) * self.vcs + usize::from(vc.0)) as u32)
     }
 
-    /// The dense index of a `(link, VC)` pair.
+    /// The dense index of a `(link, VC)` pair. Panics when the topology
+    /// cannot address it — use [`SymGraph::index_of`] for untrusted input.
     pub fn index(&self, link: &GlobalLink, vc: Vc) -> u32 {
-        let (node, slot) = match link {
-            GlobalLink::Local { node, link } => (node.0 as usize, self.local_slot(link)),
-            GlobalLink::Torus { from, dir, slice } => (
-                from.0 as usize,
-                EP_BASE
-                    + 2 * self.eps
-                    + ChanId {
-                        dir: *dir,
-                        slice: *slice,
-                    }
-                    .index(),
-            ),
-        };
-        ((node * self.slots + slot) * self.vcs + usize::from(vc.0)) as u32
+        self.index_of(link, vc)
+            .unwrap_or_else(|| panic!("topology cannot address {link}@{vc}"))
     }
 
     /// Inverse of [`SymGraph::index`].
@@ -81,58 +58,24 @@ impl SymGraph {
         let idx = idx as usize;
         let vc = Vc((idx % self.vcs) as u8);
         let rest = idx / self.vcs;
-        let node = NodeId((rest / self.slots) as u32);
-        let slot = rest % self.slots;
-        let link = if slot < SKIP_BASE {
-            GlobalLink::Local {
-                node,
-                link: LocalLink::Mesh {
-                    from: MeshCoord::from_index(slot / 4),
-                    dir: MeshDir::ALL[slot % 4],
-                },
-            }
-        } else if slot < CTR_BASE {
-            GlobalLink::Local {
-                node,
-                link: LocalLink::Skip {
-                    from: MeshCoord::from_index(slot - SKIP_BASE),
-                },
-            }
-        } else if slot < RTC_BASE {
-            GlobalLink::Local {
-                node,
-                link: LocalLink::ChanToRouter(ChanId::from_index(slot - CTR_BASE)),
-            }
-        } else if slot < EP_BASE {
-            GlobalLink::Local {
-                node,
-                link: LocalLink::RouterToChan(ChanId::from_index(slot - RTC_BASE)),
-            }
-        } else if slot < EP_BASE + self.eps {
-            GlobalLink::Local {
-                node,
-                link: LocalLink::EpToRouter(LocalEndpointId((slot - EP_BASE) as u8)),
-            }
-        } else if slot < EP_BASE + 2 * self.eps {
-            GlobalLink::Local {
-                node,
-                link: LocalLink::RouterToEp(LocalEndpointId((slot - EP_BASE - self.eps) as u8)),
-            }
-        } else {
-            let chan = ChanId::from_index(slot - EP_BASE - 2 * self.eps);
-            GlobalLink::Torus {
-                from: node,
-                dir: chan.dir,
-                slice: chan.slice,
-            }
-        };
+        let slots = self.topo.slots_per_node();
+        let link = self
+            .topo
+            .link_at(rest / slots, rest % slots)
+            .expect("decode of an index the topology populated");
         (link, vc)
     }
 
-    /// Adds one dependency edge (idempotent).
+    /// Adds one dependency edge (idempotent). Panics on unaddressable
+    /// endpoints; the engine validates links before insertion.
     pub fn add_edge(&mut self, from: (GlobalLink, Vc), to: (GlobalLink, Vc)) {
         let f = self.index(&from.0, from.1);
         let t = self.index(&to.0, to.1);
+        self.add_edge_idx(f, t);
+    }
+
+    /// Adds one dependency edge by pre-validated dense indices (idempotent).
+    pub fn add_edge_idx(&mut self, f: u32, t: u32) {
         let list = &mut self.adj[f as usize];
         if !list.contains(&t) {
             list.push(t);
@@ -273,12 +216,16 @@ impl SymGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anton_core::topology::{Slice, TorusDir, TorusShape};
+    use anton_core::chip::{ChanId, LocalLink, MeshCoord, MeshDir};
+    use anton_core::config::MachineConfig;
+    use anton_core::net::TorusTopology;
+    use anton_core::topology::{NodeId, Slice, TorusDir, TorusShape};
 
     #[test]
     fn index_round_trips_every_slot() {
         let cfg = MachineConfig::new(TorusShape::new(3, 2, 1));
-        let g = SymGraph::new(&cfg, 4);
+        let topo = TorusTopology::new(&cfg);
+        let g = SymGraph::new(&topo, 4);
         let node = NodeId(4);
         let mut links: Vec<GlobalLink> = Vec::new();
         for r in MeshCoord::all() {
@@ -326,12 +273,19 @@ mod tests {
                 assert_eq!(g.decode(idx), (link, Vc(vc)));
             }
         }
+        // Links of other topologies are not addressable, only rejected.
+        let foreign = GlobalLink::Direct {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
+        assert_eq!(g.index_of(&foreign, Vc(0)), None);
     }
 
     #[test]
     fn planted_cycle_found_and_minimized() {
         let cfg = MachineConfig::new(TorusShape::cube(2));
-        let mut g = SymGraph::new(&cfg, 2);
+        let topo = TorusTopology::new(&cfg);
+        let mut g = SymGraph::new(&topo, 2);
         let t = |n: u32| {
             (
                 GlobalLink::Torus {
@@ -357,7 +311,8 @@ mod tests {
     #[test]
     fn acyclic_graph_has_no_cycle() {
         let cfg = MachineConfig::new(TorusShape::cube(2));
-        let mut g = SymGraph::new(&cfg, 2);
+        let topo = TorusTopology::new(&cfg);
+        let mut g = SymGraph::new(&topo, 2);
         let t = |n: u32, v: u8| {
             (
                 GlobalLink::Torus {

@@ -2,14 +2,23 @@
 //!
 //! This crate certifies a machine configuration *before* simulation:
 //!
-//! - **Symbolic deadlock certification** ([`certify`]): builds the
-//!   `(channel, VC)` dependency graph of the whole machine from an abstract
-//!   transition system over the VC-promotion state machine — all dimension
+//! - **Topology-agnostic certification engine** ([`engine`]): consumes any
+//!   [`anton_core::net::Topology`] + [`anton_core::net::RoutingFunction`]
+//!   pair, derives the `(channel, VC)` dependency graph from the routing
+//!   function's abstract transition system, and proves it acyclic — or
+//!   extracts a minimal concrete cycle with witness routes when it is not.
+//!   Routing functions that step outside their declared envelope raise
+//!   `AV022`/`AV023`.
+//! - **Symbolic torus certification** ([`certify`]): the engine
+//!   instantiated with dimension-order torus routing — all dimension
 //!   orders, dateline-crossing patterns, and slices at once, without
-//!   enumerating routes — and proves it acyclic, or extracts a minimal
-//!   concrete cycle with witness routes when it is not. A cross-check mode
-//!   ([`cross_check`]) compares the symbolic graph edge-for-edge against
-//!   the route-enumerating checker in `anton-analysis` on small machines.
+//!   enumerating routes. A cross-check mode ([`cross_check`]) compares the
+//!   symbolic graph edge-for-edge against the route-enumerating checker in
+//!   `anton-analysis` on small machines.
+//! - **Full-mesh certification** ([`verify_mesh`]): the first non-torus
+//!   instance — proves single-hop mesh routing deadlock-free with zero
+//!   VCs, and extracts concrete cycle witnesses from the deliberately
+//!   cyclic ring-forwarding rule.
 //! - **Degraded-topology certification** ([`degraded`]): builds fault-aware
 //!   route tables over the live link graph and certifies each concrete
 //!   table set explicitly — every path walked through the reference
@@ -24,27 +33,32 @@
 //!   latency parameters, fault schedules, arbiter weights, and tracing
 //!   configuration. See `crate::lint` for the code table.
 //!
-//! The simulator runs [`preflight`] inside `Sim::new` (fail-fast by
+//! The simulator runs [`preflight`] during construction (fail-fast by
 //! default), the experiment harness verifies configurations before
 //! launching batches, and the `verify_config` binary emits a standalone
 //! JSON verification report.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod degraded;
+pub mod engine;
 pub mod graph;
 pub mod lint;
+pub mod mesh;
 pub mod model;
 pub mod report;
 pub mod symbolic;
-mod witness;
 
 pub use anton_analysis::deadlock::{ChannelVc, RouteEnumeration};
+pub use anton_core::net::{ConcreteRoute, RoutePath, RoutingFunction, Topology};
 pub use degraded::{
     build_degraded_tables, certify_family, certify_tables, verify_degraded, DegradedVerdict,
 };
+pub use engine::{build_routing_graph, certify_routing};
 pub use lint::{lint_config, lint_model, lint_params, lint_weights, ParamsView};
+pub use mesh::verify_mesh;
 pub use model::VerifyModel;
 pub use report::{
     CycleCounterexample, DeadlockCertificate, Diagnostic, Severity, VerifyReport, WitnessRoute,

@@ -28,6 +28,8 @@
 //! | AV019 | error    | shard count zero or above the node count |
 //! | AV020 | error    | down links partition the network (unreachable node pairs) |
 //! | AV021 | error    | degraded route tables uncertifiable (VC-incompatible or cyclic) |
+//! | AV022 | error    | routing function requests a VC outside its declared budget |
+//! | AV023 | error    | routing function emits a link its topology cannot address |
 //! | AV101 | error    | unknown traffic pattern / workload name |
 //! | AV102 | error    | torus extent outside `1..=16` |
 //! | AV103 | error    | cannot write an output file |
@@ -49,8 +51,9 @@ pub const MIN_TORUS_BDP_FLITS: u8 = 28;
 
 /// The parameters of a simulation run, as seen by the lint engine.
 ///
-/// `anton-sim` depends on this crate (pre-flight runs inside `Sim::new`),
-/// so the lints cannot read `SimParams` directly; the simulator projects
+/// `anton-sim` depends on this crate (pre-flight runs when the builder
+/// constructs a `Sim`), so the lints cannot read `SimParams` directly; the
+/// simulator projects
 /// its parameters into this view instead. [`ParamsView::reference`]
 /// duplicates the paper-default values for standalone use (`verify_config`
 /// without a simulator); `anton-sim`'s tests pin the two in sync.

@@ -10,8 +10,7 @@ use std::fmt;
 
 use anton_analysis::deadlock::ChannelVc;
 use anton_core::config::GlobalEndpoint;
-use anton_core::topology::{Slice, TorusDir};
-use anton_core::vc::VcPolicy;
+use anton_core::net::RoutePath;
 use anton_obs::json::Json;
 use anton_obs::link_json::link_to_json;
 
@@ -111,10 +110,8 @@ pub struct WitnessRoute {
     pub src: GlobalEndpoint,
     /// Destination endpoint.
     pub dst: GlobalEndpoint,
-    /// Torus hop sequence of the route.
-    pub hops: Vec<TorusDir>,
-    /// Torus slice the route uses.
-    pub slice: Slice,
+    /// The route taken, in the topology's native path representation.
+    pub path: RoutePath,
     /// The `(channel, VC)` the packet holds.
     pub holds: ChannelVc,
     /// The `(channel, VC)` the packet waits for while holding `holds`.
@@ -124,33 +121,43 @@ pub struct WitnessRoute {
 impl WitnessRoute {
     /// Exports the witness as a JSON object.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("src", Json::from(self.src.to_string())),
-            ("dst", Json::from(self.dst.to_string())),
-            (
-                "hops",
-                Json::arr(self.hops.iter().map(|h| Json::from(h.to_string()))),
-            ),
-            ("slice", Json::from(u64::from(self.slice.0))),
-            ("holds", channel_vc_to_json(&self.holds)),
-            ("waits_for", channel_vc_to_json(&self.waits_for)),
-        ])
+        let mut pairs = vec![
+            ("src".to_string(), Json::from(self.src.to_string())),
+            ("dst".to_string(), Json::from(self.dst.to_string())),
+        ];
+        match &self.path {
+            RoutePath::Torus { hops, slice } => {
+                pairs.push((
+                    "hops".to_string(),
+                    Json::arr(hops.iter().map(|h| Json::from(h.to_string()))),
+                ));
+                pairs.push(("slice".to_string(), Json::from(u64::from(slice.0))));
+            }
+            RoutePath::Nodes(nodes) => {
+                pairs.push((
+                    "nodes".to_string(),
+                    Json::arr(nodes.iter().map(|n| Json::from(u64::from(n.0)))),
+                ));
+            }
+        }
+        pairs.push(("holds".to_string(), channel_vc_to_json(&self.holds)));
+        pairs.push(("waits_for".to_string(), channel_vc_to_json(&self.waits_for)));
+        Json::Obj(pairs)
     }
 }
 
 impl fmt::Display for WitnessRoute {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} via [", self.src, self.dst)?;
-        for (i, h) in self.hops.iter().enumerate() {
-            if i > 0 {
-                write!(f, " ")?;
-            }
-            write!(f, "{h}")?;
-        }
         write!(
             f,
-            "] {}: holds {}@{} waits {}@{}",
-            self.slice, self.holds.0, self.holds.1, self.waits_for.0, self.waits_for.1
+            "{} -> {} via {}: holds {}@{} waits {}@{}",
+            self.src,
+            self.dst,
+            self.path,
+            self.holds.0,
+            self.holds.1,
+            self.waits_for.0,
+            self.waits_for.1
         )
     }
 }
@@ -190,10 +197,10 @@ impl CycleCounterexample {
 /// The result of symbolically certifying a machine deadlock-free.
 #[derive(Debug, Clone)]
 pub struct DeadlockCertificate {
-    /// VC policy analyzed.
-    pub policy: VcPolicy,
-    /// Whether the dateline-promotion rule was active in the model.
-    pub datelines: bool,
+    /// Label of the certified model — for a torus, the VC policy and
+    /// dateline setting (e.g. `"anton(n+1) policy, datelines on"`); for
+    /// other topologies, the routing functions certified.
+    pub model: String,
     /// Live `(channel, VC)` pairs in the symbolic dependency graph.
     pub nodes: usize,
     /// Dependency edges in the symbolic graph.
@@ -208,8 +215,7 @@ impl DeadlockCertificate {
     /// Exports the certificate as a JSON object.
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![
-            ("policy".to_string(), Json::from(self.policy.to_string())),
-            ("datelines".to_string(), Json::from(self.datelines)),
+            ("model".to_string(), Json::from(self.model.as_str())),
             ("nodes".to_string(), Json::from(self.nodes)),
             ("edges".to_string(), Json::from(self.edges)),
             ("acyclic".to_string(), Json::from(self.acyclic)),
@@ -226,19 +232,15 @@ impl fmt::Display for DeadlockCertificate {
         if self.acyclic {
             write!(
                 f,
-                "certified deadlock-free: {} policy, datelines {}, {} channel-VC pairs, {} dependency edges, acyclic",
-                self.policy,
-                if self.datelines { "on" } else { "off" },
-                self.nodes,
-                self.edges
+                "certified deadlock-free: {}, {} channel-VC pairs, {} dependency edges, acyclic",
+                self.model, self.nodes, self.edges
             )
         } else {
             let len = self.counterexample.as_ref().map_or(0, |ce| ce.cycle.len());
             write!(
                 f,
-                "NOT deadlock-free: {} policy, datelines {}, dependency cycle of length {len}",
-                self.policy,
-                if self.datelines { "on" } else { "off" }
+                "NOT deadlock-free: {}, dependency cycle of length {len}",
+                self.model
             )
         }
     }

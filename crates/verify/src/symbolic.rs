@@ -1,570 +1,60 @@
-//! Symbolic construction of the channel-dependency graph.
+//! Torus instantiation of the symbolic certification engine.
 //!
 //! The enumerating checker in `anton-analysis` builds the VC dependency
 //! graph by tracing every concrete route (all sources × destinations ×
 //! dimension orders × slices × tie-breaks) — `O(N²)` traces for `N` nodes.
-//! This module builds the *same* graph by a structural argument instead:
+//! The symbolic engine ([`crate::engine`]) builds the *same* graph in
+//! `O(machine size)` from the abstract transition system of
+//! [`anton_core::dimorder::DimOrderRouting`]: a packet's VC-promotion state
+//! between torus dimensions is fully captured by `(m_vc, routed-dimension
+//! mask)`, so a breadth-first walk over a handful of abstract states covers
+//! every route the machine can carry. The cross-check tests compare edge
+//! sets verbatim against the enumeration on small machines; the 8×8×8
+//! default certifies in well under a second.
 //!
-//! Every unicast route decomposes into **M-phases** (endpoint injection, a
-//! mesh traversal between adapters on one chip, endpoint delivery) and
-//! **torus arcs** (a contiguous run of minimal hops in one dimension). The
-//! VC-promotion state at any M-phase boundary is fully captured by the pair
-//! `(m_vc, routed-dimension mask)`: [`anton_core::vc::VcState::begin_dim`]
-//! reads only `m_vc` (Anton policy) or the number of completed dimensions
-//! (baseline policies), and the promotion invariant makes `m_vc` a function
-//! of the mask alone — `m_i = i` after `i` dimensions whether or not
-//! datelines were crossed. So instead of enumerating routes, we:
-//!
-//! 1. enumerate the (tiny) set of reachable *abstract M-states*,
-//! 2. for each abstract state, emit every torus-arc interior a route in that
-//!    state could produce, from every start node ([`gen-1`]), and
-//! 3. at every node, connect every possible arrival (or injection) through
-//!    the on-chip mesh to every possible next departure (or delivery)
-//!    ([`gen-2`]).
-//!
-//! The union over these generalized route fragments is *exactly* the edge
-//! set of the full enumeration (the cross-check tests compare edge sets
-//! verbatim on small machines), but costs `O(machine size)` rather than
-//! `O(N²)` traces — the 8×8×8 default certifies in well under a second.
+//! This module is the torus-flavored front door: it translates a
+//! [`VerifyModel`] (config + dateline/long-arc knobs) into the
+//! topology/routing-function pair the engine consumes and preserves the
+//! historical `certify`/`cross_check` API.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use anton_analysis::deadlock::{build_unicast_dep_graph, ChannelVc, RouteEnumeration};
-use anton_core::chip::{ChanId, LinkGroup, LocalEndpointId, LocalLink, MeshCoord};
 use anton_core::config::MachineConfig;
-use anton_core::topology::{Dim, NodeCoord, Sign, Slice, TorusDir};
-use anton_core::trace::GlobalLink;
-use anton_core::vc::VcState;
+use anton_core::dimorder::DimOrderRouting;
+use anton_core::net::TorusTopology;
 
+use crate::engine::{build_routing_graph, certify_routing};
 use crate::graph::SymGraph;
 use crate::model::VerifyModel;
-use crate::report::{CycleCounterexample, DeadlockCertificate};
+use crate::report::DeadlockCertificate;
 
-/// Bit of one dimension in a routed-dimension mask.
-#[inline]
-pub(crate) fn dim_bit(d: Dim) -> u8 {
-    1 << d.index()
+/// The certificate label of a torus model: VC policy plus dateline setting.
+pub(crate) fn model_label(model: &VerifyModel) -> String {
+    format!(
+        "{} policy, datelines {}",
+        model.cfg.vc_policy,
+        if model.datelines { "on" } else { "off" }
+    )
 }
 
-/// An abstract M-phase state: the promotion state a packet is in between
-/// torus dimensions, plus the set of dimensions already routed.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct MState {
-    /// Representative concrete promotion state (exact: see module docs).
-    pub state: VcState,
-    /// Bitmask of dimensions already routed.
-    pub mask: u8,
-}
-
-/// Enumerates every reachable abstract M-state by BFS over `(m_vc, mask)`.
-pub(crate) fn reachable_mstates(model: &VerifyModel) -> Vec<MState> {
-    let mut seen: HashSet<(u8, u8)> = HashSet::new();
-    let mut out = Vec::new();
-    let mut queue = vec![MState {
-        state: model.cfg.vc_policy.start(),
-        mask: 0,
-    }];
-    while let Some(s) = queue.pop() {
-        if !seen.insert((s.state.m_vc(), s.mask)) {
-            continue;
-        }
-        out.push(s);
-        for dim in model.usable_dims() {
-            if s.mask & dim_bit(dim) != 0 {
-                continue;
-            }
-            let crossings: &[bool] = if model.crossing_possible(dim) {
-                &[false, true]
-            } else {
-                &[false]
-            };
-            for &crossed in crossings {
-                let mut st = s.state;
-                st.begin_dim();
-                st.torus_hop(crossed);
-                st.end_dim();
-                queue.push(MState {
-                    state: st,
-                    mask: s.mask | dim_bit(dim),
-                });
-            }
-        }
-    }
-    out
-}
-
-/// How a packet enters a node's M-phase (context for witness synthesis).
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum EntryCtx {
-    /// Injected by a local endpoint.
-    Inject {
-        /// The injecting endpoint.
-        ep: LocalEndpointId,
-    },
-    /// Arrived on a torus arc.
-    Arrive {
-        /// Arc dimension.
-        dim: Dim,
-        /// Arc direction.
-        sign: Sign,
-        /// Arc slice.
-        slice: Slice,
-        /// Shortest arc length realizing the arrival's crossing pattern.
-        len: u8,
-        /// Dimension mask before the arc.
-        pre_mask: u8,
-    },
-}
-
-/// How a packet leaves a node's M-phase.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum ExitCtx {
-    /// Delivered to a local endpoint.
-    Deliver {
-        /// The receiving endpoint.
-        ep: LocalEndpointId,
-    },
-    /// Departs on the next torus dimension.
-    Depart {
-        /// Next dimension.
-        dim: Dim,
-        /// Next direction.
-        sign: Sign,
-        /// Departure slice.
-        slice: Slice,
-    },
-}
-
-/// Provenance of one symbolic dependency edge — enough to synthesize a
-/// concrete witness route reproducing it.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum EdgeCtx {
-    /// Interior of a torus arc.
-    Ring {
-        /// Arc dimension.
-        dim: Dim,
-        /// Arc direction.
-        sign: Sign,
-        /// Arc slice.
-        slice: Slice,
-        /// Node the arc starts at.
-        start: NodeCoord,
-        /// Dimension mask before the arc.
-        pre_mask: u8,
-        /// Hop index (0-based) the edge belongs to; an arc of length
-        /// `hop + 1` reproduces it.
-        hop: u8,
-    },
-    /// An on-chip M-phase chain.
-    MPhase {
-        /// The node.
-        node: NodeCoord,
-        /// How the packet entered.
-        entry: EntryCtx,
-        /// How the packet left.
-        exit: ExitCtx,
-    },
-}
-
-/// Receives symbolic dependency edges as they are generated.
-pub(crate) trait EdgeSink {
-    /// Reports one edge with its provenance.
-    fn edge(&mut self, from: ChannelVc, to: ChannelVc, ctx: &EdgeCtx);
-}
-
-struct GraphSink<'a>(&'a mut SymGraph);
-
-impl EdgeSink for GraphSink<'_> {
-    fn edge(&mut self, from: ChannelVc, to: ChannelVc, _ctx: &EdgeCtx) {
-        self.0.add_edge(from, to);
-    }
-}
-
-/// Second-pass sink: captures the provenance of a wanted set of edges
-/// (the ones on a dependency cycle).
-pub(crate) struct CaptureSink {
-    pub(crate) wanted: HashMap<(ChannelVc, ChannelVc), Option<EdgeCtx>>,
-}
-
-impl CaptureSink {
-    pub(crate) fn for_cycle(cycle: &[ChannelVc]) -> CaptureSink {
-        let mut wanted = HashMap::new();
-        for i in 0..cycle.len() {
-            wanted.insert((cycle[i], cycle[(i + 1) % cycle.len()]), None);
-        }
-        CaptureSink { wanted }
-    }
-}
-
-impl EdgeSink for CaptureSink {
-    fn edge(&mut self, from: ChannelVc, to: ChannelVc, ctx: &EdgeCtx) {
-        if let Some(slot) = self.wanted.get_mut(&(from, to)) {
-            if slot.is_none() {
-                *slot = Some(*ctx);
-            }
-        }
-    }
-}
-
-/// The crossing patterns a minimal arc in `(dim, sign)` can end at
-/// coordinate `at.get(dim)` with, each with the shortest realizing arc
-/// length: at most `[(false, l0), (true, l1)]`.
-pub(crate) fn possible_crossed_at(
-    model: &VerifyModel,
-    dim: Dim,
-    sign: Sign,
-    at: NodeCoord,
-) -> Vec<(bool, u8)> {
-    let k = i32::from(model.cfg.shape.k(dim));
-    let dir = TorusDir::new(dim, sign);
-    let mut out: Vec<(bool, u8)> = Vec::new();
-    for len in 1..=model.max_arc_len(dim) {
-        let start = (i32::from(at.get(dim)) - sign.delta() * i32::from(len)).rem_euclid(k) as u8;
-        let mut cur = at.with(dim, start);
-        let mut crossed = false;
-        for _ in 0..len {
-            crossed |= model.crosses(cur, dir);
-            cur = model.cfg.shape.neighbor(cur, dir);
-        }
-        debug_assert_eq!(cur.get(dim), at.get(dim));
-        if !out.iter().any(|&(c, _)| c == crossed) {
-            out.push((crossed, len));
-            if out.len() == 2 {
-                break;
-            }
-        }
-    }
-    out
-}
-
-/// Emits every symbolic dependency edge of the model into `sink`.
-pub(crate) fn generate(model: &VerifyModel, mstates: &[MState], sink: &mut dyn EdgeSink) {
-    gen_ring_edges(model, mstates, sink);
-    gen_mphase_edges(model, mstates, sink);
-}
-
-/// Gen-1: edges interior to a torus arc — departure adapter → torus channel
-/// → arrival adapter, plus through-node chains at intermediate nodes.
-/// Walking the maximal-length arc from every start node covers every
-/// shorter arc as a prefix (the crossing pattern depends on position, not
-/// arc length).
-fn gen_ring_edges(model: &VerifyModel, mstates: &[MState], sink: &mut dyn EdgeSink) {
-    let cfg = &model.cfg;
-    let chip = &cfg.chip;
-    for pre in mstates {
-        for dim in model.usable_dims() {
-            if pre.mask & dim_bit(dim) != 0 {
-                continue;
-            }
-            for &sign in model.signs_for(dim) {
-                let dir = TorusDir::new(dim, sign);
-                for slice in Slice::ALL {
-                    let depart = ChanId { dir, slice };
-                    let arrive = ChanId {
-                        dir: dir.opposite(),
-                        slice,
-                    };
-                    for start in cfg.shape.nodes() {
-                        let mut st = pre.state;
-                        st.begin_dim();
-                        let mut node = start;
-                        for h in 0..model.max_arc_len(dim) {
-                            let ctx = EdgeCtx::Ring {
-                                dim,
-                                sign,
-                                slice,
-                                start,
-                                pre_mask: pre.mask,
-                                hop: h,
-                            };
-                            let nid = cfg.shape.id(node);
-                            let t_dep = st.vc_for(LinkGroup::T);
-                            let rtc = (
-                                GlobalLink::Local {
-                                    node: nid,
-                                    link: LocalLink::RouterToChan(depart),
-                                },
-                                t_dep,
-                            );
-                            if h > 0 {
-                                // Through-route at an intermediate node: the
-                                // arrival adapter feeds the departure adapter
-                                // (via the skip channel for X, directly for
-                                // Y/Z whose adapters share a router).
-                                let ctr_prev = (
-                                    GlobalLink::Local {
-                                        node: nid,
-                                        link: LocalLink::ChanToRouter(arrive),
-                                    },
-                                    t_dep,
-                                );
-                                if dim == Dim::X {
-                                    let skip = (
-                                        GlobalLink::Local {
-                                            node: nid,
-                                            link: LocalLink::Skip {
-                                                from: chip.chan_router(arrive),
-                                            },
-                                        },
-                                        t_dep,
-                                    );
-                                    sink.edge(ctr_prev, skip, &ctx);
-                                    sink.edge(skip, rtc, &ctx);
-                                } else {
-                                    sink.edge(ctr_prev, rtc, &ctx);
-                                }
-                            }
-                            let tvc = st.torus_hop(model.crosses(node, dir));
-                            let torus = (
-                                GlobalLink::Torus {
-                                    from: nid,
-                                    dir,
-                                    slice,
-                                },
-                                tvc,
-                            );
-                            sink.edge(rtc, torus, &ctx);
-                            node = cfg.shape.neighbor(node, dir);
-                            let ctr = (
-                                GlobalLink::Local {
-                                    node: cfg.shape.id(node),
-                                    link: LocalLink::ChanToRouter(arrive),
-                                },
-                                tvc,
-                            );
-                            sink.edge(torus, ctr, &ctx);
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// One way a packet can enter a node's M-phase.
-struct MEntry {
-    link: ChannelVc,
-    router: MeshCoord,
-    state: VcState,
-    mask: u8,
-    slice: Option<Slice>,
-    ctx: EntryCtx,
-}
-
-/// Gen-2: per-node M-phase edges — every entry (injection or torus
-/// arrival), through the deterministic direction-order mesh chain, to every
-/// exit (delivery or next-dimension departure).
-fn gen_mphase_edges(model: &VerifyModel, mstates: &[MState], sink: &mut dyn EdgeSink) {
-    let cfg = &model.cfg;
-    let chip = &cfg.chip;
-    for node in cfg.shape.nodes() {
-        let nid = cfg.shape.id(node);
-        let mut entries: Vec<MEntry> = Vec::new();
-        // Injection entries: a fresh packet at any endpoint.
-        let start = cfg.vc_policy.start();
-        for ep in chip.endpoints() {
-            entries.push(MEntry {
-                link: (
-                    GlobalLink::Local {
-                        node: nid,
-                        link: LocalLink::EpToRouter(ep),
-                    },
-                    start.vc_for(LinkGroup::M),
-                ),
-                router: chip.endpoint_router(ep),
-                state: start,
-                mask: 0,
-                slice: None,
-                ctx: EntryCtx::Inject { ep },
-            });
-        }
-        // Arrival entries: the end of a torus arc in any abstract state.
-        for pre in mstates {
-            for dim in model.usable_dims() {
-                if pre.mask & dim_bit(dim) != 0 {
-                    continue;
-                }
-                for &sign in model.signs_for(dim) {
-                    let dir = TorusDir::new(dim, sign);
-                    for (crossed, len) in possible_crossed_at(model, dim, sign, node) {
-                        let mut st = pre.state;
-                        st.begin_dim();
-                        let tvc = st.torus_hop(crossed);
-                        st.end_dim();
-                        for slice in Slice::ALL {
-                            let arrive = ChanId {
-                                dir: dir.opposite(),
-                                slice,
-                            };
-                            entries.push(MEntry {
-                                link: (
-                                    GlobalLink::Local {
-                                        node: nid,
-                                        link: LocalLink::ChanToRouter(arrive),
-                                    },
-                                    tvc,
-                                ),
-                                router: chip.chan_router(arrive),
-                                state: st,
-                                mask: pre.mask | dim_bit(dim),
-                                slice: Some(slice),
-                                ctx: EntryCtx::Arrive {
-                                    dim,
-                                    sign,
-                                    slice,
-                                    len,
-                                    pre_mask: pre.mask,
-                                },
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        for entry in &entries {
-            let m = entry.state.vc_for(LinkGroup::M);
-            // Delivery exits.
-            for ep in chip.endpoints() {
-                let exit = (
-                    GlobalLink::Local {
-                        node: nid,
-                        link: LocalLink::RouterToEp(ep),
-                    },
-                    m,
-                );
-                let ctx = EdgeCtx::MPhase {
-                    node,
-                    entry: entry.ctx,
-                    exit: ExitCtx::Deliver { ep },
-                };
-                emit_chain(cfg, node, entry, chip.endpoint_router(ep), exit, &ctx, sink);
-            }
-            // Next-dimension departure exits. The departure slice must match
-            // the arrival slice (a route uses one slice end to end);
-            // injections pair with either slice.
-            for dim2 in model.usable_dims() {
-                if entry.mask & dim_bit(dim2) != 0 {
-                    continue;
-                }
-                for &sign2 in model.signs_for(dim2) {
-                    let dir2 = TorusDir::new(dim2, sign2);
-                    for slice2 in Slice::ALL {
-                        if entry.slice.is_some_and(|s| s != slice2) {
-                            continue;
-                        }
-                        let depart = ChanId {
-                            dir: dir2,
-                            slice: slice2,
-                        };
-                        let mut st2 = entry.state;
-                        st2.begin_dim();
-                        let exit = (
-                            GlobalLink::Local {
-                                node: nid,
-                                link: LocalLink::RouterToChan(depart),
-                            },
-                            st2.vc_for(LinkGroup::T),
-                        );
-                        let ctx = EdgeCtx::MPhase {
-                            node,
-                            entry: entry.ctx,
-                            exit: ExitCtx::Depart {
-                                dim: dim2,
-                                sign: sign2,
-                                slice: slice2,
-                            },
-                        };
-                        emit_chain(cfg, node, entry, chip.chan_router(depart), exit, &ctx, sink);
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Emits the edge chain `entry.link → mesh hops → exit_link`, following the
-/// configured direction-order route between the two routers. When entry and
-/// exit share a router, the chain is the single direct edge.
-fn emit_chain(
-    cfg: &MachineConfig,
-    node: NodeCoord,
-    entry: &MEntry,
-    to_router: MeshCoord,
-    exit_link: ChannelVc,
-    ctx: &EdgeCtx,
-    sink: &mut dyn EdgeSink,
-) {
-    let nid = cfg.shape.id(node);
-    let m = entry.state.vc_for(LinkGroup::M);
-    let mut prev = entry.link;
-    let mut cur = entry.router;
-    while let Some(d) = cfg.dir_order.next_dir(cur, to_router) {
-        let mesh = (
-            GlobalLink::Local {
-                node: nid,
-                link: LocalLink::Mesh { from: cur, dir: d },
-            },
-            m,
-        );
-        sink.edge(prev, mesh, ctx);
-        prev = mesh;
-        cur = cur.step(d).expect("direction-order route stays on chip");
-    }
-    sink.edge(prev, exit_link, ctx);
-}
-
-/// Builds the symbolic dependency graph of a model.
-pub(crate) fn build_sym_graph(model: &VerifyModel) -> SymGraph {
-    let policy = model.cfg.vc_policy;
-    let vcs = policy
-        .num_vcs(LinkGroup::M)
-        .max(policy.num_vcs(LinkGroup::T));
-    let mut g = SymGraph::new(&model.cfg, usize::from(vcs));
-    generate_into(model, &mut g);
-    g
-}
-
-/// Emits the model's full symbolic edge set into an existing graph (used by
-/// the degraded-table certifier to overlay explicit table edges on the
-/// family graph).
-pub(crate) fn generate_into(model: &VerifyModel, g: &mut SymGraph) {
-    let mstates = reachable_mstates(model);
-    generate(model, &mstates, &mut GraphSink(g));
+/// The model's routing function: dimension-order routing under the model's
+/// dateline and arc-length knobs.
+pub(crate) fn model_routing(model: &VerifyModel) -> DimOrderRouting {
+    DimOrderRouting::new(model.cfg.clone(), model.datelines, model.long_arcs)
 }
 
 /// Symbolically certifies a model deadlock-free, or extracts a minimal
 /// concrete `(channel, VC)` cycle with witness routes when it is not.
 pub fn certify(model: &VerifyModel) -> DeadlockCertificate {
-    let g = build_sym_graph(model);
-    let nodes = g.num_live_nodes();
-    let edges = g.num_edges();
-    let base = DeadlockCertificate {
-        policy: model.cfg.vc_policy,
-        datelines: model.datelines,
-        nodes,
-        edges,
-        acyclic: true,
-        counterexample: None,
-    };
-    let Some(cycle) = g.find_cycle() else {
-        return base;
-    };
-    let cycle = g.minimize_cycle(cycle);
-    let cvs: Vec<ChannelVc> = cycle.iter().map(|&i| g.decode(i)).collect();
-    // Second generation pass: recover the provenance of the cycle's edges,
-    // then synthesize concrete witness routes from it.
-    let mut cap = CaptureSink::for_cycle(&cvs);
-    let mstates = reachable_mstates(model);
-    generate(model, &mstates, &mut cap);
-    let witnesses = crate::witness::synthesize(model, &cvs, &cap, true);
-    DeadlockCertificate {
-        acyclic: false,
-        counterexample: Some(CycleCounterexample {
-            cycle: cvs,
-            witnesses,
-        }),
-        ..base
-    }
+    let topo = TorusTopology::new(&model.cfg);
+    let rf = model_routing(model);
+    let (cert, diags) = certify_routing(&topo, &[&rf], model_label(model));
+    debug_assert!(
+        diags.is_empty(),
+        "torus routing broke its envelope: {diags:?}"
+    );
+    cert
 }
 
 /// Result of cross-checking the symbolic construction against the
@@ -600,7 +90,11 @@ impl CrossCheck {
 /// configuration.
 pub fn cross_check(cfg: &MachineConfig, en: &RouteEnumeration) -> CrossCheck {
     let model = VerifyModel::new(cfg.clone());
-    let g = build_sym_graph(&model);
+    let topo = TorusTopology::new(cfg);
+    let rf = model_routing(&model);
+    let mut diags = Vec::new();
+    let g: SymGraph<'_> = build_routing_graph(&topo, &[&rf], &mut diags);
+    debug_assert!(diags.is_empty(), "{diags:?}");
     let sym: HashSet<(ChannelVc, ChannelVc)> = g.edges().collect();
     let enumerated = build_unicast_dep_graph(cfg, en);
     let enu: HashSet<(ChannelVc, ChannelVc)> = enumerated.edges().collect();

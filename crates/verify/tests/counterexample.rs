@@ -2,19 +2,23 @@
 //! broken configurations.
 
 use anton_core::config::MachineConfig;
+use anton_core::net::RoutePath;
 use anton_core::topology::TorusShape;
 use anton_core::trace::trace_hops_with;
 use anton_core::vc::VcPolicy;
 use anton_verify::{certify, verify_config, verify_model, Severity, VerifyModel};
 
 /// The paper's default machine certifies deadlock-free without enumerating
-/// a single route.
+/// a single route. The node/edge counts are pinned: the trait-based
+/// certification engine must produce a graph edge-identical to the
+/// original hard-wired dimension-order model.
 #[test]
 fn default_8x8x8_certifies_acyclic() {
     let cfg = MachineConfig::new(TorusShape::cube(8));
     let cert = certify(&VerifyModel::new(cfg));
     assert!(cert.acyclic, "{cert}");
-    assert!(cert.nodes > 0 && cert.edges > 0);
+    assert_eq!(cert.nodes, 198_912, "{cert}");
+    assert_eq!(cert.edges, 431_232, "{cert}");
     assert!(cert.counterexample.is_none());
 }
 
@@ -36,12 +40,15 @@ fn assert_counterexample_valid(model: &VerifyModel) {
     // first (channel, VC) while requesting the second.
     for w in &ce.witnesses {
         let src = model.cfg.shape.coord(w.src.node);
+        let RoutePath::Torus { hops, slice } = &w.path else {
+            panic!("torus witness {w} has a non-torus path");
+        };
         let steps = trace_hops_with(
             &model.cfg,
             src,
             Some(w.src.ep),
-            &w.hops,
-            w.slice,
+            hops,
+            *slice,
             Some(w.dst.ep),
             &mut |n, d| model.crosses(n, d),
         );
